@@ -1,0 +1,247 @@
+//! Automata-style support analysis (Chen et al., PLDI'23 flavor).
+//!
+//! The tree-automata framework verifies quantum circuits by tracking sets
+//! of basis states symbolically. Our stand-in propagates the *support set*
+//! (basis states with non-zero amplitude) through the circuit: exact for
+//! permutation-ish gates, over-approximate for superposing gates. It can
+//! prove support-style specs quickly (polynomial in the support size) but
+//! cannot express expectation-value specs — the reason the QNN rows of
+//! Table 6 are "/".
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use morph_qprog::{Circuit, Instruction};
+use morph_qsim::Gate;
+
+/// Result of a support-set analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupportAnalysis {
+    /// Basis states possibly carrying amplitude at the end of the program.
+    pub support: BTreeSet<usize>,
+    /// Whether any over-approximation was introduced (a non-classical gate
+    /// widened the support).
+    pub exact: bool,
+}
+
+/// The support-propagation checker.
+#[derive(Debug, Clone, Default)]
+pub struct AutomataChecker;
+
+impl AutomataChecker {
+    /// Creates the checker.
+    pub fn new() -> Self {
+        AutomataChecker
+    }
+
+    /// Propagates a support set through the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mid-circuit measurement or feedback (outside this
+    /// analysis' fragment, like the original tool's supported subset).
+    pub fn propagate(&self, circuit: &Circuit, initial: &BTreeSet<usize>) -> SupportAnalysis {
+        let n = circuit.n_qubits();
+        let mut support = initial.clone();
+        let mut exact = true;
+        for inst in circuit.instructions() {
+            match inst {
+                Instruction::Gate(g) => {
+                    let (next, was_exact) = apply_gate_support(g, &support, n);
+                    support = next;
+                    exact &= was_exact;
+                }
+                Instruction::Tracepoint { .. } | Instruction::Barrier => {}
+                other => panic!("support analysis does not handle {other:?}"),
+            }
+        }
+        SupportAnalysis { support, exact }
+    }
+
+    /// Verifies that the program's output support is contained in
+    /// `allowed` for the given initial support; returns `(verdict,
+    /// elapsed_seconds)`.
+    pub fn check_support(
+        &self,
+        circuit: &Circuit,
+        initial: &BTreeSet<usize>,
+        allowed: &BTreeSet<usize>,
+    ) -> (bool, f64) {
+        let start = Instant::now();
+        let analysis = self.propagate(circuit, initial);
+        (analysis.support.is_subset(allowed), start.elapsed().as_secs_f64())
+    }
+}
+
+/// Applies one gate to a support set. Returns the new support and whether
+/// the step was exact.
+fn apply_gate_support(
+    gate: &Gate,
+    support: &BTreeSet<usize>,
+    n: usize,
+) -> (BTreeSet<usize>, bool) {
+    let bit = |q: usize| 1usize << (n - 1 - q);
+    let mut out = BTreeSet::new();
+    match gate {
+        // Diagonal gates never change the support.
+        Gate::Z(_)
+        | Gate::S(_)
+        | Gate::Sdg(_)
+        | Gate::T(_)
+        | Gate::Tdg(_)
+        | Gate::RZ(..)
+        | Gate::Phase(..)
+        | Gate::CZ(..)
+        | Gate::CRZ(..)
+        | Gate::CPhase(..)
+        | Gate::MCZ(_) => (support.clone(), true),
+        Gate::X(q) => {
+            for &s in support {
+                out.insert(s ^ bit(*q));
+            }
+            (out, true)
+        }
+        Gate::Y(q) => {
+            for &s in support {
+                out.insert(s ^ bit(*q));
+            }
+            (out, true)
+        }
+        Gate::CX(c, t) => {
+            for &s in support {
+                out.insert(if s & bit(*c) != 0 { s ^ bit(*t) } else { s });
+            }
+            (out, true)
+        }
+        Gate::CCX(c1, c2, t) => {
+            for &s in support {
+                let fire = s & bit(*c1) != 0 && s & bit(*c2) != 0;
+                out.insert(if fire { s ^ bit(*t) } else { s });
+            }
+            (out, true)
+        }
+        Gate::Swap(a, b) => {
+            for &s in support {
+                let (ba, bb) = (s & bit(*a) != 0, s & bit(*b) != 0);
+                let mut v = s & !(bit(*a) | bit(*b));
+                if ba {
+                    v |= bit(*b);
+                }
+                if bb {
+                    v |= bit(*a);
+                }
+                out.insert(v);
+            }
+            (out, true)
+        }
+        // Superposing single-qubit gates: branch on the touched qubit.
+        Gate::H(q) | Gate::RX(q, _) | Gate::RY(q, _) => {
+            for &s in support {
+                out.insert(s);
+                out.insert(s ^ bit(*q));
+            }
+            (out, false)
+        }
+        // Controlled rotations that can move population.
+        Gate::MCRX(cs, t, _) | Gate::MCRY(cs, t, _) => {
+            let cmask: usize = cs.iter().map(|&c| bit(c)).sum();
+            for &s in support {
+                out.insert(s);
+                if s & cmask == cmask {
+                    out.insert(s ^ bit(*t));
+                }
+            }
+            (out, false)
+        }
+        Gate::Unitary(qs, _) => {
+            // Worst case: full branching over the touched qubits.
+            let masks: Vec<usize> = qs.iter().map(|&q| bit(q)).collect();
+            for &s in support {
+                let k = masks.len();
+                for pattern in 0..(1usize << k) {
+                    let mut v = s;
+                    for (i, &m) in masks.iter().enumerate() {
+                        if pattern >> i & 1 == 1 {
+                            v ^= m;
+                        }
+                    }
+                    // Set or clear? XOR enumerates all combinations given
+                    // the 2^k flips — cover every assignment.
+                    out.insert(v);
+                }
+            }
+            (out, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn singleton(v: usize) -> BTreeSet<usize> {
+        let mut s = BTreeSet::new();
+        s.insert(v);
+        s
+    }
+
+    #[test]
+    fn classical_gates_permute_support_exactly() {
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        let analysis = AutomataChecker::new().propagate(&c, &singleton(0));
+        assert!(analysis.exact);
+        assert_eq!(analysis.support, singleton(0b11));
+    }
+
+    #[test]
+    fn hadamard_widens_support() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let analysis = AutomataChecker::new().propagate(&c, &singleton(0));
+        assert!(!analysis.exact);
+        assert_eq!(analysis.support.len(), 2);
+    }
+
+    #[test]
+    fn diagonal_gates_keep_support() {
+        let mut c = Circuit::new(2);
+        c.z(0).s(1).cz(0, 1).t(0);
+        let analysis = AutomataChecker::new().propagate(&c, &singleton(0b10));
+        assert!(analysis.exact);
+        assert_eq!(analysis.support, singleton(0b10));
+    }
+
+    #[test]
+    fn ghz_support_is_contained_in_expected() {
+        let c = morph_qalgo::ghz(3);
+        let checker = AutomataChecker::new();
+        let allowed: BTreeSet<usize> = (0..8).collect();
+        let (ok, elapsed) = checker.check_support(&c, &singleton(0), &allowed);
+        assert!(ok);
+        assert!(elapsed >= 0.0);
+        // Tighter spec: GHZ from |000> only ever occupies a superset of
+        // {000, 111}; the over-approximation must still include them.
+        let analysis = checker.propagate(&c, &singleton(0));
+        assert!(analysis.support.contains(&0));
+        assert!(analysis.support.contains(&7));
+    }
+
+    #[test]
+    fn support_escape_detected() {
+        // A stray X pushes the support outside the allowed set.
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let allowed = singleton(0);
+        let (ok, _) = AutomataChecker::new().check_support(&c, &singleton(0), &allowed);
+        assert!(!ok);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not handle")]
+    fn measurement_is_out_of_fragment() {
+        let mut c = Circuit::new(1);
+        c.measure(0, 0);
+        let _ = AutomataChecker::new().propagate(&c, &singleton(0));
+    }
+}

@@ -1,0 +1,56 @@
+//! Common interface for baseline bug detectors.
+//!
+//! Every baseline in the paper's comparison answers the same question:
+//! given a reference program (the spec) and a candidate program (possibly
+//! mutated), does testing with a bounded input budget expose a difference?
+//! [`BugDetector`] captures that shape; the cost of the attempt lands in a
+//! [`CostLedger`].
+
+use morph_qprog::Circuit;
+use morph_tomography::CostLedger;
+use rand::rngs::StdRng;
+
+/// Result of one detection attempt.
+#[derive(Debug, Clone)]
+pub struct DetectionResult {
+    /// `true` if the detector flagged a difference (a bug).
+    pub bug_found: bool,
+    /// Basis input that exposed the bug, when applicable.
+    pub witness_input: Option<usize>,
+    /// Execution cost of the attempt.
+    pub ledger: CostLedger,
+}
+
+impl DetectionResult {
+    /// A negative result carrying only costs.
+    pub fn not_found(ledger: CostLedger) -> Self {
+        DetectionResult { bug_found: false, witness_input: None, ledger }
+    }
+
+    /// A positive result with its witness and costs.
+    pub fn found(witness_input: usize, ledger: CostLedger) -> Self {
+        DetectionResult { bug_found: true, witness_input: Some(witness_input), ledger }
+    }
+}
+
+/// A baseline verification method.
+pub trait BugDetector {
+    /// Method name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Tests `candidate` against `reference` with at most `budget` inputs.
+    fn detect(
+        &self,
+        reference: &Circuit,
+        candidate: &Circuit,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> DetectionResult;
+
+    /// `true` if the method can express the check this benchmark needs;
+    /// detectors that cannot (e.g. NDD on QNN's expectation comparison)
+    /// are reported as "/" in Table 4.
+    fn supports_expectation_checks(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,55 @@
+//! The exhaustive-testing confidence model behind Fig 1(b).
+//!
+//! When a bug is triggered by exactly one of `N` classical inputs and a
+//! tester has covered `k` distinct inputs without finding it, the
+//! probability that the program is actually correct across the whole space
+//! scales with the covered fraction. The motivational figure plots this
+//! fraction for a 15-qubit quantum lock: 0.006 %-ish after one test, 50 %
+//! after ~1.5 × 10⁴ tests.
+
+/// Confidence of an exhaustive tester after covering `tested` distinct
+/// inputs of an `input_space`-sized space without finding the bug:
+/// the covered fraction `tested / input_space`, clamped to `[0, 1]`.
+pub fn exhaustive_confidence(tested: u64, input_space: u64) -> f64 {
+    if input_space == 0 {
+        return 1.0;
+    }
+    (tested as f64 / input_space as f64).clamp(0.0, 1.0)
+}
+
+/// Expected number of tests to find a single hidden bad input when testing
+/// without replacement: `(N + 1) / 2`.
+pub fn expected_tests_to_find_single_bug(input_space: u64) -> f64 {
+    (input_space as f64 + 1.0) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1b_anchor_points() {
+        // 15-qubit lock: 2^14 = 16384 classical keys on the input register
+        // (one output qubit). One test ⇒ tiny confidence; ~8k ⇒ 50 %.
+        let space = 1u64 << 14;
+        let one = exhaustive_confidence(1, space);
+        assert!(one < 1e-4, "single test confidence {one}");
+        let half = exhaustive_confidence(space / 2, space);
+        assert!((half - 0.5).abs() < 1e-12);
+        assert_eq!(exhaustive_confidence(space, space), 1.0);
+    }
+
+    #[test]
+    fn expected_search_length() {
+        assert!((expected_tests_to_find_single_bug(7) - 4.0).abs() < 1e-12);
+        // Matches the paper's O(2^{N-1}/2) complexity for the QL search.
+        let n21 = expected_tests_to_find_single_bug(1 << 20);
+        assert!(n21 > 5e5 && n21 < 6e5);
+    }
+
+    #[test]
+    fn degenerate_space() {
+        assert_eq!(exhaustive_confidence(5, 0), 1.0);
+        assert_eq!(exhaustive_confidence(10, 4), 1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Expressiveness matrices for Tables 2 and 5.
+//!
+//! Each capability claim in the paper's qualitative comparison is encoded
+//! as data here and backed by a concrete probe in this crate's tests (e.g.
+//! "Stat cannot see phase errors" is demonstrated in `stat::tests`).
+
+use serde::{Deserialize, Serialize};
+
+/// Degree to which a technique supports a capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Support {
+    /// Fully supported.
+    Full,
+    /// Partially supported.
+    Part,
+    /// Not supported.
+    No,
+}
+
+impl std::fmt::Display for Support {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Support::Full => write!(f, "Full"),
+            Support::Part => write!(f, "Part"),
+            Support::No => write!(f, "No"),
+        }
+    }
+}
+
+/// One row of an expressiveness table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpressivenessRow {
+    /// Technique name.
+    pub technique: &'static str,
+    /// What object the technique verifies.
+    pub verified_object: &'static str,
+    /// Supported comparison types.
+    pub comparison: &'static str,
+    /// Interpretability of failures.
+    pub interpretability: Support,
+    /// Ability to debug circuits with measurement feedback.
+    pub feedback: Support,
+}
+
+/// Table 2: assertion-based techniques.
+pub fn assertion_expressiveness() -> Vec<ExpressivenessRow> {
+    vec![
+        ExpressivenessRow {
+            technique: "Stat",
+            verified_object: "Probability distribution",
+            comparison: "Part",
+            interpretability: Support::Part,
+            feedback: Support::No,
+        },
+        ExpressivenessRow {
+            technique: "Proj",
+            verified_object: "Mixed state",
+            comparison: "Equal & In",
+            interpretability: Support::No,
+            feedback: Support::No,
+        },
+        ExpressivenessRow {
+            technique: "NDD",
+            verified_object: "Mixed state",
+            comparison: "Equal & In",
+            interpretability: Support::No,
+            feedback: Support::No,
+        },
+        ExpressivenessRow {
+            technique: "SR",
+            verified_object: "Mixed state",
+            comparison: "Equal & In",
+            interpretability: Support::No,
+            feedback: Support::Full,
+        },
+        ExpressivenessRow {
+            technique: "MorphQPV",
+            verified_object: "Mixed state & Evolution",
+            comparison: "Full",
+            interpretability: Support::Full,
+            feedback: Support::Full,
+        },
+    ]
+}
+
+/// Table 5: deductive techniques.
+pub fn deductive_expressiveness() -> Vec<ExpressivenessRow> {
+    vec![
+        ExpressivenessRow {
+            technique: "KNA",
+            verified_object: "Expectation",
+            comparison: "Equal or greater",
+            interpretability: Support::Part,
+            feedback: Support::No,
+        },
+        ExpressivenessRow {
+            technique: "Twist",
+            verified_object: "Purity",
+            comparison: "Equal",
+            interpretability: Support::No,
+            feedback: Support::No,
+        },
+        ExpressivenessRow {
+            technique: "QHL",
+            verified_object: "Expectation",
+            comparison: "Equal or greater",
+            interpretability: Support::Part,
+            feedback: Support::No,
+        },
+        ExpressivenessRow {
+            technique: "MorphQPV",
+            verified_object: "Mixed state & Evolution",
+            comparison: "Full",
+            interpretability: Support::Full,
+            feedback: Support::Full,
+        },
+    ]
+}
+
+/// Renders rows as an aligned text table (used by the `table2`/`table5`
+/// binaries).
+pub fn render_table(rows: &[ExpressivenessRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:<26} {:<18} {:<16} {:<8}\n",
+        "Technique", "Verified object", "Comparison", "Interpretability", "Feedback"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<10} {:<26} {:<18} {:<16} {:<8}\n",
+            row.technique,
+            row.verified_object,
+            row.comparison,
+            row.interpretability.to_string(),
+            row.feedback.to_string()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_expected_shape() {
+        let t2 = assertion_expressiveness();
+        assert_eq!(t2.len(), 5);
+        assert_eq!(t2.last().unwrap().technique, "MorphQPV");
+        let t5 = deductive_expressiveness();
+        assert_eq!(t5.len(), 4);
+    }
+
+    #[test]
+    fn morphqpv_dominates_on_every_column() {
+        for table in [assertion_expressiveness(), deductive_expressiveness()] {
+            let morph = table.iter().find(|r| r.technique == "MorphQPV").unwrap();
+            assert_eq!(morph.interpretability, Support::Full);
+            assert_eq!(morph.feedback, Support::Full);
+            assert_eq!(morph.comparison, "Full");
+        }
+    }
+
+    #[test]
+    fn rendering_contains_all_rows() {
+        let text = render_table(&assertion_expressiveness());
+        for name in ["Stat", "Proj", "NDD", "SR", "MorphQPV"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Baseline verification methods the paper compares MorphQPV against.
+//!
+//! Re-implemented with the published behaviour and cost models:
+//!
+//! - [`StatAssertion`] — statistical (chi-square) assertions on output
+//!   distributions; amplitude-only.
+//! - [`QuitoSearch`] — coverage-guided grid search over basis inputs.
+//! - [`NddAssertion`] — non-destructive discrimination; phase-sensitive but
+//!   pays exponential synthesized-circuit costs
+//!   ([`ndd_synthesis_gate_cost`]).
+//! - [`ProjAssertion`] — projection-based subspace assertions (Proj).
+//! - [`SymbolicChecker`] — stabilizer-fragment symbolic reasoning (SR),
+//!   the one assertion baseline that handles feedback.
+//! - [`TwistChecker`] — purity checking by exact classical simulation.
+//! - [`AutomataChecker`] — support-set propagation in the tree-automata
+//!   style.
+//! - [`FuzzTester`] — random superposition-input fuzzing (Fuzz).
+//! - [`exhaustive_confidence`] — the Fig 1(b) coverage-confidence model.
+//! - Expressiveness matrices for Tables 2 and 5
+//!   ([`assertion_expressiveness`], [`deductive_expressiveness`]).
+//!
+//! The shot-based detectors implement [`BugDetector`], sharing the
+//! reference-vs-candidate interface the Table 4 harness sweeps.
+
+mod automata;
+mod detector;
+mod exhaustive;
+mod expressiveness;
+mod fuzz;
+mod ndd;
+mod proj;
+mod quito;
+mod sr;
+mod stat;
+mod twist;
+
+pub use automata::{AutomataChecker, SupportAnalysis};
+pub use detector::{BugDetector, DetectionResult};
+pub use exhaustive::{exhaustive_confidence, expected_tests_to_find_single_bug};
+pub use expressiveness::{
+    assertion_expressiveness, deductive_expressiveness, render_table, ExpressivenessRow, Support,
+};
+pub use fuzz::FuzzTester;
+pub use ndd::{ndd_synthesis_gate_cost, NddAssertion};
+pub use proj::ProjAssertion;
+pub use quito::QuitoSearch;
+pub use sr::{SrUnsupported, SymbolicChecker};
+pub use stat::{chi_square, StatAssertion};
+pub use twist::{PurityCheck, TwistChecker};

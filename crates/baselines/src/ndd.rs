@@ -1,0 +1,179 @@
+//! NDD: non-destructive discrimination assertions (Liu & Zhou, HPCA'21).
+//!
+//! Injects discrimination circuitry that checks whether the runtime state
+//! equals an expected (possibly mixed) state — phase-sensitive, unlike
+//! Stat/Quito, but each check costs synthesized projection unitaries whose
+//! gate count grows exponentially with the asserted register (the
+//! `2.8 × 10¹⁰`-operation rows of Table 4).
+
+use morph_qprog::{Circuit, Executor};
+use morph_qsim::StateVector;
+use morph_tomography::CostLedger;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::detector::{BugDetector, DetectionResult};
+
+/// Gate count of synthesizing the discrimination unitary for an `n`-qubit
+/// assertion — the exponential term in NDD's overhead model. Calibrated so
+/// a 9-qubit check costs ≈ 2.1 × 10⁴ gates as the paper reports for the
+/// state-of-the-art synthesizer.
+pub fn ndd_synthesis_gate_cost(n_qubits: usize) -> u64 {
+    // 4^n / 12.5 ≈ 2.1e4 at n = 9.
+    ((4f64.powi(n_qubits as i32)) / 12.5).ceil() as u64
+}
+
+/// The NDD detector.
+#[derive(Debug, Clone)]
+pub struct NddAssertion {
+    /// Shots per discrimination.
+    pub shots: usize,
+    /// Fidelity below which the state is flagged as different.
+    pub fidelity_threshold: f64,
+}
+
+impl Default for NddAssertion {
+    fn default() -> Self {
+        NddAssertion { shots: 1000, fidelity_threshold: 0.99 }
+    }
+}
+
+impl NddAssertion {
+    /// Exhaustive basis-grid variant used for Fig 7 / Fig 10 sweeps.
+    pub fn search_until_found(
+        &self,
+        reference: &Circuit,
+        candidate: &Circuit,
+        rng: &mut StdRng,
+    ) -> DetectionResult {
+        self.detect_grid(reference, candidate, 1usize << reference.n_qubits(), rng)
+    }
+
+    fn check_one(
+        &self,
+        reference: &Circuit,
+        candidate: &Circuit,
+        basis: usize,
+        ledger: &mut CostLedger,
+        rng: &mut StdRng,
+    ) -> bool {
+        let n = reference.n_qubits();
+        let input = StateVector::basis_state(n, basis);
+        let executor = Executor::new();
+        let expected = executor.run_trajectory(reference, &input, rng).final_state;
+        let observed = executor.run_trajectory(candidate, &input, rng).final_state;
+        // The discrimination circuit is run `shots` times; each shot pays
+        // the program plus the synthesized discrimination unitary.
+        let ops = candidate.op_cost() as u64 + ndd_synthesis_gate_cost(n);
+        ledger.record_execution(self.shots as u64, ops);
+        // Discrimination outcome: overlap estimated to shot precision.
+        // Both trajectories are pure, so the fidelity is the squared
+        // state-vector overlap (O(2^n) instead of an eigendecomposition).
+        let overlap = expected.overlap(&observed);
+        let sampling_sigma = (overlap * (1.0 - overlap) / self.shots as f64).sqrt();
+        let noisy_overlap = overlap + sampling_sigma * gaussian(rng);
+        noisy_overlap < self.fidelity_threshold
+    }
+
+    fn detect_grid(
+        &self,
+        reference: &Circuit,
+        candidate: &Circuit,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> DetectionResult {
+        let dim = 1usize << reference.n_qubits();
+        let mut ledger = CostLedger::new();
+        for basis in 0..budget.min(dim) {
+            if self.check_one(reference, candidate, basis, &mut ledger, rng) {
+                return DetectionResult::found(basis, ledger);
+            }
+        }
+        DetectionResult::not_found(ledger)
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl BugDetector for NddAssertion {
+    fn name(&self) -> &'static str {
+        "NDD"
+    }
+
+    fn detect(
+        &self,
+        reference: &Circuit,
+        candidate: &Circuit,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> DetectionResult {
+        let dim = 1usize << reference.n_qubits();
+        let mut ledger = CostLedger::new();
+        for _ in 0..budget {
+            let basis = rng.gen_range(0..dim);
+            if self.check_one(reference, candidate, basis, &mut ledger, rng) {
+                return DetectionResult::found(basis, ledger);
+            }
+        }
+        DetectionResult::not_found(ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synthesis_cost_matches_paper_anchor() {
+        let c9 = ndd_synthesis_gate_cost(9);
+        assert!((15_000..30_000).contains(&c9), "9-qubit cost {c9} should be ≈ 2.1e4");
+        assert!(ndd_synthesis_gate_cost(5) < ndd_synthesis_gate_cost(7));
+    }
+
+    #[test]
+    fn phase_bug_is_detected() {
+        // The bug Stat misses: Z after H.
+        let mut reference = Circuit::new(1);
+        reference.h(0);
+        let mut buggy = Circuit::new(1);
+        buggy.h(0);
+        buggy.z(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let result = NddAssertion::default().detect(&reference, &buggy, 5, &mut rng);
+        assert!(result.bug_found, "NDD sees phase errors");
+    }
+
+    #[test]
+    fn identical_programs_pass_with_exponential_cost() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = NddAssertion::default().detect(&c, &c, 5, &mut rng);
+        assert!(!result.bug_found);
+        // 5 inputs × 1000 shots × (ops + synthesis) — dominated by synthesis.
+        assert!(result.ledger.quantum_ops > 5_000 * ndd_synthesis_gate_cost(3) / 2);
+    }
+
+    #[test]
+    fn single_counterexample_lock_usually_escapes_budgeted_ndd() {
+        // 6-qubit lock, one bug key among 32 inputs, budget 5 random inputs.
+        use morph_qalgo::QuantumLock;
+        let lock = QuantumLock::new(6, 0b00001);
+        let reference = lock.circuit();
+        let buggy = lock.circuit_with_bug(0b11110);
+        let mut misses = 0;
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let result = NddAssertion::default().detect(&reference, &buggy, 5, &mut rng);
+            if !result.bug_found {
+                misses += 1;
+            }
+        }
+        assert!(misses >= 5, "budgeted NDD should usually miss the lone bug key, missed {misses}/10");
+    }
+}

@@ -1,0 +1,204 @@
+//! Proj: projection-based runtime assertions (Li et al., OOPSLA'20).
+//!
+//! A Proj assertion claims the runtime state lies inside the subspace
+//! spanned by a set of basis vectors. On hardware the projector is
+//! measured by a synthesized circuit block; the assertion holds when every
+//! shot lands inside the subspace. Like NDD it is phase-sensitive within
+//! its subspace test, but it supports only the `Equal`/`In` comparison and
+//! emits no diagnostic information on failure (Table 2's "No"
+//! interpretability entry).
+
+use morph_linalg::{C64, CMatrix};
+use morph_qprog::{Circuit, Executor};
+use morph_qsim::StateVector;
+use morph_tomography::CostLedger;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::detector::{BugDetector, DetectionResult};
+use crate::ndd::ndd_synthesis_gate_cost;
+
+/// A subspace assertion: the state at the end of the program (restricted
+/// to `qubits`) must lie in the span of `basis_kets`.
+#[derive(Debug, Clone)]
+pub struct ProjAssertion {
+    /// Shots per tested input.
+    pub shots: usize,
+    /// Probability mass outside the subspace above which the assertion is
+    /// reported violated (absorbs sampling noise).
+    pub leak_threshold: f64,
+}
+
+impl Default for ProjAssertion {
+    fn default() -> Self {
+        ProjAssertion { shots: 1000, leak_threshold: 0.02 }
+    }
+}
+
+impl ProjAssertion {
+    /// Builds the projector `Σ |v⟩⟨v|` from basis kets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kets are empty or differ in dimension.
+    pub fn projector(basis_kets: &[Vec<C64>]) -> CMatrix {
+        assert!(!basis_kets.is_empty(), "empty subspace basis");
+        let d = basis_kets[0].len();
+        let mut p = CMatrix::zeros(d, d);
+        for ket in basis_kets {
+            assert_eq!(ket.len(), d, "inconsistent ket dimensions");
+            p += &CMatrix::outer(ket, ket);
+        }
+        p
+    }
+
+    /// Checks the assertion for one input: runs the program, measures the
+    /// projector with `shots` simulated shots, and reports the estimated
+    /// leakage outside the subspace. Costs are recorded (the projector
+    /// circuit pays the synthesis gate count).
+    pub fn leakage(
+        &self,
+        program: &Circuit,
+        input: &StateVector,
+        projector: &CMatrix,
+        qubits: &[usize],
+        ledger: &mut CostLedger,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let executor = Executor::new();
+        let out = executor.run_trajectory(program, input, rng).final_state;
+        let rho = out.reduced_density_matrix(qubits);
+        let inside = projector.matmul(&rho).trace().re.clamp(0.0, 1.0);
+        let ops = program.op_cost() as u64 + ndd_synthesis_gate_cost(qubits.len());
+        ledger.record_execution(self.shots as u64, ops);
+        // Binomial shot noise on the inside/outside split.
+        let mut hits = 0usize;
+        for _ in 0..self.shots {
+            if rng.gen::<f64>() < inside {
+                hits += 1;
+            }
+        }
+        1.0 - hits as f64 / self.shots as f64
+    }
+}
+
+impl BugDetector for ProjAssertion {
+    fn name(&self) -> &'static str {
+        "Proj"
+    }
+
+    /// Reference-vs-candidate detection: for each random basis input, the
+    /// asserted subspace is the 1-dimensional span of the reference
+    /// output; the candidate must not leak out of it.
+    fn detect(
+        &self,
+        reference: &Circuit,
+        candidate: &Circuit,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> DetectionResult {
+        let n = reference.n_qubits();
+        let dim = 1usize << n;
+        let qubits: Vec<usize> = (0..n).collect();
+        let executor = Executor::new();
+        let mut ledger = CostLedger::new();
+        for _ in 0..budget {
+            let basis = rng.gen_range(0..dim);
+            let input = StateVector::basis_state(n, basis);
+            let expected = executor.run_trajectory(reference, &input, rng).final_state;
+            let projector = Self::projector(&[expected.amplitudes().to_vec()]);
+            let leak = self.leakage(candidate, &input, &projector, &qubits, &mut ledger, rng);
+            if leak > self.leak_threshold {
+                return DetectionResult::found(basis, ledger);
+            }
+        }
+        DetectionResult::not_found(ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c
+    }
+
+    #[test]
+    fn projector_is_idempotent() {
+        let kets = vec![
+            vec![C64::ONE, C64::ZERO, C64::ZERO, C64::ZERO],
+            vec![C64::ZERO, C64::ZERO, C64::ZERO, C64::ONE],
+        ];
+        let p = ProjAssertion::projector(&kets);
+        assert!(p.matmul(&p).approx_eq(&p, 1e-12));
+        assert!((p.trace().re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_inside_subspace_has_no_leakage() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ledger = CostLedger::new();
+        // Bell output is inside the {|00>, |11>} subspace.
+        let kets = vec![
+            vec![C64::ONE, C64::ZERO, C64::ZERO, C64::ZERO],
+            vec![C64::ZERO, C64::ZERO, C64::ZERO, C64::ONE],
+        ];
+        let p = ProjAssertion::projector(&kets);
+        let leak = ProjAssertion::default().leakage(
+            &bell(),
+            &StateVector::zero_state(2),
+            &p,
+            &[0, 1],
+            &mut ledger,
+            &mut rng,
+        );
+        assert!(leak < 0.01, "leakage {leak}");
+        assert_eq!(ledger.executions, 1);
+    }
+
+    #[test]
+    fn state_outside_subspace_leaks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ledger = CostLedger::new();
+        // Assert the output should be in span{|01>, |10>} — it is not.
+        let kets = vec![
+            vec![C64::ZERO, C64::ONE, C64::ZERO, C64::ZERO],
+            vec![C64::ZERO, C64::ZERO, C64::ONE, C64::ZERO],
+        ];
+        let p = ProjAssertion::projector(&kets);
+        let leak = ProjAssertion::default().leakage(
+            &bell(),
+            &StateVector::zero_state(2),
+            &p,
+            &[0, 1],
+            &mut ledger,
+            &mut rng,
+        );
+        assert!(leak > 0.9, "leakage {leak}");
+    }
+
+    #[test]
+    fn detects_phase_bug_like_ndd() {
+        let mut reference = Circuit::new(1);
+        reference.h(0);
+        let mut buggy = Circuit::new(1);
+        buggy.h(0);
+        buggy.z(0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = ProjAssertion::default().detect(&reference, &buggy, 5, &mut rng);
+        assert!(result.bug_found, "Proj's subspace test is phase-sensitive");
+    }
+
+    #[test]
+    fn identical_programs_pass() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = ProjAssertion::default().detect(&bell(), &bell(), 5, &mut rng);
+        assert!(!result.bug_found);
+        // Synthesis ops dominate, as in NDD.
+        assert!(result.ledger.quantum_ops > 1000);
+    }
+}

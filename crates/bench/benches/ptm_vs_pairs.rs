@@ -1,0 +1,54 @@
+//! Ablation bench: pairs-form approximation (the paper's Theorem 1
+//! evaluation) vs the explicit Pauli-transfer-matrix form. The pairs form
+//! scales with `N_sample`; the PTM form is flat in `N_sample` after a
+//! one-time fit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morph_clifford::InputEnsemble;
+use morph_linalg::CMatrix;
+use morphqpv::{ApproximationFunction, PauliTransferMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build(n: usize, samples: usize, rng: &mut StdRng) -> ApproximationFunction {
+    let u = morph_qsim::matrices::h().kron(&morph_qsim::matrices::ry(0.8));
+    let u = if n == 3 { u.kron(&morph_qsim::matrices::rx(0.3)) } else { u };
+    let inputs: Vec<CMatrix> = InputEnsemble::PauliProduct
+        .generate(n, samples, rng)
+        .into_iter()
+        .map(|i| i.rho)
+        .collect();
+    let traces: Vec<CMatrix> = inputs.iter().map(|r| u.matmul(r).matmul(&u.dagger())).collect();
+    ApproximationFunction::new(inputs, traces).expect("valid pairs")
+}
+
+fn bench_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ptm_vs_pairs_predict");
+    group.sample_size(20);
+    for &(n, samples) in &[(2usize, 16usize), (3, 64)] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = build(n, samples, &mut rng);
+        let ptm = PauliTransferMatrix::fit(&f);
+        let probe = InputEnsemble::Clifford.generate(n, 1, &mut rng).remove(0);
+
+        group.bench_with_input(
+            BenchmarkId::new("pairs", format!("{n}q_{samples}s")),
+            &n,
+            |b, _| b.iter(|| f.predict(std::hint::black_box(&probe.rho)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ptm", format!("{n}q_{samples}s")),
+            &n,
+            |b, _| b.iter(|| ptm.predict(std::hint::black_box(&probe.rho))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ptm_fit", format!("{n}q_{samples}s")),
+            &n,
+            |b, _| b.iter(|| PauliTransferMatrix::fit(std::hint::black_box(&f))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forms);
+criterion_main!(benches);

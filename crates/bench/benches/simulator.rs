@@ -1,0 +1,45 @@
+//! Substrate micro-benchmarks: state-vector gate kernels and reduced
+//! density matrices — the primitives every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morph_qsim::{Gate, StateVector};
+
+fn bench_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_kernels");
+    group.sample_size(20);
+    for &n in &[10usize, 14, 18] {
+        let mut psi = StateVector::zero_state(n);
+        for q in 0..n {
+            psi.apply_h(q);
+        }
+        group.bench_with_input(BenchmarkId::new("h", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = psi.clone();
+                s.apply_h(std::hint::black_box(0));
+                s
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cx", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = psi.clone();
+                s.apply_cx(0, n - 1);
+                s
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mcz", n), &n, |b, _| {
+            let qubits: Vec<usize> = (0..n).collect();
+            b.iter(|| {
+                let mut s = psi.clone();
+                Gate::MCZ(qubits.clone()).apply(&mut s);
+                s
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reduced_dm_3q", n), &n, |b, _| {
+            b.iter(|| psi.reduced_density_matrix(&[0, n / 2, n - 1]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gates);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation bench: exact vs shot-limited vs probabilities-only tracepoint
+//! readout (the trade Strategy-prop exploits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morph_linalg::{C64, CMatrix};
+use morph_tomography::{read_state, CostLedger, ReadoutMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ghz_state(n: usize) -> CMatrix {
+    let d = 1usize << n;
+    let s = 1.0 / 2f64.sqrt();
+    let mut ket = vec![C64::ZERO; d];
+    ket[0] = C64::real(s);
+    ket[d - 1] = C64::real(s);
+    CMatrix::outer(&ket, &ket)
+}
+
+fn bench_readout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tomography_readout");
+    group.sample_size(10);
+    for &n in &[2usize, 3, 4] {
+        let rho = ghz_state(n);
+        for (label, mode) in [
+            ("exact", ReadoutMode::Exact),
+            ("shots_1000", ReadoutMode::Shots(1000)),
+            ("probs_1000", ReadoutMode::ProbabilitiesOnly(1000)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                let mut rng = StdRng::seed_from_u64(0);
+                b.iter(|| {
+                    let mut ledger = CostLedger::new();
+                    read_state(std::hint::black_box(&rho), mode, 1, &mut ledger, &mut rng)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_readout);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Fig 15(a): ablation of the Clifford-group input ensemble against
+//! computational-basis sampling (and the Pauli-product tomographic family)
+//! on the five benchmarks.
+//!
+//! Basis states only span the diagonal operator subspace, so their
+//! tracepoint predictions plateau early; Clifford states carry
+//! superposition and entanglement and keep improving — the paper reports a
+//! 64x sample reduction and an 82.2% accuracy gap at fixed budget.
+
+use morph_bench::rows::{fmt_f, print_table, save_csv};
+use morph_clifford::InputEnsemble;
+use morph_linalg::hs_accuracy;
+use morph_qalgo::Benchmark;
+use morph_qprog::{Circuit, Executor, TracepointId};
+use morph_qsim::StateVector;
+use morphqpv::{characterize, CharacterizationConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 4usize;
+    let mut rows = Vec::new();
+    for bench in Benchmark::all() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let body = bench.circuit(n, &mut rng);
+        let n = body.n_qubits();
+        let mut circuit = Circuit::new(n);
+        circuit.extend_from(&body);
+        circuit.tracepoint(1, &(0..n).collect::<Vec<_>>());
+
+        for ensemble in [InputEnsemble::Basis, InputEnsemble::Clifford, InputEnsemble::PauliProduct]
+        {
+            for &n_samples in &[8usize, 32, 64] {
+                let config = CharacterizationConfig {
+                    n_samples,
+                    ensemble,
+                    ..CharacterizationConfig::exact((0..n).collect(), n_samples)
+                };
+                let ch = characterize(&circuit, &config, &mut rng);
+                let f = ch.approximation(TracepointId(1));
+                let probes = InputEnsemble::Clifford.generate(n, 8, &mut rng);
+                let mut acc = 0.0;
+                for p in &probes {
+                    let mut full = Circuit::new(n);
+                    full.extend_from(&p.prep);
+                    full.extend_from(&circuit);
+                    let truth = Executor::new()
+                        .run_expected(&full, &StateVector::zero_state(n))
+                        .state(TracepointId(1))
+                        .clone();
+                    acc += hs_accuracy(&f.predict(&p.rho).unwrap(), &truth);
+                }
+                rows.push(vec![
+                    bench.name().to_string(),
+                    format!("{ensemble:?}"),
+                    n_samples.to_string(),
+                    fmt_f(acc / probes.len() as f64),
+                ]);
+            }
+        }
+    }
+    let csv = print_table(
+        "Fig 15(a): input-ensemble ablation — accuracy by sampling family",
+        &["benchmark", "ensemble", "N_sample", "accuracy"],
+        &rows,
+    );
+    save_csv("fig15a", &csv);
+    println!("\nExpected shape: Basis plateaus at the diagonal-subspace ceiling;");
+    println!("Clifford and PauliProduct keep improving with N_sample, as in the paper.");
+}

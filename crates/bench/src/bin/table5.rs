@@ -1,0 +1,20 @@
+//! Table 5: expressiveness comparison of MorphQPV against deductive
+//! verification methods (KNA, Twist, QHL).
+
+use morph_baselines::{deductive_expressiveness, render_table};
+use morph_bench::rows::save_csv;
+
+fn main() {
+    let rows = deductive_expressiveness();
+    println!("{}", render_table(&rows));
+    let mut csv = String::from("technique,verified_object,comparison,interpretability,feedback\n");
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            r.technique, r.verified_object, r.comparison, r.interpretability, r.feedback
+        ));
+    }
+    save_csv("table5", &csv);
+    println!("Backing probes: Twist purity lens   -> morph_baselines::twist tests");
+    println!("                support-set fragment -> morph_baselines::automata tests");
+}

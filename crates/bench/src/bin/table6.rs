@@ -1,0 +1,200 @@
+//! Table 6: success rate and verification time of MorphQPV against the
+//! deductive baselines (Twist-style purity analysis, Automata-style
+//! classical analysis) on QEC/Shor/QNN/XEB at 5–20 qubits.
+//!
+//! Modeling notes (see EXPERIMENTS.md): both deductive stand-ins analyze
+//! the program classically; their *decision* is exact simulation, and
+//! their *cost* is the measured simulation time scaled by a calibrated
+//! interpreter overhead (Twist's purity analysis: paper anchor 5.9e3 s at
+//! 20 qubits vs ~1 s of raw simulation here, giving ~2000x; the automata
+//! framework is ~100x per its Table 6 ratios). Expressiveness gaps are
+//! honored: Twist and Automa cannot express the QNN expectation spec;
+//! Twist cannot express XEB correctness through purity alone.
+//!
+//! MorphQPV runs the real comparison pipeline with Strategy-const (inputs
+//! restricted to 3 qubits) so its cost scales with the input register, not
+//! the program size.
+
+use std::time::Instant;
+
+use morph_bench::rows::{fmt_f, print_table, save_csv};
+use morph_bench::{compare_programs, CompareConfig};
+use morph_qalgo::{inject_phase_bug, Benchmark};
+use morph_qprog::{Circuit, Executor};
+use morph_qsim::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CASES: usize = 5;
+
+/// Exact classical equivalence probe: compare final states from basis and
+/// superposition inputs (the deductive stand-ins analyze the whole program
+/// classically, so any reachable semantic difference is visible).
+fn exact_sim_differs(reference: &Circuit, mutant: &Circuit) -> bool {
+    let n = reference.n_qubits();
+    let ex = Executor::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut probes: Vec<StateVector> = vec![
+        StateVector::basis_state(n, 0),
+        StateVector::basis_state(n, 1),
+        StateVector::basis_state(n, (1 << n) - 1),
+    ];
+    // Uniform superposition probe exposes phase-only deviations.
+    let mut plus = StateVector::zero_state(n);
+    for q in 0..n {
+        plus.apply_h(q);
+    }
+    probes.push(plus);
+    for input in probes {
+        let sa = ex.run_trajectory(reference, &input, &mut rng).final_state;
+        let sb = ex.run_trajectory(mutant, &input, &mut rng).final_state;
+        if !sa.approx_eq_up_to_phase(&sb, 1e-9) {
+            return true;
+        }
+    }
+    false
+}
+
+/// `true` if the mutant is visible within MorphQPV's pruned verification
+/// scope (inputs on `input_qubits`, outputs traced on `output_qubits`):
+/// mutants outside the scope are not counter-examples to the pruned spec
+/// and are excluded from its success-rate denominator.
+fn visible_in_scope(
+    reference: &Circuit,
+    mutant: &Circuit,
+    input_qubits: &[usize],
+    output_qubits: &[usize],
+) -> bool {
+    let n = reference.n_qubits();
+    let ex = Executor::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    for probe in morph_clifford::InputEnsemble::Clifford.generate(input_qubits.len(), 6, &mut rng)
+    {
+        let prep = probe.prep.remap_qubits(input_qubits, n);
+        let run = |circ: &Circuit| {
+            let mut full = Circuit::new(n);
+            full.extend_from(&prep);
+            full.extend_from(circ);
+            full.tracepoint(1, output_qubits);
+            ex.run_expected(&full, &StateVector::zero_state(n))
+                .state(morph_qprog::TracepointId(1))
+                .clone()
+        };
+        // Require a difference the toleranced spec can flag (the Within
+        // predicate uses 0.05; sub-tolerance drifts are not bugs under it).
+        if (&run(reference) - &run(mutant)).frobenius_norm() > 0.1 {
+            return true;
+        }
+    }
+    false
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for bench in [Benchmark::Qec, Benchmark::Shor, Benchmark::Qnn, Benchmark::Xeb] {
+        for &size in &[5usize, 10, 15, 20] {
+            let mut rng = StdRng::seed_from_u64(6000 + size as u64);
+            let reference = bench.circuit(size, &mut rng);
+            let n = reference.n_qubits();
+
+            // Mutants must be visible within MorphQPV's pruned scope so the
+            // success-rate denominators are comparable across methods.
+            let scope_in = vec![0usize, 1, 2];
+            let scope_out = vec![0usize, 1, 2];
+            let mut mutants: Vec<Circuit> = Vec::new();
+            let mut guard = 0;
+            while mutants.len() < CASES && guard < CASES * 20 {
+                guard += 1;
+                let (m, _) = inject_phase_bug(&reference, &mut rng);
+                if visible_in_scope(&reference, &m, &scope_in, &scope_out) {
+                    mutants.push(m);
+                }
+            }
+            if mutants.is_empty() {
+                continue;
+            }
+            let n_cases = mutants.len();
+
+            // Twist-style: full-state simulation per check.
+            let twist_supported = bench != Benchmark::Qnn && bench != Benchmark::Xeb;
+            let (twist_succ, twist_time) = if twist_supported {
+                let t0 = Instant::now();
+                let found = mutants
+                    .iter()
+                    .filter(|m| exact_sim_differs(&reference, m))
+                    .count();
+                (
+                    Some(100.0 * found as f64 / n_cases as f64),
+                    // Calibrated interpreter overhead of the purity analysis.
+                    2000.0 * t0.elapsed().as_secs_f64() / n_cases as f64,
+                )
+            } else {
+                (None, 0.0)
+            };
+
+            // Automata-style: same exact analysis, cheaper representation —
+            // ~100x interpreter overhead per the paper's Table 6 ratios.
+            let automa_supported = bench != Benchmark::Qnn;
+            let (automa_succ, automa_time) = if automa_supported {
+                let t0 = Instant::now();
+                let found = mutants
+                    .iter()
+                    .filter(|m| exact_sim_differs(&reference, m))
+                    .count();
+                (
+                    Some(100.0 * found as f64 / n_cases as f64),
+                    100.0 * t0.elapsed().as_secs_f64() / n_cases as f64,
+                )
+            } else {
+                (None, 0.0)
+            };
+
+            // MorphQPV: real pipeline, Strategy-const input on 3 qubits,
+            // output tracepoint on 3 qubits.
+            let t0 = Instant::now();
+            let mut found = 0;
+            for mutant in &mutants {
+                let mut config = CompareConfig::new(scope_in.clone(), scope_out.clone());
+                config.n_samples = 12;
+                let (bug, _, _) = compare_programs(&reference, mutant, &config, &mut rng);
+                if bug {
+                    found += 1;
+                }
+            }
+            let morph_time = t0.elapsed().as_secs_f64() / n_cases as f64;
+            let morph_succ = 100.0 * found as f64 / n_cases as f64;
+
+            let opt = |v: Option<f64>| v.map(fmt_f).unwrap_or_else(|| "/".into());
+            let opt_t = |v: Option<f64>, t: f64| {
+                if v.is_some() { fmt_f(t) } else { "/".into() }
+            };
+            rows.push(vec![
+                format!("{} {}q", bench.name(), n),
+                opt(twist_succ),
+                opt(automa_succ),
+                fmt_f(morph_succ),
+                opt_t(twist_succ, twist_time),
+                opt_t(automa_succ, automa_time),
+                fmt_f(morph_time),
+            ]);
+        }
+    }
+    let csv = print_table(
+        "Table 6: success rate (%) and per-case time (s) vs deductive methods",
+        &[
+            "benchmark",
+            "Twist_succ",
+            "Automa_succ",
+            "Morph_succ",
+            "Twist_s(model)",
+            "Automa_s(model)",
+            "Morph_s",
+        ],
+        &rows,
+    );
+    save_csv("table6", &csv);
+    println!("\nExpected shape (paper): all methods near-100% where supported; Twist's");
+    println!("time explodes exponentially with qubits; Automa grows more slowly;");
+    println!("MorphQPV's cost tracks the (pruned) input register, not program size.");
+    println!("'/' = the method's verified object cannot express that benchmark's spec.");
+}

@@ -1,0 +1,150 @@
+//! Command-line verifier: check a surface-syntax program file containing
+//! `T <id> q[..]` tracepoints and `// assert <spec>` comments.
+//!
+//! ```text
+//! usage: verify <program.qasm> [--inputs 0,1,...] [--samples N] [--seed S]
+//! ```
+//!
+//! Exit code 0 when every assertion passes, 1 when any fails, 2 on usage
+//! or parse errors.
+
+use morphqpv::{verify_source, Verdict};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut inputs: Vec<usize> = Vec::new();
+    let mut samples: Option<usize> = None;
+    let mut seed = 0u64;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--inputs" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--inputs requires a comma-separated list");
+                    return 2;
+                };
+                inputs = match v.split(',').map(|s| s.trim().parse()).collect() {
+                    Ok(list) => list,
+                    Err(_) => {
+                        eprintln!("invalid qubit list {v:?}");
+                        return 2;
+                    }
+                };
+            }
+            "--samples" => {
+                samples = it.next().and_then(|v| v.parse().ok());
+                if samples.is_none() {
+                    eprintln!("--samples requires a positive integer");
+                    return 2;
+                }
+            }
+            "--seed" => {
+                seed = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("--seed requires an integer");
+                        return 2;
+                    }
+                };
+            }
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: verify <program.qasm> [--inputs 0,1,...] [--samples N] [--seed S]"
+                );
+                return 2;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: verify <program.qasm> [--inputs 0,1,...] [--samples N] [--seed S]");
+        return 2;
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    // Default input register: qubit 0 (documented in --help text above);
+    // the tracepoint pragma determines what gets asserted.
+    if inputs.is_empty() {
+        inputs = vec![0];
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // verify_source applies the default sample budget; re-run through the
+    // builder when --samples was given.
+    let report = if let Some(n) = samples {
+        let circuit = match morph_qprog::parse_program(&source) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        };
+        let assertions = match morphqpv::assertions_from_source(&source) {
+            Ok(a) if !a.is_empty() => a,
+            Ok(_) => {
+                eprintln!("no `// assert` specifications in {path}");
+                return 2;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        };
+        let mut verifier = morphqpv::Verifier::new(circuit).input_qubits(&inputs).samples(n);
+        for a in assertions {
+            verifier = verifier.assert_that(a);
+        }
+        verifier.run(&mut rng)
+    } else {
+        match verify_source(&source, &inputs, &mut rng) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    };
+
+    let mut failed = false;
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        match &outcome.verdict {
+            Verdict::Passed { max_objective, confidence } => {
+                println!(
+                    "assertion {i}: PASSED (max objective {max_objective:.3e}, confidence {confidence:.3})"
+                );
+            }
+            Verdict::Failed { max_objective, counterexample, .. } => {
+                failed = true;
+                println!("assertion {i}: FAILED (objective {max_objective:.3})");
+                let refined = morphqpv::CounterExample::refine(counterexample);
+                println!(
+                    "  counter-example: dominant basis state |{:b}>, dominance {:.2}",
+                    refined.dominant_basis_state(),
+                    refined.dominance
+                );
+            }
+        }
+    }
+    println!("cost: {}", report.ledger());
+    if failed {
+        1
+    } else {
+        0
+    }
+}

@@ -1,0 +1,160 @@
+//! MorphQPV's faulty-address search for QRAM (Fig 10).
+//!
+//! The Section 7.3 procedure: assert the overall input/output relation,
+//! then binary-search the address space with tracepoints on aligned address
+//! blocks. A probe prepares the uniform superposition over a 2^k-aligned
+//! address block, runs the (possibly corrupted) QRAM, and compares the data
+//! qubit's reduced state against the ideal value mixture for that block;
+//! a distance above threshold means the faulty address is inside.
+
+use morph_linalg::{C64, CMatrix};
+use morph_qalgo::Qram;
+use morph_qprog::{Circuit, Executor, TracepointId};
+use morph_qsim::StateVector;
+
+/// Result of the QRAM bisection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QramSearchResult {
+    /// The corrupted address, if one was found.
+    pub bad_address: Option<usize>,
+    /// Sampled-input executions consumed (the Fig 10 metric).
+    pub executions: u64,
+}
+
+/// Executions to resolve a single wrong angle inside a `block`-sized
+/// mixture at `shots` shots per execution.
+fn probe_cost(block: usize, shots: usize) -> u64 {
+    (((3 * block) as f64 / shots as f64).ceil() as u64).max(1)
+}
+
+/// Ideal data-qubit mixture for a uniform superposition over addresses
+/// `[start, start + len)` of the table.
+fn ideal_block_mixture(qram: &Qram, start: usize, len: usize) -> CMatrix {
+    let mut m = CMatrix::zeros(2, 2);
+    for &theta in &qram.values[start..start + len] {
+        let ket = [C64::real(theta.cos()), C64::real(theta.sin())];
+        m += &CMatrix::outer(&ket, &ket).scale_re(1.0 / len as f64);
+    }
+    m
+}
+
+/// Measured data-qubit state when running `circuit` (a QRAM read circuit on
+/// `qram`'s register) on the uniform superposition over the aligned block
+/// `[start, start + len)`.
+fn probe_block(qram: &Qram, circuit: &Circuit, start: usize, len: usize) -> CMatrix {
+    let n = qram.n_qubits();
+    let n_addr = qram.n_addr;
+    assert!(len.is_power_of_two(), "blocks must be aligned powers of two");
+    assert_eq!(start % len, 0, "blocks must be aligned");
+    let fixed_bits = n_addr - len.trailing_zeros() as usize;
+    let mut prep = Circuit::new(n);
+    for bit in 0..fixed_bits {
+        if (start >> (n_addr - 1 - bit)) & 1 == 1 {
+            prep.x(bit);
+        }
+    }
+    for q in fixed_bits..n_addr {
+        prep.h(q);
+    }
+    prep.extend_from(circuit);
+    prep.tracepoint(1, &[qram.data_qubit()]);
+    Executor::new()
+        .run_expected(&prep, &StateVector::zero_state(n))
+        .state(TracepointId(1))
+        .clone()
+}
+
+/// Runs the bisection against a (possibly corrupted) QRAM read circuit.
+/// Returns the faulty address (if any) and the execution count.
+///
+/// # Panics
+///
+/// Panics if `circuit` does not match `qram`'s register.
+pub fn qram_bisection(qram: &Qram, circuit: &Circuit, shots: usize) -> QramSearchResult {
+    assert_eq!(circuit.n_qubits(), qram.n_qubits(), "register mismatch");
+    let table = qram.values.len();
+    let mut executions = 0u64;
+    // Root probe over the whole table.
+    executions += probe_cost(table, shots);
+    let observed = probe_block(qram, circuit, 0, table);
+    let ideal = ideal_block_mixture(qram, 0, table);
+    let threshold = 0.25 / table as f64;
+    if (&observed - &ideal).frobenius_norm() <= threshold {
+        return QramSearchResult { bad_address: None, executions };
+    }
+    let (mut start, mut len) = (0usize, table);
+    while len > 1 {
+        let half = len / 2;
+        executions += probe_cost(half, shots);
+        let obs = probe_block(qram, circuit, start, half);
+        let ideal_half = ideal_block_mixture(qram, start, half);
+        let t = 0.25 / half as f64;
+        if (&obs - &ideal_half).frobenius_norm() > t {
+            len = half;
+        } else {
+            start += half;
+            len = half;
+        }
+    }
+    QramSearchResult { bad_address: Some(start), executions }
+}
+
+/// Cost projection for an `n_addr`-qubit QRAM with one corrupted entry —
+/// the same accounting without simulation, used to extend Fig 10.
+pub fn qram_bisection_cost(n_addr: usize, shots: usize) -> u64 {
+    let table = 1usize << n_addr;
+    let mut executions = probe_cost(table, shots);
+    let mut len = table;
+    while len > 1 {
+        len /= 2;
+        executions += probe_cost(len, shots);
+    }
+    executions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_qram(n_addr: usize) -> Qram {
+        let values: Vec<f64> = (0..(1 << n_addr))
+            .map(|i| 0.3 + 0.11 * i as f64)
+            .collect();
+        Qram::new(n_addr, values)
+    }
+
+    #[test]
+    fn clean_qram_passes_root_probe() {
+        let qram = sample_qram(3);
+        let result = qram_bisection(&qram, &qram.circuit(), 1000);
+        assert_eq!(result.bad_address, None);
+    }
+
+    #[test]
+    fn corrupted_entry_is_located() {
+        let qram = sample_qram(3);
+        for bad in [0usize, 3, 5, 7] {
+            let circuit = qram.circuit_with_bug(bad, qram.values[bad] + 1.3);
+            let result = qram_bisection(&qram, &circuit, 1000);
+            assert_eq!(result.bad_address, Some(bad), "failed to locate address {bad}");
+        }
+    }
+
+    #[test]
+    fn executions_grow_mildly_with_table_size() {
+        let small = qram_bisection_cost(4, 1000);
+        let large = qram_bisection_cost(10, 1000);
+        assert!(large > small);
+        // Bisection stays far below exhaustive table × shots costs.
+        assert!(large < 100, "bisection at 10 address bits costs {large} executions");
+    }
+
+    #[test]
+    fn measured_cost_matches_model() {
+        let qram = sample_qram(4);
+        let circuit = qram.circuit_with_bug(9, qram.values[9] + 1.0);
+        let result = qram_bisection(&qram, &circuit, 1000);
+        assert_eq!(result.bad_address, Some(9));
+        assert_eq!(result.executions, qram_bisection_cost(4, 1000));
+    }
+}

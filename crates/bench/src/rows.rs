@@ -1,0 +1,95 @@
+//! Minimal aligned table/CSV printing for the experiment binaries.
+
+/// Prints a header and rows as an aligned text table, and returns the same
+/// content as CSV (callers may write it to a file).
+///
+/// # Panics
+///
+/// Panics if any row length differs from the header length.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width mismatch");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    println!("\n=== {title} ===");
+    let fmt_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+    };
+    fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        fmt_row(row);
+    }
+
+    let mut csv = String::new();
+    csv.push_str(&header.join(","));
+    csv.push('\n');
+    for row in rows {
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+    }
+    csv
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e5 || v.abs() < 1e-3 {
+        format!("{v:.2e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Writes CSV content next to the binary outputs (under `target/experiments`).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created or the file cannot be written.
+pub fn save_csv(name: &str, csv: &str) {
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir).expect("create experiments dir");
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, csv).expect("write experiment csv");
+    println!("[saved {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_returns_csv() {
+        let csv = print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["30".into(), "4".into()]],
+        );
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("30,4"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(0.5), "0.500");
+        assert!(fmt_f(1.0e7).contains('e'));
+        assert!(fmt_f(1.0e-5).contains('e'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        let _ = print_table("bad", &["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

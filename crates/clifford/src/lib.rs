@@ -1,0 +1,32 @@
+//! Clifford-group input sampling for the MorphQPV reproduction.
+//!
+//! Section 5.1 of the paper prepares the characterization inputs with
+//! circuits from the orthogonal Clifford group (Hadamard-free layered form,
+//! after Bravyi–Maslov). This crate provides:
+//!
+//! - [`StabilizerTableau`]: an Aaronson–Gottesman tableau used to build and
+//!   sanity-check Clifford circuits.
+//! - [`InputEnsemble`]: the three input families compared in Fig 15(a)
+//!   (basis states, Clifford states, Pauli product eigenstates) with
+//!   preparation circuits and exact prepared states.
+//! - [`span_fraction`]: how much of the operator space an ensemble spans —
+//!   the quantity that drives approximation accuracy (Theorem 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use morph_clifford::{span_fraction, InputEnsemble};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let inputs = InputEnsemble::PauliProduct.generate(2, 16, &mut rng);
+//! assert!((span_fraction(&inputs) - 1.0).abs() < 1e-9);
+//! ```
+
+mod sampling;
+mod tableau;
+
+pub use sampling::{
+    basis_prep, clifford_prep, pauli_product_prep, span_fraction, InputEnsemble, InputState,
+};
+pub use tableau::StabilizerTableau;

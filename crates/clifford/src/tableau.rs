@@ -1,0 +1,240 @@
+//! Aaronson–Gottesman stabilizer tableau.
+//!
+//! Used to generate and validate the Clifford preparation circuits of the
+//! input-sampling stage. The tableau tracks the stabilizer group of the
+//! state produced by a Clifford circuit from `|0…0⟩` in O(n²) space.
+
+/// Stabilizer tableau of an `n`-qubit stabilizer state.
+///
+/// Rows `0..n` are destabilizers, rows `n..2n` are stabilizers, following
+/// Aaronson & Gottesman (2004). Phase bits track ±1 signs.
+///
+/// # Examples
+///
+/// ```
+/// use morph_clifford::StabilizerTableau;
+///
+/// let mut tab = StabilizerTableau::new(2);
+/// tab.h(0);
+/// tab.cx(0, 1);
+/// // Bell state is stabilized by XX and ZZ.
+/// assert!(tab.stabilizer_strings().contains(&"+XX".to_string()));
+/// assert!(tab.stabilizer_strings().contains(&"+ZZ".to_string()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StabilizerTableau {
+    n: usize,
+    /// x part: (2n rows) × n bits.
+    x: Vec<Vec<bool>>,
+    /// z part: (2n rows) × n bits.
+    z: Vec<Vec<bool>>,
+    /// Phase bit per row (true = −1).
+    r: Vec<bool>,
+}
+
+impl StabilizerTableau {
+    /// Tableau of `|0…0⟩`: destabilizers `Xᵢ`, stabilizers `Zᵢ`.
+    pub fn new(n: usize) -> Self {
+        let mut x = vec![vec![false; n]; 2 * n];
+        let mut z = vec![vec![false; n]; 2 * n];
+        for i in 0..n {
+            x[i][i] = true; // destabilizer X_i
+            z[n + i][i] = true; // stabilizer Z_i
+        }
+        StabilizerTableau { n, x, z, r: vec![false; 2 * n] }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Applies a Hadamard on `q`.
+    pub fn h(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            let (xi, zi) = (self.x[i][q], self.z[i][q]);
+            if xi && zi {
+                self.r[i] ^= true;
+            }
+            self.x[i][q] = zi;
+            self.z[i][q] = xi;
+        }
+    }
+
+    /// Applies the phase gate S on `q`.
+    pub fn s(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            let (xi, zi) = (self.x[i][q], self.z[i][q]);
+            if xi && zi {
+                self.r[i] ^= true;
+            }
+            self.z[i][q] ^= xi;
+        }
+    }
+
+    /// Applies CNOT with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t`.
+    pub fn cx(&mut self, c: usize, t: usize) {
+        assert_ne!(c, t, "control equals target");
+        for i in 0..2 * self.n {
+            let (xc, zc) = (self.x[i][c], self.z[i][c]);
+            let (xt, zt) = (self.x[i][t], self.z[i][t]);
+            if xc && zt && (xt == zc) {
+                self.r[i] ^= true;
+            }
+            self.x[i][t] ^= xc;
+            self.z[i][c] ^= zt;
+        }
+    }
+
+    /// Applies Pauli X on `q` (phase bookkeeping only).
+    pub fn x_gate(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            if self.z[i][q] {
+                self.r[i] ^= true;
+            }
+        }
+    }
+
+    /// Applies Pauli Z on `q`.
+    pub fn z_gate(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            if self.x[i][q] {
+                self.r[i] ^= true;
+            }
+        }
+    }
+
+    /// The stabilizer generators as strings like `"+XZI"`.
+    pub fn stabilizer_strings(&self) -> Vec<String> {
+        (self.n..2 * self.n).map(|i| self.row_string(i)).collect()
+    }
+
+    fn row_string(&self, i: usize) -> String {
+        let mut s = String::with_capacity(self.n + 1);
+        s.push(if self.r[i] { '-' } else { '+' });
+        for q in 0..self.n {
+            s.push(match (self.x[i][q], self.z[i][q]) {
+                (false, false) => 'I',
+                (true, false) => 'X',
+                (false, true) => 'Z',
+                (true, true) => 'Y',
+            });
+        }
+        s
+    }
+
+    /// `true` if the stabilizer rows are independent (they always should be
+    /// after valid updates); used as an internal consistency check.
+    pub fn stabilizers_independent(&self) -> bool {
+        // Gaussian elimination over GF(2) on the (x|z) stabilizer rows.
+        let n = self.n;
+        let mut rows: Vec<Vec<bool>> = (n..2 * n)
+            .map(|i| {
+                let mut row = self.x[i].clone();
+                row.extend(self.z[i].iter().copied());
+                row
+            })
+            .collect();
+        let mut rank = 0;
+        for col in 0..2 * n {
+            if let Some(pivot) = (rank..n).find(|&r| rows[r][col]) {
+                rows.swap(rank, pivot);
+                for r in 0..n {
+                    if r != rank && rows[r][col] {
+                        let (head, tail) = rows.split_at_mut(rank.max(r));
+                        let (a, b) = if r < rank {
+                            (&mut head[r], &tail[0])
+                        } else {
+                            (&mut tail[0], &head[rank])
+                        };
+                        for c in 0..2 * n {
+                            a[c] ^= b[c];
+                        }
+                    }
+                }
+                rank += 1;
+                if rank == n {
+                    break;
+                }
+            }
+        }
+        rank == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_stabilized_by_z() {
+        let tab = StabilizerTableau::new(3);
+        assert_eq!(
+            tab.stabilizer_strings(),
+            vec!["+ZII".to_string(), "+IZI".to_string(), "+IIZ".to_string()]
+        );
+        assert!(tab.stabilizers_independent());
+    }
+
+    #[test]
+    fn hadamard_turns_z_into_x() {
+        let mut tab = StabilizerTableau::new(1);
+        tab.h(0);
+        assert_eq!(tab.stabilizer_strings(), vec!["+X".to_string()]);
+        tab.h(0);
+        assert_eq!(tab.stabilizer_strings(), vec!["+Z".to_string()]);
+    }
+
+    #[test]
+    fn s_gate_turns_x_into_y() {
+        let mut tab = StabilizerTableau::new(1);
+        tab.h(0);
+        tab.s(0);
+        assert_eq!(tab.stabilizer_strings(), vec!["+Y".to_string()]);
+    }
+
+    #[test]
+    fn x_gate_flips_z_phase() {
+        let mut tab = StabilizerTableau::new(1);
+        tab.x_gate(0);
+        assert_eq!(tab.stabilizer_strings(), vec!["-Z".to_string()]);
+    }
+
+    #[test]
+    fn ghz_stabilizers() {
+        let mut tab = StabilizerTableau::new(3);
+        tab.h(0);
+        tab.cx(0, 1);
+        tab.cx(1, 2);
+        let stabs = tab.stabilizer_strings();
+        assert!(stabs.contains(&"+XXX".to_string()), "{stabs:?}");
+        assert!(tab.stabilizers_independent());
+    }
+
+    #[test]
+    fn random_walk_preserves_independence() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut tab = StabilizerTableau::new(5);
+        for _ in 0..200 {
+            match rng.gen_range(0..3) {
+                0 => tab.h(rng.gen_range(0..5)),
+                1 => tab.s(rng.gen_range(0..5)),
+                _ => {
+                    let c = rng.gen_range(0..5);
+                    let mut t = rng.gen_range(0..5);
+                    while t == c {
+                        t = rng.gen_range(0..5);
+                    }
+                    tab.cx(c, t);
+                }
+            }
+        }
+        assert!(tab.stabilizers_independent());
+    }
+}

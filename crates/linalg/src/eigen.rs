@@ -1,0 +1,255 @@
+//! Hermitian eigendecomposition via the cyclic complex Jacobi method.
+//!
+//! Density matrices are Hermitian and at most a few hundred rows in the
+//! experiments, so a robust O(n³)-per-sweep Jacobi solver is both simple and
+//! fast enough. Eigenvalues come back sorted in descending order together
+//! with the unitary of column eigenvectors.
+
+use crate::complex::C64;
+use crate::matrix::CMatrix;
+
+/// Result of a Hermitian eigendecomposition: `A = V · diag(λ) · V†`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, sorted in descending order. Real because `A` is Hermitian.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose `k`-th column is the eigenvector of `values[k]`.
+    pub vectors: CMatrix,
+}
+
+impl EigenDecomposition {
+    /// Reconstructs `V · diag(λ) · V†`; useful for testing and for spectral
+    /// functions of the matrix.
+    pub fn reconstruct(&self) -> CMatrix {
+        reconstruct_with(&self.values, &self.vectors, |x| x)
+    }
+
+    /// Applies `f` to the spectrum and reconstructs `V · diag(f(λ)) · V†`.
+    pub fn map_spectrum(&self, f: impl Fn(f64) -> f64) -> CMatrix {
+        reconstruct_with(&self.values, &self.vectors, f)
+    }
+
+    /// Returns the `k`-th eigenvector as an owned column.
+    pub fn vector(&self, k: usize) -> Vec<C64> {
+        (0..self.vectors.rows()).map(|r| self.vectors[(r, k)]).collect()
+    }
+}
+
+fn reconstruct_with(values: &[f64], vectors: &CMatrix, f: impl Fn(f64) -> f64) -> CMatrix {
+    let n = values.len();
+    let mut out = CMatrix::zeros(n, n);
+    for k in 0..n {
+        let fv = f(values[k]);
+        if fv == 0.0 {
+            continue;
+        }
+        for r in 0..n {
+            let vr = vectors[(r, k)];
+            if vr == C64::ZERO {
+                continue;
+            }
+            for c in 0..n {
+                out[(r, c)] += (vr * vectors[(c, k)].conj()).scale(fv);
+            }
+        }
+    }
+    out
+}
+
+/// Computes the eigendecomposition of a Hermitian matrix.
+///
+/// The input is symmetrized as `(A + A†)/2` first, so small Hermiticity
+/// violations from floating-point noise are tolerated.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use morph_linalg::{CMatrix, C64, eigh};
+///
+/// let z = CMatrix::from_rows(&[
+///     &[C64::ONE, C64::ZERO],
+///     &[C64::ZERO, -C64::ONE],
+/// ]);
+/// let eig = eigh(&z);
+/// assert!((eig.values[0] - 1.0).abs() < 1e-12);
+/// assert!((eig.values[1] + 1.0).abs() < 1e-12);
+/// ```
+pub fn eigh(a: &CMatrix) -> EigenDecomposition {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    let n = a.rows();
+    // Symmetrize to guard against rounding noise.
+    let mut m = CMatrix::from_fn(n, n, |r, c| (a[(r, c)] + a[(c, r)].conj()).scale(0.5));
+    let mut v = CMatrix::identity(n);
+
+    let tol = 1e-14 * m.frobenius_norm().max(1.0);
+    const MAX_SWEEPS: usize = 100;
+
+    for _ in 0..MAX_SWEEPS {
+        let off = off_diagonal_norm(&m);
+        if off <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                jacobi_rotate(&mut m, &mut v, p, q);
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, usize)> =
+        (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
+    let vectors = CMatrix::from_fn(n, n, |r, c| v[(r, pairs[c].1)]);
+    EigenDecomposition { values, vectors }
+}
+
+fn off_diagonal_norm(m: &CMatrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for r in 0..n {
+        for c in 0..n {
+            if r != c {
+                s += m[(r, c)].norm_sqr();
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// One complex Jacobi rotation zeroing `m[(p, q)]`, applied two-sided to `m`
+/// and accumulated one-sided into `v`.
+fn jacobi_rotate(m: &mut CMatrix, v: &mut CMatrix, p: usize, q: usize) {
+    let apq = m[(p, q)];
+    if apq.abs() < 1e-300 {
+        return;
+    }
+    let app = m[(p, p)].re;
+    let aqq = m[(q, q)].re;
+
+    // Phase that makes the pivot real and positive: apq = |apq| e^{iφ}.
+    let phi = apq.arg();
+    let abs_apq = apq.abs();
+
+    // Real Jacobi angle for the 2×2 block [[app, |apq|], [|apq|, aqq]].
+    let theta = 0.5 * (2.0 * abs_apq).atan2(app - aqq);
+    let c = theta.cos();
+    let s = theta.sin();
+
+    // Column rotation: G acts on columns p, q with
+    //   new_p =  c·e^{-iφ/…}·p − s·…·q — we use the standard form below.
+    let e_pos = C64::cis(phi); // e^{iφ}
+
+    let n = m.rows();
+    // Apply from the right: M ← M · G where
+    //   G[p,p]=c, G[q,p]=s·e^{-iφ}, G[p,q]=−s·e^{iφ}, G[q,q]=c.
+    for r in 0..n {
+        let mrp = m[(r, p)];
+        let mrq = m[(r, q)];
+        m[(r, p)] = mrp.scale(c) + mrq * e_pos.conj().scale(s);
+        m[(r, q)] = mrq.scale(c) - mrp * e_pos.scale(s);
+    }
+    // Apply from the left: M ← G† · M.
+    for cidx in 0..n {
+        let mpc = m[(p, cidx)];
+        let mqc = m[(q, cidx)];
+        m[(p, cidx)] = mpc.scale(c) + mqc * e_pos.scale(s);
+        m[(q, cidx)] = mqc.scale(c) - mpc * e_pos.conj().scale(s);
+    }
+    // Accumulate eigenvectors: V ← V · G.
+    for r in 0..n {
+        let vrp = v[(r, p)];
+        let vrq = v[(r, q)];
+        v[(r, p)] = vrp.scale(c) + vrq * e_pos.conj().scale(s);
+        v[(r, q)] = vrq.scale(c) - vrp * e_pos.scale(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_hermitian(n: usize, rng: &mut StdRng) -> CMatrix {
+        let raw = CMatrix::from_fn(n, n, |_, _| {
+            C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        CMatrix::from_fn(n, n, |r, c| (raw[(r, c)] + raw[(c, r)].conj()).scale(0.5))
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_spectrum() {
+        let d = CMatrix::from_diag(&[C64::real(3.0), C64::real(-1.0), C64::real(0.5)]);
+        let eig = eigh(&d);
+        assert!((eig.values[0] - 3.0).abs() < 1e-12);
+        assert!((eig.values[1] - 0.5).abs() < 1e-12);
+        assert!((eig.values[2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_y_spectrum() {
+        let y = CMatrix::from_rows(&[&[C64::ZERO, -C64::I], &[C64::I, C64::ZERO]]);
+        let eig = eigh(&y);
+        assert!((eig.values[0] - 1.0).abs() < 1e-10);
+        assert!((eig.values[1] + 1.0).abs() < 1e-10);
+        assert!(eig.vectors.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn reconstruction_roundtrip_random() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [2usize, 3, 5, 8] {
+            let a = random_hermitian(n, &mut rng);
+            let eig = eigh(&a);
+            assert!(
+                eig.reconstruct().approx_eq(&a, 1e-9),
+                "reconstruction failed for n={n}"
+            );
+            assert!(eig.vectors.is_unitary(1e-9));
+            // Sorted descending.
+            for w in eig.values.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvector_equation_holds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = random_hermitian(6, &mut rng);
+        let eig = eigh(&a);
+        for k in 0..6 {
+            let v = eig.vector(k);
+            let av = a.matvec(&v);
+            for i in 0..6 {
+                let expect = v[i].scale(eig.values[k]);
+                assert!(av[i].approx_eq(expect, 1e-8), "Av != λv at k={k}, i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_spectrum_square_of_projector() {
+        // P = |+><+| has eigenvalues {1, 0}; squaring the spectrum is a no-op.
+        let h = 1.0 / 2f64.sqrt();
+        let plus = [C64::real(h), C64::real(h)];
+        let p = CMatrix::outer(&plus, &plus);
+        let eig = eigh(&p);
+        assert!(eig.map_spectrum(|x| x * x).approx_eq(&p, 1e-10));
+    }
+
+    #[test]
+    fn trace_preserved_by_spectrum() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_hermitian(7, &mut rng);
+        let eig = eigh(&a);
+        let spectral_sum: f64 = eig.values.iter().sum();
+        assert!((spectral_sum - a.trace().re).abs() < 1e-9);
+    }
+}

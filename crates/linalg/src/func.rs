@@ -1,0 +1,245 @@
+//! Spectral matrix functions and state-comparison metrics.
+//!
+//! These are the quantities MorphQPV's predicates and accuracy model are
+//! built from: purity, fidelity, Hilbert–Schmidt accuracy, PSD projection
+//! (used after noisy tomography), and the principal square root.
+
+use crate::eigen::eigh;
+use crate::matrix::CMatrix;
+
+/// Purity `tr(ρ²)` of a density matrix. Equals 1 exactly for pure states and
+/// `1/d ≤ tr(ρ²) < 1` for mixed states.
+///
+/// # Panics
+///
+/// Panics if `rho` is not square.
+pub fn purity(rho: &CMatrix) -> f64 {
+    rho.matmul(rho).trace().re
+}
+
+/// The paper's purity-defect objective `‖ρρ† − ρ‖`, which is 0 iff `ρ` is a
+/// pure state (for a valid density matrix).
+pub fn purity_defect(rho: &CMatrix) -> f64 {
+    (&rho.matmul(&rho.dagger()) - rho).frobenius_norm()
+}
+
+/// Principal square root of a positive semi-definite Hermitian matrix,
+/// computed spectrally. Negative eigenvalues from rounding are clamped to 0.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn sqrt_psd(a: &CMatrix) -> CMatrix {
+    eigh(a).map_spectrum(|x| x.max(0.0).sqrt())
+}
+
+/// Projects a Hermitian matrix onto the set of density matrices: clips
+/// negative eigenvalues and renormalizes the trace to 1.
+///
+/// Used after finite-shot tomography, whose linear-inversion estimate is
+/// Hermitian but often slightly non-PSD.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or its positive part has zero trace.
+pub fn project_to_density(a: &CMatrix) -> CMatrix {
+    let eig = eigh(a);
+    let clipped: Vec<f64> = eig.values.iter().map(|&x| x.max(0.0)).collect();
+    let total: f64 = clipped.iter().sum();
+    assert!(total > 1e-12, "matrix has no positive spectral weight");
+    let n = a.rows();
+    let mut out = CMatrix::zeros(n, n);
+    for k in 0..n {
+        let w = clipped[k] / total;
+        if w == 0.0 {
+            continue;
+        }
+        for r in 0..n {
+            let vr = eig.vectors[(r, k)];
+            for c in 0..n {
+                out[(r, c)] += (vr * eig.vectors[(c, k)].conj()).scale(w);
+            }
+        }
+    }
+    out
+}
+
+/// Uhlmann fidelity `F(ρ, σ) = [tr √(√ρ σ √ρ)]²` between density matrices.
+///
+/// For a pure `ρ = |ψ⟩⟨ψ|` this reduces to `⟨ψ|σ|ψ⟩`.
+///
+/// # Panics
+///
+/// Panics if shapes differ or the matrices are not square.
+pub fn fidelity(rho: &CMatrix, sigma: &CMatrix) -> f64 {
+    assert_eq!(rho.rows(), sigma.rows(), "fidelity shape mismatch");
+    let sr = sqrt_psd(rho);
+    let inner = sr.matmul(sigma).matmul(&sr);
+    let eig = eigh(&inner);
+    let t: f64 = eig.values.iter().map(|&x| x.max(0.0).sqrt()).sum();
+    (t * t).clamp(0.0, 1.0)
+}
+
+/// The paper's approximation-accuracy metric (Theorem 2 proof):
+/// `acc = tr(√(ρ_approx · ρ_truth))²`, a fidelity-style overlap that is 1
+/// when the approximation matches the ground truth.
+///
+/// The approximation may be non-PSD (it is a signed linear combination), so
+/// the product spectrum is clamped at zero before the square root.
+pub fn hs_accuracy(approx: &CMatrix, truth: &CMatrix) -> f64 {
+    assert_eq!(approx.rows(), truth.rows(), "hs_accuracy shape mismatch");
+    let prod = approx.matmul(truth);
+    // For Hermitian A, B the product has real spectrum if either is PSD;
+    // symmetrize to stay within the Hermitian eigensolver's domain.
+    let sym = CMatrix::from_fn(prod.rows(), prod.cols(), |r, c| {
+        (prod[(r, c)] + prod[(c, r)].conj()).scale(0.5)
+    });
+    let eig = eigh(&sym);
+    let t: f64 = eig.values.iter().map(|&x| x.max(0.0).sqrt()).sum();
+    (t * t).clamp(0.0, 1.0 + 1e-9).min(1.0)
+}
+
+/// Trace distance `½ tr|ρ − σ|`.
+pub fn trace_distance(rho: &CMatrix, sigma: &CMatrix) -> f64 {
+    let d = rho - sigma;
+    let eig = eigh(&d);
+    0.5 * eig.values.iter().map(|x| x.abs()).sum::<f64>()
+}
+
+/// Expectation `tr(O ρ).re` of a Hermitian observable on a state.
+pub fn expectation(observable: &CMatrix, rho: &CMatrix) -> f64 {
+    observable.matmul(rho).trace().re
+}
+
+/// Von Neumann entropy `−Σ λ log₂ λ` of a density matrix.
+pub fn von_neumann_entropy(rho: &CMatrix) -> f64 {
+    eigh(rho)
+        .values
+        .iter()
+        .filter(|&&l| l > 1e-15)
+        .map(|&l| -l * l.log2())
+        .sum()
+}
+
+/// `true` if `rho` is a valid density matrix to tolerance `tol`: Hermitian,
+/// unit trace, and PSD.
+pub fn is_density_matrix(rho: &CMatrix, tol: f64) -> bool {
+    if !rho.is_square() || !rho.is_hermitian(tol) {
+        return false;
+    }
+    if (rho.trace().re - 1.0).abs() > tol || rho.trace().im.abs() > tol {
+        return false;
+    }
+    eigh(rho).values.iter().all(|&l| l >= -tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+
+    fn ket(v: &[C64]) -> CMatrix {
+        CMatrix::outer(v, v)
+    }
+
+    fn zero() -> CMatrix {
+        ket(&[C64::ONE, C64::ZERO])
+    }
+
+    fn one() -> CMatrix {
+        ket(&[C64::ZERO, C64::ONE])
+    }
+
+    fn plus() -> CMatrix {
+        let h = 1.0 / 2f64.sqrt();
+        ket(&[C64::real(h), C64::real(h)])
+    }
+
+    fn maximally_mixed(d: usize) -> CMatrix {
+        CMatrix::identity(d).scale_re(1.0 / d as f64)
+    }
+
+    #[test]
+    fn purity_bounds() {
+        assert!((purity(&zero()) - 1.0).abs() < 1e-12);
+        assert!((purity(&maximally_mixed(2)) - 0.5).abs() < 1e-12);
+        assert!(purity_defect(&plus()) < 1e-12);
+        assert!(purity_defect(&maximally_mixed(2)) > 0.1);
+    }
+
+    #[test]
+    fn sqrt_of_projector_is_projector() {
+        let p = plus();
+        assert!(sqrt_psd(&p).approx_eq(&p, 1e-9));
+        let m = maximally_mixed(2);
+        let s = sqrt_psd(&m);
+        assert!(s.matmul(&s).approx_eq(&m, 1e-9));
+    }
+
+    #[test]
+    fn fidelity_extremes() {
+        assert!((fidelity(&zero(), &zero()) - 1.0).abs() < 1e-9);
+        assert!(fidelity(&zero(), &one()) < 1e-9);
+        // <0|+>² = 1/2.
+        assert!((fidelity(&zero(), &plus()) - 0.5).abs() < 1e-9);
+        // Symmetric.
+        assert!((fidelity(&plus(), &zero()) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fidelity_with_mixed_state() {
+        let m = maximally_mixed(2);
+        // F(|0><0|, I/2) = 1/2.
+        assert!((fidelity(&zero(), &m) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hs_accuracy_perfect_match() {
+        assert!((hs_accuracy(&plus(), &plus()) - 1.0).abs() < 1e-9);
+        assert!(hs_accuracy(&zero(), &one()) < 1e-9);
+    }
+
+    #[test]
+    fn trace_distance_extremes() {
+        assert!(trace_distance(&zero(), &zero()) < 1e-12);
+        assert!((trace_distance(&zero(), &one()) - 1.0).abs() < 1e-9);
+        assert!((trace_distance(&zero(), &maximally_mixed(2)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_repairs_nonpsd_estimate() {
+        // A tomography-style estimate with a small negative eigenvalue.
+        let est = CMatrix::from_rows(&[
+            &[C64::real(1.05), C64::real(0.1)],
+            &[C64::real(0.1), C64::real(-0.05)],
+        ]);
+        let rho = project_to_density(&est);
+        assert!(is_density_matrix(&rho, 1e-9));
+    }
+
+    #[test]
+    fn expectation_of_z() {
+        let z = CMatrix::from_rows(&[&[C64::ONE, C64::ZERO], &[C64::ZERO, -C64::ONE]]);
+        assert!((expectation(&z, &zero()) - 1.0).abs() < 1e-12);
+        assert!((expectation(&z, &one()) + 1.0).abs() < 1e-12);
+        assert!(expectation(&z, &plus()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_pure_and_mixed() {
+        assert!(von_neumann_entropy(&zero()) < 1e-9);
+        assert!((von_neumann_entropy(&maximally_mixed(2)) - 1.0).abs() < 1e-9);
+        assert!((von_neumann_entropy(&maximally_mixed(4)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_matrix_validation() {
+        assert!(is_density_matrix(&plus(), 1e-9));
+        assert!(is_density_matrix(&maximally_mixed(4), 1e-9));
+        // Trace 2 is invalid.
+        assert!(!is_density_matrix(&CMatrix::identity(2), 1e-9));
+        // Non-Hermitian is invalid.
+        let bad = CMatrix::from_rows(&[&[C64::ONE, C64::I], &[C64::I, C64::ZERO]]);
+        assert!(!is_density_matrix(&bad, 1e-9));
+    }
+}

@@ -1,0 +1,188 @@
+//! Assume–guarantee assertions over tracepoint states (Definition 1).
+
+use morph_qprog::TracepointId;
+
+use crate::predicate::{RelationPredicate, StatePredicate};
+
+/// A reference to a verified state: either a tracepoint capture or the
+/// program input itself (which the approximation represents exactly as
+/// `Σ αᵢ σ_in,i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StateRef {
+    /// The reconstructed program input on the input qubits.
+    Input,
+    /// The state captured at a tracepoint.
+    Tracepoint(TracepointId),
+}
+
+impl From<TracepointId> for StateRef {
+    fn from(id: TracepointId) -> Self {
+        StateRef::Tracepoint(id)
+    }
+}
+
+impl std::fmt::Display for StateRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateRef::Input => write!(f, "ρ_in"),
+            StateRef::Tracepoint(id) => write!(f, "ρ_{id}"),
+        }
+    }
+}
+
+/// The guarantee clause: a single-state predicate or a two-state relation.
+#[derive(Debug, Clone)]
+pub enum Guarantee {
+    /// `P(ρ)` on one state.
+    Single(StateRef, StatePredicate),
+    /// `P(ρ₁, ρ₂)` relating two states — possibly at different program
+    /// times, the capability prior assertion schemes lack.
+    Relation(StateRef, StateRef, RelationPredicate),
+}
+
+impl Guarantee {
+    /// The states this guarantee reads.
+    pub fn state_refs(&self) -> Vec<StateRef> {
+        match self {
+            Guarantee::Single(s, _) => vec![*s],
+            Guarantee::Relation(a, b, _) => vec![*a, *b],
+        }
+    }
+}
+
+/// An assume–guarantee assertion (Definition 1):
+/// when every assumption `Pₖ(ρ) ≤ 0` holds, the guarantee must hold too.
+/// The assertion **fails** iff some input satisfies all assumptions while
+/// violating the guarantee.
+///
+/// # Examples
+///
+/// The teleportation assertion of Equation 7 — pure input and output must
+/// be equal:
+///
+/// ```
+/// use morph_qprog::TracepointId;
+/// use morphqpv::{AssumeGuarantee, Guarantee, RelationPredicate, StatePredicate, StateRef};
+///
+/// let assertion = AssumeGuarantee::new()
+///     .assume(StateRef::Tracepoint(TracepointId(1)), StatePredicate::IsPure)
+///     .assume(StateRef::Tracepoint(TracepointId(2)), StatePredicate::IsPure)
+///     .guarantee(Guarantee::Relation(
+///         StateRef::Tracepoint(TracepointId(1)),
+///         StateRef::Tracepoint(TracepointId(2)),
+///         RelationPredicate::Equal,
+///     ));
+/// assert_eq!(assertion.assumptions().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AssumeGuarantee {
+    assumptions: Vec<(StateRef, StatePredicate)>,
+    guarantee: Option<Guarantee>,
+}
+
+impl AssumeGuarantee {
+    /// An empty assertion; add assumptions and a guarantee with the builder
+    /// methods.
+    pub fn new() -> Self {
+        AssumeGuarantee { assumptions: Vec::new(), guarantee: None }
+    }
+
+    /// Adds an assumption `P(ρ_state) ≤ 0`.
+    pub fn assume(mut self, state: impl Into<StateRef>, predicate: StatePredicate) -> Self {
+        self.assumptions.push((state.into(), predicate));
+        self
+    }
+
+    /// Sets the guarantee clause.
+    pub fn guarantee(mut self, guarantee: Guarantee) -> Self {
+        self.guarantee = Some(guarantee);
+        self
+    }
+
+    /// Shorthand: guarantee a single-state predicate.
+    pub fn guarantee_state(self, state: impl Into<StateRef>, predicate: StatePredicate) -> Self {
+        self.guarantee(Guarantee::Single(state.into(), predicate))
+    }
+
+    /// Shorthand: guarantee a relation between two states.
+    pub fn guarantee_relation(
+        self,
+        a: impl Into<StateRef>,
+        b: impl Into<StateRef>,
+        predicate: RelationPredicate,
+    ) -> Self {
+        self.guarantee(Guarantee::Relation(a.into(), b.into(), predicate))
+    }
+
+    /// The assumption clauses.
+    pub fn assumptions(&self) -> &[(StateRef, StatePredicate)] {
+        &self.assumptions
+    }
+
+    /// The guarantee clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no guarantee was set — an assertion without a guarantee is
+    /// a construction error.
+    pub fn guarantee_clause(&self) -> &Guarantee {
+        self.guarantee
+            .as_ref()
+            .expect("assertion has no guarantee clause")
+    }
+
+    /// `true` once a guarantee has been set.
+    pub fn is_complete(&self) -> bool {
+        self.guarantee.is_some()
+    }
+
+    /// Every state the assertion references (assumptions + guarantee).
+    pub fn state_refs(&self) -> Vec<StateRef> {
+        let mut refs: Vec<StateRef> = self.assumptions.iter().map(|(s, _)| *s).collect();
+        if let Some(g) = &self.guarantee {
+            refs.extend(g.state_refs());
+        }
+        refs.sort();
+        refs.dedup();
+        refs
+    }
+}
+
+impl Default for AssumeGuarantee {
+    fn default() -> Self {
+        AssumeGuarantee::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_qprog::TracepointId;
+
+    #[test]
+    fn builder_collects_clauses() {
+        let a = AssumeGuarantee::new()
+            .assume(TracepointId(1), StatePredicate::IsPure)
+            .assume(StateRef::Input, StatePredicate::IsPure)
+            .guarantee_relation(TracepointId(1), TracepointId(2), RelationPredicate::Equal);
+        assert_eq!(a.assumptions().len(), 2);
+        assert!(a.is_complete());
+        let refs = a.state_refs();
+        assert!(refs.contains(&StateRef::Input));
+        assert!(refs.contains(&StateRef::Tracepoint(TracepointId(2))));
+        assert_eq!(refs.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no guarantee")]
+    fn missing_guarantee_panics_on_access() {
+        let a = AssumeGuarantee::new().assume(TracepointId(1), StatePredicate::IsPure);
+        let _ = a.guarantee_clause();
+    }
+
+    #[test]
+    fn display_of_state_refs() {
+        assert_eq!(StateRef::Input.to_string(), "ρ_in");
+        assert_eq!(StateRef::Tracepoint(TracepointId(3)).to_string(), "ρ_T3");
+    }
+}

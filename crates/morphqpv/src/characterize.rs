@@ -1,0 +1,286 @@
+//! Program characterization (Section 5): input sampling + tracepoint
+//! readout, producing one [`ApproximationFunction`] per tracepoint.
+
+use std::collections::BTreeMap;
+
+use morph_clifford::{InputEnsemble, InputState};
+use morph_linalg::CMatrix;
+use morph_qprog::{Circuit, Executor, TracepointId};
+use morph_qsim::{DensityMatrix, NoiseModel, StateVector};
+use morph_tomography::{read_state, CostLedger, ReadoutMode};
+use rand::rngs::StdRng;
+
+use crate::approx::ApproximationFunction;
+
+/// Configuration of the characterization stage.
+#[derive(Debug, Clone)]
+pub struct CharacterizationConfig {
+    /// Number of sampled inputs (`N_sample`).
+    pub n_samples: usize,
+    /// Which input family to sample (Fig 15(a) ablation).
+    pub ensemble: InputEnsemble,
+    /// How tracepoint states are read out (exact / tomography /
+    /// probabilities-only for Strategy-prop).
+    pub readout: ReadoutMode,
+    /// Qubits carrying the program input; the rest start in `|0⟩`.
+    pub input_qubits: Vec<usize>,
+    /// Hardware noise model applied during sampling runs.
+    pub noise: NoiseModel,
+}
+
+impl CharacterizationConfig {
+    /// A noiseless, exact-readout configuration with Clifford inputs on the
+    /// given qubits — the common case in the evaluation.
+    pub fn exact(input_qubits: Vec<usize>, n_samples: usize) -> Self {
+        CharacterizationConfig {
+            n_samples,
+            ensemble: InputEnsemble::Clifford,
+            readout: ReadoutMode::Exact,
+            input_qubits,
+            noise: NoiseModel::noiseless(),
+        }
+    }
+
+    /// The paper's Theorem 2 sample budget for 100 % accuracy:
+    /// `2^(N_in + 1)`.
+    pub fn paper_full_budget(n_in: usize) -> usize {
+        1usize << (n_in + 1)
+    }
+}
+
+/// The output of characterization: sampled inputs, per-tracepoint sampled
+/// states, the fitted approximation functions, and the cost ledger.
+#[derive(Debug, Clone)]
+pub struct Characterization {
+    /// The sampled inputs (on the input qubits).
+    pub inputs: Vec<InputState>,
+    /// Captured tracepoint states per sample, per tracepoint.
+    pub traces: BTreeMap<TracepointId, Vec<CMatrix>>,
+    /// Execution costs incurred.
+    pub ledger: CostLedger,
+}
+
+impl Characterization {
+    /// Builds the approximation function for a tracepoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracepoint was not captured.
+    pub fn approximation(&self, id: TracepointId) -> ApproximationFunction {
+        let traces = self
+            .traces
+            .get(&id)
+            .unwrap_or_else(|| panic!("tracepoint {id} was not captured"));
+        let inputs: Vec<CMatrix> = self.inputs.iter().map(|i| i.rho.clone()).collect();
+        ApproximationFunction::new(inputs, traces.clone())
+            .expect("characterization produced consistent shapes")
+    }
+
+    /// Approximation functions for every captured tracepoint.
+    pub fn all_approximations(&self) -> BTreeMap<TracepointId, ApproximationFunction> {
+        self.traces
+            .keys()
+            .map(|&id| (id, self.approximation(id)))
+            .collect()
+    }
+}
+
+/// Runs the characterization: samples inputs, executes the program per
+/// input (exactly, or with channel noise for small registers), reads each
+/// tracepoint through the configured tomography mode, and accounts costs.
+///
+/// # Panics
+///
+/// Panics if the circuit has no tracepoints, the input qubits are invalid,
+/// or a noisy run is requested for a register too large for density-matrix
+/// simulation (> 12 qubits).
+pub fn characterize(
+    circuit: &Circuit,
+    config: &CharacterizationConfig,
+    rng: &mut StdRng,
+) -> Characterization {
+    assert!(
+        !circuit.tracepoints().is_empty(),
+        "program has no tracepoints to characterize"
+    );
+    let n = circuit.n_qubits();
+    let n_in = config.input_qubits.len();
+    assert!(n_in > 0, "no input qubits configured");
+    for &q in &config.input_qubits {
+        assert!(q < n, "input qubit {q} out of range");
+    }
+
+    let inputs = config.ensemble.generate(n_in, config.n_samples, rng);
+    characterize_with_inputs(circuit, config, inputs, rng)
+}
+
+/// Characterization with an explicit input set — used by Strategy-adapt,
+/// which picks eigenvector inputs instead of sampling an ensemble.
+///
+/// # Panics
+///
+/// See [`characterize`].
+pub fn characterize_with_inputs(
+    circuit: &Circuit,
+    config: &CharacterizationConfig,
+    inputs: Vec<InputState>,
+    rng: &mut StdRng,
+) -> Characterization {
+    let n = circuit.n_qubits();
+    let ops_per_shot = circuit.op_cost() as u64;
+    let mut ledger = CostLedger::new();
+    let mut traces: BTreeMap<TracepointId, Vec<CMatrix>> = BTreeMap::new();
+    let executor = if config.noise.is_noiseless() {
+        Executor::new()
+    } else {
+        Executor::with_noise(config.noise)
+    };
+
+    for input in &inputs {
+        // Embed the prepared input into the full register and run.
+        let prep = input.prep.remap_qubits(&config.input_qubits, n);
+        let mut full = Circuit::with_cbits(n, circuit.n_cbits());
+        full.extend_from(&prep);
+        full.extend_from(circuit);
+
+        let record = if config.noise.is_noiseless() {
+            executor.run_expected(&full, &StateVector::zero_state(n))
+        } else {
+            assert!(
+                n <= 12,
+                "noisy characterization needs density-matrix simulation (≤ 12 qubits)"
+            );
+            executor.run_expected_noisy(&full, &DensityMatrix::zero_state(n))
+        };
+
+        for (id, rho) in &record.tracepoints {
+            let observed = read_state(rho, config.readout, ops_per_shot, &mut ledger, rng);
+            traces.entry(*id).or_default().push(observed);
+        }
+    }
+
+    Characterization { inputs, traces, ledger }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_qprog::TracepointId;
+    use rand::SeedableRng;
+
+    /// Two-qubit program: input on qubit 0, tracepoint after an H–CX block.
+    fn sample_program() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.tracepoint(1, &[0]);
+        c.h(1).cx(0, 1);
+        c.tracepoint(2, &[0, 1]);
+        c
+    }
+
+    #[test]
+    fn characterize_captures_all_tracepoints() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let config = CharacterizationConfig::exact(vec![0], 4);
+        let ch = characterize(&sample_program(), &config, &mut rng);
+        assert_eq!(ch.inputs.len(), 4);
+        assert_eq!(ch.traces.len(), 2);
+        assert_eq!(ch.traces[&TracepointId(1)].len(), 4);
+        assert_eq!(ch.ledger.executions, 8, "one exact readout per tracepoint per input");
+    }
+
+    #[test]
+    fn tracepoint_one_reproduces_input() {
+        // T1 is on the input qubit before any gate touches it, so the
+        // captured state equals the sampled input.
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = CharacterizationConfig::exact(vec![0], 6);
+        let ch = characterize(&sample_program(), &config, &mut rng);
+        for (input, captured) in ch.inputs.iter().zip(&ch.traces[&TracepointId(1)]) {
+            assert!(input.rho.approx_eq(captured, 1e-10));
+        }
+    }
+
+    #[test]
+    fn approximation_predicts_unseen_inputs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = CharacterizationConfig {
+            n_samples: 4,
+            ensemble: InputEnsemble::PauliProduct, // spans the 1-qubit space
+            ..CharacterizationConfig::exact(vec![0], 4)
+        };
+        let circuit = sample_program();
+        let ch = characterize(&circuit, &config, &mut rng);
+        let f = ch.approximation(TracepointId(2));
+
+        // Ground truth for a fresh input.
+        let test = InputEnsemble::Clifford.generate(1, 3, &mut rng);
+        for t in &test {
+            let prep = t.prep.remap_qubits(&[0], 2);
+            let mut full = Circuit::new(2);
+            full.extend_from(&prep);
+            full.extend_from(&circuit);
+            let truth = Executor::new()
+                .run_expected(&full, &StateVector::zero_state(2))
+                .state(TracepointId(2))
+                .clone();
+            let predicted = f.predict(&t.rho).unwrap();
+            assert!(
+                predicted.approx_eq(&truth, 1e-8),
+                "prediction mismatch for a spanned input"
+            );
+        }
+    }
+
+    #[test]
+    fn shot_readout_costs_more_and_is_noisy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let exact_cfg = CharacterizationConfig::exact(vec![0], 3);
+        let shot_cfg = CharacterizationConfig {
+            readout: ReadoutMode::Shots(200),
+            ..exact_cfg.clone()
+        };
+        let exact = characterize(&sample_program(), &exact_cfg, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let shot = characterize(&sample_program(), &shot_cfg, &mut rng2);
+        assert!(shot.ledger.shots > exact.ledger.shots * 10);
+        // Same sampled inputs (same seed), different capture fidelity.
+        let a = &exact.traces[&TracepointId(2)][0];
+        let b = &shot.traces[&TracepointId(2)][0];
+        assert!((a - b).frobenius_norm() > 1e-6, "shot noise should perturb the estimate");
+        assert!((a - b).frobenius_norm() < 0.5, "but not beyond statistical error");
+    }
+
+    #[test]
+    fn noisy_characterization_differs_from_ideal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let noisy_cfg = CharacterizationConfig {
+            noise: NoiseModel::ibm_cairo(),
+            ..CharacterizationConfig::exact(vec![0], 3)
+        };
+        let noisy = characterize(&sample_program(), &noisy_cfg, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let ideal = characterize(
+            &sample_program(),
+            &CharacterizationConfig::exact(vec![0], 3),
+            &mut rng2,
+        );
+        let a = &noisy.traces[&TracepointId(2)][0];
+        let b = &ideal.traces[&TracepointId(2)][0];
+        assert!((a - b).frobenius_norm() > 1e-4);
+    }
+
+    #[test]
+    fn paper_budget_formula() {
+        assert_eq!(CharacterizationConfig::paper_full_budget(3), 16);
+        assert_eq!(CharacterizationConfig::paper_full_budget(5), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "no tracepoints")]
+    fn rejects_program_without_tracepoints() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = characterize(&c, &CharacterizationConfig::exact(vec![0], 2), &mut rng);
+    }
+}

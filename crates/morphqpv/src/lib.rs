@@ -1,0 +1,86 @@
+//! # MorphQPV: isomorphism-based confident verification of quantum programs
+//!
+//! A from-scratch Rust implementation of *MorphQPV: Exploiting Isomorphism
+//! in Quantum Programs to Facilitate Confident Verification* (ASPLOS 2024).
+//!
+//! The methodology has three steps, each a module here:
+//!
+//! 1. **Assertion statement** — label runtime states with tracepoint
+//!    pragmas (`T <id> q[..]` in [`morph_qprog`]) and relate them with an
+//!    [`AssumeGuarantee`] assertion built from [`StatePredicate`]s and
+//!    [`RelationPredicate`]s (Definition 1).
+//! 2. **Isomorphism-based characterization** — [`characterize`] runs the
+//!    program under a small sampled input ensemble and fits one
+//!    [`ApproximationFunction`] per tracepoint: because quantum evolution
+//!    is linear in the density matrix, the tracepoint state under *any*
+//!    input is the same linear combination of sampled tracepoint states as
+//!    the input is of sampled inputs (Theorem 1). Accuracy follows
+//!    Theorem 2; sampling cost can be pruned with the Section 5.4
+//!    strategies ([`adaptive_inputs`], [`constant_pinned_inputs`],
+//!    probabilities-only readout).
+//! 3. **Validation** — [`validate_assertion`] maximizes the guarantee
+//!    objective over the combination coefficients under the assumption
+//!    constraints (Section 6.1). A positive maximum yields a concrete
+//!    counter-example input; otherwise [`ConfidenceModel`] (Theorem 3)
+//!    bounds the probability that a counter-example escaped.
+//!
+//! The [`Verifier`] builder packages the whole flow.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use morph_qprog::TracepointId;
+//! use morphqpv::{AssumeGuarantee, RelationPredicate, StatePredicate, Verifier};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A (buggy?) identity program.
+//! let mut program = morph_qprog::Circuit::new(1);
+//! program.tracepoint(1, &[0]);
+//! program.h(0);
+//! program.h(0);
+//! program.tracepoint(2, &[0]);
+//!
+//! let report = Verifier::new(program)
+//!     .input_qubits(&[0])
+//!     .samples(4)
+//!     .assert_that(
+//!         AssumeGuarantee::new()
+//!             .assume(TracepointId(1), StatePredicate::IsPure)
+//!             .guarantee_relation(TracepointId(1), TracepointId(2), RelationPredicate::Equal),
+//!     )
+//!     .run(&mut StdRng::seed_from_u64(0));
+//! assert!(report.all_passed());
+//! ```
+
+mod approx;
+mod assertion;
+mod characterize;
+mod confidence;
+mod counterexample;
+mod landscape;
+mod predicate;
+mod prune;
+mod ptm;
+mod segmented;
+mod spec;
+mod validate;
+mod verifier;
+
+pub use approx::{ApproximationFunction, ChainedApproximation, Mitigation};
+pub use assertion::{AssumeGuarantee, Guarantee, StateRef};
+pub use characterize::{
+    characterize, characterize_with_inputs, Characterization, CharacterizationConfig,
+};
+pub use confidence::{regularized_incomplete_beta, ConfidenceModel};
+pub use counterexample::CounterExample;
+pub use landscape::{input_landscape, landscape_peak, LandscapePoint};
+pub use predicate::{RelationPredicate, StatePredicate};
+pub use prune::{adaptive_inputs, adaptive_operator_inputs, constant_pinned_inputs};
+pub use ptm::PauliTransferMatrix;
+pub use segmented::{characterize_segmented, SegmentedCharacterization};
+pub use spec::{assertions_from_source, parse_assertion, ParseSpecError};
+pub use validate::{
+    fit_confidence_model, validate_assertion, SolverKind, ValidationConfig, ValidationOutcome,
+    Verdict,
+};
+pub use verifier::{verify_source, VerificationReport, Verifier};

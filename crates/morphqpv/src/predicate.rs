@@ -1,0 +1,332 @@
+//! Classical predicates over density matrices (Definition 1).
+//!
+//! A predicate is encoded as an objective function `P(ρ)` with
+//! `P(ρ) ≤ 0 ⇔ the predicate is true`, exactly as Section 4 defines it, so
+//! that validation can maximize the guarantee objective directly.
+
+use std::fmt;
+use std::sync::Arc;
+
+use morph_linalg::{purity_defect, CMatrix};
+
+/// A predicate over a single state.
+///
+/// # Examples
+///
+/// ```
+/// use morph_linalg::{C64, CMatrix};
+/// use morphqpv::StatePredicate;
+///
+/// let zero = CMatrix::outer(&[C64::ONE, C64::ZERO], &[C64::ONE, C64::ZERO]);
+/// assert!(StatePredicate::IsPure.holds(&zero, 1e-9));
+/// assert!(StatePredicate::equals(zero.clone()).holds(&zero, 1e-9));
+/// ```
+#[derive(Clone)]
+pub enum StatePredicate {
+    /// The state is pure: objective `‖ρρ† − ρ‖`.
+    IsPure,
+    /// The state equals a target: objective `‖ρ − σ‖`.
+    Equals(CMatrix),
+    /// The state differs from a target by at least `margin` in Frobenius
+    /// norm: objective `margin − ‖ρ − σ‖`.
+    NotEquals {
+        /// State to differ from.
+        target: CMatrix,
+        /// Minimum required distance.
+        margin: f64,
+    },
+    /// `tr(Oρ) > threshold`: objective `threshold − tr(Oρ)`.
+    ExpectationAbove {
+        /// Hermitian observable.
+        observable: CMatrix,
+        /// Strict lower bound on the expectation.
+        threshold: f64,
+    },
+    /// `tr(Oρ) ≤ threshold`: objective `tr(Oρ) − threshold`.
+    ExpectationBelow {
+        /// Hermitian observable.
+        observable: CMatrix,
+        /// Upper bound on the expectation.
+        threshold: f64,
+    },
+    /// The probability of a computational-basis outcome is at least `p`:
+    /// objective `p − ρ[i][i]`.
+    ProbabilityAtLeast {
+        /// Basis index.
+        basis: usize,
+        /// Required probability.
+        p: f64,
+    },
+    /// An arbitrary classical function of the density matrix (the paper
+    /// allows any formulation since ρ lives on the classical side).
+    Custom(Arc<dyn Fn(&CMatrix) -> f64 + Send + Sync>),
+}
+
+impl StatePredicate {
+    /// Convenience constructor for [`StatePredicate::Equals`].
+    pub fn equals(target: CMatrix) -> Self {
+        StatePredicate::Equals(target)
+    }
+
+    /// Convenience constructor for [`StatePredicate::NotEquals`] with the
+    /// default margin `0.1`.
+    pub fn not_equals(target: CMatrix) -> Self {
+        StatePredicate::NotEquals { target, margin: 0.1 }
+    }
+
+    /// Wraps a closure as a predicate objective.
+    pub fn custom(f: impl Fn(&CMatrix) -> f64 + Send + Sync + 'static) -> Self {
+        StatePredicate::Custom(Arc::new(f))
+    }
+
+    /// The objective value `P(ρ)`; ≤ 0 means the predicate holds.
+    pub fn objective(&self, rho: &CMatrix) -> f64 {
+        match self {
+            StatePredicate::IsPure => purity_defect(rho),
+            StatePredicate::Equals(target) => (rho - target).frobenius_norm(),
+            StatePredicate::NotEquals { target, margin } => {
+                margin - (rho - target).frobenius_norm()
+            }
+            StatePredicate::ExpectationAbove { observable, threshold } => {
+                threshold - morph_linalg::expectation(observable, rho)
+            }
+            StatePredicate::ExpectationBelow { observable, threshold } => {
+                morph_linalg::expectation(observable, rho) - threshold
+            }
+            StatePredicate::ProbabilityAtLeast { basis, p } => {
+                p - rho.get(*basis, *basis).map(|z| z.re).unwrap_or(0.0)
+            }
+            StatePredicate::Custom(f) => f(rho),
+        }
+    }
+
+    /// `true` if the objective is within `tol` of the feasible region.
+    pub fn holds(&self, rho: &CMatrix, tol: f64) -> bool {
+        self.objective(rho) <= tol
+    }
+}
+
+impl fmt::Debug for StatePredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatePredicate::IsPure => write!(f, "IsPure"),
+            StatePredicate::Equals(_) => write!(f, "Equals(⟨state⟩)"),
+            StatePredicate::NotEquals { margin, .. } => {
+                write!(f, "NotEquals(⟨state⟩, margin={margin})")
+            }
+            StatePredicate::ExpectationAbove { threshold, .. } => {
+                write!(f, "ExpectationAbove({threshold})")
+            }
+            StatePredicate::ExpectationBelow { threshold, .. } => {
+                write!(f, "ExpectationBelow({threshold})")
+            }
+            StatePredicate::ProbabilityAtLeast { basis, p } => {
+                write!(f, "ProbabilityAtLeast(|{basis}⟩, {p})")
+            }
+            StatePredicate::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+/// A predicate over a *pair* of states — the relational power that
+/// distinguishes MorphQPV's multi-state assertions (Table 2's
+/// "Evolution" row).
+#[derive(Clone)]
+pub enum RelationPredicate {
+    /// The two states are equal: objective `‖ρ₁ − ρ₂‖`.
+    Equal,
+    /// The states differ by at least `margin`: objective
+    /// `margin − ‖ρ₁ − ρ₂‖`.
+    NotEqual {
+        /// Minimum required distance.
+        margin: f64,
+    },
+    /// The states are within `tolerance`: objective
+    /// `‖ρ₁ − ρ₂‖ − tolerance`. Used for the QNN pruning check
+    /// (`‖ρ − ρ'‖ ≤ β`).
+    Within {
+        /// Allowed distance β.
+        tolerance: f64,
+    },
+    /// Both states give the same expectation of an observable up to
+    /// `tolerance`: objective `|tr(Oρ₁) − tr(Oρ₂)| − tolerance`.
+    ExpectationMatch {
+        /// Hermitian observable.
+        observable: CMatrix,
+        /// Allowed expectation difference.
+        tolerance: f64,
+    },
+    /// The overlap phase `arg tr(ρ₂†ρ₁)` equals `phase` up to `tolerance`
+    /// radians — the teleportation feedback example of Section 4.
+    PhaseDifference {
+        /// Expected phase in radians.
+        phase: f64,
+        /// Allowed deviation in radians.
+        tolerance: f64,
+    },
+    /// Arbitrary classical relation.
+    Custom(Arc<dyn Fn(&CMatrix, &CMatrix) -> f64 + Send + Sync>),
+}
+
+impl RelationPredicate {
+    /// Wraps a closure as a relational objective.
+    pub fn custom(f: impl Fn(&CMatrix, &CMatrix) -> f64 + Send + Sync + 'static) -> Self {
+        RelationPredicate::Custom(Arc::new(f))
+    }
+
+    /// The objective value `P(ρ₁, ρ₂)`; ≤ 0 means the relation holds.
+    ///
+    /// # Panics
+    ///
+    /// [`RelationPredicate::Equal`]-family objectives panic if the states
+    /// have different dimensions.
+    pub fn objective(&self, rho1: &CMatrix, rho2: &CMatrix) -> f64 {
+        match self {
+            RelationPredicate::Equal => (rho1 - rho2).frobenius_norm(),
+            RelationPredicate::NotEqual { margin } => margin - (rho1 - rho2).frobenius_norm(),
+            RelationPredicate::Within { tolerance } => {
+                (rho1 - rho2).frobenius_norm() - tolerance
+            }
+            RelationPredicate::ExpectationMatch { observable, tolerance } => {
+                (morph_linalg::expectation(observable, rho1)
+                    - morph_linalg::expectation(observable, rho2))
+                .abs()
+                    - tolerance
+            }
+            RelationPredicate::PhaseDifference { phase, tolerance } => {
+                let overlap = rho2.dagger().matmul(rho1).trace();
+                let mut delta = overlap.arg() - phase;
+                // Wrap to (−π, π].
+                while delta > std::f64::consts::PI {
+                    delta -= 2.0 * std::f64::consts::PI;
+                }
+                while delta <= -std::f64::consts::PI {
+                    delta += 2.0 * std::f64::consts::PI;
+                }
+                delta.abs() - tolerance
+            }
+            RelationPredicate::Custom(f) => f(rho1, rho2),
+        }
+    }
+
+    /// `true` if the objective is within `tol` of feasibility.
+    pub fn holds(&self, rho1: &CMatrix, rho2: &CMatrix, tol: f64) -> bool {
+        self.objective(rho1, rho2) <= tol
+    }
+}
+
+impl fmt::Debug for RelationPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationPredicate::Equal => write!(f, "Equal"),
+            RelationPredicate::NotEqual { margin } => write!(f, "NotEqual(margin={margin})"),
+            RelationPredicate::Within { tolerance } => write!(f, "Within({tolerance})"),
+            RelationPredicate::ExpectationMatch { tolerance, .. } => {
+                write!(f, "ExpectationMatch(tol={tolerance})")
+            }
+            RelationPredicate::PhaseDifference { phase, tolerance } => {
+                write!(f, "PhaseDifference({phase} ± {tolerance})")
+            }
+            RelationPredicate::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_linalg::C64;
+
+    fn ket0() -> CMatrix {
+        CMatrix::outer(&[C64::ONE, C64::ZERO], &[C64::ONE, C64::ZERO])
+    }
+
+    fn ket1() -> CMatrix {
+        CMatrix::outer(&[C64::ZERO, C64::ONE], &[C64::ZERO, C64::ONE])
+    }
+
+    fn mixed() -> CMatrix {
+        CMatrix::identity(2).scale_re(0.5)
+    }
+
+    #[test]
+    fn is_pure_discriminates() {
+        assert!(StatePredicate::IsPure.holds(&ket0(), 1e-9));
+        assert!(!StatePredicate::IsPure.holds(&mixed(), 1e-9));
+    }
+
+    #[test]
+    fn equality_objectives() {
+        assert!(StatePredicate::equals(ket0()).holds(&ket0(), 1e-9));
+        assert!(!StatePredicate::equals(ket0()).holds(&ket1(), 1e-9));
+        assert!(StatePredicate::not_equals(ket0()).holds(&ket1(), 1e-9));
+        assert!(!StatePredicate::not_equals(ket0()).holds(&ket0(), 1e-9));
+    }
+
+    #[test]
+    fn expectation_predicates() {
+        let z = morph_qsim::matrices::z();
+        let above = StatePredicate::ExpectationAbove { observable: z.clone(), threshold: 0.5 };
+        assert!(above.holds(&ket0(), 1e-9)); // <Z> = 1 > 0.5
+        assert!(!above.holds(&ket1(), 1e-9)); // <Z> = −1
+        let below = StatePredicate::ExpectationBelow { observable: z, threshold: 0.0 };
+        assert!(below.holds(&ket1(), 1e-9));
+        assert!(!below.holds(&ket0(), 1e-9));
+    }
+
+    #[test]
+    fn probability_predicate() {
+        let p = StatePredicate::ProbabilityAtLeast { basis: 1, p: 0.4 };
+        assert!(p.holds(&mixed(), 1e-9));
+        assert!(!p.holds(&ket0(), 1e-9));
+        // Out-of-range basis index reads probability 0.
+        let oob = StatePredicate::ProbabilityAtLeast { basis: 9, p: 0.1 };
+        assert!(!oob.holds(&mixed(), 1e-9));
+    }
+
+    #[test]
+    fn custom_predicate() {
+        let trace_one = StatePredicate::custom(|rho| (rho.trace().re - 1.0).abs());
+        assert!(trace_one.holds(&ket0(), 1e-9));
+        assert!(!trace_one.holds(&CMatrix::identity(2), 1e-9));
+    }
+
+    #[test]
+    fn relation_equal_and_within() {
+        assert!(RelationPredicate::Equal.holds(&ket0(), &ket0(), 1e-9));
+        assert!(!RelationPredicate::Equal.holds(&ket0(), &ket1(), 1e-9));
+        assert!(RelationPredicate::Within { tolerance: 2.0 }.holds(&ket0(), &ket1(), 1e-9));
+        assert!(!RelationPredicate::Within { tolerance: 0.5 }.holds(&ket0(), &ket1(), 1e-9));
+    }
+
+    #[test]
+    fn relation_expectation_match() {
+        let z = morph_qsim::matrices::z();
+        let m = RelationPredicate::ExpectationMatch { observable: z, tolerance: 0.1 };
+        assert!(m.holds(&ket0(), &ket0(), 1e-9));
+        assert!(!m.holds(&ket0(), &ket1(), 1e-9));
+    }
+
+    #[test]
+    fn relation_phase_difference() {
+        // ρ1 = |+><+|, ρ2 = |−><−|: tr(ρ2†ρ1) is real positive (overlap 0)…
+        // use coherences instead: compare |+> against e^{iπ}-rotated |+>.
+        let h = 1.0 / 2f64.sqrt();
+        let plus = CMatrix::outer(&[C64::real(h), C64::real(h)], &[C64::real(h), C64::real(h)]);
+        let pred = RelationPredicate::PhaseDifference { phase: 0.0, tolerance: 0.1 };
+        assert!(pred.holds(&plus, &plus, 1e-9));
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        let preds: Vec<Box<dyn fmt::Debug>> = vec![
+            Box::new(StatePredicate::IsPure),
+            Box::new(StatePredicate::equals(ket0())),
+            Box::new(RelationPredicate::Equal),
+            Box::new(RelationPredicate::PhaseDifference { phase: 1.0, tolerance: 0.1 }),
+        ];
+        for p in preds {
+            assert!(!format!("{p:?}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,565 @@
+//! Assertion validation via constrained optimization (Section 6.1).
+//!
+//! The guarantee objective `P₃` is maximized over the approximation
+//! coefficients `α` subject to the assumption predicates and to the
+//! physicality of the reconstructed input. Coefficients are gauge-fixed by
+//! their sum (sampled inputs are unit-trace, so `tr ρ_in = Σ αᵢ`); the
+//! optimizer therefore searches normalized combinations and cannot inflate
+//! the objective by scaling. If the maximum stays ≤ 0 the assertion holds
+//! for every representable input and Theorem 3 turns the
+//! approximation-accuracy distribution into a confidence; otherwise the
+//! maximizing `α` reconstructs a counter-example input.
+
+use morph_linalg::{project_to_density, CMatrix};
+use morph_optimize::{
+    Bounds, FnObjective, GeneticAlgorithm, GradientAscent, NelderMead, Optimizer, OptResult,
+    QuadraticProgram, SimulatedAnnealing,
+};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::assertion::{AssumeGuarantee, Guarantee, StateRef};
+use crate::characterize::Characterization;
+use crate::confidence::ConfidenceModel;
+
+/// Which backend maximizes the validation objective (Fig 15(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// Adam-style projected gradient ascent.
+    GradientAscent,
+    /// Genetic algorithm.
+    Genetic,
+    /// Simulated annealing.
+    Annealing,
+    /// Quadratic programming (the paper's Gurobi role).
+    Quadratic,
+    /// Nelder–Mead simplex (derivative-free; robust on kinked norms).
+    NelderMead,
+}
+
+impl SolverKind {
+    /// Instantiates the solver with its default hyper-parameters.
+    pub fn build(self) -> Box<dyn Optimizer> {
+        match self {
+            SolverKind::GradientAscent => Box::new(GradientAscent::default()),
+            SolverKind::Genetic => Box::new(GeneticAlgorithm::default()),
+            SolverKind::Annealing => Box::new(SimulatedAnnealing::default()),
+            SolverKind::Quadratic => Box::new(QuadraticProgram::default()),
+            SolverKind::NelderMead => Box::new(NelderMead::default()),
+        }
+    }
+
+    /// Solver display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::GradientAscent => "SGD/Adam",
+            SolverKind::Genetic => "genetic",
+            SolverKind::Annealing => "annealing",
+            SolverKind::Quadratic => "QP",
+            SolverKind::NelderMead => "Nelder-Mead",
+        }
+    }
+}
+
+/// Validation configuration.
+#[derive(Debug, Clone)]
+pub struct ValidationConfig {
+    /// Optimizer backend.
+    pub solver: SolverKind,
+    /// Pass/fail threshold on the maximized guarantee objective: the
+    /// assertion passes when `max P₃ ≤ max(decision_threshold,
+    /// 1.5 × feasibility_tol)`. Nonzero values absorb tomography noise and
+    /// constraint-boundary slack.
+    pub decision_threshold: f64,
+    /// Accuracy threshold ε of Theorem 3 used for the confidence estimate.
+    pub accuracy_threshold: f64,
+    /// Box bound `|αᵢ| ≤ alpha_bound` for the search.
+    pub alpha_bound: f64,
+    /// Penalty weight for assumption/physicality violations.
+    pub penalty_weight: f64,
+    /// Violation level accepted as "feasible" when interpreting results.
+    pub feasibility_tol: f64,
+    /// Number of random probe inputs used to fit the accuracy Beta model.
+    pub confidence_probes: usize,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig {
+            solver: SolverKind::Quadratic,
+            decision_threshold: 1e-4,
+            accuracy_threshold: 0.9,
+            alpha_bound: 2.0,
+            penalty_weight: 50.0,
+            feasibility_tol: 2e-2,
+            confidence_probes: 40,
+        }
+    }
+}
+
+/// The validation verdict.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// No feasible input violates the guarantee; `confidence` follows
+    /// Theorem 3.
+    Passed {
+        /// Maximum guarantee objective found (≤ the decision threshold).
+        max_objective: f64,
+        /// Confidence that the verdict holds for all inputs.
+        confidence: f64,
+    },
+    /// A feasible violating input exists.
+    Failed {
+        /// Maximum guarantee objective found.
+        max_objective: f64,
+        /// The violating input, projected to a valid density matrix.
+        counterexample: CMatrix,
+        /// Normalized coefficients of the violating point.
+        alphas: Vec<f64>,
+    },
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Passed`].
+    pub fn passed(&self) -> bool {
+        matches!(self, Verdict::Passed { .. })
+    }
+}
+
+/// Full validation output: verdict plus solver and confidence diagnostics.
+#[derive(Debug, Clone)]
+pub struct ValidationOutcome {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Raw optimizer result over the penalized objective.
+    pub optimum: OptResult,
+    /// Fitted accuracy distribution used for Theorem 3.
+    pub confidence_model: ConfidenceModel,
+}
+
+/// Shared evaluation context: resolves states and scores points.
+struct Context<'a> {
+    assertion: &'a AssumeGuarantee,
+    input_basis: Vec<CMatrix>,
+    traces: std::collections::BTreeMap<morph_qprog::TracepointId, Vec<CMatrix>>,
+}
+
+impl<'a> Context<'a> {
+    fn new(assertion: &'a AssumeGuarantee, characterization: &'a Characterization) -> Self {
+        Context {
+            assertion,
+            input_basis: characterization.inputs.iter().map(|i| i.rho.clone()).collect(),
+            traces: characterization.traces.clone(),
+        }
+    }
+
+    /// Gauge-fixed coefficients: scaled so `Σ α = 1` (unit input trace).
+    /// For sums in `(0.05, 0.5)` the divisor is clamped at 0.5, leaving a
+    /// sub-unit trace that the violation term penalizes smoothly — this
+    /// keeps the landscape free of the deep cliffs a raw `α/Σα` creates
+    /// near `Σα = 0`. Returns `None` when the sum is too small entirely.
+    fn normalize(&self, alphas: &[f64]) -> Option<Vec<f64>> {
+        let s: f64 = alphas.iter().sum();
+        if s.abs() < 0.05 {
+            return None;
+        }
+        let divisor = s.signum() * s.abs().max(0.5);
+        Some(alphas.iter().map(|a| a / divisor).collect())
+    }
+
+    fn resolve(&self, state: StateRef, alphas: &[f64]) -> CMatrix {
+        match state {
+            StateRef::Input => morph_linalg::recombine(&self.input_basis, alphas),
+            StateRef::Tracepoint(id) => morph_linalg::recombine(&self.traces[&id], alphas),
+        }
+    }
+
+    fn guarantee_value(&self, alphas: &[f64]) -> f64 {
+        match self.assertion.guarantee_clause() {
+            Guarantee::Single(s, p) => p.objective(&self.resolve(*s, alphas)),
+            Guarantee::Relation(a, b, p) => {
+                p.objective(&self.resolve(*a, alphas), &self.resolve(*b, alphas))
+            }
+        }
+    }
+
+    /// Maximum assumption/physicality violation at gauge-fixed `alphas`.
+    fn violation(&self, alphas: &[f64]) -> f64 {
+        let mut v: f64 = 0.0;
+        for (s, p) in self.assertion.assumptions() {
+            v = v.max(p.objective(&self.resolve(*s, alphas)).max(0.0));
+        }
+        let rho_in = morph_linalg::recombine(&self.input_basis, alphas);
+        v = v.max((rho_in.trace().re - 1.0).abs());
+        v = v.max((rho_in.frobenius_norm() - 1.0).max(0.0));
+        v
+    }
+
+    /// Penalized objective over raw (un-normalized) coefficients.
+    fn penalized(&self, raw: &[f64], weight: f64) -> f64 {
+        match self.normalize(raw) {
+            // Degenerate gauge region: the worst value in the landscape,
+            // with a slope toward a usable trace so local methods escape.
+            None => {
+                let s: f64 = raw.iter().sum();
+                -weight * (4.0 + (0.05 - s.abs()))
+            }
+            // Violation penalty capped so infeasible regions slope back
+            // toward feasibility instead of forming cliffs deeper than the
+            // degenerate plateau.
+            Some(alphas) => {
+                let g = self.guarantee_value(&alphas);
+                let v = self.violation(&alphas);
+                g - weight * (v * v).min(4.0) - v.min(2.0)
+            }
+        }
+    }
+}
+
+/// Validates an assertion against a characterization.
+///
+/// # Panics
+///
+/// Panics if the assertion has no guarantee, references a tracepoint that
+/// was not characterized, or relates states of mismatched dimension.
+pub fn validate_assertion(
+    assertion: &AssumeGuarantee,
+    characterization: &Characterization,
+    config: &ValidationConfig,
+    rng: &mut StdRng,
+) -> ValidationOutcome {
+    assert!(assertion.is_complete(), "assertion has no guarantee clause");
+    for state in assertion.state_refs() {
+        if let StateRef::Tracepoint(id) = state {
+            assert!(
+                characterization.traces.contains_key(&id),
+                "assertion references uncharacterized tracepoint {id}"
+            );
+        }
+    }
+    let ctx = Context::new(assertion, characterization);
+    let n_alphas = ctx.input_basis.len();
+
+    // The optimizer sees the penalized, gauge-fixed objective.
+    let weight = config.penalty_weight;
+    let ctx_for_obj = Context::new(assertion, characterization);
+    let objective =
+        FnObjective::new(n_alphas, move |raw: &[f64]| ctx_for_obj.penalized(raw, weight));
+
+    let bounds = Bounds::uniform(n_alphas, -config.alpha_bound, config.alpha_bound);
+    let solver = config.solver.build();
+    let optimum = solver.maximize(&objective, &bounds, rng);
+
+    // Interpret the optimum under the gauge, repairing marginal
+    // infeasibility by retracting toward a feasible sampled input.
+    let (mut max_objective, mut feasible, mut alphas) =
+        interpret_optimum(&ctx, &optimum.x, config.feasibility_tol, n_alphas);
+
+    // Candidate pool: every sampled input is itself a feasible-by-
+    // construction probe (α = eᵢ reconstructs σ_in,i exactly); a violation
+    // visible at a sampled input must never be lost to optimizer
+    // fragility on the kinked penalty landscape.
+    for i in 0..n_alphas {
+        let mut e = vec![0.0; n_alphas];
+        e[i] = 1.0;
+        if ctx.violation(&e) <= config.feasibility_tol {
+            let g = ctx.guarantee_value(&e);
+            if !feasible || g > max_objective {
+                max_objective = g;
+                feasible = true;
+                alphas = e;
+            }
+        }
+    }
+
+    // Accuracy distribution for Theorem 3 (depends only on the input span).
+    let confidence_model = fit_confidence_model(characterization, config.confidence_probes, rng);
+
+    // Assumptions only hold up to `feasibility_tol`, so the guarantee gets
+    // the same slack: a coupled assume/guarantee pair (e.g. pure ⇒ pure)
+    // evaluates to ≈ the boundary violation at the repaired point and must
+    // not be misread as a bug.
+    let effective_threshold = config.decision_threshold.max(1.5 * config.feasibility_tol);
+    let verdict = if feasible && max_objective > effective_threshold {
+        let raw = morph_linalg::recombine(&ctx.input_basis, &alphas);
+        Verdict::Failed {
+            max_objective,
+            counterexample: project_to_density(&raw),
+            alphas,
+        }
+    } else {
+        Verdict::Passed {
+            max_objective: if max_objective.is_finite() { max_objective } else { 0.0 },
+            confidence: confidence_model.confidence(config.accuracy_threshold),
+        }
+    };
+
+    ValidationOutcome { verdict, optimum, confidence_model }
+}
+
+/// Interprets a raw optimizer point: gauge-fix, and if the point violates
+/// the constraints, retract it along the segment toward the most-feasible
+/// unit coefficient vector (each `eᵢ` reconstructs the sampled input
+/// `σ_in,i`, a physical state) until it re-enters the feasible set.
+fn interpret_optimum(
+    ctx: &Context<'_>,
+    raw: &[f64],
+    tol: f64,
+    n_alphas: usize,
+) -> (f64, bool, Vec<f64>) {
+    let Some(alphas) = ctx.normalize(raw) else {
+        return (f64::NEG_INFINITY, false, vec![0.0; n_alphas]);
+    };
+    let v = ctx.violation(&alphas);
+    if v <= tol {
+        let g = ctx.guarantee_value(&alphas);
+        return (g, true, alphas);
+    }
+    // Base point: the sampled-input coefficient vector with least violation.
+    let mut base = vec![0.0; n_alphas];
+    let mut best = (f64::INFINITY, 0usize);
+    for i in 0..n_alphas {
+        let mut e = vec![0.0; n_alphas];
+        e[i] = 1.0;
+        let vi = ctx.violation(&e);
+        if vi < best.0 {
+            best = (vi, i);
+        }
+    }
+    if best.0 > tol {
+        // No feasible anchor — report the raw point as infeasible.
+        return (ctx.guarantee_value(&alphas), false, alphas);
+    }
+    base[best.1] = 1.0;
+    // Largest t ∈ [0, 1] with violation(base + t(α − base)) ≤ tol.
+    let blend = |t: f64| -> Vec<f64> {
+        base.iter()
+            .zip(&alphas)
+            .map(|(&b, &a)| b + t * (a - b))
+            .collect()
+    };
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if ctx.violation(&blend(mid)) <= tol {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let repaired = blend(lo);
+    let g = ctx.guarantee_value(&repaired);
+    (g, true, repaired)
+}
+
+/// Fits the Beta accuracy model by probing random inputs against the
+/// characterized span (the distribution of Fig 6).
+pub fn fit_confidence_model(
+    characterization: &Characterization,
+    probes: usize,
+    rng: &mut StdRng,
+) -> ConfidenceModel {
+    use morph_clifford::InputEnsemble;
+    let n_in = characterization.inputs[0].state.n_qubits();
+    let any_trace = characterization
+        .traces
+        .keys()
+        .next()
+        .copied()
+        .expect("characterization has tracepoints");
+    let f = characterization.approximation(any_trace);
+    let probe_inputs = InputEnsemble::Clifford.generate(n_in, probes.max(2), rng);
+    let samples: Vec<f64> = probe_inputs
+        .iter()
+        .map(|p| f.representation_overlap(&p.rho).unwrap_or(0.0))
+        .collect();
+    ConfidenceModel::fit(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::AssumeGuarantee;
+    use crate::characterize::{characterize, CharacterizationConfig};
+    use crate::predicate::{RelationPredicate, StatePredicate};
+    use morph_clifford::InputEnsemble;
+    use morph_qprog::Circuit;
+    use rand::SeedableRng;
+
+    /// Identity program: input on qubit 0 traced before and after.
+    fn identity_program() -> Circuit {
+        let mut c = Circuit::new(1);
+        c.tracepoint(1, &[0]);
+        c.h(0).h(0); // identity
+        c.tracepoint(2, &[0]);
+        c
+    }
+
+    /// Bit-flip program.
+    fn flip_program() -> Circuit {
+        let mut c = Circuit::new(1);
+        c.tracepoint(1, &[0]);
+        c.x(0);
+        c.tracepoint(2, &[0]);
+        c
+    }
+
+    fn full_characterization(circuit: &Circuit, seed: u64) -> Characterization {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = CharacterizationConfig {
+            ensemble: InputEnsemble::PauliProduct,
+            ..CharacterizationConfig::exact(vec![0], 4)
+        };
+        characterize(circuit, &config, &mut rng)
+    }
+
+    #[test]
+    fn identity_program_passes_equality_assertion() {
+        let ch = full_characterization(&identity_program(), 0);
+        let assertion = AssumeGuarantee::new()
+            .assume(morph_qprog::TracepointId(1), StatePredicate::IsPure)
+            .guarantee_relation(
+                morph_qprog::TracepointId(1),
+                morph_qprog::TracepointId(2),
+                RelationPredicate::Equal,
+            );
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = validate_assertion(&assertion, &ch, &ValidationConfig::default(), &mut rng);
+        assert!(out.verdict.passed(), "identity must satisfy T1 == T2: {:?}", out.verdict);
+        if let Verdict::Passed { confidence, .. } = out.verdict {
+            assert!(confidence > 0.5, "full span ⇒ high confidence, got {confidence}");
+        }
+    }
+
+    #[test]
+    fn flip_program_fails_equality_assertion_with_counterexample() {
+        let ch = full_characterization(&flip_program(), 0);
+        let assertion = AssumeGuarantee::new().guarantee_relation(
+            morph_qprog::TracepointId(1),
+            morph_qprog::TracepointId(2),
+            RelationPredicate::Equal,
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = validate_assertion(&assertion, &ch, &ValidationConfig::default(), &mut rng);
+        match out.verdict {
+            Verdict::Failed { counterexample, max_objective, .. } => {
+                assert!(max_objective > 0.5, "X flips states far apart: {max_objective}");
+                assert!(morph_linalg::is_density_matrix(&counterexample, 1e-6));
+                // The counter-example must genuinely be moved by X.
+                let x = morph_qsim::matrices::x();
+                let flipped = x.matmul(&counterexample).matmul(&x);
+                assert!((&flipped - &counterexample).frobenius_norm() > 0.3);
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flip_program_passes_flip_assertion() {
+        // Guarantee: T2 equals X·T1·X — the correct spec for a NOT program.
+        let ch = full_characterization(&flip_program(), 0);
+        let x = morph_qsim::matrices::x();
+        let assertion = AssumeGuarantee::new().guarantee_relation(
+            morph_qprog::TracepointId(1),
+            morph_qprog::TracepointId(2),
+            RelationPredicate::custom(move |t1, t2| {
+                (&x.matmul(t1).matmul(&x) - t2).frobenius_norm()
+            }),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = validate_assertion(&assertion, &ch, &ValidationConfig::default(), &mut rng);
+        assert!(out.verdict.passed(), "{:?}", out.verdict);
+    }
+
+    #[test]
+    fn assumptions_prune_the_search_space() {
+        // Flip program with guarantee "T2 == |1><1|" fails in general but
+        // passes under the assumption that the input is |0><0|.
+        let ch = full_characterization(&flip_program(), 0);
+        let one = CMatrix::outer(
+            &[morph_linalg::C64::ZERO, morph_linalg::C64::ONE],
+            &[morph_linalg::C64::ZERO, morph_linalg::C64::ONE],
+        );
+        let zero = CMatrix::outer(
+            &[morph_linalg::C64::ONE, morph_linalg::C64::ZERO],
+            &[morph_linalg::C64::ONE, morph_linalg::C64::ZERO],
+        );
+        let unconstrained = AssumeGuarantee::new()
+            .guarantee_state(morph_qprog::TracepointId(2), StatePredicate::equals(one.clone()));
+        let constrained = AssumeGuarantee::new()
+            .assume(StateRef::Input, StatePredicate::equals(zero))
+            .guarantee_state(morph_qprog::TracepointId(2), StatePredicate::equals(one));
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = ValidationConfig { decision_threshold: 0.05, ..Default::default() };
+        let out_u = validate_assertion(&unconstrained, &ch, &config, &mut rng);
+        let out_c = validate_assertion(&constrained, &ch, &config, &mut rng);
+        assert!(!out_u.verdict.passed(), "without assumption some input violates");
+        assert!(
+            out_c.verdict.passed(),
+            "with input pinned to |0> the guarantee holds: {:?}",
+            out_c.verdict
+        );
+    }
+
+    #[test]
+    fn solver_kinds_all_decide_the_easy_case() {
+        let ch = full_characterization(&identity_program(), 0);
+        let assertion = AssumeGuarantee::new().guarantee_relation(
+            morph_qprog::TracepointId(1),
+            morph_qprog::TracepointId(2),
+            RelationPredicate::Equal,
+        );
+        for solver in [
+            SolverKind::GradientAscent,
+            SolverKind::Genetic,
+            SolverKind::Annealing,
+            SolverKind::Quadratic,
+            SolverKind::NelderMead,
+        ] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let config = ValidationConfig { solver, ..Default::default() };
+            let out = validate_assertion(&assertion, &ch, &config, &mut rng);
+            assert!(out.verdict.passed(), "{} failed the identity case", solver.name());
+        }
+    }
+
+    #[test]
+    fn solver_kinds_all_find_the_flip_bug() {
+        let ch = full_characterization(&flip_program(), 0);
+        let assertion = AssumeGuarantee::new().guarantee_relation(
+            morph_qprog::TracepointId(1),
+            morph_qprog::TracepointId(2),
+            RelationPredicate::Equal,
+        );
+        for solver in [
+            SolverKind::GradientAscent,
+            SolverKind::Genetic,
+            SolverKind::Annealing,
+            SolverKind::Quadratic,
+            SolverKind::NelderMead,
+        ] {
+            let mut rng = StdRng::seed_from_u64(6);
+            let config = ValidationConfig { solver, ..Default::default() };
+            let out = validate_assertion(&assertion, &ch, &config, &mut rng);
+            assert!(
+                !out.verdict.passed(),
+                "{} missed the flip bug: {:?} optimum {:?}",
+                solver.name(),
+                out.verdict,
+                out.optimum
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "uncharacterized tracepoint")]
+    fn unknown_tracepoint_rejected() {
+        let ch = full_characterization(&identity_program(), 0);
+        let assertion = AssumeGuarantee::new().guarantee_state(
+            morph_qprog::TracepointId(9),
+            StatePredicate::IsPure,
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = validate_assertion(&assertion, &ch, &ValidationConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,326 @@
+//! High-level verification front-end: the three-step MorphQPV flow
+//! (assert → characterize → validate) behind one builder.
+
+use morph_clifford::{InputEnsemble, InputState};
+use morph_qprog::Circuit;
+use morph_qsim::NoiseModel;
+use morph_tomography::{CostLedger, ReadoutMode};
+use rand::rngs::StdRng;
+
+use crate::assertion::AssumeGuarantee;
+use crate::characterize::{
+    characterize, characterize_with_inputs, Characterization, CharacterizationConfig,
+};
+use crate::validate::{validate_assertion, ValidationConfig, ValidationOutcome, Verdict};
+
+/// A complete verification run over one program.
+///
+/// # Examples
+///
+/// Verify that a NOT program maps every pure input to its bit-flip:
+///
+/// ```
+/// use morph_qprog::TracepointId;
+/// use morphqpv::{RelationPredicate, StatePredicate, Verifier};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut program = morph_qprog::Circuit::new(1);
+/// program.tracepoint(1, &[0]);
+/// program.x(0);
+/// program.tracepoint(2, &[0]);
+///
+/// let x = morph_qsim::matrices::x();
+/// let report = Verifier::new(program)
+///     .input_qubits(&[0])
+///     .samples(4)
+///     .assert_that(
+///         morphqpv::AssumeGuarantee::new().guarantee_relation(
+///             TracepointId(1),
+///             TracepointId(2),
+///             RelationPredicate::custom(move |a, b| {
+///                 (&x.matmul(a).matmul(&x) - b).frobenius_norm()
+///             }),
+///         ),
+///     )
+///     .run(&mut StdRng::seed_from_u64(7));
+/// assert!(report.all_passed());
+/// ```
+#[derive(Debug)]
+pub struct Verifier {
+    circuit: Circuit,
+    assertions: Vec<AssumeGuarantee>,
+    characterization_config: CharacterizationConfig,
+    validation_config: ValidationConfig,
+    explicit_inputs: Option<Vec<InputState>>,
+}
+
+impl Verifier {
+    /// Starts a verification of `circuit`. Defaults: all qubits are input
+    /// qubits, `2^(N_in+1)` capped at 32 samples, Clifford ensemble, exact
+    /// readout, noiseless, QP solver.
+    pub fn new(circuit: Circuit) -> Self {
+        let n = circuit.n_qubits();
+        let input_qubits: Vec<usize> = (0..n).collect();
+        let n_samples = CharacterizationConfig::paper_full_budget(n).min(32);
+        Verifier {
+            circuit,
+            assertions: Vec::new(),
+            characterization_config: CharacterizationConfig {
+                n_samples,
+                ensemble: InputEnsemble::Clifford,
+                readout: ReadoutMode::Exact,
+                input_qubits,
+                noise: NoiseModel::noiseless(),
+            },
+            validation_config: ValidationConfig::default(),
+            explicit_inputs: None,
+        }
+    }
+
+    /// Restricts the program input to the given qubits (the rest start in
+    /// `|0⟩`). Resets the sample budget to `2^(N_in+1)` capped at 64.
+    pub fn input_qubits(mut self, qubits: &[usize]) -> Self {
+        self.characterization_config.input_qubits = qubits.to_vec();
+        self.characterization_config.n_samples =
+            CharacterizationConfig::paper_full_budget(qubits.len()).min(64);
+        self
+    }
+
+    /// Sets the number of sampled inputs (`N_sample`).
+    pub fn samples(mut self, n: usize) -> Self {
+        self.characterization_config.n_samples = n;
+        self
+    }
+
+    /// Selects the input ensemble (Fig 15(a) ablation).
+    pub fn ensemble(mut self, ensemble: InputEnsemble) -> Self {
+        self.characterization_config.ensemble = ensemble;
+        self
+    }
+
+    /// Selects the tracepoint readout mode (exact / shots / probabilities —
+    /// the latter is Strategy-prop).
+    pub fn readout(mut self, readout: ReadoutMode) -> Self {
+        self.characterization_config.readout = readout;
+        self
+    }
+
+    /// Applies a hardware noise model to the sampling runs.
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.characterization_config.noise = noise;
+        self
+    }
+
+    /// Overrides the validation configuration (solver, thresholds).
+    pub fn validation(mut self, config: ValidationConfig) -> Self {
+        self.validation_config = config;
+        self
+    }
+
+    /// Supplies explicit input states (Strategy-adapt / Strategy-const)
+    /// instead of ensemble sampling.
+    pub fn with_inputs(mut self, inputs: Vec<InputState>) -> Self {
+        self.explicit_inputs = Some(inputs);
+        self
+    }
+
+    /// Adds an assertion to verify.
+    pub fn assert_that(mut self, assertion: AssumeGuarantee) -> Self {
+        self.assertions.push(assertion);
+        self
+    }
+
+    /// Runs characterization once, then validates every assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no assertions were added or the program has no
+    /// tracepoints.
+    pub fn run(&self, rng: &mut StdRng) -> VerificationReport {
+        assert!(!self.assertions.is_empty(), "no assertions to verify");
+        let characterization = match &self.explicit_inputs {
+            Some(inputs) => characterize_with_inputs(
+                &self.circuit,
+                &self.characterization_config,
+                inputs.clone(),
+                rng,
+            ),
+            None => characterize(&self.circuit, &self.characterization_config, rng),
+        };
+        let outcomes: Vec<ValidationOutcome> = self
+            .assertions
+            .iter()
+            .map(|a| validate_assertion(a, &characterization, &self.validation_config, rng))
+            .collect();
+        VerificationReport { characterization, outcomes }
+    }
+}
+
+/// One-call verification of a program written in the surface syntax:
+/// parses the circuit (`qreg`/gates/`T <id> q[..]`), extracts the
+/// `// assert <spec>` comments, and runs the default pipeline with inputs
+/// on the given qubits.
+///
+/// # Errors
+///
+/// Returns the parse error (program or spec) as a boxed error.
+///
+/// # Panics
+///
+/// Panics if the source contains no assertions or no tracepoints (a
+/// verification with nothing to check is a caller bug).
+///
+/// # Examples
+///
+/// ```
+/// use morphqpv::verify_source;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let report = verify_source(
+///     "qreg q[1];\n\
+///      T 1 q[0];\n\
+///      h q[0];\n\
+///      h q[0];\n\
+///      T 2 q[0];\n\
+///      // assert assume is_pure(T1) guarantee equal(T1, T2)",
+///     &[0],
+///     &mut StdRng::seed_from_u64(0),
+/// )?;
+/// assert!(report.all_passed());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn verify_source(
+    source: &str,
+    input_qubits: &[usize],
+    rng: &mut StdRng,
+) -> Result<VerificationReport, Box<dyn std::error::Error>> {
+    let circuit = morph_qprog::parse_program(source)?;
+    let assertions = crate::spec::assertions_from_source(source)?;
+    assert!(!assertions.is_empty(), "source contains no `// assert` specifications");
+    let mut verifier = Verifier::new(circuit).input_qubits(input_qubits);
+    for a in assertions {
+        verifier = verifier.assert_that(a);
+    }
+    Ok(verifier.run(rng))
+}
+
+/// The result of a full verification run.
+#[derive(Debug)]
+pub struct VerificationReport {
+    /// The shared characterization (sampling results + costs).
+    pub characterization: Characterization,
+    /// One validation outcome per assertion, in insertion order.
+    pub outcomes: Vec<ValidationOutcome>,
+}
+
+impl VerificationReport {
+    /// `true` if every assertion passed.
+    pub fn all_passed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.verdict.passed())
+    }
+
+    /// The first failing outcome, if any.
+    pub fn first_failure(&self) -> Option<&ValidationOutcome> {
+        self.outcomes.iter().find(|o| !o.verdict.passed())
+    }
+
+    /// Minimum confidence across passed assertions (1.0 when none passed).
+    pub fn min_confidence(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match &o.verdict {
+                Verdict::Passed { confidence, .. } => Some(*confidence),
+                Verdict::Failed { .. } => None,
+            })
+            .fold(1.0, f64::min)
+    }
+
+    /// Total execution costs of the run.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.characterization.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{RelationPredicate, StatePredicate};
+    use morph_qprog::TracepointId;
+    use rand::SeedableRng;
+
+    fn ghz_with_traces() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.tracepoint(1, &[0]);
+        c.h(0).cx(0, 1).cx(1, 2);
+        c.tracepoint(2, &[2]);
+        c
+    }
+
+    #[test]
+    fn verifier_reports_costs_and_confidence() {
+        // For input α|0⟩+β|1⟩ on q0, the GHZ chain ends with
+        // ⟨Z⟩ on q2 equal to ⟨X⟩ of the input — assert exactly that
+        // relation (it holds for every input).
+        let x = morph_qsim::matrices::x();
+        let z = morph_qsim::matrices::z();
+        let report = Verifier::new(ghz_with_traces())
+            .input_qubits(&[0])
+            .samples(4)
+            .ensemble(morph_clifford::InputEnsemble::PauliProduct)
+            .assert_that(AssumeGuarantee::new().guarantee_relation(
+                TracepointId(1),
+                TracepointId(2),
+                RelationPredicate::custom(move |t1, t2| {
+                    (morph_linalg::expectation(&x, t1) - morph_linalg::expectation(&z, t2))
+                        .abs()
+                        - 1e-6
+                }),
+            ))
+            .run(&mut StdRng::seed_from_u64(0));
+        assert!(report.all_passed(), "{:?}", report.first_failure().map(|o| &o.verdict));
+        assert!(report.ledger().executions > 0);
+        assert!(report.min_confidence() > 0.9);
+    }
+
+    #[test]
+    fn multiple_assertions_evaluated_in_order() {
+        let report = Verifier::new(ghz_with_traces())
+            .input_qubits(&[0])
+            .samples(4)
+            .ensemble(morph_clifford::InputEnsemble::PauliProduct)
+            .assert_that(
+                AssumeGuarantee::new()
+                    .assume(crate::StateRef::Input, StatePredicate::IsPure)
+                    .guarantee_state(TracepointId(1), StatePredicate::IsPure),
+            )
+            .assert_that(
+                // Deliberately wrong: T2 should equal |1><1| always.
+                AssumeGuarantee::new().guarantee_state(
+                    TracepointId(2),
+                    StatePredicate::equals(CMatrixFixtures::one()),
+                ),
+            )
+            .run(&mut StdRng::seed_from_u64(1));
+        assert_eq!(report.outcomes.len(), 2);
+        assert!(report.outcomes[0].verdict.passed());
+        assert!(!report.outcomes[1].verdict.passed());
+        assert!(!report.all_passed());
+        assert!(report.first_failure().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no assertions")]
+    fn empty_verifier_rejected() {
+        let _ = Verifier::new(ghz_with_traces()).run(&mut StdRng::seed_from_u64(0));
+    }
+
+    struct CMatrixFixtures;
+    impl CMatrixFixtures {
+        fn one() -> morph_linalg::CMatrix {
+            morph_linalg::CMatrix::outer(
+                &[morph_linalg::C64::ZERO, morph_linalg::C64::ONE],
+                &[morph_linalg::C64::ZERO, morph_linalg::C64::ONE],
+            )
+        }
+    }
+}

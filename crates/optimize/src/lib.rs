@@ -1,0 +1,40 @@
+//! Constrained-optimization substrate for MorphQPV's assertion validation.
+//!
+//! Section 6.1 turns an assume–guarantee assertion into
+//! `maximize P₃(α) subject to P₁(α) ≤ 0, P₂(α) ≤ 0` over the real
+//! coefficients `α` of the isomorphism-based approximation. This crate
+//! supplies:
+//!
+//! - [`Objective`] / [`FnObjective`]: the function interface (finite-
+//!   difference gradients by default).
+//! - [`ConstrainedProblem`]: quadratic-penalty handling of the assumptions.
+//! - Solvers ([`Optimizer`] implementations): [`GradientAscent`] (Adam),
+//!   [`GeneticAlgorithm`], [`SimulatedAnnealing`], and [`QuadraticProgram`]
+//!   — the latter standing in for the paper's Gurobi backend and compared
+//!   in Fig 15(b).
+//!
+//! # Examples
+//!
+//! ```
+//! use morph_optimize::{Bounds, FnObjective, GradientAscent, Optimizer};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let objective = FnObjective::new(1, |x| -(x[0] - 0.25).powi(2));
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let result = GradientAscent::default().maximize(
+//!     &objective,
+//!     &Bounds::uniform(1, -1.0, 1.0),
+//!     &mut rng,
+//! );
+//! assert!((result.x[0] - 0.25).abs() < 1e-2);
+//! ```
+
+mod nelder_mead;
+mod objective;
+mod solvers;
+
+pub use objective::{Bounds, ConstrainedProblem, FnObjective, Objective, OptResult};
+pub use nelder_mead::NelderMead;
+pub use solvers::{
+    GeneticAlgorithm, GradientAscent, Optimizer, QuadraticProgram, SimulatedAnnealing,
+};

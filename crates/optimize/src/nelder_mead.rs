@@ -1,0 +1,198 @@
+//! Nelder–Mead simplex maximization — a derivative-free solver that often
+//! beats gradient methods on the kinked (norm-of-difference) objectives the
+//! assertion validation produces.
+
+use rand::rngs::StdRng;
+
+use crate::objective::{Bounds, Objective, OptResult};
+use crate::solvers::Optimizer;
+
+/// The Nelder–Mead downhill-simplex method (run on the negated objective),
+/// with random restarts and bound projection.
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    /// Iterations (simplex updates) per restart.
+    pub iterations: usize,
+    /// Number of random restarts.
+    pub restarts: usize,
+    /// Initial simplex edge as a fraction of the bound width.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead { iterations: 400, restarts: 3, initial_step: 0.25 }
+    }
+}
+
+impl Optimizer for NelderMead {
+    fn maximize(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        rng: &mut StdRng,
+    ) -> OptResult {
+        let n = objective.dim();
+        let mut evaluations = 0u64;
+        let mut best_x: Option<Vec<f64>> = None;
+        let mut best_v = f64::NEG_INFINITY;
+
+        for _ in 0..self.restarts {
+            // Initial simplex: a random point plus axis-offset vertices.
+            let origin = bounds.sample(rng);
+            let mut simplex: Vec<Vec<f64>> = vec![origin.clone()];
+            for i in 0..n {
+                let mut v = origin.clone();
+                let width = bounds.upper()[i] - bounds.lower()[i];
+                v[i] += self.initial_step * width;
+                bounds.project(&mut v);
+                simplex.push(v);
+            }
+            let mut values: Vec<f64> = simplex
+                .iter()
+                .map(|x| {
+                    evaluations += 1;
+                    objective.value(x)
+                })
+                .collect();
+
+            for _ in 0..self.iterations {
+                // Order vertices: best (max) first.
+                let mut order: Vec<usize> = (0..simplex.len()).collect();
+                order.sort_by(|&a, &b| {
+                    values[b].partial_cmp(&values[a]).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let best = order[0];
+                let worst = order[order.len() - 1];
+                let second_worst = order[order.len() - 2];
+
+                // Centroid of all but the worst.
+                let mut centroid = vec![0.0; n];
+                for (idx, vertex) in simplex.iter().enumerate() {
+                    if idx == worst {
+                        continue;
+                    }
+                    for (c, &vi) in centroid.iter_mut().zip(vertex) {
+                        *c += vi / n as f64;
+                    }
+                }
+                let blend = |alpha: f64| -> Vec<f64> {
+                    let mut x: Vec<f64> = centroid
+                        .iter()
+                        .zip(&simplex[worst])
+                        .map(|(&c, &w)| c + alpha * (c - w))
+                        .collect();
+                    bounds.project(&mut x);
+                    x
+                };
+
+                // Reflection.
+                let reflected = blend(1.0);
+                let fr = objective.value(&reflected);
+                evaluations += 1;
+                if fr > values[best] {
+                    // Expansion.
+                    let expanded = blend(2.0);
+                    let fe = objective.value(&expanded);
+                    evaluations += 1;
+                    if fe > fr {
+                        simplex[worst] = expanded;
+                        values[worst] = fe;
+                    } else {
+                        simplex[worst] = reflected;
+                        values[worst] = fr;
+                    }
+                } else if fr > values[second_worst] {
+                    simplex[worst] = reflected;
+                    values[worst] = fr;
+                } else {
+                    // Contraction.
+                    let contracted = blend(-0.5);
+                    let fc = objective.value(&contracted);
+                    evaluations += 1;
+                    if fc > values[worst] {
+                        simplex[worst] = contracted;
+                        values[worst] = fc;
+                    } else {
+                        // Shrink toward the best vertex.
+                        let anchor = simplex[best].clone();
+                        for (idx, vertex) in simplex.iter_mut().enumerate() {
+                            if idx == best {
+                                continue;
+                            }
+                            for (vi, &ai) in vertex.iter_mut().zip(&anchor) {
+                                *vi = ai + 0.5 * (*vi - ai);
+                            }
+                            bounds.project(vertex);
+                            values[idx] = objective.value(vertex);
+                            evaluations += 1;
+                        }
+                    }
+                }
+            }
+            for (x, &v) in simplex.iter().zip(&values) {
+                if v > best_v {
+                    best_v = v;
+                    best_x = Some(x.clone());
+                }
+            }
+        }
+        OptResult {
+            x: best_x.expect("at least one restart ran"),
+            value: best_v,
+            iterations: self.iterations * self.restarts,
+            evaluations,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Nelder-Mead"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_quadratic_peak() {
+        let obj = FnObjective::new(2, |x| -((x[0] - 0.3).powi(2) + (x[1] + 0.4).powi(2)));
+        let bounds = Bounds::uniform(2, -1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let res = NelderMead::default().maximize(&obj, &bounds, &mut rng);
+        assert!((res.x[0] - 0.3).abs() < 0.02, "x0={}", res.x[0]);
+        assert!((res.x[1] + 0.4).abs() < 0.02, "x1={}", res.x[1]);
+    }
+
+    #[test]
+    fn handles_kinked_objectives() {
+        // |x − 0.5| style kink where quadratic fits mislead.
+        let obj = FnObjective::new(2, |x| -((x[0] - 0.5).abs() + (x[1] - 0.25).abs()));
+        let bounds = Bounds::uniform(2, -1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let res = NelderMead::default().maximize(&obj, &bounds, &mut rng);
+        assert!(res.value > -0.05, "value {}", res.value);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let obj = FnObjective::new(3, |x| x.iter().sum());
+        let bounds = Bounds::uniform(3, -1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let res = NelderMead::default().maximize(&obj, &bounds, &mut rng);
+        assert!(res.x.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        assert!(res.value > 2.5, "should reach the corner, got {}", res.value);
+    }
+
+    #[test]
+    fn reports_effort() {
+        let obj = FnObjective::new(1, |x| -x[0] * x[0]);
+        let bounds = Bounds::uniform(1, -1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let res = NelderMead::default().maximize(&obj, &bounds, &mut rng);
+        assert!(res.evaluations > 100);
+        assert!((res.x[0]).abs() < 0.01);
+    }
+}

@@ -1,0 +1,495 @@
+//! Maximization solvers: Adam-style gradient ascent, a genetic algorithm,
+//! simulated annealing, and a quadratic-programming solver (projected
+//! gradient with exact quadratic line search) standing in for Gurobi.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::objective::{Bounds, Objective, OptResult};
+
+/// A maximizer over a box-bounded search space.
+///
+/// All solvers are deterministic given the RNG; experiments seed it.
+pub trait Optimizer {
+    /// Maximizes `objective` inside `bounds`.
+    fn maximize(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        rng: &mut StdRng,
+    ) -> OptResult;
+
+    /// Human-readable solver name (used in Fig 15(b) reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Projected Adam gradient ascent with random restarts.
+#[derive(Debug, Clone)]
+pub struct GradientAscent {
+    /// Adam step size.
+    pub learning_rate: f64,
+    /// Iterations per restart.
+    pub iterations: usize,
+    /// Number of random restarts.
+    pub restarts: usize,
+}
+
+impl Default for GradientAscent {
+    fn default() -> Self {
+        GradientAscent { learning_rate: 0.05, iterations: 300, restarts: 4 }
+    }
+}
+
+impl Optimizer for GradientAscent {
+    fn maximize(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        rng: &mut StdRng,
+    ) -> OptResult {
+        let dim = objective.dim();
+        let mut best_x = bounds.sample(rng);
+        let mut best_v = objective.value(&best_x);
+        let mut evaluations = 1u64;
+        let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
+        for _ in 0..self.restarts {
+            let mut x = bounds.sample(rng);
+            let mut m = vec![0.0; dim];
+            let mut v = vec![0.0; dim];
+            let mut grad = vec![0.0; dim];
+            for t in 1..=self.iterations {
+                objective.gradient(&x, &mut grad);
+                evaluations += 2 * dim as u64;
+                for i in 0..dim {
+                    m[i] = beta1 * m[i] + (1.0 - beta1) * grad[i];
+                    v[i] = beta2 * v[i] + (1.0 - beta2) * grad[i] * grad[i];
+                    let mh = m[i] / (1.0 - beta1.powi(t as i32));
+                    let vh = v[i] / (1.0 - beta2.powi(t as i32));
+                    x[i] += self.learning_rate * mh / (vh.sqrt() + eps);
+                }
+                bounds.project(&mut x);
+            }
+            let value = objective.value(&x);
+            evaluations += 1;
+            if value > best_v {
+                best_v = value;
+                best_x = x;
+            }
+        }
+        OptResult {
+            x: best_x,
+            value: best_v,
+            iterations: self.iterations * self.restarts,
+            evaluations,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "gradient-ascent (Adam)"
+    }
+}
+
+/// Tournament-selection genetic algorithm with blend crossover and Gaussian
+/// mutation.
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Mutation step as a fraction of the bound width.
+    pub mutation_scale: f64,
+}
+
+impl Default for GeneticAlgorithm {
+    fn default() -> Self {
+        GeneticAlgorithm {
+            population: 60,
+            generations: 80,
+            mutation_rate: 0.15,
+            mutation_scale: 0.1,
+        }
+    }
+}
+
+impl Optimizer for GeneticAlgorithm {
+    fn maximize(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        rng: &mut StdRng,
+    ) -> OptResult {
+        let dim = objective.dim();
+        let mut population: Vec<Vec<f64>> =
+            (0..self.population).map(|_| bounds.sample(rng)).collect();
+        let mut fitness: Vec<f64> = population.iter().map(|x| objective.value(x)).collect();
+        let mut evaluations = self.population as u64;
+
+        let mut best_idx = argmax(&fitness);
+        let mut best_x = population[best_idx].clone();
+        let mut best_v = fitness[best_idx];
+
+        for _ in 0..self.generations {
+            let mut next = Vec::with_capacity(self.population);
+            // Elitism: carry over the best individual.
+            next.push(best_x.clone());
+            while next.len() < self.population {
+                let a = tournament(&fitness, rng);
+                let b = tournament(&fitness, rng);
+                let mut child = vec![0.0; dim];
+                let blend: f64 = rng.gen();
+                for i in 0..dim {
+                    child[i] = blend * population[a][i] + (1.0 - blend) * population[b][i];
+                    if rng.gen::<f64>() < self.mutation_rate {
+                        let width = bounds.upper()[i] - bounds.lower()[i];
+                        child[i] += gaussian(rng) * self.mutation_scale * width;
+                    }
+                }
+                bounds.project(&mut child);
+                next.push(child);
+            }
+            population = next;
+            fitness = population.iter().map(|x| objective.value(x)).collect();
+            evaluations += self.population as u64;
+            best_idx = argmax(&fitness);
+            if fitness[best_idx] > best_v {
+                best_v = fitness[best_idx];
+                best_x = population[best_idx].clone();
+            }
+        }
+        OptResult { x: best_x, value: best_v, iterations: self.generations, evaluations }
+    }
+
+    fn name(&self) -> &'static str {
+        "genetic algorithm"
+    }
+}
+
+/// Simulated annealing with geometric cooling.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    /// Total proposal steps.
+    pub iterations: usize,
+    /// Initial temperature.
+    pub initial_temperature: f64,
+    /// Multiplicative cooling factor per step.
+    pub cooling: f64,
+    /// Proposal step as a fraction of the bound width.
+    pub step_scale: f64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            iterations: 4000,
+            initial_temperature: 1.0,
+            cooling: 0.999,
+            step_scale: 0.1,
+        }
+    }
+}
+
+impl Optimizer for SimulatedAnnealing {
+    fn maximize(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        rng: &mut StdRng,
+    ) -> OptResult {
+        let dim = objective.dim();
+        let mut x = bounds.sample(rng);
+        let mut v = objective.value(&x);
+        let mut best_x = x.clone();
+        let mut best_v = v;
+        let mut temperature = self.initial_temperature;
+        let mut evaluations = 1u64;
+        for _ in 0..self.iterations {
+            let mut candidate = x.clone();
+            let i = rng.gen_range(0..dim);
+            let width = bounds.upper()[i] - bounds.lower()[i];
+            candidate[i] += gaussian(rng) * self.step_scale * width;
+            bounds.project(&mut candidate);
+            let cv = objective.value(&candidate);
+            evaluations += 1;
+            let accept = cv > v || rng.gen::<f64>() < ((cv - v) / temperature.max(1e-12)).exp();
+            if accept {
+                x = candidate;
+                v = cv;
+                if v > best_v {
+                    best_v = v;
+                    best_x = x.clone();
+                }
+            }
+            temperature *= self.cooling;
+        }
+        OptResult { x: best_x, value: best_v, iterations: self.iterations, evaluations }
+    }
+
+    fn name(&self) -> &'static str {
+        "simulated annealing"
+    }
+}
+
+/// Quadratic-programming solver: fits the (assumed quadratic) objective
+/// once by finite differences, then runs projected gradient ascent with the
+/// *exact* quadratic step size from several starts. This is the crate's
+/// stand-in for the paper's Gurobi backend; MorphQPV's validation
+/// objectives over the `α` coefficients are quadratics, so the fit is exact
+/// up to rounding for them.
+#[derive(Debug, Clone)]
+pub struct QuadraticProgram {
+    /// Projected-gradient iterations per start.
+    pub iterations: usize,
+    /// Number of starts.
+    pub starts: usize,
+}
+
+impl Default for QuadraticProgram {
+    fn default() -> Self {
+        QuadraticProgram { iterations: 200, starts: 4 }
+    }
+}
+
+impl QuadraticProgram {
+    /// Fits `f(x) ≈ ½ xᵀQx + cᵀx + b` by finite differences around 0.
+    fn fit_quadratic(objective: &dyn Objective, evaluations: &mut u64) -> (Vec<Vec<f64>>, Vec<f64>, f64) {
+        let n = objective.dim();
+        let h = 1e-3;
+        let zero = vec![0.0; n];
+        let f0 = objective.value(&zero);
+        *evaluations += 1;
+        let mut c = vec![0.0; n];
+        let mut fp = vec![0.0; n];
+        let mut fm = vec![0.0; n];
+        let mut probe = zero.clone();
+        for i in 0..n {
+            probe[i] = h;
+            fp[i] = objective.value(&probe);
+            probe[i] = -h;
+            fm[i] = objective.value(&probe);
+            probe[i] = 0.0;
+            c[i] = (fp[i] - fm[i]) / (2.0 * h);
+            *evaluations += 2;
+        }
+        let mut q = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            q[i][i] = (fp[i] - 2.0 * f0 + fm[i]) / (h * h);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                probe[i] = h;
+                probe[j] = h;
+                let fpp = objective.value(&probe);
+                probe[j] = -h;
+                let fpm = objective.value(&probe);
+                probe[i] = -h;
+                let fmm = objective.value(&probe);
+                probe[j] = h;
+                let fmp = objective.value(&probe);
+                probe[i] = 0.0;
+                probe[j] = 0.0;
+                *evaluations += 4;
+                let qij = (fpp - fpm - fmp + fmm) / (4.0 * h * h);
+                q[i][j] = qij;
+                q[j][i] = qij;
+            }
+        }
+        (q, c, f0)
+    }
+}
+
+impl Optimizer for QuadraticProgram {
+    fn maximize(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        rng: &mut StdRng,
+    ) -> OptResult {
+        let n = objective.dim();
+        let mut evaluations = 0u64;
+        let (q, c, _) = Self::fit_quadratic(objective, &mut evaluations);
+
+        let grad = |x: &[f64], out: &mut [f64]| {
+            for i in 0..n {
+                let mut g = c[i];
+                for j in 0..n {
+                    g += q[i][j] * x[j];
+                }
+                out[i] = g;
+            }
+        };
+
+        let mut best_x = bounds.sample(rng);
+        let mut best_v = objective.value(&best_x);
+        evaluations += 1;
+
+        for _ in 0..self.starts {
+            let mut x = bounds.sample(rng);
+            let mut g = vec![0.0; n];
+            for _ in 0..self.iterations {
+                grad(&x, &mut g);
+                // Exact line search for quadratic: t* = gᵀg / (−gᵀQg) when
+                // the curvature along g is negative; otherwise take a bold
+                // fixed step toward the boundary.
+                let gg: f64 = g.iter().map(|v| v * v).sum();
+                if gg < 1e-18 {
+                    break;
+                }
+                let mut gqg = 0.0;
+                for i in 0..n {
+                    for j in 0..n {
+                        gqg += g[i] * q[i][j] * g[j];
+                    }
+                }
+                let t = if gqg < -1e-12 { -gg / gqg } else { 1.0 };
+                for i in 0..n {
+                    x[i] += t * g[i];
+                }
+                bounds.project(&mut x);
+            }
+            let v = objective.value(&x);
+            evaluations += 1;
+            if v > best_v {
+                best_v = v;
+                best_x = x;
+            }
+        }
+        OptResult {
+            x: best_x,
+            value: best_v,
+            iterations: self.iterations * self.starts,
+            evaluations,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "quadratic programming"
+    }
+}
+
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn tournament(fitness: &[f64], rng: &mut StdRng) -> usize {
+    let a = rng.gen_range(0..fitness.len());
+    let b = rng.gen_range(0..fitness.len());
+    if fitness[a] >= fitness[b] {
+        a
+    } else {
+        b
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn solvers() -> Vec<Box<dyn Optimizer>> {
+        vec![
+            Box::new(GradientAscent::default()),
+            Box::new(GeneticAlgorithm::default()),
+            Box::new(SimulatedAnnealing::default()),
+            Box::new(QuadraticProgram::default()),
+        ]
+    }
+
+    #[test]
+    fn all_solvers_find_quadratic_peak() {
+        // max −(x−0.3)² − (y+0.4)², peak at (0.3, −0.4), value 0.
+        let obj =
+            FnObjective::new(2, |x| -((x[0] - 0.3).powi(2) + (x[1] + 0.4).powi(2)));
+        let bounds = Bounds::uniform(2, -1.0, 1.0);
+        for solver in solvers() {
+            let mut rng = StdRng::seed_from_u64(1);
+            let res = solver.maximize(&obj, &bounds, &mut rng);
+            assert!(
+                res.value > -1e-2,
+                "{} missed the peak: value {}",
+                solver.name(),
+                res.value
+            );
+            assert!((res.x[0] - 0.3).abs() < 0.1, "{} x0={}", solver.name(), res.x[0]);
+            assert!((res.x[1] + 0.4).abs() < 0.1, "{} x1={}", solver.name(), res.x[1]);
+        }
+    }
+
+    #[test]
+    fn solvers_respect_bounds() {
+        // Unbounded maximum at +∞; solution must stay at the box edge.
+        let obj = FnObjective::new(2, |x| x[0] + x[1]);
+        let bounds = Bounds::uniform(2, -1.0, 1.0);
+        for solver in solvers() {
+            let mut rng = StdRng::seed_from_u64(2);
+            let res = solver.maximize(&obj, &bounds, &mut rng);
+            assert!(res.x.iter().all(|&v| (-1.0..=1.0).contains(&v)), "{}", solver.name());
+            assert!(res.value > 1.5, "{} should reach the corner, got {}", solver.name(), res.value);
+        }
+    }
+
+    #[test]
+    fn qp_is_exact_on_pure_quadratics() {
+        // max −x'Ax + b'x with known optimum.
+        let obj = FnObjective::new(3, |x| {
+            -(2.0 * x[0] * x[0] + x[1] * x[1] + 0.5 * x[2] * x[2])
+                + x[0]
+                + 2.0 * x[1]
+                - x[2]
+        });
+        // Optimum: x0 = 1/4, x1 = 1, x2 = −1.
+        let bounds = Bounds::uniform(3, -2.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let res = QuadraticProgram::default().maximize(&obj, &bounds, &mut rng);
+        assert!((res.x[0] - 0.25).abs() < 1e-3, "x0={}", res.x[0]);
+        assert!((res.x[1] - 1.0).abs() < 1e-3, "x1={}", res.x[1]);
+        assert!((res.x[2] + 1.0).abs() < 1e-3, "x2={}", res.x[2]);
+    }
+
+    #[test]
+    fn annealing_escapes_local_maxima() {
+        // Double bump: local max at −0.5 (h=0.5), global at +0.6 (h=1).
+        let obj = FnObjective::new(1, |x| {
+            let a = 0.5 * (-(x[0] + 0.5).powi(2) / 0.01).exp();
+            let b = 1.0 * (-(x[0] - 0.6).powi(2) / 0.01).exp();
+            a + b
+        });
+        let bounds = Bounds::uniform(1, -1.0, 1.0);
+        let mut found = 0;
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let res = SimulatedAnnealing::default().maximize(&obj, &bounds, &mut rng);
+            if (res.x[0] - 0.6).abs() < 0.05 {
+                found += 1;
+            }
+        }
+        assert!(found >= 3, "annealing found the global bump only {found}/5 times");
+    }
+
+    #[test]
+    fn results_report_effort() {
+        let obj = FnObjective::new(1, |x| -x[0] * x[0]);
+        let bounds = Bounds::uniform(1, -1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let res = GradientAscent::default().maximize(&obj, &bounds, &mut rng);
+        assert!(res.iterations > 0);
+        assert!(res.evaluations > 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! GHZ state preparation — the introductory tracepoint example (Section 4).
+
+use morph_qprog::Circuit;
+
+/// The GHZ preparation circuit: `H` on qubit 0 then a CX chain.
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n >= 2, "GHZ needs at least two qubits");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_qprog::Executor;
+    use morph_qsim::StateVector;
+
+    #[test]
+    fn ghz_amplitudes() {
+        for n in [2usize, 3, 5] {
+            let c = ghz(n);
+            let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
+            let out = Executor::new()
+                .run_trajectory(&c, &StateVector::zero_state(n), &mut rng)
+                .final_state;
+            let probs = out.probabilities();
+            assert!((probs[0] - 0.5).abs() < 1e-12, "n={n}");
+            assert!((probs[(1 << n) - 1] - 0.5).abs() < 1e-12, "n={n}");
+            assert!(probs[1..(1 << n) - 1].iter().all(|&p| p < 1e-12), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_qubit() {
+        let _ = ghz(1);
+    }
+}

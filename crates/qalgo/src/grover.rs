@@ -1,0 +1,159 @@
+//! Bernstein–Vazirani and Grover search — the algorithms the paper cites
+//! as consumers of the quantum-lock phase-kickback module (Section 7.1).
+
+use morph_qprog::Circuit;
+
+/// Bernstein–Vazirani: recovers a secret bit string with one oracle call.
+///
+/// Register layout: qubits `0..n` hold the query register, qubit `n` is the
+/// phase ancilla. After the circuit, measuring the query register yields
+/// `secret` deterministically.
+///
+/// # Panics
+///
+/// Panics if the secret does not fit `n` bits or `n == 0`.
+pub fn bernstein_vazirani(n: usize, secret: u64) -> Circuit {
+    assert!(n > 0, "need at least one secret bit");
+    assert!(n >= 64 || secret < (1u64 << n), "secret does not fit");
+    let mut c = Circuit::new(n + 1);
+    // Ancilla in |−⟩.
+    c.x(n);
+    c.h(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    // Oracle: f(x) = s·x realized as CX from each secret bit to the
+    // ancilla.
+    for q in 0..n {
+        if (secret >> (n - 1 - q)) & 1 == 1 {
+            c.cx(q, n);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+/// Grover search over `n` qubits for a single marked basis state, with the
+/// standard optimal iteration count `⌊π/4 · √(2^n)⌋` (minimum 1).
+///
+/// # Panics
+///
+/// Panics if `marked >= 2^n` or `n == 0`.
+pub fn grover(n: usize, marked: u64) -> Circuit {
+    grover_with_iterations(n, marked, optimal_grover_iterations(n))
+}
+
+/// Grover with an explicit iteration count.
+///
+/// # Panics
+///
+/// Panics if `marked >= 2^n` or `n == 0`.
+pub fn grover_with_iterations(n: usize, marked: u64, iterations: usize) -> Circuit {
+    assert!(n > 0, "need at least one qubit");
+    assert!(n >= 64 || marked < (1u64 << n), "marked state does not fit");
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    let all: Vec<usize> = (0..n).collect();
+    for _ in 0..iterations {
+        // Oracle: phase-flip |marked⟩ (X-masked MCZ — the quantum-lock
+        // kickback pattern).
+        let masked: Vec<usize> = (0..n)
+            .filter(|&q| (marked >> (n - 1 - q)) & 1 == 0)
+            .collect();
+        for &q in &masked {
+            c.x(q);
+        }
+        c.mcz(&all);
+        for &q in &masked {
+            c.x(q);
+        }
+        // Diffusion: H X (MCZ) X H.
+        for q in 0..n {
+            c.h(q);
+            c.x(q);
+        }
+        c.mcz(&all);
+        for q in 0..n {
+            c.x(q);
+            c.h(q);
+        }
+    }
+    c
+}
+
+/// The standard optimal Grover iteration count for a single marked state.
+pub fn optimal_grover_iterations(n: usize) -> usize {
+    (std::f64::consts::FRAC_PI_4 * ((1u64 << n) as f64).sqrt())
+        .floor()
+        .max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_qprog::Executor;
+    use morph_qsim::StateVector;
+
+    fn run(c: &Circuit) -> StateVector {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
+        Executor::new()
+            .run_trajectory(c, &StateVector::zero_state(c.n_qubits()), &mut rng)
+            .final_state
+    }
+
+    #[test]
+    fn bernstein_vazirani_recovers_secret_in_one_query() {
+        for (n, secret) in [(3usize, 0b101u64), (4, 0b0110), (5, 0b11011)] {
+            let c = bernstein_vazirani(n, secret);
+            let out = run(&c);
+            // The query register (qubits 0..n) reads the secret; ancilla in |−>.
+            let probs = out.probabilities();
+            let mut per_query = vec![0.0; 1 << n];
+            for (i, p) in probs.iter().enumerate() {
+                per_query[i >> 1] += p;
+            }
+            assert!(
+                (per_query[secret as usize] - 1.0).abs() < 1e-9,
+                "n={n}: secret {secret:b} not recovered"
+            );
+        }
+    }
+
+    #[test]
+    fn grover_amplifies_the_marked_state() {
+        let (n, marked) = (4usize, 0b1010u64);
+        let c = grover(n, marked);
+        let out = run(&c);
+        let p = out.probabilities()[marked as usize];
+        assert!(p > 0.9, "marked probability {p}");
+    }
+
+    #[test]
+    fn grover_single_iteration_on_two_qubits_is_exact() {
+        // n = 2 is the textbook case: one iteration reaches probability 1.
+        let c = grover_with_iterations(2, 0b11, 1);
+        let out = run(&c);
+        assert!((out.probabilities()[3] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn over_rotation_reduces_success() {
+        let (n, marked) = (3usize, 0b010u64);
+        let good = run(&grover_with_iterations(n, marked, 2));
+        let over = run(&grover_with_iterations(n, marked, 4));
+        assert!(
+            good.probabilities()[marked as usize] > over.probabilities()[marked as usize],
+            "over-rotation should hurt"
+        );
+    }
+
+    #[test]
+    fn iteration_count_grows_with_register() {
+        assert!(optimal_grover_iterations(6) > optimal_grover_iterations(3));
+        assert_eq!(optimal_grover_iterations(1), 1);
+    }
+}

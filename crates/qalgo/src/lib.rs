@@ -1,0 +1,146 @@
+//! Benchmark quantum programs for the MorphQPV reproduction.
+//!
+//! Every algorithm the paper evaluates against (Table 3 plus the case-study
+//! programs), implemented on the workspace's circuit IR:
+//!
+//! - [`QuantumLock`]: phase-kickback lock with an optional unexpected-key
+//!   bug (Section 7.1, Fig 7).
+//! - [`Qnn`] + [`iris_like_dataset`] + [`train_qnn`]: the quantum neural
+//!   network case study (Section 7.2) with gate pruning.
+//! - [`Qram`]: table-lookup QRAM with corruptible entries and prefix
+//!   circuits for the binary search (Section 7.3, Fig 10).
+//! - [`RepetitionCode`]: bit-flip QEC round trip.
+//! - [`qft`] / [`shor_circuit`] / [`order_finding_distribution`]: the
+//!   Shor-style benchmark.
+//! - [`xeb_circuit`] / [`linear_xeb_fidelity`]: cross-entropy benchmarking.
+//! - [`Teleportation`]: the Section 4 running example (measured and
+//!   coherent variants, plus a phase-bug variant).
+//! - [`ghz`]: the tracepoint pragma example.
+//! - [`bernstein_vazirani`] / [`grover`]: the phase-kickback consumers the
+//!   paper cites when motivating the quantum lock.
+//! - [`inject_phase_bug`] / [`mutation_battery`]: the mutation-testing bug
+//!   generator behind Table 4 and Fig 12.
+//!
+//! # Examples
+//!
+//! ```
+//! use morph_qalgo::QuantumLock;
+//!
+//! let lock = QuantumLock::new(5, 0b1011);
+//! let buggy = lock.circuit_with_bug(0b0100);
+//! assert!(buggy.gate_count() > lock.circuit().gate_count());
+//! ```
+
+mod ghz;
+mod grover;
+mod mutation;
+mod qec;
+mod qnn;
+mod qram;
+mod quantum_lock;
+mod shor;
+mod teleport;
+mod xeb;
+
+pub use ghz::ghz;
+pub use grover::{bernstein_vazirani, grover, grover_with_iterations, optimal_grover_iterations};
+pub use mutation::{inject_phase_bug, mutation_battery, InjectedBug};
+pub use qec::RepetitionCode;
+pub use qnn::{iris_like_dataset, train_qnn, FlowerSample, Qnn};
+pub use qram::Qram;
+pub use quantum_lock::QuantumLock;
+pub use shor::{inverse_qft, order_finding_distribution, qft, quantum_phase_estimation, shor_circuit};
+pub use teleport::Teleportation;
+pub use xeb::{linear_xeb_fidelity, xeb_circuit};
+
+/// The five benchmark programs of Table 3, sized by total qubits, with a
+/// uniform constructor used by the evaluation sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Quantum neural network.
+    Qnn,
+    /// Quantum lock.
+    QuantumLock,
+    /// Quantum error correction (repetition code round trip).
+    Qec,
+    /// Shor-style QFT circuit.
+    Shor,
+    /// Cross-entropy benchmarking random circuit.
+    Xeb,
+}
+
+impl Benchmark {
+    /// All five benchmarks in Table 3 order.
+    pub fn all() -> [Benchmark; 5] {
+        [
+            Benchmark::Qnn,
+            Benchmark::QuantumLock,
+            Benchmark::Qec,
+            Benchmark::Shor,
+            Benchmark::Xeb,
+        ]
+    }
+
+    /// Short name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Qnn => "QNN",
+            Benchmark::QuantumLock => "QL",
+            Benchmark::Qec => "QEC",
+            Benchmark::Shor => "Shor",
+            Benchmark::Xeb => "XEB",
+        }
+    }
+
+    /// Builds the benchmark circuit at `n` qubits (deterministic given the
+    /// RNG seed used for the randomized members).
+    ///
+    /// # Panics
+    ///
+    /// Panics for sizes a benchmark cannot support (e.g. even-qubit QEC is
+    /// rounded up to the next odd size internally, quantum lock needs ≥ 2).
+    pub fn circuit(&self, n: usize, rng: &mut impl rand::Rng) -> morph_qprog::Circuit {
+        match self {
+            Benchmark::Qnn => {
+                let model = Qnn::random(n, 2, rng);
+                model.circuit(&vec![0.7; 4.min(n)])
+            }
+            Benchmark::QuantumLock => {
+                let key = rng.gen_range(0..(1u64 << (n - 1).min(62)));
+                QuantumLock::new(n, key).circuit()
+            }
+            Benchmark::Qec => {
+                let odd = if n % 2 == 1 { n } else { n + 1 };
+                // Phase-flip variant: physical qubits are superposed, so
+                // the mutation-testing phase bugs are observable.
+                RepetitionCode::new(odd.max(3)).phase_flip_circuit(None)
+            }
+            Benchmark::Shor => shor_circuit(n),
+            Benchmark::Xeb => xeb_circuit(n, n.max(4), rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_benchmarks_build_at_table4_sizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for bench in Benchmark::all() {
+            for n in [3usize, 5, 7, 9] {
+                let c = bench.circuit(n, &mut rng);
+                assert!(c.gate_count() > 0, "{} at {n}q is empty", bench.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_table3() {
+        let names: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["QNN", "QL", "QEC", "Shor", "XEB"]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Quantum neural network benchmark — Section 7.2.
+//!
+//! An angle encoder loads four flower attributes into RY rotations; layers
+//! of parameterized single-qubit rotations with a CZ entangling ring follow;
+//! the prediction is the sign of ⟨Z⟩ on qubit 0. A deterministic synthetic
+//! two-class dataset stands in for Iris (see DESIGN.md substitutions).
+
+use morph_qprog::Circuit;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A parameterized QNN: encoder + `layers` of (RY, RZ, CZ-ring).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Qnn {
+    /// Number of qubits.
+    pub n_qubits: usize,
+    /// Rotation angles per layer: `params[layer][qubit] = (ry, rz)`.
+    pub params: Vec<Vec<(f64, f64)>>,
+}
+
+impl Qnn {
+    /// A QNN with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer's width differs from `n_qubits`.
+    pub fn new(n_qubits: usize, params: Vec<Vec<(f64, f64)>>) -> Self {
+        for layer in &params {
+            assert_eq!(layer.len(), n_qubits, "layer width mismatch");
+        }
+        Qnn { n_qubits, params }
+    }
+
+    /// A randomly-initialized QNN.
+    pub fn random(n_qubits: usize, layers: usize, rng: &mut impl Rng) -> Self {
+        let params = (0..layers)
+            .map(|_| {
+                (0..n_qubits)
+                    .map(|_| {
+                        (
+                            rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+                            rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        Qnn { n_qubits, params }
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The encoder circuit for a feature vector: feature `i` is loaded as
+    /// `RY(features[i])` on qubit `i % n`, cycling if there are more
+    /// features than qubits.
+    pub fn encoder(&self, features: &[f64]) -> Circuit {
+        let mut c = Circuit::new(self.n_qubits);
+        for (i, &f) in features.iter().enumerate() {
+            c.ry(i % self.n_qubits, f);
+        }
+        c
+    }
+
+    /// The model body (all parameterized layers, no encoder).
+    pub fn body(&self) -> Circuit {
+        let mut c = Circuit::new(self.n_qubits);
+        for layer in &self.params {
+            for (q, &(ry, rz)) in layer.iter().enumerate() {
+                c.ry(q, ry);
+                c.rz(q, rz);
+            }
+            for q in 0..self.n_qubits.saturating_sub(1) {
+                c.cz(q, q + 1);
+            }
+            // Close the ring when it is not degenerate.
+            if self.n_qubits > 2 {
+                c.cz(self.n_qubits - 1, 0);
+            }
+        }
+        c
+    }
+
+    /// Full circuit: encoder followed by the body.
+    pub fn circuit(&self, features: &[f64]) -> Circuit {
+        let mut c = self.encoder(features);
+        c.extend_from(&self.body());
+        c
+    }
+
+    /// A pruned copy with the listed `(layer, qubit, which)` rotations
+    /// zeroed out; `which` 0 = RY, 1 = RZ. Models the gate pruning the
+    /// paper verifies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn pruned(&self, removals: &[(usize, usize, usize)]) -> Qnn {
+        let mut params = self.params.clone();
+        for &(layer, qubit, which) in removals {
+            let slot = &mut params[layer][qubit];
+            match which {
+                0 => slot.0 = 0.0,
+                1 => slot.1 = 0.0,
+                other => panic!("rotation selector must be 0 or 1, got {other}"),
+            }
+        }
+        Qnn { n_qubits: self.n_qubits, params }
+    }
+
+    /// ⟨Z⟩ on qubit 0 for a feature vector (exact simulation): the model's
+    /// raw score. Positive ⇒ class "Setosa", non-positive ⇒ "Virginica".
+    pub fn score(&self, features: &[f64]) -> f64 {
+        let mut psi = morph_qsim::StateVector::zero_state(self.n_qubits);
+        for inst in self.circuit(features).instructions() {
+            if let morph_qprog::Instruction::Gate(g) = inst {
+                g.apply(&mut psi);
+            }
+        }
+        psi.expectation_z(0)
+    }
+
+    /// Classifies a feature vector.
+    pub fn predict(&self, features: &[f64]) -> bool {
+        self.score(features) > 0.0
+    }
+}
+
+/// One sample of the synthetic Iris-like dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowerSample {
+    /// Four attributes, already scaled into `[0, π]` for angle encoding.
+    pub attributes: [f64; 4],
+    /// `true` = Setosa, `false` = Virginica.
+    pub is_setosa: bool,
+}
+
+/// Generates a deterministic two-class, four-attribute dataset with the
+/// Iris shape: class clusters separated along the sepal-length axis, with
+/// mild noise. Plays the paper's Iris dataset role.
+pub fn iris_like_dataset(n_samples: usize, rng: &mut impl Rng) -> Vec<FlowerSample> {
+    (0..n_samples)
+        .map(|i| {
+            let is_setosa = i % 2 == 0;
+            let center: [f64; 4] = if is_setosa {
+                [0.8, 1.9, 0.7, 0.4]
+            } else {
+                [2.2, 1.1, 2.3, 1.9]
+            };
+            let mut attributes = [0.0; 4];
+            for (a, &c) in attributes.iter_mut().zip(&center) {
+                *a = (c + rng.gen_range(-0.3..0.3)).clamp(0.0, std::f64::consts::PI);
+            }
+            FlowerSample { attributes, is_setosa }
+        })
+        .collect()
+}
+
+/// Trains the first layer's RY angles with a simple coordinate ascent on
+/// classification accuracy. Not state-of-the-art learning — just enough to
+/// produce a working model for the case study.
+pub fn train_qnn(
+    n_qubits: usize,
+    layers: usize,
+    dataset: &[FlowerSample],
+    rng: &mut impl Rng,
+) -> Qnn {
+    let mut model = Qnn::random(n_qubits, layers, rng);
+    let accuracy = |m: &Qnn| -> f64 {
+        let correct = dataset
+            .iter()
+            .filter(|s| m.predict(&s.attributes) == s.is_setosa)
+            .count();
+        correct as f64 / dataset.len().max(1) as f64
+    };
+    let mut best = accuracy(&model);
+    for _ in 0..3 {
+        for layer in 0..layers {
+            for q in 0..n_qubits {
+                for which in 0..2 {
+                    for delta in [-0.4f64, 0.4] {
+                        let mut trial = model.clone();
+                        match which {
+                            0 => trial.params[layer][q].0 += delta,
+                            _ => trial.params[layer][q].1 += delta,
+                        }
+                        let acc = accuracy(&trial);
+                        if acc > best {
+                            best = acc;
+                            model = trial;
+                        }
+                    }
+                }
+            }
+        }
+        if best >= 0.99 {
+            break;
+        }
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn circuit_structure() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Qnn::random(4, 2, &mut rng);
+        let c = model.circuit(&[0.1, 0.2, 0.3, 0.4]);
+        // 4 encoder RY + 2 layers × (8 rotations + 4 CZ).
+        assert_eq!(c.gate_count(), 4 + 2 * (8 + 4));
+    }
+
+    #[test]
+    fn score_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = Qnn::random(4, 3, &mut rng);
+        for s in iris_like_dataset(10, &mut rng) {
+            let v = model.score(&s.attributes);
+            assert!((-1.0..=1.0).contains(&v), "score {v} out of range");
+        }
+    }
+
+    #[test]
+    fn pruning_zeroes_selected_rotations() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = Qnn::random(4, 2, &mut rng);
+        let pruned = model.pruned(&[(0, 1, 0), (1, 2, 1)]);
+        assert_eq!(pruned.params[0][1].0, 0.0);
+        assert_eq!(pruned.params[1][2].1, 0.0);
+        // Untouched parameters survive.
+        assert_eq!(pruned.params[0][0], model.params[0][0]);
+    }
+
+    #[test]
+    fn dataset_is_deterministic_given_seed() {
+        let mut a_rng = StdRng::seed_from_u64(5);
+        let mut b_rng = StdRng::seed_from_u64(5);
+        assert_eq!(iris_like_dataset(20, &mut a_rng), iris_like_dataset(20, &mut b_rng));
+    }
+
+    #[test]
+    fn dataset_classes_are_separated() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = iris_like_dataset(40, &mut rng);
+        let setosa_mean: f64 = data
+            .iter()
+            .filter(|s| s.is_setosa)
+            .map(|s| s.attributes[0])
+            .sum::<f64>()
+            / 20.0;
+        let virginica_mean: f64 = data
+            .iter()
+            .filter(|s| !s.is_setosa)
+            .map(|s| s.attributes[0])
+            .sum::<f64>()
+            / 20.0;
+        assert!(virginica_mean - setosa_mean > 0.5);
+    }
+
+    #[test]
+    fn training_beats_chance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = iris_like_dataset(30, &mut rng);
+        let model = train_qnn(4, 2, &data, &mut rng);
+        let correct = data
+            .iter()
+            .filter(|s| model.predict(&s.attributes) == s.is_setosa)
+            .count();
+        assert!(correct as f64 / 30.0 > 0.7, "accuracy {}/30", correct);
+    }
+}

@@ -1,0 +1,242 @@
+//! Quantum random access memory benchmark — Section 7.3.
+//!
+//! A table of angles `θᵢ ∈ [0, 2π]` is read by address: for input
+//! superposition `Σ λᵢ |i⟩` on the addressing qubits, the data qubit ends
+//! in `Σ λᵢ |θᵢ⟩` with `|θ⟩ = cos θ |0⟩ + sin θ |1⟩`. Each table entry is
+//! one multi-controlled RY (rotation `2θᵢ`) controlled on its address
+//! pattern.
+
+use morph_linalg::{C64, CMatrix};
+use morph_qprog::Circuit;
+
+/// A QRAM over `n_addr` addressing qubits holding `2^n_addr` angle values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Qram {
+    /// Number of addressing qubits.
+    pub n_addr: usize,
+    /// Table of angles; `values[i]` is returned for address `i`.
+    pub values: Vec<f64>,
+}
+
+impl Qram {
+    /// Creates a QRAM; the table must have exactly `2^n_addr` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on size mismatch or `n_addr == 0`.
+    pub fn new(n_addr: usize, values: Vec<f64>) -> Self {
+        assert!(n_addr > 0, "need at least one addressing qubit");
+        assert_eq!(values.len(), 1 << n_addr, "table size must be 2^n_addr");
+        Qram { n_addr, values }
+    }
+
+    /// Total register width (addresses + one data qubit).
+    pub fn n_qubits(&self) -> usize {
+        self.n_addr + 1
+    }
+
+    /// Addressing qubits.
+    pub fn address_qubits(&self) -> Vec<usize> {
+        (0..self.n_addr).collect()
+    }
+
+    /// The data qubit (last).
+    pub fn data_qubit(&self) -> usize {
+        self.n_addr
+    }
+
+    /// The read circuit: one address-masked multi-controlled RY per entry.
+    pub fn circuit(&self) -> Circuit {
+        let mut c = Circuit::new(self.n_qubits());
+        for (addr, &theta) in self.values.iter().enumerate() {
+            self.push_entry(&mut c, addr, theta);
+        }
+        c
+    }
+
+    /// The read circuit with one corrupted table entry (`wrong_value` stored
+    /// at `bad_addr` instead of the true table value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bad_addr` is out of range.
+    pub fn circuit_with_bug(&self, bad_addr: usize, wrong_value: f64) -> Circuit {
+        assert!(bad_addr < self.values.len(), "address out of range");
+        let mut c = Circuit::new(self.n_qubits());
+        for (addr, &theta) in self.values.iter().enumerate() {
+            let effective = if addr == bad_addr { wrong_value } else { theta };
+            self.push_entry(&mut c, addr, effective);
+        }
+        c
+    }
+
+    /// A circuit reading only addresses `0..limit` — the prefix programs
+    /// used by the paper's binary search for the faulty address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` exceeds the table size.
+    pub fn prefix_circuit(&self, limit: usize) -> Circuit {
+        assert!(limit <= self.values.len(), "prefix exceeds table");
+        let mut c = Circuit::new(self.n_qubits());
+        for (addr, &theta) in self.values.iter().enumerate().take(limit) {
+            self.push_entry(&mut c, addr, theta);
+        }
+        c
+    }
+
+    fn push_entry(&self, c: &mut Circuit, addr: usize, theta: f64) {
+        // X-mask the 0-bits of the address so the controls fire on |addr>.
+        let masked: Vec<usize> = (0..self.n_addr)
+            .filter(|&bit| (addr >> (self.n_addr - 1 - bit)) & 1 == 0)
+            .collect();
+        for &q in &masked {
+            c.x(q);
+        }
+        let controls: Vec<usize> = self.address_qubits();
+        c.gate(morph_qsim::Gate::MCRY(controls, self.data_qubit(), 2.0 * theta));
+        for &q in &masked {
+            c.x(q);
+        }
+    }
+
+    /// The ideal output state of the data qubit for address amplitudes
+    /// `lambda` (the paper's `Σᵢⱼ λᵢ λⱼ* |θᵢ⟩⟨θⱼ|`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda.len() != 2^n_addr`.
+    pub fn ideal_output(&self, lambda: &[C64]) -> CMatrix {
+        assert_eq!(lambda.len(), self.values.len(), "amplitude count mismatch");
+        let kets: Vec<[C64; 2]> = self
+            .values
+            .iter()
+            .map(|&t| [C64::real(t.cos()), C64::real(t.sin())])
+            .collect();
+        let mut out = CMatrix::zeros(2, 2);
+        for (i, li) in lambda.iter().enumerate() {
+            for (j, lj) in lambda.iter().enumerate() {
+                let w = *li * lj.conj();
+                for r in 0..2 {
+                    for c in 0..2 {
+                        out[(r, c)] += w * kets[i][r] * kets[j][c].conj();
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_qprog::{Executor, TracepointId};
+    use morph_qsim::StateVector;
+
+    fn data_state_for_basis_input(qram: &Qram, addr: usize) -> CMatrix {
+        let mut c = Circuit::new(qram.n_qubits());
+        c.extend_from(&qram.circuit());
+        c.tracepoint(1, &[qram.data_qubit()]);
+        let input = StateVector::basis_state(qram.n_qubits(), addr << 1);
+        Executor::new()
+            .run_expected(&c, &input)
+            .state(TracepointId(1))
+            .clone()
+    }
+
+    #[test]
+    fn basis_address_reads_its_value() {
+        let qram = Qram::new(2, vec![0.3, 1.1, 2.0, 0.7]);
+        for addr in 0..4 {
+            let rho = data_state_for_basis_input(&qram, addr);
+            let theta = qram.values[addr];
+            let expected = qram.ideal_output(
+                &(0..4)
+                    .map(|i| if i == addr { C64::ONE } else { C64::ZERO })
+                    .collect::<Vec<_>>(),
+            );
+            assert!(
+                rho.approx_eq(&expected, 1e-10),
+                "address {addr} (θ={theta}) read incorrectly"
+            );
+        }
+    }
+
+    #[test]
+    fn superposition_address_reads_superposed_values() {
+        let qram = Qram::new(1, vec![0.4, 1.3]);
+        // Input (|0> + |1>)/√2 on the address qubit.
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.extend_from(&qram.circuit());
+        c.tracepoint(1, &[1]);
+        let rec = Executor::new().run_expected(&c, &StateVector::zero_state(2));
+        let rho = rec.state(TracepointId(1));
+        let s = 1.0 / 2f64.sqrt();
+        let expected = qram.ideal_output(&[C64::real(s), C64::real(s)]);
+        // The data qubit is entangled with the address for differing θ, so
+        // the reduced state matches only in its diagonal-weighted parts; the
+        // paper's predicate compares against the ideal ensemble. Use the
+        // mixture (decohered) expectation instead: Σ |λᵢ|² |θᵢ><θᵢ|.
+        let mixture = {
+            let mut m = CMatrix::zeros(2, 2);
+            for (i, &t) in qram.values.iter().enumerate() {
+                let ket = [C64::real(t.cos()), C64::real(t.sin())];
+                let w = if i < 2 { 0.5 } else { 0.0 };
+                m += &CMatrix::outer(&ket, &ket).scale_re(w);
+            }
+            m
+        };
+        assert!(
+            rho.approx_eq(&mixture, 1e-10),
+            "reduced data state should be the value mixture\n{rho}\nvs\n{mixture}"
+        );
+        // And the pure ideal differs from the mixture when θ differ.
+        assert!((&expected - &mixture).frobenius_norm() > 1e-3);
+    }
+
+    #[test]
+    fn bug_changes_only_bad_address() {
+        let qram = Qram::new(2, vec![0.3, 1.1, 2.0, 0.7]);
+        let bad = qram.circuit_with_bug(2, 0.1);
+        for addr in 0..4usize {
+            let mut c = Circuit::new(3);
+            c.extend_from(&bad);
+            c.tracepoint(1, &[2]);
+            let input = StateVector::basis_state(3, addr << 1);
+            let rho = Executor::new()
+                .run_expected(&c, &input)
+                .state(TracepointId(1))
+                .clone();
+            let good_rho = data_state_for_basis_input(&qram, addr);
+            if addr == 2 {
+                assert!((&rho - &good_rho).frobenius_norm() > 0.1, "bug not visible");
+            } else {
+                assert!(rho.approx_eq(&good_rho, 1e-10), "address {addr} disturbed");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_circuit_reads_only_prefix() {
+        let qram = Qram::new(2, vec![0.3, 1.1, 2.0, 0.7]);
+        let prefix = qram.prefix_circuit(2);
+        // Address 3 is untouched by the prefix circuit: data stays |0>.
+        let mut c = Circuit::new(3);
+        c.extend_from(&prefix);
+        c.tracepoint(1, &[2]);
+        let input = StateVector::basis_state(3, 3 << 1);
+        let rho = Executor::new()
+            .run_expected(&c, &input)
+            .state(TracepointId(1))
+            .clone();
+        assert!((rho[(0, 0)].re - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "table size")]
+    fn wrong_table_size_rejected() {
+        let _ = Qram::new(2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Quantum lock (phase-kickback) benchmark — Section 7.1.
+//!
+//! A quantum lock encodes a binary key. The program outputs `|1⟩` on the
+//! output qubit exactly when the input register matches the key, and `|0⟩`
+//! otherwise. The buggy variant carries a second, *unexpected* key that
+//! also unlocks — the needle-in-a-haystack bug the paper uses to stress
+//! input-space coverage.
+
+use morph_qprog::Circuit;
+
+/// Layout of a quantum-lock program.
+///
+/// Qubit 0 is the output qubit; qubits `1..n` form the input register
+/// holding the candidate key (MSB first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantumLock {
+    /// Total number of qubits (1 output + `n−1` input).
+    pub n_qubits: usize,
+    /// The encoded key over `n−1` bits.
+    pub key: u64,
+}
+
+impl QuantumLock {
+    /// Creates the layout for an `n`-qubit lock with the given key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `key` does not fit into `n − 1` bits.
+    pub fn new(n_qubits: usize, key: u64) -> Self {
+        assert!(n_qubits >= 2, "a lock needs an output qubit and at least one input qubit");
+        assert!(
+            n_qubits > 64 || key < (1u64 << (n_qubits - 1)),
+            "key does not fit the input register"
+        );
+        QuantumLock { n_qubits, key }
+    }
+
+    /// Input register qubits.
+    pub fn input_qubits(&self) -> Vec<usize> {
+        (1..self.n_qubits).collect()
+    }
+
+    /// The output qubit (always 0).
+    pub fn output_qubit(&self) -> usize {
+        0
+    }
+
+    /// The correct lock circuit.
+    pub fn circuit(&self) -> Circuit {
+        let mut c = Circuit::new(self.n_qubits);
+        self.push_key_gate(&mut c, self.key);
+        c
+    }
+
+    /// A lock with an additional unexpected key (the paper's injected bug):
+    /// the program also outputs `|1⟩` for `bug_key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bug_key == key` or does not fit the register.
+    pub fn circuit_with_bug(&self, bug_key: u64) -> Circuit {
+        assert_ne!(bug_key, self.key, "bug key must differ from the real key");
+        assert!(
+            self.n_qubits > 64 || bug_key < (1u64 << (self.n_qubits - 1)),
+            "bug key does not fit the input register"
+        );
+        let mut c = Circuit::new(self.n_qubits);
+        // One H sandwich around both phase oracles: kickback from either key.
+        c.h(0);
+        self.push_oracle(&mut c, self.key);
+        self.push_oracle(&mut c, bug_key);
+        c.h(0);
+        c
+    }
+
+    /// Pushes the full H–oracle–H kickback construction for one key.
+    fn push_key_gate(&self, c: &mut Circuit, key: u64) {
+        c.h(0);
+        self.push_oracle(c, key);
+        c.h(0);
+    }
+
+    /// Phase oracle flipping the phase of `|1⟩` on the output qubit exactly
+    /// when the input register holds `key`: X-mask the 0-bits, MCZ over the
+    /// whole register, unmask.
+    fn push_oracle(&self, c: &mut Circuit, key: u64) {
+        let n_in = self.n_qubits - 1;
+        let masked: Vec<usize> = (0..n_in)
+            .filter(|&bit| (key >> (n_in - 1 - bit)) & 1 == 0)
+            .map(|bit| bit + 1)
+            .collect();
+        for &q in &masked {
+            c.x(q);
+        }
+        let all: Vec<usize> = (0..self.n_qubits).collect();
+        c.mcz(&all);
+        for &q in &masked {
+            c.x(q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_qprog::Executor;
+    use morph_qsim::StateVector;
+
+    fn run_with_input(circuit: &Circuit, input_bits: u64) -> f64 {
+        let n = circuit.n_qubits();
+        // Input register is qubits 1..n, output starts at |0>.
+        let basis = (input_bits as usize) & ((1 << (n - 1)) - 1);
+        let input = StateVector::basis_state(n, basis);
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
+        let rec = Executor::new().run_trajectory(circuit, &input, &mut rng);
+        rec.final_state.prob_one(0)
+    }
+
+    #[test]
+    fn correct_key_unlocks() {
+        let lock = QuantumLock::new(4, 0b101);
+        let c = lock.circuit();
+        assert!((run_with_input(&c, 0b101) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wrong_keys_do_not_unlock() {
+        let lock = QuantumLock::new(4, 0b101);
+        let c = lock.circuit();
+        for key in 0..8u64 {
+            if key != 0b101 {
+                assert!(run_with_input(&c, key) < 1e-10, "key {key:03b} unexpectedly unlocked");
+            }
+        }
+    }
+
+    #[test]
+    fn bug_key_also_unlocks_in_buggy_circuit() {
+        let lock = QuantumLock::new(4, 0b001);
+        let c = lock.circuit_with_bug(0b110);
+        assert!((run_with_input(&c, 0b001) - 1.0).abs() < 1e-10, "real key must still work");
+        assert!((run_with_input(&c, 0b110) - 1.0).abs() < 1e-10, "bug key must unlock");
+        // All other keys still locked.
+        for key in 0..8u64 {
+            if key != 0b001 && key != 0b110 {
+                assert!(run_with_input(&c, key) < 1e-10, "key {key:03b} leaked");
+            }
+        }
+    }
+
+    #[test]
+    fn scales_to_larger_registers() {
+        let lock = QuantumLock::new(8, 0b0110101);
+        let c = lock.circuit();
+        assert!((run_with_input(&c, 0b0110101) - 1.0).abs() < 1e-10);
+        assert!(run_with_input(&c, 0b0110100) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_key_rejected() {
+        let _ = QuantumLock::new(3, 0b100);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn bug_key_must_differ() {
+        let lock = QuantumLock::new(3, 0b01);
+        let _ = lock.circuit_with_bug(0b01);
+    }
+}

@@ -1,0 +1,242 @@
+//! Shor-style benchmark: quantum Fourier transform and a period-finding
+//! skeleton.
+//!
+//! The paper's "Shor" benchmark (via Coppersmith's approximate QFT) is the
+//! QFT-dominated phase-estimation circuit. We provide an exact [`qft`] /
+//! [`inverse_qft`], the [`shor_circuit`] used by the evaluation sweeps, and
+//! a tiny end-to-end [`order_finding_distribution`] demonstration.
+
+use morph_qprog::Circuit;
+
+/// Quantum Fourier transform on `n` qubits (with final qubit-order swaps).
+pub fn qft(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+        for t in (q + 1)..n {
+            let angle = std::f64::consts::PI / (1u64 << (t - q)) as f64;
+            c.gate(morph_qsim::Gate::CPhase(t, q, angle));
+        }
+    }
+    for q in 0..n / 2 {
+        c.swap(q, n - 1 - q);
+    }
+    c
+}
+
+/// Inverse QFT.
+pub fn inverse_qft(n: usize) -> Circuit {
+    qft(n).inverse()
+}
+
+/// The benchmark "Shor" circuit on `n` qubits: Hadamard layer, a
+/// modular-multiplication stand-in of controlled phases (the structure of
+/// phase estimation against `x ↦ a·x mod N`), and an inverse QFT.
+pub fn shor_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    // Controlled-phase cascade emulating the controlled-U^{2^k} ladder.
+    for q in 0..n {
+        for t in (q + 1)..n {
+            let angle = std::f64::consts::PI / (1u64 << ((t - q).min(20)) as u32) as f64;
+            c.gate(morph_qsim::Gate::CPhase(q, t, 3.0 * angle));
+        }
+    }
+    c.extend_from(&inverse_qft(n));
+    c
+}
+
+/// Quantum phase estimation of the eigenphase `phase ∈ [0, 1)` of the
+/// single-qubit unitary `diag(1, e^{2πi·phase})` on its `|1⟩` eigenstate.
+///
+/// Register layout: qubits `0..n_count` are the counting register; qubit
+/// `n_count` holds the eigenstate. Measuring the counting register peaks
+/// at `round(phase · 2^n_count)`.
+///
+/// # Panics
+///
+/// Panics if `n_count == 0` or `phase` is outside `[0, 1)`.
+pub fn quantum_phase_estimation(n_count: usize, phase: f64) -> Circuit {
+    assert!(n_count > 0, "need at least one counting qubit");
+    assert!((0.0..1.0).contains(&phase), "phase must be in [0, 1)");
+    let mut c = Circuit::new(n_count + 1);
+    // Eigenstate |1⟩ on the target.
+    c.x(n_count);
+    for q in 0..n_count {
+        c.h(q);
+    }
+    // Controlled-U^{2^k}: counting qubit q controls 2^(n_count−1−q)
+    // applications, i.e. a controlled phase of 2π·phase·2^(n_count−1−q).
+    for q in 0..n_count {
+        let power = 1u64 << (n_count - 1 - q);
+        let angle = 2.0 * std::f64::consts::PI * phase * power as f64;
+        c.gate(morph_qsim::Gate::CPhase(q, n_count, angle));
+    }
+    c.extend_from(&inverse_qft_on(&(0..n_count).collect::<Vec<_>>(), n_count + 1));
+    c
+}
+
+/// Inverse QFT applied to a subset of a larger register.
+fn inverse_qft_on(qubits: &[usize], n_total: usize) -> Circuit {
+    inverse_qft(qubits.len()).remap_qubits(qubits, n_total)
+}
+
+/// Exact measurement distribution of the counting register when running
+/// order finding for `a` modulo `N` with `n_count` counting qubits.
+///
+/// The modular-exponentiation register is simulated classically (the
+/// permutation is applied to basis labels), which is faithful for the
+/// standard construction and keeps the demonstration exact.
+///
+/// # Panics
+///
+/// Panics if `gcd(a, modulus) != 1` or sizes are degenerate.
+pub fn order_finding_distribution(a: u64, modulus: u64, n_count: usize) -> Vec<f64> {
+    assert!(modulus > 1 && a > 0, "degenerate order finding instance");
+    assert_eq!(gcd(a, modulus), 1, "a and N must be coprime");
+    // Order r of a mod N.
+    let mut r = 1u64;
+    let mut acc = a % modulus;
+    while acc != 1 {
+        acc = acc * a % modulus;
+        r += 1;
+        assert!(r <= modulus, "order search overran");
+    }
+    // Phase estimation of eigenphases s/r: the counting register ends in
+    // Σ_s |~2^n s/r>; its exact distribution is the Fejér kernel around
+    // each s/r. Compute it directly.
+    let dim = 1usize << n_count;
+    let mut probs = vec![0.0f64; dim];
+    for s in 0..r {
+        let phase = s as f64 / r as f64;
+        for (k, p) in probs.iter_mut().enumerate() {
+            // |<k| QFT† |phase>|² = |1/dim Σ_j e^{2πi j (phase − k/dim)}|²
+            let delta = phase - k as f64 / dim as f64;
+            let x = std::f64::consts::PI * delta * dim as f64;
+            let num = if x.abs() < 1e-12 { dim as f64 } else { x.sin() / (x / dim as f64).sin() };
+            *p += (num * num) / (dim as f64 * dim as f64 * r as f64);
+        }
+    }
+    probs
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_qprog::Executor;
+    use morph_qsim::StateVector;
+
+    fn run(circuit: &Circuit, input: StateVector) -> StateVector {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
+        Executor::new().run_trajectory(circuit, &input, &mut rng).final_state
+    }
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let c = qft(3);
+        let out = run(&c, StateVector::zero_state(3));
+        for p in out.probabilities() {
+            assert!((p - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn qft_inverse_roundtrip() {
+        let mut c = qft(4);
+        c.extend_from(&inverse_qft(4));
+        for basis in [0usize, 3, 9, 15] {
+            let out = run(&c, StateVector::basis_state(4, basis));
+            assert!((out.probabilities()[basis] - 1.0).abs() < 1e-10, "basis {basis}");
+        }
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix() {
+        // QFT|j> has amplitudes e^{2πi jk / 2^n} / √(2^n).
+        let n = 3;
+        let c = qft(n);
+        let j = 5usize;
+        let out = run(&c, StateVector::basis_state(n, j));
+        let dim = 1 << n;
+        for k in 0..dim {
+            let expected = morph_linalg::C64::cis(
+                2.0 * std::f64::consts::PI * (j * k) as f64 / dim as f64,
+            )
+            .scale(1.0 / (dim as f64).sqrt());
+            assert!(
+                out.amplitudes()[k].approx_eq(expected, 1e-10),
+                "k={k}: {} vs {expected}",
+                out.amplitudes()[k]
+            );
+        }
+    }
+
+    #[test]
+    fn shor_circuit_is_nontrivial_but_normalized() {
+        let c = shor_circuit(5);
+        let out = run(&c, StateVector::zero_state(5));
+        assert!((out.norm() - 1.0).abs() < 1e-10);
+        // The phase cascade should spread probability across many outcomes.
+        let max_p = out.probabilities().into_iter().fold(0.0, f64::max);
+        assert!(max_p < 0.9, "distribution should not be concentrated, max={max_p}");
+    }
+
+    #[test]
+    fn phase_estimation_peaks_at_encoded_phase() {
+        // φ = 3/8 is exactly representable with 3 counting qubits.
+        let c = quantum_phase_estimation(3, 3.0 / 8.0);
+        let out = run(&c, StateVector::zero_state(4));
+        // Counting register (qubits 0..3) should read |011> with
+        // certainty; the eigenstate qubit stays |1>.
+        let p = out.probabilities();
+        assert!((p[0b0111] - 1.0).abs() < 1e-9, "got distribution {p:?}");
+    }
+
+    #[test]
+    fn phase_estimation_of_inexact_phase_concentrates() {
+        // φ = 0.3 is not exactly representable with 4 counting qubits; the
+        // distribution concentrates around round(0.3·16) = 5.
+        let c = quantum_phase_estimation(4, 0.3);
+        let out = run(&c, StateVector::zero_state(5));
+        let p = out.probabilities();
+        let mut per_count = [0.0; 16];
+        for (i, prob) in p.iter().enumerate() {
+            per_count[i >> 1] += prob;
+        }
+        let best = per_count
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 5);
+        assert!(per_count[5] > 0.4, "peak mass {}", per_count[5]);
+    }
+
+    #[test]
+    fn order_finding_peaks_at_multiples() {
+        // a=7, N=15 has order 4; with 5 counting qubits peaks at k≈0,8,16,24.
+        let probs = order_finding_distribution(7, 15, 5);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for peak in [0usize, 8, 16, 24] {
+            assert!(probs[peak] > 0.2, "expected peak at {peak}, got {}", probs[peak]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coprime")]
+    fn order_finding_requires_coprime() {
+        let _ = order_finding_distribution(6, 15, 4);
+    }
+}

@@ -1,0 +1,208 @@
+//! Quantum teleportation benchmark — the running example of Section 4.
+//!
+//! Teleports `k` payload qubits from Alice to Bob through `k` EPR pairs.
+//! Two variants:
+//!
+//! - [`teleportation`]: the textbook protocol with Bell measurement and
+//!   classically-fed-back X/Z corrections (exercises mid-measurement and
+//!   feedback in the verifier), and
+//! - [`teleportation_coherent`]: the deferred-measurement form using
+//!   CX/CZ corrections, fully unitary — used for the larger registers of
+//!   Fig 5 where branch enumeration would be wasteful.
+//!
+//! Register layout: qubits `0..k` are Alice's payload, `k..2k` are Alice's
+//! halves of the EPR pairs, `2k..3k` are Bob's halves (the destination).
+
+use morph_qprog::Circuit;
+
+/// Register layout helper for a `k`-payload teleportation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Teleportation {
+    /// Number of payload qubits teleported.
+    pub payload: usize,
+}
+
+impl Teleportation {
+    /// Layout for `payload` teleported qubits (total `3 × payload` qubits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload == 0`.
+    pub fn new(payload: usize) -> Self {
+        assert!(payload > 0, "need at least one payload qubit");
+        Teleportation { payload }
+    }
+
+    /// Total register width.
+    pub fn n_qubits(&self) -> usize {
+        3 * self.payload
+    }
+
+    /// Alice's payload qubits (the program input).
+    pub fn input_qubits(&self) -> Vec<usize> {
+        (0..self.payload).collect()
+    }
+
+    /// Bob's destination qubits (the program output).
+    pub fn output_qubits(&self) -> Vec<usize> {
+        (2 * self.payload..3 * self.payload).collect()
+    }
+
+    /// The measured-and-corrected protocol with classical feedback.
+    pub fn circuit(&self) -> Circuit {
+        let k = self.payload;
+        let mut c = Circuit::with_cbits(3 * k, 2 * k);
+        for i in 0..k {
+            let (a, e, b) = (i, k + i, 2 * k + i);
+            // EPR pair between Alice's ancilla e and Bob's b.
+            c.h(e);
+            c.cx(e, b);
+            // Bell measurement of (payload, ancilla).
+            c.cx(a, e);
+            c.h(a);
+            c.measure(a, 2 * i);
+            c.measure(e, 2 * i + 1);
+            // Corrections on Bob's qubit.
+            c.conditional(2 * i + 1, 1, morph_qsim::Gate::X(b));
+            c.conditional(2 * i, 1, morph_qsim::Gate::Z(b));
+        }
+        c
+    }
+
+    /// The unitary deferred-measurement variant (CX/CZ corrections).
+    pub fn circuit_coherent(&self) -> Circuit {
+        let k = self.payload;
+        let mut c = Circuit::new(3 * k);
+        for i in 0..k {
+            let (a, e, b) = (i, k + i, 2 * k + i);
+            c.h(e);
+            c.cx(e, b);
+            c.cx(a, e);
+            c.h(a);
+            c.cx(e, b);
+            c.cz(a, b);
+        }
+        c
+    }
+
+    /// The coherent variant with a bug: one payload lane misses its CZ
+    /// correction, so states with a `|1⟩` component on that lane pick up a
+    /// wrong phase. Detectable only by phase-sensitive verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `broken_lane >= payload`.
+    pub fn circuit_coherent_with_bug(&self, broken_lane: usize) -> Circuit {
+        assert!(broken_lane < self.payload, "lane out of range");
+        let k = self.payload;
+        let mut c = Circuit::new(3 * k);
+        for i in 0..k {
+            let (a, e, b) = (i, k + i, 2 * k + i);
+            c.h(e);
+            c.cx(e, b);
+            c.cx(a, e);
+            c.h(a);
+            c.cx(e, b);
+            if i != broken_lane {
+                c.cz(a, b);
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_qprog::{Executor, TracepointId};
+    use morph_qsim::StateVector;
+
+    fn with_traces(mut circuit: Circuit, layout: &Teleportation) -> Circuit {
+        let mut c = Circuit::with_cbits(circuit.n_qubits(), circuit.n_cbits());
+        c.tracepoint(1, &layout.input_qubits());
+        // Move instructions over, then trace the output.
+        for inst in circuit.instructions() {
+            c.push(inst.clone());
+        }
+        c.tracepoint(2, &layout.output_qubits());
+        circuit = c;
+        circuit
+    }
+
+    fn random_payload_state(layout: &Teleportation, seed: u64) -> StateVector {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut psi = StateVector::zero_state(layout.n_qubits());
+        for q in layout.input_qubits() {
+            psi.apply_1q(&morph_qsim::matrices::ry(rng.gen_range(0.0..3.0)), q);
+            psi.apply_phase(q, rng.gen_range(0.0..3.0));
+        }
+        psi
+    }
+
+    #[test]
+    fn measured_protocol_teleports_random_states() {
+        let layout = Teleportation::new(1);
+        let circuit = with_traces(layout.circuit(), &layout);
+        for seed in 0..5 {
+            let input = random_payload_state(&layout, seed);
+            let rec = Executor::new().run_expected(&circuit, &input);
+            let sent = rec.state(TracepointId(1));
+            let received = rec.state(TracepointId(2));
+            assert!(
+                sent.approx_eq(received, 1e-9),
+                "teleportation failed for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn coherent_variant_matches_measured_protocol() {
+        let layout = Teleportation::new(2);
+        let measured = with_traces(layout.circuit(), &layout);
+        let coherent = with_traces(layout.circuit_coherent(), &layout);
+        let input = random_payload_state(&layout, 3);
+        let ex = Executor::new();
+        let rec_m = ex.run_expected(&measured, &input);
+        let rec_c = ex.run_expected(&coherent, &input);
+        assert!(rec_m
+            .state(TracepointId(2))
+            .approx_eq(rec_c.state(TracepointId(2)), 1e-9));
+    }
+
+    #[test]
+    fn coherent_output_is_pure_for_pure_inputs() {
+        let layout = Teleportation::new(2);
+        let circuit = with_traces(layout.circuit_coherent(), &layout);
+        let input = random_payload_state(&layout, 9);
+        let rec = Executor::new().run_expected(&circuit, &input);
+        let out = rec.state(TracepointId(2));
+        assert!((morph_linalg::purity(out) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bug_breaks_phase_but_not_probabilities() {
+        let layout = Teleportation::new(1);
+        let good = with_traces(layout.circuit_coherent(), &layout);
+        let bad = with_traces(layout.circuit_coherent_with_bug(0), &layout);
+        let input = random_payload_state(&layout, 1);
+        let ex = Executor::new();
+        let out_good = ex.run_expected(&good, &input).state(TracepointId(2)).clone();
+        let out_bad = ex.run_expected(&bad, &input).state(TracepointId(2)).clone();
+        // Diagonals (probabilities) agree…
+        for i in 0..2 {
+            assert!((out_good[(i, i)].re - out_bad[(i, i)].re).abs() < 1e-9);
+        }
+        // …but the states differ (phase error) — and the bad output is mixed
+        // because the missing correction leaves payload-Bob entanglement.
+        assert!((&out_good - &out_bad).frobenius_norm() > 1e-3);
+    }
+
+    #[test]
+    fn layout_reports_consistent_registers() {
+        let layout = Teleportation::new(3);
+        assert_eq!(layout.n_qubits(), 9);
+        assert_eq!(layout.input_qubits(), vec![0, 1, 2]);
+        assert_eq!(layout.output_qubits(), vec![6, 7, 8]);
+    }
+}

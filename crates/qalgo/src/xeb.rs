@@ -1,0 +1,109 @@
+//! Cross-entropy benchmarking (XEB) circuits — random circuits in the
+//! Google-supremacy style: layers of random single-qubit gates from
+//! {√X, √Y, T} followed by a CZ ladder, plus the linear XEB fidelity
+//! estimator.
+
+use morph_qprog::Circuit;
+use rand::Rng;
+
+/// Generates an XEB random circuit of the given depth.
+///
+/// Each layer applies an independently random gate from {√X, √Y, T} to every
+/// qubit and then a brickwork CZ pattern alternating between even and odd
+/// pairs.
+pub fn xeb_circuit(n: usize, depth: usize, rng: &mut impl Rng) -> Circuit {
+    let mut c = Circuit::new(n);
+    for layer in 0..depth {
+        for q in 0..n {
+            match rng.gen_range(0..3) {
+                0 => c.rx(q, std::f64::consts::FRAC_PI_2),
+                1 => c.ry(q, std::f64::consts::FRAC_PI_2),
+                _ => c.t(q),
+            };
+        }
+        let start = layer % 2;
+        let mut q = start;
+        while q + 1 < n {
+            c.cz(q, q + 1);
+            q += 2;
+        }
+    }
+    c
+}
+
+/// Linear XEB fidelity estimator: `F = 2^n ⟨p_ideal(x)⟩_samples − 1`, where
+/// the average runs over sampled bitstrings `x`.
+///
+/// `ideal_probs` must be the exact output distribution; `sample_counts` the
+/// histogram of measured outcomes. Returns ~1 for samples drawn from the
+/// ideal distribution of a scrambling circuit and ~0 for uniform noise.
+///
+/// # Panics
+///
+/// Panics if the arrays differ in length or no samples were taken.
+pub fn linear_xeb_fidelity(ideal_probs: &[f64], sample_counts: &[usize]) -> f64 {
+    assert_eq!(ideal_probs.len(), sample_counts.len(), "histogram length mismatch");
+    let shots: usize = sample_counts.iter().sum();
+    assert!(shots > 0, "no samples");
+    let dim = ideal_probs.len() as f64;
+    let mean_p: f64 = ideal_probs
+        .iter()
+        .zip(sample_counts)
+        .map(|(&p, &c)| p * c as f64)
+        .sum::<f64>()
+        / shots as f64;
+    dim * mean_p - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_qprog::Executor;
+    use morph_qsim::StateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn circuit_structure_scales_with_depth() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let shallow = xeb_circuit(4, 2, &mut rng);
+        let deep = xeb_circuit(4, 8, &mut rng);
+        assert!(deep.gate_count() > shallow.gate_count() * 3);
+    }
+
+    #[test]
+    fn xeb_fidelity_of_true_sampler_is_high() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = xeb_circuit(4, 8, &mut rng);
+        let ex = Executor::new();
+        let input = StateVector::zero_state(4);
+        let rec = ex.run_trajectory(&c, &input, &mut rng);
+        let ideal = rec.final_state.probabilities();
+        let counts = rec.final_state.sample_counts(20_000, &mut rng);
+        let f = linear_xeb_fidelity(&ideal, &counts);
+        assert!(f > 0.5, "true sampler should score near the ideal, got {f}");
+    }
+
+    #[test]
+    fn xeb_fidelity_of_uniform_noise_is_near_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = xeb_circuit(4, 8, &mut rng);
+        let ex = Executor::new();
+        let rec = ex.run_trajectory(&c, &StateVector::zero_state(4), &mut rng);
+        let ideal = rec.final_state.probabilities();
+        // Uniform sampler.
+        let mut counts = vec![0usize; 16];
+        for _ in 0..20_000 {
+            counts[rng.gen_range(0..16)] += 1;
+        }
+        let f = linear_xeb_fidelity(&ideal, &counts);
+        assert!(f.abs() < 0.1, "uniform sampler should score ~0, got {f}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(xeb_circuit(5, 6, &mut a), xeb_circuit(5, 6, &mut b));
+    }
+}

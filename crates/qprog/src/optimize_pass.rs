@@ -1,0 +1,268 @@
+//! Peephole circuit simplification: cancels adjacent inverse gate pairs
+//! and merges consecutive rotations on the same qubit.
+//!
+//! The QNN case study (Section 7.2) verifies *gate pruning*; this pass is
+//! the complementary sound transformation — it never changes semantics, so
+//! `verify(original ≡ simplified)` is a useful self-check (and a test in
+//! this module does exactly that).
+
+use morph_qsim::Gate;
+
+use crate::circuit::{Circuit, Instruction};
+
+/// Result of a simplification pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Gates removed by inverse-pair cancellation.
+    pub cancelled: usize,
+    /// Rotation pairs merged into one gate.
+    pub merged: usize,
+}
+
+/// Applies cancellation/merging until a fixpoint; returns the simplified
+/// circuit and statistics.
+///
+/// Only gate-gate adjacency *on the same qubit set with no interposed
+/// instruction touching those qubits* is considered, so the pass is sound
+/// in the presence of tracepoints (which are transparent), measurements,
+/// and feedback (which are barriers for their qubits).
+pub fn simplify(circuit: &Circuit) -> (Circuit, SimplifyStats) {
+    let mut stats = SimplifyStats { cancelled: 0, merged: 0 };
+    let mut instructions: Vec<Instruction> = circuit.instructions().to_vec();
+    loop {
+        let (next, changed, pass_stats) = one_pass(&instructions, circuit.n_qubits());
+        stats.cancelled += pass_stats.cancelled;
+        stats.merged += pass_stats.merged;
+        instructions = next;
+        if !changed {
+            break;
+        }
+    }
+    let mut out = Circuit::with_cbits(circuit.n_qubits(), circuit.n_cbits());
+    for inst in instructions {
+        out.push(inst);
+    }
+    (out, stats)
+}
+
+fn one_pass(
+    instructions: &[Instruction],
+    n_qubits: usize,
+) -> (Vec<Instruction>, bool, SimplifyStats) {
+    let mut stats = SimplifyStats { cancelled: 0, merged: 0 };
+    let mut out: Vec<Instruction> = Vec::with_capacity(instructions.len());
+    let mut changed = false;
+    // For each qubit, the index in `out` of the last gate touching it
+    // (None when blocked by a non-gate instruction).
+    let mut last_gate: Vec<Option<usize>> = vec![None; n_qubits];
+
+    for inst in instructions {
+        match inst {
+            Instruction::Gate(g) => {
+                let qubits = g.qubits();
+                // Candidate: every touched qubit must point at the same
+                // previous gate.
+                let candidate = qubits
+                    .first()
+                    .and_then(|&q| last_gate[q])
+                    .filter(|&idx| qubits.iter().all(|&q| last_gate[q] == Some(idx)));
+                if let Some(idx) = candidate {
+                    if let Instruction::Gate(prev) = &out[idx] {
+                        // Also require the previous gate to touch exactly
+                        // the same qubit set.
+                        let mut prev_qubits = prev.qubits();
+                        let mut cur_qubits = qubits.clone();
+                        prev_qubits.sort_unstable();
+                        cur_qubits.sort_unstable();
+                        if prev_qubits == cur_qubits {
+                            if prev.inverse() == *g {
+                                // Cancel the pair: replace the earlier gate
+                                // with a removal sentinel.
+                                out[idx] = Instruction::Tracepoint {
+                                    id: crate::circuit::TracepointId(u32::MAX),
+                                    qubits: Vec::new(),
+                                };
+                                for &q in &qubits {
+                                    last_gate[q] = None;
+                                }
+                                stats.cancelled += 2;
+                                changed = true;
+                                continue;
+                            }
+                            if let Some(merged) = merge_rotations(prev, g) {
+                                out[idx] = Instruction::Gate(merged);
+                                stats.merged += 1;
+                                changed = true;
+                                continue;
+                            }
+                        }
+                    }
+                }
+                let idx = out.len();
+                out.push(inst.clone());
+                for q in qubits {
+                    last_gate[q] = Some(idx);
+                }
+            }
+            Instruction::Tracepoint { .. } | Instruction::Barrier => {
+                out.push(inst.clone());
+            }
+            other => {
+                // Measurement/reset/conditional block their qubits.
+                for q in other.qubits() {
+                    last_gate[q] = None;
+                }
+                out.push(other.clone());
+            }
+        }
+    }
+    // Drop cancellation placeholders (empty-qubit sentinel tracepoints).
+    let filtered: Vec<Instruction> = out
+        .into_iter()
+        .filter(|i| {
+            !matches!(i, Instruction::Tracepoint { id, qubits }
+                if id.0 == u32::MAX && qubits.is_empty())
+        })
+        .collect();
+    (filtered, changed, stats)
+}
+
+/// Merges two same-axis rotations on the same qubit into one.
+fn merge_rotations(a: &Gate, b: &Gate) -> Option<Gate> {
+    match (a, b) {
+        (Gate::RX(q1, t1), Gate::RX(q2, t2)) if q1 == q2 => Some(Gate::RX(*q1, t1 + t2)),
+        (Gate::RY(q1, t1), Gate::RY(q2, t2)) if q1 == q2 => Some(Gate::RY(*q1, t1 + t2)),
+        (Gate::RZ(q1, t1), Gate::RZ(q2, t2)) if q1 == q2 => Some(Gate::RZ(*q1, t1 + t2)),
+        (Gate::Phase(q1, t1), Gate::Phase(q2, t2)) if q1 == q2 => {
+            Some(Gate::Phase(*q1, t1 + t2))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use morph_qsim::StateVector;
+
+    fn equivalent(a: &Circuit, b: &Circuit) -> bool {
+        // Compare action on a handful of basis states.
+        let n = a.n_qubits();
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
+        for basis in 0..(1usize << n).min(8) {
+            let input = StateVector::basis_state(n, basis);
+            let ex = Executor::new();
+            let sa = ex.run_trajectory(a, &input, &mut rng).final_state;
+            let sb = ex.run_trajectory(b, &input, &mut rng).final_state;
+            if sa.inner(&sb).re < 1.0 - 1e-9 {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn cancels_adjacent_inverse_pairs() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).cx(0, 1).cx(0, 1).s(1).gate(Gate::Sdg(1)).x(0);
+        let (simplified, stats) = simplify(&c);
+        assert_eq!(simplified.gate_count(), 1, "only the final X survives");
+        assert_eq!(stats.cancelled, 6);
+        assert!(equivalent(&c, &simplified));
+    }
+
+    #[test]
+    fn merges_rotations() {
+        let mut c = Circuit::new(1);
+        c.rx(0, 0.3).rx(0, 0.4).rz(0, 1.0).rz(0, -1.0);
+        let (simplified, stats) = simplify(&c);
+        // RX pair merges to 0.7; the RZ pair is an exact inverse pair and
+        // cancels outright.
+        assert_eq!(stats.merged, 1);
+        assert_eq!(stats.cancelled, 2);
+        assert_eq!(simplified.gate_count(), 1);
+        assert!(equivalent(&c, &simplified));
+    }
+
+    #[test]
+    fn interposed_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0);
+        let (simplified, stats) = simplify(&c);
+        assert_eq!(stats.cancelled, 0);
+        assert_eq!(simplified.gate_count(), 3);
+    }
+
+    #[test]
+    fn tracepoints_are_transparent_but_kept() {
+        let mut c = Circuit::new(1);
+        c.h(0).tracepoint(1, &[0]).h(0);
+        let (simplified, stats) = simplify(&c);
+        assert_eq!(stats.cancelled, 2);
+        assert_eq!(simplified.gate_count(), 0);
+        assert_eq!(simplified.tracepoints().len(), 1, "user tracepoints survive");
+    }
+
+    #[test]
+    fn measurement_blocks_cancellation() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0, 0).h(0);
+        let (simplified, stats) = simplify(&c);
+        assert_eq!(stats.cancelled, 0);
+        assert_eq!(simplified.gate_count(), 2);
+    }
+
+    #[test]
+    fn fixpoint_cascades() {
+        // h s sdg h — inner pair cancels, then the outer pair becomes
+        // adjacent and cancels too.
+        let mut c = Circuit::new(1);
+        c.h(0).s(0).gate(Gate::Sdg(0)).h(0);
+        let (simplified, stats) = simplify(&c);
+        assert_eq!(simplified.gate_count(), 0);
+        assert_eq!(stats.cancelled, 4);
+    }
+
+    #[test]
+    fn random_circuits_stay_equivalent() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let c = morph_qalgo_free_random(&mut rng);
+            let (simplified, _) = simplify(&c);
+            assert!(equivalent(&c, &simplified), "simplification changed semantics");
+        }
+    }
+
+    /// Random 3-qubit circuit without depending on morph-qalgo.
+    fn morph_qalgo_free_random(rng: &mut impl rand::Rng) -> Circuit {
+        let mut c = Circuit::new(3);
+        for _ in 0..20 {
+            match rng.gen_range(0..6) {
+                0 => {
+                    c.h(rng.gen_range(0..3));
+                }
+                1 => {
+                    c.s(rng.gen_range(0..3));
+                }
+                2 => {
+                    c.x(rng.gen_range(0..3));
+                }
+                3 => {
+                    c.rx(rng.gen_range(0..3), rng.gen_range(-1.0..1.0));
+                }
+                4 => {
+                    let a = rng.gen_range(0..3);
+                    let b = (a + 1 + rng.gen_range(0..2)) % 3;
+                    c.cx(a, b);
+                }
+                _ => {
+                    c.rz(rng.gen_range(0..3), rng.gen_range(-1.0..1.0));
+                }
+            }
+        }
+        c
+    }
+}

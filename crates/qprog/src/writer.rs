@@ -1,0 +1,171 @@
+//! Pretty-printer for the QASM-like surface syntax — the inverse of
+//! [`crate::parse_program`] for the gate set that syntax covers.
+
+use morph_qsim::Gate;
+
+use crate::circuit::{Circuit, Instruction};
+
+/// Error for circuits containing instructions the surface syntax cannot
+/// express (currently only dense [`Gate::Unitary`] blocks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnrepresentableError {
+    /// Index of the offending instruction.
+    pub index: usize,
+    /// Description of the offending construct.
+    pub what: String,
+}
+
+impl std::fmt::Display for UnrepresentableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "instruction {} ({}) has no surface syntax", self.index, self.what)
+    }
+}
+
+impl std::error::Error for UnrepresentableError {}
+
+/// Renders a circuit as program text that [`crate::parse_program`] accepts.
+///
+/// # Errors
+///
+/// Returns [`UnrepresentableError`] for dense `Unitary` gates, which have
+/// no textual form.
+///
+/// # Examples
+///
+/// ```
+/// use morph_qprog::{parse_program, write_program};
+///
+/// let mut c = morph_qprog::Circuit::new(2);
+/// c.tracepoint(1, &[0]);
+/// c.h(0).cx(0, 1);
+/// let text = write_program(&c)?;
+/// let reparsed = parse_program(&text).expect("round trip");
+/// assert_eq!(reparsed, c);
+/// # Ok::<(), morph_qprog::UnrepresentableError>(())
+/// ```
+pub fn write_program(circuit: &Circuit) -> Result<String, UnrepresentableError> {
+    let mut out = String::new();
+    out.push_str(&format!("qreg q[{}];\n", circuit.n_qubits()));
+    if circuit.n_cbits() > 0 {
+        out.push_str(&format!("creg c[{}];\n", circuit.n_cbits()));
+    }
+    for (index, inst) in circuit.instructions().iter().enumerate() {
+        match inst {
+            Instruction::Gate(g) => {
+                out.push_str(&gate_text(g, index)?);
+                out.push('\n');
+            }
+            Instruction::Tracepoint { id, qubits } => {
+                out.push_str(&format!("T {} q[{}];\n", id.0, join(qubits)));
+            }
+            Instruction::Measure { qubit, cbit } => {
+                out.push_str(&format!("measure q[{qubit}] -> c[{cbit}];\n"));
+            }
+            Instruction::Reset(q) => {
+                out.push_str(&format!("reset q[{q}];\n"));
+            }
+            Instruction::Conditional { cbit, value, gate } => {
+                out.push_str(&format!("if (c[{cbit}]=={value}) {}\n", gate_text(gate, index)?));
+            }
+            Instruction::Barrier => out.push_str("barrier;\n"),
+        }
+    }
+    Ok(out)
+}
+
+fn join(qubits: &[usize]) -> String {
+    qubits
+        .iter()
+        .map(|q| q.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn gate_text(gate: &Gate, index: usize) -> Result<String, UnrepresentableError> {
+    let text = match gate {
+        Gate::H(q) => format!("h q[{q}];"),
+        Gate::X(q) => format!("x q[{q}];"),
+        Gate::Y(q) => format!("y q[{q}];"),
+        Gate::Z(q) => format!("z q[{q}];"),
+        Gate::S(q) => format!("s q[{q}];"),
+        Gate::Sdg(q) => format!("sdg q[{q}];"),
+        Gate::T(q) => format!("t q[{q}];"),
+        Gate::Tdg(q) => format!("tdg q[{q}];"),
+        Gate::RX(q, a) => format!("rx({a}) q[{q}];"),
+        Gate::RY(q, a) => format!("ry({a}) q[{q}];"),
+        Gate::RZ(q, a) => format!("rz({a}) q[{q}];"),
+        Gate::Phase(q, a) => format!("p({a}) q[{q}];"),
+        Gate::CX(c, t) => format!("cx q[{c}],q[{t}];"),
+        Gate::CZ(a, b) => format!("cz q[{a}],q[{b}];"),
+        Gate::CRZ(c, t, a) => format!("crz({a}) q[{c}],q[{t}];"),
+        Gate::CPhase(c, t, a) => format!("cp({a}) q[{c}],q[{t}];"),
+        Gate::Swap(a, b) => format!("swap q[{a}],q[{b}];"),
+        Gate::CCX(c1, c2, t) => format!("ccx q[{c1}],q[{c2}],q[{t}];"),
+        Gate::MCZ(qs) => format!("mcz q[{}];", join(qs)),
+        Gate::MCRX(cs, t, a) => format!("mcrx({a}) q[{}],q[{t}];", join(cs)),
+        Gate::MCRY(cs, t, a) => format!("mcry({a}) q[{}],q[{t}];", join(cs)),
+        Gate::Unitary(..) => {
+            return Err(UnrepresentableError { index, what: "dense unitary".into() })
+        }
+    };
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn roundtrip_all_representable_gates() {
+        let mut c = Circuit::with_cbits(4, 2);
+        c.tracepoint(1, &[0, 2]);
+        c.h(0).x(1).y(2).z(3).s(0).t(1);
+        c.gate(Gate::Sdg(2)).gate(Gate::Tdg(3));
+        c.rx(0, 0.123).ry(1, -1.5).rz(2, 2.7).phase(3, 0.9);
+        c.cx(0, 1).cz(2, 3).swap(0, 3).ccx(0, 1, 2);
+        c.gate(Gate::CRZ(1, 2, 0.4)).gate(Gate::CPhase(0, 3, -0.2));
+        c.mcz(&[0, 1, 2]).mcrx(&[0, 1], 3, 1.1);
+        c.gate(Gate::MCRY(vec![2], 0, -0.6));
+        c.measure(0, 0);
+        c.conditional(0, 1, Gate::X(1));
+        c.push(Instruction::Reset(2));
+        c.push(Instruction::Barrier);
+        c.tracepoint(2, &[3]);
+
+        let text = write_program(&c).unwrap();
+        let reparsed = parse_program(&text).unwrap();
+        assert_eq!(reparsed, c);
+    }
+
+    #[test]
+    fn angles_roundtrip_exactly() {
+        let mut c = Circuit::new(1);
+        c.rx(0, std::f64::consts::PI / 7.0);
+        let text = write_program(&c).unwrap();
+        let reparsed = parse_program(&text).unwrap();
+        match (&reparsed.instructions()[0], &c.instructions()[0]) {
+            (Instruction::Gate(Gate::RX(_, a)), Instruction::Gate(Gate::RX(_, b))) => {
+                assert_eq!(a, b, "shortest-round-trip Display must preserve f64 exactly");
+            }
+            _ => panic!("unexpected instruction"),
+        }
+    }
+
+    #[test]
+    fn unitary_gate_is_rejected() {
+        let mut c = Circuit::new(1);
+        c.gate(Gate::Unitary(vec![0], morph_linalg::CMatrix::identity(2)));
+        let err = write_program(&c).unwrap_err();
+        assert_eq!(err.index, 0);
+        assert!(err.to_string().contains("dense unitary"));
+    }
+
+    #[test]
+    fn header_includes_registers() {
+        let mut c = Circuit::with_cbits(3, 2);
+        c.h(0);
+        let text = write_program(&c).unwrap();
+        assert!(text.starts_with("qreg q[3];\ncreg c[2];\n"));
+    }
+}

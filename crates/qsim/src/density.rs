@@ -1,0 +1,436 @@
+//! Mixed-state simulation via dense density matrices.
+//!
+//! Used for small registers where exact noisy evolution matters (Table 4's
+//! shot-based baselines, Fig 14's noisy-characterization study). Large
+//! registers stay in [`crate::StateVector`] and expose tracepoint states via
+//! reduced density matrices.
+
+use morph_linalg::{eigh, C64, CMatrix};
+use rand::Rng;
+
+use crate::gate::Gate;
+use crate::state::StateVector;
+
+/// An `n`-qubit mixed state `ρ` stored as a dense `2^n × 2^n` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use morph_qsim::{DensityMatrix, Gate};
+///
+/// let mut rho = DensityMatrix::zero_state(1);
+/// rho.apply_gate(&Gate::H(0));
+/// assert!((rho.purity() - 1.0).abs() < 1e-12);
+/// rho.depolarize(0, 0.5);
+/// assert!(rho.purity() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    n_qubits: usize,
+    rho: CMatrix,
+}
+
+impl DensityMatrix {
+    /// `|0…0⟩⟨0…0|`.
+    pub fn zero_state(n_qubits: usize) -> Self {
+        assert!(n_qubits <= 13, "density matrix would exceed memory budget");
+        let d = 1usize << n_qubits;
+        let mut rho = CMatrix::zeros(d, d);
+        rho[(0, 0)] = C64::ONE;
+        DensityMatrix { n_qubits, rho }
+    }
+
+    /// Wraps an existing density matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is not square with power-of-two dimension.
+    pub fn from_matrix(rho: CMatrix) -> Self {
+        assert!(rho.is_square(), "density matrix must be square");
+        assert!(rho.rows().is_power_of_two(), "dimension must be a power of two");
+        let n_qubits = rho.rows().trailing_zeros() as usize;
+        DensityMatrix { n_qubits, rho }
+    }
+
+    /// Projects a pure state into a density matrix.
+    pub fn from_state_vector(psi: &StateVector) -> Self {
+        DensityMatrix { n_qubits: psi.n_qubits(), rho: psi.density_matrix() }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Borrow the underlying matrix.
+    #[inline]
+    pub fn matrix(&self) -> &CMatrix {
+        &self.rho
+    }
+
+    /// Consumes `self`, returning the matrix.
+    #[inline]
+    pub fn into_matrix(self) -> CMatrix {
+        self.rho
+    }
+
+    /// Purity `tr(ρ²)`.
+    pub fn purity(&self) -> f64 {
+        morph_linalg::purity(&self.rho)
+    }
+
+    /// Unitary evolution `ρ ← U ρ U†` with a full-register unitary.
+    pub fn evolve(&mut self, u: &CMatrix) {
+        assert_eq!(u.rows(), self.rho.rows(), "unitary dimension mismatch");
+        self.rho = u.matmul(&self.rho).matmul(&u.dagger());
+    }
+
+    /// Applies a gate by embedding its local unitary.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        let u = gate.full_matrix(self.n_qubits);
+        self.evolve(&u);
+    }
+
+    /// Applies a Kraus channel `ρ ← Σ K ρ K†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operator has the wrong dimension.
+    pub fn apply_kraus(&mut self, operators: &[CMatrix]) {
+        let d = self.rho.rows();
+        let mut out = CMatrix::zeros(d, d);
+        for k in operators {
+            assert_eq!(k.rows(), d, "Kraus operator dimension mismatch");
+            out += &k.matmul(&self.rho).matmul(&k.dagger());
+        }
+        self.rho = out;
+    }
+
+    /// Single-qubit depolarizing channel with error probability `p`.
+    pub fn depolarize(&mut self, qubit: usize, p: f64) {
+        use crate::gate::matrices;
+        let i = CMatrix::identity(2).scale_re((1.0 - 3.0 * p / 4.0).sqrt());
+        let scale = (p / 4.0).sqrt();
+        let ops = [
+            i,
+            matrices::x().scale_re(scale),
+            matrices::y().scale_re(scale),
+            matrices::z().scale_re(scale),
+        ];
+        let embedded: Vec<CMatrix> =
+            ops.iter().map(|k| k.embed(&[qubit], self.n_qubits)).collect();
+        self.apply_kraus(&embedded);
+    }
+
+    /// Two-qubit depolarizing channel with error probability `p`, applied as
+    /// independent single-qubit depolarizations of strength `p` on each
+    /// participant (the standard twirled approximation).
+    pub fn depolarize_pair(&mut self, q_a: usize, q_b: usize, p: f64) {
+        self.depolarize(q_a, p);
+        self.depolarize(q_b, p);
+    }
+
+    /// Phase-damping (pure dephasing) channel with strength `lambda` on
+    /// `qubit`: coherences shrink by `√(1−λ)`, populations are untouched.
+    pub fn phase_damp(&mut self, qubit: usize, lambda: f64) {
+        let k0 = CMatrix::from_rows(&[
+            &[C64::ONE, C64::ZERO],
+            &[C64::ZERO, C64::real((1.0 - lambda).sqrt())],
+        ]);
+        let k1 = CMatrix::from_rows(&[
+            &[C64::ZERO, C64::ZERO],
+            &[C64::ZERO, C64::real(lambda.sqrt())],
+        ]);
+        let ops = [k0.embed(&[qubit], self.n_qubits), k1.embed(&[qubit], self.n_qubits)];
+        self.apply_kraus(&ops);
+    }
+
+    /// Bit-flip channel: applies X on `qubit` with probability `p`.
+    pub fn bit_flip(&mut self, qubit: usize, p: f64) {
+        use crate::gate::matrices;
+        let keep = CMatrix::identity(2).scale_re((1.0 - p).sqrt());
+        let flip = matrices::x().scale_re(p.sqrt());
+        let ops = [keep.embed(&[qubit], self.n_qubits), flip.embed(&[qubit], self.n_qubits)];
+        self.apply_kraus(&ops);
+    }
+
+    /// Amplitude-damping channel with decay probability `gamma` on `qubit`.
+    pub fn amplitude_damp(&mut self, qubit: usize, gamma: f64) {
+        let k0 = CMatrix::from_rows(&[
+            &[C64::ONE, C64::ZERO],
+            &[C64::ZERO, C64::real((1.0 - gamma).sqrt())],
+        ]);
+        let k1 = CMatrix::from_rows(&[
+            &[C64::ZERO, C64::real(gamma.sqrt())],
+            &[C64::ZERO, C64::ZERO],
+        ]);
+        let ops = [k0.embed(&[qubit], self.n_qubits), k1.embed(&[qubit], self.n_qubits)];
+        self.apply_kraus(&ops);
+    }
+
+    /// Probability of measuring `qubit` as 1.
+    pub fn prob_one(&self, qubit: usize) -> f64 {
+        let shift = self.n_qubits - 1 - qubit;
+        let mask = 1usize << shift;
+        (0..self.rho.rows())
+            .filter(|i| i & mask != 0)
+            .map(|i| self.rho[(i, i)].re)
+            .sum()
+    }
+
+    /// Diagonal of `ρ` — the computational-basis probability distribution.
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.rho.rows()).map(|i| self.rho[(i, i)].re.max(0.0)).collect()
+    }
+
+    /// Samples a basis outcome from the diagonal distribution.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let probs = self.probabilities();
+        let total: f64 = probs.iter().sum();
+        let r: f64 = rng.gen::<f64>() * total;
+        let mut acc = 0.0;
+        for (i, p) in probs.iter().enumerate() {
+            acc += p;
+            if r < acc {
+                return i;
+            }
+        }
+        probs.len() - 1
+    }
+
+    /// Projectively measures `qubit`, collapsing the state. Returns the
+    /// outcome.
+    pub fn measure(&mut self, qubit: usize, rng: &mut impl Rng) -> u8 {
+        let p1 = self.prob_one(qubit);
+        let outcome = if rng.gen::<f64>() < p1 { 1u8 } else { 0u8 };
+        self.collapse(qubit, outcome);
+        outcome
+    }
+
+    /// Projects onto the `outcome` branch of `qubit` and renormalizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the branch probability is (near-)zero.
+    pub fn collapse(&mut self, qubit: usize, outcome: u8) {
+        let shift = self.n_qubits - 1 - qubit;
+        let mask = 1usize << shift;
+        let keep_one = outcome == 1;
+        let d = self.rho.rows();
+        let mut p = 0.0;
+        for i in 0..d {
+            if (i & mask != 0) == keep_one {
+                p += self.rho[(i, i)].re;
+            }
+        }
+        assert!(p > 1e-12, "collapsing onto a zero-probability branch");
+        let mut out = CMatrix::zeros(d, d);
+        for r in 0..d {
+            if (r & mask != 0) != keep_one {
+                continue;
+            }
+            for c in 0..d {
+                if (c & mask != 0) != keep_one {
+                    continue;
+                }
+                out[(r, c)] = self.rho[(r, c)] / p;
+            }
+        }
+        self.rho = out;
+    }
+
+    /// Partial trace keeping only the listed qubits (order preserved).
+    pub fn partial_trace(&self, keep: &[usize]) -> CMatrix {
+        let k = keep.len();
+        let dk = 1usize << k;
+        let shifts: Vec<usize> = keep
+            .iter()
+            .map(|&q| {
+                assert!(q < self.n_qubits, "qubit {q} out of range");
+                self.n_qubits - 1 - q
+            })
+            .collect();
+        let rest: Vec<usize> = (0..self.n_qubits)
+            .filter(|q| !keep.contains(q))
+            .map(|q| self.n_qubits - 1 - q)
+            .collect();
+        let dr = 1usize << rest.len();
+        let mut out = CMatrix::zeros(dk, dk);
+        for r in 0..dk {
+            for c in 0..dk {
+                let mut acc = C64::ZERO;
+                for e in 0..dr {
+                    let mut row = 0usize;
+                    let mut col = 0usize;
+                    for (bit, &s) in shifts.iter().enumerate() {
+                        if (r >> (k - 1 - bit)) & 1 == 1 {
+                            row |= 1 << s;
+                        }
+                        if (c >> (k - 1 - bit)) & 1 == 1 {
+                            col |= 1 << s;
+                        }
+                    }
+                    for (bit, &s) in rest.iter().enumerate() {
+                        if (e >> (rest.len() - 1 - bit)) & 1 == 1 {
+                            row |= 1 << s;
+                            col |= 1 << s;
+                        }
+                    }
+                    acc += self.rho[(row, col)];
+                }
+                out[(r, c)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Expectation of a Hermitian observable.
+    pub fn expectation(&self, observable: &CMatrix) -> f64 {
+        morph_linalg::expectation(observable, &self.rho)
+    }
+
+    /// Eigenvalues of the state (descending).
+    pub fn spectrum(&self) -> Vec<f64> {
+        eigh(&self.rho).values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::matrices;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pure_evolution_matches_state_vector() {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_gate(&Gate::H(0));
+        rho.apply_gate(&Gate::CX(0, 1));
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_h(0);
+        psi.apply_cx(0, 1);
+        assert!(rho.matrix().approx_eq(&psi.density_matrix(), 1e-12));
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_reduces_purity_monotonically() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&Gate::H(0));
+        let mut last = rho.purity();
+        for _ in 0..4 {
+            rho.depolarize(0, 0.2);
+            let p = rho.purity();
+            assert!(p < last + 1e-12);
+            last = p;
+        }
+        // Full depolarization limit: maximally mixed.
+        for _ in 0..200 {
+            rho.depolarize(0, 0.5);
+        }
+        assert!((rho.purity() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn depolarize_preserves_trace() {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_gate(&Gate::H(0));
+        rho.apply_gate(&Gate::CX(0, 1));
+        rho.depolarize_pair(0, 1, 0.1);
+        assert!((rho.matrix().trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_damping_drives_to_ground() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&Gate::X(0));
+        for _ in 0..100 {
+            rho.amplitude_damp(0, 0.2);
+        }
+        assert!(rho.prob_one(0) < 1e-6);
+        assert!((rho.matrix().trace().re - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn phase_damping_kills_coherences_only() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&Gate::H(0));
+        let p1_before = rho.prob_one(0);
+        for _ in 0..50 {
+            rho.phase_damp(0, 0.3);
+        }
+        // Populations preserved, coherence gone.
+        assert!((rho.prob_one(0) - p1_before).abs() < 1e-10);
+        assert!(rho.matrix()[(0, 1)].abs() < 1e-3);
+        assert!((rho.matrix().trace().re - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bit_flip_channel_mixes_populations() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.bit_flip(0, 0.25);
+        assert!((rho.prob_one(0) - 0.25).abs() < 1e-12);
+        // Repeated flips converge to the 50/50 mixture.
+        for _ in 0..200 {
+            rho.bit_flip(0, 0.25);
+        }
+        assert!((rho.prob_one(0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn measurement_collapse_updates_probabilities() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_gate(&Gate::H(0));
+        rho.apply_gate(&Gate::CX(0, 1));
+        let outcome = rho.measure(0, &mut rng);
+        assert!((rho.prob_one(1) - outcome as f64).abs() < 1e-10);
+    }
+
+    #[test]
+    fn partial_trace_matches_state_vector_reduction() {
+        let mut psi = StateVector::zero_state(3);
+        psi.apply_h(0);
+        psi.apply_cx(0, 2);
+        psi.apply_1q(&matrices::ry(0.7), 1);
+        let rho = DensityMatrix::from_state_vector(&psi);
+        for keep in [vec![0], vec![2], vec![0, 2], vec![2, 0], vec![1]] {
+            let a = rho.partial_trace(&keep);
+            let b = psi.reduced_density_matrix(&keep);
+            assert!(a.approx_eq(&b, 1e-12), "keep={keep:?}");
+        }
+    }
+
+    #[test]
+    fn expectation_z_on_plus_state() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&Gate::H(0));
+        assert!(rho.expectation(&matrices::z()).abs() < 1e-12);
+        assert!((rho.expectation(&matrices::x()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectrum_of_mixed_state() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&Gate::H(0));
+        rho.depolarize(0, 0.4);
+        let spec = rho.spectrum();
+        assert_eq!(spec.len(), 2);
+        assert!((spec.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        assert!(spec[0] > spec[1]);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&Gate::RY(0, 2.0 * (0.3f64.sqrt()).asin()));
+        // P(1) = 0.3 by construction.
+        assert!((rho.prob_one(0) - 0.3).abs() < 1e-10);
+        let shots = 20_000;
+        let ones = (0..shots).filter(|_| rho.sample(&mut rng) == 1).count();
+        assert!((ones as f64 / shots as f64 - 0.3).abs() < 0.02);
+    }
+}

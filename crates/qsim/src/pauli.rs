@@ -1,0 +1,258 @@
+//! Pauli-string observables on state vectors, without dense matrices.
+//!
+//! A Pauli string over `n` qubits is applied in `O(2^n)` by bit
+//! manipulation, so expectations `⟨ψ|P|ψ⟩` and shot-based estimates stay
+//! cheap even at 20+ qubits — the fast path behind Strategy-prop readout
+//! and the expectation-style predicates.
+
+use morph_linalg::C64;
+use rand::Rng;
+
+use crate::state::StateVector;
+
+/// A Pauli string like `"IXYZ"` over a fixed register.
+///
+/// # Examples
+///
+/// ```
+/// use morph_qsim::{PauliString, StateVector};
+///
+/// let mut psi = StateVector::zero_state(2);
+/// psi.apply_h(0);
+/// psi.apply_cx(0, 1);
+/// let xx: PauliString = "XX".parse()?;
+/// assert!((xx.expectation(&psi) - 1.0).abs() < 1e-12);
+/// # Ok::<(), morph_qsim::ParsePauliError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauliString {
+    /// One letter in `IXYZ` per qubit (qubit 0 first).
+    letters: Vec<u8>,
+}
+
+/// Error parsing a Pauli string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePauliError {
+    /// The offending character.
+    pub ch: char,
+}
+
+impl std::fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid Pauli character {:?} (expected I, X, Y, or Z)", self.ch)
+    }
+}
+
+impl std::error::Error for ParsePauliError {}
+
+impl std::str::FromStr for PauliString {
+    type Err = ParsePauliError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut letters = Vec::with_capacity(s.len());
+        for ch in s.chars() {
+            match ch.to_ascii_uppercase() {
+                'I' => letters.push(b'I'),
+                'X' => letters.push(b'X'),
+                'Y' => letters.push(b'Y'),
+                'Z' => letters.push(b'Z'),
+                other => return Err(ParsePauliError { ch: other }),
+            }
+        }
+        Ok(PauliString { letters })
+    }
+}
+
+impl std::fmt::Display for PauliString {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for &l in &self.letters {
+            write!(f, "{}", l as char)?;
+        }
+        Ok(())
+    }
+}
+
+impl PauliString {
+    /// Number of qubits the string covers.
+    pub fn n_qubits(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// `true` if every letter is `I`.
+    pub fn is_identity(&self) -> bool {
+        self.letters.iter().all(|&l| l == b'I')
+    }
+
+    /// Number of non-identity letters (the string's weight).
+    pub fn weight(&self) -> usize {
+        self.letters.iter().filter(|&&l| l != b'I').count()
+    }
+
+    /// Applies the string to a state: `|ψ⟩ → P|ψ⟩`, in `O(2^n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register sizes disagree.
+    pub fn apply(&self, psi: &StateVector) -> StateVector {
+        assert_eq!(psi.n_qubits(), self.n_qubits(), "register size mismatch");
+        let n = self.n_qubits();
+        // Bit masks: X/Y flip the bit; Z/Y contribute phases.
+        let mut flip_mask = 0usize;
+        let mut z_mask = 0usize;
+        let mut y_count = 0u32;
+        for (q, &l) in self.letters.iter().enumerate() {
+            let bit = 1usize << (n - 1 - q);
+            match l {
+                b'X' => flip_mask |= bit,
+                b'Y' => {
+                    flip_mask |= bit;
+                    z_mask |= bit;
+                    y_count += 1;
+                }
+                b'Z' => z_mask |= bit,
+                _ => {}
+            }
+        }
+        // Global factor from Y = i·XZ per Y letter.
+        let global = C64::I.scale(1.0).powu(y_count);
+        let amps = psi.amplitudes();
+        let mut out = vec![C64::ZERO; amps.len()];
+        for (i, &a) in amps.iter().enumerate() {
+            if a == C64::ZERO {
+                continue;
+            }
+            // P|i⟩ = phase(i) |i ^ flip⟩ with phase from Z (and Y's Z part)
+            // acting on |i⟩ *after* the flip order convention: apply Z first
+            // then X (P = i^{|Y|} X-part · Z-part).
+            let z_parity = (i & z_mask).count_ones() & 1;
+            let mut coeff = global;
+            if z_parity == 1 {
+                coeff = -coeff;
+            }
+            out[i ^ flip_mask] += coeff * a;
+        }
+        StateVector::from_amplitudes(out)
+    }
+
+    /// Expectation `⟨ψ|P|ψ⟩` (real for Hermitian P).
+    pub fn expectation(&self, psi: &StateVector) -> f64 {
+        psi.inner(&self.apply(psi)).re
+    }
+
+    /// Shot-based estimate of the expectation: simulates `shots` ±1
+    /// measurements of the observable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0`.
+    pub fn estimate(&self, psi: &StateVector, shots: usize, rng: &mut impl Rng) -> f64 {
+        assert!(shots > 0, "need at least one shot");
+        let e = self.expectation(psi).clamp(-1.0, 1.0);
+        let p_plus = (1.0 + e) / 2.0;
+        let mut plus = 0usize;
+        for _ in 0..shots {
+            if rng.gen::<f64>() < p_plus {
+                plus += 1;
+            }
+        }
+        2.0 * (plus as f64 / shots as f64) - 1.0
+    }
+}
+
+/// Integer power of a complex unit (helper for `i^k`).
+trait PowU {
+    fn powu(self, k: u32) -> Self;
+}
+
+impl PowU for C64 {
+    fn powu(self, k: u32) -> C64 {
+        let mut acc = C64::ONE;
+        for _ in 0..(k % 4) {
+            acc *= self;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::matrices;
+
+    fn random_state(n: usize, seed: u64) -> StateVector {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let amps: Vec<C64> = (0..(1 << n))
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        StateVector::from_amplitudes(amps)
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let p: PauliString = "iXyZ".parse().unwrap();
+        assert_eq!(p.to_string(), "IXYZ");
+        assert_eq!(p.weight(), 3);
+        assert!(!p.is_identity());
+        assert!("IXQ".parse::<PauliString>().is_err());
+    }
+
+    #[test]
+    fn apply_matches_dense_matrix() {
+        for s in ["X", "Y", "Z", "XY", "ZZ", "IYX", "YYZ", "XIZY"] {
+            let p: PauliString = s.parse().unwrap();
+            let n = p.n_qubits();
+            let psi = random_state(n, 42 + n as u64);
+            let fast = p.apply(&psi);
+            let dense = matrices::pauli_string(s).matvec(psi.amplitudes());
+            for (i, &a) in fast.amplitudes().iter().enumerate() {
+                assert!(a.approx_eq(dense[i], 1e-10), "{s} mismatch at {i}: {a} vs {}", dense[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_matches_dense() {
+        for s in ["XX", "YZ", "ZI", "YY"] {
+            let p: PauliString = s.parse().unwrap();
+            let psi = random_state(2, 7);
+            let dense = matrices::pauli_string(s)
+                .matmul(&psi.density_matrix())
+                .trace()
+                .re;
+            assert!((p.expectation(&psi) - dense).abs() < 1e-10, "{s}");
+        }
+    }
+
+    #[test]
+    fn identity_expectation_is_one() {
+        let p: PauliString = "III".parse().unwrap();
+        assert!(p.is_identity());
+        let psi = random_state(3, 5);
+        assert!((p.expectation(&psi) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pauli_strings_are_involutions() {
+        let p: PauliString = "XYZY".parse().unwrap();
+        let psi = random_state(4, 3);
+        let twice = p.apply(&p.apply(&psi));
+        for (a, b) in twice.amplitudes().iter().zip(psi.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn shot_estimate_converges() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut psi = StateVector::zero_state(1);
+        psi.apply_1q(&matrices::ry(1.0), 0);
+        let p: PauliString = "Z".parse().unwrap();
+        let exact = p.expectation(&psi);
+        let est = p.estimate(&psi, 50_000, &mut rng);
+        assert!((est - exact).abs() < 0.02, "est {est} vs exact {exact}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Cost accounting for verification experiments.
+//!
+//! The paper's headline numbers are *counts*: program executions (one input,
+//! many shots), total shots, and quantum operations introduced by a
+//! verification method. [`CostLedger`] accumulates them; [`SharedLedger`]
+//! is the thread-safe handle used when sweeps run in parallel.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated execution costs of a verification run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostLedger {
+    /// Distinct program executions (an input preparation + measurement
+    /// setting run on hardware).
+    pub executions: u64,
+    /// Total measurement shots across all executions.
+    pub shots: u64,
+    /// Two-qubit-equivalent quantum operations consumed (shots × per-shot
+    /// circuit cost, plus any injected verification circuitry).
+    pub quantum_ops: u64,
+}
+
+impl CostLedger {
+    /// A zeroed ledger.
+    pub fn new() -> Self {
+        CostLedger::default()
+    }
+
+    /// Records one program execution of `shots` shots over a circuit whose
+    /// per-shot operation cost is `ops_per_shot`.
+    pub fn record_execution(&mut self, shots: u64, ops_per_shot: u64) {
+        self.executions += 1;
+        self.shots += shots;
+        self.quantum_ops += shots.saturating_mul(ops_per_shot);
+    }
+
+    /// Records extra quantum operations (e.g. synthesized assertion
+    /// circuitry) without an execution.
+    pub fn record_ops(&mut self, ops: u64) {
+        self.quantum_ops += ops;
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &CostLedger) {
+        self.executions += other.executions;
+        self.shots += other.shots;
+        self.quantum_ops += other.quantum_ops;
+    }
+}
+
+impl std::fmt::Display for CostLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} executions, {} shots, {} quantum ops",
+            self.executions, self.shots, self.quantum_ops
+        )
+    }
+}
+
+/// Thread-safe shared ledger for parallel sweeps.
+#[derive(Debug, Clone, Default)]
+pub struct SharedLedger {
+    inner: Arc<Mutex<CostLedger>>,
+}
+
+impl SharedLedger {
+    /// A zeroed shared ledger.
+    pub fn new() -> Self {
+        SharedLedger::default()
+    }
+
+    /// Records one execution (see [`CostLedger::record_execution`]).
+    pub fn record_execution(&self, shots: u64, ops_per_shot: u64) {
+        self.inner.lock().record_execution(shots, ops_per_shot);
+    }
+
+    /// Records extra quantum operations.
+    pub fn record_ops(&self, ops: u64) {
+        self.inner.lock().record_ops(ops);
+    }
+
+    /// Merges a local ledger.
+    pub fn merge(&self, other: &CostLedger) {
+        self.inner.lock().merge(other);
+    }
+
+    /// Snapshot of the current totals.
+    pub fn snapshot(&self) -> CostLedger {
+        *self.inner.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut ledger = CostLedger::new();
+        ledger.record_execution(1000, 7);
+        ledger.record_execution(1000, 7);
+        assert_eq!(ledger.executions, 2);
+        assert_eq!(ledger.shots, 2000);
+        assert_eq!(ledger.quantum_ops, 14_000);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = CostLedger::new();
+        a.record_execution(10, 1);
+        let mut b = CostLedger::new();
+        b.record_execution(5, 2);
+        b.record_ops(100);
+        a.merge(&b);
+        assert_eq!(a.executions, 2);
+        assert_eq!(a.shots, 15);
+        assert_eq!(a.quantum_ops, 120);
+    }
+
+    #[test]
+    fn shared_ledger_is_cloneable_view() {
+        let shared = SharedLedger::new();
+        let view = shared.clone();
+        shared.record_execution(3, 2);
+        view.record_ops(4);
+        let snap = shared.snapshot();
+        assert_eq!(snap.executions, 1);
+        assert_eq!(snap.shots, 3);
+        assert_eq!(snap.quantum_ops, 10);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut ledger = CostLedger::new();
+        ledger.record_execution(2, 3);
+        let text = ledger.to_string();
+        assert!(text.contains("1 executions"));
+        assert!(text.contains("2 shots"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Simulated tomography and cost accounting for the MorphQPV reproduction.
+//!
+//! On hardware, a tracepoint state can only be *estimated* by repeating the
+//! program under many measurement settings. This crate models that pipeline
+//! exactly — Pauli-basis settings, binomial shot noise, linear inversion,
+//! PSD projection — while the underlying simulator supplies the true state:
+//!
+//! - [`read_state`]: state tomography under a [`ReadoutMode`] (exact /
+//!   shot-limited / probabilities-only for the paper's Strategy-prop).
+//! - [`process_tomography`]: `d²`-probe process characterization, the most
+//!   expensive curve of Fig 11(a).
+//! - [`ClassicalShadow`]: Huang–Kueng–Preskill shadow estimation — the
+//!   low-weight-observable shortcut around full tomography.
+//! - [`CostLedger`] / [`SharedLedger`]: executions / shots / quantum-ops
+//!   accounting used by every table in the evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use morph_linalg::{C64, CMatrix};
+//! use morph_tomography::{read_state, CostLedger, ReadoutMode};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let h = 1.0 / 2f64.sqrt();
+//! let plus = CMatrix::outer(&[C64::real(h), C64::real(h)], &[C64::real(h), C64::real(h)]);
+//! let mut ledger = CostLedger::new();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let est = read_state(&plus, ReadoutMode::Shots(4000), 1, &mut ledger, &mut rng);
+//! assert!(morph_linalg::fidelity(&est, &plus) > 0.95);
+//! assert_eq!(ledger.executions, 3); // X, Y, Z settings
+//! ```
+
+mod accounting;
+mod shadows;
+mod state_tomography;
+
+pub use accounting::{CostLedger, SharedLedger};
+pub use shadows::ClassicalShadow;
+pub use state_tomography::{pauli_strings, process_tomography, read_state, ReadoutMode};

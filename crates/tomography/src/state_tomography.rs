@@ -1,0 +1,361 @@
+//! Simulated quantum state tomography.
+//!
+//! Hardware cannot read a density matrix directly; it estimates every Pauli
+//! expectation from repeated measurements. This module reproduces that
+//! estimator faithfully on top of the simulator: given the *exact* reduced
+//! state a tracepoint produced, it simulates the binomial shot noise of each
+//! Pauli-basis setting, performs linear inversion, and projects back onto
+//! the density-matrix set — exactly the pipeline MorphQPV's characterization
+//! pays for on hardware.
+
+use morph_linalg::{project_to_density, C64, CMatrix};
+use morph_qsim::matrices;
+use rand::Rng;
+
+use crate::accounting::CostLedger;
+
+/// How a tracepoint state is read out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadoutMode {
+    /// Ideal readout: the exact reduced density matrix (infinite shots).
+    Exact,
+    /// Full state tomography with the given number of shots per Pauli basis.
+    Shots(usize),
+    /// Probability-only readout (Strategy-prop): only the computational
+    /// basis is measured with the given shots; off-diagonals are dropped.
+    ProbabilitiesOnly(usize),
+    /// Classical-shadow readout with the given number of single-shot
+    /// snapshots: one measurement setting per snapshot instead of
+    /// `4^k − 1` fixed settings, at the price of `3^w` variance per
+    /// weight-`w` Pauli coordinate.
+    Shadow(usize),
+}
+
+impl ReadoutMode {
+    /// Number of measurement settings needed for a `k`-qubit state.
+    pub fn settings_for(&self, k: usize) -> u64 {
+        match self {
+            ReadoutMode::Exact => 1,
+            ReadoutMode::Shots(_) => (4u64.pow(k as u32)) - 1,
+            ReadoutMode::ProbabilitiesOnly(_) => 1,
+            ReadoutMode::Shadow(n) => *n as u64,
+        }
+    }
+
+    /// Shots per measurement setting.
+    pub fn shots_per_setting(&self) -> u64 {
+        match self {
+            ReadoutMode::Exact | ReadoutMode::Shadow(_) => 1,
+            ReadoutMode::Shots(s) | ReadoutMode::ProbabilitiesOnly(s) => *s as u64,
+        }
+    }
+}
+
+/// Enumerates all `4^k` Pauli strings over `k` qubits (in `IXYZ` alphabet),
+/// identity first.
+pub fn pauli_strings(k: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(4usize.pow(k as u32));
+    let letters = ['I', 'X', 'Y', 'Z'];
+    for code in 0..4usize.pow(k as u32) {
+        let mut s = String::with_capacity(k);
+        let mut c = code;
+        for _ in 0..k {
+            s.push(letters[c % 4]);
+            c /= 4;
+        }
+        out.push(s.chars().rev().collect());
+    }
+    out
+}
+
+/// Estimates the expectation of an observable with eigenvalues ±1 from
+/// `shots` simulated measurements given the true expectation `e`.
+fn sample_expectation(e: f64, shots: usize, rng: &mut impl Rng) -> f64 {
+    let p_plus = ((1.0 + e) / 2.0).clamp(0.0, 1.0);
+    let mut plus = 0usize;
+    for _ in 0..shots {
+        if rng.gen::<f64>() < p_plus {
+            plus += 1;
+        }
+    }
+    2.0 * (plus as f64 / shots as f64) - 1.0
+}
+
+/// Runs simulated state tomography on a `k`-qubit state.
+///
+/// For [`ReadoutMode::Exact`] this returns a clone of `rho`. For
+/// [`ReadoutMode::Shots`] every non-identity Pauli expectation is estimated
+/// with binomial shot noise and the linear-inversion estimate is projected
+/// to the nearest density matrix. For [`ReadoutMode::ProbabilitiesOnly`]
+/// only the diagonal is estimated (multinomial sampling), reproducing
+/// Strategy-prop's cheap readout.
+///
+/// Costs are recorded into `ledger`: one execution per measurement setting,
+/// with `ops_per_shot` quantum operations each (pass the circuit's per-shot
+/// cost).
+///
+/// # Panics
+///
+/// Panics if `rho` is not square or shot counts are zero in a shot mode.
+pub fn read_state(
+    rho: &CMatrix,
+    mode: ReadoutMode,
+    ops_per_shot: u64,
+    ledger: &mut CostLedger,
+    rng: &mut impl Rng,
+) -> CMatrix {
+    assert!(rho.is_square(), "state must be square");
+    let d = rho.rows();
+    let k = d.trailing_zeros() as usize;
+    match mode {
+        ReadoutMode::Exact => {
+            ledger.record_execution(1, ops_per_shot);
+            rho.clone()
+        }
+        ReadoutMode::Shots(shots) => {
+            assert!(shots > 0, "tomography requires at least one shot");
+            let mut estimate = CMatrix::identity(d).scale_re(1.0 / d as f64);
+            for s in pauli_strings(k).into_iter().skip(1) {
+                let p = matrices::pauli_string(&s);
+                let true_e = p.matmul(rho).trace().re;
+                let est_e = sample_expectation(true_e, shots, rng);
+                estimate += &p.scale_re(est_e / d as f64);
+                ledger.record_execution(shots as u64, ops_per_shot);
+            }
+            project_to_density(&estimate)
+        }
+        ReadoutMode::Shadow(n_snapshots) => {
+            assert!(n_snapshots > 0, "shadow readout requires at least one snapshot");
+            let shadow = crate::shadows::ClassicalShadow::collect(
+                rho,
+                n_snapshots,
+                ops_per_shot,
+                ledger,
+                rng,
+            );
+            let mut estimate = CMatrix::identity(d).scale_re(1.0 / d as f64);
+            for s in pauli_strings(k).into_iter().skip(1) {
+                let e = shadow.estimate_pauli(&s, 10).clamp(-1.0, 1.0);
+                if e != 0.0 {
+                    estimate += &matrices::pauli_string(&s).scale_re(e / d as f64);
+                }
+            }
+            project_to_density(&estimate)
+        }
+        ReadoutMode::ProbabilitiesOnly(shots) => {
+            assert!(shots > 0, "probability readout requires at least one shot");
+            let probs: Vec<f64> = (0..d).map(|i| rho[(i, i)].re.max(0.0)).collect();
+            let total: f64 = probs.iter().sum();
+            let mut counts = vec![0usize; d];
+            for _ in 0..shots {
+                let r: f64 = rng.gen::<f64>() * total;
+                let mut acc = 0.0;
+                let mut chosen = d - 1;
+                for (i, p) in probs.iter().enumerate() {
+                    acc += p;
+                    if r < acc {
+                        chosen = i;
+                        break;
+                    }
+                }
+                counts[chosen] += 1;
+            }
+            ledger.record_execution(shots as u64, ops_per_shot);
+            let diag: Vec<C64> =
+                counts.iter().map(|&c| C64::real(c as f64 / shots as f64)).collect();
+            CMatrix::from_diag(&diag)
+        }
+    }
+}
+
+/// Simulated process tomography of a `k`-qubit channel presented as a
+/// black-box map on density matrices.
+///
+/// The channel is probed with the `d²` spanning inputs
+/// `{|j⟩⟨j|, |j⟩+|k⟩ superpositions, |j⟩+i|k⟩ superpositions}` and each
+/// output is read with the given mode; the result is the list of
+/// (input, estimated output) pairs from which any process representation
+/// can be assembled. The quadratic input count times the exponential
+/// tomography cost is what makes Fig 11(a)'s process-tomography curve so
+/// expensive.
+pub fn process_tomography(
+    k: usize,
+    channel: impl Fn(&CMatrix) -> CMatrix,
+    mode: ReadoutMode,
+    ops_per_shot: u64,
+    ledger: &mut CostLedger,
+    rng: &mut impl Rng,
+) -> Vec<(CMatrix, CMatrix)> {
+    let d = 1usize << k;
+    let mut pairs = Vec::new();
+    let basis_kets: Vec<Vec<C64>> = (0..d)
+        .map(|j| {
+            let mut v = vec![C64::ZERO; d];
+            v[j] = C64::ONE;
+            v
+        })
+        .collect();
+    // |j><j| probes.
+    for j in 0..d {
+        let rho_in = CMatrix::outer(&basis_kets[j], &basis_kets[j]);
+        let out = read_state(&channel(&rho_in), mode, ops_per_shot, ledger, rng);
+        pairs.push((rho_in, out));
+    }
+    // (|j>+|k>)/√2 and (|j>+i|k>)/√2 probes.
+    let s = 1.0 / 2f64.sqrt();
+    for j in 0..d {
+        for l in (j + 1)..d {
+            for phase in [C64::ONE, C64::I] {
+                let mut v = vec![C64::ZERO; d];
+                v[j] = C64::real(s);
+                v[l] = phase.scale(s);
+                let rho_in = CMatrix::outer(&v, &v);
+                let out = read_state(&channel(&rho_in), mode, ops_per_shot, ledger, rng);
+                pairs.push((rho_in, out));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plus_state() -> CMatrix {
+        let h = 1.0 / 2f64.sqrt();
+        CMatrix::outer(&[C64::real(h), C64::real(h)], &[C64::real(h), C64::real(h)])
+    }
+
+    #[test]
+    fn pauli_strings_enumeration() {
+        let strings = pauli_strings(2);
+        assert_eq!(strings.len(), 16);
+        assert_eq!(strings[0], "II");
+        assert!(strings.contains(&"XZ".to_string()));
+        assert!(strings.contains(&"YY".to_string()));
+        // All distinct.
+        let set: std::collections::HashSet<_> = strings.iter().collect();
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn exact_mode_is_identity() {
+        let mut ledger = CostLedger::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let rho = plus_state();
+        let est = read_state(&rho, ReadoutMode::Exact, 5, &mut ledger, &mut rng);
+        assert!(est.approx_eq(&rho, 0.0));
+        assert_eq!(ledger.executions, 1);
+    }
+
+    #[test]
+    fn shot_tomography_converges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let rho = plus_state();
+        let mut coarse_ledger = CostLedger::new();
+        let coarse = read_state(&rho, ReadoutMode::Shots(100), 1, &mut coarse_ledger, &mut rng);
+        let mut fine_ledger = CostLedger::new();
+        let fine = read_state(&rho, ReadoutMode::Shots(50_000), 1, &mut fine_ledger, &mut rng);
+        let coarse_err = (&coarse - &rho).frobenius_norm();
+        let fine_err = (&fine - &rho).frobenius_norm();
+        assert!(fine_err < coarse_err, "more shots should reduce error");
+        assert!(fine_err < 0.02, "50k shots should be accurate, err={fine_err}");
+        // 3 Pauli settings for one qubit.
+        assert_eq!(fine_ledger.executions, 3);
+        assert_eq!(fine_ledger.shots, 150_000);
+    }
+
+    #[test]
+    fn shot_tomography_output_is_valid_density() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ledger = CostLedger::new();
+        let est = read_state(&plus_state(), ReadoutMode::Shots(200), 1, &mut ledger, &mut rng);
+        assert!(morph_linalg::is_density_matrix(&est, 1e-9));
+    }
+
+    #[test]
+    fn probabilities_only_drops_coherences() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ledger = CostLedger::new();
+        let est = read_state(
+            &plus_state(),
+            ReadoutMode::ProbabilitiesOnly(10_000),
+            1,
+            &mut ledger,
+            &mut rng,
+        );
+        assert!(est[(0, 1)].abs() < 1e-12, "no off-diagonal information");
+        assert!((est[(0, 0)].re - 0.5).abs() < 0.03);
+        assert_eq!(ledger.executions, 1);
+    }
+
+    #[test]
+    fn shadow_readout_reconstructs_with_flat_execution_count() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut ledger = CostLedger::new();
+        let est = read_state(&plus_state(), ReadoutMode::Shadow(4000), 1, &mut ledger, &mut rng);
+        assert!(morph_linalg::is_density_matrix(&est, 1e-9));
+        assert!(
+            morph_linalg::fidelity(&est, &plus_state()) > 0.9,
+            "shadow estimate too far off"
+        );
+        // Executions = snapshots, independent of the 4^k setting count.
+        assert_eq!(ledger.executions, 4000);
+        assert_eq!(ledger.shots, 4000);
+    }
+
+    #[test]
+    fn settings_count_model() {
+        assert_eq!(ReadoutMode::Exact.settings_for(3), 1);
+        assert_eq!(ReadoutMode::Shots(10).settings_for(2), 15);
+        assert_eq!(ReadoutMode::ProbabilitiesOnly(10).settings_for(5), 1);
+        assert_eq!(ReadoutMode::Shadow(500).settings_for(5), 500);
+    }
+
+    #[test]
+    fn two_qubit_tomography_recovers_bell() {
+        // Bell state density matrix.
+        let s = 1.0 / 2f64.sqrt();
+        let bell = CMatrix::outer(
+            &[C64::real(s), C64::ZERO, C64::ZERO, C64::real(s)],
+            &[C64::real(s), C64::ZERO, C64::ZERO, C64::real(s)],
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ledger = CostLedger::new();
+        let est = read_state(&bell, ReadoutMode::Shots(20_000), 1, &mut ledger, &mut rng);
+        assert!((morph_linalg::fidelity(&est, &bell) - 1.0).abs() < 0.02);
+        assert_eq!(ledger.executions, 15);
+    }
+
+    #[test]
+    fn process_tomography_identity_channel() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut ledger = CostLedger::new();
+        let pairs = process_tomography(
+            1,
+            |rho| rho.clone(),
+            ReadoutMode::Exact,
+            1,
+            &mut ledger,
+            &mut rng,
+        );
+        // d=2: 2 basis + 2 superposition pairs = 4 probes.
+        assert_eq!(pairs.len(), 4);
+        for (input, output) in &pairs {
+            assert!(input.approx_eq(output, 1e-12));
+        }
+    }
+
+    #[test]
+    fn process_tomography_cost_scales() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut l1 = CostLedger::new();
+        process_tomography(1, |r| r.clone(), ReadoutMode::Shots(10), 1, &mut l1, &mut rng);
+        let mut l2 = CostLedger::new();
+        process_tomography(2, |r| r.clone(), ReadoutMode::Shots(10), 1, &mut l2, &mut rng);
+        assert!(l2.executions > 4 * l1.executions, "process tomography cost must blow up");
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the MorphQPV reproduction workspace.
+//!
+//! Re-exports every member crate so examples and integration tests can use a
+//! single dependency. Downstream users should normally depend on the
+//! individual crates (`morphqpv`, `morph-qsim`, …) directly.
+
+pub use morph_baselines as baselines;
+pub use morph_bench as bench;
+pub use morph_clifford as clifford;
+pub use morph_linalg as linalg;
+pub use morph_optimize as optimize;
+pub use morph_qalgo as qalgo;
+pub use morph_qprog as qprog;
+pub use morph_qsim as qsim;
+pub use morph_tomography as tomography;
+pub use morphqpv as core;

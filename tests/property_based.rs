@@ -1,0 +1,153 @@
+//! Property-based tests (proptest) on the core invariants: simulator
+//! unitarity, isomorphism linearity (Theorem 1), tomography consistency,
+//! and parser round-trips.
+
+use morphqpv_suite::core::ApproximationFunction;
+use morphqpv_suite::linalg::{C64, CMatrix};
+use morphqpv_suite::qprog::{Circuit, Executor, TracepointId};
+use morphqpv_suite::qsim::{Gate, StateVector};
+use proptest::prelude::*;
+
+/// Arbitrary 3-qubit gate drawn from the library.
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        (0..3usize).prop_map(Gate::H),
+        (0..3usize).prop_map(Gate::X),
+        (0..3usize).prop_map(Gate::Z),
+        (0..3usize).prop_map(Gate::S),
+        (0..3usize).prop_map(Gate::T),
+        ((0..3usize), -3.0..3.0f64).prop_map(|(q, a)| Gate::RX(q, a)),
+        ((0..3usize), -3.0..3.0f64).prop_map(|(q, a)| Gate::RY(q, a)),
+        ((0..3usize), -3.0..3.0f64).prop_map(|(q, a)| Gate::RZ(q, a)),
+        ((0..3usize), (0..3usize))
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Gate::CX(a, b)),
+        ((0..3usize), (0..3usize))
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Gate::CZ(a, b)),
+    ]
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(), 1..12).prop_map(|gates| {
+        let mut c = Circuit::new(3);
+        for g in gates {
+            c.gate(g);
+        }
+        c
+    })
+}
+
+/// Arbitrary normalized single-qubit pure state embedded as qubit 0 of 3.
+fn arb_input() -> impl Strategy<Value = StateVector> {
+    (0.0..std::f64::consts::PI, 0.0..(2.0 * std::f64::consts::PI)).prop_map(|(theta, phi)| {
+        let mut psi = StateVector::zero_state(3);
+        psi.apply_1q(&morphqpv_suite::qsim::matrices::ry(theta), 0);
+        psi.apply_phase(0, phi);
+        psi
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every circuit preserves the norm (unitarity of the gate kernels).
+    #[test]
+    fn circuits_preserve_norm(circuit in arb_circuit(), input in arb_input()) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
+        let out = Executor::new().run_trajectory(&circuit, &input, &mut rng).final_state;
+        prop_assert!((out.norm() - 1.0).abs() < 1e-9);
+    }
+
+    /// Running a circuit then its inverse is the identity.
+    #[test]
+    fn inverse_circuits_cancel(circuit in arb_circuit(), input in arb_input()) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
+        let mut round_trip = circuit.clone();
+        round_trip.extend_from(&circuit.inverse());
+        let out = Executor::new().run_trajectory(&round_trip, &input, &mut rng).final_state;
+        prop_assert!(out.approx_eq_up_to_phase(&input, 1e-9));
+    }
+
+    /// Theorem 1 linearity: for any circuit, the tracepoint state of a
+    /// convex input mixture equals the mixture of tracepoint states.
+    #[test]
+    fn tracepoint_states_are_linear(circuit in arb_circuit(), w in 0.05..0.95f64) {
+        let executor = Executor::new();
+        let mut traced = Circuit::new(3);
+        traced.extend_from(&circuit);
+        traced.tracepoint(1, &[0, 1]);
+
+        let a = StateVector::basis_state(3, 0b000);
+        let b = StateVector::basis_state(3, 0b100);
+        let ta = executor.run_expected(&traced, &a).state(TracepointId(1)).clone();
+        let tb = executor.run_expected(&traced, &b).state(TracepointId(1)).clone();
+
+        // Mixture of tracepoint states.
+        let mixed_traces = &ta.scale_re(w) + &tb.scale_re(1.0 - w);
+
+        // Approximation built from the two pure samples, applied to the
+        // mixed input.
+        let rho_a = a.reduced_density_matrix(&[0]);
+        let rho_b = b.reduced_density_matrix(&[0]);
+        let f = ApproximationFunction::new(vec![rho_a.clone(), rho_b.clone()], vec![ta, tb])
+            .expect("valid pairs");
+        let mixed_input = &rho_a.scale_re(w) + &rho_b.scale_re(1.0 - w);
+        let predicted = f.predict(&mixed_input).expect("dimensions match");
+        prop_assert!(predicted.approx_eq(&mixed_traces, 1e-8));
+    }
+
+    /// Reduced density matrices are valid density matrices.
+    #[test]
+    fn reduced_states_are_density_matrices(circuit in arb_circuit(), input in arb_input()) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
+        let out = Executor::new().run_trajectory(&circuit, &input, &mut rng).final_state;
+        for qubits in [vec![0], vec![1, 2], vec![2, 0]] {
+            let rho = out.reduced_density_matrix(&qubits);
+            prop_assert!(morphqpv_suite::linalg::is_density_matrix(&rho, 1e-9));
+        }
+    }
+
+    /// The full-matrix path and the kernel path agree for every gate.
+    #[test]
+    fn gate_kernels_match_matrices(gate in arb_gate(), input in arb_input()) {
+        let mut fast = input.clone();
+        gate.apply(&mut fast);
+        let expected = gate.full_matrix(3).matvec(input.amplitudes());
+        for (idx, &amp) in fast.amplitudes().iter().enumerate() {
+            prop_assert!(amp.approx_eq(expected[idx], 1e-10));
+        }
+    }
+
+    /// Sampling statistics match the amplitudes.
+    #[test]
+    fn sampling_matches_distribution(circuit in arb_circuit()) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(7);
+        let input = StateVector::zero_state(3);
+        let out = Executor::new().run_trajectory(&circuit, &input, &mut rng).final_state;
+        let probs = out.probabilities();
+        let shots = 4000;
+        let counts = out.sample_counts(shots, &mut rng);
+        for (p, &c) in probs.iter().zip(&counts) {
+            let f = c as f64 / shots as f64;
+            prop_assert!((f - p).abs() < 0.06, "p={p}, f={f}");
+        }
+    }
+
+    /// Decompose/recombine round-trips inputs inside the span.
+    #[test]
+    fn decomposition_roundtrip(w1 in 0.1..0.9f64, w2 in 0.1..0.9f64) {
+        let zero = CMatrix::outer(&[C64::ONE, C64::ZERO], &[C64::ONE, C64::ZERO]);
+        let one = CMatrix::outer(&[C64::ZERO, C64::ONE], &[C64::ZERO, C64::ONE]);
+        let h = 1.0 / 2f64.sqrt();
+        let plus = CMatrix::outer(&[C64::real(h), C64::real(h)], &[C64::real(h), C64::real(h)]);
+        let total = w1 + w2;
+        let target = &(&zero.scale_re(w1 / total) + &one.scale_re(w2 / total)).scale_re(0.7)
+            + &plus.scale_re(0.3);
+        let basis = vec![zero, one, plus];
+        let alphas = morphqpv_suite::linalg::decompose_hermitian(&basis, &target)
+            .expect("solvable");
+        let rebuilt = morphqpv_suite::linalg::recombine(&basis, &alphas);
+        prop_assert!(rebuilt.approx_eq(&target, 1e-8));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the optimization substrate: every solver must
+//! respect bounds and find the optimum of random concave quadratics.
+
+use morphqpv_suite::optimize::{
+    Bounds, FnObjective, GeneticAlgorithm, GradientAscent, Optimizer, QuadraticProgram,
+    SimulatedAnnealing,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random concave quadratic with its known argmax inside the box.
+fn concave_quadratic(
+    curvatures: Vec<f64>,
+    optimum: Vec<f64>,
+) -> (impl Fn(&[f64]) -> f64, Vec<f64>) {
+    let f = move |x: &[f64]| -> f64 {
+        x.iter()
+            .zip(curvatures.iter().zip(&optimum))
+            .map(|(&xi, (&c, &o))| -c * (xi - o).powi(2))
+            .sum()
+    };
+    // Recompute optimum for the return value (clone semantics).
+    (f, Vec::new())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn qp_and_adam_find_random_quadratic_optima(
+        c1 in 0.5..3.0f64,
+        c2 in 0.5..3.0f64,
+        o1 in -0.8..0.8f64,
+        o2 in -0.8..0.8f64,
+        seed in 0..1000u64,
+    ) {
+        let (f, _) = concave_quadratic(vec![c1, c2], vec![o1, o2]);
+        let objective = FnObjective::new(2, f);
+        let bounds = Bounds::uniform(2, -1.0, 1.0);
+        for solver in [
+            Box::new(QuadraticProgram::default()) as Box<dyn Optimizer>,
+            Box::new(GradientAscent::default()),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let result = solver.maximize(&objective, &bounds, &mut rng);
+            prop_assert!(
+                (result.x[0] - o1).abs() < 0.05 && (result.x[1] - o2).abs() < 0.05,
+                "{} missed ({o1},{o2}): got {:?}",
+                solver.name(),
+                result.x
+            );
+        }
+    }
+
+    #[test]
+    fn population_solvers_respect_bounds_on_unbounded_objectives(
+        slope1 in -3.0..3.0f64,
+        slope2 in -3.0..3.0f64,
+        seed in 0..1000u64,
+    ) {
+        // Linear objective: the optimum sits at a box corner.
+        let objective = FnObjective::new(2, move |x| slope1 * x[0] + slope2 * x[1]);
+        let bounds = Bounds::new(vec![-0.5, 0.0], vec![1.5, 2.0]);
+        for solver in [
+            Box::new(GeneticAlgorithm::default()) as Box<dyn Optimizer>,
+            Box::new(SimulatedAnnealing::default()),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let result = solver.maximize(&objective, &bounds, &mut rng);
+            prop_assert!(result.x[0] >= -0.5 - 1e-12 && result.x[0] <= 1.5 + 1e-12);
+            prop_assert!(result.x[1] >= 0.0 - 1e-12 && result.x[1] <= 2.0 + 1e-12);
+            // Near-corner optimality when the slope is meaningful.
+            if slope1.abs() > 0.5 {
+                let corner = if slope1 > 0.0 { 1.5 } else { -0.5 };
+                prop_assert!(
+                    (result.x[0] - corner).abs() < 0.3,
+                    "{}: x0={} for slope {slope1}",
+                    solver.name(),
+                    result.x[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimizers_never_return_worse_than_reported(
+        c in 0.5..2.0f64,
+        seed in 0..1000u64,
+    ) {
+        let objective = FnObjective::new(3, move |x| -c * x.iter().map(|v| v * v).sum::<f64>());
+        let bounds = Bounds::uniform(3, -2.0, 2.0);
+        for solver in [
+            Box::new(QuadraticProgram::default()) as Box<dyn Optimizer>,
+            Box::new(GeneticAlgorithm::default()),
+            Box::new(SimulatedAnnealing::default()),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let result = solver.maximize(&objective, &bounds, &mut rng);
+            // The reported value is the objective at the reported point.
+            let actual = -c * result.x.iter().map(|v| v * v).sum::<f64>();
+            prop_assert!(
+                (result.value - actual).abs() < 1e-9,
+                "{} reported {} but point evaluates to {actual}",
+                solver.name(),
+                result.value
+            );
+        }
+    }
+}

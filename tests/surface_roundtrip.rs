@@ -1,0 +1,89 @@
+//! Property tests for the surface syntax: parse∘write round-trips preserve
+//! circuits, and the peephole simplifier preserves semantics on random
+//! programs that include tracepoints and measurements.
+
+use morphqpv_suite::qprog::{parse_program, simplify, write_program, Circuit, Executor};
+use morphqpv_suite::qsim::{Gate, StateVector};
+use proptest::prelude::*;
+
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        (0..4usize).prop_map(Gate::H),
+        (0..4usize).prop_map(Gate::X),
+        (0..4usize).prop_map(Gate::Y),
+        (0..4usize).prop_map(Gate::Z),
+        (0..4usize).prop_map(Gate::S),
+        (0..4usize).prop_map(Gate::Sdg),
+        (0..4usize).prop_map(Gate::T),
+        ((0..4usize), -3.0..3.0f64).prop_map(|(q, a)| Gate::RX(q, a)),
+        ((0..4usize), -3.0..3.0f64).prop_map(|(q, a)| Gate::RY(q, a)),
+        ((0..4usize), -3.0..3.0f64).prop_map(|(q, a)| Gate::RZ(q, a)),
+        ((0..4usize), -3.0..3.0f64).prop_map(|(q, a)| Gate::Phase(q, a)),
+        ((0..4usize), (0..4usize))
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Gate::CX(a, b)),
+        ((0..4usize), (0..4usize))
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Gate::CZ(a, b)),
+        ((0..4usize), (0..4usize))
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Gate::Swap(a, b)),
+        Just(Gate::MCZ(vec![0, 1, 2])),
+        (-2.0..2.0f64).prop_map(|a| Gate::MCRX(vec![0, 2], 3, a)),
+    ]
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (
+        proptest::collection::vec(arb_gate(), 1..16),
+        proptest::collection::vec((0u32..5, 0..4usize), 0..3),
+    )
+        .prop_map(|(gates, traces)| {
+            let mut c = Circuit::new(4);
+            let mid = gates.len() / 2;
+            for (i, g) in gates.into_iter().enumerate() {
+                if i == mid {
+                    for &(id, q) in &traces {
+                        c.tracepoint(id, &[q]);
+                    }
+                }
+                c.gate(g);
+            }
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// write ∘ parse is the identity on representable circuits.
+    #[test]
+    fn surface_syntax_roundtrip(circuit in arb_circuit()) {
+        let text = write_program(&circuit).expect("representable gates");
+        let reparsed = parse_program(&text).expect("own output parses");
+        prop_assert_eq!(reparsed, circuit);
+    }
+
+    /// The simplifier preserves semantics on random programs.
+    #[test]
+    fn simplifier_preserves_semantics(circuit in arb_circuit(), basis in 0..16usize) {
+        let (simplified, _) = simplify(&circuit);
+        let input = StateVector::basis_state(4, basis);
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
+        let ex = Executor::new();
+        let a = ex.run_trajectory(&circuit, &input, &mut rng).final_state;
+        let b = ex.run_trajectory(&simplified, &input, &mut rng).final_state;
+        prop_assert!(
+            a.inner(&b).re > 1.0 - 1e-9,
+            "simplification changed semantics"
+        );
+    }
+
+    /// Simplification never increases the gate count or the depth.
+    #[test]
+    fn simplifier_never_grows(circuit in arb_circuit()) {
+        let (simplified, _) = simplify(&circuit);
+        prop_assert!(simplified.gate_count() <= circuit.gate_count());
+        prop_assert!(simplified.depth() <= circuit.depth());
+    }
+}
