@@ -69,17 +69,16 @@ impl AutomataChecker {
     ) -> (bool, f64) {
         let start = Instant::now();
         let analysis = self.propagate(circuit, initial);
-        (analysis.support.is_subset(allowed), start.elapsed().as_secs_f64())
+        (
+            analysis.support.is_subset(allowed),
+            start.elapsed().as_secs_f64(),
+        )
     }
 }
 
 /// Applies one gate to a support set. Returns the new support and whether
 /// the step was exact.
-fn apply_gate_support(
-    gate: &Gate,
-    support: &BTreeSet<usize>,
-    n: usize,
-) -> (BTreeSet<usize>, bool) {
+fn apply_gate_support(gate: &Gate, support: &BTreeSet<usize>, n: usize) -> (BTreeSet<usize>, bool) {
     let bit = |q: usize| 1usize << (n - 1 - q);
     let mut out = BTreeSet::new();
     match gate {

@@ -24,12 +24,20 @@ pub struct DetectionResult {
 impl DetectionResult {
     /// A negative result carrying only costs.
     pub fn not_found(ledger: CostLedger) -> Self {
-        DetectionResult { bug_found: false, witness_input: None, ledger }
+        DetectionResult {
+            bug_found: false,
+            witness_input: None,
+            ledger,
+        }
     }
 
     /// A positive result with its witness and costs.
     pub fn found(witness_input: usize, ledger: CostLedger) -> Self {
-        DetectionResult { bug_found: true, witness_input: Some(witness_input), ledger }
+        DetectionResult {
+            bug_found: true,
+            witness_input: Some(witness_input),
+            ledger,
+        }
     }
 }
 

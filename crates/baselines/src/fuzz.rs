@@ -14,19 +14,31 @@ use rand::rngs::StdRng;
 
 use crate::detector::{BugDetector, DetectionResult};
 use crate::stat::chi_square;
+use crate::sweep::{sweep_until_found, TrialOutcome};
 
 /// The fuzzing detector.
+///
+/// Each fuzzed input is an independent trial: inputs are pre-generated with
+/// seed-split per-input streams, then swept in parallel waves with per-trial
+/// shot RNGs, so the verdict, witness, and ledger are identical at every
+/// `parallelism` setting.
 #[derive(Debug, Clone)]
 pub struct FuzzTester {
     /// Shots per fuzzed input.
     pub shots: usize,
     /// Chi-square threshold per degree of freedom.
     pub threshold_per_dof: f64,
+    /// Worker threads for the fuzz sweep (`0` = all cores, `1` = serial).
+    pub parallelism: usize,
 }
 
 impl Default for FuzzTester {
     fn default() -> Self {
-        FuzzTester { shots: 1000, threshold_per_dof: 5.0 }
+        FuzzTester {
+            shots: 1000,
+            threshold_per_dof: 5.0,
+            parallelism: 0,
+        }
     }
 }
 
@@ -45,9 +57,14 @@ impl BugDetector for FuzzTester {
         let n = reference.n_qubits();
         let dim = 1usize << n;
         let executor = Executor::new();
-        let mut ledger = CostLedger::new();
-        let inputs = InputEnsemble::Clifford.generate(n, budget.max(1), rng);
-        for (i, input) in inputs.iter().enumerate() {
+        let ops = candidate.op_cost() as u64;
+        let dof = (dim - 1).max(1) as f64;
+        let inputs =
+            InputEnsemble::Clifford.generate_with_workers(n, budget.max(1), rng, self.parallelism);
+        let master = morph_parallel::derive_master(rng);
+        let (witness, ledger) = sweep_until_found(self.parallelism, inputs.len(), |i| {
+            let mut task_rng = morph_parallel::child_rng(master, i as u64);
+            let input = &inputs[i];
             let full = |c: &Circuit| -> Circuit {
                 let mut f = Circuit::new(n);
                 f.extend_from(&input.prep);
@@ -55,18 +72,27 @@ impl BugDetector for FuzzTester {
                 f
             };
             let expected = executor
-                .run_trajectory(&full(reference), &StateVector::zero_state(n), rng)
+                .run_trajectory(&full(reference), &StateVector::zero_state(n), &mut task_rng)
                 .final_state
                 .probabilities();
-            let counts =
-                executor.sample_counts(&full(candidate), &StateVector::zero_state(n), self.shots, rng);
-            ledger.record_execution(self.shots as u64, candidate.op_cost() as u64);
-            let dof = (dim - 1).max(1) as f64;
-            if chi_square(&expected, &counts) > self.threshold_per_dof * dof {
-                return DetectionResult::found(i, ledger);
+            let counts = executor.sample_counts(
+                &full(candidate),
+                &StateVector::zero_state(n),
+                self.shots,
+                &mut task_rng,
+            );
+            let mut local = CostLedger::new();
+            local.record_execution(self.shots as u64, ops);
+            TrialOutcome {
+                ledger: local,
+                bug: chi_square(&expected, &counts) > self.threshold_per_dof * dof,
+                witness: i,
             }
+        });
+        match witness {
+            Some(i) => DetectionResult::found(i, ledger),
+            None => DetectionResult::not_found(ledger),
         }
-        DetectionResult::not_found(ledger)
     }
 }
 
@@ -98,7 +124,10 @@ mod tests {
         buggy.h(0).z(0).cx(0, 1).h(0);
         let mut rng = StdRng::seed_from_u64(1);
         let fuzz = FuzzTester::default().detect(&reference, &buggy, 8, &mut rng);
-        assert!(fuzz.bug_found, "fuzzed superposition inputs must expose the phase bug");
+        assert!(
+            fuzz.bug_found,
+            "fuzzed superposition inputs must expose the phase bug"
+        );
     }
 
     #[test]
@@ -106,5 +135,32 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let result = FuzzTester::default().detect(&ghz(), &ghz(), 3, &mut rng);
         assert_eq!(result.ledger.executions, 3);
+    }
+
+    #[test]
+    fn verdict_is_identical_at_every_worker_count() {
+        let mut reference = Circuit::new(2);
+        reference.h(0).cx(0, 1).h(0);
+        let mut buggy = Circuit::new(2);
+        buggy.h(0).z(0).cx(0, 1).h(0);
+        let serial = {
+            let mut rng = StdRng::seed_from_u64(3);
+            FuzzTester {
+                parallelism: 1,
+                ..FuzzTester::default()
+            }
+            .detect(&reference, &buggy, 8, &mut rng)
+        };
+        let wide = {
+            let mut rng = StdRng::seed_from_u64(3);
+            FuzzTester {
+                parallelism: 4,
+                ..FuzzTester::default()
+            }
+            .detect(&reference, &buggy, 8, &mut rng)
+        };
+        assert_eq!(serial.bug_found, wide.bug_found);
+        assert_eq!(serial.witness_input, wide.witness_input);
+        assert_eq!(serial.ledger, wide.ledger);
     }
 }

@@ -32,6 +32,7 @@ mod proj;
 mod quito;
 mod sr;
 mod stat;
+mod sweep;
 mod twist;
 
 pub use automata::{AutomataChecker, SupportAnalysis};
@@ -46,4 +47,5 @@ pub use proj::ProjAssertion;
 pub use quito::QuitoSearch;
 pub use sr::{SrUnsupported, SymbolicChecker};
 pub use stat::{chi_square, StatAssertion};
+pub use sweep::{sweep_until_found, TrialOutcome};
 pub use twist::{PurityCheck, TwistChecker};

@@ -34,7 +34,10 @@ pub struct NddAssertion {
 
 impl Default for NddAssertion {
     fn default() -> Self {
-        NddAssertion { shots: 1000, fidelity_threshold: 0.99 }
+        NddAssertion {
+            shots: 1000,
+            fidelity_threshold: 0.99,
+        }
     }
 }
 
@@ -131,7 +134,10 @@ mod tests {
     #[test]
     fn synthesis_cost_matches_paper_anchor() {
         let c9 = ndd_synthesis_gate_cost(9);
-        assert!((15_000..30_000).contains(&c9), "9-qubit cost {c9} should be ≈ 2.1e4");
+        assert!(
+            (15_000..30_000).contains(&c9),
+            "9-qubit cost {c9} should be ≈ 2.1e4"
+        );
         assert!(ndd_synthesis_gate_cost(5) < ndd_synthesis_gate_cost(7));
     }
 
@@ -174,6 +180,9 @@ mod tests {
                 misses += 1;
             }
         }
-        assert!(misses >= 5, "budgeted NDD should usually miss the lone bug key, missed {misses}/10");
+        assert!(
+            misses >= 5,
+            "budgeted NDD should usually miss the lone bug key, missed {misses}/10"
+        );
     }
 }

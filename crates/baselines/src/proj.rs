@@ -8,7 +8,7 @@
 //! emits no diagnostic information on failure (Table 2's "No"
 //! interpretability entry).
 
-use morph_linalg::{C64, CMatrix};
+use morph_linalg::{CMatrix, C64};
 use morph_qprog::{Circuit, Executor};
 use morph_qsim::StateVector;
 use morph_tomography::CostLedger;
@@ -31,7 +31,10 @@ pub struct ProjAssertion {
 
 impl Default for ProjAssertion {
     fn default() -> Self {
-        ProjAssertion { shots: 1000, leak_threshold: 0.02 }
+        ProjAssertion {
+            shots: 1000,
+            leak_threshold: 0.02,
+        }
     }
 }
 

@@ -14,19 +14,31 @@ use rand::rngs::StdRng;
 
 use crate::detector::{BugDetector, DetectionResult};
 use crate::stat::chi_square;
+use crate::sweep::{sweep_until_found, TrialOutcome};
 
 /// The Quito detector.
+///
+/// Grid points are independent trials, swept in parallel waves (see
+/// [`sweep_until_found`]): the verdict, witness, and ledger are identical
+/// at every `parallelism` setting, and the ledger charges only the grid
+/// points a serial search would have visited.
 #[derive(Debug, Clone)]
 pub struct QuitoSearch {
     /// Shots per grid point.
     pub shots: usize,
     /// Chi-square threshold per degree of freedom.
     pub threshold_per_dof: f64,
+    /// Worker threads for the grid sweep (`0` = all cores, `1` = serial).
+    pub parallelism: usize,
 }
 
 impl Default for QuitoSearch {
     fn default() -> Self {
-        QuitoSearch { shots: 1000, threshold_per_dof: 5.0 }
+        QuitoSearch {
+            shots: 1000,
+            threshold_per_dof: 5.0,
+            parallelism: 0,
+        }
     }
 }
 
@@ -59,22 +71,29 @@ impl BugDetector for QuitoSearch {
         let n = reference.n_qubits();
         let dim = 1usize << n;
         let executor = Executor::new();
-        let mut ledger = CostLedger::new();
         let ops = candidate.op_cost() as u64;
-        for basis in 0..budget.min(dim) {
+        let dof = (dim - 1).max(1) as f64;
+        let master = morph_parallel::derive_master(rng);
+        let (witness, ledger) = sweep_until_found(self.parallelism, budget.min(dim), |basis| {
+            let mut task_rng = morph_parallel::child_rng(master, basis as u64);
             let input = StateVector::basis_state(n, basis);
             let expected = executor
-                .run_trajectory(reference, &input, rng)
+                .run_trajectory(reference, &input, &mut task_rng)
                 .final_state
                 .probabilities();
-            let counts = executor.sample_counts(candidate, &input, self.shots, rng);
-            ledger.record_execution(self.shots as u64, ops);
-            let dof = (dim - 1).max(1) as f64;
-            if chi_square(&expected, &counts) > self.threshold_per_dof * dof {
-                return DetectionResult::found(basis, ledger);
+            let counts = executor.sample_counts(candidate, &input, self.shots, &mut task_rng);
+            let mut local = CostLedger::new();
+            local.record_execution(self.shots as u64, ops);
+            TrialOutcome {
+                ledger: local,
+                bug: chi_square(&expected, &counts) > self.threshold_per_dof * dof,
+                witness: basis,
             }
+        });
+        match witness {
+            Some(basis) => DetectionResult::found(basis, ledger),
+            None => DetectionResult::not_found(ledger),
         }
-        DetectionResult::not_found(ledger)
     }
 }
 

@@ -160,7 +160,10 @@ mod tests {
         let mut c = Circuit::new(2);
         c.h(0).measure(0, 0).conditional(0, 1, Gate::X(1));
         let stabs = SymbolicChecker::new().stabilizers_of(&c);
-        assert!(stabs.is_ok(), "feedback within the Clifford fragment must be analyzable");
+        assert!(
+            stabs.is_ok(),
+            "feedback within the Clifford fragment must be analyzable"
+        );
     }
 
     #[test]

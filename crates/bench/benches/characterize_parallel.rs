@@ -1,0 +1,72 @@
+//! Parallel-characterization bench: serial vs all-cores sweeps on a
+//! shot-readout workload big enough to amortize the thread pool (8 qubits,
+//! 8 sampled inputs, two traced registers). The sampled traces and the cost
+//! ledger are bit-identical between the two arms (see DESIGN.md
+//! "Deterministic parallelism"); only wall-clock differs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morph_qprog::Circuit;
+use morph_qsim::NoiseModel;
+use morph_tomography::ReadoutMode;
+use morphqpv::{characterize, CharacterizationConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N_QUBITS: usize = 8;
+const N_SAMPLES: usize = 8;
+
+/// A layered entangling circuit with a mid-point and an end tracepoint,
+/// each on a 4-qubit half register — the shape of the Table 4 target
+/// programs. Full-register shot tomography at 8 qubits would cost
+/// `4^8 - 1` measurement settings per tracepoint per input; the half
+/// registers keep the per-input work heavy (2 × 255 settings with PSD
+/// projection) but bounded.
+fn workload_circuit() -> Circuit {
+    let n = N_QUBITS;
+    let mut c = Circuit::new(n);
+    for layer in 0..3 {
+        for q in 0..n {
+            c.h(q);
+            c.rz(q, 0.37 * (layer as f64 + 1.0) * (q as f64 + 1.0));
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+    }
+    c.tracepoint(1, &[0, 1, 2, 3]);
+    for q in 0..n {
+        c.h(q);
+    }
+    c.tracepoint(2, &[4, 5, 6, 7]);
+    c
+}
+
+fn config(parallelism: usize) -> CharacterizationConfig {
+    CharacterizationConfig {
+        n_samples: N_SAMPLES,
+        ensemble: morph_clifford::InputEnsemble::Clifford,
+        readout: ReadoutMode::Shots(500),
+        input_qubits: (0..N_QUBITS).collect(),
+        noise: NoiseModel::noiseless(),
+        parallelism,
+    }
+}
+
+fn bench_characterize(c: &mut Criterion) {
+    let circuit = workload_circuit();
+    let mut group = c.benchmark_group("characterize_parallel");
+    group.sample_size(10);
+    for (label, parallelism) in [("serial", 1usize), ("all_cores", 0)] {
+        group.bench_with_input(BenchmarkId::new(label, N_SAMPLES), &parallelism, |b, &p| {
+            let cfg = config(p);
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                characterize(std::hint::black_box(&circuit), &cfg, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterize);
+criterion_main!(benches);

@@ -12,13 +12,20 @@ use rand::SeedableRng;
 
 fn build(n: usize, samples: usize, rng: &mut StdRng) -> ApproximationFunction {
     let u = morph_qsim::matrices::h().kron(&morph_qsim::matrices::ry(0.8));
-    let u = if n == 3 { u.kron(&morph_qsim::matrices::rx(0.3)) } else { u };
+    let u = if n == 3 {
+        u.kron(&morph_qsim::matrices::rx(0.3))
+    } else {
+        u
+    };
     let inputs: Vec<CMatrix> = InputEnsemble::PauliProduct
         .generate(n, samples, rng)
         .into_iter()
         .map(|i| i.rho)
         .collect();
-    let traces: Vec<CMatrix> = inputs.iter().map(|r| u.matmul(r).matmul(&u.dagger())).collect();
+    let traces: Vec<CMatrix> = inputs
+        .iter()
+        .map(|r| u.matmul(r).matmul(&u.dagger()))
+        .collect();
     ApproximationFunction::new(inputs, traces).expect("valid pairs")
 }
 

@@ -3,8 +3,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use morph_qprog::{Circuit, TracepointId};
 use morphqpv::{
-    characterize, validate_assertion, AssumeGuarantee, CharacterizationConfig,
-    RelationPredicate, SolverKind, ValidationConfig,
+    characterize, validate_assertion, AssumeGuarantee, CharacterizationConfig, RelationPredicate,
+    SolverKind, ValidationConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,7 +38,10 @@ fn bench_solvers(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::new(solver.name(), 16), &solver, |b, &s| {
             b.iter(|| {
-                let vconfig = ValidationConfig { solver: s, ..Default::default() };
+                let vconfig = ValidationConfig {
+                    solver: s,
+                    ..Default::default()
+                };
                 let mut inner_rng = StdRng::seed_from_u64(1);
                 validate_assertion(&assertion, &ch, &vconfig, &mut inner_rng)
             });

@@ -2,7 +2,7 @@
 //! readout (the trade Strategy-prop exploits).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use morph_linalg::{C64, CMatrix};
+use morph_linalg::{CMatrix, C64};
 use morph_tomography::{read_state, CostLedger, ReadoutMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

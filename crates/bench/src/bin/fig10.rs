@@ -26,7 +26,11 @@ fn main() {
         let bad = rng.gen_range(0..table);
         let buggy = qram.circuit_with_bug(bad, qram.values[bad] + 1.4);
         let morph = qram_bisection(&qram, &buggy, SHOTS);
-        assert_eq!(morph.bad_address, Some(bad), "bisection must locate the entry");
+        assert_eq!(
+            morph.bad_address,
+            Some(bad),
+            "bisection must locate the entry"
+        );
 
         // Exhaustive baselines test basis addresses one at a time; expected
         // probes to hit the single bad address.

@@ -46,12 +46,15 @@ fn main() {
 
         // (2) Classical simulation of the program under this input.
         let t0 = Instant::now();
-        let record = Executor::new().run_expected(&{
-            let mut full = Circuit::new(n);
-            full.extend_from(&probe.prep);
-            full.extend_from(&circuit);
-            full
-        }, &StateVector::zero_state(n));
+        let record = Executor::new().run_expected(
+            &{
+                let mut full = Circuit::new(n);
+                full.extend_from(&probe.prep);
+                full.extend_from(&circuit);
+                full
+            },
+            &StateVector::zero_state(n),
+        );
         let truth = record.state(TracepointId(1)).clone();
         let t_sim = t0.elapsed().as_secs_f64();
 
@@ -112,7 +115,13 @@ fn main() {
 
     let csv = print_table(
         "Fig 11(a): seconds to obtain a tracepoint state under one input",
-        &["qubits", "approximation", "simulation", "state_tomography", "process_tomography"],
+        &[
+            "qubits",
+            "approximation",
+            "simulation",
+            "state_tomography",
+            "process_tomography",
+        ],
         &rows,
     );
     save_csv("fig11a", &csv);

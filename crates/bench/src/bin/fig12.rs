@@ -44,8 +44,7 @@ fn main() {
             // Measured success rate on the mutants.
             let mut detected = 0;
             for (mutant, _) in &mutants {
-                let mut cmp_config =
-                    CompareConfig::new((0..n).collect(), (0..n).collect());
+                let mut cmp_config = CompareConfig::new((0..n).collect(), (0..n).collect());
                 cmp_config.n_samples = n_samples;
                 let (bug, _, _) = compare_programs(&reference, mutant, &cmp_config, &mut rng);
                 if bug {
@@ -63,7 +62,12 @@ fn main() {
     }
     let csv = print_table(
         "Fig 12: estimated confidence (Theorem 3) vs measured success rate (5-qubit programs)",
-        &["benchmark", "N_sample", "estimated_confidence", "measured_success"],
+        &[
+            "benchmark",
+            "N_sample",
+            "estimated_confidence",
+            "measured_success",
+        ],
         &rows,
     );
     save_csv("fig12", &csv);

@@ -22,10 +22,7 @@ use rand::SeedableRng;
 
 /// Mean representation accuracy of a characterization over the given test
 /// inputs.
-fn accuracy_on(
-    ch: &morphqpv::Characterization,
-    tests: &[morph_linalg::CMatrix],
-) -> f64 {
+fn accuracy_on(ch: &morphqpv::Characterization, tests: &[morph_linalg::CMatrix]) -> f64 {
     let f = ch.approximation(TracepointId(1));
     tests
         .iter()
@@ -72,11 +69,14 @@ fn main() {
                 }
             }
             let rho = psi.density_matrix();
-            InputState { prep, state: psi, rho }
+            InputState {
+                prep,
+                state: psi,
+                rho,
+            }
         })
         .collect();
-    let workload_rhos: Vec<morph_linalg::CMatrix> =
-        dataset.iter().map(|d| d.rho.clone()).collect();
+    let workload_rhos: Vec<morph_linalg::CMatrix> = dataset.iter().map(|d| d.rho.clone()).collect();
     let budgets = [2usize, 4, 6, 9, 12, 16, 24, 32, 48, 64];
     let target = 0.95;
 
@@ -194,7 +194,13 @@ fn main() {
     }
     let csv_b = print_table(
         "Fig 13(b): characterization shots — full tomography vs Strategy-prop vs shadows",
-        &["setting", "shots_full", "shots_prop", "shots_shadow", "prop_reduction"],
+        &[
+            "setting",
+            "shots_full",
+            "shots_prop",
+            "shots_shadow",
+            "prop_reduction",
+        ],
         &rows_b,
     );
     save_csv("fig13b", &csv_b);

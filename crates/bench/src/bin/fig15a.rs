@@ -28,8 +28,11 @@ fn main() {
         circuit.extend_from(&body);
         circuit.tracepoint(1, &(0..n).collect::<Vec<_>>());
 
-        for ensemble in [InputEnsemble::Basis, InputEnsemble::Clifford, InputEnsemble::PauliProduct]
-        {
+        for ensemble in [
+            InputEnsemble::Basis,
+            InputEnsemble::Clifford,
+            InputEnsemble::PauliProduct,
+        ] {
             for &n_samples in &[8usize, 32, 64] {
                 let config = CharacterizationConfig {
                     n_samples,

@@ -8,8 +8,8 @@ use morph_bench::rows::{fmt_f, print_table, save_csv};
 use morph_clifford::InputEnsemble;
 use morph_qprog::{Circuit, TracepointId};
 use morphqpv::{
-    characterize, validate_assertion, AssumeGuarantee, CharacterizationConfig,
-    RelationPredicate, SolverKind, ValidationConfig,
+    characterize, validate_assertion, AssumeGuarantee, CharacterizationConfig, RelationPredicate,
+    SolverKind, ValidationConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,7 +46,10 @@ fn main() {
             SolverKind::Quadratic,
             SolverKind::NelderMead,
         ] {
-            let vconfig = ValidationConfig { solver, ..Default::default() };
+            let vconfig = ValidationConfig {
+                solver,
+                ..Default::default()
+            };
             let t0 = Instant::now();
             let outcome = validate_assertion(&assertion, &ch, &vconfig, &mut rng);
             let dt = t0.elapsed().as_secs_f64();
@@ -61,7 +64,13 @@ fn main() {
     }
     let csv = print_table(
         "Fig 15(b): validation time by solver vs N_sample (4-qubit Shor equality assertion)",
-        &["solver", "N_sample", "seconds", "objective", "found_violation"],
+        &[
+            "solver",
+            "N_sample",
+            "seconds",
+            "objective",
+            "found_violation",
+        ],
         &rows,
     );
     save_csv("fig15b", &csv);

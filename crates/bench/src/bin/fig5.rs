@@ -82,7 +82,13 @@ fn main() {
     accuracy_sweep(5, &mut rows);
     let csv = print_table(
         "Fig 5: approximation accuracy vs number of sampled inputs",
-        &["program", "N_sample", "case1_acc", "case2_acc", "theory_case2"],
+        &[
+            "program",
+            "N_sample",
+            "case1_acc",
+            "case2_acc",
+            "theory_case2",
+        ],
         &rows,
     );
     save_csv("fig5", &csv);

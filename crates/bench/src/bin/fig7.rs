@@ -33,16 +33,22 @@ fn main() {
         let reference = lock.circuit();
         let buggy = lock.circuit_with_bug(bug);
 
-        let quito = QuitoSearch { shots: SHOTS, ..Default::default() }
-            .search_until_found(&reference, &buggy, &mut rng);
-        let ndd = NddAssertion { shots: SHOTS, ..Default::default() }.detect(
-            &reference,
-            &buggy,
-            1 << n,
-            &mut rng,
-        );
+        let quito = QuitoSearch {
+            shots: SHOTS,
+            ..Default::default()
+        }
+        .search_until_found(&reference, &buggy, &mut rng);
+        let ndd = NddAssertion {
+            shots: SHOTS,
+            ..Default::default()
+        }
+        .detect(&reference, &buggy, 1 << n, &mut rng);
         let morph = quantum_lock_bisection(&buggy, key, SHOTS);
-        assert_eq!(morph.bad_keys, vec![bug], "bisection must find the injected key");
+        assert_eq!(
+            morph.bad_keys,
+            vec![bug],
+            "bisection must find the injected key"
+        );
 
         rows.push(vec![
             format!("{n} (measured)"),

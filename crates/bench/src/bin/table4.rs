@@ -38,16 +38,22 @@ fn is_visible_bug(reference: &Circuit, mutant: &Circuit, rng: &mut StdRng) -> bo
         let mut b = prep_ref;
         b.extend_from(mutant);
         let zero = StateVector::zero_state(n);
-        let sa = ex.run_expected(&{
-            let mut c = a;
-            c.tracepoint(1, &(0..n).collect::<Vec<_>>());
-            c
-        }, &zero);
-        let sb = ex.run_expected(&{
-            let mut c = b;
-            c.tracepoint(1, &(0..n).collect::<Vec<_>>());
-            c
-        }, &zero);
+        let sa = ex.run_expected(
+            &{
+                let mut c = a;
+                c.tracepoint(1, &(0..n).collect::<Vec<_>>());
+                c
+            },
+            &zero,
+        );
+        let sb = ex.run_expected(
+            &{
+                let mut c = b;
+                c.tracepoint(1, &(0..n).collect::<Vec<_>>());
+                c
+            },
+            &zero,
+        );
         let da = sa.state(morph_qprog::TracepointId(1));
         let db = sb.state(morph_qprog::TracepointId(1));
         if (da - db).frobenius_norm() > 1e-6 {
@@ -109,10 +115,18 @@ fn main() {
             let ndd_unsupported = bench == Benchmark::Qnn;
             rows.push(vec![
                 format!("{} {}q", bench.name(), n),
-                if ndd_unsupported { "/".into() } else { fmt_f(pct(stats[0].0)) },
+                if ndd_unsupported {
+                    "/".into()
+                } else {
+                    fmt_f(pct(stats[0].0))
+                },
                 fmt_f(pct(stats[1].0)),
                 fmt_f(pct(stats[2].0)),
-                if ndd_unsupported { "/".into() } else { fmt_f(kops(stats[0].1)) },
+                if ndd_unsupported {
+                    "/".into()
+                } else {
+                    fmt_f(kops(stats[0].1))
+                },
                 fmt_f(kops(stats[1].1)),
                 fmt_f(kops(stats[2].1)),
             ]);

@@ -68,8 +68,7 @@ fn visible_in_scope(
     let n = reference.n_qubits();
     let ex = Executor::new();
     let mut rng = StdRng::seed_from_u64(1);
-    for probe in morph_clifford::InputEnsemble::Clifford.generate(input_qubits.len(), 6, &mut rng)
-    {
+    for probe in morph_clifford::InputEnsemble::Clifford.generate(input_qubits.len(), 6, &mut rng) {
         let prep = probe.prep.remap_qubits(input_qubits, n);
         let run = |circ: &Circuit| {
             let mut full = Circuit::new(n);
@@ -91,7 +90,12 @@ fn visible_in_scope(
 
 fn main() {
     let mut rows = Vec::new();
-    for bench in [Benchmark::Qec, Benchmark::Shor, Benchmark::Qnn, Benchmark::Xeb] {
+    for bench in [
+        Benchmark::Qec,
+        Benchmark::Shor,
+        Benchmark::Qnn,
+        Benchmark::Xeb,
+    ] {
         for &size in &[5usize, 10, 15, 20] {
             let mut rng = StdRng::seed_from_u64(6000 + size as u64);
             let reference = bench.circuit(size, &mut rng);
@@ -166,7 +170,11 @@ fn main() {
 
             let opt = |v: Option<f64>| v.map(fmt_f).unwrap_or_else(|| "/".into());
             let opt_t = |v: Option<f64>, t: f64| {
-                if v.is_some() { fmt_f(t) } else { "/".into() }
+                if v.is_some() {
+                    fmt_f(t)
+                } else {
+                    "/".into()
+                }
             };
             rows.push(vec![
                 format!("{} {}q", bench.name(), n),

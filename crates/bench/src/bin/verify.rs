@@ -40,7 +40,7 @@ fn run() -> i32 {
                 };
             }
             "--samples" => {
-                samples = it.next().and_then(|v| v.parse().ok());
+                samples = it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
                 if samples.is_none() {
                     eprintln!("--samples requires a positive integer");
                     return 2;
@@ -106,7 +106,9 @@ fn run() -> i32 {
                 return 2;
             }
         };
-        let mut verifier = morphqpv::Verifier::new(circuit).input_qubits(&inputs).samples(n);
+        let mut verifier = morphqpv::Verifier::new(circuit)
+            .input_qubits(&inputs)
+            .samples(n);
         for a in assertions {
             verifier = verifier.assert_that(a);
         }
@@ -124,12 +126,19 @@ fn run() -> i32 {
     let mut failed = false;
     for (i, outcome) in report.outcomes.iter().enumerate() {
         match &outcome.verdict {
-            Verdict::Passed { max_objective, confidence } => {
+            Verdict::Passed {
+                max_objective,
+                confidence,
+            } => {
                 println!(
                     "assertion {i}: PASSED (max objective {max_objective:.3e}, confidence {confidence:.3})"
                 );
             }
-            Verdict::Failed { max_objective, counterexample, .. } => {
+            Verdict::Failed {
+                max_objective,
+                counterexample,
+                ..
+            } => {
                 failed = true;
                 println!("assertion {i}: FAILED (objective {max_objective:.3})");
                 let refined = morphqpv::CounterExample::refine(counterexample);

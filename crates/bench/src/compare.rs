@@ -28,6 +28,9 @@ pub struct CompareConfig {
     pub readout: ReadoutMode,
     /// Distance above which the outputs are considered different.
     pub tolerance: f64,
+    /// Worker threads for the characterization sweeps (`0` = all cores,
+    /// `1` = serial); results are identical at every setting.
+    pub parallelism: usize,
 }
 
 impl CompareConfig {
@@ -41,6 +44,7 @@ impl CompareConfig {
             n_samples: 2 * n_in + 2,
             readout: ReadoutMode::Exact,
             tolerance: 0.05,
+            parallelism: 0,
         }
     }
 }
@@ -82,6 +86,7 @@ pub fn compare_programs(
         readout: config.readout,
         input_qubits: config.input_qubits.clone(),
         noise: morph_qsim::NoiseModel::noiseless(),
+        parallelism: config.parallelism,
     };
     let inputs = char_config
         .ensemble
@@ -96,12 +101,18 @@ pub fn compare_programs(
     traces.insert(TracepointId(2), ch_ref.traces[&TracepointId(1)].clone());
     let mut ledger = ch_cand.ledger;
     ledger.merge(&ch_ref.ledger);
-    let merged = Characterization { inputs, traces, ledger };
+    let merged = Characterization {
+        inputs,
+        traces,
+        ledger,
+    };
 
     let assertion = AssumeGuarantee::new().guarantee_relation(
         TracepointId(1),
         TracepointId(2),
-        RelationPredicate::Within { tolerance: config.tolerance },
+        RelationPredicate::Within {
+            tolerance: config.tolerance,
+        },
     );
     let validation = ValidationConfig::default();
     let outcome = validate_assertion(&assertion, &merged, &validation, rng);
@@ -125,7 +136,9 @@ impl MorphDetector {
     /// Detector comparing full-register outputs with inputs on all qubits.
     pub fn full_register(n_qubits: usize) -> Self {
         let all: Vec<usize> = (0..n_qubits).collect();
-        MorphDetector { config: CompareConfig::new(all.clone(), all) }
+        MorphDetector {
+            config: CompareConfig::new(all.clone(), all),
+        }
     }
 }
 
@@ -144,7 +157,11 @@ impl BugDetector for MorphDetector {
         let mut config = self.config.clone();
         config.n_samples = budget.max(2);
         let (bug_found, _, ledger) = compare_programs(reference, candidate, &config, rng);
-        DetectionResult { bug_found, witness_input: None, ledger }
+        DetectionResult {
+            bug_found,
+            witness_input: None,
+            ledger,
+        }
     }
 
     fn supports_expectation_checks(&self) -> bool {
@@ -190,7 +207,10 @@ mod tests {
         let detector = MorphDetector::full_register(3);
         let result = detector.detect(&ghz(), &ghz(), 5, &mut rng);
         assert!(!result.bug_found);
-        assert!(result.ledger.executions >= 10, "two characterizations of 5 samples");
+        assert!(
+            result.ledger.executions >= 10,
+            "two characterizations of 5 samples"
+        );
         assert!(detector.supports_expectation_checks());
     }
 }

@@ -43,8 +43,14 @@ pub fn quantum_lock_bisection(
 ) -> LockSearchResult {
     let n = circuit.n_qubits();
     let n_in = n - 1;
-    assert!(n <= 22, "state-vector probe beyond budget; use the cost model");
-    assert!(n_in >= 64 || expected_key < (1u64 << n_in), "expected key out of range");
+    assert!(
+        n <= 22,
+        "state-vector probe beyond budget; use the cost model"
+    );
+    assert!(
+        n_in >= 64 || expected_key < (1u64 << n_in),
+        "expected key out of range"
+    );
 
     let executor = Executor::new();
     // Probability that the output reads 1 for a uniform superposition over
@@ -79,16 +85,18 @@ pub fn quantum_lock_bisection(
             .iter()
             .enumerate()
             .all(|(i, &b)| ((expected_key >> (n_in - 1 - i)) & 1) as u8 == b);
-        let baseline = if expected_in { 1.0 / (1u64 << free) as f64 } else { 0.0 };
+        let baseline = if expected_in {
+            1.0 / (1u64 << free) as f64
+        } else {
+            0.0
+        };
         let excess = p1 - baseline;
         let threshold = 0.5 / (1u64 << free) as f64;
         if excess <= threshold {
             continue;
         }
         if free == 0 {
-            let key = prefix
-                .iter()
-                .fold(0u64, |acc, &b| (acc << 1) | b as u64);
+            let key = prefix.iter().fold(0u64, |acc, &b| (acc << 1) | b as u64);
             bad_keys.push(key);
         } else {
             for bit in [0u8, 1u8] {
@@ -99,7 +107,10 @@ pub fn quantum_lock_bisection(
         }
     }
     bad_keys.sort_unstable();
-    LockSearchResult { bad_keys, executions }
+    LockSearchResult {
+        bad_keys,
+        executions,
+    }
 }
 
 /// Pure cost projection of the bisection for an `n_in`-bit key register

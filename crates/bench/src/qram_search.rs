@@ -7,7 +7,7 @@
 //! qubit's reduced state against the ideal value mixture for that block;
 //! a distance above threshold means the faulty address is inside.
 
-use morph_linalg::{C64, CMatrix};
+use morph_linalg::{CMatrix, C64};
 use morph_qalgo::Qram;
 use morph_qprog::{Circuit, Executor, TracepointId};
 use morph_qsim::StateVector;
@@ -44,7 +44,10 @@ fn ideal_block_mixture(qram: &Qram, start: usize, len: usize) -> CMatrix {
 fn probe_block(qram: &Qram, circuit: &Circuit, start: usize, len: usize) -> CMatrix {
     let n = qram.n_qubits();
     let n_addr = qram.n_addr;
-    assert!(len.is_power_of_two(), "blocks must be aligned powers of two");
+    assert!(
+        len.is_power_of_two(),
+        "blocks must be aligned powers of two"
+    );
     assert_eq!(start % len, 0, "blocks must be aligned");
     let fixed_bits = n_addr - len.trailing_zeros() as usize;
     let mut prep = Circuit::new(n);
@@ -80,7 +83,10 @@ pub fn qram_bisection(qram: &Qram, circuit: &Circuit, shots: usize) -> QramSearc
     let ideal = ideal_block_mixture(qram, 0, table);
     let threshold = 0.25 / table as f64;
     if (&observed - &ideal).frobenius_norm() <= threshold {
-        return QramSearchResult { bad_address: None, executions };
+        return QramSearchResult {
+            bad_address: None,
+            executions,
+        };
     }
     let (mut start, mut len) = (0usize, table);
     while len > 1 {
@@ -96,7 +102,10 @@ pub fn qram_bisection(qram: &Qram, circuit: &Circuit, shots: usize) -> QramSearc
             len = half;
         }
     }
-    QramSearchResult { bad_address: Some(start), executions }
+    QramSearchResult {
+        bad_address: Some(start),
+        executions,
+    }
 }
 
 /// Cost projection for an `n_addr`-qubit QRAM with one corrupted entry —
@@ -117,9 +126,7 @@ mod tests {
     use super::*;
 
     fn sample_qram(n_addr: usize) -> Qram {
-        let values: Vec<f64> = (0..(1 << n_addr))
-            .map(|i| 0.3 + 0.11 * i as f64)
-            .collect();
+        let values: Vec<f64> = (0..(1 << n_addr)).map(|i| 0.3 + 0.11 * i as f64).collect();
         Qram::new(n_addr, values)
     }
 
@@ -136,7 +143,11 @@ mod tests {
         for bad in [0usize, 3, 5, 7] {
             let circuit = qram.circuit_with_bug(bad, qram.values[bad] + 1.3);
             let result = qram_bisection(&qram, &circuit, 1000);
-            assert_eq!(result.bad_address, Some(bad), "failed to locate address {bad}");
+            assert_eq!(
+                result.bad_address,
+                Some(bad),
+                "failed to locate address {bad}"
+            );
         }
     }
 
@@ -146,7 +157,10 @@ mod tests {
         let large = qram_bisection_cost(10, 1000);
         assert!(large > small);
         // Bisection stays far below exhaustive table × shots costs.
-        assert!(large < 100, "bisection at 10 address bits costs {large} executions");
+        assert!(
+            large < 100,
+            "bisection at 10 address bits costs {large} executions"
+        );
     }
 
     #[test]

@@ -56,24 +56,53 @@ impl InputEnsemble {
     /// States are pairwise distinct by construction within each family's
     /// period (`2^n` for `Basis`, `4^n` for `PauliProduct`).
     ///
+    /// Randomness is seed-split: one master seed is drawn from `rng`, and
+    /// input `i` is prepared with its own child stream derived from
+    /// `(master, i)`. The sampled set is therefore a pure function of the
+    /// caller's RNG state and `count`, and [`Self::generate_with_workers`]
+    /// produces bit-identical inputs at any worker count.
+    ///
     /// # Panics
     ///
     /// Panics if `n == 0` or `count == 0`.
     pub fn generate(self, n: usize, count: usize, rng: &mut impl Rng) -> Vec<InputState> {
+        self.generate_with_workers(n, count, rng, 1)
+    }
+
+    /// [`Self::generate`] with the state preparations fanned out across
+    /// `workers` threads (`0` = all available cores, `1` = inline serial).
+    /// Output is identical at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `count == 0`.
+    pub fn generate_with_workers(
+        self,
+        n: usize,
+        count: usize,
+        rng: &mut impl Rng,
+        workers: usize,
+    ) -> Vec<InputState> {
         assert!(n > 0, "need at least one qubit");
         assert!(count > 0, "need at least one input");
+        // Only the Clifford family consumes randomness; the deterministic
+        // families leave the caller's stream untouched, as before.
         match self {
-            InputEnsemble::Basis => (0..count)
-                .map(|i| InputState::from_circuit(basis_prep(n, i % (1 << n.min(30)))))
-                .collect(),
-            InputEnsemble::Clifford => (0..count)
-                .map(|i| {
-                    InputState::from_circuit(clifford_prep(n, i % (1 << n.min(30)), rng))
+            InputEnsemble::Basis => morph_parallel::parallel_map_indices(workers, count, |i| {
+                InputState::from_circuit(basis_prep(n, i % (1 << n.min(30))))
+            }),
+            InputEnsemble::Clifford => {
+                let master = morph_parallel::derive_master(rng);
+                morph_parallel::parallel_map_indices(workers, count, |i| {
+                    let mut child = morph_parallel::child_rng(master, i as u64);
+                    InputState::from_circuit(clifford_prep(n, i % (1 << n.min(30)), &mut child))
                 })
-                .collect(),
-            InputEnsemble::PauliProduct => (0..count)
-                .map(|i| InputState::from_circuit(pauli_product_prep(n, i)))
-                .collect(),
+            }
+            InputEnsemble::PauliProduct => {
+                morph_parallel::parallel_map_indices(workers, count, |i| {
+                    InputState::from_circuit(pauli_product_prep(n, i))
+                })
+            }
         }
     }
 }
@@ -183,6 +212,9 @@ pub fn span_fraction(inputs: &[InputState]) -> f64 {
             for r in 0..m {
                 if r != rank && rows[r][col].abs() > 0.0 {
                     let f = rows[r][col] / pivot;
+                    // Indexing, not iterators: `rows[r]` and `rows[rank]`
+                    // alias the same Vec, so a zip would need split_at_mut.
+                    #[allow(clippy::needless_range_loop)]
                     for c in 0..m {
                         rows[r][c] -= f * rows[rank][c];
                     }

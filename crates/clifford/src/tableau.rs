@@ -41,7 +41,12 @@ impl StabilizerTableau {
             x[i][i] = true; // destabilizer X_i
             z[n + i][i] = true; // stabilizer Z_i
         }
-        StabilizerTableau { n, x, z, r: vec![false; 2 * n] }
+        StabilizerTableau {
+            n,
+            x,
+            z,
+            r: vec![false; 2 * n],
+        }
     }
 
     /// Number of qubits.

@@ -187,6 +187,8 @@ impl Mul for C64 {
 impl Div for C64 {
     type Output = C64;
     #[inline]
+    // Complex division is multiplication by the reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: C64) -> C64 {
         self * rhs.recip()
     }
@@ -310,7 +312,9 @@ mod tests {
 
     #[test]
     fn sum_of_phases() {
-        let total: C64 = (0..4).map(|k| C64::cis(k as f64 * std::f64::consts::FRAC_PI_2)).sum();
+        let total: C64 = (0..4)
+            .map(|k| C64::cis(k as f64 * std::f64::consts::FRAC_PI_2))
+            .sum();
         assert!(total.abs() < 1e-12);
     }
 

@@ -31,7 +31,9 @@ impl EigenDecomposition {
 
     /// Returns the `k`-th eigenvector as an owned column.
     pub fn vector(&self, k: usize) -> Vec<C64> {
-        (0..self.vectors.rows()).map(|r| self.vectors[(r, k)]).collect()
+        (0..self.vectors.rows())
+            .map(|r| self.vectors[(r, k)])
+            .collect()
     }
 }
 
@@ -100,8 +102,7 @@ pub fn eigh(a: &CMatrix) -> EigenDecomposition {
         }
     }
 
-    let mut pairs: Vec<(f64, usize)> =
-        (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
     pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
 
     let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();

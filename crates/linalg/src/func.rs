@@ -49,8 +49,8 @@ pub fn project_to_density(a: &CMatrix) -> CMatrix {
     assert!(total > 1e-12, "matrix has no positive spectral weight");
     let n = a.rows();
     let mut out = CMatrix::zeros(n, n);
-    for k in 0..n {
-        let w = clipped[k] / total;
+    for (k, &clipped_k) in clipped.iter().enumerate() {
+        let w = clipped_k / total;
         if w == 0.0 {
             continue;
         }

@@ -35,7 +35,11 @@ pub struct CMatrix {
 impl CMatrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CMatrix { rows, cols, data: vec![C64::ZERO; rows * cols] }
+        CMatrix {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -71,7 +75,11 @@ impl CMatrix {
             assert_eq!(row.len(), cols, "inconsistent row length");
             data.extend_from_slice(row);
         }
-        CMatrix { rows: rows.len(), cols, data }
+        CMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -220,13 +228,13 @@ impl CMatrix {
     pub fn matvec(&self, v: &[C64]) -> Vec<C64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![C64::ZERO; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in out.iter_mut().enumerate() {
             let off = r * self.cols;
             let mut acc = C64::ZERO;
-            for c in 0..self.cols {
-                acc += self.data[off + c] * v[c];
+            for (&m, &x) in self.data[off..off + self.cols].iter().zip(v) {
+                acc += m * x;
             }
-            out[r] = acc;
+            *slot = acc;
         }
         out
     }
@@ -248,7 +256,11 @@ impl CMatrix {
     ///
     /// Panics if the shapes differ.
     pub fn hs_inner(&self, rhs: &CMatrix) -> C64 {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "hs_inner shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "hs_inner shape mismatch"
+        );
         self.data
             .iter()
             .zip(rhs.data.iter())
@@ -311,7 +323,10 @@ impl CMatrix {
     pub fn embed(&self, targets: &[usize], n: usize) -> CMatrix {
         let k = targets.len();
         let dk = 1usize << k;
-        assert_eq!(self.rows, dk, "operator dimension does not match target count");
+        assert_eq!(
+            self.rows, dk,
+            "operator dimension does not match target count"
+        );
         assert!(self.is_square(), "embed requires a square operator");
         let mut seen = vec![false; n];
         for &t in targets {
@@ -375,11 +390,20 @@ impl IndexMut<(usize, usize)> for CMatrix {
 impl Add for &CMatrix {
     type Output = CMatrix;
     fn add(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
         }
     }
 }
@@ -387,11 +411,20 @@ impl Add for &CMatrix {
 impl Sub for &CMatrix {
     type Output = CMatrix;
     fn sub(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub shape mismatch"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
         }
     }
 }
@@ -412,7 +445,11 @@ impl Neg for &CMatrix {
 
 impl AddAssign<&CMatrix> for CMatrix {
     fn add_assign(&mut self, rhs: &CMatrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a += *b;
         }
@@ -421,7 +458,11 @@ impl AddAssign<&CMatrix> for CMatrix {
 
 impl SubAssign<&CMatrix> for CMatrix {
     fn sub_assign(&mut self, rhs: &CMatrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a -= *b;
         }

@@ -72,8 +72,7 @@ pub fn solve(a: &CMatrix, b: &[C64]) -> Result<Vec<C64>, SolveError> {
         perm.swap(k, best);
         let pk = perm[k];
         let pivot = lu[pk * n + k];
-        for r in (k + 1)..n {
-            let pr = perm[r];
+        for &pr in &perm[(k + 1)..n] {
             let factor = lu[pr * n + k] / pivot;
             lu[pr * n + k] = factor;
             for c in (k + 1)..n {
@@ -132,7 +131,11 @@ pub fn solve_sym_regularized(g: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, Solv
         if let Some(x) = solve_real_sym(g, b, lambda) {
             return Ok(x);
         }
-        lambda = if lambda == 0.0 { scale * 1e-10 } else { lambda * 100.0 };
+        lambda = if lambda == 0.0 {
+            scale * 1e-10
+        } else {
+            lambda * 100.0
+        };
     }
     // Heavy regularization always succeeds for finite inputs.
     Ok(solve_real_sym(g, b, scale * 1e-2).unwrap_or_else(|| vec![0.0; n]))
@@ -204,10 +207,7 @@ fn solve_real_sym(g: &[Vec<f64>], b: &[f64], lambda: f64) -> Option<Vec<f64>> {
 ///
 /// Returns [`SolveError::DimensionMismatch`] if basis and target shapes
 /// disagree or the basis is empty.
-pub fn decompose_hermitian(
-    basis: &[CMatrix],
-    target: &CMatrix,
-) -> Result<Vec<f64>, SolveError> {
+pub fn decompose_hermitian(basis: &[CMatrix], target: &CMatrix) -> Result<Vec<f64>, SolveError> {
     if basis.is_empty() {
         return Err(SolveError::DimensionMismatch);
     }
@@ -273,17 +273,17 @@ mod tests {
 
     #[test]
     fn singular_matrix_reports_error() {
-        let a = CMatrix::from_rows(&[
-            &[C64::ONE, C64::ONE],
-            &[C64::ONE, C64::ONE],
-        ]);
+        let a = CMatrix::from_rows(&[&[C64::ONE, C64::ONE], &[C64::ONE, C64::ONE]]);
         assert_eq!(solve(&a, &[C64::ONE, C64::ZERO]), Err(SolveError::Singular));
     }
 
     #[test]
     fn dimension_mismatch_reported() {
         let a = CMatrix::zeros(2, 3);
-        assert_eq!(solve(&a, &[C64::ONE, C64::ZERO]), Err(SolveError::DimensionMismatch));
+        assert_eq!(
+            solve(&a, &[C64::ONE, C64::ZERO]),
+            Err(SolveError::DimensionMismatch)
+        );
         let sq = CMatrix::identity(2);
         assert_eq!(solve(&sq, &[C64::ONE]), Err(SolveError::DimensionMismatch));
     }
@@ -343,6 +343,9 @@ mod tests {
             decompose_hermitian(&[id2], &id4),
             Err(SolveError::DimensionMismatch)
         );
-        assert_eq!(decompose_hermitian(&[], &id4), Err(SolveError::DimensionMismatch));
+        assert_eq!(
+            decompose_hermitian(&[], &id4),
+            Err(SolveError::DimensionMismatch)
+        );
     }
 }

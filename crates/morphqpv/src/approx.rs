@@ -79,7 +79,11 @@ impl ApproximationFunction {
                 gram[j][i] = v;
             }
         }
-        Ok(ApproximationFunction { inputs, traces, gram })
+        Ok(ApproximationFunction {
+            inputs,
+            traces,
+            gram,
+        })
     }
 
     /// Number of sampled pairs (`N_sample`).
@@ -189,7 +193,9 @@ impl ApproximationFunction {
         if self.trace_dim() != next.input_dim() {
             return Err(SolveError::DimensionMismatch);
         }
-        Ok(ChainedApproximation { stages: vec![self.clone(), next.clone()] })
+        Ok(ChainedApproximation {
+            stages: vec![self.clone(), next.clone()],
+        })
     }
 }
 
@@ -361,8 +367,18 @@ mod tests {
         assert!(acc < 0.9, "plus state is not representable, acc={acc}");
         // And accuracy grows to 1 when the span is completed.
         let complete = ApproximationFunction::new(
-            vec![zero.clone(), one.clone(), plus.clone(), ket(&[C64::real(h), C64::new(0.0, h)])],
-            vec![zero, one, plus.clone(), ket(&[C64::real(h), C64::new(0.0, h)])],
+            vec![
+                zero.clone(),
+                one.clone(),
+                plus.clone(),
+                ket(&[C64::real(h), C64::new(0.0, h)]),
+            ],
+            vec![
+                zero,
+                one,
+                plus.clone(),
+                ket(&[C64::real(h), C64::new(0.0, h)]),
+            ],
         )
         .unwrap();
         assert!((complete.representation_accuracy(&plus).unwrap() - 1.0).abs() < 1e-9);
@@ -379,18 +395,26 @@ mod tests {
         let mut last_mean = 0.0;
         for k in [2usize, 6, 10, 16] {
             let inputs: Vec<CMatrix> = all[..k].iter().map(|i| i.rho.clone()).collect();
-            let traces: Vec<CMatrix> =
-                inputs.iter().map(|r| u.matmul(r).matmul(&u.dagger())).collect();
+            let traces: Vec<CMatrix> = inputs
+                .iter()
+                .map(|r| u.matmul(r).matmul(&u.dagger()))
+                .collect();
             let f = ApproximationFunction::new(inputs, traces).unwrap();
             let mean: f64 = test_inputs
                 .iter()
                 .map(|t| f.representation_accuracy(&t.rho).unwrap())
                 .sum::<f64>()
                 / test_inputs.len() as f64;
-            assert!(mean >= last_mean - 0.05, "accuracy regressed at k={k}: {mean} < {last_mean}");
+            assert!(
+                mean >= last_mean - 0.05,
+                "accuracy regressed at k={k}: {mean} < {last_mean}"
+            );
             last_mean = mean;
         }
-        assert!((last_mean - 1.0).abs() < 1e-6, "full span must be exact, got {last_mean}");
+        assert!(
+            (last_mean - 1.0).abs() < 1e-6,
+            "full span must be exact, got {last_mean}"
+        );
     }
 
     #[test]
@@ -445,7 +469,10 @@ mod tests {
         // removes one contraction.
         let raw_acc = morph_linalg::hs_accuracy(&raw, &test);
         let mit_acc = morph_linalg::hs_accuracy(&mitigated, &test);
-        assert!(mit_acc > raw_acc + 0.1, "mitigated {mit_acc} vs raw {raw_acc}");
+        assert!(
+            mit_acc > raw_acc + 0.1,
+            "mitigated {mit_acc} vs raw {raw_acc}"
+        );
     }
 
     #[test]
@@ -456,9 +483,7 @@ mod tests {
         let h = 1.0 / 2f64.sqrt();
         let plus = ket(&[C64::real(h), C64::real(h)]);
         let minus = ket(&[C64::real(h), C64::real(-h)]);
-        let dephase = |rho: &CMatrix| {
-            CMatrix::from_diag(&[rho[(0, 0)], rho[(1, 1)]])
-        };
+        let dephase = |rho: &CMatrix| CMatrix::from_diag(&[rho[(0, 0)], rho[(1, 1)]]);
         let inputs = vec![zero.clone(), one.clone(), plus.clone(), minus.clone()];
         let traces: Vec<CMatrix> = inputs.iter().map(&dephase).collect();
         let f = ApproximationFunction::new(inputs, traces).unwrap();

@@ -84,7 +84,10 @@ impl AssumeGuarantee {
     /// An empty assertion; add assumptions and a guarantee with the builder
     /// methods.
     pub fn new() -> Self {
-        AssumeGuarantee { assumptions: Vec::new(), guarantee: None }
+        AssumeGuarantee {
+            assumptions: Vec::new(),
+            guarantee: None,
+        }
     }
 
     /// Adds an assumption `P(ρ_state) ≤ 0`.

@@ -7,7 +7,7 @@ use morph_clifford::{InputEnsemble, InputState};
 use morph_linalg::CMatrix;
 use morph_qprog::{Circuit, Executor, TracepointId};
 use morph_qsim::{DensityMatrix, NoiseModel, StateVector};
-use morph_tomography::{read_state, CostLedger, ReadoutMode};
+use morph_tomography::{read_state, CostLedger, ReadoutMode, SharedLedger};
 use rand::rngs::StdRng;
 
 use crate::approx::ApproximationFunction;
@@ -26,6 +26,13 @@ pub struct CharacterizationConfig {
     pub input_qubits: Vec<usize>,
     /// Hardware noise model applied during sampling runs.
     pub noise: NoiseModel,
+    /// Worker threads for the per-input sampling sweep: `0` (the default)
+    /// uses all available cores, `1` runs serially on the caller's thread.
+    /// Results are bit-identical at every setting — each sampled input owns
+    /// an RNG stream derived from `(master seed, input index)`, so
+    /// scheduling never reaches the sampled data (see DESIGN.md
+    /// "Deterministic parallelism").
+    pub parallelism: usize,
 }
 
 impl CharacterizationConfig {
@@ -38,13 +45,18 @@ impl CharacterizationConfig {
             readout: ReadoutMode::Exact,
             input_qubits,
             noise: NoiseModel::noiseless(),
+            parallelism: 0,
         }
     }
 
     /// The paper's Theorem 2 sample budget for 100 % accuracy:
-    /// `2^(N_in + 1)`.
+    /// `2^(N_in + 1)`, saturating at `usize::MAX` when the register is too
+    /// wide for the budget to be representable.
     pub fn paper_full_budget(n_in: usize) -> usize {
-        1usize << (n_in + 1)
+        u32::try_from(n_in + 1)
+            .ok()
+            .and_then(|shift| 1usize.checked_shl(shift))
+            .unwrap_or(usize::MAX)
     }
 }
 
@@ -110,12 +122,21 @@ pub fn characterize(
         assert!(q < n, "input qubit {q} out of range");
     }
 
-    let inputs = config.ensemble.generate(n_in, config.n_samples, rng);
+    let inputs =
+        config
+            .ensemble
+            .generate_with_workers(n_in, config.n_samples, rng, config.parallelism);
     characterize_with_inputs(circuit, config, inputs, rng)
 }
 
 /// Characterization with an explicit input set — used by Strategy-adapt,
 /// which picks eigenvector inputs instead of sampling an ensemble.
+///
+/// Inputs are swept in parallel according to `config.parallelism`. Input `i`
+/// reads its tracepoints with an RNG stream derived from one master seed
+/// (drawn from `rng`) and `i`, and each worker accumulates costs in a local
+/// [`CostLedger`] merged exactly through a [`SharedLedger`], so the traces
+/// and the ledger are bit-identical at every worker count.
 ///
 /// # Panics
 ///
@@ -128,38 +149,63 @@ pub fn characterize_with_inputs(
 ) -> Characterization {
     let n = circuit.n_qubits();
     let ops_per_shot = circuit.op_cost() as u64;
-    let mut ledger = CostLedger::new();
-    let mut traces: BTreeMap<TracepointId, Vec<CMatrix>> = BTreeMap::new();
     let executor = if config.noise.is_noiseless() {
         Executor::new()
     } else {
         Executor::with_noise(config.noise)
     };
+    if !config.noise.is_noiseless() {
+        assert!(
+            n <= 12,
+            "noisy characterization needs density-matrix simulation (≤ 12 qubits)"
+        );
+    }
 
-    for input in &inputs {
-        // Embed the prepared input into the full register and run.
-        let prep = input.prep.remap_qubits(&config.input_qubits, n);
-        let mut full = Circuit::with_cbits(n, circuit.n_cbits());
-        full.extend_from(&prep);
-        full.extend_from(circuit);
+    let master = morph_parallel::derive_master(rng);
+    let shared = SharedLedger::new();
+    let per_input: Vec<Vec<(TracepointId, CMatrix)>> =
+        morph_parallel::parallel_map(config.parallelism, &inputs, |i, input| {
+            let mut task_rng = morph_parallel::child_rng(master, i as u64);
+            let mut local = CostLedger::new();
 
-        let record = if config.noise.is_noiseless() {
-            executor.run_expected(&full, &StateVector::zero_state(n))
-        } else {
-            assert!(
-                n <= 12,
-                "noisy characterization needs density-matrix simulation (≤ 12 qubits)"
-            );
-            executor.run_expected_noisy(&full, &DensityMatrix::zero_state(n))
-        };
+            // Embed the prepared input into the full register and run.
+            let prep = input.prep.remap_qubits(&config.input_qubits, n);
+            let mut full = Circuit::with_cbits(n, circuit.n_cbits());
+            full.extend_from(&prep);
+            full.extend_from(circuit);
 
-        for (id, rho) in &record.tracepoints {
-            let observed = read_state(rho, config.readout, ops_per_shot, &mut ledger, rng);
-            traces.entry(*id).or_default().push(observed);
+            let record = if config.noise.is_noiseless() {
+                executor.run_expected(&full, &StateVector::zero_state(n))
+            } else {
+                executor.run_expected_noisy(&full, &DensityMatrix::zero_state(n))
+            };
+
+            let captured: Vec<(TracepointId, CMatrix)> = record
+                .tracepoints
+                .iter()
+                .map(|(id, rho)| {
+                    (
+                        *id,
+                        read_state(rho, config.readout, ops_per_shot, &mut local, &mut task_rng),
+                    )
+                })
+                .collect();
+            shared.merge(&local);
+            captured
+        });
+
+    let mut traces: BTreeMap<TracepointId, Vec<CMatrix>> = BTreeMap::new();
+    for captured in per_input {
+        for (id, observed) in captured {
+            traces.entry(id).or_default().push(observed);
         }
     }
 
-    Characterization { inputs, traces, ledger }
+    Characterization {
+        inputs,
+        traces,
+        ledger: shared.snapshot(),
+    }
 }
 
 #[cfg(test)]
@@ -185,7 +231,10 @@ mod tests {
         assert_eq!(ch.inputs.len(), 4);
         assert_eq!(ch.traces.len(), 2);
         assert_eq!(ch.traces[&TracepointId(1)].len(), 4);
-        assert_eq!(ch.ledger.executions, 8, "one exact readout per tracepoint per input");
+        assert_eq!(
+            ch.ledger.executions, 8,
+            "one exact readout per tracepoint per input"
+        );
     }
 
     #[test]
@@ -246,8 +295,14 @@ mod tests {
         // Same sampled inputs (same seed), different capture fidelity.
         let a = &exact.traces[&TracepointId(2)][0];
         let b = &shot.traces[&TracepointId(2)][0];
-        assert!((a - b).frobenius_norm() > 1e-6, "shot noise should perturb the estimate");
-        assert!((a - b).frobenius_norm() < 0.5, "but not beyond statistical error");
+        assert!(
+            (a - b).frobenius_norm() > 1e-6,
+            "shot noise should perturb the estimate"
+        );
+        assert!(
+            (a - b).frobenius_norm() < 0.5,
+            "but not beyond statistical error"
+        );
     }
 
     #[test]
@@ -273,6 +328,49 @@ mod tests {
     fn paper_budget_formula() {
         assert_eq!(CharacterizationConfig::paper_full_budget(3), 16);
         assert_eq!(CharacterizationConfig::paper_full_budget(5), 64);
+    }
+
+    #[test]
+    fn paper_budget_saturates_instead_of_overflowing() {
+        // The old `1usize << (n_in + 1)` panics (debug) or wraps to 0
+        // (release) once the shift reaches the word width.
+        let bits = usize::BITS as usize;
+        assert_eq!(
+            CharacterizationConfig::paper_full_budget(bits - 2),
+            1usize << (bits - 1)
+        );
+        assert_eq!(
+            CharacterizationConfig::paper_full_budget(bits - 1),
+            usize::MAX
+        );
+        assert_eq!(
+            CharacterizationConfig::paper_full_budget(bits + 100),
+            usize::MAX
+        );
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_are_bit_identical() {
+        let run = |parallelism: usize| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let config = CharacterizationConfig {
+                parallelism,
+                readout: ReadoutMode::Shots(50),
+                ..CharacterizationConfig::exact(vec![0], 6)
+            };
+            characterize(&sample_program(), &config, &mut rng)
+        };
+        let serial = run(1);
+        let wide = run(4);
+        assert_eq!(serial.ledger, wide.ledger, "cost merging must be exact");
+        for (id, states) in &serial.traces {
+            for (a, b) in states.iter().zip(&wide.traces[id]) {
+                assert!(
+                    (a - b).frobenius_norm() == 0.0,
+                    "trace at {id} differs between worker counts"
+                );
+            }
+        }
     }
 
     #[test]

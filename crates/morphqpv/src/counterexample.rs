@@ -5,7 +5,7 @@
 //! This realizes the "Full interpretability" column of Table 2: MorphQPV
 //! does not just say *failed*, it hands back the failing input.
 
-use morph_linalg::{eigh, C64, CMatrix};
+use morph_linalg::{eigh, CMatrix, C64};
 use morph_qprog::Circuit;
 use morph_qsim::{Gate, StateVector};
 
@@ -48,7 +48,12 @@ impl CounterExample {
             (0..n_qubits).collect(),
             unitary_with_first_column(state.amplitudes()),
         ));
-        CounterExample { rho: state.density_matrix(), state, dominance, prep }
+        CounterExample {
+            rho: state.density_matrix(),
+            state,
+            dominance,
+            prep,
+        }
     }
 
     /// Convenience: the most likely computational-basis outcome of the

@@ -9,7 +9,7 @@
 //! e^{iφ} sin(θ/2)|1⟩` and reports the objective surface, which is how
 //! counter-example basins become visible to a human.
 
-use morph_linalg::{C64, CMatrix};
+use morph_linalg::{CMatrix, C64};
 
 use crate::assertion::{AssumeGuarantee, Guarantee, StateRef};
 use crate::characterize::Characterization;
@@ -44,7 +44,10 @@ pub fn input_landscape(
     assert!(resolution >= 2, "need at least a 2x2 grid");
     let approximations = characterization.all_approximations();
     let input_dim = characterization.inputs[0].rho.rows();
-    assert_eq!(input_dim, 2, "landscape sweeps require a single-qubit input space");
+    assert_eq!(
+        input_dim, 2,
+        "landscape sweeps require a single-qubit input space"
+    );
 
     let resolve = |state: StateRef, rho_in: &CMatrix| -> CMatrix {
         match state {
@@ -76,7 +79,12 @@ pub fn input_landscape(
                     p.objective(&resolve(*a, &rho_in), &resolve(*b, &rho_in))
                 }
             };
-            out.push(LandscapePoint { theta, phi, objective, feasible });
+            out.push(LandscapePoint {
+                theta,
+                phi,
+                objective,
+                feasible,
+            });
         }
     }
     out
@@ -89,7 +97,11 @@ pub fn landscape_peak(points: &[LandscapePoint]) -> Option<LandscapePoint> {
         .iter()
         .filter(|p| p.feasible)
         .copied()
-        .max_by(|a, b| a.objective.partial_cmp(&b.objective).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| {
+            a.objective
+                .partial_cmp(&b.objective)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
 }
 
 #[cfg(test)]

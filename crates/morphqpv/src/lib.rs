@@ -26,6 +26,17 @@
 //!
 //! The [`Verifier`] builder packages the whole flow.
 //!
+//! ## Parallelism
+//!
+//! Characterization fans the per-input sampling runs out over worker
+//! threads: set [`CharacterizationConfig::parallelism`] to `0` for all
+//! available cores (the default), `1` for a serial run, or `k` for exactly
+//! `k` workers. Each sampled input owns an RNG stream derived from one
+//! master seed and its input index, and per-worker cost ledgers merge
+//! exactly, so the traces and the [`Characterization::ledger`] are
+//! **bit-identical at every setting** — worker count changes wall-clock
+//! time only (see DESIGN.md "Deterministic parallelism").
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -71,7 +71,10 @@ impl StatePredicate {
     /// Convenience constructor for [`StatePredicate::NotEquals`] with the
     /// default margin `0.1`.
     pub fn not_equals(target: CMatrix) -> Self {
-        StatePredicate::NotEquals { target, margin: 0.1 }
+        StatePredicate::NotEquals {
+            target,
+            margin: 0.1,
+        }
     }
 
     /// Wraps a closure as a predicate objective.
@@ -87,12 +90,14 @@ impl StatePredicate {
             StatePredicate::NotEquals { target, margin } => {
                 margin - (rho - target).frobenius_norm()
             }
-            StatePredicate::ExpectationAbove { observable, threshold } => {
-                threshold - morph_linalg::expectation(observable, rho)
-            }
-            StatePredicate::ExpectationBelow { observable, threshold } => {
-                morph_linalg::expectation(observable, rho) - threshold
-            }
+            StatePredicate::ExpectationAbove {
+                observable,
+                threshold,
+            } => threshold - morph_linalg::expectation(observable, rho),
+            StatePredicate::ExpectationBelow {
+                observable,
+                threshold,
+            } => morph_linalg::expectation(observable, rho) - threshold,
             StatePredicate::ProbabilityAtLeast { basis, p } => {
                 p - rho.get(*basis, *basis).map(|z| z.re).unwrap_or(0.0)
             }
@@ -165,8 +170,12 @@ pub enum RelationPredicate {
         tolerance: f64,
     },
     /// Arbitrary classical relation.
-    Custom(Arc<dyn Fn(&CMatrix, &CMatrix) -> f64 + Send + Sync>),
+    Custom(Arc<RelationFn>),
 }
+
+/// Objective signature for [`RelationPredicate::Custom`]: maps a pair of
+/// density matrices to a value that is ≤ 0 when the relation holds.
+pub type RelationFn = dyn Fn(&CMatrix, &CMatrix) -> f64 + Send + Sync;
 
 impl RelationPredicate {
     /// Wraps a closure as a relational objective.
@@ -184,10 +193,11 @@ impl RelationPredicate {
         match self {
             RelationPredicate::Equal => (rho1 - rho2).frobenius_norm(),
             RelationPredicate::NotEqual { margin } => margin - (rho1 - rho2).frobenius_norm(),
-            RelationPredicate::Within { tolerance } => {
-                (rho1 - rho2).frobenius_norm() - tolerance
-            }
-            RelationPredicate::ExpectationMatch { observable, tolerance } => {
+            RelationPredicate::Within { tolerance } => (rho1 - rho2).frobenius_norm() - tolerance,
+            RelationPredicate::ExpectationMatch {
+                observable,
+                tolerance,
+            } => {
                 (morph_linalg::expectation(observable, rho1)
                     - morph_linalg::expectation(observable, rho2))
                 .abs()
@@ -266,10 +276,16 @@ mod tests {
     #[test]
     fn expectation_predicates() {
         let z = morph_qsim::matrices::z();
-        let above = StatePredicate::ExpectationAbove { observable: z.clone(), threshold: 0.5 };
+        let above = StatePredicate::ExpectationAbove {
+            observable: z.clone(),
+            threshold: 0.5,
+        };
         assert!(above.holds(&ket0(), 1e-9)); // <Z> = 1 > 0.5
         assert!(!above.holds(&ket1(), 1e-9)); // <Z> = −1
-        let below = StatePredicate::ExpectationBelow { observable: z, threshold: 0.0 };
+        let below = StatePredicate::ExpectationBelow {
+            observable: z,
+            threshold: 0.0,
+        };
         assert!(below.holds(&ket1(), 1e-9));
         assert!(!below.holds(&ket0(), 1e-9));
     }
@@ -302,7 +318,10 @@ mod tests {
     #[test]
     fn relation_expectation_match() {
         let z = morph_qsim::matrices::z();
-        let m = RelationPredicate::ExpectationMatch { observable: z, tolerance: 0.1 };
+        let m = RelationPredicate::ExpectationMatch {
+            observable: z,
+            tolerance: 0.1,
+        };
         assert!(m.holds(&ket0(), &ket0(), 1e-9));
         assert!(!m.holds(&ket0(), &ket1(), 1e-9));
     }
@@ -313,7 +332,10 @@ mod tests {
         // use coherences instead: compare |+> against e^{iπ}-rotated |+>.
         let h = 1.0 / 2f64.sqrt();
         let plus = CMatrix::outer(&[C64::real(h), C64::real(h)], &[C64::real(h), C64::real(h)]);
-        let pred = RelationPredicate::PhaseDifference { phase: 0.0, tolerance: 0.1 };
+        let pred = RelationPredicate::PhaseDifference {
+            phase: 0.0,
+            tolerance: 0.1,
+        };
         assert!(pred.holds(&plus, &plus, 1e-9));
     }
 
@@ -323,7 +345,10 @@ mod tests {
             Box::new(StatePredicate::IsPure),
             Box::new(StatePredicate::equals(ket0())),
             Box::new(RelationPredicate::Equal),
-            Box::new(RelationPredicate::PhaseDifference { phase: 1.0, tolerance: 0.1 }),
+            Box::new(RelationPredicate::PhaseDifference {
+                phase: 1.0,
+                tolerance: 0.1,
+            }),
         ];
         for p in preds {
             assert!(!format!("{p:?}").is_empty());

@@ -94,8 +94,7 @@ pub fn adaptive_operator_inputs(dataset: &[CMatrix], top_k: usize) -> (Vec<Input
             let mut plus_i = vec![morph_linalg::C64::ZERO; d];
             for idx in 0..d {
                 plus[idx] = (vectors[i][idx] + vectors[j][idx]).scale(s);
-                plus_i[idx] =
-                    (vectors[i][idx] + morph_linalg::C64::I * vectors[j][idx]).scale(s);
+                plus_i[idx] = (vectors[i][idx] + morph_linalg::C64::I * vectors[j][idx]).scale(s);
             }
             kets.push(plus);
             kets.push(plus_i);
@@ -164,7 +163,10 @@ pub fn constant_pinned_inputs(
 ) -> Vec<InputState> {
     assert!(!free_qubits.is_empty(), "no free qubits");
     for q in pinned_qubits {
-        assert!(!free_qubits.contains(q), "pinned qubit {q} overlaps free set");
+        assert!(
+            !free_qubits.contains(q),
+            "pinned qubit {q} overlaps free set"
+        );
     }
     assert!(
         pinned_qubits.len() >= 64 || pinned_value < (1u64 << pinned_qubits.len()),
@@ -218,7 +220,10 @@ mod tests {
         let dataset = vec![zero.clone(), zero.clone(), zero.clone(), plus];
         let (inputs, mass) = adaptive_inputs(&dataset, 1);
         assert_eq!(inputs.len(), 1);
-        assert!(mass > 0.8, "dominant eigenvector should carry most mass, got {mass}");
+        assert!(
+            mass > 0.8,
+            "dominant eigenvector should carry most mass, got {mass}"
+        );
         // The top eigenvector leans toward |0>.
         assert!(inputs[0].rho[(0, 0)].re > 0.7);
     }
@@ -299,7 +304,10 @@ mod tests {
         assert_eq!(pinned.len(), 3);
         for p in &pinned {
             assert_eq!(p.state.n_qubits(), 3);
-            assert!((p.state.prob_one(0) - 1.0).abs() < 1e-12, "qubit 0 pinned to 1");
+            assert!(
+                (p.state.prob_one(0) - 1.0).abs() < 1e-12,
+                "qubit 0 pinned to 1"
+            );
             assert!(p.state.prob_one(1) < 1e-12, "qubit 1 pinned to 0");
         }
         // The free qubit still varies across the ensemble.

@@ -14,7 +14,7 @@
 //!
 //! The `ptm_vs_pairs` ablation bench compares the two forms.
 
-use morph_linalg::{solve_sym_regularized, C64, CMatrix};
+use morph_linalg::{solve_sym_regularized, CMatrix, C64};
 use morph_qsim::matrices;
 use morph_tomography::pauli_strings;
 
@@ -45,16 +45,23 @@ impl PauliTransferMatrix {
         let d_out = f.trace_dim();
         let n_in = d_in.trailing_zeros() as usize;
         let n_out = d_out.trailing_zeros() as usize;
-        let in_paulis: Vec<CMatrix> =
-            pauli_strings(n_in).iter().map(|s| matrices::pauli_string(s)).collect();
-        let out_paulis: Vec<CMatrix> =
-            pauli_strings(n_out).iter().map(|s| matrices::pauli_string(s)).collect();
+        let in_paulis: Vec<CMatrix> = pauli_strings(n_in)
+            .iter()
+            .map(|s| matrices::pauli_string(s))
+            .collect();
+        let out_paulis: Vec<CMatrix> = pauli_strings(n_out)
+            .iter()
+            .map(|s| matrices::pauli_string(s))
+            .collect();
         let k_in = in_paulis.len();
         let k_out = out_paulis.len();
 
         // Pauli coordinates of every sampled pair.
         let coords = |rho: &CMatrix, paulis: &[CMatrix], d: usize| -> Vec<f64> {
-            paulis.iter().map(|p| p.matmul(rho).trace().re / d as f64).collect()
+            paulis
+                .iter()
+                .map(|p| p.matmul(rho).trace().re / d as f64)
+                .collect()
         };
         let xs: Vec<Vec<f64>> = f
             .sampled_inputs()
@@ -72,12 +79,15 @@ impl PauliTransferMatrix {
         let n_samples = xs.len();
         let mut gram = vec![vec![0.0f64; k_in]; k_in];
         for x in &xs {
-            for a in 0..k_in {
-                for b in a..k_in {
-                    gram[a][b] += x[a] * x[b];
+            for (a, &xa) in x.iter().enumerate() {
+                for (b, &xb) in x.iter().enumerate().skip(a) {
+                    gram[a][b] += xa * xb;
                 }
             }
         }
+        // Mirror the upper triangle; both halves of `gram` alias, so this
+        // stays index-based.
+        #[allow(clippy::needless_range_loop)]
         for a in 0..k_in {
             for b in 0..a {
                 gram[a][b] = gram[b][a];
@@ -94,7 +104,13 @@ impl PauliTransferMatrix {
             let row = solve_sym_regularized(&gram, &rhs).expect("consistent dimensions");
             m[j * k_in..(j + 1) * k_in].copy_from_slice(&row);
         }
-        PauliTransferMatrix { n_in, n_out, m, in_paulis, out_paulis }
+        PauliTransferMatrix {
+            n_in,
+            n_out,
+            m,
+            in_paulis,
+            out_paulis,
+        }
     }
 
     /// Input qubit count.
@@ -125,10 +141,11 @@ impl PauliTransferMatrix {
         let d_out = 1usize << self.n_out;
         let mut out = CMatrix::zeros(d_out, d_out);
         for j in 0..k_out {
-            let mut y = 0.0;
-            for a in 0..k_in {
-                y += self.m[j * k_in + a] * x[a];
-            }
+            let y: f64 = self.m[j * k_in..(j + 1) * k_in]
+                .iter()
+                .zip(&x)
+                .map(|(&mja, &xa)| mja * xa)
+                .sum();
             if y.abs() > 1e-14 {
                 out += &self.out_paulis[j].scale(C64::real(y));
             }
@@ -179,8 +196,10 @@ mod tests {
             .into_iter()
             .map(|i| i.rho)
             .collect();
-        let traces: Vec<CMatrix> =
-            inputs.iter().map(|r| u.matmul(r).matmul(&u.dagger())).collect();
+        let traces: Vec<CMatrix> = inputs
+            .iter()
+            .map(|r| u.matmul(r).matmul(&u.dagger()))
+            .collect();
         ApproximationFunction::new(inputs, traces).unwrap()
     }
 
@@ -226,16 +245,24 @@ mod tests {
         };
         let h = 1.0 / 2f64.sqrt();
         let plus = CMatrix::outer(&[C64::real(h), C64::real(h)], &[C64::real(h), C64::real(h)]);
-        let plus_i =
-            CMatrix::outer(&[C64::real(h), C64::new(0.0, h)], &[C64::real(h), C64::new(0.0, h)]);
+        let plus_i = CMatrix::outer(
+            &[C64::real(h), C64::new(0.0, h)],
+            &[C64::real(h), C64::new(0.0, h)],
+        );
         let inputs = vec![zero.clone(), one.clone(), plus.clone(), plus_i.clone()];
         let traces: Vec<CMatrix> = inputs.iter().map(&damp).collect();
         let f = ApproximationFunction::new(inputs, traces).unwrap();
         let ptm = PauliTransferMatrix::fit(&f);
-        assert!(ptm.trace_preservation_defect() < 1e-8, "damping preserves trace");
+        assert!(
+            ptm.trace_preservation_defect() < 1e-8,
+            "damping preserves trace"
+        );
         assert!(ptm.unitality_defect() > 0.1, "damping is not unital");
         // Prediction still matches the channel.
-        let test = CMatrix::outer(&[C64::real(0.6), C64::real(0.8)], &[C64::real(0.6), C64::real(0.8)]);
+        let test = CMatrix::outer(
+            &[C64::real(0.6), C64::real(0.8)],
+            &[C64::real(0.6), C64::real(0.8)],
+        );
         assert!(ptm.predict(&test).approx_eq(&damp(&test), 1e-8));
     }
 
@@ -250,7 +277,10 @@ mod tests {
         // Both estimators agree with each other even when inexact.
         let a = ptm.predict(&probe.rho);
         let b = f.predict(&probe.rho).unwrap();
-        assert!(a.approx_eq(&b, 1e-6), "PTM and pairs disagree:\n{a}\nvs\n{b}");
+        assert!(
+            a.approx_eq(&b, 1e-6),
+            "PTM and pairs disagree:\n{a}\nvs\n{b}"
+        );
         let _ = truth;
     }
 }

@@ -102,7 +102,10 @@ mod tests {
         }
     }
 
-    fn ideal_output(circuit: &Circuit, probe: &morph_clifford::InputState) -> morph_linalg::CMatrix {
+    fn ideal_output(
+        circuit: &Circuit,
+        probe: &morph_clifford::InputState,
+    ) -> morph_linalg::CMatrix {
         let mut full = Circuit::new(2);
         full.extend_from(&probe.prep);
         full.extend_from(circuit);
@@ -188,11 +191,6 @@ mod tests {
         let mut c = Circuit::new(2);
         c.h(0).measure(0, 0);
         let mut rng = StdRng::seed_from_u64(0);
-        let _ = characterize_segmented(
-            &c,
-            &full_span_config(NoiseModel::noiseless()),
-            2,
-            &mut rng,
-        );
+        let _ = characterize_segmented(&c, &full_span_config(NoiseModel::noiseless()), 2, &mut rng);
     }
 }

@@ -44,7 +44,9 @@ impl std::fmt::Display for ParseSpecError {
 impl std::error::Error for ParseSpecError {}
 
 fn err(message: impl Into<String>) -> ParseSpecError {
-    ParseSpecError { message: message.into() }
+    ParseSpecError {
+        message: message.into(),
+    }
 }
 
 /// Parses an assertion specification string into an [`AssumeGuarantee`].
@@ -143,7 +145,9 @@ enum Clause {
 }
 
 fn parse_clause(text: &str) -> Result<Clause, ParseSpecError> {
-    let open = text.find('(').ok_or_else(|| err(format!("clause {text:?} missing '('")))?;
+    let open = text
+        .find('(')
+        .ok_or_else(|| err(format!("clause {text:?} missing '('")))?;
     if !text.trim_end().ends_with(')') {
         return Err(err(format!("clause {text:?} missing ')'")));
     }
@@ -152,7 +156,10 @@ fn parse_clause(text: &str) -> Result<Clause, ParseSpecError> {
     let args: Vec<String> = split_top_level_commas(inner);
 
     let state = |i: usize| -> Result<StateRef, ParseSpecError> {
-        parse_state(args.get(i).ok_or_else(|| err(format!("{name} missing argument {i}")))?)
+        parse_state(
+            args.get(i)
+                .ok_or_else(|| err(format!("{name} missing argument {i}")))?,
+        )
     };
     let number = |i: usize| -> Result<f64, ParseSpecError> {
         args.get(i)
@@ -165,28 +172,45 @@ fn parse_clause(text: &str) -> Result<Clause, ParseSpecError> {
         "is_pure" => Ok(Clause::Single(state(0)?, StatePredicate::IsPure)),
         "prob_at_least" => Ok(Clause::Single(
             state(0)?,
-            StatePredicate::ProbabilityAtLeast { basis: number(1)? as usize, p: number(2)? },
+            StatePredicate::ProbabilityAtLeast {
+                basis: number(1)? as usize,
+                p: number(2)?,
+            },
         )),
         "expectation_z_above" | "expectation_z_below" => {
             let z = morph_qsim::matrices::z();
             let threshold = number(1)?;
             let pred = if name == "expectation_z_above" {
-                StatePredicate::ExpectationAbove { observable: z, threshold }
+                StatePredicate::ExpectationAbove {
+                    observable: z,
+                    threshold,
+                }
             } else {
-                StatePredicate::ExpectationBelow { observable: z, threshold }
+                StatePredicate::ExpectationBelow {
+                    observable: z,
+                    threshold,
+                }
             };
             Ok(Clause::Single(state(0)?, pred))
         }
-        "equal" => Ok(Clause::Relation(state(0)?, state(1)?, RelationPredicate::Equal)),
+        "equal" => Ok(Clause::Relation(
+            state(0)?,
+            state(1)?,
+            RelationPredicate::Equal,
+        )),
         "not_equal" => Ok(Clause::Relation(
             state(0)?,
             state(1)?,
-            RelationPredicate::NotEqual { margin: number(2).unwrap_or(0.1) },
+            RelationPredicate::NotEqual {
+                margin: number(2).unwrap_or(0.1),
+            },
         )),
         "within" => Ok(Clause::Relation(
             state(0)?,
             state(1)?,
-            RelationPredicate::Within { tolerance: number(2)? },
+            RelationPredicate::Within {
+                tolerance: number(2)?,
+            },
         )),
         "phase_diff" => Ok(Clause::Relation(
             state(0)?,
@@ -211,7 +235,9 @@ fn parse_state(text: &str) -> Result<StateRef, ParseSpecError> {
             .map_err(|_| err(format!("invalid tracepoint reference {text:?}")))?;
         return Ok(StateRef::Tracepoint(TracepointId(id)));
     }
-    Err(err(format!("invalid state reference {text:?} (use 'in' or 'T<n>')")))
+    Err(err(format!(
+        "invalid state reference {text:?} (use 'in' or 'T<n>')"
+    )))
 }
 
 /// Extracts assertion specs embedded in program text as
@@ -236,8 +262,7 @@ mod tests {
 
     #[test]
     fn parses_teleportation_spec() {
-        let a = parse_assertion("assume is_pure(T1), is_pure(T2) guarantee equal(T1, T2)")
-            .unwrap();
+        let a = parse_assertion("assume is_pure(T1), is_pure(T2) guarantee equal(T1, T2)").unwrap();
         assert_eq!(a.assumptions().len(), 2);
         assert!(matches!(
             a.guarantee_clause(),
@@ -263,8 +288,8 @@ mod tests {
 
     #[test]
     fn parses_input_reference_and_single_guarantee() {
-        let a = parse_assertion("assume is_pure(in) guarantee expectation_z_above(T4, 0.0)")
-            .unwrap();
+        let a =
+            parse_assertion("assume is_pure(in) guarantee expectation_z_above(T4, 0.0)").unwrap();
         assert_eq!(a.assumptions()[0].0, StateRef::Input);
         assert!(matches!(a.guarantee_clause(), Guarantee::Single(..)));
     }

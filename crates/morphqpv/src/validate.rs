@@ -12,7 +12,7 @@
 
 use morph_linalg::{project_to_density, CMatrix};
 use morph_optimize::{
-    Bounds, FnObjective, GeneticAlgorithm, GradientAscent, NelderMead, Optimizer, OptResult,
+    Bounds, FnObjective, GeneticAlgorithm, GradientAscent, NelderMead, OptResult, Optimizer,
     QuadraticProgram, SimulatedAnnealing,
 };
 use rand::rngs::StdRng;
@@ -148,7 +148,11 @@ impl<'a> Context<'a> {
     fn new(assertion: &'a AssumeGuarantee, characterization: &'a Characterization) -> Self {
         Context {
             assertion,
-            input_basis: characterization.inputs.iter().map(|i| i.rho.clone()).collect(),
+            input_basis: characterization
+                .inputs
+                .iter()
+                .map(|i| i.rho.clone())
+                .collect(),
             traces: characterization.traces.clone(),
         }
     }
@@ -243,8 +247,9 @@ pub fn validate_assertion(
     // The optimizer sees the penalized, gauge-fixed objective.
     let weight = config.penalty_weight;
     let ctx_for_obj = Context::new(assertion, characterization);
-    let objective =
-        FnObjective::new(n_alphas, move |raw: &[f64]| ctx_for_obj.penalized(raw, weight));
+    let objective = FnObjective::new(n_alphas, move |raw: &[f64]| {
+        ctx_for_obj.penalized(raw, weight)
+    });
 
     let bounds = Bounds::uniform(n_alphas, -config.alpha_bound, config.alpha_bound);
     let solver = config.solver.build();
@@ -289,12 +294,20 @@ pub fn validate_assertion(
         }
     } else {
         Verdict::Passed {
-            max_objective: if max_objective.is_finite() { max_objective } else { 0.0 },
+            max_objective: if max_objective.is_finite() {
+                max_objective
+            } else {
+                0.0
+            },
             confidence: confidence_model.confidence(config.accuracy_threshold),
         }
     };
 
-    ValidationOutcome { verdict, optimum, confidence_model }
+    ValidationOutcome {
+        verdict,
+        optimum,
+        confidence_model,
+    }
 }
 
 /// Interprets a raw optimizer point: gauge-fix, and if the point violates
@@ -425,9 +438,16 @@ mod tests {
             );
         let mut rng = StdRng::seed_from_u64(1);
         let out = validate_assertion(&assertion, &ch, &ValidationConfig::default(), &mut rng);
-        assert!(out.verdict.passed(), "identity must satisfy T1 == T2: {:?}", out.verdict);
+        assert!(
+            out.verdict.passed(),
+            "identity must satisfy T1 == T2: {:?}",
+            out.verdict
+        );
         if let Verdict::Passed { confidence, .. } = out.verdict {
-            assert!(confidence > 0.5, "full span ⇒ high confidence, got {confidence}");
+            assert!(
+                confidence > 0.5,
+                "full span ⇒ high confidence, got {confidence}"
+            );
         }
     }
 
@@ -442,8 +462,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let out = validate_assertion(&assertion, &ch, &ValidationConfig::default(), &mut rng);
         match out.verdict {
-            Verdict::Failed { counterexample, max_objective, .. } => {
-                assert!(max_objective > 0.5, "X flips states far apart: {max_objective}");
+            Verdict::Failed {
+                counterexample,
+                max_objective,
+                ..
+            } => {
+                assert!(
+                    max_objective > 0.5,
+                    "X flips states far apart: {max_objective}"
+                );
                 assert!(morph_linalg::is_density_matrix(&counterexample, 1e-6));
                 // The counter-example must genuinely be moved by X.
                 let x = morph_qsim::matrices::x();
@@ -484,16 +511,24 @@ mod tests {
             &[morph_linalg::C64::ONE, morph_linalg::C64::ZERO],
             &[morph_linalg::C64::ONE, morph_linalg::C64::ZERO],
         );
-        let unconstrained = AssumeGuarantee::new()
-            .guarantee_state(morph_qprog::TracepointId(2), StatePredicate::equals(one.clone()));
+        let unconstrained = AssumeGuarantee::new().guarantee_state(
+            morph_qprog::TracepointId(2),
+            StatePredicate::equals(one.clone()),
+        );
         let constrained = AssumeGuarantee::new()
             .assume(StateRef::Input, StatePredicate::equals(zero))
             .guarantee_state(morph_qprog::TracepointId(2), StatePredicate::equals(one));
         let mut rng = StdRng::seed_from_u64(4);
-        let config = ValidationConfig { decision_threshold: 0.05, ..Default::default() };
+        let config = ValidationConfig {
+            decision_threshold: 0.05,
+            ..Default::default()
+        };
         let out_u = validate_assertion(&unconstrained, &ch, &config, &mut rng);
         let out_c = validate_assertion(&constrained, &ch, &config, &mut rng);
-        assert!(!out_u.verdict.passed(), "without assumption some input violates");
+        assert!(
+            !out_u.verdict.passed(),
+            "without assumption some input violates"
+        );
         assert!(
             out_c.verdict.passed(),
             "with input pinned to |0> the guarantee holds: {:?}",
@@ -517,9 +552,16 @@ mod tests {
             SolverKind::NelderMead,
         ] {
             let mut rng = StdRng::seed_from_u64(5);
-            let config = ValidationConfig { solver, ..Default::default() };
+            let config = ValidationConfig {
+                solver,
+                ..Default::default()
+            };
             let out = validate_assertion(&assertion, &ch, &config, &mut rng);
-            assert!(out.verdict.passed(), "{} failed the identity case", solver.name());
+            assert!(
+                out.verdict.passed(),
+                "{} failed the identity case",
+                solver.name()
+            );
         }
     }
 
@@ -539,7 +581,10 @@ mod tests {
             SolverKind::NelderMead,
         ] {
             let mut rng = StdRng::seed_from_u64(6);
-            let config = ValidationConfig { solver, ..Default::default() };
+            let config = ValidationConfig {
+                solver,
+                ..Default::default()
+            };
             let out = validate_assertion(&assertion, &ch, &config, &mut rng);
             assert!(
                 !out.verdict.passed(),
@@ -555,10 +600,8 @@ mod tests {
     #[should_panic(expected = "uncharacterized tracepoint")]
     fn unknown_tracepoint_rejected() {
         let ch = full_characterization(&identity_program(), 0);
-        let assertion = AssumeGuarantee::new().guarantee_state(
-            morph_qprog::TracepointId(9),
-            StatePredicate::IsPure,
-        );
+        let assertion = AssumeGuarantee::new()
+            .guarantee_state(morph_qprog::TracepointId(9), StatePredicate::IsPure);
         let mut rng = StdRng::seed_from_u64(0);
         let _ = validate_assertion(&assertion, &ch, &ValidationConfig::default(), &mut rng);
     }

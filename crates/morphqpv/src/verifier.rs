@@ -71,6 +71,7 @@ impl Verifier {
                 readout: ReadoutMode::Exact,
                 input_qubits,
                 noise: NoiseModel::noiseless(),
+                parallelism: 0,
             },
             validation_config: ValidationConfig::default(),
             explicit_inputs: None,
@@ -152,7 +153,10 @@ impl Verifier {
             .iter()
             .map(|a| validate_assertion(a, &characterization, &self.validation_config, rng))
             .collect();
-        VerificationReport { characterization, outcomes }
+        VerificationReport {
+            characterization,
+            outcomes,
+        }
     }
 }
 
@@ -196,7 +200,10 @@ pub fn verify_source(
 ) -> Result<VerificationReport, Box<dyn std::error::Error>> {
     let circuit = morph_qprog::parse_program(source)?;
     let assertions = crate::spec::assertions_from_source(source)?;
-    assert!(!assertions.is_empty(), "source contains no `// assert` specifications");
+    assert!(
+        !assertions.is_empty(),
+        "source contains no `// assert` specifications"
+    );
     let mut verifier = Verifier::new(circuit).input_qubits(input_qubits);
     for a in assertions {
         verifier = verifier.assert_that(a);
@@ -271,13 +278,16 @@ mod tests {
                 TracepointId(1),
                 TracepointId(2),
                 RelationPredicate::custom(move |t1, t2| {
-                    (morph_linalg::expectation(&x, t1) - morph_linalg::expectation(&z, t2))
-                        .abs()
+                    (morph_linalg::expectation(&x, t1) - morph_linalg::expectation(&z, t2)).abs()
                         - 1e-6
                 }),
             ))
             .run(&mut StdRng::seed_from_u64(0));
-        assert!(report.all_passed(), "{:?}", report.first_failure().map(|o| &o.verdict));
+        assert!(
+            report.all_passed(),
+            "{:?}",
+            report.first_failure().map(|o| &o.verdict)
+        );
         assert!(report.ledger().executions > 0);
         assert!(report.min_confidence() > 0.9);
     }

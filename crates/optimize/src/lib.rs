@@ -33,8 +33,8 @@ mod nelder_mead;
 mod objective;
 mod solvers;
 
-pub use objective::{Bounds, ConstrainedProblem, FnObjective, Objective, OptResult};
 pub use nelder_mead::NelderMead;
+pub use objective::{Bounds, ConstrainedProblem, FnObjective, Objective, OptResult};
 pub use solvers::{
     GeneticAlgorithm, GradientAscent, Optimizer, QuadraticProgram, SimulatedAnnealing,
 };

@@ -21,17 +21,16 @@ pub struct NelderMead {
 
 impl Default for NelderMead {
     fn default() -> Self {
-        NelderMead { iterations: 400, restarts: 3, initial_step: 0.25 }
+        NelderMead {
+            iterations: 400,
+            restarts: 3,
+            initial_step: 0.25,
+        }
     }
 }
 
 impl Optimizer for NelderMead {
-    fn maximize(
-        &self,
-        objective: &dyn Objective,
-        bounds: &Bounds,
-        rng: &mut StdRng,
-    ) -> OptResult {
+    fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, rng: &mut StdRng) -> OptResult {
         let n = objective.dim();
         let mut evaluations = 0u64;
         let mut best_x: Option<Vec<f64>> = None;
@@ -60,7 +59,9 @@ impl Optimizer for NelderMead {
                 // Order vertices: best (max) first.
                 let mut order: Vec<usize> = (0..simplex.len()).collect();
                 order.sort_by(|&a, &b| {
-                    values[b].partial_cmp(&values[a]).unwrap_or(std::cmp::Ordering::Equal)
+                    values[b]
+                        .partial_cmp(&values[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
                 let best = order[0];
                 let worst = order[order.len() - 1];
@@ -183,7 +184,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let res = NelderMead::default().maximize(&obj, &bounds, &mut rng);
         assert!(res.x.iter().all(|&v| (-1.0..=1.0).contains(&v)));
-        assert!(res.value > 2.5, "should reach the corner, got {}", res.value);
+        assert!(
+            res.value > 2.5,
+            "should reach the corner, got {}",
+            res.value
+        );
     }
 
     #[test]

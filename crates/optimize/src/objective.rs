@@ -6,7 +6,11 @@ use std::fmt;
 ///
 /// The default gradient is central finite differences, so implementors only
 /// need [`Objective::value`].
-pub trait Objective {
+///
+/// `Sync` is a supertrait because solvers evaluate one objective from many
+/// restart threads concurrently; objectives are read-only during a solve,
+/// so any implementor without interior mutability satisfies it for free.
+pub trait Objective: Sync {
     /// Dimension of the search space.
     fn dim(&self) -> usize;
 
@@ -49,14 +53,14 @@ pub struct FnObjective<F> {
     f: F,
 }
 
-impl<F: Fn(&[f64]) -> f64> FnObjective<F> {
+impl<F: Fn(&[f64]) -> f64 + Sync> FnObjective<F> {
     /// Wraps `f` as a `dim`-dimensional objective.
     pub fn new(dim: usize, f: F) -> Self {
         FnObjective { dim, f }
     }
 }
 
-impl<F: Fn(&[f64]) -> f64> Objective for FnObjective<F> {
+impl<F: Fn(&[f64]) -> f64 + Sync> Objective for FnObjective<F> {
     fn dim(&self) -> usize {
         self.dim
     }
@@ -68,7 +72,9 @@ impl<F: Fn(&[f64]) -> f64> Objective for FnObjective<F> {
 
 impl<F> fmt::Debug for FnObjective<F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FnObjective").field("dim", &self.dim).finish()
+        f.debug_struct("FnObjective")
+            .field("dim", &self.dim)
+            .finish()
     }
 }
 
@@ -115,8 +121,8 @@ impl Bounds {
 
     /// Clamps `x` into the box in place.
     pub fn project(&self, x: &mut [f64]) {
-        for i in 0..x.len() {
-            x[i] = x[i].clamp(self.lower[i], self.upper[i]);
+        for ((xi, &lo), &hi) in x.iter_mut().zip(&self.lower).zip(&self.upper) {
+            *xi = xi.clamp(lo, hi);
         }
     }
 
@@ -162,7 +168,10 @@ impl<'a> ConstrainedProblem<'a> {
         for c in &constraints {
             assert_eq!(c.dim(), objective.dim(), "constraint dimension mismatch");
         }
-        ConstrainedProblem { objective, constraints }
+        ConstrainedProblem {
+            objective,
+            constraints,
+        }
     }
 
     /// Search dimension.

@@ -12,18 +12,17 @@ use crate::objective::{Bounds, Objective, OptResult};
 /// All solvers are deterministic given the RNG; experiments seed it.
 pub trait Optimizer {
     /// Maximizes `objective` inside `bounds`.
-    fn maximize(
-        &self,
-        objective: &dyn Objective,
-        bounds: &Bounds,
-        rng: &mut StdRng,
-    ) -> OptResult;
+    fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, rng: &mut StdRng) -> OptResult;
 
     /// Human-readable solver name (used in Fig 15(b) reports).
     fn name(&self) -> &'static str;
 }
 
 /// Projected Adam gradient ascent with random restarts.
+///
+/// Restarts are independent, so they run across `parallelism` worker
+/// threads; each restart seeds its own RNG stream from one master draw, so
+/// the result is bit-identical at every worker count.
 #[derive(Debug, Clone)]
 pub struct GradientAscent {
     /// Adam step size.
@@ -32,56 +31,54 @@ pub struct GradientAscent {
     pub iterations: usize,
     /// Number of random restarts.
     pub restarts: usize,
+    /// Worker threads for the restarts (`0` = all cores, `1` = serial).
+    pub parallelism: usize,
 }
 
 impl Default for GradientAscent {
     fn default() -> Self {
-        GradientAscent { learning_rate: 0.05, iterations: 300, restarts: 4 }
+        GradientAscent {
+            learning_rate: 0.05,
+            iterations: 300,
+            restarts: 4,
+            parallelism: 1,
+        }
     }
 }
 
 impl Optimizer for GradientAscent {
-    fn maximize(
-        &self,
-        objective: &dyn Objective,
-        bounds: &Bounds,
-        rng: &mut StdRng,
-    ) -> OptResult {
+    fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, rng: &mut StdRng) -> OptResult {
         let dim = objective.dim();
-        let mut best_x = bounds.sample(rng);
-        let mut best_v = objective.value(&best_x);
-        let mut evaluations = 1u64;
         let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
-        for _ in 0..self.restarts {
-            let mut x = bounds.sample(rng);
-            let mut m = vec![0.0; dim];
-            let mut v = vec![0.0; dim];
-            let mut grad = vec![0.0; dim];
-            for t in 1..=self.iterations {
-                objective.gradient(&x, &mut grad);
-                evaluations += 2 * dim as u64;
-                for i in 0..dim {
-                    m[i] = beta1 * m[i] + (1.0 - beta1) * grad[i];
-                    v[i] = beta2 * v[i] + (1.0 - beta2) * grad[i] * grad[i];
-                    let mh = m[i] / (1.0 - beta1.powi(t as i32));
-                    let vh = v[i] / (1.0 - beta2.powi(t as i32));
-                    x[i] += self.learning_rate * mh / (vh.sqrt() + eps);
+        let master = morph_parallel::derive_master(rng);
+        let runs = morph_parallel::parallel_map_indices(
+            self.parallelism,
+            self.restarts.max(1),
+            |restart| {
+                let mut task_rng = morph_parallel::child_rng(master, restart as u64);
+                let mut evaluations = 0u64;
+                let mut x = bounds.sample(&mut task_rng);
+                let mut m = vec![0.0; dim];
+                let mut v = vec![0.0; dim];
+                let mut grad = vec![0.0; dim];
+                for t in 1..=self.iterations {
+                    objective.gradient(&x, &mut grad);
+                    evaluations += 2 * dim as u64;
+                    for i in 0..dim {
+                        m[i] = beta1 * m[i] + (1.0 - beta1) * grad[i];
+                        v[i] = beta2 * v[i] + (1.0 - beta2) * grad[i] * grad[i];
+                        let mh = m[i] / (1.0 - beta1.powi(t as i32));
+                        let vh = v[i] / (1.0 - beta2.powi(t as i32));
+                        x[i] += self.learning_rate * mh / (vh.sqrt() + eps);
+                    }
+                    bounds.project(&mut x);
                 }
-                bounds.project(&mut x);
-            }
-            let value = objective.value(&x);
-            evaluations += 1;
-            if value > best_v {
-                best_v = value;
-                best_x = x;
-            }
-        }
-        OptResult {
-            x: best_x,
-            value: best_v,
-            iterations: self.iterations * self.restarts,
-            evaluations,
-        }
+                let value = objective.value(&x);
+                evaluations += 1;
+                (x, value, evaluations)
+            },
+        );
+        best_of_restarts(runs, self.iterations * self.restarts.max(1))
     }
 
     fn name(&self) -> &'static str {
@@ -115,12 +112,7 @@ impl Default for GeneticAlgorithm {
 }
 
 impl Optimizer for GeneticAlgorithm {
-    fn maximize(
-        &self,
-        objective: &dyn Objective,
-        bounds: &Bounds,
-        rng: &mut StdRng,
-    ) -> OptResult {
+    fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, rng: &mut StdRng) -> OptResult {
         let dim = objective.dim();
         let mut population: Vec<Vec<f64>> =
             (0..self.population).map(|_| bounds.sample(rng)).collect();
@@ -159,7 +151,12 @@ impl Optimizer for GeneticAlgorithm {
                 best_x = population[best_idx].clone();
             }
         }
-        OptResult { x: best_x, value: best_v, iterations: self.generations, evaluations }
+        OptResult {
+            x: best_x,
+            value: best_v,
+            iterations: self.generations,
+            evaluations,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -192,12 +189,7 @@ impl Default for SimulatedAnnealing {
 }
 
 impl Optimizer for SimulatedAnnealing {
-    fn maximize(
-        &self,
-        objective: &dyn Objective,
-        bounds: &Bounds,
-        rng: &mut StdRng,
-    ) -> OptResult {
+    fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, rng: &mut StdRng) -> OptResult {
         let dim = objective.dim();
         let mut x = bounds.sample(rng);
         let mut v = objective.value(&x);
@@ -224,7 +216,12 @@ impl Optimizer for SimulatedAnnealing {
             }
             temperature *= self.cooling;
         }
-        OptResult { x: best_x, value: best_v, iterations: self.iterations, evaluations }
+        OptResult {
+            x: best_x,
+            value: best_v,
+            iterations: self.iterations,
+            evaluations,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -244,17 +241,26 @@ pub struct QuadraticProgram {
     pub iterations: usize,
     /// Number of starts.
     pub starts: usize,
+    /// Worker threads for the starts (`0` = all cores, `1` = serial).
+    pub parallelism: usize,
 }
 
 impl Default for QuadraticProgram {
     fn default() -> Self {
-        QuadraticProgram { iterations: 200, starts: 4 }
+        QuadraticProgram {
+            iterations: 200,
+            starts: 4,
+            parallelism: 1,
+        }
     }
 }
 
 impl QuadraticProgram {
     /// Fits `f(x) ≈ ½ xᵀQx + cᵀx + b` by finite differences around 0.
-    fn fit_quadratic(objective: &dyn Objective, evaluations: &mut u64) -> (Vec<Vec<f64>>, Vec<f64>, f64) {
+    fn fit_quadratic(
+        objective: &dyn Objective,
+        evaluations: &mut u64,
+    ) -> (Vec<Vec<f64>>, Vec<f64>, f64) {
         let n = objective.dim();
         let h = 1e-3;
         let zero = vec![0.0; n];
@@ -301,15 +307,10 @@ impl QuadraticProgram {
 }
 
 impl Optimizer for QuadraticProgram {
-    fn maximize(
-        &self,
-        objective: &dyn Objective,
-        bounds: &Bounds,
-        rng: &mut StdRng,
-    ) -> OptResult {
+    fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, rng: &mut StdRng) -> OptResult {
         let n = objective.dim();
-        let mut evaluations = 0u64;
-        let (q, c, _) = Self::fit_quadratic(objective, &mut evaluations);
+        let mut fit_evaluations = 0u64;
+        let (q, c, _) = Self::fit_quadratic(objective, &mut fit_evaluations);
 
         let grad = |x: &[f64], out: &mut [f64]| {
             for i in 0..n {
@@ -321,51 +322,66 @@ impl Optimizer for QuadraticProgram {
             }
         };
 
-        let mut best_x = bounds.sample(rng);
-        let mut best_v = objective.value(&best_x);
-        evaluations += 1;
-
-        for _ in 0..self.starts {
-            let mut x = bounds.sample(rng);
-            let mut g = vec![0.0; n];
-            for _ in 0..self.iterations {
-                grad(&x, &mut g);
-                // Exact line search for quadratic: t* = gᵀg / (−gᵀQg) when
-                // the curvature along g is negative; otherwise take a bold
-                // fixed step toward the boundary.
-                let gg: f64 = g.iter().map(|v| v * v).sum();
-                if gg < 1e-18 {
-                    break;
-                }
-                let mut gqg = 0.0;
-                for i in 0..n {
-                    for j in 0..n {
-                        gqg += g[i] * q[i][j] * g[j];
+        let master = morph_parallel::derive_master(rng);
+        let runs =
+            morph_parallel::parallel_map_indices(self.parallelism, self.starts.max(1), |start| {
+                let mut task_rng = morph_parallel::child_rng(master, start as u64);
+                let mut x = bounds.sample(&mut task_rng);
+                let mut g = vec![0.0; n];
+                for _ in 0..self.iterations {
+                    grad(&x, &mut g);
+                    // Exact line search for quadratic: t* = gᵀg / (−gᵀQg) when
+                    // the curvature along g is negative; otherwise take a bold
+                    // fixed step toward the boundary.
+                    let gg: f64 = g.iter().map(|v| v * v).sum();
+                    if gg < 1e-18 {
+                        break;
                     }
+                    let mut gqg = 0.0;
+                    for i in 0..n {
+                        for j in 0..n {
+                            gqg += g[i] * q[i][j] * g[j];
+                        }
+                    }
+                    let t = if gqg < -1e-12 { -gg / gqg } else { 1.0 };
+                    for i in 0..n {
+                        x[i] += t * g[i];
+                    }
+                    bounds.project(&mut x);
                 }
-                let t = if gqg < -1e-12 { -gg / gqg } else { 1.0 };
-                for i in 0..n {
-                    x[i] += t * g[i];
-                }
-                bounds.project(&mut x);
-            }
-            let v = objective.value(&x);
-            evaluations += 1;
-            if v > best_v {
-                best_v = v;
-                best_x = x;
-            }
-        }
-        OptResult {
-            x: best_x,
-            value: best_v,
-            iterations: self.iterations * self.starts,
-            evaluations,
-        }
+                let v = objective.value(&x);
+                (x, v, 1u64)
+            });
+        let mut result = best_of_restarts(runs, self.iterations * self.starts.max(1));
+        result.evaluations += fit_evaluations;
+        result
     }
 
     fn name(&self) -> &'static str {
         "quadratic programming"
+    }
+}
+
+/// Folds per-restart `(x, value, evaluations)` runs into one [`OptResult`]:
+/// the best value wins, ties broken by the lowest restart index so the
+/// outcome is independent of evaluation order.
+fn best_of_restarts(runs: Vec<(Vec<f64>, f64, u64)>, iterations: usize) -> OptResult {
+    let evaluations = runs.iter().map(|(_, _, e)| e).sum();
+    let (x, value, _) = runs
+        .into_iter()
+        .reduce(|best, candidate| {
+            if candidate.1 > best.1 {
+                candidate
+            } else {
+                best
+            }
+        })
+        .expect("at least one restart ran");
+    OptResult {
+        x,
+        value,
+        iterations,
+        evaluations,
     }
 }
 
@@ -415,8 +431,7 @@ mod tests {
     #[test]
     fn all_solvers_find_quadratic_peak() {
         // max −(x−0.3)² − (y+0.4)², peak at (0.3, −0.4), value 0.
-        let obj =
-            FnObjective::new(2, |x| -((x[0] - 0.3).powi(2) + (x[1] + 0.4).powi(2)));
+        let obj = FnObjective::new(2, |x| -((x[0] - 0.3).powi(2) + (x[1] + 0.4).powi(2)));
         let bounds = Bounds::uniform(2, -1.0, 1.0);
         for solver in solvers() {
             let mut rng = StdRng::seed_from_u64(1);
@@ -427,8 +442,18 @@ mod tests {
                 solver.name(),
                 res.value
             );
-            assert!((res.x[0] - 0.3).abs() < 0.1, "{} x0={}", solver.name(), res.x[0]);
-            assert!((res.x[1] + 0.4).abs() < 0.1, "{} x1={}", solver.name(), res.x[1]);
+            assert!(
+                (res.x[0] - 0.3).abs() < 0.1,
+                "{} x0={}",
+                solver.name(),
+                res.x[0]
+            );
+            assert!(
+                (res.x[1] + 0.4).abs() < 0.1,
+                "{} x1={}",
+                solver.name(),
+                res.x[1]
+            );
         }
     }
 
@@ -440,8 +465,17 @@ mod tests {
         for solver in solvers() {
             let mut rng = StdRng::seed_from_u64(2);
             let res = solver.maximize(&obj, &bounds, &mut rng);
-            assert!(res.x.iter().all(|&v| (-1.0..=1.0).contains(&v)), "{}", solver.name());
-            assert!(res.value > 1.5, "{} should reach the corner, got {}", solver.name(), res.value);
+            assert!(
+                res.x.iter().all(|&v| (-1.0..=1.0).contains(&v)),
+                "{}",
+                solver.name()
+            );
+            assert!(
+                res.value > 1.5,
+                "{} should reach the corner, got {}",
+                solver.name(),
+                res.value
+            );
         }
     }
 
@@ -449,10 +483,7 @@ mod tests {
     fn qp_is_exact_on_pure_quadratics() {
         // max −x'Ax + b'x with known optimum.
         let obj = FnObjective::new(3, |x| {
-            -(2.0 * x[0] * x[0] + x[1] * x[1] + 0.5 * x[2] * x[2])
-                + x[0]
-                + 2.0 * x[1]
-                - x[2]
+            -(2.0 * x[0] * x[0] + x[1] * x[1] + 0.5 * x[2] * x[2]) + x[0] + 2.0 * x[1] - x[2]
         });
         // Optimum: x0 = 1/4, x1 = 1, x2 = −1.
         let bounds = Bounds::uniform(3, -2.0, 2.0);
@@ -480,7 +511,53 @@ mod tests {
                 found += 1;
             }
         }
-        assert!(found >= 3, "annealing found the global bump only {found}/5 times");
+        assert!(
+            found >= 3,
+            "annealing found the global bump only {found}/5 times"
+        );
+    }
+
+    #[test]
+    fn parallel_restarts_match_serial() {
+        use rand::Rng;
+        let obj = FnObjective::new(3, |x: &[f64]| {
+            -((x[0] - 0.1).powi(2) + (x[1] + 0.2).powi(2) + x[2].powi(2))
+        });
+        let bounds = Bounds::uniform(3, -1.0, 1.0);
+        let run = |solver: &dyn Optimizer| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let res = solver.maximize(&obj, &bounds, &mut rng);
+            (res, rng.gen::<u64>())
+        };
+        let (ga_serial, ga_serial_stream) = run(&GradientAscent {
+            parallelism: 1,
+            ..Default::default()
+        });
+        let (ga_wide, ga_wide_stream) = run(&GradientAscent {
+            parallelism: 4,
+            ..Default::default()
+        });
+        assert_eq!(
+            ga_serial, ga_wide,
+            "gradient ascent must not depend on worker count"
+        );
+        assert_eq!(
+            ga_serial_stream, ga_wide_stream,
+            "caller RNG stream must stay aligned"
+        );
+
+        let (qp_serial, _) = run(&QuadraticProgram {
+            parallelism: 1,
+            ..Default::default()
+        });
+        let (qp_wide, _) = run(&QuadraticProgram {
+            parallelism: 4,
+            ..Default::default()
+        });
+        assert_eq!(
+            qp_serial, qp_wide,
+            "QP starts must not depend on worker count"
+        );
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Deterministic parallel execution substrate.
+//!
+//! MorphQPV's hot paths are embarrassingly parallel — one program execution
+//! per sampled input per tracepoint (characterization), one independent run
+//! per solver restart, one grid point per baseline sweep — but naive
+//! threading would destroy reproducibility: the serial code threads a single
+//! `StdRng` through input generation, noise, and shot readout, so any
+//! reordering changes every sampled trace.
+//!
+//! This crate fixes that with two pieces:
+//!
+//! 1. **Seed splitting** ([`derive_master`] + [`child_seed`]): draw one
+//!    *master seed* from the caller's RNG, then give task `i` its own
+//!    `StdRng` seeded with `child_seed(master, i)`. Each task's stream is a
+//!    pure function of `(master, i)` — independent of scheduling, worker
+//!    count, and the progress of other tasks.
+//! 2. **Deterministic fan-out** ([`parallel_map`]): a scoped-thread work
+//!    queue that evaluates `f(i, &items[i])` for every index and returns
+//!    results *in index order*. With per-task seeds, running with 1 worker
+//!    or N workers produces bit-identical output.
+//!
+//! Combined with order-independent cost merging (`CostLedger` totals are
+//! sums of `u64`s), serial and parallel runs of characterization, solvers,
+//! and baseline sweeps agree exactly — the determinism guarantee documented
+//! in `DESIGN.md`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Derives the master seed for a parallel region from the caller's RNG.
+///
+/// Consumes exactly one `u64` draw, so the caller's stream advances the same
+/// way regardless of how many tasks the region spawns.
+pub fn derive_master(rng: &mut impl Rng) -> u64 {
+    rng.gen::<u64>()
+}
+
+/// Derives the seed of task `index` from a master seed.
+///
+/// Uses the SplitMix64 finalizer over `master + (index + 1) · φ64`, giving
+/// well-separated, statistically independent child streams even for adjacent
+/// indices (the standard splittable-PRNG construction).
+pub fn child_seed(master: u64, index: u64) -> u64 {
+    let mut z = master.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A `StdRng` for task `index` of the region rooted at `master`.
+pub fn child_rng(master: u64, index: u64) -> StdRng {
+    StdRng::seed_from_u64(child_seed(master, index))
+}
+
+/// Resolves a requested worker count: `0` means "all available cores".
+pub fn effective_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Evaluates `f(i, &items[i])` for every index and returns the results in
+/// index order.
+///
+/// `workers == 0` uses all available cores; `workers == 1` (or a single
+/// item) runs inline on the caller's thread with no synchronization. Work is
+/// distributed through a shared atomic cursor, so long and short tasks
+/// balance across threads; because each result lands in its input's slot,
+/// scheduling never affects output order or content.
+///
+/// # Panics
+///
+/// Propagates the panic of any task.
+pub fn parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = effective_workers(workers).min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every index was visited by exactly one worker")
+        })
+        .collect()
+}
+
+/// [`parallel_map`] over indices alone: evaluates `f(i)` for `i < count`,
+/// results in index order.
+pub fn parallel_map_indices<R, F>(workers: usize, count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..count).collect();
+    parallel_map(workers, &indices, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_seeds_are_distinct_and_stable() {
+        let master = 0xDEAD_BEEF;
+        let a = child_seed(master, 0);
+        let b = child_seed(master, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, child_seed(master, 0), "pure function of (master, index)");
+        assert_ne!(child_seed(master + 1, 0), a, "master changes every child");
+    }
+
+    #[test]
+    fn derive_master_consumes_one_draw() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let _ = derive_master(&mut a);
+        let _ = b.gen::<u64>();
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "streams stay aligned");
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_in_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let serial = parallel_map(1, &items, |i, &x| x * 2 + i as u64);
+        let parallel = parallel_map(8, &items, |i, &x| x * 2 + i as u64);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[5], 15);
+    }
+
+    #[test]
+    fn parallel_map_with_child_rngs_is_schedule_independent() {
+        let master = 42u64;
+        let draw = |i: usize| child_rng(master, i as u64).gen::<f64>();
+        let serial = parallel_map_indices(1, 64, draw);
+        let wide = parallel_map_indices(16, 64, draw);
+        assert_eq!(
+            serial, wide,
+            "per-task seeding removes scheduling sensitivity"
+        );
+    }
+
+    #[test]
+    fn empty_and_single_inputs_run_inline() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(4, &[9u32], |i, &x| x + i as u32), vec![9]);
+    }
+
+    #[test]
+    fn effective_workers_resolves_zero_to_cores() {
+        assert!(effective_workers(0) >= 1);
+        assert_eq!(effective_workers(3), 3);
+    }
+
+    #[test]
+    fn heavy_fan_out_uses_all_slots_exactly_once() {
+        let results = parallel_map_indices(0, 1000, |i| i);
+        assert_eq!(results, (0..1000).collect::<Vec<_>>());
+    }
+}

@@ -49,7 +49,9 @@ pub use qec::RepetitionCode;
 pub use qnn::{iris_like_dataset, train_qnn, FlowerSample, Qnn};
 pub use qram::Qram;
 pub use quantum_lock::QuantumLock;
-pub use shor::{inverse_qft, order_finding_distribution, qft, quantum_phase_estimation, shor_circuit};
+pub use shor::{
+    inverse_qft, order_finding_distribution, qft, quantum_phase_estimation, shor_circuit,
+};
 pub use teleport::Teleportation;
 pub use xeb::{linear_xeb_fidelity, xeb_circuit};
 

@@ -29,7 +29,10 @@ pub struct InjectedBug {
 ///
 /// Panics if the circuit is empty or has no qubits.
 pub fn inject_phase_bug(circuit: &Circuit, rng: &mut impl Rng) -> (Circuit, InjectedBug) {
-    assert!(!circuit.instructions().is_empty(), "cannot mutate an empty circuit");
+    assert!(
+        !circuit.instructions().is_empty(),
+        "cannot mutate an empty circuit"
+    );
     assert!(circuit.n_qubits() > 0, "cannot mutate a zero-qubit circuit");
     let position = rng.gen_range(1..=circuit.instructions().len());
     let qubit = rng.gen_range(0..circuit.n_qubits());
@@ -38,7 +41,11 @@ pub fn inject_phase_bug(circuit: &Circuit, rng: &mut impl Rng) -> (Circuit, Inje
     mutated.insert(position, Instruction::Gate(Gate::Phase(qubit, angle)));
     (
         mutated,
-        InjectedBug { position, qubit, angle },
+        InjectedBug {
+            position,
+            qubit,
+            angle,
+        },
     )
 }
 

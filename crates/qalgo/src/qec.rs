@@ -22,7 +22,10 @@ impl RepetitionCode {
     ///
     /// Panics unless `n` is odd and at least 3.
     pub fn new(n_qubits: usize) -> Self {
-        assert!(n_qubits >= 3 && n_qubits % 2 == 1, "repetition code needs odd n ≥ 3");
+        assert!(
+            n_qubits >= 3 && n_qubits % 2 == 1,
+            "repetition code needs odd n ≥ 3"
+        );
         RepetitionCode { n_qubits }
     }
 
@@ -130,7 +133,10 @@ mod tests {
         let code = RepetitionCode::new(3);
         for q in 0..3 {
             let f = round_trip_fidelity(&code, Some(q), 1.2);
-            assert!((f - 1.0).abs() < 1e-9, "error on {q} not corrected, fidelity {f}");
+            assert!(
+                (f - 1.0).abs() < 1e-9,
+                "error on {q} not corrected, fidelity {f}"
+            );
         }
     }
 
@@ -140,9 +146,15 @@ mod tests {
         // intact only when the error hits a non-logical qubit.
         let code = RepetitionCode::new(5);
         let f_logical = round_trip_fidelity(&code, Some(0), 1.2);
-        assert!(f_logical < 0.9, "flip on the logical qubit must corrupt output");
+        assert!(
+            f_logical < 0.9,
+            "flip on the logical qubit must corrupt output"
+        );
         let f_anc = round_trip_fidelity(&code, Some(3), 1.2);
-        assert!((f_anc - 1.0).abs() < 1e-9, "ancilla flip should not affect decoded qubit");
+        assert!(
+            (f_anc - 1.0).abs() < 1e-9,
+            "ancilla flip should not affect decoded qubit"
+        );
     }
 
     fn phase_flip_round_trip_fidelity(
@@ -173,7 +185,10 @@ mod tests {
         let code = RepetitionCode::new(3);
         for q in 0..3 {
             let f = phase_flip_round_trip_fidelity(&code, Some(q), 1.1);
-            assert!((f - 1.0).abs() < 1e-9, "Z on {q} not corrected, fidelity {f}");
+            assert!(
+                (f - 1.0).abs() < 1e-9,
+                "Z on {q} not corrected, fidelity {f}"
+            );
         }
     }
 

@@ -6,7 +6,7 @@
 //! one multi-controlled RY (rotation `2θᵢ`) controlled on its address
 //! pattern.
 
-use morph_linalg::{C64, CMatrix};
+use morph_linalg::{CMatrix, C64};
 use morph_qprog::Circuit;
 
 /// A QRAM over `n_addr` addressing qubits holding `2^n_addr` angle values.
@@ -94,7 +94,11 @@ impl Qram {
             c.x(q);
         }
         let controls: Vec<usize> = self.address_qubits();
-        c.gate(morph_qsim::Gate::MCRY(controls, self.data_qubit(), 2.0 * theta));
+        c.gate(morph_qsim::Gate::MCRY(
+            controls,
+            self.data_qubit(),
+            2.0 * theta,
+        ));
         for &q in &masked {
             c.x(q);
         }

@@ -27,7 +27,10 @@ impl QuantumLock {
     ///
     /// Panics if `n < 2` or `key` does not fit into `n − 1` bits.
     pub fn new(n_qubits: usize, key: u64) -> Self {
-        assert!(n_qubits >= 2, "a lock needs an output qubit and at least one input qubit");
+        assert!(
+            n_qubits >= 2,
+            "a lock needs an output qubit and at least one input qubit"
+        );
         assert!(
             n_qubits > 64 || key < (1u64 << (n_qubits - 1)),
             "key does not fit the input register"
@@ -129,7 +132,10 @@ mod tests {
         let c = lock.circuit();
         for key in 0..8u64 {
             if key != 0b101 {
-                assert!(run_with_input(&c, key) < 1e-10, "key {key:03b} unexpectedly unlocked");
+                assert!(
+                    run_with_input(&c, key) < 1e-10,
+                    "key {key:03b} unexpectedly unlocked"
+                );
             }
         }
     }
@@ -138,8 +144,14 @@ mod tests {
     fn bug_key_also_unlocks_in_buggy_circuit() {
         let lock = QuantumLock::new(4, 0b001);
         let c = lock.circuit_with_bug(0b110);
-        assert!((run_with_input(&c, 0b001) - 1.0).abs() < 1e-10, "real key must still work");
-        assert!((run_with_input(&c, 0b110) - 1.0).abs() < 1e-10, "bug key must unlock");
+        assert!(
+            (run_with_input(&c, 0b001) - 1.0).abs() < 1e-10,
+            "real key must still work"
+        );
+        assert!(
+            (run_with_input(&c, 0b110) - 1.0).abs() < 1e-10,
+            "bug key must unlock"
+        );
         // All other keys still locked.
         for key in 0..8u64 {
             if key != 0b001 && key != 0b110 {

@@ -74,7 +74,10 @@ pub fn quantum_phase_estimation(n_count: usize, phase: f64) -> Circuit {
         let angle = 2.0 * std::f64::consts::PI * phase * power as f64;
         c.gate(morph_qsim::Gate::CPhase(q, n_count, angle));
     }
-    c.extend_from(&inverse_qft_on(&(0..n_count).collect::<Vec<_>>(), n_count + 1));
+    c.extend_from(&inverse_qft_on(
+        &(0..n_count).collect::<Vec<_>>(),
+        n_count + 1,
+    ));
     c
 }
 
@@ -115,7 +118,11 @@ pub fn order_finding_distribution(a: u64, modulus: u64, n_count: usize) -> Vec<f
             // |<k| QFT† |phase>|² = |1/dim Σ_j e^{2πi j (phase − k/dim)}|²
             let delta = phase - k as f64 / dim as f64;
             let x = std::f64::consts::PI * delta * dim as f64;
-            let num = if x.abs() < 1e-12 { dim as f64 } else { x.sin() / (x / dim as f64).sin() };
+            let num = if x.abs() < 1e-12 {
+                dim as f64
+            } else {
+                x.sin() / (x / dim as f64).sin()
+            };
             *p += (num * num) / (dim as f64 * dim as f64 * r as f64);
         }
     }
@@ -139,7 +146,9 @@ mod tests {
 
     fn run(circuit: &Circuit, input: StateVector) -> StateVector {
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
-        Executor::new().run_trajectory(circuit, &input, &mut rng).final_state
+        Executor::new()
+            .run_trajectory(circuit, &input, &mut rng)
+            .final_state
     }
 
     #[test]
@@ -157,7 +166,10 @@ mod tests {
         c.extend_from(&inverse_qft(4));
         for basis in [0usize, 3, 9, 15] {
             let out = run(&c, StateVector::basis_state(4, basis));
-            assert!((out.probabilities()[basis] - 1.0).abs() < 1e-10, "basis {basis}");
+            assert!(
+                (out.probabilities()[basis] - 1.0).abs() < 1e-10,
+                "basis {basis}"
+            );
         }
     }
 
@@ -170,10 +182,9 @@ mod tests {
         let out = run(&c, StateVector::basis_state(n, j));
         let dim = 1 << n;
         for k in 0..dim {
-            let expected = morph_linalg::C64::cis(
-                2.0 * std::f64::consts::PI * (j * k) as f64 / dim as f64,
-            )
-            .scale(1.0 / (dim as f64).sqrt());
+            let expected =
+                morph_linalg::C64::cis(2.0 * std::f64::consts::PI * (j * k) as f64 / dim as f64)
+                    .scale(1.0 / (dim as f64).sqrt());
             assert!(
                 out.amplitudes()[k].approx_eq(expected, 1e-10),
                 "k={k}: {} vs {expected}",
@@ -189,7 +200,10 @@ mod tests {
         assert!((out.norm() - 1.0).abs() < 1e-10);
         // The phase cascade should spread probability across many outcomes.
         let max_p = out.probabilities().into_iter().fold(0.0, f64::max);
-        assert!(max_p < 0.9, "distribution should not be concentrated, max={max_p}");
+        assert!(
+            max_p < 0.9,
+            "distribution should not be concentrated, max={max_p}"
+        );
     }
 
     #[test]
@@ -230,7 +244,11 @@ mod tests {
         let probs = order_finding_distribution(7, 15, 5);
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         for peak in [0usize, 8, 16, 24] {
-            assert!(probs[peak] > 0.2, "expected peak at {peak}, got {}", probs[peak]);
+            assert!(
+                probs[peak] > 0.2,
+                "expected peak at {peak}, got {}",
+                probs[peak]
+            );
         }
     }
 

@@ -187,7 +187,10 @@ mod tests {
         let bad = with_traces(layout.circuit_coherent_with_bug(0), &layout);
         let input = random_payload_state(&layout, 1);
         let ex = Executor::new();
-        let out_good = ex.run_expected(&good, &input).state(TracepointId(2)).clone();
+        let out_good = ex
+            .run_expected(&good, &input)
+            .state(TracepointId(2))
+            .clone();
         let out_bad = ex.run_expected(&bad, &input).state(TracepointId(2)).clone();
         // Diagonals (probabilities) agree…
         for i in 0..2 {

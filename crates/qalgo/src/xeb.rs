@@ -42,7 +42,11 @@ pub fn xeb_circuit(n: usize, depth: usize, rng: &mut impl Rng) -> Circuit {
 ///
 /// Panics if the arrays differ in length or no samples were taken.
 pub fn linear_xeb_fidelity(ideal_probs: &[f64], sample_counts: &[usize]) -> f64 {
-    assert_eq!(ideal_probs.len(), sample_counts.len(), "histogram length mismatch");
+    assert_eq!(
+        ideal_probs.len(),
+        sample_counts.len(),
+        "histogram length mismatch"
+    );
     let shots: usize = sample_counts.iter().sum();
     assert!(shots > 0, "no samples");
     let dim = ideal_probs.len() as f64;

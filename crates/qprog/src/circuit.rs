@@ -92,12 +92,20 @@ pub struct Circuit {
 impl Circuit {
     /// Empty circuit on `n_qubits` qubits and no classical bits.
     pub fn new(n_qubits: usize) -> Self {
-        Circuit { n_qubits, n_cbits: 0, instructions: Vec::new() }
+        Circuit {
+            n_qubits,
+            n_cbits: 0,
+            instructions: Vec::new(),
+        }
     }
 
     /// Empty circuit with an explicit classical register size.
     pub fn with_cbits(n_qubits: usize, n_cbits: usize) -> Self {
-        Circuit { n_qubits, n_cbits, instructions: Vec::new() }
+        Circuit {
+            n_qubits,
+            n_cbits,
+            instructions: Vec::new(),
+        }
     }
 
     /// Number of qubits in the register.
@@ -125,13 +133,18 @@ impl Circuit {
     /// Panics if any referenced qubit or classical bit is out of range.
     pub fn push(&mut self, instruction: Instruction) -> &mut Self {
         for q in instruction.qubits() {
-            assert!(q < self.n_qubits, "qubit {q} out of range ({} qubits)", self.n_qubits);
+            assert!(
+                q < self.n_qubits,
+                "qubit {q} out of range ({} qubits)",
+                self.n_qubits
+            );
         }
         match &instruction {
             Instruction::Measure { cbit, .. } | Instruction::Conditional { cbit, .. }
-                if *cbit >= self.n_cbits => {
-                    self.n_cbits = cbit + 1;
-                }
+                if *cbit >= self.n_cbits =>
+            {
+                self.n_cbits = cbit + 1;
+            }
             _ => {}
         }
         self.instructions.push(instruction);
@@ -225,7 +238,10 @@ impl Circuit {
 
     /// Tracepoint pragma `T <id> q[..]`.
     pub fn tracepoint(&mut self, id: u32, qubits: &[usize]) -> &mut Self {
-        self.push(Instruction::Tracepoint { id: TracepointId(id), qubits: qubits.to_vec() })
+        self.push(Instruction::Tracepoint {
+            id: TracepointId(id),
+            qubits: qubits.to_vec(),
+        })
     }
 
     /// Measurement into a classical bit.
@@ -244,7 +260,10 @@ impl Circuit {
     ///
     /// Panics if `other` uses more qubits than `self`.
     pub fn extend_from(&mut self, other: &Circuit) -> &mut Self {
-        assert!(other.n_qubits <= self.n_qubits, "circuit extension exceeds register");
+        assert!(
+            other.n_qubits <= self.n_qubits,
+            "circuit extension exceeds register"
+        );
         for inst in &other.instructions {
             self.push(inst.clone());
         }
@@ -288,12 +307,7 @@ impl Circuit {
                 }
                 other => {
                     let qubits = other.qubits();
-                    let level = qubits
-                        .iter()
-                        .map(|&q| ready[q])
-                        .max()
-                        .unwrap_or(0)
-                        + 1;
+                    let level = qubits.iter().map(|&q| ready[q]).max().unwrap_or(0) + 1;
                     for &q in &qubits {
                         ready[q] = level;
                     }
@@ -325,9 +339,9 @@ impl Circuit {
 
     /// Position (instruction index) of the given tracepoint, if present.
     pub fn tracepoint_position(&self, id: TracepointId) -> Option<usize> {
-        self.instructions.iter().position(
-            |i| matches!(i, Instruction::Tracepoint { id: tid, .. } if *tid == id),
-        )
+        self.instructions
+            .iter()
+            .position(|i| matches!(i, Instruction::Tracepoint { id: tid, .. } if *tid == id))
     }
 
     /// A copy with all tracepoints removed (what actually runs on hardware).
@@ -371,7 +385,10 @@ impl Circuit {
     /// Panics if the mapping is shorter than the circuit's register, maps
     /// outside `n_qubits`, or contains duplicates.
     pub fn remap_qubits(&self, mapping: &[usize], n_qubits: usize) -> Circuit {
-        assert!(mapping.len() >= self.n_qubits, "mapping shorter than register");
+        assert!(
+            mapping.len() >= self.n_qubits,
+            "mapping shorter than register"
+        );
         {
             let mut seen = vec![false; n_qubits];
             for &m in mapping {
@@ -388,9 +405,10 @@ impl Circuit {
                     id: *id,
                     qubits: qubits.iter().map(|&q| mapping[q]).collect(),
                 },
-                Instruction::Measure { qubit, cbit } => {
-                    Instruction::Measure { qubit: mapping[*qubit], cbit: *cbit }
-                }
+                Instruction::Measure { qubit, cbit } => Instruction::Measure {
+                    qubit: mapping[*qubit],
+                    cbit: *cbit,
+                },
                 Instruction::Reset(q) => Instruction::Reset(mapping[*q]),
                 Instruction::Conditional { cbit, value, gate } => Instruction::Conditional {
                     cbit: *cbit,
@@ -426,7 +444,9 @@ impl Circuit {
         self.instructions.iter().any(|i| {
             matches!(
                 i,
-                Instruction::Measure { .. } | Instruction::Reset(_) | Instruction::Conditional { .. }
+                Instruction::Measure { .. }
+                    | Instruction::Reset(_)
+                    | Instruction::Conditional { .. }
             )
         })
     }

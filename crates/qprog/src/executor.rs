@@ -57,15 +57,29 @@ impl ExpectedRecord {
 }
 
 /// Runs programs against the simulator substrate.
+///
+/// An `Executor` holds only plain configuration data, so a single instance
+/// can be shared by reference across the worker threads of a parallel
+/// characterization or baseline sweep.
 #[derive(Debug, Clone, Default)]
 pub struct Executor {
     noise: NoiseModel,
 }
 
+// Parallel characterization shares one executor across scoped worker
+// threads; a field change that loses these bounds must fail to compile
+// here, not at the distant call site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Executor>()
+};
+
 impl Executor {
     /// Noiseless executor.
     pub fn new() -> Self {
-        Executor { noise: NoiseModel::noiseless() }
+        Executor {
+            noise: NoiseModel::noiseless(),
+        }
     }
 
     /// Executor with a hardware noise model.
@@ -91,7 +105,11 @@ impl Executor {
         input: &StateVector,
         rng: &mut impl Rng,
     ) -> ExecutionRecord {
-        assert_eq!(input.n_qubits(), circuit.n_qubits(), "input register mismatch");
+        assert_eq!(
+            input.n_qubits(),
+            circuit.n_qubits(),
+            "input register mismatch"
+        );
         let mut state = input.clone();
         let mut classical = vec![0u8; circuit.n_cbits()];
         let mut tracepoints = BTreeMap::new();
@@ -123,7 +141,11 @@ impl Executor {
                 Instruction::Barrier => {}
             }
         }
-        ExecutionRecord { tracepoints, final_state: state, classical }
+        ExecutionRecord {
+            tracepoints,
+            final_state: state,
+            classical,
+        }
     }
 
     /// Computes the exact expected tracepoint states by enumerating every
@@ -132,7 +154,11 @@ impl Executor {
     /// With `k` mid-circuit measurements this explores up to `2^k` branches;
     /// benchmark programs keep `k` small.
     pub fn run_expected(&self, circuit: &Circuit, input: &StateVector) -> ExpectedRecord {
-        assert_eq!(input.n_qubits(), circuit.n_qubits(), "input register mismatch");
+        assert_eq!(
+            input.n_qubits(),
+            circuit.n_qubits(),
+            "input register mismatch"
+        );
         let mut acc = Accumulator::new();
         enumerate_pure(
             circuit.instructions(),
@@ -147,7 +173,11 @@ impl Executor {
     /// Exact expected tracepoint states under channel noise, using a density
     /// matrix backend. Only viable for small registers (≤ ~10 qubits).
     pub fn run_expected_noisy(&self, circuit: &Circuit, input: &DensityMatrix) -> ExpectedRecord {
-        assert_eq!(input.n_qubits(), circuit.n_qubits(), "input register mismatch");
+        assert_eq!(
+            input.n_qubits(),
+            circuit.n_qubits(),
+            "input register mismatch"
+        );
         let mut acc = Accumulator::new();
         enumerate_density(
             circuit.instructions(),
@@ -181,7 +211,10 @@ impl Executor {
                     .or_insert(scaled);
             }
         }
-        ExpectedRecord { tracepoints, branch_count: n_trajectories }
+        ExpectedRecord {
+            tracepoints,
+            branch_count: n_trajectories,
+        }
     }
 
     /// Samples `shots` final-register measurement outcomes. For programs
@@ -230,7 +263,10 @@ struct Accumulator {
 
 impl Accumulator {
     fn new() -> Self {
-        Accumulator { tracepoints: BTreeMap::new(), branch_count: 0 }
+        Accumulator {
+            tracepoints: BTreeMap::new(),
+            branch_count: 0,
+        }
     }
 
     fn record(&mut self, id: TracepointId, rho: CMatrix, weight: f64) {
@@ -242,7 +278,10 @@ impl Accumulator {
     }
 
     fn into_record(self) -> ExpectedRecord {
-        ExpectedRecord { tracepoints: self.tracepoints, branch_count: self.branch_count }
+        ExpectedRecord {
+            tracepoints: self.tracepoints,
+            branch_count: self.branch_count,
+        }
     }
 }
 
@@ -454,7 +493,10 @@ mod tests {
         let rec = Executor::new().run_expected(&c, &StateVector::zero_state(3));
         let t1 = rec.state(TracepointId(1));
         let t2 = rec.state(TracepointId(2));
-        assert!(t1.approx_eq(t2, 1e-10), "teleportation should preserve the state");
+        assert!(
+            t1.approx_eq(t2, 1e-10),
+            "teleportation should preserve the state"
+        );
         assert_eq!(rec.branch_count, 4);
     }
 
@@ -498,7 +540,9 @@ mod tests {
         let avg = ex.run_average(&c, &StateVector::zero_state(2), 10, &mut rng);
         let exp = ex.run_expected(&c, &StateVector::zero_state(2));
         // Unitary program: every trajectory is identical.
-        assert!(avg.state(TracepointId(2)).approx_eq(exp.state(TracepointId(2)), 1e-12));
+        assert!(avg
+            .state(TracepointId(2))
+            .approx_eq(exp.state(TracepointId(2)), 1e-12));
     }
 
     #[test]

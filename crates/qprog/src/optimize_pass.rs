@@ -27,7 +27,10 @@ pub struct SimplifyStats {
 /// in the presence of tracepoints (which are transparent), measurements,
 /// and feedback (which are barriers for their qubits).
 pub fn simplify(circuit: &Circuit) -> (Circuit, SimplifyStats) {
-    let mut stats = SimplifyStats { cancelled: 0, merged: 0 };
+    let mut stats = SimplifyStats {
+        cancelled: 0,
+        merged: 0,
+    };
     let mut instructions: Vec<Instruction> = circuit.instructions().to_vec();
     loop {
         let (next, changed, pass_stats) = one_pass(&instructions, circuit.n_qubits());
@@ -49,7 +52,10 @@ fn one_pass(
     instructions: &[Instruction],
     n_qubits: usize,
 ) -> (Vec<Instruction>, bool, SimplifyStats) {
-    let mut stats = SimplifyStats { cancelled: 0, merged: 0 };
+    let mut stats = SimplifyStats {
+        cancelled: 0,
+        merged: 0,
+    };
     let mut out: Vec<Instruction> = Vec::with_capacity(instructions.len());
     let mut changed = false;
     // For each qubit, the index in `out` of the last gate touching it
@@ -133,9 +139,7 @@ fn merge_rotations(a: &Gate, b: &Gate) -> Option<Gate> {
         (Gate::RX(q1, t1), Gate::RX(q2, t2)) if q1 == q2 => Some(Gate::RX(*q1, t1 + t2)),
         (Gate::RY(q1, t1), Gate::RY(q2, t2)) if q1 == q2 => Some(Gate::RY(*q1, t1 + t2)),
         (Gate::RZ(q1, t1), Gate::RZ(q2, t2)) if q1 == q2 => Some(Gate::RZ(*q1, t1 + t2)),
-        (Gate::Phase(q1, t1), Gate::Phase(q2, t2)) if q1 == q2 => {
-            Some(Gate::Phase(*q1, t1 + t2))
-        }
+        (Gate::Phase(q1, t1), Gate::Phase(q2, t2)) if q1 == q2 => Some(Gate::Phase(*q1, t1 + t2)),
         _ => None,
     }
 }
@@ -201,7 +205,11 @@ mod tests {
         let (simplified, stats) = simplify(&c);
         assert_eq!(stats.cancelled, 2);
         assert_eq!(simplified.gate_count(), 0);
-        assert_eq!(simplified.tracepoints().len(), 1, "user tracepoints survive");
+        assert_eq!(
+            simplified.tracepoints().len(),
+            1,
+            "user tracepoints survive"
+        );
     }
 
     #[test]
@@ -232,7 +240,10 @@ mod tests {
         for _ in 0..10 {
             let c = morph_qalgo_free_random(&mut rng);
             let (simplified, _) = simplify(&c);
-            assert!(equivalent(&c, &simplified), "simplification changed semantics");
+            assert!(
+                equivalent(&c, &simplified),
+                "simplification changed semantics"
+            );
         }
     }
 

@@ -66,7 +66,10 @@ impl std::error::Error for ParseProgramError {}
 /// # Ok::<(), morph_qprog::ParseProgramError>(())
 /// ```
 pub fn parse_program(source: &str) -> Result<Circuit, ParseProgramError> {
-    let mut parser = Parser { circuit: None, n_qubits: 0 };
+    let mut parser = Parser {
+        circuit: None,
+        n_qubits: 0,
+    };
     for (line_idx, raw_line) in source.lines().enumerate() {
         let line_no = line_idx + 1;
         let line = strip_comment(raw_line).trim();
@@ -81,9 +84,10 @@ pub fn parse_program(source: &str) -> Result<Circuit, ParseProgramError> {
             parser.statement(stmt, line_no)?;
         }
     }
-    parser
-        .circuit
-        .ok_or_else(|| ParseProgramError { line: 0, message: "missing qreg declaration".into() })
+    parser.circuit.ok_or_else(|| ParseProgramError {
+        line: 0,
+        message: "missing qreg declaration".into(),
+    })
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -100,7 +104,10 @@ struct Parser {
 
 impl Parser {
     fn err(&self, line: usize, message: impl Into<String>) -> ParseProgramError {
-        ParseProgramError { line, message: message.into() }
+        ParseProgramError {
+            line,
+            message: message.into(),
+        }
     }
 
     fn circuit_mut(&mut self, line: usize) -> Result<&mut Circuit, ParseProgramError> {
@@ -140,8 +147,10 @@ impl Parser {
                     .map_err(|_| self.err(line, format!("invalid tracepoint id {id_str:?}")))?;
                 let qubits = parse_qubit_list(qubit_str).map_err(|m| self.err(line, m))?;
                 self.validate_qubits(&qubits, line)?;
-                self.circuit_mut(line)?
-                    .push(Instruction::Tracepoint { id: TracepointId(id), qubits });
+                self.circuit_mut(line)?.push(Instruction::Tracepoint {
+                    id: TracepointId(id),
+                    qubits,
+                });
                 Ok(())
             }
             "barrier" => {
@@ -160,8 +169,10 @@ impl Parser {
                     return Err(self.err(line, "measure takes exactly one qubit and one cbit"));
                 }
                 self.validate_qubits(&qubits, line)?;
-                self.circuit_mut(line)?
-                    .push(Instruction::Measure { qubit: qubits[0], cbit: cbits[0] });
+                self.circuit_mut(line)?.push(Instruction::Measure {
+                    qubit: qubits[0],
+                    cbit: cbits[0],
+                });
                 Ok(())
             }
             "reset" => {
@@ -201,8 +212,11 @@ impl Parser {
                     return Err(self.err(line, "conditional body must be a single gate"));
                 }
                 let gate = gates.into_iter().next().expect("length checked");
-                self.circuit_mut(line)?
-                    .push(Instruction::Conditional { cbit: cbits[0], value, gate });
+                self.circuit_mut(line)?.push(Instruction::Conditional {
+                    cbit: cbits[0],
+                    value,
+                    gate,
+                });
                 Ok(())
             }
             _ => {
@@ -453,9 +467,8 @@ fn eval_pi_expr(s: &str) -> Option<f64> {
         None => (s, 1.0),
     };
     let coeff = match num_part.split_once('*') {
-        Some((n, p)) if p == "pi" => n.parse::<f64>().ok()?,
+        Some((n, "pi")) => n.parse::<f64>().ok()?,
         None if num_part == "pi" => 1.0,
-        _ if num_part == "pi" => 1.0,
         _ => return None,
     };
     Some(coeff * std::f64::consts::PI / denom)
@@ -502,7 +515,10 @@ T 2 q[0];        // add tracepoint T2 on qubit 0
 
     #[test]
     fn parses_angles() {
-        let c = parse_program("qreg q[1];\nrx(0.5) q[0];\nrz(pi/2) q[0];\nry(-pi) q[0];\np(2*pi/3) q[0];").unwrap();
+        let c = parse_program(
+            "qreg q[1];\nrx(0.5) q[0];\nrz(pi/2) q[0];\nry(-pi) q[0];\np(2*pi/3) q[0];",
+        )
+        .unwrap();
         let angles: Vec<f64> = c
             .instructions()
             .iter()
@@ -534,7 +550,11 @@ if (c[0]==1) x q[1];
         assert!(c.has_nonunitary());
         assert!(matches!(
             c.instructions().last(),
-            Some(Instruction::Conditional { cbit: 0, value: 1, gate: Gate::X(1) })
+            Some(Instruction::Conditional {
+                cbit: 0,
+                value: 1,
+                gate: Gate::X(1)
+            })
         ));
     }
 

@@ -17,7 +17,11 @@ pub struct UnrepresentableError {
 
 impl std::fmt::Display for UnrepresentableError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "instruction {} ({}) has no surface syntax", self.index, self.what)
+        write!(
+            f,
+            "instruction {} ({}) has no surface syntax",
+            self.index, self.what
+        )
     }
 }
 
@@ -65,7 +69,10 @@ pub fn write_program(circuit: &Circuit) -> Result<String, UnrepresentableError> 
                 out.push_str(&format!("reset q[{q}];\n"));
             }
             Instruction::Conditional { cbit, value, gate } => {
-                out.push_str(&format!("if (c[{cbit}]=={value}) {}\n", gate_text(gate, index)?));
+                out.push_str(&format!(
+                    "if (c[{cbit}]=={value}) {}\n",
+                    gate_text(gate, index)?
+                ));
             }
             Instruction::Barrier => out.push_str("barrier;\n"),
         }
@@ -105,7 +112,10 @@ fn gate_text(gate: &Gate, index: usize) -> Result<String, UnrepresentableError> 
         Gate::MCRX(cs, t, a) => format!("mcrx({a}) q[{}],q[{t}];", join(cs)),
         Gate::MCRY(cs, t, a) => format!("mcry({a}) q[{}],q[{t}];", join(cs)),
         Gate::Unitary(..) => {
-            return Err(UnrepresentableError { index, what: "dense unitary".into() })
+            return Err(UnrepresentableError {
+                index,
+                what: "dense unitary".into(),
+            })
         }
     };
     Ok(text)
@@ -146,7 +156,10 @@ mod tests {
         let reparsed = parse_program(&text).unwrap();
         match (&reparsed.instructions()[0], &c.instructions()[0]) {
             (Instruction::Gate(Gate::RX(_, a)), Instruction::Gate(Gate::RX(_, b))) => {
-                assert_eq!(a, b, "shortest-round-trip Display must preserve f64 exactly");
+                assert_eq!(
+                    a, b,
+                    "shortest-round-trip Display must preserve f64 exactly"
+                );
             }
             _ => panic!("unexpected instruction"),
         }

@@ -5,7 +5,7 @@
 //! registers stay in [`crate::StateVector`] and expose tracepoint states via
 //! reduced density matrices.
 
-use morph_linalg::{eigh, C64, CMatrix};
+use morph_linalg::{eigh, CMatrix, C64};
 use rand::Rng;
 
 use crate::gate::Gate;
@@ -47,14 +47,20 @@ impl DensityMatrix {
     /// Panics if `rho` is not square with power-of-two dimension.
     pub fn from_matrix(rho: CMatrix) -> Self {
         assert!(rho.is_square(), "density matrix must be square");
-        assert!(rho.rows().is_power_of_two(), "dimension must be a power of two");
+        assert!(
+            rho.rows().is_power_of_two(),
+            "dimension must be a power of two"
+        );
         let n_qubits = rho.rows().trailing_zeros() as usize;
         DensityMatrix { n_qubits, rho }
     }
 
     /// Projects a pure state into a density matrix.
     pub fn from_state_vector(psi: &StateVector) -> Self {
-        DensityMatrix { n_qubits: psi.n_qubits(), rho: psi.density_matrix() }
+        DensityMatrix {
+            n_qubits: psi.n_qubits(),
+            rho: psi.density_matrix(),
+        }
     }
 
     /// Number of qubits.
@@ -118,8 +124,10 @@ impl DensityMatrix {
             matrices::y().scale_re(scale),
             matrices::z().scale_re(scale),
         ];
-        let embedded: Vec<CMatrix> =
-            ops.iter().map(|k| k.embed(&[qubit], self.n_qubits)).collect();
+        let embedded: Vec<CMatrix> = ops
+            .iter()
+            .map(|k| k.embed(&[qubit], self.n_qubits))
+            .collect();
         self.apply_kraus(&embedded);
     }
 
@@ -142,7 +150,10 @@ impl DensityMatrix {
             &[C64::ZERO, C64::ZERO],
             &[C64::ZERO, C64::real(lambda.sqrt())],
         ]);
-        let ops = [k0.embed(&[qubit], self.n_qubits), k1.embed(&[qubit], self.n_qubits)];
+        let ops = [
+            k0.embed(&[qubit], self.n_qubits),
+            k1.embed(&[qubit], self.n_qubits),
+        ];
         self.apply_kraus(&ops);
     }
 
@@ -151,7 +162,10 @@ impl DensityMatrix {
         use crate::gate::matrices;
         let keep = CMatrix::identity(2).scale_re((1.0 - p).sqrt());
         let flip = matrices::x().scale_re(p.sqrt());
-        let ops = [keep.embed(&[qubit], self.n_qubits), flip.embed(&[qubit], self.n_qubits)];
+        let ops = [
+            keep.embed(&[qubit], self.n_qubits),
+            flip.embed(&[qubit], self.n_qubits),
+        ];
         self.apply_kraus(&ops);
     }
 
@@ -165,7 +179,10 @@ impl DensityMatrix {
             &[C64::ZERO, C64::real(gamma.sqrt())],
             &[C64::ZERO, C64::ZERO],
         ]);
-        let ops = [k0.embed(&[qubit], self.n_qubits), k1.embed(&[qubit], self.n_qubits)];
+        let ops = [
+            k0.embed(&[qubit], self.n_qubits),
+            k1.embed(&[qubit], self.n_qubits),
+        ];
         self.apply_kraus(&ops);
     }
 
@@ -181,7 +198,9 @@ impl DensityMatrix {
 
     /// Diagonal of `ρ` — the computational-basis probability distribution.
     pub fn probabilities(&self) -> Vec<f64> {
-        (0..self.rho.rows()).map(|i| self.rho[(i, i)].re.max(0.0)).collect()
+        (0..self.rho.rows())
+            .map(|i| self.rho[(i, i)].re.max(0.0))
+            .collect()
     }
 
     /// Samples a basis outcome from the diagonal distribution.

@@ -1,7 +1,7 @@
 //! Gate library: named unitaries with parameterized rotations and
 //! multi-controlled variants, plus matrix constructors.
 
-use morph_linalg::{C64, CMatrix};
+use morph_linalg::{CMatrix, C64};
 use serde::{Deserialize, Serialize};
 
 use crate::state::StateVector;
@@ -86,7 +86,11 @@ impl Gate {
             | Gate::RY(q, _)
             | Gate::RZ(q, _)
             | Gate::Phase(q, _) => vec![*q],
-            Gate::CX(c, t) | Gate::CZ(c, t) | Gate::CRZ(c, t, _) | Gate::CPhase(c, t, _) | Gate::Swap(c, t) => {
+            Gate::CX(c, t)
+            | Gate::CZ(c, t)
+            | Gate::CRZ(c, t, _)
+            | Gate::CPhase(c, t, _)
+            | Gate::Swap(c, t) => {
                 vec![*c, *t]
             }
             Gate::CCX(c1, c2, t) => vec![*c1, *c2, *t],
@@ -175,15 +179,9 @@ impl Gate {
             Gate::Swap(a, b) => Gate::Swap(f(*a), f(*b)),
             Gate::CCX(c1, c2, t) => Gate::CCX(f(*c1), f(*c2), f(*t)),
             Gate::MCZ(qs) => Gate::MCZ(qs.iter().map(|&q| f(q)).collect()),
-            Gate::MCRX(cs, t, a) => {
-                Gate::MCRX(cs.iter().map(|&q| f(q)).collect(), f(*t), *a)
-            }
-            Gate::MCRY(cs, t, a) => {
-                Gate::MCRY(cs.iter().map(|&q| f(q)).collect(), f(*t), *a)
-            }
-            Gate::Unitary(qs, u) => {
-                Gate::Unitary(qs.iter().map(|&q| f(q)).collect(), u.clone())
-            }
+            Gate::MCRX(cs, t, a) => Gate::MCRX(cs.iter().map(|&q| f(q)).collect(), f(*t), *a),
+            Gate::MCRY(cs, t, a) => Gate::MCRY(cs.iter().map(|&q| f(q)).collect(), f(*t), *a),
+            Gate::Unitary(qs, u) => Gate::Unitary(qs.iter().map(|&q| f(q)).collect(), u.clone()),
         }
     }
 
@@ -302,10 +300,7 @@ pub mod matrices {
     pub fn ry(theta: f64) -> CMatrix {
         let c = C64::real((theta / 2.0).cos());
         let s = (theta / 2.0).sin();
-        CMatrix::from_rows(&[
-            &[c, C64::real(-s)],
-            &[C64::real(s), c],
-        ])
+        CMatrix::from_rows(&[&[c, C64::real(-s)], &[C64::real(s), c]])
     }
 
     /// `RZ(θ) = exp(−iθZ/2)`.
@@ -441,9 +436,9 @@ mod tests {
             let mut fast = sv.clone();
             g.apply(&mut fast);
             let expected = g.full_matrix(3).matvec(sv.amplitudes());
-            for i in 0..8 {
+            for (i, &e) in expected.iter().enumerate() {
                 assert!(
-                    fast.amplitudes()[i].approx_eq(expected[i], 1e-12),
+                    fast.amplitudes()[i].approx_eq(e, 1e-12),
                     "{g:?} mismatch at {i}"
                 );
             }

@@ -39,6 +39,6 @@ mod state;
 
 pub use density::DensityMatrix;
 pub use gate::{matrices, Gate};
-pub use pauli::{ParsePauliError, PauliString};
 pub use noise::NoiseModel;
+pub use pauli::{ParsePauliError, PauliString};
 pub use state::StateVector;

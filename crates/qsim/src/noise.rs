@@ -46,7 +46,14 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// A noiseless model (all error rates zero); timings match IBMQ.
     pub fn noiseless() -> Self {
-        NoiseModel { p1: 0.0, p2: 0.0, readout: 0.0, t1q_ns: 60.0, t2q_ns: 340.0, tread_ns: 732.0 }
+        NoiseModel {
+            p1: 0.0,
+            p2: 0.0,
+            readout: 0.0,
+            t1q_ns: 60.0,
+            t2q_ns: 340.0,
+            tread_ns: 732.0,
+        }
     }
 
     /// The IBM Cairo parameters quoted in the paper: 99.45 % single-qubit
@@ -113,7 +120,11 @@ impl NoiseModel {
         if self.is_noiseless() {
             return;
         }
-        let p = if gate.qubits().len() <= 1 { self.p1 } else { self.p2 };
+        let p = if gate.qubits().len() <= 1 {
+            self.p1
+        } else {
+            self.p2
+        };
         if p == 0.0 {
             return;
         }
@@ -187,7 +198,10 @@ mod tests {
 
     #[test]
     fn trajectory_noise_changes_some_runs() {
-        let m = NoiseModel { p1: 0.5, ..NoiseModel::ibm_cairo() };
+        let m = NoiseModel {
+            p1: 0.5,
+            ..NoiseModel::ibm_cairo()
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let mut changed = 0;
         for _ in 0..100 {
@@ -198,14 +212,22 @@ mod tests {
             }
         }
         // X or Y errors flip the qubit about a third of (p=0.5) events.
-        assert!(changed > 5, "expected some trajectory errors, saw {changed}");
+        assert!(
+            changed > 5,
+            "expected some trajectory errors, saw {changed}"
+        );
     }
 
     #[test]
     fn readout_error_rate_statistics() {
-        let m = NoiseModel { readout: 0.25, ..NoiseModel::noiseless() };
+        let m = NoiseModel {
+            readout: 0.25,
+            ..NoiseModel::noiseless()
+        };
         let mut rng = StdRng::seed_from_u64(9);
-        let flips = (0..10_000).filter(|_| m.apply_readout(0, &mut rng) == 1).count();
+        let flips = (0..10_000)
+            .filter(|_| m.apply_readout(0, &mut rng) == 1)
+            .count();
         assert!((flips as f64 / 10_000.0 - 0.25).abs() < 0.02);
     }
 

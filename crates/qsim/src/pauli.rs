@@ -39,7 +39,11 @@ pub struct ParsePauliError {
 
 impl std::fmt::Display for ParsePauliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid Pauli character {:?} (expected I, X, Y, or Z)", self.ch)
+        write!(
+            f,
+            "invalid Pauli character {:?} (expected I, X, Y, or Z)",
+            self.ch
+        )
     }
 }
 
@@ -207,7 +211,11 @@ mod tests {
             let fast = p.apply(&psi);
             let dense = matrices::pauli_string(s).matvec(psi.amplitudes());
             for (i, &a) in fast.amplitudes().iter().enumerate() {
-                assert!(a.approx_eq(dense[i], 1e-10), "{s} mismatch at {i}: {a} vs {}", dense[i]);
+                assert!(
+                    a.approx_eq(dense[i], 1e-10),
+                    "{s} mismatch at {i}: {a} vs {}",
+                    dense[i]
+                );
             }
         }
     }

@@ -4,7 +4,7 @@
 //! bit** of the computational-basis index, matching circuit-diagram order
 //! (`|q0 q1 … q_{n-1}⟩`).
 
-use morph_linalg::{C64, CMatrix};
+use morph_linalg::{CMatrix, C64};
 use rand::Rng;
 
 /// A normalized `n`-qubit pure state of `2^n` complex amplitudes.
@@ -55,7 +55,10 @@ impl StateVector {
     /// Panics if the length is not a power of two or the vector is null.
     pub fn from_amplitudes(amps: Vec<C64>) -> Self {
         let len = amps.len();
-        assert!(len.is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            len.is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         let n_qubits = len.trailing_zeros() as usize;
         let mut sv = StateVector { n_qubits, amps };
         let norm = sv.norm();
@@ -105,7 +108,10 @@ impl StateVector {
     ///
     /// Panics if qubit counts differ.
     pub fn inner(&self, other: &StateVector) -> C64 {
-        assert_eq!(self.n_qubits, other.n_qubits, "inner product dimension mismatch");
+        assert_eq!(
+            self.n_qubits, other.n_qubits,
+            "inner product dimension mismatch"
+        );
         self.amps
             .iter()
             .zip(&other.amps)
@@ -171,7 +177,12 @@ impl StateVector {
                 let i01 = i | mb;
                 let i10 = i | ma;
                 let i11 = i | ma | mb;
-                let a = [self.amps[i00], self.amps[i01], self.amps[i10], self.amps[i11]];
+                let a = [
+                    self.amps[i00],
+                    self.amps[i01],
+                    self.amps[i10],
+                    self.amps[i11],
+                ];
                 for (r, &idx) in [i00, i01, i10, i11].iter().enumerate() {
                     let mut acc = C64::ZERO;
                     for (c, &ac) in a.iter().enumerate() {
@@ -192,7 +203,11 @@ impl StateVector {
     /// targets.
     pub fn apply_kq(&mut self, u: &CMatrix, targets: &[usize]) {
         let k = targets.len();
-        assert_eq!(u.rows(), 1 << k, "operator size does not match target count");
+        assert_eq!(
+            u.rows(),
+            1 << k,
+            "operator size does not match target count"
+        );
         match k {
             1 => return self.apply_1q(u, targets[0]),
             2 => return self.apply_2q(u, targets[0], targets[1]),
@@ -213,14 +228,14 @@ impl StateVector {
                 continue;
             }
             // Gather.
-            for t in 0..dk {
+            for (t, slot) in scratch.iter_mut().enumerate() {
                 let mut idx = base;
                 for (bit, &s) in shifts.iter().enumerate() {
                     if (t >> (k - 1 - bit)) & 1 == 1 {
                         idx |= 1 << s;
                     }
                 }
-                scratch[t] = self.amps[idx];
+                *slot = self.amps[idx];
             }
             // Transform + scatter.
             for r in 0..dk {
@@ -434,7 +449,11 @@ impl StateVector {
             let mut sorted = shifts.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            assert_eq!(sorted.len(), k, "duplicate qubits in reduced_density_matrix");
+            assert_eq!(
+                sorted.len(),
+                k,
+                "duplicate qubits in reduced_density_matrix"
+            );
         }
         let dk = 1usize << k;
         let keep_mask: usize = shifts.iter().map(|&s| 1usize << s).sum();
@@ -491,7 +510,10 @@ impl StateVector {
                 amps.push(a * b);
             }
         }
-        StateVector { n_qubits: self.n_qubits + other.n_qubits, amps }
+        StateVector {
+            n_qubits: self.n_qubits + other.n_qubits,
+            amps,
+        }
     }
 
     /// Global-phase-insensitive approximate equality.
@@ -614,8 +636,8 @@ mod tests {
         via_kq.apply_kq(&gate, &[2, 0]);
         let embedded = gate.embed(&[2, 0], 3);
         let expected = embedded.matvec(sv.amplitudes());
-        for i in 0..8 {
-            assert!(via_kq.amplitudes()[i].approx_eq(expected[i], 1e-12), "i={i}");
+        for (i, &e) in expected.iter().enumerate() {
+            assert!(via_kq.amplitudes()[i].approx_eq(e, 1e-12), "i={i}");
         }
     }
 

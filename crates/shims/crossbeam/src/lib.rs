@@ -1,0 +1,26 @@
+//! Offline drop-in subset of [`crossbeam`](https://docs.rs/crossbeam).
+//!
+//! Since Rust 1.63 the standard library ships scoped threads, so this shim
+//! simply re-exposes `std::thread::scope` under crossbeam's module layout.
+//! The workspace's deterministic fan-out lives in `morph-parallel`, which
+//! builds on these scoped threads.
+
+pub mod thread {
+    //! Scoped threads (`crossbeam::thread`), backed by `std::thread`.
+
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_before_returning() {
+        let mut values = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (i, slot) in values.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u64 + 1);
+            }
+        });
+        assert_eq!(values, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Collection strategies (`proptest::collection`).
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Generates `Vec`s whose length is uniform in `len` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_lengths_stay_in_range() {
+        let strategy = vec(0..100u32, 1..5);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let v = strategy.new_value(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+}

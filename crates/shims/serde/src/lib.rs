@@ -1,0 +1,15 @@
+//! Offline drop-in subset of the [`serde`](https://docs.rs/serde) API.
+//!
+//! The build environment has no crates.io access, so this shim supplies just
+//! what the workspace touches: the `Serialize` / `Deserialize` trait names and
+//! same-named derive macros. The derives expand to nothing — serialization is
+//! not exercised in the offline build — but keeping the attributes in the
+//! source preserves a zero-diff path back to real `serde`.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_shim_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline [`serde`] shim.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a marker —
+//! nothing serializes at runtime in the offline build — so the derives expand
+//! to nothing. The type still compiles and the attribute remains in place for
+//! a future switch back to real `serde`.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepted on any item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepted on any item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

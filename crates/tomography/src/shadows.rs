@@ -77,12 +77,16 @@ impl ClassicalShadow {
                     break;
                 }
             }
-            let bits: Vec<u8> =
-                (0..n_qubits).map(|q| ((outcome >> (n_qubits - 1 - q)) & 1) as u8).collect();
+            let bits: Vec<u8> = (0..n_qubits)
+                .map(|q| ((outcome >> (n_qubits - 1 - q)) & 1) as u8)
+                .collect();
             ledger.record_execution(1, ops_per_shot);
             snapshots.push(Snapshot { bases, bits });
         }
-        ClassicalShadow { n_qubits, snapshots }
+        ClassicalShadow {
+            n_qubits,
+            snapshots,
+        }
     }
 
     /// Number of stored snapshots.
@@ -117,8 +121,7 @@ impl ClassicalShadow {
 
         let single = |snap: &Snapshot| -> f64 {
             let mut value = 1.0;
-            for q in 0..self.n_qubits {
-                let want = letters[q];
+            for (q, &want) in letters.iter().enumerate() {
                 if want == 255 {
                     continue;
                 }
@@ -197,7 +200,9 @@ mod tests {
 
     #[test]
     fn budget_formula_scales_with_weight() {
-        assert!(ClassicalShadow::snapshots_needed(2, 0.1) > ClassicalShadow::snapshots_needed(1, 0.1));
+        assert!(
+            ClassicalShadow::snapshots_needed(2, 0.1) > ClassicalShadow::snapshots_needed(1, 0.1)
+        );
         assert_eq!(ClassicalShadow::snapshots_needed(1, 1.0), 3);
     }
 

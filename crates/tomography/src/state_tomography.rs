@@ -8,7 +8,7 @@
 //! the density-matrix set — exactly the pipeline MorphQPV's characterization
 //! pays for on hardware.
 
-use morph_linalg::{project_to_density, C64, CMatrix};
+use morph_linalg::{project_to_density, CMatrix, C64};
 use morph_qsim::matrices;
 use rand::Rng;
 
@@ -125,7 +125,10 @@ pub fn read_state(
             project_to_density(&estimate)
         }
         ReadoutMode::Shadow(n_snapshots) => {
-            assert!(n_snapshots > 0, "shadow readout requires at least one snapshot");
+            assert!(
+                n_snapshots > 0,
+                "shadow readout requires at least one snapshot"
+            );
             let shadow = crate::shadows::ClassicalShadow::collect(
                 rho,
                 n_snapshots,
@@ -161,8 +164,10 @@ pub fn read_state(
                 counts[chosen] += 1;
             }
             ledger.record_execution(shots as u64, ops_per_shot);
-            let diag: Vec<C64> =
-                counts.iter().map(|&c| C64::real(c as f64 / shots as f64)).collect();
+            let diag: Vec<C64> = counts
+                .iter()
+                .map(|&c| C64::real(c as f64 / shots as f64))
+                .collect();
             CMatrix::from_diag(&diag)
         }
     }
@@ -196,8 +201,8 @@ pub fn process_tomography(
         })
         .collect();
     // |j><j| probes.
-    for j in 0..d {
-        let rho_in = CMatrix::outer(&basis_kets[j], &basis_kets[j]);
+    for ket in &basis_kets {
+        let rho_in = CMatrix::outer(ket, ket);
         let out = read_state(&channel(&rho_in), mode, ops_per_shot, ledger, rng);
         pairs.push((rho_in, out));
     }
@@ -256,13 +261,28 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let rho = plus_state();
         let mut coarse_ledger = CostLedger::new();
-        let coarse = read_state(&rho, ReadoutMode::Shots(100), 1, &mut coarse_ledger, &mut rng);
+        let coarse = read_state(
+            &rho,
+            ReadoutMode::Shots(100),
+            1,
+            &mut coarse_ledger,
+            &mut rng,
+        );
         let mut fine_ledger = CostLedger::new();
-        let fine = read_state(&rho, ReadoutMode::Shots(50_000), 1, &mut fine_ledger, &mut rng);
+        let fine = read_state(
+            &rho,
+            ReadoutMode::Shots(50_000),
+            1,
+            &mut fine_ledger,
+            &mut rng,
+        );
         let coarse_err = (&coarse - &rho).frobenius_norm();
         let fine_err = (&fine - &rho).frobenius_norm();
         assert!(fine_err < coarse_err, "more shots should reduce error");
-        assert!(fine_err < 0.02, "50k shots should be accurate, err={fine_err}");
+        assert!(
+            fine_err < 0.02,
+            "50k shots should be accurate, err={fine_err}"
+        );
         // 3 Pauli settings for one qubit.
         assert_eq!(fine_ledger.executions, 3);
         assert_eq!(fine_ledger.shots, 150_000);
@@ -272,7 +292,13 @@ mod tests {
     fn shot_tomography_output_is_valid_density() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut ledger = CostLedger::new();
-        let est = read_state(&plus_state(), ReadoutMode::Shots(200), 1, &mut ledger, &mut rng);
+        let est = read_state(
+            &plus_state(),
+            ReadoutMode::Shots(200),
+            1,
+            &mut ledger,
+            &mut rng,
+        );
         assert!(morph_linalg::is_density_matrix(&est, 1e-9));
     }
 
@@ -296,7 +322,13 @@ mod tests {
     fn shadow_readout_reconstructs_with_flat_execution_count() {
         let mut rng = StdRng::seed_from_u64(21);
         let mut ledger = CostLedger::new();
-        let est = read_state(&plus_state(), ReadoutMode::Shadow(4000), 1, &mut ledger, &mut rng);
+        let est = read_state(
+            &plus_state(),
+            ReadoutMode::Shadow(4000),
+            1,
+            &mut ledger,
+            &mut rng,
+        );
         assert!(morph_linalg::is_density_matrix(&est, 1e-9));
         assert!(
             morph_linalg::fidelity(&est, &plus_state()) > 0.9,
@@ -353,9 +385,26 @@ mod tests {
     fn process_tomography_cost_scales() {
         let mut rng = StdRng::seed_from_u64(17);
         let mut l1 = CostLedger::new();
-        process_tomography(1, |r| r.clone(), ReadoutMode::Shots(10), 1, &mut l1, &mut rng);
+        process_tomography(
+            1,
+            |r| r.clone(),
+            ReadoutMode::Shots(10),
+            1,
+            &mut l1,
+            &mut rng,
+        );
         let mut l2 = CostLedger::new();
-        process_tomography(2, |r| r.clone(), ReadoutMode::Shots(10), 1, &mut l2, &mut rng);
-        assert!(l2.executions > 4 * l1.executions, "process tomography cost must blow up");
+        process_tomography(
+            2,
+            |r| r.clone(),
+            ReadoutMode::Shots(10),
+            1,
+            &mut l2,
+            &mut rng,
+        );
+        assert!(
+            l2.executions > 4 * l1.executions,
+            "process tomography cost must blow up"
+        );
     }
 }

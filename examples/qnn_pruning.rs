@@ -13,9 +13,7 @@
 //! Run with: `cargo run --release --example qnn_pruning`
 
 use morphqpv_suite::bench::{compare_programs, CompareConfig};
-use morphqpv_suite::core::{
-    AssumeGuarantee, StatePredicate, ValidationConfig, Verdict, Verifier,
-};
+use morphqpv_suite::core::{AssumeGuarantee, StatePredicate, ValidationConfig, Verdict, Verifier};
 use morphqpv_suite::qalgo::{iris_like_dataset, train_qnn};
 use morphqpv_suite::qprog::{Circuit, TracepointId};
 use rand::rngs::StdRng;
@@ -30,7 +28,10 @@ fn main() {
         .filter(|s| model.predict(&s.attributes) == s.is_setosa)
         .count() as f64
         / data.len() as f64;
-    println!("trained QNN accuracy on the workload: {:.0}%", 100.0 * accuracy);
+    println!(
+        "trained QNN accuracy on the workload: {:.0}%",
+        100.0 * accuracy
+    );
 
     // --- Part 1: verify pruning.
     // Find the smallest-angle rotation (the natural pruning victim) and a
@@ -63,7 +64,11 @@ fn main() {
             compare_programs(&model.body(), &pruned.body(), &config, &mut rng);
         println!(
             "{label}: {} (max deviation {:.3}, {})",
-            if bug { "REJECTED — prediction may change" } else { "accepted" },
+            if bug {
+                "REJECTED — prediction may change"
+            } else {
+                "accepted"
+            },
             objective,
             ledger
         );
@@ -85,19 +90,27 @@ fn main() {
         )
         .guarantee_state(
             TracepointId(4),
-            StatePredicate::ExpectationAbove { observable: z, threshold: 0.0 },
+            StatePredicate::ExpectationAbove {
+                observable: z,
+                threshold: 0.0,
+            },
         );
     let report = Verifier::new(program)
         .input_qubits(&[0, 1, 2, 3])
         .samples(24)
         // ε matched to the exact-readout detection sensitivity; see the
         // Theorem 3 discussion in EXPERIMENTS.md.
-        .validation(ValidationConfig { accuracy_threshold: 0.05, ..Default::default() })
+        .validation(ValidationConfig {
+            accuracy_threshold: 0.05,
+            ..Default::default()
+        })
         .assert_that(assertion)
         .run(&mut rng);
     match &report.outcomes[0].verdict {
         Verdict::Passed { confidence, .. } => {
-            println!("prior knowledge holds on the characterized space (confidence {confidence:.2})");
+            println!(
+                "prior knowledge holds on the characterized space (confidence {confidence:.2})"
+            );
         }
         Verdict::Failed { counterexample, .. } => {
             println!("prior knowledge REFUTED — counter-example flower state found:");

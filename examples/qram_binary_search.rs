@@ -13,9 +13,7 @@ use morphqpv_suite::qalgo::Qram;
 fn main() {
     // A 5-address-qubit QRAM: 32 stored angles.
     let n_addr = 5usize;
-    let values: Vec<f64> = (0..(1 << n_addr))
-        .map(|i| 0.15 + 0.19 * i as f64)
-        .collect();
+    let values: Vec<f64> = (0..(1 << n_addr)).map(|i| 0.15 + 0.19 * i as f64).collect();
     let qram = Qram::new(n_addr, values);
 
     // Corrupt one entry.

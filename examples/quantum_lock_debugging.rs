@@ -21,14 +21,21 @@ fn main() {
     let lock = QuantumLock::new(n, key);
     let buggy = lock.circuit_with_bug(hidden);
 
-    println!("quantum lock: {n} qubits, key {key:0w$b}, hidden bug key {hidden:0w$b}", w = n - 1);
+    println!(
+        "quantum lock: {n} qubits, key {key:0w$b}, hidden bug key {hidden:0w$b}",
+        w = n - 1
+    );
 
     // MorphQPV: Strategy-const bisection over key subcubes (the Fig 7
     // pipeline, 1000 shots per execution).
     let result = morphqpv_suite::bench::quantum_lock_bisection(&buggy, key, 1000);
     println!(
         "\nMorphQPV bisection: found bad keys {:?} in {} executions",
-        result.bad_keys.iter().map(|k| format!("{k:0w$b}", w = n - 1)).collect::<Vec<_>>(),
+        result
+            .bad_keys
+            .iter()
+            .map(|k| format!("{k:0w$b}", w = n - 1))
+            .collect::<Vec<_>>(),
         result.executions
     );
     assert_eq!(result.bad_keys, vec![hidden]);

@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use morphqpv_suite::core::{
-    AssumeGuarantee, RelationPredicate, StatePredicate, Verdict, Verifier,
-};
+use morphqpv_suite::core::{AssumeGuarantee, RelationPredicate, StatePredicate, Verdict, Verifier};
 use morphqpv_suite::qalgo::Teleportation;
 use morphqpv_suite::qprog::{Circuit, TracepointId};
 use rand::rngs::StdRng;
@@ -39,11 +37,18 @@ fn main() {
         .run(&mut rng);
 
     match &report.outcomes[0].verdict {
-        Verdict::Passed { max_objective, confidence } => {
+        Verdict::Passed {
+            max_objective,
+            confidence,
+        } => {
             println!("teleportation verified: max violation {max_objective:.2e}");
             println!("confidence (Theorem 3): {confidence:.3}");
         }
-        Verdict::Failed { counterexample, max_objective, .. } => {
+        Verdict::Failed {
+            counterexample,
+            max_objective,
+            ..
+        } => {
             println!("teleportation BROKEN: objective {max_objective:.3}");
             println!("counter-example input:\n{counterexample}");
         }
@@ -66,7 +71,11 @@ fn main() {
         .assert_that(assertion)
         .run(&mut rng);
     match &report.outcomes[0].verdict {
-        Verdict::Failed { max_objective, counterexample, .. } => {
+        Verdict::Failed {
+            max_objective,
+            counterexample,
+            ..
+        } => {
             println!("\nbuggy variant correctly rejected (objective {max_objective:.3})");
             println!("counter-example input:\n{counterexample}");
         }

@@ -68,5 +68,8 @@ fn main() {
     let buggy_ok = verify(BUGGY);
     println!("verdict: {}", if buggy_ok { "correct" } else { "buggy" });
 
-    assert!(clean_ok && !buggy_ok, "expected clean to pass and buggy to fail");
+    assert!(
+        clean_ok && !buggy_ok,
+        "expected clean to pass and buggy to fail"
+    );
 }

@@ -51,9 +51,16 @@ fn broken_teleportation_yields_counterexample() {
         .run(&mut StdRng::seed_from_u64(2));
     let failure = report.first_failure().expect("bug must be detected");
     match &failure.verdict {
-        Verdict::Failed { counterexample, max_objective, .. } => {
+        Verdict::Failed {
+            counterexample,
+            max_objective,
+            ..
+        } => {
             assert!(*max_objective > 0.3);
-            assert!(morphqpv_suite::linalg::is_density_matrix(counterexample, 1e-6));
+            assert!(morphqpv_suite::linalg::is_density_matrix(
+                counterexample,
+                1e-6
+            ));
         }
         other => panic!("unexpected verdict {other:?}"),
     }
@@ -78,7 +85,11 @@ fn measured_teleportation_with_feedback_verifies() {
             RelationPredicate::Equal,
         ))
         .run(&mut StdRng::seed_from_u64(3));
-    assert!(report.all_passed(), "{:?}", report.first_failure().map(|o| &o.verdict));
+    assert!(
+        report.all_passed(),
+        "{:?}",
+        report.first_failure().map(|o| &o.verdict)
+    );
 }
 
 #[test]
@@ -93,8 +104,14 @@ fn quantum_lock_bug_key_found_by_assertion() {
     program.tracepoint(2, &[lock.output_qubit()]);
 
     let zero_out = morphqpv_suite::linalg::CMatrix::outer(
-        &[morphqpv_suite::linalg::C64::ONE, morphqpv_suite::linalg::C64::ZERO],
-        &[morphqpv_suite::linalg::C64::ONE, morphqpv_suite::linalg::C64::ZERO],
+        &[
+            morphqpv_suite::linalg::C64::ONE,
+            morphqpv_suite::linalg::C64::ZERO,
+        ],
+        &[
+            morphqpv_suite::linalg::C64::ONE,
+            morphqpv_suite::linalg::C64::ZERO,
+        ],
     );
     let key_state = morphqpv_suite::qsim::StateVector::basis_state(3, 0b001).density_matrix();
     let report = Verifier::new(program)
@@ -113,12 +130,17 @@ fn quantum_lock_bug_key_found_by_assertion() {
                 .guarantee_state(TracepointId(2), StatePredicate::equals(zero_out)),
         )
         .run(&mut StdRng::seed_from_u64(4));
-    let failure = report.first_failure().expect("unexpected key must be found");
+    let failure = report
+        .first_failure()
+        .expect("unexpected key must be found");
     if let Verdict::Failed { counterexample, .. } = &failure.verdict {
         // The violating input must overlap the bug key |110>.
         let bug = morphqpv_suite::qsim::StateVector::basis_state(3, 0b110).density_matrix();
         let overlap = counterexample.hs_inner_re(&bug);
-        assert!(overlap > 0.05, "counter-example should involve the bug key, overlap {overlap}");
+        assert!(
+            overlap > 0.05,
+            "counter-example should involve the bug key, overlap {overlap}"
+        );
     }
 }
 
@@ -162,14 +184,24 @@ fn bernstein_vazirani_verifies_against_its_spec() {
         .assert_that(
             AssumeGuarantee::new()
                 // BV's contract presumes the ancilla starts in |0⟩.
-                .assume(morphqpv_suite::core::StateRef::Input, StatePredicate::equals(zero))
+                .assume(
+                    morphqpv_suite::core::StateRef::Input,
+                    StatePredicate::equals(zero),
+                )
                 .guarantee_state(
                     TracepointId(1),
-                    StatePredicate::ProbabilityAtLeast { basis: secret as usize, p: 0.99 },
+                    StatePredicate::ProbabilityAtLeast {
+                        basis: secret as usize,
+                        p: 0.99,
+                    },
                 ),
         )
         .run(&mut StdRng::seed_from_u64(8));
-    assert!(report.all_passed(), "{:?}", report.first_failure().map(|o| &o.verdict));
+    assert!(
+        report.all_passed(),
+        "{:?}",
+        report.first_failure().map(|o| &o.verdict)
+    );
 }
 
 #[test]
@@ -185,10 +217,16 @@ fn grover_output_verified_and_wrong_mark_detected() {
     let assertion = || {
         let zero = morphqpv_suite::qsim::StateVector::basis_state(1, 0).density_matrix();
         AssumeGuarantee::new()
-            .assume(morphqpv_suite::core::StateRef::Input, StatePredicate::equals(zero))
+            .assume(
+                morphqpv_suite::core::StateRef::Input,
+                StatePredicate::equals(zero),
+            )
             .guarantee_state(
                 TracepointId(1),
-                StatePredicate::ProbabilityAtLeast { basis: marked as usize, p: 0.7 },
+                StatePredicate::ProbabilityAtLeast {
+                    basis: marked as usize,
+                    p: 0.7,
+                },
             )
     };
     let good = Verifier::new(build(marked))
@@ -197,7 +235,11 @@ fn grover_output_verified_and_wrong_mark_detected() {
         .ensemble(morphqpv_suite::clifford::InputEnsemble::PauliProduct)
         .assert_that(assertion())
         .run(&mut StdRng::seed_from_u64(9));
-    assert!(good.all_passed(), "{:?}", good.first_failure().map(|o| &o.verdict));
+    assert!(
+        good.all_passed(),
+        "{:?}",
+        good.first_failure().map(|o| &o.verdict)
+    );
     // A Grover oracle marking the wrong state violates the same spec.
     let bad = Verifier::new(build(0b001))
         .input_qubits(&[0])
@@ -240,7 +282,10 @@ fn shot_limited_characterization_still_verifies() {
         .input_qubits(&[0])
         .samples(4)
         .readout(morphqpv_suite::tomography::ReadoutMode::Shots(3000))
-        .validation(ValidationConfig { decision_threshold: 0.25, ..Default::default() })
+        .validation(ValidationConfig {
+            decision_threshold: 0.25,
+            ..Default::default()
+        })
         .assert_that(
             // Exact invariant of the GHZ chain: ⟨XX⟩ of the output equals
             // ⟨Z⟩ of the input, for every input — robust to shot noise up
@@ -257,6 +302,13 @@ fn shot_limited_characterization_still_verifies() {
             ),
         )
         .run(&mut StdRng::seed_from_u64(7));
-    assert!(report.all_passed(), "{:?}", report.first_failure().map(|o| &o.verdict));
-    assert!(report.ledger().shots > 10_000, "tomography must consume shots");
+    assert!(
+        report.all_passed(),
+        "{:?}",
+        report.first_failure().map(|o| &o.verdict)
+    );
+    assert!(
+        report.ledger().shots > 10_000,
+        "tomography must consume shots"
+    );
 }

@@ -3,7 +3,7 @@
 //! and parser round-trips.
 
 use morphqpv_suite::core::ApproximationFunction;
-use morphqpv_suite::linalg::{C64, CMatrix};
+use morphqpv_suite::linalg::{CMatrix, C64};
 use morphqpv_suite::qprog::{Circuit, Executor, TracepointId};
 use morphqpv_suite::qsim::{Gate, StateVector};
 use proptest::prelude::*;
