@@ -8,14 +8,18 @@ use morph_bench::rows::{fmt_f, print_table, save_csv};
 use morph_clifford::InputEnsemble;
 use morph_qprog::{Circuit, TracepointId};
 use morphqpv::{
-    characterize, validate_assertion, AssumeGuarantee, CharacterizationConfig, RelationPredicate,
-    SolverKind, ValidationConfig,
+    characterize_cached, validate_assertion, AssumeGuarantee, CharacterizationConfig,
+    RelationPredicate, SolverKind, ValidationConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let n = 4usize;
+    // The solver comparison re-times validation only; the characterization
+    // at each sweep point is cacheable (set MORPH_CACHE_DIR to skip it
+    // entirely on reruns of this figure).
+    let mut cache = morph_bench::cache_from_env();
     let mut circuit = Circuit::new(n);
     circuit.tracepoint(1, &(0..n).collect::<Vec<_>>());
     circuit.extend_from(&morph_qalgo::shor_circuit(n));
@@ -38,7 +42,7 @@ fn main() {
             n_samples,
             ..CharacterizationConfig::exact((0..n).collect(), n_samples)
         };
-        let ch = characterize(&circuit, &config, &mut rng);
+        let ch = characterize_cached(&circuit, &config, &mut rng, &mut cache);
         for solver in [
             SolverKind::GradientAscent,
             SolverKind::Genetic,
@@ -74,6 +78,7 @@ fn main() {
         &rows,
     );
     save_csv("fig15b", &csv);
+    println!("\ncharacterization cache: {}", cache.stats());
     println!("\nExpected shape: cost grows polynomially with N_sample; QP is fastest");
     println!("at small dimension (the paper's Gurobi observation), population methods");
     println!("pay a larger constant.");

@@ -3,14 +3,26 @@
 //!
 //! ```text
 //! usage: verify <program.qasm> [--inputs 0,1,...] [--samples N] [--seed S]
+//!               [--cache-dir DIR] [--no-cache]
 //! ```
 //!
-//! Exit code 0 when every assertion passes, 1 when any fails, 2 on usage
-//! or parse errors.
+//! Exit codes follow the grep convention for checkers:
+//!
+//! - `0` — every assertion confirmed,
+//! - `2` — at least one assertion refuted (a counter-example was found),
+//! - `1` — usage, parse, or runtime error.
+//!
+//! Characterization caching: `--cache-dir DIR` (or the `MORPH_CACHE_DIR`
+//! environment variable) persists characterization artifacts in a
+//! morph-store directory, so re-verifying the same program/configuration/
+//! seed charges zero new simulator cost. `--no-cache` disables the cache
+//! even when the environment variable is set.
 
-use morphqpv::{verify_source, Verdict};
+use morphqpv::{CharacterizationCache, Verdict};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+const USAGE: &str = "usage: verify <program.qasm> [--inputs 0,1,...] [--samples N] [--seed S] [--cache-dir DIR] [--no-cache]";
 
 fn main() {
     std::process::exit(run());
@@ -22,6 +34,8 @@ fn run() -> i32 {
     let mut inputs: Vec<usize> = Vec::new();
     let mut samples: Option<usize> = None;
     let mut seed = 0u64;
+    let mut cache_dir: Option<String> = std::env::var("MORPH_CACHE_DIR").ok();
+    let mut no_cache = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -29,13 +43,13 @@ fn run() -> i32 {
             "--inputs" => {
                 let Some(v) = it.next() else {
                     eprintln!("--inputs requires a comma-separated list");
-                    return 2;
+                    return 1;
                 };
                 inputs = match v.split(',').map(|s| s.trim().parse()).collect() {
                     Ok(list) => list,
                     Err(_) => {
                         eprintln!("invalid qubit list {v:?}");
-                        return 2;
+                        return 1;
                     }
                 };
             }
@@ -43,7 +57,7 @@ fn run() -> i32 {
                 samples = it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
                 if samples.is_none() {
                     eprintln!("--samples requires a positive integer");
-                    return 2;
+                    return 1;
                 }
             }
             "--seed" => {
@@ -51,31 +65,41 @@ fn run() -> i32 {
                     Some(s) => s,
                     None => {
                         eprintln!("--seed requires an integer");
-                        return 2;
+                        return 1;
                     }
                 };
+            }
+            "--cache-dir" => {
+                cache_dir = match it.next() {
+                    Some(dir) => Some(dir),
+                    None => {
+                        eprintln!("--cache-dir requires a directory path");
+                        return 1;
+                    }
+                };
+            }
+            "--no-cache" => {
+                no_cache = true;
             }
             other if path.is_none() && !other.starts_with("--") => {
                 path = Some(other.to_string());
             }
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!(
-                    "usage: verify <program.qasm> [--inputs 0,1,...] [--samples N] [--seed S]"
-                );
-                return 2;
+                eprintln!("{USAGE}");
+                return 1;
             }
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: verify <program.qasm> [--inputs 0,1,...] [--samples N] [--seed S]");
-        return 2;
+        eprintln!("{USAGE}");
+        return 1;
     };
     let source = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
-            return 2;
+            return 1;
         }
     };
     // Default input register: qubit 0 (documented in --help text above);
@@ -84,46 +108,49 @@ fn run() -> i32 {
         inputs = vec![0];
     }
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    // verify_source applies the default sample budget; re-run through the
-    // builder when --samples was given.
-    let report = if let Some(n) = samples {
-        let circuit = match morph_qprog::parse_program(&source) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("{e}");
-                return 2;
-            }
-        };
-        let assertions = match morphqpv::assertions_from_source(&source) {
-            Ok(a) if !a.is_empty() => a,
-            Ok(_) => {
-                eprintln!("no `// assert` specifications in {path}");
-                return 2;
-            }
-            Err(e) => {
-                eprintln!("{e}");
-                return 2;
-            }
-        };
-        let mut verifier = morphqpv::Verifier::new(circuit)
-            .input_qubits(&inputs)
-            .samples(n);
-        for a in assertions {
-            verifier = verifier.assert_that(a);
-        }
-        verifier.run(&mut rng)
-    } else {
-        match verify_source(&source, &inputs, &mut rng) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{e}");
-                return 2;
-            }
+    let circuit = match morph_qprog::parse_program(&source) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
         }
     };
+    let assertions = match morphqpv::assertions_from_source(&source) {
+        Ok(a) if !a.is_empty() => a,
+        Ok(_) => {
+            eprintln!("no `// assert` specifications in {path}");
+            return 1;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let mut verifier = morphqpv::Verifier::new(circuit).input_qubits(&inputs);
+    if let Some(n) = samples {
+        verifier = verifier.samples(n);
+    }
+    for a in assertions {
+        verifier = verifier.assert_that(a);
+    }
 
-    let mut failed = false;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cache = match (&cache_dir, no_cache) {
+        (Some(dir), false) => match CharacterizationCache::open(dir) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("cannot open cache directory {dir}: {e}");
+                return 1;
+            }
+        },
+        _ => None,
+    };
+    let report = match &mut cache {
+        Some(cache) => verifier.run_with_cache(&mut rng, cache),
+        None => verifier.run(&mut rng),
+    };
+
+    let mut refuted = false;
     for (i, outcome) in report.outcomes.iter().enumerate() {
         match &outcome.verdict {
             Verdict::Passed {
@@ -139,7 +166,7 @@ fn run() -> i32 {
                 counterexample,
                 ..
             } => {
-                failed = true;
+                refuted = true;
                 println!("assertion {i}: FAILED (objective {max_objective:.3})");
                 let refined = morphqpv::CounterExample::refine(counterexample);
                 println!(
@@ -151,8 +178,11 @@ fn run() -> i32 {
         }
     }
     println!("cost: {}", report.ledger());
-    if failed {
-        1
+    if let Some(cache) = &cache {
+        println!("cache: {}", cache.stats());
+    }
+    if refuted {
+        2
     } else {
         0
     }

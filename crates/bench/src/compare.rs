@@ -6,12 +6,13 @@
 use std::collections::BTreeMap;
 
 use morph_baselines::{BugDetector, DetectionResult};
-use morph_clifford::InputEnsemble;
+use morph_clifford::{InputEnsemble, InputState};
 use morph_qprog::{Circuit, TracepointId};
 use morph_tomography::{CostLedger, ReadoutMode};
 use morphqpv::{
-    characterize_with_inputs, validate_assertion, AssumeGuarantee, Characterization,
-    CharacterizationConfig, RelationPredicate, ValidationConfig, Verdict,
+    characterize_with_inputs, characterize_with_inputs_cached, validate_assertion, AssumeGuarantee,
+    Characterization, CharacterizationCache, CharacterizationConfig, RelationPredicate,
+    ValidationConfig, Verdict,
 };
 use rand::rngs::StdRng;
 
@@ -65,6 +66,35 @@ pub fn compare_programs(
     config: &CompareConfig,
     rng: &mut StdRng,
 ) -> (bool, f64, CostLedger) {
+    compare_programs_impl(reference, candidate, config, rng, None)
+}
+
+/// [`compare_programs`] with a characterization artifact cache.
+///
+/// Both characterizations are keyed on (instrumented circuit, explicit
+/// input preparations, per-call seed) via
+/// [`characterize_with_inputs_cached`], so repeating a comparison — or
+/// comparing many mutants against the *same* reference on the same inputs
+/// and seed, as the Figure 12 sweep does — reuses the stored reference
+/// characterization and charges zero new simulator cost for it. Reseed
+/// `rng` identically per call to make the reference key repeat.
+pub fn compare_programs_cached(
+    reference: &Circuit,
+    candidate: &Circuit,
+    config: &CompareConfig,
+    rng: &mut StdRng,
+    cache: &mut CharacterizationCache,
+) -> (bool, f64, CostLedger) {
+    compare_programs_impl(reference, candidate, config, rng, Some(cache))
+}
+
+fn compare_programs_impl(
+    reference: &Circuit,
+    candidate: &Circuit,
+    config: &CompareConfig,
+    rng: &mut StdRng,
+    mut cache: Option<&mut CharacterizationCache>,
+) -> (bool, f64, CostLedger) {
     assert_eq!(
         reference.n_qubits(),
         candidate.n_qubits(),
@@ -91,8 +121,20 @@ pub fn compare_programs(
     let inputs = char_config
         .ensemble
         .generate(config.input_qubits.len(), config.n_samples, rng);
-    let ch_ref = characterize_with_inputs(&ref_traced, &char_config, inputs.clone(), rng);
-    let ch_cand = characterize_with_inputs(&cand_traced, &char_config, inputs.clone(), rng);
+    let characterize_one = |circuit: &Circuit,
+                            inputs: Vec<InputState>,
+                            rng: &mut StdRng,
+                            cache: Option<&mut &mut CharacterizationCache>|
+     -> Characterization {
+        match cache {
+            Some(cache) => {
+                characterize_with_inputs_cached(circuit, &char_config, inputs, rng, cache)
+            }
+            None => characterize_with_inputs(circuit, &char_config, inputs, rng),
+        }
+    };
+    let ch_ref = characterize_one(&ref_traced, inputs.clone(), rng, cache.as_mut());
+    let ch_cand = characterize_one(&cand_traced, inputs.clone(), rng, cache.as_mut());
 
     // Merge into one characterization: T1 = candidate output, T2 =
     // reference output, over the shared input basis.
@@ -199,6 +241,56 @@ mod tests {
         let config = CompareConfig::new(vec![0], vec![0, 1, 2]);
         let (bug, obj, _) = compare_programs(&ghz(), &mutated, &config, &mut rng);
         assert!(bug, "phase bug must be caught, objective {obj}");
+    }
+
+    #[test]
+    fn cached_comparison_matches_and_reuses_reference() {
+        let config = CompareConfig::new(vec![0], vec![0, 1, 2]);
+        let mut mutated = ghz();
+        mutated.insert(
+            2,
+            morph_qprog::Instruction::Gate(morph_qsim::Gate::Phase(1, 1.0)),
+        );
+
+        // Uncached baseline for the same seed.
+        let mut rng = StdRng::seed_from_u64(7);
+        let (bug_plain, obj_plain, ledger_plain) =
+            compare_programs(&ghz(), &mutated, &config, &mut rng);
+
+        let mut cache = CharacterizationCache::in_memory();
+        // First cached run: two misses (reference + candidate).
+        let mut rng = StdRng::seed_from_u64(7);
+        let (bug_cold, obj_cold, ledger_cold) =
+            compare_programs_cached(&ghz(), &mutated, &config, &mut rng, &mut cache);
+        assert_eq!(bug_cold, bug_plain);
+        assert_eq!(obj_cold.to_bits(), obj_plain.to_bits());
+        assert_eq!(ledger_cold, ledger_plain);
+        assert_eq!(cache.stats().misses, 2);
+
+        // A *different* mutant against the same reference, same seed:
+        // the reference characterization must hit the cache.
+        let mut other = ghz();
+        other.insert(
+            2,
+            morph_qprog::Instruction::Gate(morph_qsim::Gate::Phase(1, 0.5)),
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let (bug_other, _, _) =
+            compare_programs_cached(&ghz(), &other, &config, &mut rng, &mut cache);
+        assert!(bug_other);
+        assert_eq!(cache.stats().misses, 3, "only the new mutant misses");
+        assert!(cache.stats().memory_hits + cache.stats().disk_hits >= 1);
+
+        // Repeating the original comparison is fully warm and bit-identical.
+        let saved_before = cache.stats().cost_saved;
+        let mut rng = StdRng::seed_from_u64(7);
+        let (bug_warm, obj_warm, ledger_warm) =
+            compare_programs_cached(&ghz(), &mutated, &config, &mut rng, &mut cache);
+        assert_eq!(bug_warm, bug_plain);
+        assert_eq!(obj_warm.to_bits(), obj_plain.to_bits());
+        assert_eq!(ledger_warm, ledger_plain);
+        assert_eq!(cache.stats().misses, 3, "no new misses on the warm run");
+        assert!(cache.stats().cost_saved > saved_before);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use morph_linalg::CMatrix;
 use morph_qprog::Circuit;
 use morph_qsim::StateVector;
 use rand::Rng;
+use serde::json::{FromValueError, Value};
 use serde::{Deserialize, Serialize};
 
 /// A sampled input: the preparation circuit, the prepared pure state, and
@@ -38,7 +39,7 @@ impl InputState {
 }
 
 /// Which family of input states the sampler draws from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InputEnsemble {
     /// Computational basis states `|b⟩` — the paper's ablation baseline.
     Basis,
@@ -104,6 +105,58 @@ impl InputEnsemble {
                 })
             }
         }
+    }
+}
+
+impl InputEnsemble {
+    /// Stable tag used both in serialized artifacts and in morph-store
+    /// fingerprints.
+    pub fn tag(self) -> &'static str {
+        match self {
+            InputEnsemble::Basis => "basis",
+            InputEnsemble::Clifford => "clifford",
+            InputEnsemble::PauliProduct => "pauli-product",
+        }
+    }
+}
+
+impl Serialize for InputEnsemble {
+    fn to_value(&self) -> Value {
+        Value::Str(self.tag().to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for InputEnsemble {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        match value.as_str() {
+            Some("basis") => Ok(InputEnsemble::Basis),
+            Some("clifford") => Ok(InputEnsemble::Clifford),
+            Some("pauli-product") => Ok(InputEnsemble::PauliProduct),
+            _ => Err(FromValueError::expected("input ensemble tag", value)),
+        }
+    }
+}
+
+impl Serialize for InputState {
+    /// Persists all three representations (prep circuit, state, density
+    /// matrix) so reloads are bit-identical without re-simulating the
+    /// preparation.
+    fn to_value(&self) -> Value {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("prep".to_string(), self.prep.to_value());
+        m.insert("state".to_string(), self.state.to_value());
+        m.insert("rho".to_string(), self.rho.to_value());
+        Value::Object(m)
+    }
+}
+
+impl<'de> Deserialize<'de> for InputState {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        Ok(InputState {
+            prep: Circuit::from_value(value.require("prep")?)?,
+            state: StateVector::from_value(value.require("state")?)?,
+            rho: CMatrix::from_value(value.require("rho")?)?,
+        })
     }
 }
 
@@ -300,6 +353,31 @@ mod tests {
             }
         }
         assert!(distinct > 20, "only {distinct} distinct pairs");
+    }
+
+    #[test]
+    fn input_state_round_trips_bit_exactly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for input in InputEnsemble::Clifford.generate(2, 3, &mut rng) {
+            let json = serde::json::to_string(&input);
+            let back: InputState = serde::json::from_str(&json).expect("deserialize");
+            assert_eq!(back.prep, input.prep);
+            assert_eq!(back.state, input.state);
+            assert_eq!(back.rho, input.rho);
+        }
+    }
+
+    #[test]
+    fn ensemble_tags_round_trip() {
+        for e in [
+            InputEnsemble::Basis,
+            InputEnsemble::Clifford,
+            InputEnsemble::PauliProduct,
+        ] {
+            let json = serde::json::to_string(&e);
+            assert_eq!(serde::json::from_str::<InputEnsemble>(&json).unwrap(), e);
+        }
+        assert!(serde::json::from_str::<InputEnsemble>("\"ghz\"").is_err());
     }
 
     #[test]

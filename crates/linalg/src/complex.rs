@@ -8,6 +8,7 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
+use serde::json::{FromValueError, Value};
 use serde::{Deserialize, Serialize};
 
 /// A complex number with `f64` components.
@@ -21,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(i * i, C64::new(-1.0, 0.0));
 /// assert!((C64::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct C64 {
     /// Real component.
     pub re: f64,
@@ -257,6 +258,26 @@ impl DivAssign for C64 {
 impl Sum for C64 {
     fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
         iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+impl Serialize for C64 {
+    /// Encodes as a `[re, im]` pair of bit-exact `f64` values (see the
+    /// serde shim's `f64` impl), so artifacts reload bit-identically.
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.re.to_value(), self.im.to_value()])
+    }
+}
+
+impl<'de> Deserialize<'de> for C64 {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        match value.as_array() {
+            Some([re, im]) => Ok(C64 {
+                re: f64::from_value(re)?,
+                im: f64::from_value(im)?,
+            }),
+            _ => Err(FromValueError::expected("[re, im] pair", value)),
+        }
     }
 }
 

@@ -7,6 +7,7 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
+use serde::json::{FromValueError, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::complex::C64;
@@ -25,11 +26,57 @@ use crate::complex::C64;
 /// assert!(x.is_unitary(1e-12));
 /// assert_eq!((&x * &x).trace(), C64::new(2.0, 0.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CMatrix {
     rows: usize,
     cols: usize,
     data: Vec<C64>,
+}
+
+impl Serialize for CMatrix {
+    /// Encodes as `{"rows": r, "cols": c, "data": [re, im, re, im, …]}`
+    /// with each component a bit-exact `f64` — the morph-store artifact
+    /// format for density matrices and unitaries.
+    fn to_value(&self) -> Value {
+        let mut flat = Vec::with_capacity(2 * self.data.len());
+        for z in &self.data {
+            flat.push(z.re.to_value());
+            flat.push(z.im.to_value());
+        }
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("rows".to_string(), self.rows.to_value());
+        map.insert("cols".to_string(), self.cols.to_value());
+        map.insert("data".to_string(), Value::Array(flat));
+        Value::Object(map)
+    }
+}
+
+impl<'de> Deserialize<'de> for CMatrix {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        let rows = usize::from_value(value.require("rows")?)?;
+        let cols = usize::from_value(value.require("cols")?)?;
+        let flat = value
+            .require("data")?
+            .as_array()
+            .ok_or_else(|| FromValueError::expected("component array", value))?;
+        let entries = rows
+            .checked_mul(cols)
+            .filter(|&n| n <= (1 << 30) && flat.len() == 2 * n)
+            .ok_or_else(|| {
+                FromValueError::new(format!(
+                    "matrix shape {rows}x{cols} inconsistent with {} components",
+                    flat.len()
+                ))
+            })?;
+        let mut data = Vec::with_capacity(entries);
+        for pair in flat.chunks_exact(2) {
+            data.push(C64 {
+                re: f64::from_value(&pair[0])?,
+                im: f64::from_value(&pair[1])?,
+            });
+        }
+        Ok(CMatrix { rows, cols, data })
+    }
 }
 
 impl CMatrix {
@@ -123,6 +170,18 @@ impl CMatrix {
     #[inline]
     pub fn is_square(&self) -> bool {
         self.rows == self.cols
+    }
+
+    /// Appends the canonical byte encoding (dimensions, then per-entry
+    /// `f64` bit patterns, all little-endian) used by morph-store
+    /// content-addressed fingerprinting.
+    pub fn canonical_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.rows as u64).to_le_bytes());
+        out.extend_from_slice(&(self.cols as u64).to_le_bytes());
+        for z in &self.data {
+            out.extend_from_slice(&z.re.to_bits().to_le_bytes());
+            out.extend_from_slice(&z.im.to_bits().to_le_bytes());
+        }
     }
 
     /// Raw row-major data.

@@ -14,6 +14,8 @@
 //! Fig 11(a).
 
 use morph_linalg::{hs_accuracy, recombine, solve_sym_regularized, CMatrix, SolveError};
+use serde::json::{FromValueError, Value};
+use serde::{Deserialize, Serialize};
 
 /// The characterized relation `ρ_T = f(ρ_in)` for one tracepoint.
 ///
@@ -196,6 +198,27 @@ impl ApproximationFunction {
         Ok(ChainedApproximation {
             stages: vec![self.clone(), next.clone()],
         })
+    }
+}
+
+impl Serialize for ApproximationFunction {
+    /// Persists only the sampled pairs; the Gram matrix is a pure function
+    /// of the inputs and is rebuilt on load by [`ApproximationFunction::new`]
+    /// (deterministically, so a reloaded function is bit-identical).
+    fn to_value(&self) -> Value {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("inputs".to_string(), self.inputs.to_value());
+        m.insert("traces".to_string(), self.traces.to_value());
+        Value::Object(m)
+    }
+}
+
+impl<'de> Deserialize<'de> for ApproximationFunction {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        let inputs: Vec<CMatrix> = Vec::from_value(value.require("inputs")?)?;
+        let traces: Vec<CMatrix> = Vec::from_value(value.require("traces")?)?;
+        ApproximationFunction::new(inputs, traces)
+            .map_err(|e| FromValueError::new(format!("inconsistent approximation data: {e:?}")))
     }
 }
 

@@ -65,6 +65,7 @@
 
 mod approx;
 mod assertion;
+mod cache;
 mod characterize;
 mod confidence;
 mod counterexample;
@@ -79,6 +80,10 @@ mod verifier;
 
 pub use approx::{ApproximationFunction, ChainedApproximation, Mitigation};
 pub use assertion::{AssumeGuarantee, Guarantee, StateRef};
+pub use cache::{
+    characterization_fingerprint, characterization_fingerprint_with_inputs, characterize_cached,
+    characterize_with_inputs_cached, CharacterizationCache, ARTIFACT_VERSION, FINGERPRINT_DOMAIN,
+};
 pub use characterize::{
     characterize, characterize_with_inputs, Characterization, CharacterizationConfig,
 };

@@ -8,6 +8,7 @@ use morph_tomography::{CostLedger, ReadoutMode};
 use rand::rngs::StdRng;
 
 use crate::assertion::AssumeGuarantee;
+use crate::cache::{characterize_cached, characterize_with_inputs_cached, CharacterizationCache};
 use crate::characterize::{
     characterize, characterize_with_inputs, Characterization, CharacterizationConfig,
 };
@@ -148,6 +149,47 @@ impl Verifier {
             ),
             None => characterize(&self.circuit, &self.characterization_config, rng),
         };
+        self.validate_all(characterization, rng)
+    }
+
+    /// [`Self::run`] with a characterization artifact cache: the
+    /// characterization stage is looked up in (and populated into) `cache`.
+    /// On a hit the validation runs against the restored artifact and the
+    /// report's ledger is the cost of the *original* characterization — no
+    /// new simulator cost is charged.
+    ///
+    /// Note: `run` and `run_with_cache` consume the caller's RNG stream
+    /// differently (`run_with_cache` draws one seed; `run` hands the stream
+    /// to characterization), so reports are comparable across repeated
+    /// `run_with_cache` calls, not between the two entry points.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::run`].
+    pub fn run_with_cache(
+        &self,
+        rng: &mut StdRng,
+        cache: &mut CharacterizationCache,
+    ) -> VerificationReport {
+        assert!(!self.assertions.is_empty(), "no assertions to verify");
+        let characterization = match &self.explicit_inputs {
+            Some(inputs) => characterize_with_inputs_cached(
+                &self.circuit,
+                &self.characterization_config,
+                inputs.clone(),
+                rng,
+                cache,
+            ),
+            None => characterize_cached(&self.circuit, &self.characterization_config, rng, cache),
+        };
+        self.validate_all(characterization, rng)
+    }
+
+    fn validate_all(
+        &self,
+        characterization: Characterization,
+        rng: &mut StdRng,
+    ) -> VerificationReport {
         let outcomes: Vec<ValidationOutcome> = self
             .assertions
             .iter()

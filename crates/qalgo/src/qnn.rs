@@ -219,7 +219,7 @@ pub fn train_qnn(
     let mut winner: Option<(Qnn, f64)> = None;
     for _ in 0..RESTARTS {
         let (model, acc) = refine(Qnn::random(n_qubits, layers, rng));
-        if winner.as_ref().is_none_or(|(_, best)| acc > *best) {
+        if winner.as_ref().map_or(true, |(_, best)| acc > *best) {
             winner = Some((model, acc));
         }
         if winner.as_ref().is_some_and(|(_, best)| *best >= 0.99) {

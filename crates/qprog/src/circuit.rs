@@ -7,10 +7,11 @@
 //! qubit subset.
 
 use morph_qsim::Gate;
+use serde::json::{FromValueError, Value};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a tracepoint within a program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TracepointId(pub u32);
 
 impl std::fmt::Display for TracepointId {
@@ -20,7 +21,7 @@ impl std::fmt::Display for TracepointId {
 }
 
 /// One step of a quantum program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Instruction {
     /// Apply a unitary gate.
     Gate(Gate),
@@ -82,7 +83,7 @@ impl Instruction {
 /// assert_eq!(c.gate_count(), 3);
 /// assert_eq!(c.tracepoints().len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Circuit {
     n_qubits: usize,
     n_cbits: usize,
@@ -450,6 +451,190 @@ impl Circuit {
             )
         })
     }
+
+    /// Appends the circuit's canonical byte encoding used by morph-store
+    /// fingerprinting: register sizes, instruction count, then each
+    /// instruction as a one-byte opcode plus operands (gates via
+    /// [`Gate::canonical_bytes`]). Tracepoints are instructions, so two
+    /// programs that differ only in tracepoint placement fingerprint
+    /// differently — their characterization artifacts are not interchangeable.
+    pub fn canonical_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.n_qubits as u64).to_le_bytes());
+        out.extend_from_slice(&(self.n_cbits as u64).to_le_bytes());
+        out.extend_from_slice(&(self.instructions.len() as u64).to_le_bytes());
+        for inst in &self.instructions {
+            match inst {
+                Instruction::Gate(g) => {
+                    out.push(0);
+                    g.canonical_bytes(out);
+                }
+                Instruction::Tracepoint { id, qubits } => {
+                    out.push(1);
+                    out.extend_from_slice(&u64::from(id.0).to_le_bytes());
+                    out.extend_from_slice(&(qubits.len() as u64).to_le_bytes());
+                    for &q in qubits {
+                        out.extend_from_slice(&(q as u64).to_le_bytes());
+                    }
+                }
+                Instruction::Measure { qubit, cbit } => {
+                    out.push(2);
+                    out.extend_from_slice(&(*qubit as u64).to_le_bytes());
+                    out.extend_from_slice(&(*cbit as u64).to_le_bytes());
+                }
+                Instruction::Reset(q) => {
+                    out.push(3);
+                    out.extend_from_slice(&(*q as u64).to_le_bytes());
+                }
+                Instruction::Conditional { cbit, value, gate } => {
+                    out.push(4);
+                    out.extend_from_slice(&(*cbit as u64).to_le_bytes());
+                    out.push(*value);
+                    gate.canonical_bytes(out);
+                }
+                Instruction::Barrier => out.push(5),
+            }
+        }
+    }
+}
+
+impl Serialize for TracepointId {
+    fn to_value(&self) -> Value {
+        Value::UInt(u64::from(self.0))
+    }
+}
+
+impl<'de> Deserialize<'de> for TracepointId {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        match value.as_u64() {
+            Some(id) if id <= u64::from(u32::MAX) => Ok(TracepointId(id as u32)),
+            _ => Err(FromValueError::expected("tracepoint id (u32)", value)),
+        }
+    }
+}
+
+impl Serialize for Instruction {
+    /// Encodes as a tagged array, e.g. `["Measure", qubit, cbit]`.
+    fn to_value(&self) -> Value {
+        let v = match self {
+            Instruction::Gate(g) => vec![Value::Str("Gate".into()), g.to_value()],
+            Instruction::Tracepoint { id, qubits } => vec![
+                Value::Str("Tracepoint".into()),
+                id.to_value(),
+                qubits.to_value(),
+            ],
+            Instruction::Measure { qubit, cbit } => vec![
+                Value::Str("Measure".into()),
+                Value::UInt(*qubit as u64),
+                Value::UInt(*cbit as u64),
+            ],
+            Instruction::Reset(q) => vec![Value::Str("Reset".into()), Value::UInt(*q as u64)],
+            Instruction::Conditional { cbit, value, gate } => vec![
+                Value::Str("Conditional".into()),
+                Value::UInt(*cbit as u64),
+                Value::UInt(u64::from(*value)),
+                gate.to_value(),
+            ],
+            Instruction::Barrier => vec![Value::Str("Barrier".into())],
+        };
+        Value::Array(v)
+    }
+}
+
+impl<'de> Deserialize<'de> for Instruction {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        let parts = value
+            .as_array()
+            .ok_or_else(|| FromValueError::expected("instruction array", value))?;
+        let (tag, rest) = match parts.split_first() {
+            Some((Value::Str(tag), rest)) => (tag.as_str(), rest),
+            _ => return Err(FromValueError::expected("tagged instruction array", value)),
+        };
+        let index = |v: &Value, what: &str| {
+            v.as_u64()
+                .map(|q| q as usize)
+                .ok_or_else(|| FromValueError::new(format!("expected {what} index")))
+        };
+        match (tag, rest) {
+            ("Gate", [g]) => Ok(Instruction::Gate(Gate::from_value(g)?)),
+            ("Tracepoint", [id, qubits]) => Ok(Instruction::Tracepoint {
+                id: TracepointId::from_value(id)?,
+                qubits: Vec::from_value(qubits)?,
+            }),
+            ("Measure", [qubit, cbit]) => Ok(Instruction::Measure {
+                qubit: index(qubit, "qubit")?,
+                cbit: index(cbit, "cbit")?,
+            }),
+            ("Reset", [q]) => Ok(Instruction::Reset(index(q, "qubit")?)),
+            ("Conditional", [cbit, val, gate]) => {
+                let value = val
+                    .as_u64()
+                    .filter(|&v| v <= u64::from(u8::MAX))
+                    .ok_or_else(|| FromValueError::expected("condition value (u8)", val))?;
+                Ok(Instruction::Conditional {
+                    cbit: index(cbit, "cbit")?,
+                    value: value as u8,
+                    gate: Gate::from_value(gate)?,
+                })
+            }
+            ("Barrier", []) => Ok(Instruction::Barrier),
+            _ => Err(FromValueError::new(format!(
+                "unknown or malformed instruction tag {tag:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for Circuit {
+    fn to_value(&self) -> Value {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("n_qubits".to_string(), Value::UInt(self.n_qubits as u64));
+        m.insert("n_cbits".to_string(), Value::UInt(self.n_cbits as u64));
+        m.insert("instructions".to_string(), self.instructions.to_value());
+        Value::Object(m)
+    }
+}
+
+impl<'de> Deserialize<'de> for Circuit {
+    /// Rebuilds the circuit, re-validating every instruction against the
+    /// declared register sizes (a malformed artifact yields an error, never
+    /// a panic from the builder's asserts).
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        let n_qubits = value
+            .require("n_qubits")?
+            .as_u64()
+            .ok_or_else(|| FromValueError::new("n_qubits must be an unsigned integer"))?
+            as usize;
+        let n_cbits = value
+            .require("n_cbits")?
+            .as_u64()
+            .ok_or_else(|| FromValueError::new("n_cbits must be an unsigned integer"))?
+            as usize;
+        let instructions: Vec<Instruction> = Vec::from_value(value.require("instructions")?)?;
+        for inst in &instructions {
+            for q in inst.qubits() {
+                if q >= n_qubits {
+                    return Err(FromValueError::new(format!(
+                        "instruction references qubit {q} outside {n_qubits}-qubit register"
+                    )));
+                }
+            }
+            match inst {
+                Instruction::Measure { cbit, .. } | Instruction::Conditional { cbit, .. }
+                    if *cbit >= n_cbits =>
+                {
+                    return Err(FromValueError::new(format!(
+                        "instruction references cbit {cbit} outside {n_cbits}-cbit register"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        Ok(Circuit {
+            n_qubits,
+            n_cbits,
+            instructions,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -575,5 +760,65 @@ mod tests {
         b.cx(0, 1);
         a.extend_from(&b);
         assert_eq!(a.gate_count(), 2);
+    }
+
+    fn sample_program() -> Circuit {
+        let mut c = Circuit::with_cbits(3, 2);
+        c.tracepoint(1, &[0, 1]);
+        c.h(0).cx(0, 1).rz(2, 0.25);
+        c.push(Instruction::Barrier);
+        c.measure(0, 0).conditional(0, 1, Gate::X(2));
+        c.push(Instruction::Reset(1));
+        c.tracepoint(2, &[2]);
+        c
+    }
+
+    #[test]
+    fn circuit_serialization_round_trips() {
+        let c = sample_program();
+        let json = serde::json::to_string(&c);
+        let back: Circuit = serde::json::from_str(&json).expect("deserialize");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn circuit_deserialization_rejects_out_of_range_indices() {
+        let mut c = Circuit::new(2);
+        c.h(1);
+        let json = serde::json::to_string(&c);
+        // Shrink the register below the instruction's qubit index.
+        let bad = json.replace("\"n_qubits\":2", "\"n_qubits\":1");
+        assert_ne!(bad, json);
+        assert!(serde::json::from_str::<Circuit>(&bad).is_err());
+    }
+
+    #[test]
+    fn canonical_bytes_sensitive_to_structure() {
+        let base = sample_program();
+        let mut a = Vec::new();
+        base.canonical_bytes(&mut a);
+
+        // Same gates, tracepoint moved: different encoding.
+        let mut moved = Circuit::with_cbits(3, 2);
+        moved.h(0).tracepoint(1, &[0, 1]).cx(0, 1).rz(2, 0.25);
+        moved.push(Instruction::Barrier);
+        moved.measure(0, 0).conditional(0, 1, Gate::X(2));
+        moved.push(Instruction::Reset(1));
+        moved.tracepoint(2, &[2]);
+        let mut b = Vec::new();
+        moved.canonical_bytes(&mut b);
+        assert_ne!(a, b);
+
+        // Identical program: identical encoding.
+        let mut c = Vec::new();
+        sample_program().canonical_bytes(&mut c);
+        assert_eq!(a, c);
+
+        // Angle change: different encoding.
+        let mut tweaked = sample_program();
+        tweaked.rz(2, 0.250000001);
+        let mut d = Vec::new();
+        tweaked.canonical_bytes(&mut d);
+        assert_ne!(a, d);
     }
 }

@@ -2,7 +2,6 @@
 //! multi-controlled variants, plus matrix constructors.
 
 use morph_linalg::{CMatrix, C64};
-use serde::{Deserialize, Serialize};
 
 use crate::state::StateVector;
 
@@ -22,7 +21,7 @@ use crate::state::StateVector;
 /// Gate::CX(0, 1).apply(&mut psi);
 /// assert!((psi.probabilities()[3] - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Gate {
     /// Hadamard.
     H(usize),

@@ -35,6 +35,7 @@ mod density;
 mod gate;
 mod noise;
 mod pauli;
+mod serde_impls;
 mod state;
 
 pub use density::DensityMatrix;

@@ -11,7 +11,6 @@
 //!   the channel's error probability.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::density::DensityMatrix;
 use crate::gate::Gate;
@@ -27,7 +26,7 @@ use crate::state::StateVector;
 /// let cairo = NoiseModel::ibm_cairo();
 /// assert!(cairo.p1 > 0.0 && cairo.p1 < cairo.p2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseModel {
     /// Single-qubit gate error probability.
     pub p1: f64,

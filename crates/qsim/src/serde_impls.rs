@@ -1,0 +1,494 @@
+//! Hand-written serialization and canonical-byte encodings for qsim types.
+//!
+//! The vendored serde shim has no derive support, so the types that appear
+//! inside persisted characterization artifacts ([`Gate`], [`NoiseModel`],
+//! [`StateVector`]) implement the traits here by hand. The same module owns
+//! the *canonical byte* encodings consumed by morph-store fingerprinting:
+//! length-free fixed layouts (tag byte, little-endian `u64` indices,
+//! little-endian `f64` bit patterns, length-prefixed lists) so equal values
+//! always hash identically and distinct values cannot collide by smearing
+//! across field boundaries.
+
+use morph_linalg::{CMatrix, C64};
+use serde::json::{FromValueError, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::gate::Gate;
+use crate::noise::NoiseModel;
+use crate::state::StateVector;
+
+fn push_usize(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&(v as u64).to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn push_list(out: &mut Vec<u8>, qs: &[usize]) {
+    push_usize(out, qs.len());
+    for &q in qs {
+        push_usize(out, q);
+    }
+}
+
+impl Gate {
+    /// Appends the gate's canonical byte encoding: a one-byte opcode
+    /// followed by its operands (qubit indices as little-endian `u64`,
+    /// angles as little-endian `f64` bit patterns, qubit lists
+    /// length-prefixed, unitary payloads via
+    /// [`CMatrix::canonical_bytes`]).
+    pub fn canonical_bytes(&self, out: &mut Vec<u8>) {
+        match self {
+            Gate::H(q) => {
+                out.push(0);
+                push_usize(out, *q);
+            }
+            Gate::X(q) => {
+                out.push(1);
+                push_usize(out, *q);
+            }
+            Gate::Y(q) => {
+                out.push(2);
+                push_usize(out, *q);
+            }
+            Gate::Z(q) => {
+                out.push(3);
+                push_usize(out, *q);
+            }
+            Gate::S(q) => {
+                out.push(4);
+                push_usize(out, *q);
+            }
+            Gate::Sdg(q) => {
+                out.push(5);
+                push_usize(out, *q);
+            }
+            Gate::T(q) => {
+                out.push(6);
+                push_usize(out, *q);
+            }
+            Gate::Tdg(q) => {
+                out.push(7);
+                push_usize(out, *q);
+            }
+            Gate::RX(q, a) => {
+                out.push(8);
+                push_usize(out, *q);
+                push_f64(out, *a);
+            }
+            Gate::RY(q, a) => {
+                out.push(9);
+                push_usize(out, *q);
+                push_f64(out, *a);
+            }
+            Gate::RZ(q, a) => {
+                out.push(10);
+                push_usize(out, *q);
+                push_f64(out, *a);
+            }
+            Gate::Phase(q, a) => {
+                out.push(11);
+                push_usize(out, *q);
+                push_f64(out, *a);
+            }
+            Gate::CX(c, t) => {
+                out.push(12);
+                push_usize(out, *c);
+                push_usize(out, *t);
+            }
+            Gate::CZ(a, b) => {
+                out.push(13);
+                push_usize(out, *a);
+                push_usize(out, *b);
+            }
+            Gate::CRZ(c, t, a) => {
+                out.push(14);
+                push_usize(out, *c);
+                push_usize(out, *t);
+                push_f64(out, *a);
+            }
+            Gate::CPhase(c, t, a) => {
+                out.push(15);
+                push_usize(out, *c);
+                push_usize(out, *t);
+                push_f64(out, *a);
+            }
+            Gate::Swap(a, b) => {
+                out.push(16);
+                push_usize(out, *a);
+                push_usize(out, *b);
+            }
+            Gate::CCX(c1, c2, t) => {
+                out.push(17);
+                push_usize(out, *c1);
+                push_usize(out, *c2);
+                push_usize(out, *t);
+            }
+            Gate::MCZ(qs) => {
+                out.push(18);
+                push_list(out, qs);
+            }
+            Gate::MCRX(cs, t, a) => {
+                out.push(19);
+                push_list(out, cs);
+                push_usize(out, *t);
+                push_f64(out, *a);
+            }
+            Gate::MCRY(cs, t, a) => {
+                out.push(20);
+                push_list(out, cs);
+                push_usize(out, *t);
+                push_f64(out, *a);
+            }
+            Gate::Unitary(qs, u) => {
+                out.push(21);
+                push_list(out, qs);
+                u.canonical_bytes(out);
+            }
+        }
+    }
+}
+
+fn qs_value(qs: &[usize]) -> Value {
+    Value::Array(qs.iter().map(|&q| Value::UInt(q as u64)).collect())
+}
+
+impl Serialize for Gate {
+    /// Encodes as a tagged array `["RX", q, angle]`, with angles as
+    /// bit-exact `f64` strings and qubit lists as nested arrays.
+    fn to_value(&self) -> Value {
+        let mut v: Vec<Value> = Vec::new();
+        match self {
+            Gate::H(q) => v.extend([Value::Str("H".into()), Value::UInt(*q as u64)]),
+            Gate::X(q) => v.extend([Value::Str("X".into()), Value::UInt(*q as u64)]),
+            Gate::Y(q) => v.extend([Value::Str("Y".into()), Value::UInt(*q as u64)]),
+            Gate::Z(q) => v.extend([Value::Str("Z".into()), Value::UInt(*q as u64)]),
+            Gate::S(q) => v.extend([Value::Str("S".into()), Value::UInt(*q as u64)]),
+            Gate::Sdg(q) => v.extend([Value::Str("Sdg".into()), Value::UInt(*q as u64)]),
+            Gate::T(q) => v.extend([Value::Str("T".into()), Value::UInt(*q as u64)]),
+            Gate::Tdg(q) => v.extend([Value::Str("Tdg".into()), Value::UInt(*q as u64)]),
+            Gate::RX(q, a) => v.extend([
+                Value::Str("RX".into()),
+                Value::UInt(*q as u64),
+                a.to_value(),
+            ]),
+            Gate::RY(q, a) => v.extend([
+                Value::Str("RY".into()),
+                Value::UInt(*q as u64),
+                a.to_value(),
+            ]),
+            Gate::RZ(q, a) => v.extend([
+                Value::Str("RZ".into()),
+                Value::UInt(*q as u64),
+                a.to_value(),
+            ]),
+            Gate::Phase(q, a) => v.extend([
+                Value::Str("Phase".into()),
+                Value::UInt(*q as u64),
+                a.to_value(),
+            ]),
+            Gate::CX(c, t) => v.extend([
+                Value::Str("CX".into()),
+                Value::UInt(*c as u64),
+                Value::UInt(*t as u64),
+            ]),
+            Gate::CZ(a, b) => v.extend([
+                Value::Str("CZ".into()),
+                Value::UInt(*a as u64),
+                Value::UInt(*b as u64),
+            ]),
+            Gate::CRZ(c, t, a) => v.extend([
+                Value::Str("CRZ".into()),
+                Value::UInt(*c as u64),
+                Value::UInt(*t as u64),
+                a.to_value(),
+            ]),
+            Gate::CPhase(c, t, a) => v.extend([
+                Value::Str("CPhase".into()),
+                Value::UInt(*c as u64),
+                Value::UInt(*t as u64),
+                a.to_value(),
+            ]),
+            Gate::Swap(a, b) => v.extend([
+                Value::Str("Swap".into()),
+                Value::UInt(*a as u64),
+                Value::UInt(*b as u64),
+            ]),
+            Gate::CCX(c1, c2, t) => v.extend([
+                Value::Str("CCX".into()),
+                Value::UInt(*c1 as u64),
+                Value::UInt(*c2 as u64),
+                Value::UInt(*t as u64),
+            ]),
+            Gate::MCZ(qs) => v.extend([Value::Str("MCZ".into()), qs_value(qs)]),
+            Gate::MCRX(cs, t, a) => v.extend([
+                Value::Str("MCRX".into()),
+                qs_value(cs),
+                Value::UInt(*t as u64),
+                a.to_value(),
+            ]),
+            Gate::MCRY(cs, t, a) => v.extend([
+                Value::Str("MCRY".into()),
+                qs_value(cs),
+                Value::UInt(*t as u64),
+                a.to_value(),
+            ]),
+            Gate::Unitary(qs, u) => {
+                v.extend([Value::Str("Unitary".into()), qs_value(qs), u.to_value()])
+            }
+        }
+        Value::Array(v)
+    }
+}
+
+fn decode_qubit(v: &Value) -> Result<usize, FromValueError> {
+    v.as_u64()
+        .map(|q| q as usize)
+        .ok_or_else(|| FromValueError::expected("qubit index", v))
+}
+
+fn decode_qs(v: &Value) -> Result<Vec<usize>, FromValueError> {
+    v.as_array()
+        .ok_or_else(|| FromValueError::expected("qubit list", v))?
+        .iter()
+        .map(decode_qubit)
+        .collect()
+}
+
+impl<'de> Deserialize<'de> for Gate {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        let parts = value
+            .as_array()
+            .ok_or_else(|| FromValueError::expected("gate array", value))?;
+        let (tag, rest) = match parts.split_first() {
+            Some((Value::Str(tag), rest)) => (tag.as_str(), rest),
+            _ => return Err(FromValueError::expected("tagged gate array", value)),
+        };
+        let wrong_arity = || FromValueError::new(format!("wrong operand count for gate {tag:?}"));
+        let gate = match (tag, rest) {
+            ("H", [q]) => Gate::H(decode_qubit(q)?),
+            ("X", [q]) => Gate::X(decode_qubit(q)?),
+            ("Y", [q]) => Gate::Y(decode_qubit(q)?),
+            ("Z", [q]) => Gate::Z(decode_qubit(q)?),
+            ("S", [q]) => Gate::S(decode_qubit(q)?),
+            ("Sdg", [q]) => Gate::Sdg(decode_qubit(q)?),
+            ("T", [q]) => Gate::T(decode_qubit(q)?),
+            ("Tdg", [q]) => Gate::Tdg(decode_qubit(q)?),
+            ("RX", [q, a]) => Gate::RX(decode_qubit(q)?, f64::from_value(a)?),
+            ("RY", [q, a]) => Gate::RY(decode_qubit(q)?, f64::from_value(a)?),
+            ("RZ", [q, a]) => Gate::RZ(decode_qubit(q)?, f64::from_value(a)?),
+            ("Phase", [q, a]) => Gate::Phase(decode_qubit(q)?, f64::from_value(a)?),
+            ("CX", [c, t]) => Gate::CX(decode_qubit(c)?, decode_qubit(t)?),
+            ("CZ", [a, b]) => Gate::CZ(decode_qubit(a)?, decode_qubit(b)?),
+            ("CRZ", [c, t, a]) => {
+                Gate::CRZ(decode_qubit(c)?, decode_qubit(t)?, f64::from_value(a)?)
+            }
+            ("CPhase", [c, t, a]) => {
+                Gate::CPhase(decode_qubit(c)?, decode_qubit(t)?, f64::from_value(a)?)
+            }
+            ("Swap", [a, b]) => Gate::Swap(decode_qubit(a)?, decode_qubit(b)?),
+            ("CCX", [c1, c2, t]) => {
+                Gate::CCX(decode_qubit(c1)?, decode_qubit(c2)?, decode_qubit(t)?)
+            }
+            ("MCZ", [qs]) => Gate::MCZ(decode_qs(qs)?),
+            ("MCRX", [cs, t, a]) => {
+                Gate::MCRX(decode_qs(cs)?, decode_qubit(t)?, f64::from_value(a)?)
+            }
+            ("MCRY", [cs, t, a]) => {
+                Gate::MCRY(decode_qs(cs)?, decode_qubit(t)?, f64::from_value(a)?)
+            }
+            ("Unitary", [qs, u]) => Gate::Unitary(decode_qs(qs)?, CMatrix::from_value(u)?),
+            (
+                "H" | "X" | "Y" | "Z" | "S" | "Sdg" | "T" | "Tdg" | "RX" | "RY" | "RZ" | "Phase"
+                | "CX" | "CZ" | "CRZ" | "CPhase" | "Swap" | "CCX" | "MCZ" | "MCRX" | "MCRY"
+                | "Unitary",
+                _,
+            ) => return Err(wrong_arity()),
+            _ => {
+                return Err(FromValueError::new(format!("unknown gate tag {tag:?}")));
+            }
+        };
+        Ok(gate)
+    }
+}
+
+impl NoiseModel {
+    /// Appends the canonical byte encoding: the six parameters' `f64` bit
+    /// patterns, little-endian, in declaration order.
+    pub fn canonical_bytes(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.p1,
+            self.p2,
+            self.readout,
+            self.t1q_ns,
+            self.t2q_ns,
+            self.tread_ns,
+        ] {
+            push_f64(out, v);
+        }
+    }
+}
+
+impl Serialize for NoiseModel {
+    fn to_value(&self) -> Value {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("p1".to_string(), self.p1.to_value());
+        m.insert("p2".to_string(), self.p2.to_value());
+        m.insert("readout".to_string(), self.readout.to_value());
+        m.insert("t1q_ns".to_string(), self.t1q_ns.to_value());
+        m.insert("t2q_ns".to_string(), self.t2q_ns.to_value());
+        m.insert("tread_ns".to_string(), self.tread_ns.to_value());
+        Value::Object(m)
+    }
+}
+
+impl<'de> Deserialize<'de> for NoiseModel {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        Ok(NoiseModel {
+            p1: f64::from_value(value.require("p1")?)?,
+            p2: f64::from_value(value.require("p2")?)?,
+            readout: f64::from_value(value.require("readout")?)?,
+            t1q_ns: f64::from_value(value.require("t1q_ns")?)?,
+            t2q_ns: f64::from_value(value.require("t2q_ns")?)?,
+            tread_ns: f64::from_value(value.require("tread_ns")?)?,
+        })
+    }
+}
+
+impl Serialize for StateVector {
+    /// Encodes the amplitude list directly; qubit count is implied by the
+    /// power-of-two length.
+    fn to_value(&self) -> Value {
+        Value::Array(self.amplitudes().iter().map(|a| a.to_value()).collect())
+    }
+}
+
+impl<'de> Deserialize<'de> for StateVector {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        let amps: Vec<C64> = Vec::from_value(value)?;
+        if !amps.len().is_power_of_two() {
+            return Err(FromValueError::new(format!(
+                "amplitude count {} is not a power of two",
+                amps.len()
+            )));
+        }
+        Ok(StateVector::from_normalized_amplitudes(amps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_gate(g: &Gate) {
+        let json = serde::json::to_string(g);
+        let back: Gate = serde::json::from_str(&json).expect("deserialize");
+        assert_eq!(&back, g, "round trip failed for {g:?}");
+    }
+
+    #[test]
+    fn gate_round_trips_every_variant() {
+        let unitary = crate::gate::matrices::rx(0.123456789);
+        let gates = [
+            Gate::H(0),
+            Gate::X(1),
+            Gate::Y(2),
+            Gate::Z(3),
+            Gate::S(0),
+            Gate::Sdg(1),
+            Gate::T(2),
+            Gate::Tdg(3),
+            Gate::RX(0, 0.1),
+            Gate::RY(1, -2.5),
+            Gate::RZ(2, std::f64::consts::PI),
+            Gate::Phase(3, 1e-300),
+            Gate::CX(0, 1),
+            Gate::CZ(1, 2),
+            Gate::CRZ(0, 2, 0.7),
+            Gate::CPhase(1, 3, -0.2),
+            Gate::Swap(0, 3),
+            Gate::CCX(0, 1, 2),
+            Gate::MCZ(vec![0, 1, 2, 3]),
+            Gate::MCRX(vec![0, 1], 2, 0.9),
+            Gate::MCRY(vec![3], 0, -1.1),
+            Gate::Unitary(vec![0, 1], unitary),
+        ];
+        for g in &gates {
+            round_trip_gate(g);
+        }
+    }
+
+    #[test]
+    fn gate_rejects_malformed_values() {
+        assert!(serde::json::from_str::<Gate>("[\"H\"]").is_err());
+        assert!(serde::json::from_str::<Gate>("[\"Nope\", 1]").is_err());
+        assert!(serde::json::from_str::<Gate>("{\"op\": \"H\"}").is_err());
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_gates() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Gate::RX(0, 0.5).canonical_bytes(&mut a);
+        Gate::RY(0, 0.5).canonical_bytes(&mut b);
+        assert_ne!(a, b);
+
+        a.clear();
+        b.clear();
+        Gate::MCZ(vec![0, 1]).canonical_bytes(&mut a);
+        Gate::MCZ(vec![0, 2]).canonical_bytes(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn noise_model_round_trips_bit_exactly() {
+        for model in [
+            NoiseModel::noiseless(),
+            NoiseModel::ibm_cairo(),
+            NoiseModel {
+                p1: f64::NAN,
+                ..NoiseModel::ibm_cairo()
+            },
+        ] {
+            let json = serde::json::to_string(&model);
+            let back: NoiseModel = serde::json::from_str(&json).expect("deserialize");
+            assert_eq!(back.p1.to_bits(), model.p1.to_bits());
+            assert_eq!(back.p2.to_bits(), model.p2.to_bits());
+            assert_eq!(back.readout.to_bits(), model.readout.to_bits());
+            assert_eq!(back.t1q_ns.to_bits(), model.t1q_ns.to_bits());
+            assert_eq!(back.t2q_ns.to_bits(), model.t2q_ns.to_bits());
+            assert_eq!(back.tread_ns.to_bits(), model.tread_ns.to_bits());
+        }
+    }
+
+    #[test]
+    fn noise_canonical_bytes_track_parameters() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        NoiseModel::noiseless().canonical_bytes(&mut a);
+        NoiseModel::ibm_cairo().canonical_bytes(&mut b);
+        assert_eq!(a.len(), 48);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn state_vector_round_trips_without_renormalizing() {
+        let mut psi = StateVector::zero_state(3);
+        Gate::H(0).apply(&mut psi);
+        Gate::CX(0, 1).apply(&mut psi);
+        Gate::RY(2, 0.3).apply(&mut psi);
+        let json = serde::json::to_string(&psi);
+        let back: StateVector = serde::json::from_str(&json).expect("deserialize");
+        assert_eq!(back.n_qubits(), psi.n_qubits());
+        for (x, y) in back.amplitudes().iter().zip(psi.amplitudes()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn state_vector_rejects_bad_lengths() {
+        assert!(serde::json::from_str::<StateVector>("[[\"0000000000000000\", \"0000000000000000\"], [\"0000000000000000\", \"0000000000000000\"], [\"0000000000000000\", \"0000000000000000\"]]").is_err());
+    }
+}

@@ -69,6 +69,24 @@ impl StateVector {
         sv
     }
 
+    /// Rebuilds a state from amplitudes that are already normalized,
+    /// *without* renormalizing. Renormalization divides by a norm that is
+    /// only approximately 1 and would perturb the stored bit patterns, so
+    /// artifact deserialization uses this constructor to stay bit-exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub fn from_normalized_amplitudes(amps: Vec<C64>) -> Self {
+        let len = amps.len();
+        assert!(
+            len.is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
+        let n_qubits = len.trailing_zeros() as usize;
+        StateVector { n_qubits, amps }
+    }
+
     /// Number of qubits.
     #[inline]
     pub fn n_qubits(&self) -> usize {

@@ -1,9 +1,11 @@
 //! No-op derive macros backing the offline [`serde`] shim.
 //!
-//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a marker —
-//! nothing serializes at runtime in the offline build — so the derives expand
-//! to nothing. The type still compiles and the attribute remains in place for
-//! a future switch back to real `serde`.
+//! The derives expand to nothing: types that are actually persisted by the
+//! `morph-store` characterization cache implement the shim's `Serialize` /
+//! `Deserialize` traits *by hand* in their home crates (explicit, bit-exact
+//! encodings), while the remaining `#[derive(Serialize, Deserialize)]`
+//! attributes stay in the source as markers preserving a zero-diff path
+//! back to real `serde`.
 
 use proc_macro::TokenStream;
 

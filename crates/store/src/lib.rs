@@ -1,0 +1,33 @@
+//! Content-addressed characterization artifact store for the MorphQPV
+//! reproduction.
+//!
+//! The paper's headline cost is the characterization stage (Section 5:
+//! per-input sampling plus tomography readout), and its amortization
+//! argument is that one characterization is *reused* across many assertions
+//! on the same program. This crate is the substrate for that reuse:
+//!
+//! - [`Fingerprint`] / [`FingerprintBuilder`] — SHA-256 content addresses
+//!   over canonical byte encodings (`sha256` module implements the digest
+//!   offline, checked against the FIPS vectors).
+//! - [`CostAwareLru`] — the in-memory tier: LRU biased by each artifact's
+//!   recompute cost, so expensive characterizations outlive cheap ones.
+//! - [`MorphStore`] — the two-tier store: memory LRU over an on-disk JSON
+//!   directory with a schema-version field, atomic write-then-rename
+//!   persistence, and corruption-tolerant loads (a damaged entry is a miss
+//!   and gets rewritten, never a panic).
+//!
+//! The store is deliberately *untyped* — payloads are [`serde::json::Value`]
+//! trees — so it sits below every domain crate in the dependency graph.
+//! `morphqpv::characterize_cached` supplies the typed encoding of
+//! characterization artifacts and the cache-aware entry points; see
+//! DESIGN.md "Characterization cache" for the fingerprint definition and
+//! invalidation rules.
+
+mod fingerprint;
+mod lru;
+pub mod sha256;
+mod store;
+
+pub use fingerprint::{Fingerprint, FingerprintBuilder};
+pub use lru::CostAwareLru;
+pub use store::{MorphStore, StoreStats, DEFAULT_CAPACITY, SCHEMA_VERSION};

@@ -1,0 +1,381 @@
+//! The two-tier artifact store: in-memory cost-aware LRU over an on-disk
+//! JSON directory.
+//!
+//! Each artifact is a [`Value`] payload keyed by its [`Fingerprint`]. The
+//! disk tier stores one `<fingerprint-hex>.json` file per artifact, wrapped
+//! in an envelope carrying a schema version, the fingerprint, and the
+//! recompute cost. Writes are atomic (write to a temp file, then rename),
+//! and loads are corruption-tolerant: a truncated, malformed,
+//! schema-mismatched, or mislabeled entry is counted and treated as a
+//! cache miss — never a panic — so a later `put` simply rewrites it.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::json::{self, Value};
+
+use crate::fingerprint::Fingerprint;
+use crate::lru::CostAwareLru;
+
+/// On-disk envelope schema revision. Bump when the envelope layout
+/// changes; entries written under another revision load as misses.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Default in-memory entry capacity.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// Counters exposed by [`MorphStore::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from memory.
+    pub memory_hits: u64,
+    /// Lookups answered from disk (then promoted to memory).
+    pub disk_hits: u64,
+    /// Lookups answered by neither tier.
+    pub misses: u64,
+    /// Disk entries rejected as damaged or version-mismatched.
+    pub corrupt_entries: u64,
+    /// Artifacts written.
+    pub writes: u64,
+    /// Total recompute cost (quantum ops) avoided by hits.
+    pub cost_saved: u64,
+}
+
+impl StoreStats {
+    /// Total hits across both tiers.
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits ({} memory, {} disk), {} misses, saved {} quantum ops",
+            self.hits(),
+            self.memory_hits,
+            self.disk_hits,
+            self.misses,
+            self.cost_saved
+        )
+    }
+}
+
+/// Content-addressed artifact store with an LRU memory tier and an
+/// optional persistent JSON tier.
+///
+/// # Examples
+///
+/// ```
+/// use morph_store::{FingerprintBuilder, MorphStore};
+/// use serde::json::Value;
+///
+/// let mut store = MorphStore::in_memory();
+/// let fp = FingerprintBuilder::new("demo/v1").field_u64("k", 1).finish();
+/// assert!(store.get(&fp).is_none());
+/// store.put(fp, Value::UInt(42), 100).unwrap();
+/// assert_eq!(store.get(&fp), Some(Value::UInt(42)));
+/// assert_eq!(store.stats().cost_saved, 100);
+/// ```
+#[derive(Debug)]
+pub struct MorphStore {
+    dir: Option<PathBuf>,
+    memory: CostAwareLru<Fingerprint, Value>,
+    stats: StoreStats,
+}
+
+impl MorphStore {
+    /// A memory-only store with the default capacity.
+    pub fn in_memory() -> Self {
+        MorphStore::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A memory-only store holding at most `max_entries` artifacts.
+    pub fn with_capacity(max_entries: usize) -> Self {
+        MorphStore {
+            dir: None,
+            memory: CostAwareLru::new(max_entries),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// A persistent store rooted at `dir` (created if absent) with the
+    /// default memory capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        MorphStore::open_with_capacity(dir, DEFAULT_CAPACITY)
+    }
+
+    /// [`MorphStore::open`] with an explicit memory capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory cannot be created.
+    pub fn open_with_capacity(dir: impl Into<PathBuf>, max_entries: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(MorphStore {
+            dir: Some(dir),
+            memory: CostAwareLru::new(max_entries),
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// The persistent directory, when this store has one.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Number of memory-resident entries.
+    pub fn resident_entries(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Memory-tier evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.memory.evictions()
+    }
+
+    /// Looks up an artifact: memory first, then disk (promoting the entry
+    /// into memory on a disk hit). Damaged disk entries count as misses.
+    pub fn get(&mut self, fp: &Fingerprint) -> Option<Value> {
+        if let Some(value) = self.memory.get(fp) {
+            let value = value.clone();
+            self.stats.memory_hits += 1;
+            self.stats.cost_saved += self.memory.cost_of(fp).unwrap_or(0);
+            return Some(value);
+        }
+        if let Some((value, cost)) = self.load_from_disk(fp) {
+            self.stats.disk_hits += 1;
+            self.stats.cost_saved += cost;
+            self.memory.insert(*fp, value.clone(), cost);
+            return Some(value);
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// `true` when the artifact is resident in memory (no recency bump, no
+    /// disk probe).
+    pub fn contains_in_memory(&self, fp: &Fingerprint) -> bool {
+        self.memory.cost_of(fp).is_some()
+    }
+
+    /// Stores an artifact under its fingerprint. `cost` is the recompute
+    /// cost credited back on every future hit (and the weight the eviction
+    /// policy protects). The memory tier is always updated; the disk tier
+    /// is written atomically when configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the disk write fails (the
+    /// memory tier keeps the artifact regardless).
+    pub fn put(&mut self, fp: Fingerprint, payload: Value, cost: u64) -> io::Result<()> {
+        self.stats.writes += 1;
+        self.memory.insert(fp, payload.clone(), cost);
+        if self.dir.is_some() {
+            self.persist(&fp, &payload, cost)?;
+        }
+        Ok(())
+    }
+
+    /// Drops the memory tier (disk entries survive). Useful in tests to
+    /// force disk loads.
+    pub fn drop_memory(&mut self) {
+        self.memory.clear();
+    }
+
+    fn entry_path(&self, fp: &Fingerprint) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", fp.to_hex())))
+    }
+
+    fn persist(&self, fp: &Fingerprint, payload: &Value, cost: u64) -> io::Result<()> {
+        let path = self.entry_path(fp).expect("persist requires a directory");
+        let mut envelope = std::collections::BTreeMap::new();
+        envelope.insert("schema".to_string(), Value::UInt(u64::from(SCHEMA_VERSION)));
+        envelope.insert("fingerprint".to_string(), Value::Str(fp.to_hex()));
+        envelope.insert("cost".to_string(), Value::UInt(cost));
+        envelope.insert("payload".to_string(), payload.clone());
+        let text = json::to_string(&Value::Object(envelope));
+
+        // Atomic publish: a reader either sees the old entry or the new
+        // one, never a torn write. The temp name includes the pid so
+        // concurrent writers of the same artifact cannot collide; the final
+        // rename is last-writer-wins over identical content.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        fs::write(&tmp, text.as_bytes())?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads and validates a disk entry; any failure is a tolerated miss.
+    fn load_from_disk(&mut self, fp: &Fingerprint) -> Option<(Value, u64)> {
+        let path = self.entry_path(fp)?;
+        let text = fs::read_to_string(&path).ok()?;
+        match decode_envelope(&text, fp) {
+            Some(entry) => Some(entry),
+            None => {
+                // Damaged or version-mismatched: count it, remove the file
+                // best-effort so the next `put` rewrites a clean entry.
+                self.stats.corrupt_entries += 1;
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+}
+
+/// Parses an envelope, returning `(payload, cost)` only when the schema
+/// version and fingerprint both check out.
+fn decode_envelope(text: &str, expected: &Fingerprint) -> Option<(Value, u64)> {
+    let root = json::parse(text).ok()?;
+    let schema = root.get("schema")?.as_u64()?;
+    if schema != u64::from(SCHEMA_VERSION) {
+        return None;
+    }
+    let fp = Fingerprint::from_hex(root.get("fingerprint")?.as_str()?)?;
+    if fp != *expected {
+        return None;
+    }
+    let cost = root.get("cost")?.as_u64()?;
+    let payload = root.get("payload")?.clone();
+    Some((payload, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::FingerprintBuilder;
+
+    fn temp_dir(label: &str) -> PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!(
+            "morph-store-test-{label}-{}-{nanos}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn fp(n: u64) -> Fingerprint {
+        FingerprintBuilder::new("test/v1")
+            .field_u64("n", n)
+            .finish()
+    }
+
+    #[test]
+    fn memory_round_trip_and_stats() {
+        let mut store = MorphStore::in_memory();
+        let key = fp(1);
+        assert!(store.get(&key).is_none());
+        store.put(key, Value::Str("artifact".into()), 7).unwrap();
+        assert_eq!(store.get(&key), Some(Value::Str("artifact".into())));
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.memory_hits, 1);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.cost_saved, 7);
+    }
+
+    #[test]
+    fn disk_entries_survive_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let mut store = MorphStore::open(&dir).unwrap();
+            store.put(fp(2), Value::UInt(99), 1234).unwrap();
+        }
+        let mut fresh = MorphStore::open(&dir).unwrap();
+        assert_eq!(fresh.get(&fp(2)), Some(Value::UInt(99)));
+        assert_eq!(fresh.stats().disk_hits, 1);
+        assert_eq!(fresh.stats().cost_saved, 1234);
+        // Promoted into memory: second lookup is a memory hit.
+        assert!(fresh.get(&fp(2)).is_some());
+        assert_eq!(fresh.stats().memory_hits, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_entry_degrades_to_miss() {
+        let dir = temp_dir("truncated");
+        let mut store = MorphStore::open(&dir).unwrap();
+        store.put(fp(3), Value::UInt(1), 50).unwrap();
+        let path = store.entry_path(&fp(3)).unwrap();
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        store.drop_memory();
+        assert_eq!(store.get(&fp(3)), None);
+        assert_eq!(store.stats().corrupt_entries, 1);
+        assert!(!path.exists(), "damaged entry is cleaned up");
+        // Rewriting repairs the entry.
+        store.put(fp(3), Value::UInt(2), 50).unwrap();
+        store.drop_memory();
+        assert_eq!(store.get(&fp(3)), Some(Value::UInt(2)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn schema_mismatch_degrades_to_miss() {
+        let dir = temp_dir("schema");
+        let mut store = MorphStore::open(&dir).unwrap();
+        store.put(fp(4), Value::UInt(1), 5).unwrap();
+        let path = store.entry_path(&fp(4)).unwrap();
+        let hacked = fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"schema\":1", "\"schema\":999");
+        fs::write(&path, hacked).unwrap();
+        store.drop_memory();
+        assert_eq!(store.get(&fp(4)), None);
+        assert_eq!(store.stats().corrupt_entries, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mislabeled_fingerprint_degrades_to_miss() {
+        let dir = temp_dir("mislabel");
+        let mut store = MorphStore::open(&dir).unwrap();
+        store.put(fp(5), Value::UInt(1), 5).unwrap();
+        // Copy entry 5's file into entry 6's slot: content hash no longer
+        // matches the address.
+        let from = store.entry_path(&fp(5)).unwrap();
+        let to = store.entry_path(&fp(6)).unwrap();
+        fs::copy(&from, &to).unwrap();
+        store.drop_memory();
+        assert_eq!(store.get(&fp(6)), None);
+        assert_eq!(store.stats().corrupt_entries, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eviction_is_memory_only() {
+        let dir = temp_dir("evict");
+        let mut store = MorphStore::open_with_capacity(&dir, 2).unwrap();
+        for n in 0..5 {
+            store.put(fp(n), Value::UInt(n), 1).unwrap();
+        }
+        assert_eq!(store.resident_entries(), 2);
+        assert!(store.evictions() >= 3);
+        // Evicted artifacts still load from disk.
+        assert_eq!(store.get(&fp(0)), Some(Value::UInt(0)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -8,10 +8,11 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use serde::json::{FromValueError, Value};
 use serde::{Deserialize, Serialize};
 
 /// Accumulated execution costs of a verification run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CostLedger {
     /// Distinct program executions (an input preparation + measurement
     /// setting run on hardware).
@@ -58,6 +59,35 @@ impl std::fmt::Display for CostLedger {
             "{} executions, {} shots, {} quantum ops",
             self.executions, self.shots, self.quantum_ops
         )
+    }
+}
+
+impl Serialize for CostLedger {
+    /// Counters are persisted as digit-exact JSON integers (the serde
+    /// shim's `u64` path never routes through `f64`), so ledgers above
+    /// 2^53 operations survive a store round trip unchanged.
+    fn to_value(&self) -> Value {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("executions".to_string(), Value::UInt(self.executions));
+        m.insert("shots".to_string(), Value::UInt(self.shots));
+        m.insert("quantum_ops".to_string(), Value::UInt(self.quantum_ops));
+        Value::Object(m)
+    }
+}
+
+impl<'de> Deserialize<'de> for CostLedger {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        let field = |name: &str| -> Result<u64, FromValueError> {
+            value
+                .require(name)?
+                .as_u64()
+                .ok_or_else(|| FromValueError::new(format!("{name} must be a u64 counter")))
+        };
+        Ok(CostLedger {
+            executions: field("executions")?,
+            shots: field("shots")?,
+            quantum_ops: field("quantum_ops")?,
+        })
     }
 }
 
@@ -131,6 +161,18 @@ mod tests {
         assert_eq!(snap.executions, 1);
         assert_eq!(snap.shots, 3);
         assert_eq!(snap.quantum_ops, 10);
+    }
+
+    #[test]
+    fn ledger_round_trips_above_f64_precision() {
+        let ledger = CostLedger {
+            executions: 3,
+            shots: (1u64 << 53) + 1, // not representable as f64
+            quantum_ops: u64::MAX,
+        };
+        let json = serde::json::to_string(&ledger);
+        let back: CostLedger = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, ledger);
     }
 
     #[test]

@@ -49,6 +49,54 @@ impl ReadoutMode {
             ReadoutMode::Shots(s) | ReadoutMode::ProbabilitiesOnly(s) => *s as u64,
         }
     }
+
+    /// Stable `(tag, parameter)` pair used by serialization and
+    /// morph-store fingerprints.
+    pub fn tag(&self) -> (&'static str, u64) {
+        match self {
+            ReadoutMode::Exact => ("exact", 0),
+            ReadoutMode::Shots(s) => ("shots", *s as u64),
+            ReadoutMode::ProbabilitiesOnly(s) => ("probabilities-only", *s as u64),
+            ReadoutMode::Shadow(n) => ("shadow", *n as u64),
+        }
+    }
+}
+
+impl serde::Serialize for ReadoutMode {
+    fn to_value(&self) -> serde::json::Value {
+        let (tag, param) = self.tag();
+        serde::json::Value::Array(vec![
+            serde::json::Value::Str(tag.to_string()),
+            serde::json::Value::UInt(param),
+        ])
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for ReadoutMode {
+    fn from_value(value: &serde::json::Value) -> Result<Self, serde::json::FromValueError> {
+        use serde::json::{FromValueError, Value};
+        let parts = value
+            .as_array()
+            .ok_or_else(|| FromValueError::expected("[tag, param] readout mode", value))?;
+        match parts {
+            [Value::Str(tag), param] => {
+                let n = param
+                    .as_u64()
+                    .ok_or_else(|| FromValueError::expected("readout parameter", param))?
+                    as usize;
+                match tag.as_str() {
+                    "exact" => Ok(ReadoutMode::Exact),
+                    "shots" => Ok(ReadoutMode::Shots(n)),
+                    "probabilities-only" => Ok(ReadoutMode::ProbabilitiesOnly(n)),
+                    "shadow" => Ok(ReadoutMode::Shadow(n)),
+                    _ => Err(FromValueError::new(format!(
+                        "unknown readout mode tag {tag:?}"
+                    ))),
+                }
+            }
+            _ => Err(FromValueError::expected("[tag, param] readout mode", value)),
+        }
+    }
 }
 
 /// Enumerates all `4^k` Pauli strings over `k` qubits (in `IXYZ` alphabet),

@@ -1,0 +1,10 @@
+// 3-qubit GHZ preparation with a verification spec.
+// Verify with:  cargo run --release -p morph-bench --bin verify -- examples/programs/ghz.qasm
+qreg q[3];
+T 1 q[0];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+T 2 q[0,1,2];
+// assert assume is_pure(T1) guarantee is_pure(T2)
+// assert guarantee prob_at_least(T2, 0, 0.4)
