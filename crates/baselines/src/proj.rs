@@ -71,7 +71,9 @@ impl ProjAssertion {
         let executor = Executor::new();
         let out = executor.run_trajectory(program, input, rng).final_state;
         let rho = out.reduced_density_matrix(qubits);
-        let inside = projector.matmul(&rho).trace().re.clamp(0.0, 1.0);
+        let inside = morph_linalg::trace_product(projector, &rho)
+            .re
+            .clamp(0.0, 1.0);
         let ops = program.op_cost() as u64 + ndd_synthesis_gate_cost(qubits.len());
         ledger.record_execution(self.shots as u64, ops);
         // Binomial shot noise on the inside/outside split.

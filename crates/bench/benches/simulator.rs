@@ -1,8 +1,55 @@
-//! Substrate micro-benchmarks: state-vector gate kernels and reduced
-//! density matrices — the primitives every experiment leans on.
+//! Substrate micro-benchmarks: state-vector gate kernels, the qubit-local
+//! density-matrix kernels against the full-matrix `evolve` oracle, the
+//! closed-form depolarizing channel against embedded Kraus conjugation,
+//! gate fusion, and end-to-end noisy execution.
+//!
+//! Set `MORPH_BENCH_QUICK=1` to run a smoke-test subset (smallest register
+//! only, minimal samples) — used by CI; see `crates/bench/README.md` for
+//! recorded full-run numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use morph_qsim::{Gate, StateVector};
+use morph_linalg::CMatrix;
+use morph_qprog::{Circuit, Executor, Instruction};
+use morph_qsim::{matrices, DensityMatrix, Gate, NoiseModel, StateVector};
+
+fn quick() -> bool {
+    std::env::var_os("MORPH_BENCH_QUICK").is_some()
+}
+
+fn density_sizes() -> &'static [usize] {
+    if quick() {
+        &[6]
+    } else {
+        &[6, 8, 10]
+    }
+}
+
+/// A density matrix with structure on every qubit (no zero blocks that
+/// would flatter sparse access patterns).
+fn busy_density(n: usize) -> DensityMatrix {
+    let mut rho = DensityMatrix::zero_state(n);
+    for q in 0..n {
+        rho.apply_gate(&Gate::H(q));
+        rho.apply_gate(&Gate::T(q));
+    }
+    for q in 0..n - 1 {
+        rho.apply_gate(&Gate::CX(q, q + 1));
+    }
+    rho
+}
+
+/// Kraus operators of the single-qubit depolarizing channel embedded in an
+/// `n`-qubit register — the pre-kernel implementation path.
+fn embedded_depolarize_kraus(qubit: usize, p: f64, n: usize) -> Vec<CMatrix> {
+    vec![
+        CMatrix::identity(2)
+            .scale_re((1.0 - 3.0 * p / 4.0).sqrt())
+            .embed(&[qubit], n),
+        matrices::x().scale_re((p / 4.0).sqrt()).embed(&[qubit], n),
+        matrices::y().scale_re((p / 4.0).sqrt()).embed(&[qubit], n),
+        matrices::z().scale_re((p / 4.0).sqrt()).embed(&[qubit], n),
+    ]
+}
 
 fn bench_gates(c: &mut Criterion) {
     let mut group = c.benchmark_group("statevector_kernels");
@@ -26,6 +73,13 @@ fn bench_gates(c: &mut Criterion) {
                 s
             });
         });
+        group.bench_with_input(BenchmarkId::new("swap", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = psi.clone();
+                s.apply_swap(0, n - 1);
+                s
+            });
+        });
         group.bench_with_input(BenchmarkId::new("mcz", n), &n, |b, _| {
             let qubits: Vec<usize> = (0..n).collect();
             b.iter(|| {
@@ -41,5 +95,150 @@ fn bench_gates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gates);
+fn bench_density_local(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_local");
+    group.sample_size(if quick() { 3 } else { 10 });
+    for &n in density_sizes() {
+        let rho = busy_density(n);
+        group.bench_with_input(BenchmarkId::new("1q_h", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = rho.clone();
+                r.apply_gate(&Gate::H(n / 2));
+                r
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("2q_cx", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = rho.clone();
+                r.apply_gate(&Gate::CX(0, n - 1));
+                r
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("depolarize", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = rho.clone();
+                r.depolarize(n / 2, 0.01);
+                r
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_density_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_full_matrix");
+    group.sample_size(2);
+    for &n in density_sizes() {
+        let rho = busy_density(n);
+        let h_full = Gate::H(n / 2).full_matrix(n);
+        let cx_full = Gate::CX(0, n - 1).full_matrix(n);
+        group.bench_with_input(BenchmarkId::new("1q_h", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = rho.clone();
+                r.evolve(&h_full);
+                r
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("2q_cx", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = rho.clone();
+                r.evolve(&cx_full);
+                r
+            });
+        });
+        // The Kraus comparator pays 2k full matmuls; keep it off the
+        // largest register so a full run stays in minutes, not hours.
+        if n < 10 {
+            let kraus = embedded_depolarize_kraus(n / 2, 0.01, n);
+            group.bench_with_input(BenchmarkId::new("depolarize_kraus", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut r = rho.clone();
+                    r.apply_kraus(&kraus);
+                    r
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// A layered circuit with plenty of fusable structure: Euler-angle-style
+/// single-qubit runs interleaved with entangling layers — the shape
+/// characterization sweeps produce after input-state preparation.
+fn layered_circuit(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for l in 0..layers {
+        let a = 0.3 + l as f64 * 0.1;
+        for q in 0..n {
+            c.h(q).rx(q, a).ry(q, a * 0.7).rx(q, a * 1.3).ry(q, a * 0.4);
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+    }
+    c
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_fusion");
+    group.sample_size(if quick() { 3 } else { 10 });
+    let n = if quick() { 8 } else { 12 };
+    let circuit = layered_circuit(n, 8);
+    let input = StateVector::zero_state(n);
+    group.bench_with_input(BenchmarkId::new("run_expected_fused", n), &n, |b, _| {
+        let ex = Executor::new();
+        b.iter(|| ex.run_expected(&circuit, &input));
+    });
+    group.bench_with_input(BenchmarkId::new("run_expected_unfused", n), &n, |b, _| {
+        let ex = Executor::new().without_fusion();
+        b.iter(|| ex.run_expected(&circuit, &input));
+    });
+    group.finish();
+}
+
+/// Steps a circuit through the pre-kernel noisy path: full-matrix `evolve`
+/// per gate plus embedded-Kraus depolarizing after each gate.
+fn run_noisy_full_matrix(circuit: &Circuit, noise: &NoiseModel) -> DensityMatrix {
+    let n = circuit.n_qubits();
+    let mut rho = DensityMatrix::zero_state(n);
+    for inst in circuit.instructions() {
+        if let Instruction::Gate(g) = inst {
+            rho.evolve(&g.full_matrix(n));
+            let qs = g.qubits();
+            let p = if qs.len() <= 1 { noise.p1 } else { noise.p2 };
+            if p > 0.0 {
+                for q in qs {
+                    rho.apply_kraus(&embedded_depolarize_kraus(q, p, n));
+                }
+            }
+        }
+    }
+    rho
+}
+
+fn bench_noisy_e2e(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noisy_e2e");
+    group.sample_size(2);
+    let n = if quick() { 4 } else { 7 };
+    let circuit = layered_circuit(n, 2);
+    let noise = NoiseModel::ibm_cairo();
+    group.bench_with_input(BenchmarkId::new("local_kernels", n), &n, |b, _| {
+        let ex = Executor::with_noise(noise);
+        let input = DensityMatrix::zero_state(n);
+        b.iter(|| ex.run_expected_noisy(&circuit, &input));
+    });
+    group.bench_with_input(BenchmarkId::new("full_matrix", n), &n, |b, _| {
+        b.iter(|| run_noisy_full_matrix(&circuit, &noise));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gates,
+    bench_density_local,
+    bench_density_full,
+    bench_fusion,
+    bench_noisy_e2e
+);
 criterion_main!(benches);

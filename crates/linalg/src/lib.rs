@@ -41,7 +41,7 @@ pub use complex::C64;
 pub use eigen::{eigh, EigenDecomposition};
 pub use func::{
     expectation, fidelity, hs_accuracy, is_density_matrix, project_to_density, purity,
-    purity_defect, sqrt_psd, trace_distance, von_neumann_entropy,
+    purity_defect, sqrt_psd, trace_distance, trace_product, von_neumann_entropy,
 };
 pub use matrix::CMatrix;
 pub use solve::{decompose_hermitian, recombine, solve, solve_sym_regularized, SolveError};

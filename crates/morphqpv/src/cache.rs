@@ -37,7 +37,11 @@ use crate::characterize::{characterize_with_inputs, Characterization, Characteri
 /// Domain tag prefixed to every characterization fingerprint. Bump the
 /// version suffix whenever the characterization algorithm itself changes
 /// meaning for the same inputs.
-pub const FINGERPRINT_DOMAIN: &str = "morphqpv/characterization/v1";
+///
+/// v2: the simulator switched to qubit-local density kernels, closed-form
+/// channels, and statevector gate fusion — numerically equivalent only up
+/// to rounding, so artifacts from v1 must not be reused.
+pub const FINGERPRINT_DOMAIN: &str = "morphqpv/characterization/v2";
 
 /// Version of the artifact payload layout inside the store envelope
 /// (the envelope's own schema version is `morph_store::SCHEMA_VERSION`).

@@ -1,5 +1,11 @@
 //! Program characterization (Section 5): input sampling + tracepoint
 //! readout, producing one [`ApproximationFunction`] per tracepoint.
+//!
+//! Sampling runs execute through [`Executor`], so noiseless sweeps get the
+//! statevector gate-fusion pre-pass and noisy density sweeps get the
+//! qubit-local channel kernels automatically; a simulator arithmetic
+//! change of this kind bumps [`crate::cache::FINGERPRINT_DOMAIN`] so stale
+//! artifacts are never reused.
 
 use std::collections::BTreeMap;
 

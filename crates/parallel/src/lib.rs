@@ -127,6 +127,48 @@ where
     parallel_map(workers, &indices, |_, &i| f(i))
 }
 
+/// Splits `data` into consecutive chunks of `chunk_len` elements (the last
+/// chunk may be shorter) and evaluates `f(chunk_index, chunk)` on each, in
+/// parallel across `workers` threads.
+///
+/// Chunk boundaries depend only on `chunk_len`, never on the worker count, so
+/// a kernel whose output for each element is a pure function of that chunk's
+/// input (no cross-chunk reductions) produces bit-identical results with 1 or
+/// N workers. This is the in-place counterpart of [`parallel_map`], used by
+/// the density-matrix kernels to fan out over row blocks.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`; propagates the panic of any task.
+pub fn parallel_chunks_mut<T, F>(workers: usize, data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = effective_workers(workers).min(n_chunks);
+    if workers <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+
+    let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().unwrap().next();
+                match next {
+                    Some((i, chunk)) => f(i, chunk),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +230,49 @@ mod tests {
     fn heavy_fan_out_uses_all_slots_exactly_once() {
         let results = parallel_map_indices(0, 1000, |i| i);
         assert_eq!(results, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_visits_every_element_once() {
+        let mut data: Vec<u64> = (0..1027).collect();
+        parallel_chunks_mut(8, &mut data, 64, |ci, chunk| {
+            for x in chunk.iter_mut() {
+                *x = x.wrapping_mul(3).wrapping_add(ci as u64);
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            let expect = (i as u64).wrapping_mul(3).wrapping_add((i / 64) as u64);
+            assert_eq!(x, expect);
+        }
+    }
+
+    #[test]
+    fn chunks_mut_is_worker_count_independent() {
+        let base: Vec<f64> = (0..512).map(|i| i as f64 * 0.37).collect();
+        let run = |workers: usize| {
+            let mut data = base.clone();
+            parallel_chunks_mut(workers, &mut data, 33, |ci, chunk| {
+                for x in chunk.iter_mut() {
+                    *x = x.sin() + ci as f64;
+                }
+            });
+            data
+        };
+        assert_eq!(run(1), run(7));
+        assert_eq!(run(1), run(0));
+    }
+
+    #[test]
+    fn chunks_mut_handles_empty_and_oversized_chunks() {
+        let mut empty: Vec<u8> = Vec::new();
+        parallel_chunks_mut(4, &mut empty, 16, |_, _| panic!("no chunks expected"));
+        let mut small = vec![1u8, 2, 3];
+        parallel_chunks_mut(4, &mut small, 100, |ci, chunk| {
+            assert_eq!(ci, 0);
+            for x in chunk.iter_mut() {
+                *x += 1;
+            }
+        });
+        assert_eq!(small, vec![2, 3, 4]);
     }
 }

@@ -18,6 +18,7 @@ use morph_qsim::{DensityMatrix, Gate, NoiseModel, StateVector};
 use rand::Rng;
 
 use crate::circuit::{Circuit, Instruction, TracepointId};
+use crate::fusion::fuse_circuit;
 
 /// Probability below which a measurement branch is pruned.
 const BRANCH_EPS: f64 = 1e-12;
@@ -61,9 +62,19 @@ impl ExpectedRecord {
 /// An `Executor` holds only plain configuration data, so a single instance
 /// can be shared by reference across the worker threads of a parallel
 /// characterization or baseline sweep.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Executor {
     noise: NoiseModel,
+    fuse: bool,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor {
+            noise: NoiseModel::noiseless(),
+            fuse: true,
+        }
+    }
 }
 
 // Parallel characterization shares one executor across scoped worker
@@ -77,19 +88,38 @@ const _: () = {
 impl Executor {
     /// Noiseless executor.
     pub fn new() -> Self {
-        Executor {
-            noise: NoiseModel::noiseless(),
-        }
+        Executor::default()
     }
 
     /// Executor with a hardware noise model.
     pub fn with_noise(noise: NoiseModel) -> Self {
-        Executor { noise }
+        Executor { noise, fuse: true }
+    }
+
+    /// Disables the gate-fusion pre-pass. Fusion preserves semantics, so
+    /// this exists for debugging and for oracle comparisons in tests.
+    pub fn without_fusion(mut self) -> Self {
+        self.fuse = false;
+        self
     }
 
     /// The configured noise model.
     pub fn noise(&self) -> &NoiseModel {
         &self.noise
+    }
+
+    /// Returns the circuit to execute on a noiseless path: the fused form
+    /// (stored in `storage`) when fusion is enabled, else `circuit` itself.
+    fn fused_for_noiseless<'a>(
+        &self,
+        circuit: &'a Circuit,
+        storage: &'a mut Option<Circuit>,
+    ) -> &'a Circuit {
+        if self.fuse {
+            storage.insert(fuse_circuit(circuit))
+        } else {
+            circuit
+        }
     }
 
     /// Runs one stochastic trajectory from `input`, collapsing at
@@ -110,6 +140,14 @@ impl Executor {
             circuit.n_qubits(),
             "input register mismatch"
         );
+        // Trajectory noise attaches per physical gate, so fusing would
+        // change the noise process; only fuse when noiseless.
+        let mut storage = None;
+        let circuit = if self.noise.is_noiseless() {
+            self.fused_for_noiseless(circuit, &mut storage)
+        } else {
+            circuit
+        };
         let mut state = input.clone();
         let mut classical = vec![0u8; circuit.n_cbits()];
         let mut tracepoints = BTreeMap::new();
@@ -159,6 +197,8 @@ impl Executor {
             circuit.n_qubits(),
             "input register mismatch"
         );
+        let mut storage = None;
+        let circuit = self.fused_for_noiseless(circuit, &mut storage);
         let mut acc = Accumulator::new();
         enumerate_pure(
             circuit.instructions(),

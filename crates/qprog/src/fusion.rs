@@ -1,0 +1,356 @@
+//! Gate-fusion pre-pass for noiseless execution.
+//!
+//! [`fuse_circuit`] rewrites a circuit so that runs of adjacent
+//! single-qubit gates on the same qubit collapse into one `2×2`
+//! [`Gate::Unitary`], and single-qubit gates flanking a two-qubit gate are
+//! absorbed into that gate's `4×4` matrix. Consecutive two-qubit gates on
+//! the same ordered qubit pair also merge into a single `4×4`. The fused
+//! circuit applies strictly fewer simulator kernels while producing a
+//! bit-for-bit-equivalent-up-to-rounding state, so the executor runs it on
+//! every noiseless path.
+//!
+//! Fusion is only sound when nothing observes the state between the fused
+//! gates: noise channels attach to individual gates, so noisy paths must
+//! execute the original instruction stream. Tracepoints, measurements,
+//! resets, and conditionals act as barriers on the qubits they touch
+//! (unitaries on *disjoint* qubits commute with them, so only the touched
+//! qubits flush); an explicit [`Instruction::Barrier`] flushes everything.
+
+use std::collections::BTreeMap;
+
+use morph_linalg::CMatrix;
+use morph_qsim::Gate;
+
+use crate::circuit::{Circuit, Instruction};
+
+/// Accumulates pending single-qubit matrices and the fused output stream.
+struct Fuser {
+    ops: Vec<Instruction>,
+    /// Net `2×2` unitary per qubit, not yet emitted. Keyed by a BTreeMap so
+    /// multi-qubit flushes happen in a deterministic (ascending) order.
+    pending: BTreeMap<usize, CMatrix>,
+    /// Qubit → index in `ops` of the most recent fused two-qubit unitary
+    /// touching it, with no emitted instruction on that qubit since.
+    attach: BTreeMap<usize, usize>,
+}
+
+impl Fuser {
+    fn new() -> Self {
+        Fuser {
+            ops: Vec::new(),
+            pending: BTreeMap::new(),
+            attach: BTreeMap::new(),
+        }
+    }
+
+    /// Left-multiplies `m` (program order: `m` comes after) into the pending
+    /// matrix for `q`.
+    fn push_1q(&mut self, q: usize, m: &CMatrix) {
+        match self.pending.remove(&q) {
+            Some(prev) => {
+                self.pending.insert(q, m.matmul(&prev));
+            }
+            None => {
+                self.pending.insert(q, m.clone());
+            }
+        }
+    }
+
+    /// Emits a two-qubit gate on the ordered pair `(a, b)` (`a` more
+    /// significant in `m4`), absorbing any pending flanking 1q matrices and
+    /// merging into the previous op when it is a fused unitary on the same
+    /// ordered pair.
+    fn push_2q(&mut self, a: usize, b: usize, m4: CMatrix) {
+        let id2 = CMatrix::identity(2);
+        let pa = self.pending.remove(&a);
+        let pb = self.pending.remove(&b);
+        let m4 = if pa.is_some() || pb.is_some() {
+            let pa = pa.unwrap_or_else(|| id2.clone());
+            let pb = pb.unwrap_or(id2);
+            m4.matmul(&pa.kron(&pb))
+        } else {
+            m4
+        };
+        if let (Some(&ia), Some(&ib)) = (self.attach.get(&a), self.attach.get(&b)) {
+            if ia == ib {
+                if let Instruction::Gate(Gate::Unitary(ts, prev)) = &self.ops[ia] {
+                    if ts.as_slice() == [a, b] {
+                        let merged = m4.matmul(prev);
+                        self.ops[ia] = Instruction::Gate(Gate::Unitary(vec![a, b], merged));
+                        return;
+                    }
+                }
+            }
+        }
+        self.ops
+            .push(Instruction::Gate(Gate::Unitary(vec![a, b], m4)));
+        let idx = self.ops.len() - 1;
+        self.attach.insert(a, idx);
+        self.attach.insert(b, idx);
+    }
+
+    /// Emits the pending matrix for `q`, preferring to fold it into the
+    /// attached two-qubit unitary (nothing emitted since touches `q`, and
+    /// unitaries on other qubits commute with ops on `q`).
+    fn flush(&mut self, q: usize) {
+        let Some(p) = self.pending.remove(&q) else {
+            return;
+        };
+        if let Some(&i) = self.attach.get(&q) {
+            if let Instruction::Gate(Gate::Unitary(ts, m)) = &self.ops[i] {
+                if ts.len() == 2 && ts.contains(&q) {
+                    let id2 = CMatrix::identity(2);
+                    let lift = if ts[0] == q {
+                        p.kron(&id2)
+                    } else {
+                        id2.kron(&p)
+                    };
+                    let ts = ts.clone();
+                    let merged = lift.matmul(m);
+                    self.ops[i] = Instruction::Gate(Gate::Unitary(ts, merged));
+                    return;
+                }
+            }
+        }
+        self.ops.push(Instruction::Gate(Gate::Unitary(vec![q], p)));
+    }
+
+    /// Flushes `qubits` (ascending) and invalidates their attach points —
+    /// called at any instruction that observes or conditions on them.
+    fn boundary(&mut self, qubits: &[usize]) {
+        let mut qs: Vec<usize> = qubits.to_vec();
+        qs.sort_unstable();
+        qs.dedup();
+        for q in qs {
+            self.flush(q);
+            self.attach.remove(&q);
+        }
+    }
+
+    fn flush_all(&mut self) {
+        let qs: Vec<usize> = self.pending.keys().copied().collect();
+        for q in qs {
+            self.flush(q);
+        }
+        self.attach.clear();
+    }
+}
+
+/// Returns an observably equivalent circuit with adjacent unitaries fused.
+///
+/// Runs of single-qubit gates become one `Gate::Unitary` on one qubit;
+/// two-qubit gates absorb flanking single-qubit gates into their `4×4` and
+/// merge with a preceding fused gate on the same ordered pair. Gates on
+/// three or more qubits, tracepoints, measurements, resets, conditionals,
+/// and barriers pass through unchanged (flushing the qubits they touch).
+///
+/// # Examples
+///
+/// ```
+/// use morph_qprog::{fuse_circuit, Circuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).h(1).cx(0, 1).h(1);
+/// let fused = fuse_circuit(&c);
+/// assert_eq!(fused.gate_count(), 1); // one 4x4 unitary
+/// ```
+pub fn fuse_circuit(circuit: &Circuit) -> Circuit {
+    let mut f = Fuser::new();
+    for inst in circuit.instructions() {
+        match inst {
+            Instruction::Gate(g) => {
+                let qs = g.qubits();
+                match qs.len() {
+                    1 => f.push_1q(qs[0], &g.local_matrix()),
+                    2 => f.push_2q(qs[0], qs[1], g.local_matrix()),
+                    _ => {
+                        f.boundary(&qs);
+                        f.ops.push(inst.clone());
+                    }
+                }
+            }
+            Instruction::Barrier => {
+                f.flush_all();
+                f.ops.push(inst.clone());
+            }
+            _ => {
+                f.boundary(&inst.qubits());
+                f.ops.push(inst.clone());
+            }
+        }
+    }
+    f.flush_all();
+    let mut out = Circuit::with_cbits(circuit.n_qubits(), circuit.n_cbits());
+    for op in f.ops {
+        out.push(op);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::TracepointId;
+    use crate::executor::Executor;
+    use morph_qsim::StateVector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn final_state(c: &Circuit) -> StateVector {
+        let mut rng = StdRng::seed_from_u64(0);
+        Executor::new()
+            .without_fusion()
+            .run_trajectory(c, &StateVector::zero_state(c.n_qubits()), &mut rng)
+            .final_state
+    }
+
+    fn assert_equivalent(c: &Circuit) {
+        let fused = fuse_circuit(c);
+        let a = final_state(c);
+        let b = final_state(&fused);
+        for i in 0..a.amplitudes().len() {
+            let d = (a.amplitudes()[i] - b.amplitudes()[i]).abs();
+            assert!(d < 1e-12, "amplitude {i} differs by {d}");
+        }
+    }
+
+    #[test]
+    fn run_of_1q_gates_becomes_one_unitary() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).h(0).s(0);
+        let fused = fuse_circuit(&c);
+        assert_eq!(fused.gate_count(), 1);
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn flanking_1q_gates_absorb_into_2q() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cx(0, 1).t(0).h(1);
+        let fused = fuse_circuit(&c);
+        // One 4x4 holds everything: leading H⊗H, CX, trailing T⊗H.
+        assert_eq!(fused.gate_count(), 1);
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn consecutive_2q_on_same_pair_merge() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cz(0, 1).cx(0, 1);
+        let fused = fuse_circuit(&c);
+        assert_eq!(fused.gate_count(), 1);
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn reversed_pair_does_not_merge_but_stays_correct() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        let fused = fuse_circuit(&c);
+        assert_eq!(fused.gate_count(), 2);
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn boundaries_flush_only_touched_qubits() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).measure(0, 0).h(1);
+        let fused = fuse_circuit(&c);
+        // q0's H must be emitted before the measure; q1's pair fuses.
+        let kinds: Vec<bool> = fused
+            .instructions()
+            .iter()
+            .map(|i| matches!(i, Instruction::Measure { .. }))
+            .collect();
+        assert_eq!(kinds, vec![false, true, false]);
+        assert_eq!(fused.gate_count(), 2);
+    }
+
+    #[test]
+    fn barrier_flushes_everything() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).push(Instruction::Barrier);
+        c.cx(0, 1);
+        let fused = fuse_circuit(&c);
+        // Two 1q unitaries, the barrier, then the CX-derived unitary.
+        assert_eq!(fused.gate_count(), 3);
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn three_qubit_gates_pass_through() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2).ccx(0, 1, 2).h(2);
+        let fused = fuse_circuit(&c);
+        assert!(fused
+            .instructions()
+            .iter()
+            .any(|i| matches!(i, Instruction::Gate(Gate::CCX(..)))));
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn trailing_1q_folds_into_attached_2q_across_other_ops() {
+        // H on q2 is pending while the (0,1) unitary is emitted; flushing q2
+        // must not be folded into the (0,1) op.
+        let mut c = Circuit::new(3);
+        c.h(2).cx(0, 1).t(2);
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn random_circuits_match_unfused_execution() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = 4;
+            let mut c = Circuit::new(n);
+            for _ in 0..30 {
+                match rng.gen_range(0..8) {
+                    0 => {
+                        c.h(rng.gen_range(0..n));
+                    }
+                    1 => {
+                        c.t(rng.gen_range(0..n));
+                    }
+                    2 => {
+                        c.rx(rng.gen_range(0..n), rng.gen_range(0.0..3.0));
+                    }
+                    3 | 4 => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + rng.gen_range(1..n)) % n;
+                        c.cx(a, b);
+                    }
+                    5 => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + rng.gen_range(1..n)) % n;
+                        c.swap(a, b);
+                    }
+                    6 => {
+                        c.push(Instruction::Barrier);
+                    }
+                    _ => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + rng.gen_range(1..n)) % n;
+                        c.cz(a, b);
+                    }
+                }
+            }
+            assert_equivalent(&c);
+        }
+    }
+
+    #[test]
+    fn fused_expected_record_matches_unfused() {
+        let mut c = Circuit::new(3);
+        c.h(0).tracepoint(1, &[0]).cx(0, 1).h(2).t(2);
+        c.measure(0, 0);
+        c.conditional(0, 1, Gate::X(2));
+        c.tracepoint(2, &[1, 2]);
+        let input = StateVector::zero_state(3);
+        let fused = Executor::new().run_expected(&c, &input);
+        let plain = Executor::new().without_fusion().run_expected(&c, &input);
+        for id in [TracepointId(1), TracepointId(2)] {
+            assert!(fused.state(id).approx_eq(plain.state(id), 1e-12));
+        }
+    }
+}

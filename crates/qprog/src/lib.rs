@@ -30,12 +30,14 @@
 
 mod circuit;
 mod executor;
+mod fusion;
 mod optimize_pass;
 mod parser;
 mod writer;
 
 pub use circuit::{Circuit, Instruction, TracepointId};
 pub use executor::{ExecutionRecord, Executor, ExpectedRecord};
+pub use fusion::fuse_circuit;
 pub use optimize_pass::{simplify, SimplifyStats};
 pub use parser::{parse_program, ParseProgramError};
 pub use writer::{write_program, UnrepresentableError};

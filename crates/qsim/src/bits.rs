@@ -1,0 +1,48 @@
+//! Bit-deposit index enumeration shared by the state-vector and
+//! density-matrix kernels.
+//!
+//! Local gate kernels never scan all `2^n` basis indices and branch on
+//! masks; they enumerate only *base* indices — indices with the target
+//! bit(s) forced to zero — and reconstruct the partner indices by OR-ing in
+//! the target masks. `deposit` turns a dense counter `0..2^(n-k)` into such
+//! a base index by inserting zero bits at the fixed positions.
+
+/// Inserts a zero bit at position `shift`: bits of `base` below `shift` stay
+/// put, bits at or above `shift` move up by one.
+#[inline(always)]
+pub(crate) fn deposit(base: usize, shift: usize) -> usize {
+    let low = base & ((1usize << shift) - 1);
+    ((base >> shift) << (shift + 1)) | low
+}
+
+/// Inserts zero bits at every position in `shifts`, which must be sorted
+/// ascending. Each position is the bit's final (absolute) index.
+#[inline(always)]
+pub(crate) fn deposit_multi(base: usize, shifts_ascending: &[usize]) -> usize {
+    let mut idx = base;
+    for &s in shifts_ascending {
+        idx = deposit(idx, s);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposit_enumerates_indices_with_bit_clear() {
+        let shift = 2;
+        let got: Vec<usize> = (0..8).map(|b| deposit(b, shift)).collect();
+        let expect: Vec<usize> = (0..16).filter(|i| i & (1 << shift) == 0).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn deposit_multi_clears_every_fixed_bit() {
+        let shifts = [1, 3];
+        let got: Vec<usize> = (0..8).map(|b| deposit_multi(b, &shifts)).collect();
+        let expect: Vec<usize> = (0..32).filter(|i| i & 0b01010 == 0).collect();
+        assert_eq!(got, expect);
+    }
+}

@@ -207,11 +207,7 @@ impl Gate {
             Gate::CZ(a, b) => psi.apply_cz(*a, *b),
             Gate::CRZ(c, t, a) => psi.apply_controlled_1q(&matrices::rz(*a), &[*c], *t),
             Gate::CPhase(c, t, a) => psi.apply_controlled_1q(&matrices::phase(*a), &[*c], *t),
-            Gate::Swap(a, b) => {
-                psi.apply_cx(*a, *b);
-                psi.apply_cx(*b, *a);
-                psi.apply_cx(*a, *b);
-            }
+            Gate::Swap(a, b) => psi.apply_swap(*a, *b),
             Gate::CCX(c1, c2, t) => psi.apply_controlled_1q(&matrices::x(), &[*c1, *c2], *t),
             Gate::MCZ(qs) => psi.apply_mcz(qs),
             Gate::MCRX(cs, t, a) => psi.apply_controlled_1q(&matrices::rx(*a), cs, *t),
@@ -445,10 +441,30 @@ mod tests {
     }
 
     #[test]
-    fn swap_decomposition_works() {
+    fn swap_kernel_matches_cx_decomposition() {
         let mut sv = StateVector::basis_state(2, 0b10);
         Gate::Swap(0, 1).apply(&mut sv);
         assert_eq!(sv.amplitudes()[0b01], C64::ONE);
+
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(37);
+        let amps: Vec<C64> = (0..16)
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let sv = StateVector::from_amplitudes(amps);
+        let mut direct = sv.clone();
+        direct.apply_swap(1, 3);
+        let mut via_cx = sv;
+        via_cx.apply_cx(1, 3);
+        via_cx.apply_cx(3, 1);
+        via_cx.apply_cx(1, 3);
+        for (i, &e) in via_cx.amplitudes().iter().enumerate() {
+            assert!(
+                direct.amplitudes()[i].approx_eq(e, 1e-12),
+                "mismatch at {i}"
+            );
+        }
     }
 
     #[test]

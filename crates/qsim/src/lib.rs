@@ -31,6 +31,7 @@
 //! assert!((rho01[(0, 0)].re - 0.5).abs() < 1e-12);
 //! ```
 
+mod bits;
 mod density;
 mod gate;
 mod noise;

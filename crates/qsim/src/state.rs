@@ -7,6 +7,8 @@
 use morph_linalg::{CMatrix, C64};
 use rand::Rng;
 
+use crate::bits;
+
 /// A normalized `n`-qubit pure state of `2^n` complex amplitudes.
 ///
 /// # Examples
@@ -165,14 +167,13 @@ impl StateVector {
         let shift = self.bit_shift(qubit);
         let mask = 1usize << shift;
         let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
-        for i in 0..self.amps.len() {
-            if i & mask == 0 {
-                let j = i | mask;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = u00 * a0 + u01 * a1;
-                self.amps[j] = u10 * a0 + u11 * a1;
-            }
+        for base in 0..self.amps.len() / 2 {
+            let i = bits::deposit(base, shift);
+            let j = i | mask;
+            let a0 = self.amps[i];
+            let a1 = self.amps[j];
+            self.amps[i] = u00 * a0 + u01 * a1;
+            self.amps[j] = u10 * a0 + u11 * a1;
         }
     }
 
@@ -189,25 +190,22 @@ impl StateVector {
         let sa = self.bit_shift(q_a);
         let sb = self.bit_shift(q_b);
         let (ma, mb) = (1usize << sa, 1usize << sb);
-        for i in 0..self.amps.len() {
-            if i & ma == 0 && i & mb == 0 {
-                let i00 = i;
-                let i01 = i | mb;
-                let i10 = i | ma;
-                let i11 = i | ma | mb;
-                let a = [
-                    self.amps[i00],
-                    self.amps[i01],
-                    self.amps[i10],
-                    self.amps[i11],
-                ];
-                for (r, &idx) in [i00, i01, i10, i11].iter().enumerate() {
-                    let mut acc = C64::ZERO;
-                    for (c, &ac) in a.iter().enumerate() {
-                        acc += u[(r, c)] * ac;
-                    }
-                    self.amps[idx] = acc;
+        let (lo, hi) = (sa.min(sb), sa.max(sb));
+        for base in 0..self.amps.len() / 4 {
+            let i00 = bits::deposit(bits::deposit(base, lo), hi);
+            let idxs = [i00, i00 | mb, i00 | ma, i00 | ma | mb];
+            let a = [
+                self.amps[idxs[0]],
+                self.amps[idxs[1]],
+                self.amps[idxs[2]],
+                self.amps[idxs[3]],
+            ];
+            for (r, &idx) in idxs.iter().enumerate() {
+                let mut acc = C64::ZERO;
+                for (c, &ac) in a.iter().enumerate() {
+                    acc += u[(r, c)] * ac;
                 }
+                self.amps[idx] = acc;
             }
         }
     }
@@ -239,35 +237,35 @@ impl StateVector {
             assert_eq!(sorted.len(), k, "duplicate targets");
         }
         let dk = 1usize << k;
-        let target_mask: usize = shifts.iter().map(|&s| 1usize << s).sum();
-        let mut scratch = vec![C64::ZERO; dk];
-        for base in 0..self.amps.len() {
-            if base & target_mask != 0 {
-                continue;
-            }
-            // Gather.
-            for (t, slot) in scratch.iter_mut().enumerate() {
-                let mut idx = base;
+        let sorted = {
+            let mut s = shifts.clone();
+            s.sort_unstable();
+            s
+        };
+        // spread[t]: offset of local operator index t within a base block.
+        let spread: Vec<usize> = (0..dk)
+            .map(|t| {
+                let mut mask = 0usize;
                 for (bit, &s) in shifts.iter().enumerate() {
                     if (t >> (k - 1 - bit)) & 1 == 1 {
-                        idx |= 1 << s;
+                        mask |= 1 << s;
                     }
                 }
-                *slot = self.amps[idx];
+                mask
+            })
+            .collect();
+        let mut scratch = vec![C64::ZERO; dk];
+        for rest in 0..self.amps.len() >> k {
+            let base = bits::deposit_multi(rest, &sorted);
+            for (t, slot) in scratch.iter_mut().enumerate() {
+                *slot = self.amps[base | spread[t]];
             }
-            // Transform + scatter.
             for r in 0..dk {
                 let mut acc = C64::ZERO;
                 for c in 0..dk {
                     acc += u[(r, c)] * scratch[c];
                 }
-                let mut idx = base;
-                for (bit, &s) in shifts.iter().enumerate() {
-                    if (r >> (k - 1 - bit)) & 1 == 1 {
-                        idx |= 1 << s;
-                    }
-                }
-                self.amps[idx] = acc;
+                self.amps[base | spread[r]] = acc;
             }
         }
     }
@@ -284,15 +282,20 @@ impl StateVector {
                 1usize << self.bit_shift(c)
             })
             .sum();
+        let fixed = {
+            let mut f: Vec<usize> = controls.iter().map(|&c| self.bit_shift(c)).collect();
+            f.push(ts);
+            f.sort_unstable();
+            f
+        };
         let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
-        for i in 0..self.amps.len() {
-            if i & tmask == 0 && (i & cmask) == cmask {
-                let j = i | tmask;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = u00 * a0 + u01 * a1;
-                self.amps[j] = u10 * a0 + u11 * a1;
-            }
+        for base in 0..self.amps.len() >> fixed.len() {
+            let i = bits::deposit_multi(base, &fixed) | cmask;
+            let j = i | tmask;
+            let a0 = self.amps[i];
+            let a1 = self.amps[j];
+            self.amps[i] = u00 * a0 + u01 * a1;
+            self.amps[j] = u10 * a0 + u11 * a1;
         }
     }
 
@@ -301,80 +304,100 @@ impl StateVector {
         let h = 1.0 / 2f64.sqrt();
         let shift = self.bit_shift(qubit);
         let mask = 1usize << shift;
-        for i in 0..self.amps.len() {
-            if i & mask == 0 {
-                let j = i | mask;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = (a0 + a1).scale(h);
-                self.amps[j] = (a0 - a1).scale(h);
-            }
+        for base in 0..self.amps.len() / 2 {
+            let i = bits::deposit(base, shift);
+            let j = i | mask;
+            let a0 = self.amps[i];
+            let a1 = self.amps[j];
+            self.amps[i] = (a0 + a1).scale(h);
+            self.amps[j] = (a0 - a1).scale(h);
         }
     }
 
     /// Pauli-X on `qubit`.
     pub fn apply_x(&mut self, qubit: usize) {
-        let mask = 1usize << self.bit_shift(qubit);
-        for i in 0..self.amps.len() {
-            if i & mask == 0 {
-                self.amps.swap(i, i | mask);
-            }
+        let shift = self.bit_shift(qubit);
+        let mask = 1usize << shift;
+        for base in 0..self.amps.len() / 2 {
+            let i = bits::deposit(base, shift);
+            self.amps.swap(i, i | mask);
         }
     }
 
     /// Pauli-Z on `qubit`.
     pub fn apply_z(&mut self, qubit: usize) {
-        let mask = 1usize << self.bit_shift(qubit);
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            if i & mask != 0 {
-                *a = -*a;
-            }
+        let shift = self.bit_shift(qubit);
+        let mask = 1usize << shift;
+        for base in 0..self.amps.len() / 2 {
+            let i = bits::deposit(base, shift) | mask;
+            self.amps[i] = -self.amps[i];
         }
     }
 
     /// Phase gate `diag(1, e^{iθ})` on `qubit`.
     pub fn apply_phase(&mut self, qubit: usize, theta: f64) {
-        let mask = 1usize << self.bit_shift(qubit);
+        let shift = self.bit_shift(qubit);
+        let mask = 1usize << shift;
         let phase = C64::cis(theta);
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            if i & mask != 0 {
-                *a *= phase;
-            }
+        for base in 0..self.amps.len() / 2 {
+            let i = bits::deposit(base, shift) | mask;
+            self.amps[i] *= phase;
         }
     }
 
     /// CNOT with the given control and target.
     pub fn apply_cx(&mut self, control: usize, target: usize) {
         assert_ne!(control, target, "control equals target");
-        let cmask = 1usize << self.bit_shift(control);
-        let tmask = 1usize << self.bit_shift(target);
-        for i in 0..self.amps.len() {
-            if i & cmask != 0 && i & tmask == 0 {
-                self.amps.swap(i, i | tmask);
-            }
+        let cs = self.bit_shift(control);
+        let ts = self.bit_shift(target);
+        let cmask = 1usize << cs;
+        let tmask = 1usize << ts;
+        let (lo, hi) = (cs.min(ts), cs.max(ts));
+        for base in 0..self.amps.len() / 4 {
+            let i = bits::deposit(bits::deposit(base, lo), hi) | cmask;
+            self.amps.swap(i, i | tmask);
         }
     }
 
     /// Controlled-Z on the pair (symmetric in its arguments).
     pub fn apply_cz(&mut self, q_a: usize, q_b: usize) {
         assert_ne!(q_a, q_b, "control equals target");
-        let ma = 1usize << self.bit_shift(q_a);
-        let mb = 1usize << self.bit_shift(q_b);
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            if i & ma != 0 && i & mb != 0 {
-                *a = -*a;
-            }
+        let sa = self.bit_shift(q_a);
+        let sb = self.bit_shift(q_b);
+        let both = (1usize << sa) | (1usize << sb);
+        let (lo, hi) = (sa.min(sb), sa.max(sb));
+        for base in 0..self.amps.len() / 4 {
+            let i = bits::deposit(bits::deposit(base, lo), hi) | both;
+            self.amps[i] = -self.amps[i];
+        }
+    }
+
+    /// SWAP of two qubits in one pass: amplitudes whose bits differ at the
+    /// pair's positions exchange places; nothing else moves.
+    pub fn apply_swap(&mut self, q_a: usize, q_b: usize) {
+        assert_ne!(q_a, q_b, "swap requires distinct qubits");
+        let sa = self.bit_shift(q_a);
+        let sb = self.bit_shift(q_b);
+        let (ma, mb) = (1usize << sa, 1usize << sb);
+        let (lo, hi) = (sa.min(sb), sa.max(sb));
+        for base in 0..self.amps.len() / 4 {
+            let i00 = bits::deposit(bits::deposit(base, lo), hi);
+            self.amps.swap(i00 | ma, i00 | mb);
         }
     }
 
     /// Multi-controlled Z: flips the phase of the all-ones configuration of
     /// `qubits`.
     pub fn apply_mcz(&mut self, qubits: &[usize]) {
-        let mask: usize = qubits.iter().map(|&q| 1usize << self.bit_shift(q)).sum();
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            if i & mask == mask {
-                *a = -*a;
-            }
+        let shifts = {
+            let mut s: Vec<usize> = qubits.iter().map(|&q| self.bit_shift(q)).collect();
+            s.sort_unstable();
+            s
+        };
+        let mask: usize = shifts.iter().map(|&s| 1usize << s).sum();
+        for base in 0..self.amps.len() >> shifts.len() {
+            let i = bits::deposit_multi(base, &shifts) | mask;
+            self.amps[i] = -self.amps[i];
         }
     }
 

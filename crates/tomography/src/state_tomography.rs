@@ -165,7 +165,7 @@ pub fn read_state(
             let mut estimate = CMatrix::identity(d).scale_re(1.0 / d as f64);
             for s in pauli_strings(k).into_iter().skip(1) {
                 let p = matrices::pauli_string(&s);
-                let true_e = p.matmul(rho).trace().re;
+                let true_e = morph_linalg::trace_product(&p, rho).re;
                 let est_e = sample_expectation(true_e, shots, rng);
                 estimate += &p.scale_re(est_e / d as f64);
                 ledger.record_execution(shots as u64, ops_per_shot);

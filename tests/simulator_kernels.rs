@@ -1,0 +1,297 @@
+//! Property-based tests for the qubit-local simulator kernels: every local
+//! density kernel must match the full-matrix `evolve` oracle, every
+//! closed-form channel must match its embedded-Kraus definition (and
+//! preserve trace and Hermiticity), the statevector bit-deposit kernels
+//! must match dense matrix-vector application, and the executor's fused
+//! path must be indistinguishable from unfused execution.
+
+use morphqpv_suite::linalg::{CMatrix, C64};
+use morphqpv_suite::qprog::{fuse_circuit, Circuit, Executor, TracepointId};
+use morphqpv_suite::qsim::{matrices, DensityMatrix, Gate, StateVector};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-12;
+
+/// Arbitrary gate on an `n`-qubit register, covering every dispatch arm of
+/// the local density kernels (diagonal, dense 1q, controlled, swap, k-q).
+fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
+    let angle = -3.0..3.0f64;
+    prop_oneof![
+        (0..n).prop_map(Gate::H),
+        (0..n).prop_map(Gate::X),
+        (0..n).prop_map(Gate::Y),
+        (0..n).prop_map(Gate::Z),
+        (0..n).prop_map(Gate::S),
+        (0..n).prop_map(Gate::Sdg),
+        (0..n).prop_map(Gate::T),
+        (0..n).prop_map(Gate::Tdg),
+        ((0..n), angle.clone()).prop_map(|(q, a)| Gate::RX(q, a)),
+        ((0..n), angle.clone()).prop_map(|(q, a)| Gate::RY(q, a)),
+        ((0..n), angle.clone()).prop_map(|(q, a)| Gate::RZ(q, a)),
+        ((0..n), angle.clone()).prop_map(|(q, a)| Gate::Phase(q, a)),
+        arb_pair(n).prop_map(|(a, b)| Gate::CX(a, b)),
+        arb_pair(n).prop_map(|(a, b)| Gate::CZ(a, b)),
+        (arb_pair(n), angle.clone()).prop_map(|((a, b), t)| Gate::CRZ(a, b, t)),
+        (arb_pair(n), angle).prop_map(|((a, b), t)| Gate::CPhase(a, b, t)),
+        arb_pair(n).prop_map(|(a, b)| Gate::Swap(a, b)),
+        arb_triple(n).prop_map(|(a, b, c)| Gate::CCX(a, b, c)),
+        arb_triple(n).prop_map(|(a, b, c)| Gate::MCZ(vec![a, b, c])),
+    ]
+}
+
+fn arb_pair(n: usize) -> impl Strategy<Value = (usize, usize)> {
+    (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b)
+}
+
+fn arb_triple(n: usize) -> impl Strategy<Value = (usize, usize, usize)> {
+    (0..n, 0..n, 0..n).prop_filter("distinct", |(a, b, c)| a != b && a != c && b != c)
+}
+
+/// A normalized random pure-state amplitude vector.
+fn arb_amplitudes(n: usize) -> impl Strategy<Value = Vec<C64>> {
+    let d = 1usize << n;
+    proptest::collection::vec((-1.0..1.0f64, -1.0..1.0f64), d..d + 1).prop_map(|parts| {
+        let mut amps: Vec<C64> = parts.iter().map(|&(re, im)| C64::new(re, im)).collect();
+        let norm: f64 = amps.iter().map(|a| a.abs() * a.abs()).sum::<f64>().sqrt();
+        if norm < 1e-6 {
+            amps[0] = C64::ONE;
+        } else {
+            for a in &mut amps {
+                *a *= C64::real(1.0 / norm);
+            }
+        }
+        amps
+    })
+}
+
+/// A random mixed state: a convex mixture of two random pure states.
+fn arb_density(n: usize) -> impl Strategy<Value = DensityMatrix> {
+    (arb_amplitudes(n), arb_amplitudes(n), 0.1..0.9f64).prop_map(|(a, b, w)| {
+        let rho = &CMatrix::outer(&a, &a).scale_re(w) + &CMatrix::outer(&b, &b).scale_re(1.0 - w);
+        DensityMatrix::from_matrix(rho)
+    })
+}
+
+fn max_abs_diff(a: &CMatrix, b: &CMatrix) -> f64 {
+    let mut worst = 0.0f64;
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            worst = worst.max((a[(r, c)] - b[(r, c)]).abs());
+        }
+    }
+    worst
+}
+
+/// Kraus operators of the single-qubit depolarizing channel.
+fn depolarize_kraus(p: f64) -> Vec<CMatrix> {
+    vec![
+        CMatrix::identity(2).scale_re((1.0 - 3.0 * p / 4.0).sqrt()),
+        matrices::x().scale_re((p / 4.0).sqrt()),
+        matrices::y().scale_re((p / 4.0).sqrt()),
+        matrices::z().scale_re((p / 4.0).sqrt()),
+    ]
+}
+
+fn bit_flip_kraus(p: f64) -> Vec<CMatrix> {
+    vec![
+        CMatrix::identity(2).scale_re((1.0 - p).sqrt()),
+        matrices::x().scale_re(p.sqrt()),
+    ]
+}
+
+fn phase_damp_kraus(lambda: f64) -> Vec<CMatrix> {
+    // Nielsen–Chuang convention: K0 = diag(1, √(1−λ)), K1 = diag(0, √λ) —
+    // populations untouched, coherences scaled by √(1−λ).
+    vec![
+        CMatrix::from_rows(&[
+            &[C64::ONE, C64::ZERO],
+            &[C64::ZERO, C64::real((1.0 - lambda).sqrt())],
+        ]),
+        CMatrix::from_rows(&[
+            &[C64::ZERO, C64::ZERO],
+            &[C64::ZERO, C64::real(lambda.sqrt())],
+        ]),
+    ]
+}
+
+fn amplitude_damp_kraus(gamma: f64) -> Vec<CMatrix> {
+    vec![
+        CMatrix::from_rows(&[
+            &[C64::ONE, C64::ZERO],
+            &[C64::ZERO, C64::real((1.0 - gamma).sqrt())],
+        ]),
+        CMatrix::from_rows(&[
+            &[C64::ZERO, C64::real(gamma.sqrt())],
+            &[C64::ZERO, C64::ZERO],
+        ]),
+    ]
+}
+
+/// Applies single-qubit Kraus operators through the full-register
+/// `apply_kraus` oracle.
+fn apply_kraus_embedded(rho: &mut DensityMatrix, kraus: &[CMatrix], qubit: usize) {
+    let n = rho.n_qubits();
+    let embedded: Vec<CMatrix> = kraus.iter().map(|k| k.embed(&[qubit], n)).collect();
+    rho.apply_kraus(&embedded);
+}
+
+fn assert_trace_and_hermiticity(rho: &DensityMatrix) {
+    let m = rho.matrix();
+    assert!((m.trace().re - 1.0).abs() < 1e-10, "trace drifted");
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            assert!(
+                (m[(r, c)] - m[(c, r)].conj()).abs() < 1e-10,
+                "Hermiticity lost at ({r},{c})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every local density kernel matches ρ ← UρU† computed with the dense
+    /// embedded unitary.
+    #[test]
+    fn density_local_kernels_match_full_matrix_oracle(
+        gates in proptest::collection::vec(arb_gate(4), 1..6),
+        rho in arb_density(4),
+    ) {
+        let mut local = rho.clone();
+        let mut oracle = rho;
+        for gate in &gates {
+            local.apply_gate(gate);
+            oracle.evolve(&gate.full_matrix(4));
+            prop_assert!(
+                max_abs_diff(local.matrix(), oracle.matrix()) < TOL,
+                "kernel diverged from oracle on {gate:?}"
+            );
+        }
+    }
+
+    /// Each closed-form channel matches its embedded-Kraus definition and
+    /// keeps the state a density matrix.
+    #[test]
+    fn channels_match_embedded_kraus(
+        rho in arb_density(3),
+        q in 0..3usize,
+        p in 0.0..1.0f64,
+    ) {
+        type ChannelCheck = (
+            &'static str,
+            fn(&mut DensityMatrix, usize, f64),
+            fn(f64) -> Vec<CMatrix>,
+        );
+        let checks: [ChannelCheck; 4] = [
+            ("depolarize", |r, q, p| r.depolarize(q, p), depolarize_kraus),
+            ("bit_flip", |r, q, p| r.bit_flip(q, p), bit_flip_kraus),
+            ("phase_damp", |r, q, p| r.phase_damp(q, p), phase_damp_kraus),
+            ("amplitude_damp", |r, q, p| r.amplitude_damp(q, p), amplitude_damp_kraus),
+        ];
+        for (name, closed_form, kraus) in checks {
+            let mut fast = rho.clone();
+            closed_form(&mut fast, q, p);
+            let mut slow = rho.clone();
+            apply_kraus_embedded(&mut slow, &kraus(p), q);
+            prop_assert!(
+                max_abs_diff(fast.matrix(), slow.matrix()) < TOL,
+                "{name} closed form diverged from Kraus at p={p}"
+            );
+            assert_trace_and_hermiticity(&fast);
+        }
+    }
+
+    /// Statevector bit-deposit kernels match dense matrix-vector
+    /// application of the embedded unitary.
+    #[test]
+    fn statevector_kernels_match_full_matrix(
+        gates in proptest::collection::vec(arb_gate(4), 1..8),
+        amps in arb_amplitudes(4),
+    ) {
+        let mut psi = StateVector::from_amplitudes(amps.clone());
+        let mut dense = amps;
+        for gate in &gates {
+            gate.apply(&mut psi);
+            let u = gate.full_matrix(4);
+            let mut next = vec![C64::ZERO; dense.len()];
+            for (r, slot) in next.iter_mut().enumerate() {
+                for (c, &a) in dense.iter().enumerate() {
+                    *slot += u[(r, c)] * a;
+                }
+            }
+            dense = next;
+            for (i, &want) in dense.iter().enumerate() {
+                prop_assert!(
+                    (psi.amplitudes()[i] - want).abs() < TOL,
+                    "amplitude {i} diverged after {gate:?}"
+                );
+            }
+        }
+    }
+
+    /// The executor's fused path is equivalent to unfused execution on
+    /// programs with tracepoints, measurement, and feedback.
+    #[test]
+    fn fused_execution_matches_unfused(
+        gates in proptest::collection::vec(arb_gate(3), 1..15),
+        measure_at in 0..15usize,
+    ) {
+        let mut c = Circuit::new(3);
+        c.tracepoint(1, &[0, 1]);
+        for (i, g) in gates.iter().enumerate() {
+            if i == measure_at {
+                c.measure(0, 0);
+                c.conditional(0, 1, Gate::X(1));
+            }
+            c.gate(g.clone());
+        }
+        c.tracepoint(2, &[0, 1, 2]);
+        let input = StateVector::zero_state(3);
+        let fused = Executor::new().run_expected(&c, &input);
+        let plain = Executor::new().without_fusion().run_expected(&c, &input);
+        for id in [TracepointId(1), TracepointId(2)] {
+            prop_assert!(
+                fused.state(id).approx_eq(plain.state(id), 1e-10),
+                "tracepoint {id} diverged under fusion"
+            );
+        }
+    }
+
+    /// Fusion never increases the gate count and preserves register shape.
+    #[test]
+    fn fusion_shrinks_or_preserves_gate_count(
+        gates in proptest::collection::vec(arb_gate(3), 1..20),
+    ) {
+        let mut c = Circuit::new(3);
+        for g in gates {
+            c.gate(g);
+        }
+        let fused = fuse_circuit(&c);
+        prop_assert!(fused.gate_count() <= c.gate_count());
+        prop_assert_eq!(fused.n_qubits(), c.n_qubits());
+    }
+
+    /// Parallel density kernels are bit-identical at every worker count.
+    #[test]
+    fn density_workers_are_bit_identical(
+        rho in arb_density(4),
+        gates in proptest::collection::vec(arb_gate(4), 1..5),
+        p in 0.0..0.5f64,
+    ) {
+        let mut serial = rho.clone();
+        let mut threaded = rho;
+        for g in &gates {
+            serial.apply_gate_with_workers(g, 1);
+            threaded.apply_gate_with_workers(g, 4);
+        }
+        serial.depolarize_with_workers(0, p, 1);
+        threaded.depolarize_with_workers(0, p, 4);
+        for r in 0..serial.matrix().rows() {
+            for c in 0..serial.matrix().cols() {
+                // Exact equality: scheduling must never reach the data.
+                prop_assert_eq!(serial.matrix()[(r, c)], threaded.matrix()[(r, c)]);
+            }
+        }
+    }
+}
