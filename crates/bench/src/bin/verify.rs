@@ -3,26 +3,33 @@
 //!
 //! ```text
 //! usage: verify <program.qasm> [--inputs 0,1,...] [--samples N] [--seed S]
-//!               [--cache-dir DIR] [--no-cache]
+//!               [--restarts N] [--cache-dir DIR] [--no-cache]
+//!               [--trace-json PATH]
 //! ```
 //!
 //! Exit codes follow the grep convention for checkers:
 //!
 //! - `0` — every assertion confirmed,
 //! - `2` — at least one assertion refuted (a counter-example was found),
-//! - `1` — usage, parse, or runtime error.
+//! - `1` — usage, parse, or runtime error (including a structurally failed
+//!   solve, e.g. `--restarts 0`).
 //!
 //! Characterization caching: `--cache-dir DIR` (or the `MORPH_CACHE_DIR`
 //! environment variable) persists characterization artifacts in a
 //! morph-store directory, so re-verifying the same program/configuration/
 //! seed charges zero new simulator cost. `--no-cache` disables the cache
 //! even when the environment variable is set.
+//!
+//! Telemetry: `--trace-json PATH` (or `MORPH_TRACE=1` for a stderr summary
+//! without the file) enables the `morph-trace` recorder and writes the span
+//! tree as JSON. Tracing never changes the verification results or the
+//! stdout report — only stderr and the trace file carry the extra output.
 
-use morphqpv::{CharacterizationCache, Verdict};
+use morphqpv::{CharacterizationCache, ValidationConfig, Verdict};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const USAGE: &str = "usage: verify <program.qasm> [--inputs 0,1,...] [--samples N] [--seed S] [--cache-dir DIR] [--no-cache]";
+const USAGE: &str = "usage: verify <program.qasm> [--inputs 0,1,...] [--samples N] [--seed S] [--restarts N] [--cache-dir DIR] [--no-cache] [--trace-json PATH]";
 
 fn main() {
     std::process::exit(run());
@@ -36,6 +43,8 @@ fn run() -> i32 {
     let mut seed = 0u64;
     let mut cache_dir: Option<String> = std::env::var("MORPH_CACHE_DIR").ok();
     let mut no_cache = false;
+    let mut restarts: Option<usize> = None;
+    let mut trace_json: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -80,6 +89,24 @@ fn run() -> i32 {
             }
             "--no-cache" => {
                 no_cache = true;
+            }
+            "--restarts" => {
+                restarts = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("--restarts requires a non-negative integer");
+                        return 1;
+                    }
+                };
+            }
+            "--trace-json" => {
+                trace_json = match it.next() {
+                    Some(p) => Some(p),
+                    None => {
+                        eprintln!("--trace-json requires a file path");
+                        return 1;
+                    }
+                };
             }
             other if path.is_none() && !other.starts_with("--") => {
                 path = Some(other.to_string());
@@ -126,9 +153,22 @@ fn run() -> i32 {
             return 1;
         }
     };
+    // MORPH_TRACE=1 enables the recorder even without a --trace-json file
+    // (summary on stderr); the flag enables it unconditionally.
+    morph_trace::enable_from_env();
+    if trace_json.is_some() {
+        morph_trace::set_enabled(true);
+    }
+
     let mut verifier = morphqpv::Verifier::new(circuit).input_qubits(&inputs);
     if let Some(n) = samples {
         verifier = verifier.samples(n);
+    }
+    if restarts.is_some() {
+        verifier = verifier.validation(ValidationConfig {
+            solver_restarts: restarts,
+            ..ValidationConfig::default()
+        });
     }
     for a in assertions {
         verifier = verifier.assert_that(a);
@@ -145,9 +185,17 @@ fn run() -> i32 {
         },
         _ => None,
     };
-    let report = match &mut cache {
-        Some(cache) => verifier.run_with_cache(&mut rng, cache),
-        None => verifier.run(&mut rng),
+    let result = match &mut cache {
+        Some(cache) => verifier.try_run_with_cache(&mut rng, cache),
+        None => verifier.try_run(&mut rng),
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("{e}");
+            write_trace(trace_json.as_deref());
+            return 1;
+        }
     };
 
     let mut refuted = false;
@@ -181,9 +229,35 @@ fn run() -> i32 {
     if let Some(cache) = &cache {
         println!("cache: {}", cache.stats());
     }
+    if morph_trace::enabled() {
+        let run = &report.run;
+        eprintln!(
+            "trace: {} executions, {} shots, {} quantum ops, solver {} evaluations / {} iterations",
+            run.executions,
+            run.shots,
+            run.quantum_ops,
+            run.solver_evaluations,
+            run.solver_iterations
+        );
+        if let Some(c) = &run.cache {
+            eprintln!(
+                "trace: cache {} hits, {} misses, {} writes, saved {} quantum ops",
+                c.hits, c.misses, c.writes, c.cost_saved
+            );
+        }
+    }
+    write_trace(trace_json.as_deref());
     if refuted {
         2
     } else {
         0
+    }
+}
+
+/// Writes the recorded span tree to `path` as JSON, if a path was given.
+fn write_trace(path: Option<&str>) {
+    let Some(path) = path else { return };
+    if let Err(e) = std::fs::write(path, morph_trace::export_json()) {
+        eprintln!("cannot write trace to {path}: {e}");
     }
 }

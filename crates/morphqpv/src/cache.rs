@@ -163,6 +163,23 @@ fn decode_artifact(value: &Value) -> Result<Characterization, FromValueError> {
     })
 }
 
+/// Emits one counter per [`StoreStats`] field that moved across a store
+/// operation, keyed by [`FINGERPRINT_DOMAIN`]. Only called with the
+/// recorder enabled.
+fn record_store_delta(before: &StoreStats, after: &StoreStats) {
+    let deltas = [
+        ("hit", after.hits() - before.hits()),
+        ("miss", after.misses - before.misses),
+        ("corrupt", after.corrupt_entries - before.corrupt_entries),
+        ("cost_saved", after.cost_saved - before.cost_saved),
+    ];
+    for (name, delta) in deltas {
+        if delta > 0 {
+            morph_trace::counter(&format!("store/{FINGERPRINT_DOMAIN}/{name}"), delta);
+        }
+    }
+}
+
 /// A characterization artifact cache on top of [`MorphStore`].
 ///
 /// Construct one per process (or per `--cache-dir`) and pass it to
@@ -202,15 +219,32 @@ impl CharacterizationCache {
     /// A decode failure (artifact-version mismatch or damaged payload)
     /// behaves as a miss, matching the store's corruption tolerance.
     pub fn get(&mut self, fp: &Fingerprint) -> Option<Characterization> {
-        let value = self.store.get(fp)?;
-        decode_artifact(&value).ok()
+        let before = *self.store.stats();
+        let result = self.store.get(fp).and_then(|v| decode_artifact(&v).ok());
+        // Counter names are keyed by the fingerprint domain so two caches
+        // with different domains stay distinguishable in one trace. The
+        // format! allocations only happen with the recorder enabled.
+        if morph_trace::enabled() {
+            let after = *self.store.stats();
+            record_store_delta(&before, &after);
+            if after.hits() > before.hits() && result.is_none() {
+                // The envelope was intact but the payload didn't decode —
+                // the characterization layer's own corruption repair.
+                morph_trace::counter(&format!("store/{FINGERPRINT_DOMAIN}/decode_miss"), 1);
+            }
+        }
+        result
     }
 
     /// Stores a characterization under its fingerprint. I/O failures are
     /// reported but leave the in-memory tier populated.
     pub fn put(&mut self, fp: Fingerprint, ch: &Characterization) -> io::Result<()> {
         let cost = ch.ledger.quantum_ops.max(1);
-        self.store.put(fp, encode_artifact(ch), cost)
+        let result = self.store.put(fp, encode_artifact(ch), cost);
+        if morph_trace::enabled() {
+            morph_trace::counter(&format!("store/{FINGERPRINT_DOMAIN}/write"), 1);
+        }
+        result
     }
 
     /// Direct access to the underlying store (stats, eviction counters).

@@ -167,10 +167,17 @@ pub fn characterize_with_inputs(
         );
     }
 
+    let trace = morph_trace::span("characterize");
+    let trace_parent = trace.id();
+    morph_trace::counter("characterize/inputs", inputs.len() as u64);
+
     let master = morph_parallel::derive_master(rng);
     let shared = SharedLedger::new();
     let per_input: Vec<Vec<(TracepointId, CMatrix)>> =
         morph_parallel::parallel_map(config.parallelism, &inputs, |i, input| {
+            // Telemetry never touches the task RNG streams, so traces stay
+            // bit-identical whether or not the recorder is enabled.
+            let _input_span = morph_trace::span_under(trace_parent, "input");
             let mut task_rng = morph_parallel::child_rng(master, i as u64);
             let mut local = CostLedger::new();
 
@@ -207,10 +214,15 @@ pub fn characterize_with_inputs(
         }
     }
 
+    let ledger = shared.snapshot();
+    morph_trace::counter("characterize/executions", ledger.executions);
+    morph_trace::counter("characterize/shots", ledger.shots);
+    morph_trace::counter("characterize/quantum_ops", ledger.quantum_ops);
+
     Characterization {
         inputs,
         traces,
-        ledger: shared.snapshot(),
+        ledger,
     }
 }
 

@@ -79,6 +79,9 @@ pub fn input_landscape(
                     p.objective(&resolve(*a, &rho_in), &resolve(*b, &rho_in))
                 }
             };
+            // A non-finite objective (a pathological custom predicate) is
+            // flagged infeasible so it can never be reported as a peak.
+            let feasible = feasible && objective.is_finite();
             out.push(LandscapePoint {
                 theta,
                 phi,
@@ -92,16 +95,16 @@ pub fn input_landscape(
 
 /// The feasible grid point with the largest objective — the landscape's
 /// candidate counter-example (or `None` when nothing is feasible).
+///
+/// Non-finite objectives are filtered out and the remaining points are
+/// ranked by `f64::total_cmp`; the old `partial_cmp(..).unwrap_or(Equal)`
+/// made the winner depend on iteration order whenever a NaN was present.
 pub fn landscape_peak(points: &[LandscapePoint]) -> Option<LandscapePoint> {
     points
         .iter()
-        .filter(|p| p.feasible)
+        .filter(|p| p.feasible && p.objective.is_finite())
         .copied()
-        .max_by(|a, b| {
-            a.objective
-                .partial_cmp(&b.objective)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        .max_by(|a, b| a.objective.total_cmp(&b.objective))
 }
 
 #[cfg(test)]
@@ -184,6 +187,32 @@ mod tests {
             .iter()
             .filter(|p| p.feasible)
             .all(|p| p.theta < std::f64::consts::FRAC_PI_2));
+    }
+
+    #[test]
+    fn non_finite_objectives_never_win_the_peak() {
+        let p = |objective: f64| LandscapePoint {
+            theta: 0.0,
+            phi: 0.0,
+            objective,
+            feasible: true,
+        };
+        let peak = landscape_peak(&[p(f64::NAN), p(0.4), p(f64::INFINITY)]).unwrap();
+        assert_eq!(peak.objective, 0.4);
+        assert!(landscape_peak(&[p(f64::NAN), p(f64::INFINITY)]).is_none());
+    }
+
+    #[test]
+    fn nan_guarantee_marks_grid_points_infeasible() {
+        let ch = flip_characterization();
+        let assertion = AssumeGuarantee::new().guarantee_relation(
+            TracepointId(1),
+            TracepointId(2),
+            RelationPredicate::custom(|_, _| f64::NAN),
+        );
+        let points = input_landscape(&assertion, &ch, 5, 1e-6);
+        assert!(points.iter().all(|p| !p.feasible));
+        assert!(landscape_peak(&points).is_none());
     }
 
     #[test]

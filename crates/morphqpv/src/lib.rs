@@ -96,7 +96,7 @@ pub use ptm::PauliTransferMatrix;
 pub use segmented::{characterize_segmented, SegmentedCharacterization};
 pub use spec::{assertions_from_source, parse_assertion, ParseSpecError};
 pub use validate::{
-    fit_confidence_model, validate_assertion, SolverKind, ValidationConfig, ValidationOutcome,
-    Verdict,
+    fit_confidence_model, try_validate_assertion, validate_assertion, SolverKind, ValidationConfig,
+    ValidationError, ValidationOutcome, Verdict,
 };
-pub use verifier::{verify_source, VerificationReport, Verifier};
+pub use verifier::{verify_source, CacheSummary, RunReport, VerificationReport, Verifier};

@@ -10,10 +10,12 @@
 //! approximation-accuracy distribution into a confidence; otherwise the
 //! maximizing `α` reconstructs a counter-example input.
 
+use std::fmt;
+
 use morph_linalg::{project_to_density, CMatrix};
 use morph_optimize::{
     Bounds, FnObjective, GeneticAlgorithm, GradientAscent, NelderMead, OptResult, Optimizer,
-    QuadraticProgram, SimulatedAnnealing,
+    QuadraticProgram, SimulatedAnnealing, SolveError,
 };
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -49,6 +51,33 @@ impl SolverKind {
         }
     }
 
+    /// [`Self::build`] with an optional restart-count override. The
+    /// override applies to the restart-based solvers (gradient ascent, QP
+    /// starts, Nelder–Mead); the population/step-based solvers (genetic,
+    /// annealing) have no restart notion and ignore it. A zero override on
+    /// a restart-based solver makes `maximize` return
+    /// [`SolveError::NoRestarts`] instead of evaluating anything.
+    pub fn build_with_restarts(self, restarts: Option<usize>) -> Box<dyn Optimizer> {
+        let Some(r) = restarts else {
+            return self.build();
+        };
+        match self {
+            SolverKind::GradientAscent => Box::new(GradientAscent {
+                restarts: r,
+                ..Default::default()
+            }),
+            SolverKind::Quadratic => Box::new(QuadraticProgram {
+                starts: r,
+                ..Default::default()
+            }),
+            SolverKind::NelderMead => Box::new(NelderMead {
+                restarts: r,
+                ..Default::default()
+            }),
+            SolverKind::Genetic | SolverKind::Annealing => self.build(),
+        }
+    }
+
     /// Solver display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -58,6 +87,36 @@ impl SolverKind {
             SolverKind::Quadratic => "QP",
             SolverKind::NelderMead => "Nelder-Mead",
         }
+    }
+}
+
+/// Why a validation run could not produce a verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The optimizer backend failed structurally (no restarts configured,
+    /// or every objective evaluation was NaN).
+    Solver(SolveError),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Solver(e) => write!(f, "validation solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ValidationError::Solver(e) => Some(e),
+        }
+    }
+}
+
+impl From<SolveError> for ValidationError {
+    fn from(e: SolveError) -> Self {
+        ValidationError::Solver(e)
     }
 }
 
@@ -81,6 +140,10 @@ pub struct ValidationConfig {
     pub feasibility_tol: f64,
     /// Number of random probe inputs used to fit the accuracy Beta model.
     pub confidence_probes: usize,
+    /// Overrides the solver's restart/start count (`None` keeps the
+    /// solver's default). See [`SolverKind::build_with_restarts`]; a `0`
+    /// override surfaces as [`ValidationError::Solver`].
+    pub solver_restarts: Option<usize>,
 }
 
 impl Default for ValidationConfig {
@@ -93,6 +156,7 @@ impl Default for ValidationConfig {
             penalty_weight: 50.0,
             feasibility_tol: 2e-2,
             confidence_probes: 40,
+            solver_restarts: None,
         }
     }
 }
@@ -135,6 +199,12 @@ pub struct ValidationOutcome {
     pub optimum: OptResult,
     /// Fitted accuracy distribution used for Theorem 3.
     pub confidence_model: ConfidenceModel,
+    /// `true` when the optimizer's point was *degenerate* — a non-finite
+    /// coordinate or an un-normalizable gauge sum — and the verdict came
+    /// entirely from the sampled-input candidate pool. Distinguishes "the
+    /// landscape maximum is feasible and negative" from "the solver never
+    /// produced a usable point".
+    pub degenerate_optimum: bool,
 }
 
 /// Shared evaluation context: resolves states and scores points.
@@ -164,7 +234,10 @@ impl<'a> Context<'a> {
     /// near `Σα = 0`. Returns `None` when the sum is too small entirely.
     fn normalize(&self, alphas: &[f64]) -> Option<Vec<f64>> {
         let s: f64 = alphas.iter().sum();
-        if s.abs() < 0.05 {
+        // A non-finite sum (any NaN/∞ coordinate) has no gauge; without
+        // this check a NaN sum slips past the magnitude test (every
+        // comparison with NaN is false) and poisons everything downstream.
+        if !s.is_finite() || s.abs() < 0.05 {
             return None;
         }
         let divisor = s.signum() * s.abs().max(0.5);
@@ -222,16 +295,43 @@ impl<'a> Context<'a> {
 
 /// Validates an assertion against a characterization.
 ///
+/// Thin panicking wrapper over [`try_validate_assertion`] for callers that
+/// treat a structurally failing solver configuration as a bug.
+///
 /// # Panics
 ///
 /// Panics if the assertion has no guarantee, references a tracepoint that
-/// was not characterized, or relates states of mismatched dimension.
+/// was not characterized, relates states of mismatched dimension, or the
+/// solver fails structurally ([`ValidationError`]).
 pub fn validate_assertion(
     assertion: &AssumeGuarantee,
     characterization: &Characterization,
     config: &ValidationConfig,
     rng: &mut StdRng,
 ) -> ValidationOutcome {
+    try_validate_assertion(assertion, characterization, config, rng)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Validates an assertion against a characterization, reporting solver
+/// failures as errors.
+///
+/// # Errors
+///
+/// [`ValidationError::Solver`] when the optimizer backend cannot produce a
+/// usable optimum (zero restarts configured, or every objective evaluation
+/// returned NaN).
+///
+/// # Panics
+///
+/// Panics if the assertion has no guarantee, references a tracepoint that
+/// was not characterized, or relates states of mismatched dimension.
+pub fn try_validate_assertion(
+    assertion: &AssumeGuarantee,
+    characterization: &Characterization,
+    config: &ValidationConfig,
+    rng: &mut StdRng,
+) -> Result<ValidationOutcome, ValidationError> {
     assert!(assertion.is_complete(), "assertion has no guarantee clause");
     for state in assertion.state_refs() {
         if let StateRef::Tracepoint(id) = state {
@@ -241,6 +341,7 @@ pub fn validate_assertion(
             );
         }
     }
+    let _trace = morph_trace::span("validate/assertion");
     let ctx = Context::new(assertion, characterization);
     let n_alphas = ctx.input_basis.len();
 
@@ -252,24 +353,35 @@ pub fn validate_assertion(
     });
 
     let bounds = Bounds::uniform(n_alphas, -config.alpha_bound, config.alpha_bound);
-    let solver = config.solver.build();
-    let optimum = solver.maximize(&objective, &bounds, rng);
+    let solver = config.solver.build_with_restarts(config.solver_restarts);
+    let optimum = solver.maximize(&objective, &bounds, rng)?;
+    morph_trace::counter("solver_evaluations", optimum.evaluations);
+    morph_trace::counter("solver_iterations", optimum.iterations as u64);
 
     // Interpret the optimum under the gauge, repairing marginal
     // infeasibility by retracting toward a feasible sampled input.
-    let (mut max_objective, mut feasible, mut alphas) =
-        interpret_optimum(&ctx, &optimum.x, config.feasibility_tol, n_alphas);
+    let point = interpret_optimum(&ctx, &optimum.x, config.feasibility_tol);
+    let degenerate_optimum = matches!(point, InterpretedPoint::Degenerate);
+    let (mut max_objective, mut feasible, mut alphas) = match point {
+        InterpretedPoint::Feasible { objective, alphas } => (objective, true, alphas),
+        InterpretedPoint::Infeasible { objective, alphas } => (objective, false, alphas),
+        InterpretedPoint::Degenerate => {
+            morph_trace::counter("degenerate_points", 1);
+            (f64::NEG_INFINITY, false, vec![0.0; n_alphas])
+        }
+    };
 
     // Candidate pool: every sampled input is itself a feasible-by-
     // construction probe (α = eᵢ reconstructs σ_in,i exactly); a violation
     // visible at a sampled input must never be lost to optimizer
     // fragility on the kinked penalty landscape.
+    morph_trace::counter("anchor_candidates", n_alphas as u64);
     for i in 0..n_alphas {
         let mut e = vec![0.0; n_alphas];
         e[i] = 1.0;
         if ctx.violation(&e) <= config.feasibility_tol {
             let g = ctx.guarantee_value(&e);
-            if !feasible || g > max_objective {
+            if g.is_finite() && (!feasible || g > max_objective) {
                 max_objective = g;
                 feasible = true;
                 alphas = e;
@@ -285,6 +397,7 @@ pub fn validate_assertion(
     // evaluates to ≈ the boundary violation at the repaired point and must
     // not be misread as a bug.
     let effective_threshold = config.decision_threshold.max(1.5 * config.feasibility_tol);
+    morph_trace::gauge("max_objective", max_objective);
     let verdict = if feasible && max_objective > effective_threshold {
         let raw = morph_linalg::recombine(&ctx.input_basis, &alphas);
         Verdict::Failed {
@@ -303,30 +416,47 @@ pub fn validate_assertion(
         }
     };
 
-    ValidationOutcome {
+    Ok(ValidationOutcome {
         verdict,
         optimum,
         confidence_model,
-    }
+        degenerate_optimum,
+    })
+}
+
+/// An optimizer point after gauge interpretation.
+#[derive(Debug, Clone, PartialEq)]
+enum InterpretedPoint {
+    /// The point (possibly retracted) satisfies every constraint.
+    Feasible { objective: f64, alphas: Vec<f64> },
+    /// The point violates the constraints and no feasible anchor exists to
+    /// retract toward.
+    Infeasible { objective: f64, alphas: Vec<f64> },
+    /// The point carries no information: a non-finite coordinate, or a
+    /// gauge sum too small (or non-finite) to normalize. Previously this
+    /// was conflated with `Infeasible` at `NEG_INFINITY` — and a NaN point
+    /// could even escape *as feasible*, because the retraction blend
+    /// `b + t·(NaN − b)` is NaN at every `t` while the bisection silently
+    /// converged to `t = 0`.
+    Degenerate,
 }
 
 /// Interprets a raw optimizer point: gauge-fix, and if the point violates
 /// the constraints, retract it along the segment toward the most-feasible
 /// unit coefficient vector (each `eᵢ` reconstructs the sampled input
 /// `σ_in,i`, a physical state) until it re-enters the feasible set.
-fn interpret_optimum(
-    ctx: &Context<'_>,
-    raw: &[f64],
-    tol: f64,
-    n_alphas: usize,
-) -> (f64, bool, Vec<f64>) {
+fn interpret_optimum(ctx: &Context<'_>, raw: &[f64], tol: f64) -> InterpretedPoint {
+    if raw.iter().any(|v| !v.is_finite()) {
+        return InterpretedPoint::Degenerate;
+    }
     let Some(alphas) = ctx.normalize(raw) else {
-        return (f64::NEG_INFINITY, false, vec![0.0; n_alphas]);
+        return InterpretedPoint::Degenerate;
     };
+    let n_alphas = alphas.len();
     let v = ctx.violation(&alphas);
     if v <= tol {
-        let g = ctx.guarantee_value(&alphas);
-        return (g, true, alphas);
+        let objective = ctx.guarantee_value(&alphas);
+        return InterpretedPoint::Feasible { objective, alphas };
     }
     // Base point: the sampled-input coefficient vector with least violation.
     let mut base = vec![0.0; n_alphas];
@@ -341,9 +471,14 @@ fn interpret_optimum(
     }
     if best.0 > tol {
         // No feasible anchor — report the raw point as infeasible.
-        return (ctx.guarantee_value(&alphas), false, alphas);
+        morph_trace::counter("no_feasible_anchor", 1);
+        return InterpretedPoint::Infeasible {
+            objective: ctx.guarantee_value(&alphas),
+            alphas,
+        };
     }
     base[best.1] = 1.0;
+    morph_trace::counter("infeasible_retractions", 1);
     // Largest t ∈ [0, 1] with violation(base + t(α − base)) ≤ tol.
     let blend = |t: f64| -> Vec<f64> {
         base.iter()
@@ -361,8 +496,11 @@ fn interpret_optimum(
         }
     }
     let repaired = blend(lo);
-    let g = ctx.guarantee_value(&repaired);
-    (g, true, repaired)
+    let objective = ctx.guarantee_value(&repaired);
+    InterpretedPoint::Feasible {
+        objective,
+        alphas: repaired,
+    }
 }
 
 /// Fits the Beta accuracy model by probing random inputs against the
@@ -373,6 +511,7 @@ pub fn fit_confidence_model(
     rng: &mut StdRng,
 ) -> ConfidenceModel {
     use morph_clifford::InputEnsemble;
+    let _trace = morph_trace::span("validate/confidence");
     let n_in = characterization.inputs[0].state.n_qubits();
     let any_trace = characterization
         .traces
@@ -386,7 +525,11 @@ pub fn fit_confidence_model(
         .iter()
         .map(|p| f.representation_overlap(&p.rho).unwrap_or(0.0))
         .collect();
-    ConfidenceModel::fit(&samples)
+    let model = ConfidenceModel::fit(&samples);
+    morph_trace::counter("confidence_probes", samples.len() as u64);
+    morph_trace::gauge("beta1", model.beta1);
+    morph_trace::gauge("beta2", model.beta2);
+    model
 }
 
 #[cfg(test)]
@@ -604,5 +747,122 @@ mod tests {
             .guarantee_state(morph_qprog::TracepointId(9), StatePredicate::IsPure);
         let mut rng = StdRng::seed_from_u64(0);
         let _ = validate_assertion(&assertion, &ch, &ValidationConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn zero_restart_override_is_a_structured_error() {
+        let ch = full_characterization(&identity_program(), 0);
+        let assertion = AssumeGuarantee::new().guarantee_relation(
+            morph_qprog::TracepointId(1),
+            morph_qprog::TracepointId(2),
+            RelationPredicate::Equal,
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = ValidationConfig {
+            solver_restarts: Some(0),
+            ..Default::default()
+        };
+        match try_validate_assertion(&assertion, &ch, &config, &mut rng) {
+            Err(ValidationError::Solver(morph_optimize::SolveError::NoRestarts { .. })) => {}
+            other => panic!("expected NoRestarts error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restart_override_still_validates() {
+        let ch = full_characterization(&identity_program(), 0);
+        let assertion = AssumeGuarantee::new().guarantee_relation(
+            morph_qprog::TracepointId(1),
+            morph_qprog::TracepointId(2),
+            RelationPredicate::Equal,
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = ValidationConfig {
+            solver_restarts: Some(2),
+            ..Default::default()
+        };
+        let out = try_validate_assertion(&assertion, &ch, &config, &mut rng).unwrap();
+        assert!(out.verdict.passed(), "{:?}", out.verdict);
+    }
+
+    /// Regression: a NaN raw point used to slip through `interpret_optimum`
+    /// as *feasible* — the retraction blend `b + t·(NaN − b)` is NaN at
+    /// every `t` while the bisection converged to `t = 0` — and before
+    /// that, as `(NEG_INFINITY, false, [0.0; n])`, indistinguishable from a
+    /// genuinely infeasible point.
+    #[test]
+    fn nan_raw_point_is_degenerate() {
+        let ch = full_characterization(&identity_program(), 0);
+        let assertion = AssumeGuarantee::new().guarantee_relation(
+            morph_qprog::TracepointId(1),
+            morph_qprog::TracepointId(2),
+            RelationPredicate::Equal,
+        );
+        let ctx = Context::new(&assertion, &ch);
+        let n = ctx.input_basis.len();
+        let mut raw = vec![0.3; n];
+        raw[0] = f64::NAN;
+        assert_eq!(
+            interpret_optimum(&ctx, &raw, 2e-2),
+            InterpretedPoint::Degenerate
+        );
+        // An un-normalizable gauge sum is degenerate too.
+        assert_eq!(
+            interpret_optimum(&ctx, &vec![0.0; n], 2e-2),
+            InterpretedPoint::Degenerate
+        );
+    }
+
+    /// Regression: when no sampled-input anchor is feasible, the point must
+    /// come back as `Infeasible` with its real objective — not retracted,
+    /// not degenerate, and never panicking.
+    #[test]
+    fn all_anchors_infeasible_reports_infeasible_point() {
+        let ch = full_characterization(&identity_program(), 0);
+        // An assumption nothing satisfies: constant violation 1.
+        let assertion = AssumeGuarantee::new()
+            .assume(StateRef::Input, StatePredicate::custom(|_| 1.0))
+            .guarantee_relation(
+                morph_qprog::TracepointId(1),
+                morph_qprog::TracepointId(2),
+                RelationPredicate::Equal,
+            );
+        let ctx = Context::new(&assertion, &ch);
+        let n = ctx.input_basis.len();
+        let raw = vec![1.0 / n as f64; n];
+        match interpret_optimum(&ctx, &raw, 2e-2) {
+            InterpretedPoint::Infeasible { objective, alphas } => {
+                assert!(objective.is_finite());
+                assert_eq!(alphas.len(), n);
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+        // End to end the assertion passes (no feasible violating input) and
+        // the outcome is marked non-degenerate.
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = try_validate_assertion(&assertion, &ch, &ValidationConfig::default(), &mut rng)
+            .unwrap();
+        assert!(out.verdict.passed(), "{:?}", out.verdict);
+    }
+
+    /// A guarantee that evaluates to NaN everywhere must not crash the
+    /// pipeline: the solver's surviving point is the (finite) degenerate
+    /// plateau, interpretation flags it, and the candidate pool's NaN
+    /// guarantee values are ignored.
+    #[test]
+    fn nan_guarantee_flags_degenerate_and_passes() {
+        let ch = full_characterization(&identity_program(), 0);
+        let assertion = AssumeGuarantee::new().guarantee_relation(
+            morph_qprog::TracepointId(1),
+            morph_qprog::TracepointId(2),
+            RelationPredicate::custom(|_, _| f64::NAN),
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = try_validate_assertion(&assertion, &ch, &ValidationConfig::default(), &mut rng)
+            .unwrap();
+        assert!(out.verdict.passed(), "{:?}", out.verdict);
+        if let Verdict::Passed { max_objective, .. } = out.verdict {
+            assert!(max_objective.is_finite());
+        }
     }
 }

@@ -4,6 +4,7 @@
 use morph_clifford::{InputEnsemble, InputState};
 use morph_qprog::Circuit;
 use morph_qsim::NoiseModel;
+use morph_store::StoreStats;
 use morph_tomography::{CostLedger, ReadoutMode};
 use rand::rngs::StdRng;
 
@@ -12,7 +13,9 @@ use crate::cache::{characterize_cached, characterize_with_inputs_cached, Charact
 use crate::characterize::{
     characterize, characterize_with_inputs, Characterization, CharacterizationConfig,
 };
-use crate::validate::{validate_assertion, ValidationConfig, ValidationOutcome, Verdict};
+use crate::validate::{
+    try_validate_assertion, ValidationConfig, ValidationError, ValidationOutcome, Verdict,
+};
 
 /// A complete verification run over one program.
 ///
@@ -134,12 +137,32 @@ impl Verifier {
 
     /// Runs characterization once, then validates every assertion.
     ///
+    /// Thin panicking wrapper over [`Self::try_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no assertions were added, the program has no tracepoints,
+    /// or the validation solver fails structurally
+    /// ([`crate::ValidationError`]).
+    pub fn run(&self, rng: &mut StdRng) -> VerificationReport {
+        self.try_run(rng).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs characterization once, then validates every assertion,
+    /// reporting solver failures as errors.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ValidationError`] when the validation solver cannot produce
+    /// an optimum (zero restarts configured, all-NaN objective).
+    ///
     /// # Panics
     ///
     /// Panics if no assertions were added or the program has no
     /// tracepoints.
-    pub fn run(&self, rng: &mut StdRng) -> VerificationReport {
+    pub fn try_run(&self, rng: &mut StdRng) -> Result<VerificationReport, ValidationError> {
         assert!(!self.assertions.is_empty(), "no assertions to verify");
+        let _trace = morph_trace::span("verify/run");
         let characterization = match &self.explicit_inputs {
             Some(inputs) => characterize_with_inputs(
                 &self.circuit,
@@ -149,7 +172,7 @@ impl Verifier {
             ),
             None => characterize(&self.circuit, &self.characterization_config, rng),
         };
-        self.validate_all(characterization, rng)
+        self.validate_all(characterization, rng, None)
     }
 
     /// [`Self::run`] with a characterization artifact cache: the
@@ -171,7 +194,29 @@ impl Verifier {
         rng: &mut StdRng,
         cache: &mut CharacterizationCache,
     ) -> VerificationReport {
+        self.try_run_with_cache(rng, cache)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::try_run`] with a characterization artifact cache; the
+    /// report's [`RunReport::cache`] summarizes the hits, misses, and cost
+    /// saved by *this* run (a delta, not the cache's lifetime stats).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::try_run`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::try_run`].
+    pub fn try_run_with_cache(
+        &self,
+        rng: &mut StdRng,
+        cache: &mut CharacterizationCache,
+    ) -> Result<VerificationReport, ValidationError> {
         assert!(!self.assertions.is_empty(), "no assertions to verify");
+        let _trace = morph_trace::span("verify/run");
+        let stats_before = *cache.stats();
         let characterization = match &self.explicit_inputs {
             Some(inputs) => characterize_with_inputs_cached(
                 &self.circuit,
@@ -182,23 +227,27 @@ impl Verifier {
             ),
             None => characterize_cached(&self.circuit, &self.characterization_config, rng, cache),
         };
-        self.validate_all(characterization, rng)
+        let cache_summary = CacheSummary::delta(&stats_before, cache.stats());
+        self.validate_all(characterization, rng, Some(cache_summary))
     }
 
     fn validate_all(
         &self,
         characterization: Characterization,
         rng: &mut StdRng,
-    ) -> VerificationReport {
+        cache: Option<CacheSummary>,
+    ) -> Result<VerificationReport, ValidationError> {
         let outcomes: Vec<ValidationOutcome> = self
             .assertions
             .iter()
-            .map(|a| validate_assertion(a, &characterization, &self.validation_config, rng))
-            .collect();
-        VerificationReport {
+            .map(|a| try_validate_assertion(a, &characterization, &self.validation_config, rng))
+            .collect::<Result<_, _>>()?;
+        let run = RunReport::new(&characterization, &outcomes, cache);
+        Ok(VerificationReport {
             characterization,
             outcomes,
-        }
+            run,
+        })
     }
 }
 
@@ -253,6 +302,74 @@ pub fn verify_source(
     Ok(verifier.run(rng))
 }
 
+/// What one verification run cost and how it behaved: the shot budget
+/// actually spent, the solver effort across all assertions, and (for
+/// cached runs) how the artifact store answered.
+///
+/// Attached to every [`VerificationReport`] so callers can inspect run
+/// behaviour without enabling the [`morph_trace`] recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunReport {
+    /// Circuit executions charged to the simulator.
+    pub executions: u64,
+    /// Measurement shots charged (0 under exact readout).
+    pub shots: u64,
+    /// Elementary quantum operations applied.
+    pub quantum_ops: u64,
+    /// Objective evaluations spent by the validation solver, summed over
+    /// assertions.
+    pub solver_evaluations: u64,
+    /// Solver iterations, summed over assertions.
+    pub solver_iterations: u64,
+    /// Cache behaviour of this run — `None` for uncached entry points.
+    pub cache: Option<CacheSummary>,
+}
+
+impl RunReport {
+    fn new(
+        characterization: &Characterization,
+        outcomes: &[ValidationOutcome],
+        cache: Option<CacheSummary>,
+    ) -> Self {
+        RunReport {
+            executions: characterization.ledger.executions,
+            shots: characterization.ledger.shots,
+            quantum_ops: characterization.ledger.quantum_ops,
+            solver_evaluations: outcomes.iter().map(|o| o.optimum.evaluations).sum(),
+            solver_iterations: outcomes.iter().map(|o| o.optimum.iterations as u64).sum(),
+            cache,
+        }
+    }
+}
+
+/// How the characterization cache answered during one run (the delta of
+/// [`StoreStats`] across the run, not the store's lifetime totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSummary {
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups answered by neither tier.
+    pub misses: u64,
+    /// Disk entries rejected as damaged or version-mismatched.
+    pub corrupt_entries: u64,
+    /// Artifacts written back.
+    pub writes: u64,
+    /// Recompute cost (quantum ops) avoided by hits.
+    pub cost_saved: u64,
+}
+
+impl CacheSummary {
+    fn delta(before: &StoreStats, after: &StoreStats) -> Self {
+        CacheSummary {
+            hits: after.hits() - before.hits(),
+            misses: after.misses - before.misses,
+            corrupt_entries: after.corrupt_entries - before.corrupt_entries,
+            writes: after.writes - before.writes,
+            cost_saved: after.cost_saved - before.cost_saved,
+        }
+    }
+}
+
 /// The result of a full verification run.
 #[derive(Debug)]
 pub struct VerificationReport {
@@ -260,6 +377,8 @@ pub struct VerificationReport {
     pub characterization: Characterization,
     /// One validation outcome per assertion, in insertion order.
     pub outcomes: Vec<ValidationOutcome>,
+    /// Cost and behaviour summary of this run.
+    pub run: RunReport,
 }
 
 impl VerificationReport {
@@ -364,6 +483,56 @@ mod tests {
     #[should_panic(expected = "no assertions")]
     fn empty_verifier_rejected() {
         let _ = Verifier::new(ghz_with_traces()).run(&mut StdRng::seed_from_u64(0));
+    }
+
+    fn pure_assertion() -> AssumeGuarantee {
+        AssumeGuarantee::new()
+            .assume(crate::StateRef::Input, StatePredicate::IsPure)
+            .guarantee_state(TracepointId(1), StatePredicate::IsPure)
+    }
+
+    #[test]
+    fn run_report_summarizes_cost_and_solver_effort() {
+        let report = Verifier::new(ghz_with_traces())
+            .input_qubits(&[0])
+            .samples(4)
+            .ensemble(morph_clifford::InputEnsemble::PauliProduct)
+            .assert_that(pure_assertion())
+            .run(&mut StdRng::seed_from_u64(0));
+        assert_eq!(report.run.executions, report.ledger().executions);
+        assert_eq!(report.run.quantum_ops, report.ledger().quantum_ops);
+        assert!(report.run.solver_evaluations > 0);
+        assert!(report.run.solver_iterations > 0);
+        assert!(report.run.cache.is_none(), "uncached run reports no cache");
+    }
+
+    #[test]
+    fn cached_run_report_tracks_store_deltas() {
+        let dir = std::env::temp_dir().join(format!(
+            "morphqpv-verifier-cache-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = CharacterizationCache::open(&dir).unwrap();
+        let verifier = Verifier::new(ghz_with_traces())
+            .input_qubits(&[0])
+            .samples(4)
+            .ensemble(morph_clifford::InputEnsemble::PauliProduct)
+            .assert_that(pure_assertion());
+
+        let first = verifier.run_with_cache(&mut StdRng::seed_from_u64(3), &mut cache);
+        let cold = first.run.cache.expect("cached run carries a summary");
+        assert_eq!(cold.hits, 0);
+        assert_eq!(cold.misses, 1);
+        assert_eq!(cold.writes, 1);
+
+        let second = verifier.run_with_cache(&mut StdRng::seed_from_u64(3), &mut cache);
+        let warm = second.run.cache.expect("cached run carries a summary");
+        assert_eq!(warm.hits, 1, "identical run should hit: {warm:?}");
+        assert_eq!(warm.misses, 0);
+        assert!(warm.cost_saved > 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     struct CMatrixFixtures;

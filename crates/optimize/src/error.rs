@@ -1,0 +1,103 @@
+//! Structured solver failures.
+//!
+//! Solvers used to panic (`expect("at least one restart ran")`) on
+//! zero-restart configurations and silently propagate NaN objective values
+//! upward; both now surface as a [`SolveError`] from
+//! [`crate::Optimizer::maximize`].
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Why a solver could not produce a usable optimum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The configuration requested zero restarts / starts / population, so
+    /// no candidate point was ever evaluated.
+    NoRestarts {
+        /// The solver's display name.
+        solver: &'static str,
+    },
+    /// Every evaluated candidate had a NaN objective value, so no point can
+    /// be ranked best.
+    AllEvaluationsNaN {
+        /// The solver's display name.
+        solver: &'static str,
+        /// Objective evaluations spent before giving up.
+        evaluations: u64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NoRestarts { solver } => {
+                write!(f, "{solver}: no restarts configured, nothing was evaluated")
+            }
+            SolveError::AllEvaluationsNaN {
+                solver,
+                evaluations,
+            } => write!(
+                f,
+                "{solver}: every objective evaluation returned NaN ({evaluations} evaluations)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Total order over `f64` with **every NaN ranked below every non-NaN**
+/// (and below `-∞`), non-NaN values compared by [`f64::total_cmp`].
+///
+/// Maximizers select with this so a NaN objective can never win a restart,
+/// displace a finite incumbent, or poison a `sort`: `max_by(nan_last_cmp)`
+/// returns NaN only when *everything* is NaN — which solvers then report
+/// as [`SolveError::AllEvaluationsNaN`].
+pub fn nan_last_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// `candidate` strictly improves on `incumbent` under the NaN-last order.
+pub fn nan_improves(candidate: f64, incumbent: f64) -> bool {
+    nan_last_cmp(candidate, incumbent) == Ordering::Greater
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_ranks_below_everything() {
+        assert_eq!(nan_last_cmp(f64::NAN, f64::NEG_INFINITY), Ordering::Less);
+        assert_eq!(nan_last_cmp(f64::NEG_INFINITY, f64::NAN), Ordering::Greater);
+        assert_eq!(nan_last_cmp(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(nan_last_cmp(1.0, 2.0), Ordering::Less);
+        assert_eq!(nan_last_cmp(2.0, 1.0), Ordering::Greater);
+        assert_eq!(nan_last_cmp(0.0, 0.0), Ordering::Equal);
+    }
+
+    #[test]
+    fn improvement_predicate_matches_the_order() {
+        assert!(nan_improves(1.0, 0.0));
+        assert!(nan_improves(0.0, f64::NAN));
+        assert!(!nan_improves(f64::NAN, 0.0));
+        assert!(!nan_improves(f64::NAN, f64::NAN));
+        assert!(!nan_improves(1.0, 1.0));
+    }
+
+    #[test]
+    fn errors_render_their_solver() {
+        let e = SolveError::NoRestarts { solver: "qp" };
+        assert!(e.to_string().contains("qp"));
+        let e = SolveError::AllEvaluationsNaN {
+            solver: "adam",
+            evaluations: 12,
+        };
+        assert!(e.to_string().contains("12"));
+    }
+}

@@ -12,6 +12,13 @@
 //!   [`GeneticAlgorithm`], [`SimulatedAnnealing`], and [`QuadraticProgram`]
 //!   — the latter standing in for the paper's Gurobi backend and compared
 //!   in Fig 15(b).
+//! - [`SolveError`] / [`nan_last_cmp`]: structured failure reporting and
+//!   the NaN-last total order every solver selects with, so degenerate
+//!   objectives surface as errors rather than panics or NaN "optima".
+//!
+//! Solvers record spans and counters through `morph-trace` when tracing is
+//! enabled (restart counts, evaluations, best-objective gauges); with
+//! tracing off the instrumentation is a single relaxed atomic load.
 //!
 //! # Examples
 //!
@@ -21,18 +28,18 @@
 //!
 //! let objective = FnObjective::new(1, |x| -(x[0] - 0.25).powi(2));
 //! let mut rng = StdRng::seed_from_u64(0);
-//! let result = GradientAscent::default().maximize(
-//!     &objective,
-//!     &Bounds::uniform(1, -1.0, 1.0),
-//!     &mut rng,
-//! );
+//! let result = GradientAscent::default()
+//!     .maximize(&objective, &Bounds::uniform(1, -1.0, 1.0), &mut rng)
+//!     .expect("a restarted solver over a finite objective succeeds");
 //! assert!((result.x[0] - 0.25).abs() < 1e-2);
 //! ```
 
+mod error;
 mod nelder_mead;
 mod objective;
 mod solvers;
 
+pub use error::{nan_improves, nan_last_cmp, SolveError};
 pub use nelder_mead::NelderMead;
 pub use objective::{Bounds, ConstrainedProblem, FnObjective, Objective, OptResult};
 pub use solvers::{

@@ -4,6 +4,7 @@
 
 use rand::rngs::StdRng;
 
+use crate::error::{nan_improves, nan_last_cmp, SolveError};
 use crate::objective::{Bounds, Objective, OptResult};
 use crate::solvers::Optimizer;
 
@@ -30,13 +31,25 @@ impl Default for NelderMead {
 }
 
 impl Optimizer for NelderMead {
-    fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, rng: &mut StdRng) -> OptResult {
+    fn maximize(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        rng: &mut StdRng,
+    ) -> Result<OptResult, SolveError> {
+        if self.restarts == 0 {
+            return Err(SolveError::NoRestarts {
+                solver: self.name(),
+            });
+        }
+        let _trace = morph_trace::span("optimize/nelder-mead");
         let n = objective.dim();
         let mut evaluations = 0u64;
         let mut best_x: Option<Vec<f64>> = None;
-        let mut best_v = f64::NEG_INFINITY;
+        let mut best_v = f64::NAN;
 
         for _ in 0..self.restarts {
+            let _restart_span = morph_trace::span("restart");
             // Initial simplex: a random point plus axis-offset vertices.
             let origin = bounds.sample(rng);
             let mut simplex: Vec<Vec<f64>> = vec![origin.clone()];
@@ -56,13 +69,10 @@ impl Optimizer for NelderMead {
                 .collect();
 
             for _ in 0..self.iterations {
-                // Order vertices: best (max) first.
+                // Order vertices: best (max) first, NaN vertices last so
+                // they are the first to be replaced.
                 let mut order: Vec<usize> = (0..simplex.len()).collect();
-                order.sort_by(|&a, &b| {
-                    values[b]
-                        .partial_cmp(&values[a])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
+                order.sort_by(|&a, &b| nan_last_cmp(values[b], values[a]));
                 let best = order[0];
                 let worst = order[order.len() - 1];
                 let second_worst = order[order.len() - 2];
@@ -91,19 +101,19 @@ impl Optimizer for NelderMead {
                 let reflected = blend(1.0);
                 let fr = objective.value(&reflected);
                 evaluations += 1;
-                if fr > values[best] {
+                if nan_improves(fr, values[best]) {
                     // Expansion.
                     let expanded = blend(2.0);
                     let fe = objective.value(&expanded);
                     evaluations += 1;
-                    if fe > fr {
+                    if nan_improves(fe, fr) {
                         simplex[worst] = expanded;
                         values[worst] = fe;
                     } else {
                         simplex[worst] = reflected;
                         values[worst] = fr;
                     }
-                } else if fr > values[second_worst] {
+                } else if nan_improves(fr, values[second_worst]) {
                     simplex[worst] = reflected;
                     values[worst] = fr;
                 } else {
@@ -111,7 +121,7 @@ impl Optimizer for NelderMead {
                     let contracted = blend(-0.5);
                     let fc = objective.value(&contracted);
                     evaluations += 1;
-                    if fc > values[worst] {
+                    if nan_improves(fc, values[worst]) {
                         simplex[worst] = contracted;
                         values[worst] = fc;
                     } else {
@@ -132,18 +142,29 @@ impl Optimizer for NelderMead {
                 }
             }
             for (x, &v) in simplex.iter().zip(&values) {
-                if v > best_v {
+                if best_x.is_none() || nan_improves(v, best_v) {
                     best_v = v;
                     best_x = Some(x.clone());
                 }
             }
         }
-        OptResult {
-            x: best_x.expect("at least one restart ran"),
+        let best_x = best_x.expect("restarts > 0 fills the incumbent");
+        if best_v.is_nan() {
+            return Err(SolveError::AllEvaluationsNaN {
+                solver: self.name(),
+                evaluations,
+            });
+        }
+        morph_trace::counter("restarts", self.restarts as u64);
+        morph_trace::counter("iterations", (self.iterations * self.restarts) as u64);
+        morph_trace::counter("evaluations", evaluations);
+        morph_trace::gauge("best_objective", best_v);
+        Ok(OptResult {
+            x: best_x,
             value: best_v,
             iterations: self.iterations * self.restarts,
             evaluations,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -162,7 +183,9 @@ mod tests {
         let obj = FnObjective::new(2, |x| -((x[0] - 0.3).powi(2) + (x[1] + 0.4).powi(2)));
         let bounds = Bounds::uniform(2, -1.0, 1.0);
         let mut rng = StdRng::seed_from_u64(0);
-        let res = NelderMead::default().maximize(&obj, &bounds, &mut rng);
+        let res = NelderMead::default()
+            .maximize(&obj, &bounds, &mut rng)
+            .unwrap();
         assert!((res.x[0] - 0.3).abs() < 0.02, "x0={}", res.x[0]);
         assert!((res.x[1] + 0.4).abs() < 0.02, "x1={}", res.x[1]);
     }
@@ -173,7 +196,9 @@ mod tests {
         let obj = FnObjective::new(2, |x| -((x[0] - 0.5).abs() + (x[1] - 0.25).abs()));
         let bounds = Bounds::uniform(2, -1.0, 1.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let res = NelderMead::default().maximize(&obj, &bounds, &mut rng);
+        let res = NelderMead::default()
+            .maximize(&obj, &bounds, &mut rng)
+            .unwrap();
         assert!(res.value > -0.05, "value {}", res.value);
     }
 
@@ -182,7 +207,9 @@ mod tests {
         let obj = FnObjective::new(3, |x| x.iter().sum());
         let bounds = Bounds::uniform(3, -1.0, 1.0);
         let mut rng = StdRng::seed_from_u64(2);
-        let res = NelderMead::default().maximize(&obj, &bounds, &mut rng);
+        let res = NelderMead::default()
+            .maximize(&obj, &bounds, &mut rng)
+            .unwrap();
         assert!(res.x.iter().all(|&v| (-1.0..=1.0).contains(&v)));
         assert!(
             res.value > 2.5,
@@ -196,8 +223,55 @@ mod tests {
         let obj = FnObjective::new(1, |x| -x[0] * x[0]);
         let bounds = Bounds::uniform(1, -1.0, 1.0);
         let mut rng = StdRng::seed_from_u64(3);
-        let res = NelderMead::default().maximize(&obj, &bounds, &mut rng);
+        let res = NelderMead::default()
+            .maximize(&obj, &bounds, &mut rng)
+            .unwrap();
         assert!(res.evaluations > 100);
         assert!((res.x[0]).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_restarts_is_an_error() {
+        let obj = FnObjective::new(1, |x| -x[0] * x[0]);
+        let bounds = Bounds::uniform(1, -1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let solver = NelderMead {
+            restarts: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            solver.maximize(&obj, &bounds, &mut rng),
+            Err(SolveError::NoRestarts { .. })
+        ));
+    }
+
+    #[test]
+    fn all_nan_objective_is_an_error() {
+        let obj = FnObjective::new(2, |_| f64::NAN);
+        let bounds = Bounds::uniform(2, -1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        match NelderMead::default().maximize(&obj, &bounds, &mut rng) {
+            Err(SolveError::AllEvaluationsNaN { evaluations, .. }) => assert!(evaluations > 0),
+            other => panic!("expected AllEvaluationsNaN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_pockets_do_not_poison_the_simplex() {
+        // NaN band through the middle of the box; the peak sits outside it.
+        let obj = FnObjective::new(1, |x| {
+            if (-0.2..0.2).contains(&x[0]) {
+                f64::NAN
+            } else {
+                -(x[0] - 0.7).powi(2)
+            }
+        });
+        let bounds = Bounds::uniform(1, -1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let res = NelderMead::default()
+            .maximize(&obj, &bounds, &mut rng)
+            .unwrap();
+        assert!(res.value.is_finite());
+        assert!((res.x[0] - 0.7).abs() < 0.05, "x0={}", res.x[0]);
     }
 }

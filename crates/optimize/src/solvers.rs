@@ -1,10 +1,16 @@
 //! Maximization solvers: Adam-style gradient ascent, a genetic algorithm,
 //! simulated annealing, and a quadratic-programming solver (projected
 //! gradient with exact quadratic line search) standing in for Gurobi.
+//!
+//! All solvers rank candidates with the NaN-last total order from
+//! [`crate::error`]: a NaN objective value can never win a restart, and a
+//! configuration that evaluates nothing (or only NaNs) returns a
+//! [`SolveError`] instead of panicking.
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::error::{nan_improves, nan_last_cmp, SolveError};
 use crate::objective::{Bounds, Objective, OptResult};
 
 /// A maximizer over a box-bounded search space.
@@ -12,7 +18,19 @@ use crate::objective::{Bounds, Objective, OptResult};
 /// All solvers are deterministic given the RNG; experiments seed it.
 pub trait Optimizer {
     /// Maximizes `objective` inside `bounds`.
-    fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, rng: &mut StdRng) -> OptResult;
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NoRestarts`] when the configuration evaluates no
+    /// candidate at all (zero restarts / starts / population), and
+    /// [`SolveError::AllEvaluationsNaN`] when every evaluated candidate had
+    /// a NaN objective value.
+    fn maximize(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        rng: &mut StdRng,
+    ) -> Result<OptResult, SolveError>;
 
     /// Human-readable solver name (used in Fig 15(b) reports).
     fn name(&self) -> &'static str;
@@ -47,14 +65,27 @@ impl Default for GradientAscent {
 }
 
 impl Optimizer for GradientAscent {
-    fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, rng: &mut StdRng) -> OptResult {
+    fn maximize(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        rng: &mut StdRng,
+    ) -> Result<OptResult, SolveError> {
+        if self.restarts == 0 {
+            return Err(SolveError::NoRestarts {
+                solver: self.name(),
+            });
+        }
+        let trace = morph_trace::span("optimize/gradient-ascent");
+        let trace_parent = trace.id();
+        morph_trace::counter("restarts", self.restarts as u64);
+
         let dim = objective.dim();
         let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
         let master = morph_parallel::derive_master(rng);
-        let runs = morph_parallel::parallel_map_indices(
-            self.parallelism,
-            self.restarts.max(1),
-            |restart| {
+        let runs =
+            morph_parallel::parallel_map_indices(self.parallelism, self.restarts, |restart| {
+                let _restart_span = morph_trace::span_under(trace_parent, "restart");
                 let mut task_rng = morph_parallel::child_rng(master, restart as u64);
                 let mut evaluations = 0u64;
                 let mut x = bounds.sample(&mut task_rng);
@@ -75,10 +106,14 @@ impl Optimizer for GradientAscent {
                 }
                 let value = objective.value(&x);
                 evaluations += 1;
+                morph_trace::counter("iterations", self.iterations as u64);
+                morph_trace::counter("evaluations", evaluations);
+                morph_trace::gauge("restart_value", value);
                 (x, value, evaluations)
-            },
-        );
-        best_of_restarts(runs, self.iterations * self.restarts.max(1))
+            });
+        let result = best_of_restarts(self.name(), runs, self.iterations * self.restarts)?;
+        morph_trace::gauge("best_objective", result.value);
+        Ok(result)
     }
 
     fn name(&self) -> &'static str {
@@ -112,7 +147,18 @@ impl Default for GeneticAlgorithm {
 }
 
 impl Optimizer for GeneticAlgorithm {
-    fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, rng: &mut StdRng) -> OptResult {
+    fn maximize(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        rng: &mut StdRng,
+    ) -> Result<OptResult, SolveError> {
+        if self.population == 0 {
+            return Err(SolveError::NoRestarts {
+                solver: self.name(),
+            });
+        }
+        let _trace = morph_trace::span("optimize/genetic-algorithm");
         let dim = objective.dim();
         let mut population: Vec<Vec<f64>> =
             (0..self.population).map(|_| bounds.sample(rng)).collect();
@@ -146,17 +192,26 @@ impl Optimizer for GeneticAlgorithm {
             fitness = population.iter().map(|x| objective.value(x)).collect();
             evaluations += self.population as u64;
             best_idx = argmax(&fitness);
-            if fitness[best_idx] > best_v {
+            if nan_improves(fitness[best_idx], best_v) {
                 best_v = fitness[best_idx];
                 best_x = population[best_idx].clone();
             }
+            morph_trace::gauge("best_objective", best_v);
         }
-        OptResult {
+        if best_v.is_nan() {
+            return Err(SolveError::AllEvaluationsNaN {
+                solver: self.name(),
+                evaluations,
+            });
+        }
+        morph_trace::counter("iterations", self.generations as u64);
+        morph_trace::counter("evaluations", evaluations);
+        Ok(OptResult {
             x: best_x,
             value: best_v,
             iterations: self.generations,
             evaluations,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -189,7 +244,13 @@ impl Default for SimulatedAnnealing {
 }
 
 impl Optimizer for SimulatedAnnealing {
-    fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, rng: &mut StdRng) -> OptResult {
+    fn maximize(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        rng: &mut StdRng,
+    ) -> Result<OptResult, SolveError> {
+        let _trace = morph_trace::span("optimize/simulated-annealing");
         let dim = objective.dim();
         let mut x = bounds.sample(rng);
         let mut v = objective.value(&x);
@@ -197,6 +258,7 @@ impl Optimizer for SimulatedAnnealing {
         let mut best_v = v;
         let mut temperature = self.initial_temperature;
         let mut evaluations = 1u64;
+        let mut accepted = 0u64;
         for _ in 0..self.iterations {
             let mut candidate = x.clone();
             let i = rng.gen_range(0..dim);
@@ -205,23 +267,48 @@ impl Optimizer for SimulatedAnnealing {
             bounds.project(&mut candidate);
             let cv = objective.value(&candidate);
             evaluations += 1;
-            let accept = cv > v || rng.gen::<f64>() < ((cv - v) / temperature.max(1e-12)).exp();
+            // NaN handling keeps the acceptance draw: with the historical
+            // expression a NaN on either side fell through to the Metropolis
+            // test (whose comparison against NaN is false), so a draw was
+            // consumed either way. A NaN candidate is always rejected; a NaN
+            // incumbent is always replaced by a finite candidate — without
+            // this an early NaN pinned the walk forever.
+            let accept = if cv.is_nan() {
+                let _ = rng.gen::<f64>();
+                false
+            } else if v.is_nan() {
+                let _ = rng.gen::<f64>();
+                true
+            } else {
+                cv > v || rng.gen::<f64>() < ((cv - v) / temperature.max(1e-12)).exp()
+            };
             if accept {
+                accepted += 1;
                 x = candidate;
                 v = cv;
-                if v > best_v {
+                if nan_improves(v, best_v) {
                     best_v = v;
                     best_x = x.clone();
                 }
             }
             temperature *= self.cooling;
         }
-        OptResult {
+        if best_v.is_nan() {
+            return Err(SolveError::AllEvaluationsNaN {
+                solver: self.name(),
+                evaluations,
+            });
+        }
+        morph_trace::counter("iterations", self.iterations as u64);
+        morph_trace::counter("evaluations", evaluations);
+        morph_trace::counter("accepted_moves", accepted);
+        morph_trace::gauge("best_objective", best_v);
+        Ok(OptResult {
             x: best_x,
             value: best_v,
             iterations: self.iterations,
             evaluations,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -307,10 +394,29 @@ impl QuadraticProgram {
 }
 
 impl Optimizer for QuadraticProgram {
-    fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, rng: &mut StdRng) -> OptResult {
+    fn maximize(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        rng: &mut StdRng,
+    ) -> Result<OptResult, SolveError> {
+        if self.starts == 0 {
+            return Err(SolveError::NoRestarts {
+                solver: self.name(),
+            });
+        }
+        let trace = morph_trace::span("optimize/quadratic-program");
+        let trace_parent = trace.id();
+        morph_trace::counter("restarts", self.starts as u64);
+
         let n = objective.dim();
         let mut fit_evaluations = 0u64;
-        let (q, c, _) = Self::fit_quadratic(objective, &mut fit_evaluations);
+        let (q, c, _) = {
+            let _fit_span = morph_trace::span("fit-quadratic");
+            let fit = Self::fit_quadratic(objective, &mut fit_evaluations);
+            morph_trace::counter("evaluations", fit_evaluations);
+            fit
+        };
 
         let grad = |x: &[f64], out: &mut [f64]| {
             for i in 0..n {
@@ -323,38 +429,44 @@ impl Optimizer for QuadraticProgram {
         };
 
         let master = morph_parallel::derive_master(rng);
-        let runs =
-            morph_parallel::parallel_map_indices(self.parallelism, self.starts.max(1), |start| {
-                let mut task_rng = morph_parallel::child_rng(master, start as u64);
-                let mut x = bounds.sample(&mut task_rng);
-                let mut g = vec![0.0; n];
-                for _ in 0..self.iterations {
-                    grad(&x, &mut g);
-                    // Exact line search for quadratic: t* = gᵀg / (−gᵀQg) when
-                    // the curvature along g is negative; otherwise take a bold
-                    // fixed step toward the boundary.
-                    let gg: f64 = g.iter().map(|v| v * v).sum();
-                    if gg < 1e-18 {
-                        break;
-                    }
-                    let mut gqg = 0.0;
-                    for i in 0..n {
-                        for j in 0..n {
-                            gqg += g[i] * q[i][j] * g[j];
-                        }
-                    }
-                    let t = if gqg < -1e-12 { -gg / gqg } else { 1.0 };
-                    for i in 0..n {
-                        x[i] += t * g[i];
-                    }
-                    bounds.project(&mut x);
+        let runs = morph_parallel::parallel_map_indices(self.parallelism, self.starts, |start| {
+            let _restart_span = morph_trace::span_under(trace_parent, "restart");
+            let mut task_rng = morph_parallel::child_rng(master, start as u64);
+            let mut x = bounds.sample(&mut task_rng);
+            let mut g = vec![0.0; n];
+            let mut line_search_steps = 0u64;
+            for _ in 0..self.iterations {
+                grad(&x, &mut g);
+                // Exact line search for quadratic: t* = gᵀg / (−gᵀQg) when
+                // the curvature along g is negative; otherwise take a bold
+                // fixed step toward the boundary.
+                let gg: f64 = g.iter().map(|v| v * v).sum();
+                if gg < 1e-18 {
+                    break;
                 }
-                let v = objective.value(&x);
-                (x, v, 1u64)
-            });
-        let mut result = best_of_restarts(runs, self.iterations * self.starts.max(1));
+                line_search_steps += 1;
+                let mut gqg = 0.0;
+                for i in 0..n {
+                    for j in 0..n {
+                        gqg += g[i] * q[i][j] * g[j];
+                    }
+                }
+                let t = if gqg < -1e-12 { -gg / gqg } else { 1.0 };
+                for i in 0..n {
+                    x[i] += t * g[i];
+                }
+                bounds.project(&mut x);
+            }
+            let v = objective.value(&x);
+            morph_trace::counter("line_search_steps", line_search_steps);
+            morph_trace::counter("evaluations", 1);
+            morph_trace::gauge("restart_value", v);
+            (x, v, 1u64)
+        });
+        let mut result = best_of_restarts(self.name(), runs, self.iterations * self.starts)?;
         result.evaluations += fit_evaluations;
-        result
+        morph_trace::gauge("best_objective", result.value);
+        Ok(result)
     }
 
     fn name(&self) -> &'static str {
@@ -363,32 +475,49 @@ impl Optimizer for QuadraticProgram {
 }
 
 /// Folds per-restart `(x, value, evaluations)` runs into one [`OptResult`]:
-/// the best value wins, ties broken by the lowest restart index so the
-/// outcome is independent of evaluation order.
-fn best_of_restarts(runs: Vec<(Vec<f64>, f64, u64)>, iterations: usize) -> OptResult {
-    let evaluations = runs.iter().map(|(_, _, e)| e).sum();
-    let (x, value, _) = runs
-        .into_iter()
-        .reduce(|best, candidate| {
-            if candidate.1 > best.1 {
-                candidate
-            } else {
-                best
+/// the best value under the NaN-last order wins, ties broken by the lowest
+/// restart index so the outcome is independent of evaluation order.
+fn best_of_restarts(
+    solver: &'static str,
+    mut runs: Vec<(Vec<f64>, f64, u64)>,
+    iterations: usize,
+) -> Result<OptResult, SolveError> {
+    let evaluations: u64 = runs.iter().map(|(_, _, e)| e).sum();
+    let mut best: Option<usize> = None;
+    for (i, run) in runs.iter().enumerate() {
+        match best {
+            None => best = Some(i),
+            Some(b) => {
+                if nan_improves(run.1, runs[b].1) {
+                    best = Some(i);
+                }
             }
-        })
-        .expect("at least one restart ran");
-    OptResult {
+        }
+    }
+    let Some(b) = best else {
+        return Err(SolveError::NoRestarts { solver });
+    };
+    if runs[b].1.is_nan() {
+        return Err(SolveError::AllEvaluationsNaN {
+            solver,
+            evaluations,
+        });
+    }
+    let (x, value, _) = runs.swap_remove(b);
+    Ok(OptResult {
         x,
         value,
         iterations,
         evaluations,
-    }
+    })
 }
 
+/// Index of the maximum under the NaN-last order; lowest index on ties, so
+/// a NaN entry is picked only when every entry is NaN.
 fn argmax(values: &[f64]) -> usize {
     let mut best = 0;
     for (i, &v) in values.iter().enumerate() {
-        if v > values[best] {
+        if nan_last_cmp(v, values[best]) == std::cmp::Ordering::Greater {
             best = i;
         }
     }
@@ -398,7 +527,8 @@ fn argmax(values: &[f64]) -> usize {
 fn tournament(fitness: &[f64], rng: &mut StdRng) -> usize {
     let a = rng.gen_range(0..fitness.len());
     let b = rng.gen_range(0..fitness.len());
-    if fitness[a] >= fitness[b] {
+    // `a` wins ties, matching the historical `>=`; NaN loses to anything.
+    if nan_last_cmp(fitness[a], fitness[b]) != std::cmp::Ordering::Less {
         a
     } else {
         b
@@ -435,7 +565,7 @@ mod tests {
         let bounds = Bounds::uniform(2, -1.0, 1.0);
         for solver in solvers() {
             let mut rng = StdRng::seed_from_u64(1);
-            let res = solver.maximize(&obj, &bounds, &mut rng);
+            let res = solver.maximize(&obj, &bounds, &mut rng).unwrap();
             assert!(
                 res.value > -1e-2,
                 "{} missed the peak: value {}",
@@ -464,7 +594,7 @@ mod tests {
         let bounds = Bounds::uniform(2, -1.0, 1.0);
         for solver in solvers() {
             let mut rng = StdRng::seed_from_u64(2);
-            let res = solver.maximize(&obj, &bounds, &mut rng);
+            let res = solver.maximize(&obj, &bounds, &mut rng).unwrap();
             assert!(
                 res.x.iter().all(|&v| (-1.0..=1.0).contains(&v)),
                 "{}",
@@ -488,7 +618,9 @@ mod tests {
         // Optimum: x0 = 1/4, x1 = 1, x2 = −1.
         let bounds = Bounds::uniform(3, -2.0, 2.0);
         let mut rng = StdRng::seed_from_u64(3);
-        let res = QuadraticProgram::default().maximize(&obj, &bounds, &mut rng);
+        let res = QuadraticProgram::default()
+            .maximize(&obj, &bounds, &mut rng)
+            .unwrap();
         assert!((res.x[0] - 0.25).abs() < 1e-3, "x0={}", res.x[0]);
         assert!((res.x[1] - 1.0).abs() < 1e-3, "x1={}", res.x[1]);
         assert!((res.x[2] + 1.0).abs() < 1e-3, "x2={}", res.x[2]);
@@ -506,7 +638,9 @@ mod tests {
         let mut found = 0;
         for seed in 0..5 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let res = SimulatedAnnealing::default().maximize(&obj, &bounds, &mut rng);
+            let res = SimulatedAnnealing::default()
+                .maximize(&obj, &bounds, &mut rng)
+                .unwrap();
             if (res.x[0] - 0.6).abs() < 0.05 {
                 found += 1;
             }
@@ -526,7 +660,7 @@ mod tests {
         let bounds = Bounds::uniform(3, -1.0, 1.0);
         let run = |solver: &dyn Optimizer| {
             let mut rng = StdRng::seed_from_u64(5);
-            let res = solver.maximize(&obj, &bounds, &mut rng);
+            let res = solver.maximize(&obj, &bounds, &mut rng).unwrap();
             (res, rng.gen::<u64>())
         };
         let (ga_serial, ga_serial_stream) = run(&GradientAscent {
@@ -565,8 +699,120 @@ mod tests {
         let obj = FnObjective::new(1, |x| -x[0] * x[0]);
         let bounds = Bounds::uniform(1, -1.0, 1.0);
         let mut rng = StdRng::seed_from_u64(0);
-        let res = GradientAscent::default().maximize(&obj, &bounds, &mut rng);
+        let res = GradientAscent::default()
+            .maximize(&obj, &bounds, &mut rng)
+            .unwrap();
         assert!(res.iterations > 0);
         assert!(res.evaluations > 0);
+    }
+
+    #[test]
+    fn zero_restarts_is_an_error_not_a_panic() {
+        let obj = FnObjective::new(1, |x| -x[0] * x[0]);
+        let bounds = Bounds::uniform(1, -1.0, 1.0);
+        let cases: Vec<Box<dyn Optimizer>> = vec![
+            Box::new(GradientAscent {
+                restarts: 0,
+                ..Default::default()
+            }),
+            Box::new(QuadraticProgram {
+                starts: 0,
+                ..Default::default()
+            }),
+            Box::new(GeneticAlgorithm {
+                population: 0,
+                ..Default::default()
+            }),
+        ];
+        for solver in cases {
+            let mut rng = StdRng::seed_from_u64(0);
+            match solver.maximize(&obj, &bounds, &mut rng) {
+                Err(SolveError::NoRestarts { .. }) => {}
+                other => panic!("{}: expected NoRestarts, got {other:?}", solver.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn all_nan_objective_is_an_error_not_a_winner() {
+        let obj = FnObjective::new(1, |_| f64::NAN);
+        let bounds = Bounds::uniform(1, -1.0, 1.0);
+        for solver in solvers() {
+            let mut rng = StdRng::seed_from_u64(7);
+            match solver.maximize(&obj, &bounds, &mut rng) {
+                Err(SolveError::AllEvaluationsNaN { evaluations, .. }) => {
+                    assert!(evaluations > 0, "{}", solver.name());
+                }
+                other => panic!(
+                    "{}: expected AllEvaluationsNaN, got {other:?}",
+                    solver.name()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_nan_region_still_returns_a_finite_optimum() {
+        // NaN beyond x = 0.5; the finite part still has a well-defined peak
+        // at x = −0.5. (The NaN pocket stays clear of the origin so the QP
+        // solver's finite-difference fit around 0 remains finite.)
+        let obj = FnObjective::new(1, |x| {
+            if x[0] > 0.5 {
+                f64::NAN
+            } else {
+                -(x[0] + 0.5).powi(2)
+            }
+        });
+        let bounds = Bounds::uniform(1, -1.0, 1.0);
+        for solver in solvers() {
+            let mut rng = StdRng::seed_from_u64(11);
+            let res = solver
+                .maximize(&obj, &bounds, &mut rng)
+                .unwrap_or_else(|e| panic!("{}: {e}", solver.name()));
+            assert!(
+                res.value.is_finite(),
+                "{} returned non-finite {}",
+                solver.name(),
+                res.value
+            );
+        }
+    }
+
+    #[test]
+    fn best_of_restarts_prefers_lowest_index_on_ties() {
+        let runs = vec![
+            (vec![1.0], 0.5, 1),
+            (vec![2.0], 0.5, 1),
+            (vec![3.0], f64::NAN, 1),
+        ];
+        let res = best_of_restarts("test", runs, 1).unwrap();
+        assert_eq!(res.x, vec![1.0]);
+        assert_eq!(res.evaluations, 3);
+    }
+
+    #[test]
+    fn solver_spans_record_restarts_and_evaluations() {
+        let obj = FnObjective::new(1, |x| -x[0] * x[0]);
+        let bounds = Bounds::uniform(1, -1.0, 1.0);
+        morph_trace::reset();
+        morph_trace::set_enabled(true);
+        let mut rng = StdRng::seed_from_u64(0);
+        GradientAscent::default()
+            .maximize(&obj, &bounds, &mut rng)
+            .unwrap();
+        morph_trace::set_enabled(false);
+        let spans = morph_trace::span_summaries();
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "optimize/gradient-ascent" && s.counters["restarts"] == 4));
+        // `>=`: the recorder is process-global, so concurrently running
+        // tests may contribute restart spans of their own while tracing is
+        // enabled here.
+        assert!(
+            spans.iter().filter(|s| s.name == "restart").count() >= 4,
+            "one child span per restart"
+        );
+        assert!(morph_trace::counter_total("evaluations") > 0);
+        morph_trace::reset();
     }
 }

@@ -116,8 +116,14 @@ impl Executor {
         storage: &'a mut Option<Circuit>,
     ) -> &'a Circuit {
         if self.fuse {
-            storage.insert(fuse_circuit(circuit))
+            let fused = storage.insert(fuse_circuit(circuit));
+            if morph_trace::enabled() {
+                morph_trace::counter("executor/gates_before_fusion", gate_count(circuit));
+                morph_trace::counter("executor/gates_fused", gate_count(fused));
+            }
+            fused
         } else {
+            morph_trace::counter("executor/gates_unfused", gate_count(circuit));
             circuit
         }
     }
@@ -146,6 +152,7 @@ impl Executor {
         let circuit = if self.noise.is_noiseless() {
             self.fused_for_noiseless(circuit, &mut storage)
         } else {
+            morph_trace::counter("executor/gates_unfused", gate_count(circuit));
             circuit
         };
         let mut state = input.clone();
@@ -218,6 +225,8 @@ impl Executor {
             circuit.n_qubits(),
             "input register mismatch"
         );
+        // Channel noise attaches per physical gate, so this path never fuses.
+        morph_trace::counter("executor/gates_unfused", gate_count(circuit));
         let mut acc = Accumulator::new();
         enumerate_density(
             circuit.instructions(),
@@ -294,6 +303,16 @@ impl Executor {
         }
         t + self.noise.tread_ns // final readout
     }
+}
+
+/// Number of gate applications a circuit performs (conditional gates
+/// included), for the executor's fused-vs-unfused telemetry.
+fn gate_count(circuit: &Circuit) -> u64 {
+    circuit
+        .instructions()
+        .iter()
+        .filter(|i| matches!(i, Instruction::Gate(_) | Instruction::Conditional { .. }))
+        .count() as u64
 }
 
 struct Accumulator {

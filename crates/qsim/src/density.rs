@@ -65,13 +65,29 @@ fn row_chunk_len(d: usize, workers: usize) -> usize {
     d.div_ceil(4 * w).max(1)
 }
 
+/// [`morph_parallel::parallel_chunks_mut`] with telemetry: records how many
+/// chunks each multi-worker sweep fans out into. The counter only fires
+/// with the recorder enabled and never touches the data, so sweeps remain
+/// bit-identical at every worker count.
+fn traced_chunks_mut<F>(workers: usize, data: &mut [C64], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [C64]) + Sync,
+{
+    if morph_trace::enabled() && morph_parallel::effective_workers(workers) > 1 {
+        let chunks = data.len().div_ceil(chunk_len.max(1)) as u64;
+        morph_trace::counter("qsim/density_parallel_chunks", chunks);
+        morph_trace::counter("qsim/density_parallel_sweeps", 1);
+    }
+    morph_parallel::parallel_chunks_mut(workers, data, chunk_len, f);
+}
+
 /// Row pass `ρ ← U ρ` then column pass `ρ ← ρ U†` for a 1-qubit unitary at
 /// bit position `shift`. `data` is the row-major `d × d` matrix.
 fn kernel_1q(data: &mut [C64], d: usize, shift: usize, u: &CMatrix, workers: usize) {
     let m = 1usize << shift;
     let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
     // Row pass: the pair (r, r | m) lives inside one 2m-row super-block.
-    morph_parallel::parallel_chunks_mut(workers, data, 2 * m * d, |_, chunk| {
+    traced_chunks_mut(workers, data, 2 * m * d, |_, chunk| {
         for r in 0..m {
             let off0 = r * d;
             let off1 = (r + m) * d;
@@ -86,7 +102,7 @@ fn kernel_1q(data: &mut [C64], d: usize, shift: usize, u: &CMatrix, workers: usi
     // Column pass: every row is independent; new[j] = Σ_k old[k]·conj(u[j][k]).
     let (c00, c01, c10, c11) = (u00.conj(), u01.conj(), u10.conj(), u11.conj());
     let rows = row_chunk_len(d, workers);
-    morph_parallel::parallel_chunks_mut(workers, data, rows * d, |_, chunk| {
+    traced_chunks_mut(workers, data, rows * d, |_, chunk| {
         for row in chunk.chunks_mut(d) {
             for base in 0..d / 2 {
                 let col0 = bits::deposit(base, shift);
@@ -114,7 +130,7 @@ fn kernel_2q(data: &mut [C64], d: usize, sa: usize, sb: usize, u: &CMatrix, work
     }
     // Row pass over super-blocks spanning the higher of the two bits.
     let block_rows = 1usize << (hi + 1);
-    morph_parallel::parallel_chunks_mut(workers, data, block_rows * d, |_, chunk| {
+    traced_chunks_mut(workers, data, block_rows * d, |_, chunk| {
         for lb in 0..block_rows / 4 {
             let r00 = bits::deposit(bits::deposit(lb, lo), hi);
             let rows = [r00, r00 | mb, r00 | ma, r00 | ma | mb];
@@ -137,7 +153,7 @@ fn kernel_2q(data: &mut [C64], d: usize, sa: usize, sb: usize, u: &CMatrix, work
     });
     // Column pass: per row, mix the column quad with conj(u).
     let rows_per_chunk = row_chunk_len(d, workers);
-    morph_parallel::parallel_chunks_mut(workers, data, rows_per_chunk * d, |_, chunk| {
+    traced_chunks_mut(workers, data, rows_per_chunk * d, |_, chunk| {
         for row in chunk.chunks_mut(d) {
             for base in 0..d / 4 {
                 let c00 = bits::deposit(bits::deposit(base, lo), hi);
@@ -188,7 +204,7 @@ fn kernel_controlled(
     // Column pass.
     let (c00, c01, c10, c11) = (u00.conj(), u01.conj(), u10.conj(), u11.conj());
     let rows = row_chunk_len(d, workers);
-    morph_parallel::parallel_chunks_mut(workers, data, rows * d, |_, chunk| {
+    traced_chunks_mut(workers, data, rows * d, |_, chunk| {
         for row in chunk.chunks_mut(d) {
             for base in 0..n_base {
                 let col0 = bits::deposit_multi(base, &fixed) | cmask;
@@ -215,7 +231,7 @@ fn kernel_swap(data: &mut [C64], d: usize, sa: usize, sb: usize, workers: usize)
         }
     }
     let rows = row_chunk_len(d, workers);
-    morph_parallel::parallel_chunks_mut(workers, data, rows * d, |_, chunk| {
+    traced_chunks_mut(workers, data, rows * d, |_, chunk| {
         for row in chunk.chunks_mut(d) {
             for base in 0..d / 4 {
                 let c00 = bits::deposit(bits::deposit(base, lo), hi);
@@ -229,7 +245,7 @@ fn kernel_swap(data: &mut [C64], d: usize, sa: usize, sb: usize, workers: usize)
 /// in one elementwise pass.
 fn kernel_diag(data: &mut [C64], d: usize, diag: &[C64], workers: usize) {
     let rows = row_chunk_len(d, workers);
-    morph_parallel::parallel_chunks_mut(workers, data, rows * d, |ci, chunk| {
+    traced_chunks_mut(workers, data, rows * d, |ci, chunk| {
         for (lr, row) in chunk.chunks_mut(d).enumerate() {
             let dr = diag[ci * rows + lr];
             for (x, dc) in row.iter_mut().zip(diag.iter()) {
@@ -247,7 +263,7 @@ where
     F: Fn(C64, C64, C64, C64) -> (C64, C64, C64, C64) + Sync,
 {
     let m = 1usize << shift;
-    morph_parallel::parallel_chunks_mut(workers, data, 2 * m * d, |_, chunk| {
+    traced_chunks_mut(workers, data, 2 * m * d, |_, chunk| {
         for r in 0..m {
             let off0 = r * d;
             let off1 = (r + m) * d;
@@ -377,6 +393,7 @@ impl DensityMatrix {
     /// cores). Results are bit-identical for every worker count; the
     /// explicit form exists so determinism tests can pin both sides.
     pub fn apply_gate_with_workers(&mut self, gate: &Gate, workers: usize) {
+        morph_trace::counter("qsim/density_gates", 1);
         match gate {
             // Diagonal 1q gates: one elementwise pass.
             Gate::Z(q)

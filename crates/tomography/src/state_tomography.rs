@@ -155,6 +155,7 @@ pub fn read_state(
     assert!(rho.is_square(), "state must be square");
     let d = rho.rows();
     let k = d.trailing_zeros() as usize;
+    morph_trace::counter("tomography/readouts", 1);
     match mode {
         ReadoutMode::Exact => {
             ledger.record_execution(1, ops_per_shot);
@@ -162,6 +163,7 @@ pub fn read_state(
         }
         ReadoutMode::Shots(shots) => {
             assert!(shots > 0, "tomography requires at least one shot");
+            morph_trace::counter("tomography/shots", shots as u64);
             let mut estimate = CMatrix::identity(d).scale_re(1.0 / d as f64);
             for s in pauli_strings(k).into_iter().skip(1) {
                 let p = matrices::pauli_string(&s);
@@ -177,6 +179,7 @@ pub fn read_state(
                 n_snapshots > 0,
                 "shadow readout requires at least one snapshot"
             );
+            morph_trace::counter("tomography/shadow_snapshots", n_snapshots as u64);
             let shadow = crate::shadows::ClassicalShadow::collect(
                 rho,
                 n_snapshots,

@@ -14,4 +14,5 @@ pub use morph_qprog as qprog;
 pub use morph_qsim as qsim;
 pub use morph_store as store;
 pub use morph_tomography as tomography;
+pub use morph_trace as trace;
 pub use morphqpv as core;

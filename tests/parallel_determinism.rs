@@ -83,8 +83,8 @@ fn solver_restarts_are_bit_identical_across_worker_counts() {
     };
     let mut rng_a = StdRng::seed_from_u64(21);
     let mut rng_b = StdRng::seed_from_u64(21);
-    let a = ga_serial.maximize(&objective, &bounds, &mut rng_a);
-    let b = ga_wide.maximize(&objective, &bounds, &mut rng_b);
+    let a = ga_serial.maximize(&objective, &bounds, &mut rng_a).unwrap();
+    let b = ga_wide.maximize(&objective, &bounds, &mut rng_b).unwrap();
     assert_eq!(a.x, b.x);
     assert_eq!(a.value, b.value);
     assert_eq!(a.evaluations, b.evaluations);
@@ -101,8 +101,8 @@ fn solver_restarts_are_bit_identical_across_worker_counts() {
     };
     let mut rng_a = StdRng::seed_from_u64(22);
     let mut rng_b = StdRng::seed_from_u64(22);
-    let a = qp_serial.maximize(&objective, &bounds, &mut rng_a);
-    let b = qp_wide.maximize(&objective, &bounds, &mut rng_b);
+    let a = qp_serial.maximize(&objective, &bounds, &mut rng_a).unwrap();
+    let b = qp_wide.maximize(&objective, &bounds, &mut rng_b).unwrap();
     assert_eq!(a.x, b.x);
     assert_eq!(a.value, b.value);
     assert_eq!(a.evaluations, b.evaluations);

@@ -2,8 +2,8 @@
 //! respect bounds and find the optimum of random concave quadratics.
 
 use morphqpv_suite::optimize::{
-    Bounds, FnObjective, GeneticAlgorithm, GradientAscent, Optimizer, QuadraticProgram,
-    SimulatedAnnealing,
+    Bounds, FnObjective, GeneticAlgorithm, GradientAscent, NelderMead, Optimizer, QuadraticProgram,
+    SimulatedAnnealing, SolveError,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -43,7 +43,7 @@ proptest! {
             Box::new(GradientAscent::default()),
         ] {
             let mut rng = StdRng::seed_from_u64(seed);
-            let result = solver.maximize(&objective, &bounds, &mut rng);
+            let result = solver.maximize(&objective, &bounds, &mut rng).unwrap();
             prop_assert!(
                 (result.x[0] - o1).abs() < 0.05 && (result.x[1] - o2).abs() < 0.05,
                 "{} missed ({o1},{o2}): got {:?}",
@@ -67,7 +67,7 @@ proptest! {
             Box::new(SimulatedAnnealing::default()),
         ] {
             let mut rng = StdRng::seed_from_u64(seed);
-            let result = solver.maximize(&objective, &bounds, &mut rng);
+            let result = solver.maximize(&objective, &bounds, &mut rng).unwrap();
             prop_assert!(result.x[0] >= -0.5 - 1e-12 && result.x[0] <= 1.5 + 1e-12);
             prop_assert!(result.x[1] >= 0.0 - 1e-12 && result.x[1] <= 2.0 + 1e-12);
             // Near-corner optimality when the slope is meaningful.
@@ -96,7 +96,7 @@ proptest! {
             Box::new(SimulatedAnnealing::default()),
         ] {
             let mut rng = StdRng::seed_from_u64(seed);
-            let result = solver.maximize(&objective, &bounds, &mut rng);
+            let result = solver.maximize(&objective, &bounds, &mut rng).unwrap();
             // The reported value is the objective at the reported point.
             let actual = -c * result.x.iter().map(|v| v * v).sum::<f64>();
             prop_assert!(
@@ -104,6 +104,49 @@ proptest! {
                 "{} reported {} but point evaluates to {actual}",
                 solver.name(),
                 result.value
+            );
+        }
+    }
+
+    /// Degenerate configurations (zero restarts) and degenerate objectives
+    /// (all-NaN) must produce a structured [`SolveError`], never a panic and
+    /// never a NaN "optimum".
+    #[test]
+    fn hostile_solves_error_instead_of_panicking(
+        dim in 1usize..4,
+        seed in 0..1000u64,
+    ) {
+        let nan_objective = FnObjective::new(dim, |_| f64::NAN);
+        let bounds = Bounds::uniform(dim, -1.0, 1.0);
+
+        for solver in [
+            Box::new(GradientAscent { restarts: 0, ..GradientAscent::default() }) as Box<dyn Optimizer>,
+            Box::new(QuadraticProgram { starts: 0, ..QuadraticProgram::default() }),
+            Box::new(NelderMead { restarts: 0, ..NelderMead::default() }),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let finite = FnObjective::new(dim, |x| -x.iter().map(|v| v * v).sum::<f64>());
+            let err = solver.maximize(&finite, &bounds, &mut rng).unwrap_err();
+            prop_assert!(
+                matches!(err, SolveError::NoRestarts { .. }),
+                "{}: expected NoRestarts, got {err}",
+                solver.name()
+            );
+        }
+
+        for solver in [
+            Box::new(GradientAscent::default()) as Box<dyn Optimizer>,
+            Box::new(QuadraticProgram::default()),
+            Box::new(NelderMead::default()),
+            Box::new(GeneticAlgorithm::default()),
+            Box::new(SimulatedAnnealing::default()),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let err = solver.maximize(&nan_objective, &bounds, &mut rng).unwrap_err();
+            prop_assert!(
+                matches!(err, SolveError::AllEvaluationsNaN { .. }),
+                "{}: expected AllEvaluationsNaN, got {err}",
+                solver.name()
             );
         }
     }
