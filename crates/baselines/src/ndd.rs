@@ -62,7 +62,7 @@ impl NddAssertion {
     ) -> bool {
         let n = reference.n_qubits();
         let input = StateVector::basis_state(n, basis);
-        let executor = Executor::new();
+        let executor = Executor::default();
         let expected = executor.run_trajectory(reference, &input, rng).final_state;
         let observed = executor.run_trajectory(candidate, &input, rng).final_state;
         // The discrimination circuit is run `shots` times; each shot pays

@@ -68,7 +68,7 @@ impl ProjAssertion {
         ledger: &mut CostLedger,
         rng: &mut StdRng,
     ) -> f64 {
-        let executor = Executor::new();
+        let executor = Executor::default();
         let out = executor.run_trajectory(program, input, rng).final_state;
         let rho = out.reduced_density_matrix(qubits);
         let inside = morph_linalg::trace_product(projector, &rho)
@@ -105,7 +105,7 @@ impl BugDetector for ProjAssertion {
         let n = reference.n_qubits();
         let dim = 1usize << n;
         let qubits: Vec<usize> = (0..n).collect();
-        let executor = Executor::new();
+        let executor = Executor::default();
         let mut ledger = CostLedger::new();
         for _ in 0..budget {
             let basis = rng.gen_range(0..dim);

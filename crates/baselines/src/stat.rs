@@ -76,7 +76,7 @@ impl BugDetector for StatAssertion {
     ) -> DetectionResult {
         let n = reference.n_qubits();
         let dim = 1usize << n;
-        let executor = Executor::new();
+        let executor = Executor::default();
         let ops = candidate.op_cost() as u64;
         let dof = (dim - 1).max(1) as f64;
         let master = morph_parallel::derive_master(rng);

@@ -53,7 +53,7 @@ impl TwistChecker {
         let mut instrumented = Circuit::with_cbits(circuit.n_qubits(), circuit.n_cbits());
         instrumented.extend_from(circuit);
         instrumented.tracepoint(u32::MAX, qubits);
-        let record = Executor::new()
+        let record = Executor::default()
             .run_expected(&instrumented, &StateVector::zero_state(circuit.n_qubits()));
         let rho = record.state(TracepointId(u32::MAX));
         let purity = morph_linalg::purity(rho);

@@ -37,10 +37,10 @@ fn bench_tracepoint_state(c: &mut Criterion) {
         full.extend_from(&probe.prep);
         full.extend_from(&circuit);
         group.bench_with_input(BenchmarkId::new("simulation", n), &n, |b, _| {
-            b.iter(|| Executor::new().run_expected(&full, &StateVector::zero_state(n)));
+            b.iter(|| Executor::default().run_expected(&full, &StateVector::zero_state(n)));
         });
 
-        let truth = Executor::new()
+        let truth = Executor::default()
             .run_expected(&full, &StateVector::zero_state(n))
             .state(TracepointId(1))
             .clone();

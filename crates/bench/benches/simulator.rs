@@ -186,11 +186,11 @@ fn bench_fusion(c: &mut Criterion) {
     let circuit = layered_circuit(n, 8);
     let input = StateVector::zero_state(n);
     group.bench_with_input(BenchmarkId::new("run_expected_fused", n), &n, |b, _| {
-        let ex = Executor::new();
+        let ex = Executor::default();
         b.iter(|| ex.run_expected(&circuit, &input));
     });
     group.bench_with_input(BenchmarkId::new("run_expected_unfused", n), &n, |b, _| {
-        let ex = Executor::new().without_fusion();
+        let ex = Executor::builder().fusion(false).build();
         b.iter(|| ex.run_expected(&circuit, &input));
     });
     group.finish();
@@ -223,7 +223,7 @@ fn bench_noisy_e2e(c: &mut Criterion) {
     let circuit = layered_circuit(n, 2);
     let noise = NoiseModel::ibm_cairo();
     group.bench_with_input(BenchmarkId::new("local_kernels", n), &n, |b, _| {
-        let ex = Executor::with_noise(noise);
+        let ex = Executor::builder().noise(noise).build();
         let input = DensityMatrix::zero_state(n);
         b.iter(|| ex.run_expected_noisy(&circuit, &input));
     });

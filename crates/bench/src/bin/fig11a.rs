@@ -46,7 +46,7 @@ fn main() {
 
         // (2) Classical simulation of the program under this input.
         let t0 = Instant::now();
-        let record = Executor::new().run_expected(
+        let record = Executor::default().run_expected(
             &{
                 let mut full = Circuit::new(n);
                 full.extend_from(&probe.prep);

@@ -33,7 +33,7 @@ fn accuracy_with_segments(circuit: &Circuit, n_segments: usize, rng: &mut StdRng
         full.extend_from(&p.prep);
         full.extend_from(circuit);
         full.tracepoint(1, &(0..N).collect::<Vec<_>>());
-        let truth = Executor::new()
+        let truth = Executor::default()
             .run_expected(&full, &StateVector::zero_state(N))
             .state(TracepointId(1))
             .clone();

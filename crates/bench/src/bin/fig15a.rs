@@ -47,7 +47,7 @@ fn main() {
                     let mut full = Circuit::new(n);
                     full.extend_from(&p.prep);
                     full.extend_from(&circuit);
-                    let truth = Executor::new()
+                    let truth = Executor::default()
                         .run_expected(&full, &StateVector::zero_state(n))
                         .state(TracepointId(1))
                         .clone();

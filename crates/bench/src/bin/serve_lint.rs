@@ -1,0 +1,79 @@
+//! Validates `morph-serve` response lines against the protocol schema.
+//!
+//! ```text
+//! usage: serve_lint <responses.jsonl> <schema.json>
+//! ```
+//!
+//! Each non-empty line of the responses file is validated independently
+//! against `docs/serve-protocol.schema.json` (violations are reported as
+//! `line N $.path: …`). Exit code `0` when every line conforms, `1` on any
+//! violation or I/O/parse error.
+//!
+//! The validation logic is [`morph_bench::schema_lint`], shared with
+//! `trace_lint`.
+
+use morph_bench::schema_lint::{load, validate};
+use serde::json::parse;
+
+const USAGE: &str = "usage: serve_lint <responses.jsonl> <schema.json>";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [responses_path, schema_path] = args.as_slice() else {
+        eprintln!("{USAGE}");
+        return 1;
+    };
+    let text = match std::fs::read_to_string(responses_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{responses_path}: {e}");
+            return 1;
+        }
+    };
+    let schema = match load(schema_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{schema_path}: {e}");
+            return 1;
+        }
+    };
+
+    let mut errors = Vec::new();
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        match parse(line) {
+            Ok(doc) => {
+                let mut line_errors = Vec::new();
+                validate(&doc, &schema, &schema, "$", &mut line_errors);
+                errors.extend(
+                    line_errors
+                        .into_iter()
+                        .map(|e| format!("line {}: {e}", i + 1)),
+                );
+            }
+            Err(e) => errors.push(format!("line {}: bad JSON: {e}", i + 1)),
+        }
+    }
+    if lines == 0 {
+        eprintln!("{responses_path}: no response lines");
+        return 1;
+    }
+    if errors.is_empty() {
+        println!("{responses_path}: OK ({lines} response line(s))");
+        0
+    } else {
+        for e in &errors {
+            eprintln!("{responses_path}: {e}");
+        }
+        eprintln!("{responses_path}: {} schema violation(s)", errors.len());
+        1
+    }
+}

@@ -29,7 +29,7 @@ const BUDGET: usize = 5;
 /// the reference exactly.
 fn is_visible_bug(reference: &Circuit, mutant: &Circuit, rng: &mut StdRng) -> bool {
     let n = reference.n_qubits();
-    let ex = Executor::new();
+    let ex = Executor::default();
     for probe in InputEnsemble::Clifford.generate(n, 6, rng) {
         let mut prep_ref = Circuit::new(n);
         prep_ref.extend_from(&probe.prep.remap_qubits(&(0..n).collect::<Vec<_>>(), n));

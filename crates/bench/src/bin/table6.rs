@@ -32,7 +32,7 @@ const CASES: usize = 5;
 /// classically, so any reachable semantic difference is visible).
 fn exact_sim_differs(reference: &Circuit, mutant: &Circuit) -> bool {
     let n = reference.n_qubits();
-    let ex = Executor::new();
+    let ex = Executor::default();
     let mut rng = StdRng::seed_from_u64(0);
     let mut probes: Vec<StateVector> = vec![
         StateVector::basis_state(n, 0),
@@ -66,7 +66,7 @@ fn visible_in_scope(
     output_qubits: &[usize],
 ) -> bool {
     let n = reference.n_qubits();
-    let ex = Executor::new();
+    let ex = Executor::default();
     let mut rng = StdRng::seed_from_u64(1);
     for probe in morph_clifford::InputEnsemble::Clifford.generate(input_qubits.len(), 6, &mut rng) {
         let prep = probe.prep.remap_qubits(input_qubits, n);

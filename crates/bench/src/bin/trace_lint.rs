@@ -7,14 +7,12 @@
 //! Exit code `0` when the document conforms, `1` on any violation (each is
 //! printed with its JSON path) or I/O/parse error.
 //!
-//! The validator implements exactly the JSON-Schema subset that
-//! `docs/trace-schema.json` uses: `type` (a name or a list of alternatives),
-//! `properties`, `required`, `additionalProperties` (as a schema for map
-//! values), `items`, and `$ref` into `#/definitions/…`. That keeps the CI
-//! check dependency-free while still catching shape regressions in
-//! [`morph_trace::export_json`].
+//! The validation logic lives in [`morph_bench::schema_lint`], shared with
+//! `serve_lint`; it implements exactly the JSON-Schema subset that
+//! `docs/trace-schema.json` uses, keeping the CI check dependency-free
+//! while still catching shape regressions in [`morph_trace::export_json`].
 
-use serde::json::{parse, Value};
+use morph_bench::schema_lint::{load, validate};
 
 const USAGE: &str = "usage: trace_lint <trace.json> <schema.json>";
 
@@ -54,89 +52,5 @@ fn run() -> i32 {
         }
         eprintln!("{trace_path}: {} schema violation(s)", errors.len());
         1
-    }
-}
-
-fn load(path: &str) -> Result<Value, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    parse(&text).map_err(|e| e.to_string())
-}
-
-/// The JSON type-name of a value, matching JSON-Schema vocabulary.
-fn type_name(v: &Value) -> &'static str {
-    match v {
-        Value::Null => "null",
-        Value::Bool(_) => "boolean",
-        Value::UInt(_) | Value::Int(_) => "integer",
-        Value::Float(_) => "number",
-        Value::Str(_) => "string",
-        Value::Array(_) => "array",
-        Value::Object(_) => "object",
-    }
-}
-
-/// `true` when `v` satisfies the JSON-Schema type `name` ("integer" is also
-/// a "number").
-fn matches_type(v: &Value, name: &str) -> bool {
-    let actual = type_name(v);
-    actual == name || (name == "number" && actual == "integer")
-}
-
-/// Resolves `#/definitions/<name>` against the schema root.
-fn resolve<'a>(reference: &str, root: &'a Value, errors: &mut Vec<String>) -> Option<&'a Value> {
-    let name = reference.strip_prefix("#/definitions/")?;
-    let def = root.get("definitions").and_then(|d| d.get(name));
-    if def.is_none() {
-        errors.push(format!("schema error: unresolved $ref {reference:?}"));
-    }
-    def
-}
-
-fn validate(doc: &Value, schema: &Value, root: &Value, path: &str, errors: &mut Vec<String>) {
-    if let Some(reference) = schema.get("$ref").and_then(Value::as_str) {
-        if let Some(target) = resolve(reference, root, errors) {
-            validate(doc, target, root, path, errors);
-        }
-        return;
-    }
-
-    if let Some(ty) = schema.get("type") {
-        let alternatives: Vec<&str> = match ty {
-            Value::Str(s) => vec![s.as_str()],
-            Value::Array(items) => items.iter().filter_map(Value::as_str).collect(),
-            _ => Vec::new(),
-        };
-        if !alternatives.iter().any(|t| matches_type(doc, t)) {
-            errors.push(format!(
-                "{path}: expected {}, found {}",
-                alternatives.join(" or "),
-                type_name(doc)
-            ));
-            return;
-        }
-    }
-
-    if let Value::Object(map) = doc {
-        if let Some(required) = schema.get("required").and_then(Value::as_array) {
-            for key in required.iter().filter_map(Value::as_str) {
-                if !map.contains_key(key) {
-                    errors.push(format!("{path}: missing required field `{key}`"));
-                }
-            }
-        }
-        let properties = schema.get("properties");
-        for (key, value) in map {
-            if let Some(sub) = properties.and_then(|p| p.get(key)) {
-                validate(value, sub, root, &format!("{path}.{key}"), errors);
-            } else if let Some(extra) = schema.get("additionalProperties") {
-                validate(value, extra, root, &format!("{path}.{key}"), errors);
-            }
-        }
-    }
-
-    if let (Value::Array(items), Some(item_schema)) = (doc, schema.get("items")) {
-        for (i, item) in items.iter().enumerate() {
-            validate(item, item_schema, root, &format!("{path}[{i}]"), errors);
-        }
     }
 }

@@ -25,7 +25,7 @@
 //! tree as JSON. Tracing never changes the verification results or the
 //! stdout report — only stderr and the trace file carry the extra output.
 
-use morphqpv::{CharacterizationCache, ValidationConfig, Verdict};
+use morphqpv::{CharacterizationCache, MorphError, ValidationConfig, Verdict};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -135,11 +135,15 @@ fn run() -> i32 {
         inputs = vec![0];
     }
 
+    // All pipeline failures funnel through MorphError so the binary's exit
+    // code is the workspace-wide convention (0 passed / 2 refuted / 1
+    // failure) rather than ad-hoc per-site values.
     let circuit = match morph_qprog::parse_program(&source) {
         Ok(c) => c,
         Err(e) => {
+            let e = MorphError::from(e);
             eprintln!("{e}");
-            return 1;
+            return e.exit_code();
         }
     };
     let assertions = match morphqpv::assertions_from_source(&source) {
@@ -149,8 +153,9 @@ fn run() -> i32 {
             return 1;
         }
         Err(e) => {
+            let e = MorphError::from(e);
             eprintln!("{e}");
-            return 1;
+            return e.exit_code();
         }
     };
     // MORPH_TRACE=1 enables the recorder even without a --trace-json file
@@ -192,13 +197,13 @@ fn run() -> i32 {
     let report = match result {
         Ok(report) => report,
         Err(e) => {
+            let e = MorphError::from(e);
             eprintln!("{e}");
             write_trace(trace_json.as_deref());
-            return 1;
+            return e.exit_code();
         }
     };
 
-    let mut refuted = false;
     for (i, outcome) in report.outcomes.iter().enumerate() {
         match &outcome.verdict {
             Verdict::Passed {
@@ -214,7 +219,6 @@ fn run() -> i32 {
                 counterexample,
                 ..
             } => {
-                refuted = true;
                 println!("assertion {i}: FAILED (objective {max_objective:.3})");
                 let refined = morphqpv::CounterExample::refine(counterexample);
                 println!(
@@ -247,11 +251,7 @@ fn run() -> i32 {
         }
     }
     write_trace(trace_json.as_deref());
-    if refuted {
-        2
-    } else {
-        0
-    }
+    report.exit_code()
 }
 
 /// Writes the recorded span tree to `path` as JSON, if a path was given.

@@ -14,11 +14,14 @@
 //!   execution accounting.
 //! - [`qram_bisection`]: the QRAM faulty-address binary search (Fig 10).
 //! - [`rows`]: tiny aligned-table printing used by all binaries.
+//! - [`schema_lint`]: the dependency-free JSON-Schema-subset validator
+//!   behind the `trace_lint` and `serve_lint` CI tools.
 
 mod compare;
 mod lock_search;
 mod qram_search;
 pub mod rows;
+pub mod schema_lint;
 
 pub use compare::{compare_programs, compare_programs_cached, CompareConfig, MorphDetector};
 pub use lock_search::{quantum_lock_bisection, quantum_lock_bisection_cost, LockSearchResult};

@@ -52,7 +52,7 @@ pub fn quantum_lock_bisection(
         "expected key out of range"
     );
 
-    let executor = Executor::new();
+    let executor = Executor::default();
     // Probability that the output reads 1 for a uniform superposition over
     // the subcube with the given pinned prefix bits.
     let probe = |pinned: &[u8]| -> f64 {

@@ -61,7 +61,7 @@ fn probe_block(qram: &Qram, circuit: &Circuit, start: usize, len: usize) -> CMat
     }
     prep.extend_from(circuit);
     prep.tracepoint(1, &[qram.data_qubit()]);
-    Executor::new()
+    Executor::default()
         .run_expected(&prep, &StateVector::zero_state(n))
         .state(TracepointId(1))
         .clone()

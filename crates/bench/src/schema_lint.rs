@@ -1,0 +1,182 @@
+//! Dependency-free validator for the JSON-Schema subset the repo's
+//! checked-in schemas use.
+//!
+//! Shared by the `trace_lint` CI tool (validating
+//! [`morph_trace::export_json`] against `docs/trace-schema.json`) and the
+//! `serve_lint` tool (validating `morph-serve` response lines against
+//! `docs/serve-protocol.schema.json`). The supported vocabulary is exactly
+//! what those schemas need: `type` (a name or a list of alternatives),
+//! `properties`, `required`, `additionalProperties` (as a schema for map
+//! values), `items`, `enum` (of strings), `const` (a string or integer),
+//! and `$ref` into `#/definitions/…`.
+//!
+//! Violations are collected (with their JSON path) rather than failing
+//! fast, so one lint run reports every problem in a document.
+
+use serde::json::{parse, Value};
+
+/// Loads and parses a JSON document from disk.
+///
+/// # Errors
+///
+/// A human-readable I/O or parse error.
+pub fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse(&text).map_err(|e| e.to_string())
+}
+
+/// Validates `doc` against `schema`, appending one message per violation.
+/// `root` is the schema document `$ref`s resolve against (normally the
+/// schema itself); `path` seeds the reported JSON paths (normally `"$"`).
+pub fn validate(doc: &Value, schema: &Value, root: &Value, path: &str, errors: &mut Vec<String>) {
+    if let Some(reference) = schema.get("$ref").and_then(Value::as_str) {
+        if let Some(target) = resolve(reference, root, errors) {
+            validate(doc, target, root, path, errors);
+        }
+        return;
+    }
+
+    if let Some(ty) = schema.get("type") {
+        let alternatives: Vec<&str> = match ty {
+            Value::Str(s) => vec![s.as_str()],
+            Value::Array(items) => items.iter().filter_map(Value::as_str).collect(),
+            _ => Vec::new(),
+        };
+        if !alternatives.iter().any(|t| matches_type(doc, t)) {
+            errors.push(format!(
+                "{path}: expected {}, found {}",
+                alternatives.join(" or "),
+                type_name(doc)
+            ));
+            return;
+        }
+    }
+
+    if let Some(Value::Array(allowed)) = schema.get("enum") {
+        if !allowed.iter().any(|v| v == doc) {
+            errors.push(format!(
+                "{path}: value not in enum {:?}",
+                allowed.iter().filter_map(Value::as_str).collect::<Vec<_>>()
+            ));
+            return;
+        }
+    }
+
+    if let Some(expected) = schema.get("const") {
+        if expected != doc {
+            errors.push(format!(
+                "{path}: expected const {expected:?}, found {doc:?}"
+            ));
+            return;
+        }
+    }
+
+    if let Value::Object(map) = doc {
+        if let Some(required) = schema.get("required").and_then(Value::as_array) {
+            for key in required.iter().filter_map(Value::as_str) {
+                if !map.contains_key(key) {
+                    errors.push(format!("{path}: missing required field `{key}`"));
+                }
+            }
+        }
+        let properties = schema.get("properties");
+        for (key, value) in map {
+            if let Some(sub) = properties.and_then(|p| p.get(key)) {
+                validate(value, sub, root, &format!("{path}.{key}"), errors);
+            } else if let Some(extra) = schema.get("additionalProperties") {
+                validate(value, extra, root, &format!("{path}.{key}"), errors);
+            }
+        }
+    }
+
+    if let (Value::Array(items), Some(item_schema)) = (doc, schema.get("items")) {
+        for (i, item) in items.iter().enumerate() {
+            validate(item, item_schema, root, &format!("{path}[{i}]"), errors);
+        }
+    }
+}
+
+/// The JSON type-name of a value, matching JSON-Schema vocabulary.
+pub fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::UInt(_) | Value::Int(_) => "integer",
+        Value::Float(_) => "number",
+        Value::Str(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+/// `true` when `v` satisfies the JSON-Schema type `name` ("integer" is
+/// also a "number").
+fn matches_type(v: &Value, name: &str) -> bool {
+    let actual = type_name(v);
+    actual == name || (name == "number" && actual == "integer")
+}
+
+/// Resolves `#/definitions/<name>` against the schema root.
+fn resolve<'a>(reference: &str, root: &'a Value, errors: &mut Vec<String>) -> Option<&'a Value> {
+    let name = reference.strip_prefix("#/definitions/")?;
+    let def = root.get("definitions").and_then(|d| d.get(name));
+    if def.is_none() {
+        errors.push(format!("schema error: unresolved $ref {reference:?}"));
+    }
+    def
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(doc: &str, schema: &str) -> Vec<String> {
+        let doc = parse(doc).unwrap();
+        let schema = parse(schema).unwrap();
+        let mut errors = Vec::new();
+        validate(&doc, &schema, &schema, "$", &mut errors);
+        errors
+    }
+
+    #[test]
+    fn type_and_required_violations_are_reported_with_paths() {
+        let schema = r#"{"type":"object","required":["id"],
+            "properties":{"id":{"type":"string"},"n":{"type":"integer"}}}"#;
+        assert!(check(r#"{"id":"a","n":3}"#, schema).is_empty());
+        let errors = check(r#"{"n":"three"}"#, schema);
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors[0].contains("missing required field `id`"));
+        assert!(errors[1].contains("$.n"));
+    }
+
+    #[test]
+    fn enum_and_const_are_enforced() {
+        let schema = r#"{"type":"object","properties":{
+            "status":{"type":"string","enum":["passed","refuted"]},
+            "protocol":{"const":1}}}"#;
+        assert!(check(r#"{"status":"passed","protocol":1}"#, schema).is_empty());
+        // Object keys validate in sorted order: `protocol` before `status`.
+        let errors = check(r#"{"status":"maybe","protocol":2}"#, schema);
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors[0].contains("const"));
+        assert!(errors[1].contains("enum"));
+    }
+
+    #[test]
+    fn refs_resolve_into_definitions_and_items_recurse() {
+        let schema = r##"{"type":"array","items":{"$ref":"#/definitions/entry"},
+            "definitions":{"entry":{"type":"object","required":["k"]}}}"##;
+        assert!(check(r#"[{"k":1},{"k":2}]"#, schema).is_empty());
+        let errors = check(r#"[{"k":1},{}]"#, schema);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("$[1]"));
+    }
+
+    #[test]
+    fn integers_satisfy_number() {
+        let schema = r#"{"type":"number"}"#;
+        assert!(check("3", schema).is_empty());
+        assert!(check("3.5", schema).is_empty());
+        assert!(!check("\"3\"", schema).is_empty());
+    }
+}

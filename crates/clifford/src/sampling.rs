@@ -384,7 +384,7 @@ mod tests {
     fn prep_circuit_matches_recorded_state() {
         let mut rng = StdRng::seed_from_u64(11);
         for input in InputEnsemble::Clifford.generate(2, 4, &mut rng) {
-            let rec = morph_qprog::Executor::new().run_trajectory(
+            let rec = morph_qprog::Executor::default().run_trajectory(
                 &input.prep,
                 &StateVector::zero_state(2),
                 &mut rng,

@@ -1,0 +1,142 @@
+//! Cooperative cancellation for the verification pipeline.
+//!
+//! Characterization and validation are long-running, CPU-bound stages with
+//! no natural preemption point, so services that impose deadlines (e.g.
+//! `morph-serve`) need the pipeline to *check in* between units of work. A
+//! [`CancelToken`] carries an optional wall-clock deadline plus a manual
+//! kill switch; the cancellable entry points
+//! ([`crate::try_characterize`][crate::try_characterize],
+//! [`Verifier::try_validate_with`][crate::Verifier::try_validate_with])
+//! call [`CancelToken::check`] between pipeline stages — before input
+//! generation, at the start of each sampling task, and between assertions —
+//! and bail out with [`Cancelled`] instead of finishing doomed work.
+//!
+//! Cancellation never changes results: a run that completes did exactly
+//! what an uncancellable run would have done (the checks read an atomic
+//! and the clock, never the RNG streams).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a pipeline run was abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cancelled {
+    /// The token's deadline elapsed.
+    DeadlineExceeded,
+    /// [`CancelToken::cancel`] was called.
+    Requested,
+}
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cancelled::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Cancelled::Requested => write!(f, "cancellation requested"),
+        }
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// A cloneable cancellation handle: an optional deadline plus a manual
+/// flag shared by every clone.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels manually (no deadline).
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        }
+    }
+
+    /// A token whose [`check`](Self::check) starts failing once `timeout`
+    /// has elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + timeout),
+        }
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once the token is cancelled (manually or by deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.why().is_some()
+    }
+
+    /// The pipeline's check-in point: `Ok(())` to keep going, `Err` with
+    /// the reason to stop.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        match self.why() {
+            Some(reason) => Err(reason),
+            None => Ok(()),
+        }
+    }
+
+    fn why(&self) -> Option<Cancelled> {
+        if self.flag.load(Ordering::Relaxed) {
+            return Some(Cancelled::Requested);
+        }
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => Some(Cancelled::DeadlineExceeded),
+            _ => None,
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_passes_checks() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert_eq!(token.check(), Ok(()));
+    }
+
+    #[test]
+    fn manual_cancel_reaches_every_clone() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        token.cancel();
+        assert_eq!(clone.check(), Err(Cancelled::Requested));
+    }
+
+    #[test]
+    fn zero_deadline_cancels_immediately() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(token.check(), Err(Cancelled::DeadlineExceeded));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_cancel() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert_eq!(token.check(), Ok(()));
+    }
+
+    #[test]
+    fn manual_cancel_wins_over_deadline_reporting() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        token.cancel();
+        assert_eq!(token.check(), Err(Cancelled::Requested));
+    }
+}

@@ -17,6 +17,7 @@ use morph_tomography::{read_state, CostLedger, ReadoutMode, SharedLedger};
 use rand::rngs::StdRng;
 
 use crate::approx::ApproximationFunction;
+use crate::cancel::{CancelToken, Cancelled};
 
 /// Configuration of the characterization stage.
 #[derive(Debug, Clone)]
@@ -63,6 +64,75 @@ impl CharacterizationConfig {
             .ok()
             .and_then(|shift| 1usize.checked_shl(shift))
             .unwrap_or(usize::MAX)
+    }
+
+    /// Starts a [`CharacterizationConfigBuilder`] for the given input
+    /// qubits. Defaults mirror [`CharacterizationConfig::exact`] with the
+    /// paper sample budget capped at 32.
+    pub fn builder(input_qubits: Vec<usize>) -> CharacterizationConfigBuilder {
+        let n_samples = CharacterizationConfig::paper_full_budget(input_qubits.len()).min(32);
+        CharacterizationConfigBuilder {
+            config: CharacterizationConfig::exact(input_qubits, n_samples),
+        }
+    }
+}
+
+/// Builder for [`CharacterizationConfig`] — the counterpart of
+/// [`morph_qprog::Executor::builder`] for the characterization stage.
+///
+/// # Examples
+///
+/// ```
+/// use morphqpv::CharacterizationConfig;
+/// use morph_tomography::ReadoutMode;
+///
+/// let config = CharacterizationConfig::builder(vec![0, 1])
+///     .samples(8)
+///     .readout(ReadoutMode::Shots(200))
+///     .parallelism(1)
+///     .build();
+/// assert_eq!(config.n_samples, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CharacterizationConfigBuilder {
+    config: CharacterizationConfig,
+}
+
+impl CharacterizationConfigBuilder {
+    /// Sets the number of sampled inputs (`N_sample`).
+    pub fn samples(mut self, n: usize) -> Self {
+        self.config.n_samples = n;
+        self
+    }
+
+    /// Selects the input ensemble (default: Clifford).
+    pub fn ensemble(mut self, ensemble: InputEnsemble) -> Self {
+        self.config.ensemble = ensemble;
+        self
+    }
+
+    /// Selects the tracepoint readout mode (default: exact).
+    pub fn readout(mut self, readout: ReadoutMode) -> Self {
+        self.config.readout = readout;
+        self
+    }
+
+    /// Applies a hardware noise model to the sampling runs (default:
+    /// noiseless).
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.config.noise = noise;
+        self
+    }
+
+    /// Sets the sweep worker count (`0` = all cores, the default).
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.config.parallelism = workers;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> CharacterizationConfig {
+        self.config
     }
 }
 
@@ -117,6 +187,30 @@ pub fn characterize(
     config: &CharacterizationConfig,
     rng: &mut StdRng,
 ) -> Characterization {
+    try_characterize(circuit, config, rng, &CancelToken::new())
+        .expect("a fresh token never cancels")
+}
+
+/// [`characterize`] with cooperative cancellation: `cancel` is checked
+/// before input generation and at the start of each sampling task, so a
+/// deadline fires within one program execution's latency.
+///
+/// A run that completes is bit-identical to an uncancellable run — the
+/// checks never touch the RNG streams.
+///
+/// # Errors
+///
+/// [`Cancelled`] when the token fires before the sweep finishes.
+///
+/// # Panics
+///
+/// Same caller-bug conditions as [`characterize`].
+pub fn try_characterize(
+    circuit: &Circuit,
+    config: &CharacterizationConfig,
+    rng: &mut StdRng,
+    cancel: &CancelToken,
+) -> Result<Characterization, Cancelled> {
     assert!(
         !circuit.tracepoints().is_empty(),
         "program has no tracepoints to characterize"
@@ -128,11 +222,12 @@ pub fn characterize(
         assert!(q < n, "input qubit {q} out of range");
     }
 
+    cancel.check()?;
     let inputs =
         config
             .ensemble
             .generate_with_workers(n_in, config.n_samples, rng, config.parallelism);
-    characterize_with_inputs(circuit, config, inputs, rng)
+    try_characterize_with_inputs(circuit, config, inputs, rng, cancel)
 }
 
 /// Characterization with an explicit input set — used by Strategy-adapt,
@@ -153,13 +248,30 @@ pub fn characterize_with_inputs(
     inputs: Vec<InputState>,
     rng: &mut StdRng,
 ) -> Characterization {
+    try_characterize_with_inputs(circuit, config, inputs, rng, &CancelToken::new())
+        .expect("a fresh token never cancels")
+}
+
+/// [`characterize_with_inputs`] with cooperative cancellation (see
+/// [`try_characterize`]).
+///
+/// # Errors
+///
+/// [`Cancelled`] when the token fires before the sweep finishes.
+///
+/// # Panics
+///
+/// See [`characterize`].
+pub fn try_characterize_with_inputs(
+    circuit: &Circuit,
+    config: &CharacterizationConfig,
+    inputs: Vec<InputState>,
+    rng: &mut StdRng,
+    cancel: &CancelToken,
+) -> Result<Characterization, Cancelled> {
     let n = circuit.n_qubits();
     let ops_per_shot = circuit.op_cost() as u64;
-    let executor = if config.noise.is_noiseless() {
-        Executor::new()
-    } else {
-        Executor::with_noise(config.noise)
-    };
+    let executor = Executor::builder().noise(config.noise).build();
     if !config.noise.is_noiseless() {
         assert!(
             n <= 12,
@@ -167,14 +279,20 @@ pub fn characterize_with_inputs(
         );
     }
 
+    cancel.check()?;
     let trace = morph_trace::span("characterize");
     let trace_parent = trace.id();
     morph_trace::counter("characterize/inputs", inputs.len() as u64);
 
     let master = morph_parallel::derive_master(rng);
     let shared = SharedLedger::new();
-    let per_input: Vec<Vec<(TracepointId, CMatrix)>> =
+    let per_input: Vec<Result<Vec<(TracepointId, CMatrix)>, Cancelled>> =
         morph_parallel::parallel_map(config.parallelism, &inputs, |i, input| {
+            // One check per sampling task: a firing deadline stops the
+            // sweep within one program execution's latency. The abandoned
+            // partial result is discarded wholesale, so completed runs
+            // remain bit-identical to uncancellable ones.
+            cancel.check()?;
             // Telemetry never touches the task RNG streams, so traces stay
             // bit-identical whether or not the recorder is enabled.
             let _input_span = morph_trace::span_under(trace_parent, "input");
@@ -204,12 +322,12 @@ pub fn characterize_with_inputs(
                 })
                 .collect();
             shared.merge(&local);
-            captured
+            Ok(captured)
         });
 
     let mut traces: BTreeMap<TracepointId, Vec<CMatrix>> = BTreeMap::new();
     for captured in per_input {
-        for (id, observed) in captured {
+        for (id, observed) in captured? {
             traces.entry(id).or_default().push(observed);
         }
     }
@@ -219,18 +337,18 @@ pub fn characterize_with_inputs(
     morph_trace::counter("characterize/shots", ledger.shots);
     morph_trace::counter("characterize/quantum_ops", ledger.quantum_ops);
 
-    Characterization {
+    Ok(Characterization {
         inputs,
         traces,
         ledger,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use morph_qprog::TracepointId;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     /// Two-qubit program: input on qubit 0, tracepoint after an H–CX block.
     fn sample_program() -> Circuit {
@@ -286,7 +404,7 @@ mod tests {
             let mut full = Circuit::new(2);
             full.extend_from(&prep);
             full.extend_from(&circuit);
-            let truth = Executor::new()
+            let truth = Executor::default()
                 .run_expected(&full, &StateVector::zero_state(2))
                 .state(TracepointId(2))
                 .clone();
@@ -389,6 +507,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn builder_matches_exact_defaults() {
+        let built = CharacterizationConfig::builder(vec![0, 1]).build();
+        let exact = CharacterizationConfig::exact(vec![0, 1], 8);
+        assert_eq!(built.n_samples, exact.n_samples);
+        assert_eq!(built.input_qubits, exact.input_qubits);
+        assert!(built.noise.is_noiseless());
+        let custom = CharacterizationConfig::builder(vec![0])
+            .samples(5)
+            .ensemble(InputEnsemble::Basis)
+            .noise(NoiseModel::ibm_cairo())
+            .parallelism(2)
+            .build();
+        assert_eq!(custom.n_samples, 5);
+        assert_eq!(custom.parallelism, 2);
+        assert!(!custom.noise.is_noiseless());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_before_work() {
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let mut rng = StdRng::seed_from_u64(0);
+        let config = CharacterizationConfig::exact(vec![0], 4);
+        let result = try_characterize(&sample_program(), &config, &mut rng, &token);
+        assert_eq!(result.unwrap_err(), crate::Cancelled::Requested);
+    }
+
+    #[test]
+    fn completed_cancellable_run_matches_plain_run() {
+        let config = CharacterizationConfig::exact(vec![0], 4);
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let plain = characterize(&sample_program(), &config, &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let token = crate::CancelToken::new();
+        let checked =
+            try_characterize(&sample_program(), &config, &mut rng_b, &token).expect("no cancel");
+        assert_eq!(plain.ledger, checked.ledger);
+        for (id, states) in &plain.traces {
+            for (a, b) in states.iter().zip(&checked.traces[id]) {
+                assert_eq!(a, b, "cancellation checks must not perturb results");
+            }
+        }
+        // Both consumed the caller RNG identically.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
     }
 
     #[test]

@@ -134,7 +134,7 @@ mod tests {
         let psi = StateVector::from_amplitudes(amps);
         let ce = CounterExample::refine(&psi.density_matrix());
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
-        let prepared = Executor::new()
+        let prepared = Executor::default()
             .run_trajectory(&ce.prep, &StateVector::zero_state(2), &mut rng)
             .final_state;
         assert!(prepared.approx_eq_up_to_phase(&ce.state, 1e-9));

@@ -1,0 +1,143 @@
+//! The workspace-level error type.
+//!
+//! Four PRs of organic growth left each layer with its own error —
+//! [`morph_qprog::ParseProgramError`], [`crate::ParseSpecError`],
+//! [`crate::ValidationError`] (wrapping `morph_optimize::SolveError`),
+//! plain [`std::io::Error`] from the artifact store — forcing every caller
+//! into `Box<dyn Error>` or ad-hoc matches. [`MorphError`] unifies them:
+//! one enum with `From` impls from each layer, a stable [`Display`]
+//! rendering, and the CLI exit-code convention in one place
+//! ([`MorphError::exit_code`] together with
+//! [`crate::VerificationReport::exit_code`]).
+//!
+//! The convention, shared by the `verify` CLI and the `morph-serve`
+//! protocol: **0** — ran to completion and every assertion passed; **2** —
+//! ran to completion and at least one assertion was refuted; **1** — the
+//! pipeline could not complete (parse error, solver failure, I/O,
+//! cancellation). `morph-serve`'s `JobError` wraps `MorphError` on the
+//! service side (`From<MorphError> for JobError`), keeping the dependency
+//! arrow pointing downstream.
+
+use std::fmt;
+use std::io;
+
+use morph_optimize::SolveError;
+use morph_qprog::ParseProgramError;
+
+use crate::cancel::Cancelled;
+use crate::spec::ParseSpecError;
+use crate::validate::ValidationError;
+
+/// Any way the verification pipeline can fail to produce a verdict.
+#[derive(Debug)]
+pub enum MorphError {
+    /// The program source did not parse.
+    Parse(ParseProgramError),
+    /// An `// assert` specification did not parse.
+    Spec(ParseSpecError),
+    /// The validation stage failed structurally (solver could not produce
+    /// an optimum).
+    Validation(ValidationError),
+    /// The artifact store could not be opened or written.
+    Store(io::Error),
+    /// A cooperative cancellation point fired (deadline or explicit).
+    Cancelled(Cancelled),
+}
+
+impl MorphError {
+    /// The process exit code for this error under the 0/2/1 convention
+    /// described in the module docs: every `MorphError` is a failure to
+    /// complete, hence `1`. Successful runs map through
+    /// [`crate::VerificationReport::exit_code`] instead.
+    pub fn exit_code(&self) -> i32 {
+        1
+    }
+}
+
+impl fmt::Display for MorphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MorphError::Parse(e) => write!(f, "program parse error: {e}"),
+            MorphError::Spec(e) => write!(f, "assertion parse error: {e}"),
+            MorphError::Validation(e) => write!(f, "{e}"),
+            MorphError::Store(e) => write!(f, "artifact store error: {e}"),
+            MorphError::Cancelled(e) => write!(f, "cancelled: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MorphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MorphError::Parse(e) => Some(e),
+            MorphError::Spec(e) => Some(e),
+            MorphError::Validation(e) => Some(e),
+            MorphError::Store(e) => Some(e),
+            MorphError::Cancelled(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseProgramError> for MorphError {
+    fn from(e: ParseProgramError) -> Self {
+        MorphError::Parse(e)
+    }
+}
+
+impl From<ParseSpecError> for MorphError {
+    fn from(e: ParseSpecError) -> Self {
+        MorphError::Spec(e)
+    }
+}
+
+impl From<ValidationError> for MorphError {
+    fn from(e: ValidationError) -> Self {
+        MorphError::Validation(e)
+    }
+}
+
+impl From<SolveError> for MorphError {
+    fn from(e: SolveError) -> Self {
+        MorphError::Validation(ValidationError::Solver(e))
+    }
+}
+
+impl From<io::Error> for MorphError {
+    fn from(e: io::Error) -> Self {
+        MorphError::Store(e)
+    }
+}
+
+impl From<Cancelled> for MorphError {
+    fn from(e: Cancelled) -> Self {
+        MorphError::Cancelled(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn wraps_every_layer_with_source_chain() {
+        let solver: MorphError = SolveError::NoRestarts { solver: "QP" }.into();
+        assert!(matches!(solver, MorphError::Validation(_)));
+        assert!(solver.source().is_some(), "chain reaches the inner error");
+        assert!(solver.to_string().contains("solver"));
+
+        let store: MorphError = io::Error::new(io::ErrorKind::PermissionDenied, "ro").into();
+        assert!(matches!(store, MorphError::Store(_)));
+
+        let cancel: MorphError = Cancelled::DeadlineExceeded.into();
+        assert!(cancel.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn every_error_exits_one() {
+        let e: MorphError = Cancelled::Requested.into();
+        assert_eq!(e.exit_code(), 1);
+        let e: MorphError = SolveError::NoRestarts { solver: "QP" }.into();
+        assert_eq!(e.exit_code(), 1);
+    }
+}

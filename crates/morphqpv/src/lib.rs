@@ -40,8 +40,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use morph_qprog::TracepointId;
-//! use morphqpv::{AssumeGuarantee, RelationPredicate, StatePredicate, Verifier};
+//! use morphqpv::prelude::*;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! // A (buggy?) identity program.
@@ -66,11 +65,14 @@
 mod approx;
 mod assertion;
 mod cache;
+mod cancel;
 mod characterize;
 mod confidence;
 mod counterexample;
+mod error;
 mod landscape;
 mod predicate;
+pub mod prelude;
 mod prune;
 mod ptm;
 mod segmented;
@@ -84,11 +86,14 @@ pub use cache::{
     characterization_fingerprint, characterization_fingerprint_with_inputs, characterize_cached,
     characterize_with_inputs_cached, CharacterizationCache, ARTIFACT_VERSION, FINGERPRINT_DOMAIN,
 };
+pub use cancel::{CancelToken, Cancelled};
 pub use characterize::{
-    characterize, characterize_with_inputs, Characterization, CharacterizationConfig,
+    characterize, characterize_with_inputs, try_characterize, try_characterize_with_inputs,
+    Characterization, CharacterizationConfig, CharacterizationConfigBuilder,
 };
 pub use confidence::{regularized_incomplete_beta, ConfidenceModel};
 pub use counterexample::CounterExample;
+pub use error::MorphError;
 pub use landscape::{input_landscape, landscape_peak, LandscapePoint};
 pub use predicate::{RelationPredicate, StatePredicate};
 pub use prune::{adaptive_inputs, adaptive_operator_inputs, constant_pinned_inputs};

@@ -110,7 +110,7 @@ mod tests {
         full.extend_from(&probe.prep);
         full.extend_from(circuit);
         full.tracepoint(9, &[0, 1]);
-        Executor::new()
+        Executor::default()
             .run_expected(&full, &StateVector::zero_state(2))
             .state(TracepointId(9))
             .clone()

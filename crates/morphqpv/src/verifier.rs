@@ -4,15 +4,19 @@
 use morph_clifford::{InputEnsemble, InputState};
 use morph_qprog::Circuit;
 use morph_qsim::NoiseModel;
-use morph_store::StoreStats;
+use morph_store::{Fingerprint, StoreStats};
 use morph_tomography::{CostLedger, ReadoutMode};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::assertion::AssumeGuarantee;
 use crate::cache::{characterize_cached, characterize_with_inputs_cached, CharacterizationCache};
+use crate::cancel::CancelToken;
 use crate::characterize::{
-    characterize, characterize_with_inputs, Characterization, CharacterizationConfig,
+    characterize, characterize_with_inputs, try_characterize, try_characterize_with_inputs,
+    Characterization, CharacterizationConfig,
 };
+use crate::error::MorphError;
 use crate::validate::{
     try_validate_assertion, ValidationConfig, ValidationError, ValidationOutcome, Verdict,
 };
@@ -133,6 +137,118 @@ impl Verifier {
     pub fn assert_that(mut self, assertion: AssumeGuarantee) -> Self {
         self.assertions.push(assertion);
         self
+    }
+
+    /// The program under verification.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The effective characterization configuration.
+    pub fn characterization_config(&self) -> &CharacterizationConfig {
+        &self.characterization_config
+    }
+
+    /// The content address of this verifier's characterization for a given
+    /// `char_seed` — the key services use to coalesce concurrent identical
+    /// jobs (see `morph-serve`). Identical to the fingerprint
+    /// [`Self::try_run_with_cache`] computes after drawing `char_seed` from
+    /// the caller's RNG.
+    pub fn characterization_fingerprint(&self, char_seed: u64) -> Fingerprint {
+        match &self.explicit_inputs {
+            Some(inputs) => {
+                let preps: Vec<&Circuit> = inputs.iter().map(|i| &i.prep).collect();
+                crate::cache::characterization_fingerprint_with_inputs(
+                    &self.circuit,
+                    &self.characterization_config,
+                    &preps,
+                    char_seed,
+                )
+            }
+            None => crate::cache::characterization_fingerprint(
+                &self.circuit,
+                &self.characterization_config,
+                char_seed,
+            ),
+        }
+    }
+
+    /// Runs the characterization stage alone, seeded with `char_seed` (the
+    /// value addressed by [`Self::characterization_fingerprint`]), honoring
+    /// cooperative cancellation.
+    ///
+    /// Services split the pipeline here: one leader characterizes per
+    /// fingerprint, then every coalesced job validates the shared artifact
+    /// with [`Self::try_validate_with`].
+    ///
+    /// # Errors
+    ///
+    /// [`MorphError::Cancelled`] when `cancel` fires mid-sweep.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`crate::characterize`].
+    pub fn try_characterize_for_seed(
+        &self,
+        char_seed: u64,
+        cancel: &CancelToken,
+    ) -> Result<Characterization, MorphError> {
+        let mut run_rng = StdRng::seed_from_u64(char_seed);
+        let ch = match &self.explicit_inputs {
+            Some(inputs) => try_characterize_with_inputs(
+                &self.circuit,
+                &self.characterization_config,
+                inputs.clone(),
+                &mut run_rng,
+                cancel,
+            )?,
+            None => try_characterize(
+                &self.circuit,
+                &self.characterization_config,
+                &mut run_rng,
+                cancel,
+            )?,
+        };
+        Ok(ch)
+    }
+
+    /// Validates every assertion against an already-computed
+    /// `characterization` (own run, cache hit, or a leader's shared
+    /// artifact), checking `cancel` between assertions.
+    ///
+    /// # Errors
+    ///
+    /// [`MorphError::Validation`] on solver failure,
+    /// [`MorphError::Cancelled`] when `cancel` fires between assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no assertions were added or an assertion references a
+    /// tracepoint absent from `characterization`.
+    pub fn try_validate_with(
+        &self,
+        characterization: Characterization,
+        rng: &mut StdRng,
+        cache: Option<CacheSummary>,
+        cancel: &CancelToken,
+    ) -> Result<VerificationReport, MorphError> {
+        assert!(!self.assertions.is_empty(), "no assertions to verify");
+        let mut outcomes = Vec::with_capacity(self.assertions.len());
+        for a in &self.assertions {
+            cancel.check()?;
+            outcomes.push(try_validate_assertion(
+                a,
+                &characterization,
+                &self.validation_config,
+                rng,
+            )?);
+        }
+        let run = RunReport::new(&characterization, &outcomes, cache);
+        Ok(VerificationReport {
+            characterization,
+            outcomes,
+            run,
+        })
     }
 
     /// Runs characterization once, then validates every assertion.
@@ -258,7 +374,8 @@ impl Verifier {
 ///
 /// # Errors
 ///
-/// Returns the parse error (program or spec) as a boxed error.
+/// [`MorphError::Parse`] / [`MorphError::Spec`] when the program or an
+/// assertion does not parse.
 ///
 /// # Panics
 ///
@@ -268,7 +385,7 @@ impl Verifier {
 /// # Examples
 ///
 /// ```
-/// use morphqpv::verify_source;
+/// use morphqpv::prelude::*;
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
 /// let report = verify_source(
@@ -282,13 +399,13 @@ impl Verifier {
 ///     &mut StdRng::seed_from_u64(0),
 /// )?;
 /// assert!(report.all_passed());
-/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// # Ok::<(), MorphError>(())
 /// ```
 pub fn verify_source(
     source: &str,
     input_qubits: &[usize],
     rng: &mut StdRng,
-) -> Result<VerificationReport, Box<dyn std::error::Error>> {
+) -> Result<VerificationReport, MorphError> {
     let circuit = morph_qprog::parse_program(source)?;
     let assertions = crate::spec::assertions_from_source(source)?;
     assert!(
@@ -406,6 +523,18 @@ impl VerificationReport {
     /// Total execution costs of the run.
     pub fn ledger(&self) -> &CostLedger {
         &self.characterization.ledger
+    }
+
+    /// The process exit code for a *completed* run under the 0/2/1
+    /// convention shared by the `verify` CLI and `morph-serve`: `0` when
+    /// every assertion passed, `2` when at least one was refuted. Failures
+    /// to complete map through [`MorphError::exit_code`] (always `1`).
+    pub fn exit_code(&self) -> i32 {
+        if self.all_passed() {
+            0
+        } else {
+            2
+        }
     }
 }
 

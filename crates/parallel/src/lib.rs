@@ -23,11 +23,20 @@
 //! sums of `u64`s), serial and parallel runs of characterization, solvers,
 //! and baseline sweeps agree exactly — the determinism guarantee documented
 //! in `DESIGN.md`.
+//!
+//! For long-lived services that accept jobs over time rather than fanning
+//! out a known batch, the [`pool`] module provides [`WorkerPool`]: a bounded
+//! FIFO drained by a fixed set of threads, with explicit backpressure,
+//! panic isolation, pause/resume, and drain-then-shutdown.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+pub mod pool;
+
+pub use pool::{PoolRejection, WorkerPool};
 
 /// Derives the master seed for a parallel region from the caller's RNG.
 ///

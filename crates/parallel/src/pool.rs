@@ -1,0 +1,380 @@
+//! Long-lived bounded worker pool.
+//!
+//! [`parallel_map`](crate::parallel_map) fans a *known* batch out over scoped
+//! threads and joins them before returning — the right shape for a single
+//! characterization sweep, and the wrong one for a service that accepts jobs
+//! over time. [`WorkerPool`] is the long-lived counterpart: a fixed set of
+//! threads draining a bounded FIFO of boxed jobs.
+//!
+//! Design points, in the order a service cares about them:
+//!
+//! - **Bounded queue with explicit backpressure.** [`WorkerPool::try_submit`]
+//!   never blocks; when the queue is at capacity it returns
+//!   [`PoolRejection::QueueFull`] so the caller can shed load instead of
+//!   growing without bound or deadlocking.
+//! - **Panic isolation.** A job that panics never takes its worker thread
+//!   down: the loop catches the unwind, counts it, and moves on. Callers
+//!   that need the panic payload should wrap their own `catch_unwind`
+//!   *inside* the job; the pool's catch is a backstop.
+//! - **Pause/resume.** [`WorkerPool::pause`] stops workers from dequeuing
+//!   (jobs already running finish) while submissions keep queueing up to the
+//!   cap — the hook used for maintenance windows and for deterministically
+//!   exercising the saturation path in tests.
+//! - **Drain-then-shutdown.** [`WorkerPool::drain`] blocks until the queue is
+//!   empty and nothing is in flight; [`WorkerPool::shutdown`] additionally
+//!   rejects new work, lets queued jobs finish, and joins the threads.
+//!
+//! The pool is deliberately ignorant of results: jobs are `FnOnce() + Send`
+//! and communicate through whatever channel the caller closed over. That
+//! keeps the pool reusable for heterogeneous work (morph-serve runs whole
+//! verification pipelines through it).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::effective_workers;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why [`WorkerPool::try_submit`] refused a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolRejection {
+    /// The bounded queue is at capacity; retry later or shed the job.
+    QueueFull {
+        /// The configured capacity the queue was at.
+        capacity: usize,
+    },
+    /// The pool is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl fmt::Display for PoolRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolRejection::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            PoolRejection::ShuttingDown => write!(f, "worker pool is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for PoolRejection {}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    paused: bool,
+    shutting_down: bool,
+    in_flight: usize,
+    panicked_jobs: u64,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for jobs (or shutdown / unpause).
+    work_ready: Condvar,
+    /// `drain` waits here for `queue.is_empty() && in_flight == 0`.
+    idle: Condvar,
+    capacity: usize,
+}
+
+/// A fixed-size thread pool draining a bounded FIFO of jobs.
+///
+/// See the [module docs](self) for the design. Dropping the pool performs a
+/// graceful [`shutdown`](WorkerPool::shutdown).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (`0` = all available cores) serving a queue
+    /// bounded at `queue_capacity` jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_capacity == 0` — a pool that can never accept work
+    /// is a configuration error, not a runtime condition.
+    pub fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
+        assert!(queue_capacity > 0, "queue_capacity must be positive");
+        let workers = effective_workers(workers);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                paused: false,
+                shutting_down: false,
+                in_flight: 0,
+                panicked_jobs: 0,
+            }),
+            work_ready: Condvar::new(),
+            idle: Condvar::new(),
+            capacity: queue_capacity,
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Jobs queued but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Jobs currently executing on worker threads.
+    pub fn in_flight(&self) -> usize {
+        self.shared.state.lock().unwrap().in_flight
+    }
+
+    /// Jobs whose unwind was caught by the pool's panic backstop.
+    pub fn panicked_jobs(&self) -> u64 {
+        self.shared.state.lock().unwrap().panicked_jobs
+    }
+
+    /// Enqueues a job without blocking.
+    ///
+    /// Returns [`PoolRejection::QueueFull`] when the queue is at capacity and
+    /// [`PoolRejection::ShuttingDown`] after [`shutdown`](Self::shutdown)
+    /// began; in both cases the job is dropped unexecuted.
+    pub fn try_submit<F>(&self, job: F) -> Result<(), PoolRejection>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = self.shared.state.lock().unwrap();
+        if state.shutting_down {
+            return Err(PoolRejection::ShuttingDown);
+        }
+        if state.queue.len() >= self.shared.capacity {
+            return Err(PoolRejection::QueueFull {
+                capacity: self.shared.capacity,
+            });
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.work_ready.notify_one();
+        Ok(())
+    }
+
+    /// Stops workers from dequeuing new jobs; running jobs finish normally.
+    /// Submissions are still accepted up to the queue cap.
+    pub fn pause(&self) {
+        self.shared.state.lock().unwrap().paused = true;
+    }
+
+    /// Resumes dequeuing after [`pause`](Self::pause).
+    pub fn resume(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.paused = false;
+        drop(state);
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Blocks until the queue is empty and no job is in flight.
+    ///
+    /// Note: a paused pool with queued jobs never drains — resume first.
+    pub fn drain(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        while !state.queue.is_empty() || state.in_flight > 0 {
+            state = self.shared.idle.wait(state).unwrap();
+        }
+    }
+
+    /// Graceful shutdown: rejects new submissions, runs every queued job to
+    /// completion, then joins the worker threads.
+    ///
+    /// Clears any active [`pause`](Self::pause) so queued work can drain.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.shutting_down = true;
+        state.paused = false;
+        drop(state);
+        self.shared.work_ready.notify_all();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.shared.state.lock().unwrap();
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("capacity", &self.shared.capacity)
+            .field("queue_depth", &state.queue.len())
+            .field("in_flight", &state.in_flight)
+            .field("paused", &state.paused)
+            .field("shutting_down", &state.shutting_down)
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if !state.paused {
+                    if let Some(job) = state.queue.pop_front() {
+                        state.in_flight += 1;
+                        break job;
+                    }
+                    if state.shutting_down {
+                        return;
+                    }
+                }
+                state = shared.work_ready.wait(state).unwrap();
+            }
+        };
+
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+
+        let mut state = shared.state.lock().unwrap();
+        state.in_flight -= 1;
+        if outcome.is_err() {
+            state.panicked_jobs += 1;
+        }
+        let idle_now = state.queue.is_empty() && state.in_flight == 0;
+        drop(state);
+        if idle_now {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = WorkerPool::new(4, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            pool.try_submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.drain();
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pause_holds_jobs_and_saturation_rejects() {
+        let pool = WorkerPool::new(2, 3);
+        pool.pause();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let counter = Arc::clone(&counter);
+            pool.try_submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        assert_eq!(pool.queue_depth(), 3);
+        let rejection = pool.try_submit(|| {}).unwrap_err();
+        assert_eq!(rejection, PoolRejection::QueueFull { capacity: 3 });
+        assert_eq!(counter.load(Ordering::Relaxed), 0, "paused: nothing ran");
+        pool.resume();
+        pool.drain();
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let pool = WorkerPool::new(1, 8);
+        pool.try_submit(|| panic!("job detonates")).unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.try_submit(move || tx.send(42).unwrap()).unwrap();
+        assert_eq!(rx.recv().unwrap(), 42, "worker survived the panic");
+        pool.drain();
+        assert_eq!(pool.panicked_jobs(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_then_rejects() {
+        let pool = WorkerPool::new(1, 16);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            pool.try_submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.begin_shutdown();
+        assert_eq!(
+            pool.try_submit(|| {}).unwrap_err(),
+            PoolRejection::ShuttingDown
+        );
+        pool.shutdown();
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            10,
+            "graceful shutdown runs all queued jobs"
+        );
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2, 8);
+            for _ in 0..6 {
+                let counter = Arc::clone(&counter);
+                pool.try_submit(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+            }
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        let result = std::panic::catch_unwind(|| WorkerPool::new(1, 0));
+        assert!(result.is_err());
+    }
+}

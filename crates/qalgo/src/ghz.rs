@@ -24,7 +24,7 @@ mod tests {
         for n in [2usize, 3, 5] {
             let c = ghz(n);
             let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
-            let out = Executor::new()
+            let out = Executor::default()
                 .run_trajectory(&c, &StateVector::zero_state(n), &mut rng)
                 .final_state;
             let probs = out.probabilities();

@@ -100,7 +100,7 @@ mod tests {
 
     fn run(c: &Circuit) -> StateVector {
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
-        Executor::new()
+        Executor::default()
             .run_trajectory(c, &StateVector::zero_state(c.n_qubits()), &mut rng)
             .final_state
     }

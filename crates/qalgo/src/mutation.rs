@@ -89,7 +89,7 @@ mod tests {
         let mut changed = 0;
         for _ in 0..20 {
             let (m, _) = inject_phase_bug(&c, &mut rng);
-            let ex = morph_qprog::Executor::new();
+            let ex = morph_qprog::Executor::default();
             let input = morph_qsim::StateVector::zero_state(3);
             let a = ex.run_trajectory(&c, &input, &mut rng).final_state;
             let b = ex.run_trajectory(&m, &input, &mut rng).final_state;

@@ -115,7 +115,7 @@ mod tests {
         c.tracepoint(1, &[0]);
         c.extend_from(&code.circuit(error_on));
         c.tracepoint(2, &[0]);
-        let rec = Executor::new().run_expected(&c, &StateVector::zero_state(code.n_qubits));
+        let rec = Executor::default().run_expected(&c, &StateVector::zero_state(code.n_qubits));
         morph_linalg::fidelity(rec.state(TracepointId(1)), rec.state(TracepointId(2)))
     }
 
@@ -167,7 +167,7 @@ mod tests {
         c.tracepoint(1, &[0]);
         c.extend_from(&code.phase_flip_circuit(error_on));
         c.tracepoint(2, &[0]);
-        let rec = Executor::new().run_expected(&c, &StateVector::zero_state(code.n_qubits));
+        let rec = Executor::default().run_expected(&c, &StateVector::zero_state(code.n_qubits));
         morph_linalg::fidelity(rec.state(TracepointId(1)), rec.state(TracepointId(2)))
     }
 

@@ -143,7 +143,7 @@ mod tests {
         c.extend_from(&qram.circuit());
         c.tracepoint(1, &[qram.data_qubit()]);
         let input = StateVector::basis_state(qram.n_qubits(), addr << 1);
-        Executor::new()
+        Executor::default()
             .run_expected(&c, &input)
             .state(TracepointId(1))
             .clone()
@@ -175,7 +175,7 @@ mod tests {
         c.h(0);
         c.extend_from(&qram.circuit());
         c.tracepoint(1, &[1]);
-        let rec = Executor::new().run_expected(&c, &StateVector::zero_state(2));
+        let rec = Executor::default().run_expected(&c, &StateVector::zero_state(2));
         let rho = rec.state(TracepointId(1));
         let s = 1.0 / 2f64.sqrt();
         let expected = qram.ideal_output(&[C64::real(s), C64::real(s)]);
@@ -209,7 +209,7 @@ mod tests {
             c.extend_from(&bad);
             c.tracepoint(1, &[2]);
             let input = StateVector::basis_state(3, addr << 1);
-            let rho = Executor::new()
+            let rho = Executor::default()
                 .run_expected(&c, &input)
                 .state(TracepointId(1))
                 .clone();
@@ -231,7 +231,7 @@ mod tests {
         c.extend_from(&prefix);
         c.tracepoint(1, &[2]);
         let input = StateVector::basis_state(3, 3 << 1);
-        let rho = Executor::new()
+        let rho = Executor::default()
             .run_expected(&c, &input)
             .state(TracepointId(1))
             .clone();

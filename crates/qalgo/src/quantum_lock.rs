@@ -115,7 +115,7 @@ mod tests {
         let basis = (input_bits as usize) & ((1 << (n - 1)) - 1);
         let input = StateVector::basis_state(n, basis);
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
-        let rec = Executor::new().run_trajectory(circuit, &input, &mut rng);
+        let rec = Executor::default().run_trajectory(circuit, &input, &mut rng);
         rec.final_state.prob_one(0)
     }
 

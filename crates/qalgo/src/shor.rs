@@ -146,7 +146,7 @@ mod tests {
 
     fn run(circuit: &Circuit, input: StateVector) -> StateVector {
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
-        Executor::new()
+        Executor::default()
             .run_trajectory(circuit, &input, &mut rng)
             .final_state
     }

@@ -146,7 +146,7 @@ mod tests {
         let circuit = with_traces(layout.circuit(), &layout);
         for seed in 0..5 {
             let input = random_payload_state(&layout, seed);
-            let rec = Executor::new().run_expected(&circuit, &input);
+            let rec = Executor::default().run_expected(&circuit, &input);
             let sent = rec.state(TracepointId(1));
             let received = rec.state(TracepointId(2));
             assert!(
@@ -162,7 +162,7 @@ mod tests {
         let measured = with_traces(layout.circuit(), &layout);
         let coherent = with_traces(layout.circuit_coherent(), &layout);
         let input = random_payload_state(&layout, 3);
-        let ex = Executor::new();
+        let ex = Executor::default();
         let rec_m = ex.run_expected(&measured, &input);
         let rec_c = ex.run_expected(&coherent, &input);
         assert!(rec_m
@@ -175,7 +175,7 @@ mod tests {
         let layout = Teleportation::new(2);
         let circuit = with_traces(layout.circuit_coherent(), &layout);
         let input = random_payload_state(&layout, 9);
-        let rec = Executor::new().run_expected(&circuit, &input);
+        let rec = Executor::default().run_expected(&circuit, &input);
         let out = rec.state(TracepointId(2));
         assert!((morph_linalg::purity(out) - 1.0).abs() < 1e-9);
     }
@@ -186,7 +186,7 @@ mod tests {
         let good = with_traces(layout.circuit_coherent(), &layout);
         let bad = with_traces(layout.circuit_coherent_with_bug(0), &layout);
         let input = random_payload_state(&layout, 1);
-        let ex = Executor::new();
+        let ex = Executor::default();
         let out_good = ex
             .run_expected(&good, &input)
             .state(TracepointId(2))

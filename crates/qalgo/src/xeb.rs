@@ -79,7 +79,7 @@ mod tests {
     fn xeb_fidelity_of_true_sampler_is_high() {
         let mut rng = StdRng::seed_from_u64(1);
         let c = xeb_circuit(4, 8, &mut rng);
-        let ex = Executor::new();
+        let ex = Executor::default();
         let input = StateVector::zero_state(4);
         let rec = ex.run_trajectory(&c, &input, &mut rng);
         let ideal = rec.final_state.probabilities();
@@ -92,7 +92,7 @@ mod tests {
     fn xeb_fidelity_of_uniform_noise_is_near_zero() {
         let mut rng = StdRng::seed_from_u64(2);
         let c = xeb_circuit(4, 8, &mut rng);
-        let ex = Executor::new();
+        let ex = Executor::default();
         let rec = ex.run_trajectory(&c, &StateVector::zero_state(4), &mut rng);
         let ideal = rec.final_state.probabilities();
         // Uniform sampler.

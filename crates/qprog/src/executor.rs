@@ -57,22 +57,92 @@ impl ExpectedRecord {
     }
 }
 
+/// Shot count used when [`ExecutorBuilder::shots`] is not configured.
+pub const DEFAULT_SHOTS: usize = 1024;
+
 /// Runs programs against the simulator substrate.
 ///
 /// An `Executor` holds only plain configuration data, so a single instance
 /// can be shared by reference across the worker threads of a parallel
 /// characterization or baseline sweep.
+///
+/// Construct the default (noiseless, fused) executor with
+/// [`Executor::default`], anything else with [`Executor::builder`].
 #[derive(Debug, Clone)]
 pub struct Executor {
     noise: NoiseModel,
     fuse: bool,
+    default_shots: usize,
 }
 
 impl Default for Executor {
     fn default() -> Self {
+        Executor::builder().build()
+    }
+}
+
+/// Builder for [`Executor`] — the one construction path for every
+/// configuration axis (noise model, gate fusion, default shot budget).
+///
+/// # Examples
+///
+/// ```
+/// use morph_qprog::Executor;
+/// use morph_qsim::NoiseModel;
+///
+/// let noisy = Executor::builder()
+///     .noise(NoiseModel::ibm_cairo())
+///     .fusion(false)
+///     .shots(256)
+///     .build();
+/// assert!(!noisy.noise().is_noiseless());
+/// assert_eq!(noisy.default_shots(), 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecutorBuilder {
+    noise: NoiseModel,
+    fusion: bool,
+    shots: usize,
+}
+
+impl ExecutorBuilder {
+    /// Sets the hardware noise model (default: noiseless).
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Enables or disables the gate-fusion pre-pass (default: enabled).
+    /// Fusion preserves semantics; disabling it exists for debugging and
+    /// for oracle comparisons in tests.
+    pub fn fusion(mut self, enabled: bool) -> Self {
+        self.fusion = enabled;
+        self
+    }
+
+    /// Sets the shot budget used by [`Executor::sample_counts_default`]
+    /// (default: [`DEFAULT_SHOTS`]).
+    pub fn shots(mut self, shots: usize) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> Executor {
         Executor {
+            noise: self.noise,
+            fuse: self.fusion,
+            default_shots: self.shots,
+        }
+    }
+}
+
+impl Default for ExecutorBuilder {
+    fn default() -> Self {
+        ExecutorBuilder {
             noise: NoiseModel::noiseless(),
-            fuse: true,
+            fusion: true,
+            shots: DEFAULT_SHOTS,
         }
     }
 }
@@ -86,18 +156,27 @@ const _: () = {
 };
 
 impl Executor {
+    /// Starts an [`ExecutorBuilder`] with the default configuration
+    /// (noiseless, fusion on, [`DEFAULT_SHOTS`]).
+    pub fn builder() -> ExecutorBuilder {
+        ExecutorBuilder::default()
+    }
+
     /// Noiseless executor.
+    #[deprecated(note = "use `Executor::default()` or `Executor::builder()`")]
     pub fn new() -> Self {
         Executor::default()
     }
 
     /// Executor with a hardware noise model.
+    #[deprecated(note = "use `Executor::builder().noise(noise).build()`")]
     pub fn with_noise(noise: NoiseModel) -> Self {
-        Executor { noise, fuse: true }
+        Executor::builder().noise(noise).build()
     }
 
     /// Disables the gate-fusion pre-pass. Fusion preserves semantics, so
     /// this exists for debugging and for oracle comparisons in tests.
+    #[deprecated(note = "use `Executor::builder().fusion(false)`")]
     pub fn without_fusion(mut self) -> Self {
         self.fuse = false;
         self
@@ -106,6 +185,11 @@ impl Executor {
     /// The configured noise model.
     pub fn noise(&self) -> &NoiseModel {
         &self.noise
+    }
+
+    /// The shot budget [`Executor::sample_counts_default`] spends.
+    pub fn default_shots(&self) -> usize {
+        self.default_shots
     }
 
     /// Returns the circuit to execute on a noiseless path: the fused form
@@ -286,6 +370,17 @@ impl Executor {
             counts[rec.final_state.sample(rng)] += 1;
         }
         counts
+    }
+
+    /// [`Executor::sample_counts`] spending the builder-configured default
+    /// shot budget ([`ExecutorBuilder::shots`]).
+    pub fn sample_counts_default(
+        &self,
+        circuit: &Circuit,
+        input: &StateVector,
+        rng: &mut impl Rng,
+    ) -> Vec<usize> {
+        self.sample_counts(circuit, input, self.default_shots, rng)
     }
 
     /// Estimated wall-clock duration of one shot on hardware, in
@@ -503,7 +598,7 @@ mod tests {
     #[test]
     fn expected_tracepoints_of_bell() {
         let c = bell_with_traces();
-        let rec = Executor::new().run_expected(&c, &StateVector::zero_state(2));
+        let rec = Executor::default().run_expected(&c, &StateVector::zero_state(2));
         let t1 = rec.state(TracepointId(1));
         assert!((t1[(0, 0)].re - 1.0).abs() < 1e-12);
         let t2 = rec.state(TracepointId(2));
@@ -516,8 +611,8 @@ mod tests {
     fn trajectory_matches_expected_for_unitary_program() {
         let c = bell_with_traces();
         let mut rng = StdRng::seed_from_u64(0);
-        let rec = Executor::new().run_trajectory(&c, &StateVector::zero_state(2), &mut rng);
-        let exp = Executor::new().run_expected(&c, &StateVector::zero_state(2));
+        let rec = Executor::default().run_trajectory(&c, &StateVector::zero_state(2), &mut rng);
+        let exp = Executor::default().run_expected(&c, &StateVector::zero_state(2));
         for (id, rho) in &rec.tracepoints {
             assert!(rho.approx_eq(exp.state(*id), 1e-12), "mismatch at {id}");
         }
@@ -528,7 +623,7 @@ mod tests {
         // H; measure; tracepoint — expected state is the classical mixture.
         let mut c = Circuit::new(1);
         c.h(0).measure(0, 0).tracepoint(1, &[0]);
-        let rec = Executor::new().run_expected(&c, &StateVector::zero_state(1));
+        let rec = Executor::default().run_expected(&c, &StateVector::zero_state(1));
         let rho = rec.state(TracepointId(1));
         assert!((rho[(0, 0)].re - 0.5).abs() < 1e-12);
         assert!((rho[(1, 1)].re - 0.5).abs() < 1e-12);
@@ -549,7 +644,7 @@ mod tests {
         c.conditional(1, 1, Gate::X(2));
         c.conditional(0, 1, Gate::Z(2));
         c.tracepoint(2, &[2]);
-        let rec = Executor::new().run_expected(&c, &StateVector::zero_state(3));
+        let rec = Executor::default().run_expected(&c, &StateVector::zero_state(3));
         let t1 = rec.state(TracepointId(1));
         let t2 = rec.state(TracepointId(2));
         assert!(
@@ -565,7 +660,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.x(0).measure(0, 0).conditional(0, 1, Gate::X(1));
         let mut rng = StdRng::seed_from_u64(5);
-        let rec = Executor::new().run_trajectory(&c, &StateVector::zero_state(2), &mut rng);
+        let rec = Executor::default().run_trajectory(&c, &StateVector::zero_state(2), &mut rng);
         assert_eq!(rec.classical, vec![1]);
         assert!((rec.final_state.prob_one(1) - 1.0).abs() < 1e-12);
     }
@@ -575,7 +670,7 @@ mod tests {
         let mut c = Circuit::new(1);
         c.h(0).push(Instruction::Reset(0));
         c.tracepoint(1, &[0]);
-        let rec = Executor::new().run_expected(&c, &StateVector::zero_state(1));
+        let rec = Executor::default().run_expected(&c, &StateVector::zero_state(1));
         let rho = rec.state(TracepointId(1));
         assert!((rho[(0, 0)].re - 1.0).abs() < 1e-12);
     }
@@ -583,7 +678,7 @@ mod tests {
     #[test]
     fn noisy_expected_loses_purity() {
         let c = bell_with_traces();
-        let ex = Executor::with_noise(NoiseModel::ibm_cairo());
+        let ex = Executor::builder().noise(NoiseModel::ibm_cairo()).build();
         let rec = ex.run_expected_noisy(&c, &DensityMatrix::zero_state(2));
         let t2 = rec.state(TracepointId(2));
         let p = morph_linalg::purity(t2);
@@ -595,7 +690,7 @@ mod tests {
     fn run_average_approaches_expected() {
         let c = bell_with_traces();
         let mut rng = StdRng::seed_from_u64(11);
-        let ex = Executor::new();
+        let ex = Executor::default();
         let avg = ex.run_average(&c, &StateVector::zero_state(2), 10, &mut rng);
         let exp = ex.run_expected(&c, &StateVector::zero_state(2));
         // Unitary program: every trajectory is identical.
@@ -608,7 +703,8 @@ mod tests {
     fn sample_counts_total_and_distribution() {
         let c = bell_with_traces();
         let mut rng = StdRng::seed_from_u64(2);
-        let counts = Executor::new().sample_counts(&c, &StateVector::zero_state(2), 4000, &mut rng);
+        let counts =
+            Executor::default().sample_counts(&c, &StateVector::zero_state(2), 4000, &mut rng);
         assert_eq!(counts.iter().sum::<usize>(), 4000);
         assert_eq!(counts[1], 0);
         assert_eq!(counts[2], 0);
@@ -620,7 +716,7 @@ mod tests {
     fn duration_accounts_for_gates_and_readout() {
         let mut c = Circuit::new(2);
         c.h(0).cx(0, 1).measure(0, 0);
-        let ex = Executor::with_noise(NoiseModel::ibm_cairo());
+        let ex = Executor::builder().noise(NoiseModel::ibm_cairo()).build();
         let t = ex.duration_ns(&c);
         // 60 + 340 + 732 (mid) + 732 (final).
         assert!((t - (60.0 + 340.0 + 732.0 + 732.0)).abs() < 1e-9);

@@ -198,8 +198,9 @@ mod tests {
 
     fn final_state(c: &Circuit) -> StateVector {
         let mut rng = StdRng::seed_from_u64(0);
-        Executor::new()
-            .without_fusion()
+        Executor::builder()
+            .fusion(false)
+            .build()
             .run_trajectory(c, &StateVector::zero_state(c.n_qubits()), &mut rng)
             .final_state
     }
@@ -347,8 +348,11 @@ mod tests {
         c.conditional(0, 1, Gate::X(2));
         c.tracepoint(2, &[1, 2]);
         let input = StateVector::zero_state(3);
-        let fused = Executor::new().run_expected(&c, &input);
-        let plain = Executor::new().without_fusion().run_expected(&c, &input);
+        let fused = Executor::default().run_expected(&c, &input);
+        let plain = Executor::builder()
+            .fusion(false)
+            .build()
+            .run_expected(&c, &input);
         for id in [TracepointId(1), TracepointId(2)] {
             assert!(fused.state(id).approx_eq(plain.state(id), 1e-12));
         }

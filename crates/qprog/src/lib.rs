@@ -22,7 +22,7 @@
 //!      cx q[0],q[1];\n\
 //!      T 2 q[0,1];",
 //! )?;
-//! let record = Executor::new().run_expected(&program, &StateVector::zero_state(2));
+//! let record = Executor::default().run_expected(&program, &StateVector::zero_state(2));
 //! let bell = record.state(TracepointId(2));
 //! assert!((bell[(0, 3)].re - 0.5).abs() < 1e-12);
 //! # Ok::<(), morph_qprog::ParseProgramError>(())
@@ -36,7 +36,7 @@ mod parser;
 mod writer;
 
 pub use circuit::{Circuit, Instruction, TracepointId};
-pub use executor::{ExecutionRecord, Executor, ExpectedRecord};
+pub use executor::{ExecutionRecord, Executor, ExecutorBuilder, ExpectedRecord, DEFAULT_SHOTS};
 pub use fusion::fuse_circuit;
 pub use optimize_pass::{simplify, SimplifyStats};
 pub use parser::{parse_program, ParseProgramError};

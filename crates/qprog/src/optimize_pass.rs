@@ -156,7 +156,7 @@ mod tests {
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
         for basis in 0..(1usize << n).min(8) {
             let input = StateVector::basis_state(n, basis);
-            let ex = Executor::new();
+            let ex = Executor::default();
             let sa = ex.run_trajectory(a, &input, &mut rng).final_state;
             let sb = ex.run_trajectory(b, &input, &mut rng).final_state;
             if sa.inner(&sb).re < 1.0 - 1e-9 {

@@ -1,0 +1,126 @@
+//! `morph-serve` — batch front-end for the verification service.
+//!
+//! Reads newline-delimited JSON job requests from a file (or stdin when no
+//! file is given), runs them on the concurrent service, and writes one
+//! response line per request to stdout, in request order. Protocol:
+//! `docs/serve-protocol.md`.
+//!
+//! ```text
+//! morph-serve [REQUESTS.jsonl] [--workers N] [--queue-cap N]
+//!             [--cache-dir DIR] [--deadline-ms MS] [--trace-json PATH]
+//! ```
+//!
+//! Exit code: the maximum per-job code under the workspace convention —
+//! 0 all assertions passed, 2 at least one refuted, 1 any job failed
+//! (including unusable requests). Flag errors exit 1 with usage on
+//! stderr.
+//!
+//! `--workers` / `--queue-cap` default from `MORPH_SERVE_WORKERS` /
+//! `MORPH_SERVE_QUEUE_CAP` (see `docs/configuration.md`). `--trace-json`
+//! enables the `morph-trace` recorder and writes the span/counter export
+//! (including the `serve/coalesced_hit` and `serve/characterize_leader`
+//! counters) to the given path after the batch.
+
+use std::fs::File;
+use std::io::{self, BufReader};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use morph_serve::{run_batch, ServeConfig};
+
+struct Args {
+    requests: Option<PathBuf>,
+    config: ServeConfig,
+    trace_json: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: morph-serve [REQUESTS.jsonl] [--workers N] [--queue-cap N] \
+[--cache-dir DIR] [--deadline-ms MS] [--trace-json PATH]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        requests: None,
+        config: ServeConfig::from_env(),
+        trace_json: None,
+    };
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                args.config.workers = parse_count(&value_of("--workers")?, "--workers")?;
+            }
+            "--queue-cap" => {
+                let cap = parse_count(&value_of("--queue-cap")?, "--queue-cap")?;
+                if cap == 0 {
+                    return Err("--queue-cap must be nonzero".to_string());
+                }
+                args.config.queue_capacity = cap;
+            }
+            "--cache-dir" => args.config.cache_dir = Some(PathBuf::from(value_of("--cache-dir")?)),
+            "--deadline-ms" => {
+                args.config.default_deadline_ms =
+                    Some(parse_count(&value_of("--deadline-ms")?, "--deadline-ms")? as u64);
+            }
+            "--trace-json" => args.trace_json = Some(PathBuf::from(value_of("--trace-json")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                if args.requests.is_some() {
+                    return Err("at most one requests file".to_string());
+                }
+                args.requests = Some(PathBuf::from(path));
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn parse_count(text: &str, flag: &str) -> Result<usize, String> {
+    text.parse()
+        .map_err(|_| format!("{flag}: `{text}` is not an unsigned integer"))
+}
+
+fn run(args: &Args) -> io::Result<i32> {
+    if args.trace_json.is_some() {
+        morph_trace::set_enabled(true);
+    }
+    let stdout = io::stdout();
+    let exit = match &args.requests {
+        Some(path) => run_batch(
+            BufReader::new(File::open(path)?),
+            stdout.lock(),
+            &args.config,
+        )?,
+        None => run_batch(io::stdin().lock(), stdout.lock(), &args.config)?,
+    };
+    if let Some(path) = &args.trace_json {
+        std::fs::write(path, morph_trace::export_json())?;
+    }
+    Ok(exit)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            if message != USAGE {
+                eprintln!("{USAGE}");
+            }
+            return ExitCode::from(1);
+        }
+    };
+    match run(&args) {
+        Ok(code) => ExitCode::from(code.clamp(0, 255) as u8),
+        Err(e) => {
+            eprintln!("morph-serve: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! morph-serve: a concurrent verification service for MorphQPV.
+//!
+//! Turns the one-shot verification pipeline (`morphqpv`) into a service: a
+//! bounded worker pool accepts **jobs** — circuit + assertions + config —
+//! over a newline-delimited JSON protocol (see [`protocol`]), runs each
+//! end to end, and answers with one structured response line per request.
+//! There is no network listener: the library API ([`Service`]) serves
+//! in-process callers, and the `morph-serve` binary reads a batch from a
+//! file or stdin.
+//!
+//! The throughput mechanism is **single-flight coalescing**
+//! ([`singleflight`]): jobs are keyed by the content address of their
+//! characterization (the `morph-store` fingerprint), and concurrent jobs
+//! with the same key share a single characterization run — one leader
+//! computes, followers wait — layered *above* the persistent artifact
+//! cache, which continues to serve repeats that are no longer concurrent.
+//! Reports stay bit-identical whether a job led, followed, or hit the
+//! cache.
+//!
+//! Robustness properties (each tested in `tests/serve_service.rs`):
+//! queue saturation surfaces as a structured rejection, never a deadlock;
+//! deadlines cancel cooperatively between pipeline stages; a panicking job
+//! is contained to its own error response; shutdown drains accepted work
+//! first.
+
+pub mod protocol;
+pub mod service;
+pub mod singleflight;
+
+pub use protocol::{JobRequest, JobResponse, JobStatus, PROTOCOL_VERSION};
+pub use service::{JobError, JobHandle, JobOutput, ServeConfig, Service, SubmitError};
+
+use std::io::{self, BufRead, Write};
+use std::time::Duration;
+
+/// How long [`run_batch`] backs off before retrying a saturated queue.
+const RESUBMIT_TICK: Duration = Duration::from_millis(5);
+
+/// Runs a batch of request lines through a fresh [`Service`] and writes
+/// one response line per request, in request order.
+///
+/// Queue saturation is handled by blocking the submitter (retry with
+/// backoff), not by rejecting: a batch driver has nothing better to do
+/// with backpressure than wait, and retrying keeps the output independent
+/// of queue timing. Lines that fail to parse produce in-band
+/// `invalid_request` error responses.
+///
+/// Returns the batch exit code: the maximum per-line code under the
+/// workspace 0/2/1 convention (0 all passed, 2 refuted, 1 failure).
+///
+/// # Errors
+///
+/// Only I/O errors from `input` or `output`; job failures are in-band.
+pub fn run_batch(
+    input: impl BufRead,
+    mut output: impl Write,
+    config: &ServeConfig,
+) -> io::Result<i32> {
+    enum Slot {
+        Ready(Box<JobResponse>),
+        Pending(String, JobHandle),
+    }
+
+    let service = Service::start(config)?;
+    let mut slots = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match JobRequest::from_json_line(&line) {
+            Err(message) => {
+                let id = protocol::salvage_id(&line);
+                slots.push(Slot::Ready(Box::new(JobResponse::from_invalid_line(
+                    &id, &message,
+                ))));
+            }
+            Ok(request) => {
+                let id = request.id.clone();
+                let handle = loop {
+                    match service.submit(request.clone()) {
+                        Ok(handle) => break Ok(handle),
+                        Err(SubmitError::QueueFull { .. }) => std::thread::sleep(RESUBMIT_TICK),
+                        Err(rejection) => break Err(rejection),
+                    }
+                };
+                match handle {
+                    Ok(handle) => slots.push(Slot::Pending(id, handle)),
+                    Err(rejection) => slots.push(Slot::Ready(Box::new(
+                        JobResponse::from_rejection(&id, &rejection),
+                    ))),
+                }
+            }
+        }
+    }
+
+    let mut exit = 0;
+    for slot in slots {
+        let response = match slot {
+            Slot::Ready(response) => *response,
+            Slot::Pending(id, handle) => match handle.wait() {
+                Ok(out) => JobResponse::from_report(&id, out.fingerprint, &out.report),
+                Err(e) => JobResponse::from_error(&id, &e),
+            },
+        };
+        exit = exit.max(response.exit_code());
+        writeln!(output, "{}", response.to_json_line())?;
+    }
+    service.shutdown();
+    Ok(exit)
+}

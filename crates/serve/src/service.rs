@@ -1,0 +1,565 @@
+//! The verification service: a bounded worker pool running jobs end to
+//! end, with coalescing, deadlines, panic isolation, and telemetry.
+//!
+//! # Job lifecycle
+//!
+//! [`Service::submit`] is non-blocking: it either enqueues the job on the
+//! `morph-parallel` [`WorkerPool`] and returns a [`JobHandle`], or refuses
+//! with a structured [`SubmitError`] (queue full, shutting down). Once a
+//! worker picks the job up it runs the full pipeline — parse, fingerprint,
+//! characterize (coalesced), validate — and delivers the outcome through
+//! the handle. Every failure mode is a [`JobError`] on the handle; a job
+//! can never take the service down.
+//!
+//! # Determinism
+//!
+//! A job's results depend only on its request. The job RNG is seeded from
+//! `request.seed`; one `u64` (`char_seed`) is drawn from it to key and
+//! seed characterization — exactly the [`characterize_cached`] discipline
+//! — and validation continues from the job's own stream. Whether a job
+//! computed its characterization, followed a coalesced flight, or hit the
+//! cache is therefore *invisible in its report* (the artifact round-trip
+//! is bit-exact); it shows up only in the trace counters below.
+//!
+//! # Telemetry (`morph-trace`, off by default)
+//!
+//! - span `serve/job` per job (under the submitter's current span)
+//! - counter `serve/characterize_leader` — characterizations computed
+//! - counter `serve/coalesced_hit` — jobs served by a concurrent leader
+//! - counter `serve/cache_hit` — jobs served from the artifact cache
+//! - gauge `serve/queue_depth` — queue depth sampled at each submission
+//!
+//! [`characterize_cached`]: morphqpv::prelude::characterize_cached
+
+use std::fmt;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use morph_parallel::{PoolRejection, WorkerPool};
+use morph_qsim::NoiseModel;
+use morph_store::Fingerprint;
+use morphqpv::prelude::{
+    assertions_from_source, parse_program, CancelToken, Cancelled, Characterization,
+    CharacterizationCache, MorphError, VerificationReport, Verifier,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::protocol::JobRequest;
+use crate::singleflight::{FlightOutcome, Joined, SingleFlight};
+
+/// How often a coalesced follower re-checks its own deadline while waiting
+/// on a leader.
+const FOLLOWER_TICK: Duration = Duration::from_millis(10);
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Bounded submission queue capacity (must be nonzero).
+    pub queue_capacity: usize,
+    /// Persistent artifact cache directory; `None` keeps the cache
+    /// memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Deadline applied to jobs whose request carries no `deadline_ms`.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_capacity: 64,
+            cache_dir: None,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by the `MORPH_SERVE_WORKERS` and
+    /// `MORPH_SERVE_QUEUE_CAP` environment variables (ignored when unset
+    /// or unparseable; a parsed queue capacity of `0` is ignored too).
+    pub fn from_env() -> Self {
+        let mut config = ServeConfig::default();
+        if let Some(n) = env_usize("MORPH_SERVE_WORKERS") {
+            config.workers = n;
+        }
+        if let Some(n) = env_usize("MORPH_SERVE_QUEUE_CAP") {
+            if n > 0 {
+                config.queue_capacity = n;
+            }
+        }
+        config
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Why [`Service::submit`] refused a job without running it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — backpressure; retry later.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The service is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl SubmitError {
+    /// Stable machine-readable tag used on protocol error lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SubmitError::QueueFull { .. } => "queue_full",
+            SubmitError::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<PoolRejection> for SubmitError {
+    fn from(r: PoolRejection) -> Self {
+        match r {
+            PoolRejection::QueueFull { capacity } => SubmitError::QueueFull { capacity },
+            PoolRejection::ShuttingDown => SubmitError::ShuttingDown,
+        }
+    }
+}
+
+/// Why a job that started could not produce a report.
+#[derive(Debug)]
+pub enum JobError {
+    /// The job's deadline elapsed (possibly while still queued); the
+    /// pipeline stopped at its next cancellation check.
+    DeadlineExceeded,
+    /// The job's worker panicked; the panic was contained to this job.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The request was structurally invalid (bad qubit index, unknown
+    /// noise model, no assertions).
+    Invalid {
+        /// What was wrong.
+        message: String,
+    },
+    /// The verification pipeline itself failed (parse error, solver
+    /// failure, store I/O).
+    Verification(MorphError),
+}
+
+impl JobError {
+    /// Stable machine-readable tag used on protocol error lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::DeadlineExceeded => "deadline_exceeded",
+            JobError::Panicked { .. } => "panicked",
+            JobError::Invalid { .. } => "invalid_request",
+            JobError::Verification(_) => "verification",
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::DeadlineExceeded => write!(f, "job deadline exceeded"),
+            JobError::Panicked { message } => write!(f, "job panicked: {message}"),
+            JobError::Invalid { message } => write!(f, "invalid request: {message}"),
+            JobError::Verification(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Verification(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MorphError> for JobError {
+    fn from(e: MorphError) -> Self {
+        match e {
+            // The deadline is a service-level concept; surface it as the
+            // dedicated variant rather than a wrapped pipeline error.
+            MorphError::Cancelled(Cancelled::DeadlineExceeded) => JobError::DeadlineExceeded,
+            other => JobError::Verification(other),
+        }
+    }
+}
+
+impl From<Cancelled> for JobError {
+    fn from(e: Cancelled) -> Self {
+        JobError::from(MorphError::from(e))
+    }
+}
+
+/// A completed job: the characterization's content address plus the full
+/// report.
+#[derive(Debug)]
+pub struct JobOutput {
+    /// Content address of the characterization this job used — equal
+    /// across all jobs that coalesced onto one flight.
+    pub fingerprint: Fingerprint,
+    /// The verification report, bit-identical to an uncoalesced run with
+    /// the same request.
+    pub report: VerificationReport,
+}
+
+/// Handle to one submitted job.
+pub struct JobHandle {
+    request_id: String,
+    token: CancelToken,
+    rx: mpsc::Receiver<Result<JobOutput, JobError>>,
+}
+
+impl JobHandle {
+    /// The request id this handle tracks.
+    pub fn request_id(&self) -> &str {
+        &self.request_id
+    }
+
+    /// Requests cooperative cancellation; the job stops at its next
+    /// pipeline check-in and [`wait`](Self::wait) reports the outcome.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Blocks until the job finishes.
+    pub fn wait(self) -> Result<JobOutput, JobError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            // The worker vanished without reporting — only possible if the
+            // service was torn down with the job still queued.
+            Err(JobError::Panicked {
+                message: "worker disappeared before delivering a result".to_string(),
+            })
+        })
+    }
+}
+
+struct ServiceShared {
+    cache: Mutex<CharacterizationCache>,
+    flights: SingleFlight<Fingerprint, Characterization>,
+}
+
+/// The verification service. See the module docs for the job lifecycle.
+pub struct Service {
+    pool: WorkerPool,
+    shared: Arc<ServiceShared>,
+    default_deadline_ms: Option<u64>,
+}
+
+impl Service {
+    /// Starts the worker pool and opens the artifact cache.
+    ///
+    /// # Errors
+    ///
+    /// The I/O error if `config.cache_dir` cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.queue_capacity` is zero.
+    pub fn start(config: &ServeConfig) -> io::Result<Service> {
+        let cache = match &config.cache_dir {
+            Some(dir) => CharacterizationCache::open(dir)?,
+            None => CharacterizationCache::in_memory(),
+        };
+        Ok(Service {
+            pool: WorkerPool::new(config.workers, config.queue_capacity),
+            shared: Arc::new(ServiceShared {
+                cache: Mutex::new(cache),
+                flights: SingleFlight::new(),
+            }),
+            default_deadline_ms: config.default_deadline_ms,
+        })
+    }
+
+    /// Submits a job without blocking.
+    ///
+    /// The job's deadline clock starts *now* — time spent queued counts
+    /// against it.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the queue is full or the service is shutting
+    /// down; the job was not accepted and will not run.
+    pub fn submit(&self, request: JobRequest) -> Result<JobHandle, SubmitError> {
+        let deadline_ms = request.deadline_ms.or(self.default_deadline_ms);
+        let token = match deadline_ms {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        };
+        let (tx, rx) = mpsc::channel();
+        let shared = Arc::clone(&self.shared);
+        let job_token = token.clone();
+        let parent_span = morph_trace::current_span();
+        let request_id = request.id.clone();
+        self.pool.try_submit(move || {
+            let _span = morph_trace::span_under(parent_span, "serve/job");
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_job(&shared, &request, &job_token)))
+                .unwrap_or_else(|payload| {
+                    Err(JobError::Panicked {
+                        message: panic_message(&payload),
+                    })
+                });
+            // A dropped handle is fine — the job's work still happened
+            // (and populated the cache); only the notification is lost.
+            let _ = tx.send(outcome);
+        })?;
+        morph_trace::gauge("serve/queue_depth", self.pool.queue_depth() as f64);
+        Ok(JobHandle {
+            request_id,
+            token,
+            rx,
+        })
+    }
+
+    /// Jobs queued but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.queue_depth()
+    }
+
+    /// Holds queued jobs (workers finish their current job and idle).
+    /// Deterministic-saturation hook for tests; see [`WorkerPool::pause`].
+    pub fn pause(&self) {
+        self.pool.pause();
+    }
+
+    /// Releases jobs held by [`pause`](Self::pause).
+    pub fn resume(&self) {
+        self.pool.resume();
+    }
+
+    /// Blocks until every accepted job has finished. New submissions are
+    /// still accepted during and after the drain.
+    pub fn drain(&self) {
+        self.pool.drain();
+    }
+
+    /// Graceful shutdown: runs every already-accepted job to completion,
+    /// then joins the workers. Dropping the service does the same.
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs one job end to end on a worker thread.
+fn run_job(
+    shared: &ServiceShared,
+    request: &JobRequest,
+    token: &CancelToken,
+) -> Result<JobOutput, JobError> {
+    token.check()?;
+    let verifier = build_verifier(request)?;
+
+    // The characterize_cached RNG discipline, spelled out so the flight
+    // table can sit between the fingerprint and the computation: draw one
+    // u64 for the characterization, validate from the job's own stream.
+    let mut job_rng = StdRng::seed_from_u64(request.seed);
+    let char_seed: u64 = job_rng.gen();
+    let fingerprint = verifier.characterization_fingerprint(char_seed);
+
+    let characterization =
+        obtain_characterization(shared, &verifier, fingerprint, char_seed, token)?;
+    token.check()?;
+    let report = verifier.try_validate_with(characterization, &mut job_rng, None, token)?;
+    Ok(JobOutput {
+        fingerprint,
+        report,
+    })
+}
+
+/// Parses and validates the request into a configured [`Verifier`].
+fn build_verifier(request: &JobRequest) -> Result<Verifier, JobError> {
+    let circuit = parse_program(&request.program).map_err(MorphError::from)?;
+    let assertions = assertions_from_source(&request.program).map_err(MorphError::from)?;
+    if assertions.is_empty() {
+        return Err(JobError::Invalid {
+            message: "program contains no `// assert` specifications".to_string(),
+        });
+    }
+    if request.input_qubits.is_empty() {
+        return Err(JobError::Invalid {
+            message: "input_qubits must not be empty".to_string(),
+        });
+    }
+    for &q in &request.input_qubits {
+        if q >= circuit.n_qubits() {
+            return Err(JobError::Invalid {
+                message: format!(
+                    "input qubit {q} out of range for a {}-qubit program",
+                    circuit.n_qubits()
+                ),
+            });
+        }
+    }
+    let mut verifier = Verifier::new(circuit).input_qubits(&request.input_qubits);
+    if let Some(n) = request.samples {
+        if n == 0 {
+            return Err(JobError::Invalid {
+                message: "samples must be nonzero".to_string(),
+            });
+        }
+        verifier = verifier.samples(n);
+    }
+    match request.noise.as_deref() {
+        None | Some("noiseless") => {}
+        Some("ibm_cairo") => verifier = verifier.noise(NoiseModel::ibm_cairo()),
+        Some(other) => {
+            return Err(JobError::Invalid {
+                message: format!(
+                    "unknown noise model `{other}` (expected `noiseless` or `ibm_cairo`)"
+                ),
+            });
+        }
+    }
+    if let Some(restarts) = request.restarts {
+        verifier = verifier.validation(morphqpv::prelude::ValidationConfig {
+            solver_restarts: Some(restarts),
+            ..Default::default()
+        });
+    }
+    for assertion in assertions {
+        verifier = verifier.assert_that(assertion);
+    }
+    Ok(verifier)
+}
+
+/// The coalescing core: cache, then flight table, then compute as leader.
+///
+/// The loop re-enters after an abandoned flight (leader errored or
+/// panicked) so a transient leader failure costs followers a re-election,
+/// not a spurious error.
+fn obtain_characterization(
+    shared: &ServiceShared,
+    verifier: &Verifier,
+    fingerprint: Fingerprint,
+    char_seed: u64,
+    token: &CancelToken,
+) -> Result<Characterization, JobError> {
+    loop {
+        token.check()?;
+        if let Some(hit) = shared.cache.lock().unwrap().get(&fingerprint) {
+            morph_trace::counter("serve/cache_hit", 1);
+            return Ok(hit);
+        }
+        match shared.flights.join(fingerprint) {
+            Joined::Leader(guard) => {
+                // Double-check the cache: between this job's miss and
+                // winning the flight, a previous leader may have published
+                // its artifact and retired. Serving the hit (and completing
+                // the flight with it) keeps "characterizations computed"
+                // exactly equal to the `serve/characterize_leader` counter.
+                if let Some(hit) = shared.cache.lock().unwrap().get(&fingerprint) {
+                    morph_trace::counter("serve/cache_hit", 1);
+                    guard.complete(hit.clone());
+                    return Ok(hit);
+                }
+                morph_trace::counter("serve/characterize_leader", 1);
+                // An error here drops `guard`, abandoning the flight and
+                // waking followers to re-elect.
+                let ch = verifier.try_characterize_for_seed(char_seed, token)?;
+                // Publish to the cache *before* retiring the flight so a
+                // job arriving after removal finds the artifact.
+                let _ = shared.cache.lock().unwrap().put(fingerprint, &ch);
+                guard.complete(ch.clone());
+                return Ok(ch);
+            }
+            Joined::Follower(slot) => {
+                match slot.wait(FOLLOWER_TICK, || token.is_cancelled()) {
+                    FlightOutcome::Done(ch) => {
+                        morph_trace::counter("serve/coalesced_hit", 1);
+                        return Ok(ch);
+                    }
+                    // Leader gave up — loop back and re-elect.
+                    FlightOutcome::Abandoned => continue,
+                    FlightOutcome::TimedOut => {
+                        token.check()?;
+                        // give_up fired but the token has since recovered?
+                        // Impossible (tokens never un-cancel), but looping
+                        // is the safe answer.
+                        continue;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_config_parses_and_ignores_garbage() {
+        // Serialized with other env-touching tests by cargo's per-crate
+        // test binary: this is the only test in this crate touching these
+        // variables.
+        std::env::set_var("MORPH_SERVE_WORKERS", "3");
+        std::env::set_var("MORPH_SERVE_QUEUE_CAP", "17");
+        let config = ServeConfig::from_env();
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.queue_capacity, 17);
+
+        std::env::set_var("MORPH_SERVE_WORKERS", "not-a-number");
+        std::env::set_var("MORPH_SERVE_QUEUE_CAP", "0");
+        let config = ServeConfig::from_env();
+        assert_eq!(config.workers, ServeConfig::default().workers);
+        assert_eq!(config.queue_capacity, ServeConfig::default().queue_capacity);
+
+        std::env::remove_var("MORPH_SERVE_WORKERS");
+        std::env::remove_var("MORPH_SERVE_QUEUE_CAP");
+    }
+
+    #[test]
+    fn submit_error_maps_pool_rejections() {
+        let full: SubmitError = PoolRejection::QueueFull { capacity: 4 }.into();
+        assert_eq!(full, SubmitError::QueueFull { capacity: 4 });
+        assert_eq!(full.kind(), "queue_full");
+        let down: SubmitError = PoolRejection::ShuttingDown.into();
+        assert_eq!(down.kind(), "shutting_down");
+    }
+
+    #[test]
+    fn deadline_cancellation_maps_to_job_error() {
+        let e: JobError = MorphError::Cancelled(Cancelled::DeadlineExceeded).into();
+        assert!(matches!(e, JobError::DeadlineExceeded));
+        assert_eq!(e.kind(), "deadline_exceeded");
+        let e: JobError = MorphError::Cancelled(Cancelled::Requested).into();
+        assert!(matches!(e, JobError::Verification(_)));
+    }
+}

@@ -1,0 +1,272 @@
+//! Single-flight coalescing of identical characterizations.
+//!
+//! Concurrent jobs whose characterizations share a content address (the
+//! `morph_store::Fingerprint`) would each pay the full sampling cost if
+//! run independently — and the disk cache only deduplicates *sequential*
+//! work, because every in-flight job misses until the first one writes its
+//! artifact back. This module closes that window: the first job to claim a
+//! fingerprint becomes the **leader** and computes; later arrivals become
+//! **followers** and block on the leader's result.
+//!
+//! The flight table is deliberately generic over the payload (`T`) so it
+//! can be tested without spinning up quantum characterizations.
+//!
+//! Leader failure is first-class: if the leader errors, panics, or is
+//! simply dropped, its [`LeaderGuard`] marks the flight `Abandoned` and
+//! wakes every follower, who then re-enter [`SingleFlight::join`] and
+//! elect a new leader. No result is ever fabricated and no follower can
+//! block forever on a dead leader.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Outcome of [`SingleFlight::join`].
+pub enum Joined<T: Clone> {
+    /// This caller owns the flight: compute, then resolve the guard.
+    Leader(LeaderGuard<T>),
+    /// Another caller owns the flight: wait on the slot.
+    Follower(Arc<FlightSlot<T>>),
+}
+
+/// What a follower observes when its wait ends.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FlightOutcome<T> {
+    /// The leader completed; the shared result.
+    Done(T),
+    /// The leader gave up (error, panic, drop); re-join to elect a new
+    /// leader or fall back to computing alone.
+    Abandoned,
+    /// The follower's own wait budget ran out before the leader finished.
+    TimedOut,
+}
+
+#[derive(Clone)]
+enum FlightState<T> {
+    Pending,
+    Done(T),
+    Abandoned,
+}
+
+/// One in-flight computation, shared between the leader and its followers.
+pub struct FlightSlot<T> {
+    state: Mutex<FlightState<T>>,
+    ready: Condvar,
+}
+
+impl<T: Clone> FlightSlot<T> {
+    fn new() -> Self {
+        FlightSlot {
+            state: Mutex::new(FlightState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader resolves the flight, polling at `tick`
+    /// granularity so the caller can honor its own deadline between ticks.
+    ///
+    /// `give_up` is consulted on every tick; returning `true` converts the
+    /// wait into [`FlightOutcome::TimedOut`] without disturbing the flight.
+    pub fn wait(&self, tick: Duration, mut give_up: impl FnMut() -> bool) -> FlightOutcome<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            match &*state {
+                FlightState::Done(value) => return FlightOutcome::Done(value.clone()),
+                FlightState::Abandoned => return FlightOutcome::Abandoned,
+                FlightState::Pending => {
+                    if give_up() {
+                        return FlightOutcome::TimedOut;
+                    }
+                    let (next, _timeout) = self.ready.wait_timeout(state, tick).unwrap();
+                    state = next;
+                }
+            }
+        }
+    }
+
+    fn resolve(&self, state: FlightState<T>) {
+        *self.state.lock().unwrap() = state;
+        self.ready.notify_all();
+    }
+}
+
+/// Leadership of one flight. Call [`complete`](Self::complete) with the
+/// result; dropping the guard without completing (error or panic paths)
+/// abandons the flight, waking followers to re-elect.
+pub struct LeaderGuard<T: Clone> {
+    slot: Arc<FlightSlot<T>>,
+    remove: Box<dyn FnOnce() + Send>,
+    completed: bool,
+}
+
+impl<T: Clone> LeaderGuard<T> {
+    /// Publishes the result to every follower and retires the flight.
+    ///
+    /// The caller must make the result reachable for *future* arrivals
+    /// (e.g. write it to the cache) **before** calling this: once the
+    /// flight is retired, new joiners will elect a fresh leader instead of
+    /// following this one.
+    pub fn complete(mut self, value: T) {
+        self.completed = true;
+        self.slot.resolve(FlightState::Done(value));
+    }
+}
+
+impl<T: Clone> Drop for LeaderGuard<T> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.slot.resolve(FlightState::Abandoned);
+        }
+        let remove = std::mem::replace(&mut self.remove, Box::new(|| {}));
+        remove();
+    }
+}
+
+/// The flight table: at most one in-flight computation per key.
+pub struct SingleFlight<K, T> {
+    flights: Arc<Mutex<HashMap<K, Arc<FlightSlot<T>>>>>,
+}
+
+impl<K, T> Default for SingleFlight<K, T> {
+    fn default() -> Self {
+        SingleFlight {
+            flights: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone + Send + 'static, T: Clone + Send + 'static> SingleFlight<K, T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claims or joins the flight for `key`.
+    pub fn join(&self, key: K) -> Joined<T> {
+        let mut flights = self.flights.lock().unwrap();
+        if let Some(slot) = flights.get(&key) {
+            return Joined::Follower(Arc::clone(slot));
+        }
+        let slot = Arc::new(FlightSlot::new());
+        flights.insert(key.clone(), Arc::clone(&slot));
+        let table = Arc::clone(&self.flights);
+        Joined::Leader(LeaderGuard {
+            slot,
+            remove: Box::new(move || {
+                table.lock().unwrap().remove(&key);
+            }),
+            completed: false,
+        })
+    }
+
+    /// Number of flights currently pending (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    const TICK: Duration = Duration::from_millis(5);
+
+    #[test]
+    fn leader_result_reaches_followers() {
+        let sf: Arc<SingleFlight<u8, u32>> = Arc::new(SingleFlight::new());
+        let guard = match sf.join(7) {
+            Joined::Leader(g) => g,
+            Joined::Follower(_) => panic!("first joiner must lead"),
+        };
+        let follower = match sf.join(7) {
+            Joined::Follower(slot) => slot,
+            Joined::Leader(_) => panic!("second joiner must follow"),
+        };
+        let waiter = thread::spawn(move || follower.wait(TICK, || false));
+        guard.complete(99);
+        assert_eq!(waiter.join().unwrap(), FlightOutcome::Done(99));
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn dropped_leader_abandons_and_next_joiner_leads() {
+        let sf: SingleFlight<u8, u32> = SingleFlight::new();
+        let guard = match sf.join(1) {
+            Joined::Leader(g) => g,
+            Joined::Follower(_) => panic!("first joiner must lead"),
+        };
+        let follower = match sf.join(1) {
+            Joined::Follower(slot) => slot,
+            Joined::Leader(_) => panic!("second joiner must follow"),
+        };
+        drop(guard);
+        assert_eq!(follower.wait(TICK, || false), FlightOutcome::Abandoned);
+        // The flight was removed, so re-joining elects a new leader.
+        assert!(matches!(sf.join(1), Joined::Leader(_)));
+    }
+
+    #[test]
+    fn follower_deadline_times_out_without_killing_the_flight() {
+        let sf: SingleFlight<u8, u32> = SingleFlight::new();
+        let _guard = match sf.join(3) {
+            Joined::Leader(g) => g,
+            Joined::Follower(_) => panic!("first joiner must lead"),
+        };
+        let follower = match sf.join(3) {
+            Joined::Follower(slot) => slot,
+            Joined::Leader(_) => panic!("second joiner must follow"),
+        };
+        let mut budget = 2;
+        let outcome = follower.wait(TICK, || {
+            budget -= 1;
+            budget == 0
+        });
+        assert_eq!(outcome, FlightOutcome::TimedOut);
+        assert_eq!(sf.in_flight(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let sf: SingleFlight<u8, u32> = SingleFlight::new();
+        let a = sf.join(1);
+        let b = sf.join(2);
+        assert!(matches!(a, Joined::Leader(_)));
+        assert!(matches!(b, Joined::Leader(_)));
+        assert_eq!(sf.in_flight(), 2);
+    }
+
+    #[test]
+    fn many_concurrent_joiners_all_follow_one_leader() {
+        let sf: Arc<SingleFlight<u8, u32>> = Arc::new(SingleFlight::new());
+        let guard = match sf.join(42) {
+            Joined::Leader(g) => g,
+            Joined::Follower(_) => panic!("first joiner must lead"),
+        };
+        let joined = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..15)
+            .map(|_| {
+                let sf = Arc::clone(&sf);
+                let joined = Arc::clone(&joined);
+                thread::spawn(move || match sf.join(42) {
+                    Joined::Leader(_) => panic!("flight is held, nobody else may lead"),
+                    Joined::Follower(slot) => {
+                        joined.fetch_add(1, Ordering::SeqCst);
+                        slot.wait(TICK, || false)
+                    }
+                })
+            })
+            .collect();
+        // Complete only after every follower has joined the pending flight.
+        while joined.load(Ordering::SeqCst) < 15 {
+            thread::yield_now();
+        }
+        guard.complete(7);
+        for h in handles {
+            assert_eq!(h.join().unwrap(), FlightOutcome::Done(7));
+        }
+        assert_eq!(sf.in_flight(), 0);
+    }
+}

@@ -21,6 +21,15 @@ impl Fingerprint {
         self.0.iter().map(|b| format!("{b:02x}")).collect()
     }
 
+    /// The first 16 hex digits — enough to identify an artifact in logs,
+    /// protocol responses, and coalescing diagnostics without the noise of
+    /// the full 64-digit address.
+    pub fn short_hex(self) -> String {
+        let mut hex = self.to_hex();
+        hex.truncate(16);
+        hex
+    }
+
     /// Parses the 64-hex-digit rendering produced by [`Fingerprint::to_hex`].
     pub fn from_hex(text: &str) -> Option<Fingerprint> {
         if text.len() != 64 {
@@ -44,6 +53,23 @@ impl fmt::Debug for Fingerprint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Full hex is noise in assertion output; eight bytes identify.
         write!(f, "Fingerprint({}…)", &self.to_hex()[..16])
+    }
+}
+
+impl serde::Serialize for Fingerprint {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::Value::Str(self.to_hex())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Fingerprint {
+    fn from_value(value: &serde::json::Value) -> Result<Self, serde::json::FromValueError> {
+        let text = value
+            .as_str()
+            .ok_or_else(|| serde::json::FromValueError::expected("fingerprint hex", value))?;
+        Fingerprint::from_hex(text).ok_or_else(|| {
+            serde::json::FromValueError::new(format!("not a 64-hex-digit fingerprint: {text:?}"))
+        })
     }
 }
 
@@ -131,6 +157,19 @@ mod tests {
         assert_eq!(Fingerprint::from_hex(&fp.to_hex()), Some(fp));
         assert_eq!(Fingerprint::from_hex("zz"), None);
         assert_eq!(Fingerprint::from_hex(&"0".repeat(63)), None);
+        assert_eq!(fp.short_hex(), fp.to_hex()[..16].to_string());
+    }
+
+    #[test]
+    fn serde_round_trip_as_hex_string() {
+        use serde::{Deserialize, Serialize};
+        let fp = FingerprintBuilder::new("t").field_u64("s", 9).finish();
+        let value = fp.to_value();
+        assert_eq!(value.as_str(), Some(fp.to_hex().as_str()));
+        assert_eq!(Fingerprint::from_value(&value), Ok(fp));
+        let bogus = serde::json::Value::Str("nope".into());
+        assert!(Fingerprint::from_value(&bogus).is_err());
+        assert!(Fingerprint::from_value(&serde::json::Value::Null).is_err());
     }
 
     #[test]

@@ -316,6 +316,20 @@ pub fn counter_total(name: &str) -> u64 {
         .sum()
 }
 
+/// Concatenates the samples of gauge `name` across every recorded span and
+/// the root, in span-creation order (root samples last). The counterpart of
+/// [`counter_total`] for trajectories like queue depth.
+pub fn gauge_samples(name: &str) -> Vec<f64> {
+    let rec = recorder().lock().unwrap();
+    rec.spans
+        .iter()
+        .filter_map(|s| s.gauges.get(name))
+        .chain(rec.root_gauges.get(name))
+        .flatten()
+        .copied()
+        .collect()
+}
+
 // ---------------------------------------------------------------------------
 // JSON export
 // ---------------------------------------------------------------------------

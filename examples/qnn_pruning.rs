@@ -13,9 +13,8 @@
 //! Run with: `cargo run --release --example qnn_pruning`
 
 use morphqpv_suite::bench::{compare_programs, CompareConfig};
-use morphqpv_suite::core::{AssumeGuarantee, StatePredicate, ValidationConfig, Verdict, Verifier};
+use morphqpv_suite::core::prelude::*;
 use morphqpv_suite::qalgo::{iris_like_dataset, train_qnn};
-use morphqpv_suite::qprog::{Circuit, TracepointId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

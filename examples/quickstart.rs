@@ -7,9 +7,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use morphqpv_suite::core::{AssumeGuarantee, RelationPredicate, StatePredicate, Verdict, Verifier};
+use morphqpv_suite::core::prelude::*;
 use morphqpv_suite::qalgo::Teleportation;
-use morphqpv_suite::qprog::{Circuit, TracepointId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -23,7 +22,7 @@ fn main() {
 
     // 2. Assertion (Equation 7): assume both states are pure, guarantee
     //    they are equal.
-    let assertion = AssumeGuarantee::new()
+    let assertion = Assertion::new()
         .assume(TracepointId(1), StatePredicate::IsPure)
         .assume(TracepointId(2), StatePredicate::IsPure)
         .guarantee_relation(TracepointId(1), TracepointId(2), RelationPredicate::Equal);
@@ -62,7 +61,7 @@ fn main() {
     buggy.extend_from(&layout.circuit_coherent_with_bug(0));
     buggy.tracepoint(2, &layout.output_qubits());
 
-    let assertion = AssumeGuarantee::new()
+    let assertion = Assertion::new()
         .assume(TracepointId(1), StatePredicate::IsPure)
         .guarantee_relation(TracepointId(1), TracepointId(2), RelationPredicate::Equal);
     let report = Verifier::new(buggy)

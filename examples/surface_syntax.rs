@@ -4,8 +4,7 @@
 //!
 //! Run with: `cargo run --release --example surface_syntax`
 
-use morphqpv_suite::core::{assertions_from_source, Verdict, Verifier};
-use morphqpv_suite::qprog::parse_program;
+use morphqpv_suite::core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -12,6 +12,7 @@ pub use morph_optimize as optimize;
 pub use morph_qalgo as qalgo;
 pub use morph_qprog as qprog;
 pub use morph_qsim as qsim;
+pub use morph_serve as serve;
 pub use morph_store as store;
 pub use morph_tomography as tomography;
 pub use morph_trace as trace;

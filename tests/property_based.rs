@@ -55,7 +55,7 @@ proptest! {
     #[test]
     fn circuits_preserve_norm(circuit in arb_circuit(), input in arb_input()) {
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
-        let out = Executor::new().run_trajectory(&circuit, &input, &mut rng).final_state;
+        let out = Executor::default().run_trajectory(&circuit, &input, &mut rng).final_state;
         prop_assert!((out.norm() - 1.0).abs() < 1e-9);
     }
 
@@ -65,7 +65,7 @@ proptest! {
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
         let mut round_trip = circuit.clone();
         round_trip.extend_from(&circuit.inverse());
-        let out = Executor::new().run_trajectory(&round_trip, &input, &mut rng).final_state;
+        let out = Executor::default().run_trajectory(&round_trip, &input, &mut rng).final_state;
         prop_assert!(out.approx_eq_up_to_phase(&input, 1e-9));
     }
 
@@ -73,7 +73,7 @@ proptest! {
     /// convex input mixture equals the mixture of tracepoint states.
     #[test]
     fn tracepoint_states_are_linear(circuit in arb_circuit(), w in 0.05..0.95f64) {
-        let executor = Executor::new();
+        let executor = Executor::default();
         let mut traced = Circuit::new(3);
         traced.extend_from(&circuit);
         traced.tracepoint(1, &[0, 1]);
@@ -101,7 +101,7 @@ proptest! {
     #[test]
     fn reduced_states_are_density_matrices(circuit in arb_circuit(), input in arb_input()) {
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
-        let out = Executor::new().run_trajectory(&circuit, &input, &mut rng).final_state;
+        let out = Executor::default().run_trajectory(&circuit, &input, &mut rng).final_state;
         for qubits in [vec![0], vec![1, 2], vec![2, 0]] {
             let rho = out.reduced_density_matrix(&qubits);
             prop_assert!(morphqpv_suite::linalg::is_density_matrix(&rho, 1e-9));
@@ -124,7 +124,7 @@ proptest! {
     fn sampling_matches_distribution(circuit in arb_circuit()) {
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(7);
         let input = StateVector::zero_state(3);
-        let out = Executor::new().run_trajectory(&circuit, &input, &mut rng).final_state;
+        let out = Executor::default().run_trajectory(&circuit, &input, &mut rng).final_state;
         let probs = out.probabilities();
         let shots = 4000;
         let counts = out.sample_counts(shots, &mut rng);

@@ -1,0 +1,122 @@
+//! Golden-fixture tests for the `morph-serve` JSON-lines protocol.
+//!
+//! `tests/fixtures/serve/requests.jsonl` exercises every response shape —
+//! passed, refuted, coalesced duplicate, invalid request, deadline error,
+//! unparseable line — and `responses.jsonl` is the checked-in expected
+//! output, compared byte for byte. The diff only stays meaningful because
+//! responses are deterministic: floats travel as bit-pattern strings,
+//! object keys are sorted, and scheduling details never reach a response.
+//!
+//! Regenerate after an intentional protocol change with:
+//!
+//! ```text
+//! MORPH_UPDATE_GOLDEN=1 cargo test --test serve_protocol
+//! ```
+
+use morphqpv_suite::serve::{run_batch, JobRequest, ServeConfig};
+
+const REQUESTS: &str = "tests/fixtures/serve/requests.jsonl";
+const GOLDEN: &str = "tests/fixtures/serve/responses.jsonl";
+
+fn run_fixture_batch(workers: usize) -> (String, i32) {
+    let requests = std::fs::read_to_string(REQUESTS).expect("read requests fixture");
+    let mut out = Vec::new();
+    let exit = run_batch(
+        requests.as_bytes(),
+        &mut out,
+        &ServeConfig {
+            workers,
+            queue_capacity: 8,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("batch I/O");
+    (String::from_utf8(out).expect("responses are UTF-8"), exit)
+}
+
+#[test]
+fn batch_output_matches_the_golden_fixture() {
+    let (output, exit) = run_fixture_batch(4);
+    // The batch contains a refuted job and error lines: refuted dominates.
+    assert_eq!(exit, 2);
+
+    if std::env::var_os("MORPH_UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &output).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("read golden fixture (set MORPH_UPDATE_GOLDEN=1 to create it)");
+    assert_eq!(
+        output, golden,
+        "response lines drifted from the golden fixture; \
+         rerun with MORPH_UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn batch_output_is_worker_count_independent() {
+    let (wide, wide_exit) = run_fixture_batch(8);
+    let (narrow, narrow_exit) = run_fixture_batch(1);
+    assert_eq!(wide, narrow);
+    assert_eq!(wide_exit, narrow_exit);
+}
+
+#[test]
+fn golden_lines_are_well_formed_protocol_responses() {
+    let golden = std::fs::read_to_string(GOLDEN).expect("read golden fixture");
+    let request_count = std::fs::read_to_string(REQUESTS)
+        .expect("read requests fixture")
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count();
+    let lines: Vec<&str> = golden.lines().collect();
+    assert_eq!(lines.len(), request_count, "one response per request line");
+    for line in lines {
+        let value = serde::json::parse(line).expect("golden line parses");
+        assert_eq!(
+            value.get("protocol").and_then(serde::json::Value::as_u64),
+            Some(1)
+        );
+        let status = value
+            .get("status")
+            .and_then(serde::json::Value::as_str)
+            .expect("status present");
+        assert!(
+            ["passed", "refuted", "rejected", "error"].contains(&status),
+            "unknown status {status}"
+        );
+    }
+}
+
+#[test]
+fn coalesced_twins_answer_identically_apart_from_their_ids() {
+    let golden = std::fs::read_to_string(GOLDEN).expect("read golden fixture");
+    let find = |id: &str| {
+        golden
+            .lines()
+            .find(|l| l.contains(&format!("\"id\":\"{id}\"")))
+            .unwrap_or_else(|| panic!("no golden line for {id}"))
+            .replace(&format!("\"id\":\"{id}\""), "\"id\":\"_\"")
+    };
+    assert_eq!(find("ghz-pass"), find("ghz-pass-twin"));
+}
+
+#[test]
+fn fixture_requests_round_trip_through_the_codec() {
+    let requests = std::fs::read_to_string(REQUESTS).expect("read requests fixture");
+    let mut parsed = 0;
+    for line in requests.lines().filter(|l| !l.trim().is_empty()) {
+        if let Ok(request) = JobRequest::from_json_line(line) {
+            let reprinted = request.to_json_line();
+            assert_eq!(
+                JobRequest::from_json_line(&reprinted).expect("reprint parses"),
+                request
+            );
+            parsed += 1;
+        }
+    }
+    assert!(
+        parsed >= 5,
+        "fixture should hold at least five valid requests"
+    );
+}

@@ -248,8 +248,8 @@ proptest! {
         }
         c.tracepoint(2, &[0, 1, 2]);
         let input = StateVector::zero_state(3);
-        let fused = Executor::new().run_expected(&c, &input);
-        let plain = Executor::new().without_fusion().run_expected(&c, &input);
+        let fused = Executor::default().run_expected(&c, &input);
+        let plain = Executor::builder().fusion(false).build().run_expected(&c, &input);
         for id in [TracepointId(1), TracepointId(2)] {
             prop_assert!(
                 fused.state(id).approx_eq(plain.state(id), 1e-10),

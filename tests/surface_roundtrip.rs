@@ -70,7 +70,7 @@ proptest! {
         let (simplified, _) = simplify(&circuit);
         let input = StateVector::basis_state(4, basis);
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0);
-        let ex = Executor::new();
+        let ex = Executor::default();
         let a = ex.run_trajectory(&circuit, &input, &mut rng).final_state;
         let b = ex.run_trajectory(&simplified, &input, &mut rng).final_state;
         prop_assert!(
