@@ -1,19 +1,33 @@
-//! Parallel-characterization bench: serial vs all-cores sweeps on a
-//! shot-readout workload big enough to amortize the thread pool (8 qubits,
-//! 8 sampled inputs, two traced registers). The sampled traces and the cost
-//! ledger are bit-identical between the two arms (see DESIGN.md
-//! "Deterministic parallelism"); only wall-clock differs.
+//! Characterization-sweep benches.
+//!
+//! Two axes are measured on shot-readout workloads whose sampled traces and
+//! cost ledgers are bit-identical between all arms (see DESIGN.md
+//! "Deterministic parallelism"):
+//!
+//! - `characterize_parallel`: serial vs all-cores per-state sweeps (8
+//!   qubits, 8 inputs, two traced half registers).
+//! - `characterize_batched`: per-state vs gate-major batched sweeps at
+//!   n = 10 qubits, batch = 32 — the ISSUE-6 headline comparison. Both arms
+//!   run single-worker so the speedup isolates the loop inversion, and a
+//!   small noisy (density-batch) group covers the channel path.
+//!
+//! Set `MORPH_BENCH_QUICK=1` for the CI smoke subset (fewer samples, fewer
+//! timing repetitions). Set `MORPH_BENCH_JSON=path` to record the medians.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use morph_qprog::Circuit;
 use morph_qsim::NoiseModel;
 use morph_tomography::ReadoutMode;
-use morphqpv::{characterize, CharacterizationConfig};
+use morphqpv::{characterize, CharacterizationConfig, SweepMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const N_QUBITS: usize = 8;
 const N_SAMPLES: usize = 8;
+
+fn quick() -> bool {
+    std::env::var_os("MORPH_BENCH_QUICK").is_some()
+}
 
 /// A layered entangling circuit with a mid-point and an end tracepoint,
 /// each on a 4-qubit half register — the shape of the Table 4 target
@@ -49,6 +63,7 @@ fn config(parallelism: usize) -> CharacterizationConfig {
         input_qubits: (0..N_QUBITS).collect(),
         noise: NoiseModel::noiseless(),
         parallelism,
+        sweep: SweepMode::default(),
     }
 }
 
@@ -68,5 +83,88 @@ fn bench_characterize(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_characterize);
+/// The ISSUE-6 headline workload: a deep layered 10-qubit circuit with a
+/// cheap exact tracepoint at the end, so execution (not tomography)
+/// dominates and the loop-inversion speedup is what's measured.
+fn batched_workload(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for layer in 0..layers {
+        for q in 0..n {
+            c.h(q);
+            c.rz(q, 0.19 * (layer as f64 + 1.0) * (q as f64 + 1.0));
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+    }
+    c.tracepoint(1, &[0, 1]);
+    c
+}
+
+fn batched_config(sweep: SweepMode, n: usize, samples: usize) -> CharacterizationConfig {
+    CharacterizationConfig {
+        n_samples: samples,
+        ensemble: morph_clifford::InputEnsemble::Clifford,
+        readout: ReadoutMode::Exact,
+        // Input on a 4-qubit subregister: Clifford sampling on the full
+        // 10-qubit register would spend most of the bench building 1024²
+        // input ρ matrices, hiding the sweep being measured. Both arms
+        // still execute the full n-qubit circuit per input.
+        input_qubits: (0..4.min(n)).collect(),
+        noise: NoiseModel::noiseless(),
+        parallelism: 1,
+        sweep,
+    }
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let n = 10;
+    let samples = 32; // = the default MORPH_CHAR_BATCH, so one full batch
+    let circuit = batched_workload(n, if quick() { 2 } else { 16 });
+    let mut group = c.benchmark_group("characterize_batched");
+    group.sample_size(if quick() { 3 } else { 10 });
+    for (label, sweep) in [
+        ("per_state", SweepMode::PerState),
+        ("batched", SweepMode::Batched),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, samples), &sweep, |b, &sweep| {
+            let cfg = batched_config(sweep, n, samples);
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(11);
+                characterize(std::hint::black_box(&circuit), &cfg, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The channel-noise counterpart on a density-batch-sized register.
+fn bench_batched_noisy(c: &mut Criterion) {
+    let n = 6;
+    let samples = if quick() { 4 } else { 16 };
+    let circuit = batched_workload(n, 3);
+    let mut group = c.benchmark_group("characterize_batched_noisy");
+    group.sample_size(if quick() { 2 } else { 5 });
+    for (label, sweep) in [
+        ("per_state", SweepMode::PerState),
+        ("batched", SweepMode::Batched),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, samples), &sweep, |b, &sweep| {
+            let mut cfg = batched_config(sweep, n, samples);
+            cfg.noise = NoiseModel::ibm_cairo();
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(13);
+                characterize(std::hint::black_box(&circuit), &cfg, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_characterize,
+    bench_batched,
+    bench_batched_noisy
+);
 criterion_main!(benches);

@@ -117,6 +117,7 @@ fn compare_programs_impl(
         input_qubits: config.input_qubits.clone(),
         noise: morph_qsim::NoiseModel::noiseless(),
         parallelism: config.parallelism,
+        sweep: morphqpv::SweepMode::default(),
     };
     let inputs = char_config
         .ensemble

@@ -41,7 +41,14 @@ use crate::characterize::{characterize_with_inputs, Characterization, Characteri
 /// v2: the simulator switched to qubit-local density kernels, closed-form
 /// channels, and statevector gate fusion — numerically equivalent only up
 /// to rounding, so artifacts from v1 must not be reused.
-pub const FINGERPRINT_DOMAIN: &str = "morphqpv/characterization/v2";
+///
+/// v3: the sweep fuses the shared main circuit once and applies input
+/// preparation per lane, unfused, instead of fusing `prep + main` per
+/// input — the fusion boundary moved, so results differ from v2 by
+/// rounding. `CharacterizationConfig::sweep` and `MORPH_CHAR_BATCH` are
+/// excluded like `parallelism`: batched and per-state sweeps are
+/// bit-identical at every batch size and worker count.
+pub const FINGERPRINT_DOMAIN: &str = "morphqpv/characterization/v3";
 
 /// Version of the artifact payload layout inside the store envelope
 /// (the envelope's own schema version is `morph_store::SCHEMA_VERSION`).

@@ -11,13 +11,41 @@ use std::collections::BTreeMap;
 
 use morph_clifford::{InputEnsemble, InputState};
 use morph_linalg::CMatrix;
-use morph_qprog::{Circuit, Executor, TracepointId};
+use morph_qprog::{Circuit, Executor, Instruction, TracepointId};
 use morph_qsim::{DensityMatrix, NoiseModel, StateVector};
 use morph_tomography::{read_state, CostLedger, ReadoutMode, SharedLedger};
 use rand::rngs::StdRng;
 
 use crate::approx::ApproximationFunction;
 use crate::cancel::{CancelToken, Cancelled};
+
+/// How the sampling sweep walks the `(input, gate)` grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepMode {
+    /// State-major: one full program execution per sampled input. Kept as
+    /// the oracle the batched path is property-tested against.
+    PerState,
+    /// Gate-major (the default): inputs are grouped into batches of
+    /// [`char_batch_size`] lanes and each gate is applied across all lanes
+    /// of a batch in one strided pass. Bit-identical to [`SweepMode::PerState`]
+    /// at every batch size and worker count, so the mode is excluded from
+    /// the cache fingerprint.
+    #[default]
+    Batched,
+}
+
+/// Lanes per batch for [`SweepMode::Batched`]: the `MORPH_CHAR_BATCH`
+/// environment variable when set to a positive integer, else 32.
+///
+/// Batch size never changes results (each lane's readout RNG stream is keyed
+/// by its global input index), only the memory/locality trade-off.
+pub fn char_batch_size() -> usize {
+    std::env::var("MORPH_CHAR_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&b| b >= 1)
+        .unwrap_or(32)
+}
 
 /// Configuration of the characterization stage.
 #[derive(Debug, Clone)]
@@ -40,6 +68,9 @@ pub struct CharacterizationConfig {
     /// scheduling never reaches the sampled data (see DESIGN.md
     /// "Deterministic parallelism").
     pub parallelism: usize,
+    /// Sweep loop order (default: [`SweepMode::Batched`]). Bit-identical
+    /// either way; `PerState` exists as the test oracle and a debugging aid.
+    pub sweep: SweepMode,
 }
 
 impl CharacterizationConfig {
@@ -53,6 +84,7 @@ impl CharacterizationConfig {
             input_qubits,
             noise: NoiseModel::noiseless(),
             parallelism: 0,
+            sweep: SweepMode::default(),
         }
     }
 
@@ -127,6 +159,12 @@ impl CharacterizationConfigBuilder {
     /// Sets the sweep worker count (`0` = all cores, the default).
     pub fn parallelism(mut self, workers: usize) -> Self {
         self.config.parallelism = workers;
+        self
+    }
+
+    /// Selects the sweep loop order (default: [`SweepMode::Batched`]).
+    pub fn sweep(mut self, sweep: SweepMode) -> Self {
+        self.config.sweep = sweep;
         self
     }
 
@@ -270,6 +308,7 @@ pub fn try_characterize_with_inputs(
     cancel: &CancelToken,
 ) -> Result<Characterization, Cancelled> {
     let n = circuit.n_qubits();
+    let n_in = config.input_qubits.len();
     let ops_per_shot = circuit.op_cost() as u64;
     let executor = Executor::builder().noise(config.noise).build();
     if !config.noise.is_noiseless() {
@@ -284,46 +323,158 @@ pub fn try_characterize_with_inputs(
     let trace_parent = trace.id();
     morph_trace::counter("characterize/inputs", inputs.len() as u64);
 
+    // Fuse the shared main circuit once per sweep (noiseless only — channel
+    // noise attaches per physical gate). Input preparation is applied
+    // per lane, unfused, so both sweep modes execute the same gate
+    // arithmetic: prep gates, then the fused main circuit. The per-state
+    // sweep re-fuses per input (see below) but `fuse_circuit` is
+    // deterministic, so it executes these exact gates too.
+    let fused_main;
+    let main: &Circuit = if config.noise.is_noiseless() {
+        fused_main = executor.fuse_for_run(circuit);
+        &fused_main
+    } else {
+        circuit
+    };
+
     let master = morph_parallel::derive_master(rng);
     let shared = SharedLedger::new();
-    let per_input: Vec<Result<Vec<(TracepointId, CMatrix)>, Cancelled>> =
-        morph_parallel::parallel_map(config.parallelism, &inputs, |i, input| {
-            // One check per sampling task: a firing deadline stops the
-            // sweep within one program execution's latency. The abandoned
-            // partial result is discarded wholesale, so completed runs
-            // remain bit-identical to uncancellable ones.
-            cancel.check()?;
-            // Telemetry never touches the task RNG streams, so traces stay
-            // bit-identical whether or not the recorder is enabled.
-            let _input_span = morph_trace::span_under(trace_parent, "input");
-            let mut task_rng = morph_parallel::child_rng(master, i as u64);
-            let mut local = CostLedger::new();
 
-            // Embed the prepared input into the full register and run.
-            let prep = input.prep.remap_qubits(&config.input_qubits, n);
-            let mut full = Circuit::with_cbits(n, circuit.n_cbits());
-            full.extend_from(&prep);
-            full.extend_from(circuit);
+    // Prepares lane `i`'s initial state the way the state-major sweep
+    // always has: the remapped input-prep gates applied to the full-width
+    // |0…0⟩ (plus per-gate channel noise on the noisy path, mirroring what
+    // executing the prep as a circuit prefix would do).
+    let prep_state = |i: usize| -> StateVector {
+        let prep = inputs[i].prep.remap_qubits(&config.input_qubits, n);
+        let mut state = StateVector::zero_state(n);
+        for inst in prep.instructions() {
+            match inst {
+                Instruction::Gate(g) => g.apply(&mut state),
+                Instruction::Barrier => {}
+                other => panic!("input preparation must be unitary, got {other:?}"),
+            }
+        }
+        state
+    };
+    // Gate-major fast path: the prep only touches the `n_in` input qubits,
+    // so simulate it on the narrow input register and scatter the 2^n_in
+    // amplitudes into the lane. The per-pair gate arithmetic is register-
+    // width independent, so every supported amplitude carries the exact
+    // bits the full-width prep produces, and off-support amplitudes are
+    // exactly zero either way (see `StateVector::embed`).
+    let prep_state_narrow = |i: usize| -> StateVector {
+        let mut sub = StateVector::zero_state(n_in);
+        for inst in inputs[i].prep.instructions() {
+            match inst {
+                Instruction::Gate(g) => g.apply(&mut sub),
+                Instruction::Barrier => {}
+                other => panic!("input preparation must be unitary, got {other:?}"),
+            }
+        }
+        StateVector::embed(&sub, &config.input_qubits, n)
+    };
+    let prep_density = |i: usize| -> DensityMatrix {
+        let prep = inputs[i].prep.remap_qubits(&config.input_qubits, n);
+        let mut rho = DensityMatrix::zero_state(n);
+        for inst in prep.instructions() {
+            match inst {
+                Instruction::Gate(g) => {
+                    rho.apply_gate(g);
+                    config.noise.apply_to_density(&mut rho, g);
+                }
+                Instruction::Barrier => {}
+                other => panic!("input preparation must be unitary, got {other:?}"),
+            }
+        }
+        rho
+    };
+    // Tracepoint readout for lane `i`: its RNG stream is keyed by the
+    // *global* input index, so batch size, sweep mode, and worker count all
+    // produce bit-identical traces.
+    let read_record = |i: usize,
+                       record: &morph_qprog::ExpectedRecord,
+                       local: &mut CostLedger|
+     -> Vec<(TracepointId, CMatrix)> {
+        let mut task_rng = morph_parallel::child_rng(master, i as u64);
+        record
+            .tracepoints
+            .iter()
+            .map(|(id, rho)| {
+                (
+                    *id,
+                    read_state(rho, config.readout, ops_per_shot, local, &mut task_rng),
+                )
+            })
+            .collect()
+    };
 
-            let record = if config.noise.is_noiseless() {
-                executor.run_expected(&full, &StateVector::zero_state(n))
-            } else {
-                executor.run_expected_noisy(&full, &DensityMatrix::zero_state(n))
-            };
-
-            let captured: Vec<(TracepointId, CMatrix)> = record
-                .tracepoints
-                .iter()
-                .map(|(id, rho)| {
-                    (
-                        *id,
-                        read_state(rho, config.readout, ops_per_shot, &mut local, &mut task_rng),
-                    )
-                })
-                .collect();
-            shared.merge(&local);
-            Ok(captured)
-        });
+    let per_input: Vec<Result<Vec<(TracepointId, CMatrix)>, Cancelled>> = match config.sweep {
+        SweepMode::PerState => {
+            morph_parallel::parallel_map(config.parallelism, &inputs, |i, _input| {
+                // One check per sampling task: a firing deadline stops the
+                // sweep within one program execution's latency. The abandoned
+                // partial result is discarded wholesale, so completed runs
+                // remain bit-identical to uncancellable ones.
+                cancel.check()?;
+                // Telemetry never touches the task RNG streams, so traces
+                // stay bit-identical whether or not the recorder is enabled.
+                let _input_span = morph_trace::span_under(trace_parent, "input");
+                let mut local = CostLedger::new();
+                let record = if config.noise.is_noiseless() {
+                    // The legacy state-major pipeline ran the fusion
+                    // pre-pass once per input; `run_expected` (not
+                    // `run_expected_prefused`) preserves that cost so the
+                    // oracle stays faithful to the sweep the gate-major
+                    // mode replaces. `fuse_circuit` is deterministic, so
+                    // the re-fused gates — and therefore the traces — are
+                    // bitwise identical to the shared-fusion batched arm.
+                    executor.run_expected(circuit, &prep_state(i))
+                } else {
+                    executor.run_expected_noisy(main, &prep_density(i))
+                };
+                let captured = read_record(i, &record, &mut local);
+                shared.merge(&local);
+                Ok(captured)
+            })
+        }
+        SweepMode::Batched => {
+            let ranges = morph_parallel::batch_ranges(inputs.len(), char_batch_size());
+            morph_trace::counter("characterize/batches", ranges.len() as u64);
+            #[allow(clippy::type_complexity)]
+            let per_batch: Vec<Result<Vec<Vec<(TracepointId, CMatrix)>>, Cancelled>> =
+                morph_parallel::parallel_map(config.parallelism, &ranges, |_, range| {
+                    // One check per batch: same granularity guarantee as the
+                    // per-state path, one batched execution's latency.
+                    cancel.check()?;
+                    let _batch_span = morph_trace::span_under(trace_parent, "batch");
+                    let mut local = CostLedger::new();
+                    let records = if config.noise.is_noiseless() {
+                        let states: Vec<StateVector> =
+                            range.clone().map(prep_state_narrow).collect();
+                        executor.run_expected_batch_prefused(main, &states)
+                    } else {
+                        let densities: Vec<DensityMatrix> =
+                            range.clone().map(prep_density).collect();
+                        executor.run_expected_noisy_batch(main, &densities)
+                    };
+                    let captured = records
+                        .iter()
+                        .zip(range.clone())
+                        .map(|(record, i)| read_record(i, record, &mut local))
+                        .collect();
+                    shared.merge(&local);
+                    Ok(captured)
+                });
+            let mut flat = Vec::with_capacity(inputs.len());
+            for batch in per_batch {
+                match batch {
+                    Ok(captured) => flat.extend(captured.into_iter().map(Ok)),
+                    Err(c) => flat.push(Err(c)),
+                }
+            }
+            flat
+        }
+    };
 
     let mut traces: BTreeMap<TracepointId, Vec<CMatrix>> = BTreeMap::new();
     for captured in per_input {
@@ -505,6 +656,36 @@ mod tests {
                     (a - b).frobenius_norm() == 0.0,
                     "trace at {id} differs between worker counts"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_and_per_state_sweeps_are_bit_identical() {
+        // The batched sweep must agree bitwise with the per-state oracle —
+        // noiseless and noisy, shot readout (exercising per-lane RNG
+        // streams), every worker count.
+        for noise in [NoiseModel::noiseless(), NoiseModel::ibm_cairo()] {
+            let run = |sweep: SweepMode, parallelism: usize| {
+                let mut rng = StdRng::seed_from_u64(21);
+                let config = CharacterizationConfig {
+                    sweep,
+                    parallelism,
+                    noise,
+                    readout: ReadoutMode::Shots(40),
+                    ..CharacterizationConfig::exact(vec![0], 6)
+                };
+                characterize(&sample_program(), &config, &mut rng)
+            };
+            let oracle = run(SweepMode::PerState, 1);
+            for parallelism in [1usize, 3] {
+                let batched = run(SweepMode::Batched, parallelism);
+                assert_eq!(oracle.ledger, batched.ledger);
+                for (id, states) in &oracle.traces {
+                    for (a, b) in states.iter().zip(&batched.traces[id]) {
+                        assert_eq!(a, b, "trace at {id} differs from oracle");
+                    }
+                }
             }
         }
     }

@@ -88,8 +88,9 @@ pub use cache::{
 };
 pub use cancel::{CancelToken, Cancelled};
 pub use characterize::{
-    characterize, characterize_with_inputs, try_characterize, try_characterize_with_inputs,
-    Characterization, CharacterizationConfig, CharacterizationConfigBuilder,
+    char_batch_size, characterize, characterize_with_inputs, try_characterize,
+    try_characterize_with_inputs, Characterization, CharacterizationConfig,
+    CharacterizationConfigBuilder, SweepMode,
 };
 pub use confidence::{regularized_incomplete_beta, ConfidenceModel};
 pub use counterexample::CounterExample;

@@ -80,6 +80,7 @@ impl Verifier {
                 input_qubits,
                 noise: NoiseModel::noiseless(),
                 parallelism: 0,
+                sweep: crate::SweepMode::default(),
             },
             validation_config: ValidationConfig::default(),
             explicit_inputs: None,

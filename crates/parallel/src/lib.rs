@@ -136,6 +136,24 @@ where
     parallel_map(workers, &indices, |_, &i| f(i))
 }
 
+/// Splits `0..count` into consecutive index ranges of at most `batch` items
+/// (the last range may be shorter).
+///
+/// Range boundaries depend only on `count` and `batch`, never on the worker
+/// count, so distributing the ranges with [`parallel_map`] keeps batched
+/// sweeps bit-identical at any parallelism: each item's global index — and
+/// therefore its [`child_rng`] stream — is fixed by the range layout alone.
+///
+/// # Panics
+///
+/// Panics if `batch == 0`.
+pub fn batch_ranges(count: usize, batch: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(batch > 0, "batch must be positive");
+    (0..count.div_ceil(batch))
+        .map(|i| i * batch..((i + 1) * batch).min(count))
+        .collect()
+}
+
 /// Splits `data` into consecutive chunks of `chunk_len` elements (the last
 /// chunk may be shorter) and evaluates `f(chunk_index, chunk)` on each, in
 /// parallel across `workers` threads.
@@ -239,6 +257,22 @@ mod tests {
     fn heavy_fan_out_uses_all_slots_exactly_once() {
         let results = parallel_map_indices(0, 1000, |i| i);
         assert_eq!(results, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_ranges_cover_all_indices_in_order() {
+        for (count, batch) in [(0usize, 4usize), (1, 4), (4, 4), (5, 4), (103, 32), (7, 1)] {
+            let ranges = batch_ranges(count, batch);
+            let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+            assert_eq!(
+                flat,
+                (0..count).collect::<Vec<_>>(),
+                "count={count} batch={batch}"
+            );
+            for r in &ranges {
+                assert!(r.len() <= batch && !r.is_empty());
+            }
+        }
     }
 
     #[test]

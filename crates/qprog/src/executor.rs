@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 
 use morph_linalg::CMatrix;
-use morph_qsim::{DensityMatrix, Gate, NoiseModel, StateVector};
+use morph_qsim::{DensityBatch, DensityMatrix, Gate, NoiseModel, StateBatch, StateVector};
 use rand::Rng;
 
 use crate::circuit::{Circuit, Instruction, TracepointId};
@@ -323,6 +323,180 @@ impl Executor {
         acc.into_record()
     }
 
+    /// Runs the fusion pre-pass once (when enabled) and returns the circuit
+    /// to execute, for callers that amortize fusion over many inputs via the
+    /// `*_prefused` entry points. Fires the same fusion telemetry counters as
+    /// the single-input paths.
+    pub fn fuse_for_run(&self, circuit: &Circuit) -> Circuit {
+        let mut storage = None;
+        self.fused_for_noiseless(circuit, &mut storage);
+        storage.unwrap_or_else(|| circuit.clone())
+    }
+
+    /// [`Self::run_expected`] on a circuit already prepared by
+    /// [`Self::fuse_for_run`] — skips the fusion pre-pass.
+    pub fn run_expected_prefused(&self, circuit: &Circuit, input: &StateVector) -> ExpectedRecord {
+        assert_eq!(
+            input.n_qubits(),
+            circuit.n_qubits(),
+            "input register mismatch"
+        );
+        let mut acc = Accumulator::new();
+        enumerate_pure(
+            circuit.instructions(),
+            input.clone(),
+            vec![0u8; circuit.n_cbits()],
+            1.0,
+            &mut acc,
+        );
+        acc.into_record()
+    }
+
+    /// [`Self::run_expected`] over a batch of inputs: fuses once, then
+    /// applies each gate across all inputs in one gate-major pass.
+    ///
+    /// Results are bit-identical to calling [`Self::run_expected`] per
+    /// input.
+    pub fn run_expected_batch(
+        &self,
+        circuit: &Circuit,
+        inputs: &[StateVector],
+    ) -> Vec<ExpectedRecord> {
+        let prepared = self.fuse_for_run(circuit);
+        self.run_expected_batch_prefused(&prepared, inputs)
+    }
+
+    /// [`Self::run_expected_batch`] on a circuit already prepared by
+    /// [`Self::fuse_for_run`].
+    ///
+    /// Purely unitary circuits (gates, tracepoints, barriers) execute on a
+    /// [`StateBatch`] so every gate touches all lanes in one strided pass;
+    /// circuits with measurement, reset, or classical feedback fall back to
+    /// per-lane branch enumeration, which stays bit-identical by
+    /// construction.
+    pub fn run_expected_batch_prefused(
+        &self,
+        circuit: &Circuit,
+        inputs: &[StateVector],
+    ) -> Vec<ExpectedRecord> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        if morph_trace::enabled() {
+            morph_trace::counter("executor/batch_runs", 1);
+            morph_trace::counter("executor/batch_lanes", inputs.len() as u64);
+        }
+        if circuit.has_nonunitary() {
+            morph_trace::counter("executor/batch_fallbacks", 1);
+            return inputs
+                .iter()
+                .map(|input| self.run_expected_prefused(circuit, input))
+                .collect();
+        }
+        for input in inputs {
+            assert_eq!(
+                input.n_qubits(),
+                circuit.n_qubits(),
+                "input register mismatch"
+            );
+        }
+        let mut batch = StateBatch::from_states(inputs);
+        let mut records: Vec<ExpectedRecord> = (0..inputs.len())
+            .map(|_| ExpectedRecord {
+                tracepoints: BTreeMap::new(),
+                branch_count: 1,
+            })
+            .collect();
+        for inst in circuit.instructions() {
+            match inst {
+                Instruction::Gate(g) => batch.apply_gate(g),
+                Instruction::Tracepoint { id, qubits } => {
+                    for (lane, rec) in records.iter_mut().enumerate() {
+                        // Weight 1.0 mirrors the single-branch accumulator
+                        // path bitwise (scale_re(1.0) is the identity).
+                        let rho = batch.lane(lane).reduced_density_matrix(qubits);
+                        record_weighted(&mut rec.tracepoints, *id, rho, 1.0);
+                    }
+                }
+                Instruction::Barrier => {}
+                other => unreachable!("nonunitary instruction {other:?} on batched fast path"),
+            }
+        }
+        records
+    }
+
+    /// [`Self::run_expected_noisy`] over a batch of inputs, gate-major on a
+    /// [`DensityBatch`]. Never fuses (channel noise attaches per physical
+    /// gate); circuits with measurement, reset, or classical feedback fall
+    /// back to per-lane enumeration. Inputs are chunked internally to respect
+    /// the density-batch memory budget.
+    ///
+    /// Results are bit-identical to calling [`Self::run_expected_noisy`] per
+    /// input.
+    pub fn run_expected_noisy_batch(
+        &self,
+        circuit: &Circuit,
+        inputs: &[DensityMatrix],
+    ) -> Vec<ExpectedRecord> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        if morph_trace::enabled() {
+            morph_trace::counter("executor/batch_runs", 1);
+            morph_trace::counter("executor/batch_lanes", inputs.len() as u64);
+        }
+        if circuit.has_nonunitary() {
+            morph_trace::counter("executor/batch_fallbacks", 1);
+            return inputs
+                .iter()
+                .map(|input| self.run_expected_noisy(circuit, input))
+                .collect();
+        }
+        for input in inputs {
+            assert_eq!(
+                input.n_qubits(),
+                circuit.n_qubits(),
+                "input register mismatch"
+            );
+        }
+        morph_trace::counter("executor/gates_unfused", gate_count(circuit));
+        let n = circuit.n_qubits();
+        let mut records = Vec::with_capacity(inputs.len());
+        let mut start = 0;
+        while start < inputs.len() {
+            let lanes = DensityBatch::max_lanes(n, inputs.len() - start);
+            let chunk = &inputs[start..start + lanes];
+            let mut batch = DensityBatch::from_densities(chunk);
+            let mut chunk_records: Vec<ExpectedRecord> = (0..lanes)
+                .map(|_| ExpectedRecord {
+                    tracepoints: BTreeMap::new(),
+                    branch_count: 1,
+                })
+                .collect();
+            for inst in circuit.instructions() {
+                match inst {
+                    Instruction::Gate(g) => {
+                        batch.apply_gate(g);
+                        batch.apply_noise(&self.noise, g);
+                    }
+                    Instruction::Tracepoint { id, qubits } => {
+                        for (lane, rec) in chunk_records.iter_mut().enumerate() {
+                            let rho = batch.lane(lane).partial_trace(qubits);
+                            record_weighted(&mut rec.tracepoints, *id, rho, 1.0);
+                        }
+                    }
+                    Instruction::Barrier => {}
+                    other => {
+                        unreachable!("nonunitary instruction {other:?} on batched fast path")
+                    }
+                }
+            }
+            records.extend(chunk_records);
+            start += lanes;
+        }
+        records
+    }
+
     /// Averages tracepoint states over `n_trajectories` stochastic noisy
     /// runs — the large-register stand-in for [`Self::run_expected_noisy`].
     pub fn run_average(
@@ -410,6 +584,21 @@ fn gate_count(circuit: &Circuit) -> u64 {
         .count() as u64
 }
 
+/// Accumulates `weight * rho` into `map[id]`, the shared arithmetic for both
+/// the branch-enumeration accumulator and the batched fast paths (bitwise
+/// agreement between them depends on this being one expression).
+fn record_weighted(
+    map: &mut BTreeMap<TracepointId, CMatrix>,
+    id: TracepointId,
+    rho: CMatrix,
+    weight: f64,
+) {
+    let scaled = rho.scale_re(weight);
+    map.entry(id)
+        .and_modify(|acc| *acc += &scaled)
+        .or_insert(scaled);
+}
+
 struct Accumulator {
     tracepoints: BTreeMap<TracepointId, CMatrix>,
     branch_count: usize,
@@ -424,11 +613,7 @@ impl Accumulator {
     }
 
     fn record(&mut self, id: TracepointId, rho: CMatrix, weight: f64) {
-        let scaled = rho.scale_re(weight);
-        self.tracepoints
-            .entry(id)
-            .and_modify(|acc| *acc += &scaled)
-            .or_insert(scaled);
+        record_weighted(&mut self.tracepoints, id, rho, weight);
     }
 
     fn into_record(self) -> ExpectedRecord {
@@ -710,6 +895,101 @@ mod tests {
         assert_eq!(counts[2], 0);
         let f = counts[0] as f64 / 4000.0;
         assert!((f - 0.5).abs() < 0.05);
+    }
+
+    fn random_inputs(n: usize, count: usize, seed: u64) -> Vec<StateVector> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let mut s = StateVector::zero_state(n);
+                for q in 0..n {
+                    Gate::RY(q, rng.gen_range(0.0..1.0) * 3.0).apply(&mut s);
+                    Gate::RZ(q, rng.gen_range(0.0..1.0) * 3.0).apply(&mut s);
+                }
+                for q in 0..n.saturating_sub(1) {
+                    Gate::CX(q, q + 1).apply(&mut s);
+                }
+                s
+            })
+            .collect()
+    }
+
+    fn deep_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.tracepoint(1, &[0]);
+        for layer in 0..3 {
+            for q in 0..n {
+                c.h(q).rz(q, 0.3 + layer as f64 + q as f64);
+            }
+            for q in 0..n - 1 {
+                c.cx(q, q + 1);
+            }
+        }
+        c.tracepoint(2, &[0, 1]);
+        c
+    }
+
+    #[test]
+    fn batched_expected_is_bitwise_identical_to_per_state() {
+        let c = deep_circuit(4);
+        let ex = Executor::default();
+        for count in [1usize, 3, 8] {
+            let inputs = random_inputs(4, count, 17 + count as u64);
+            let prepared = ex.fuse_for_run(&c);
+            let batched = ex.run_expected_batch(&c, &inputs);
+            assert_eq!(batched.len(), count);
+            for (rec, input) in batched.iter().zip(&inputs) {
+                let oracle = ex.run_expected_prefused(&prepared, input);
+                assert_eq!(rec.branch_count, oracle.branch_count);
+                assert_eq!(rec.tracepoints, oracle.tracepoints);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_expected_falls_back_on_nonunitary_circuits() {
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0, 0);
+        c.push(Instruction::Conditional {
+            cbit: 0,
+            value: 1,
+            gate: Gate::X(1),
+        });
+        c.tracepoint(7, &[1]);
+        let ex = Executor::default();
+        let inputs = random_inputs(2, 3, 5);
+        let prepared = ex.fuse_for_run(&c);
+        let batched = ex.run_expected_batch(&c, &inputs);
+        for (rec, input) in batched.iter().zip(&inputs) {
+            let oracle = ex.run_expected_prefused(&prepared, input);
+            assert_eq!(rec.branch_count, oracle.branch_count);
+            assert_eq!(rec.tracepoints, oracle.tracepoints);
+        }
+    }
+
+    #[test]
+    fn batched_noisy_is_bitwise_identical_to_per_state() {
+        let c = deep_circuit(3);
+        let ex = Executor::builder().noise(NoiseModel::ibm_cairo()).build();
+        let inputs: Vec<DensityMatrix> = random_inputs(3, 4, 23)
+            .iter()
+            .map(DensityMatrix::from_state_vector)
+            .collect();
+        let batched = ex.run_expected_noisy_batch(&c, &inputs);
+        assert_eq!(batched.len(), inputs.len());
+        for (rec, input) in batched.iter().zip(&inputs) {
+            let oracle = ex.run_expected_noisy(&c, input);
+            assert_eq!(rec.branch_count, oracle.branch_count);
+            assert_eq!(rec.tracepoints, oracle.tracepoints);
+        }
+    }
+
+    #[test]
+    fn batched_paths_handle_empty_input_slices() {
+        let c = deep_circuit(2);
+        let ex = Executor::default();
+        assert!(ex.run_expected_batch(&c, &[]).is_empty());
+        assert!(ex.run_expected_noisy_batch(&c, &[]).is_empty());
     }
 
     #[test]

@@ -15,6 +15,29 @@
 //! resets, and conditionals act as barriers on the qubits they touch
 //! (unitaries on *disjoint* qubits commute with them, so only the touched
 //! qubits flush); an explicit [`Instruction::Barrier`] flushes everything.
+//!
+//! ## Why flushing only `inst.qubits()` is enough for classical feedback
+//!
+//! The fall-through boundary arm of [`fuse_circuit`] flushes only the
+//! qubits the instruction touches — for a [`Instruction::Conditional`],
+//! the conditioned gate's qubits, with no mention of the classical bit or
+//! the measurement that feeds it. That is sufficient:
+//!
+//! - A conditional (like a measurement or reset) passes through verbatim
+//!   and never enters the pending/attach state, so it can never merge with
+//!   anything on either side.
+//! - The boundary first emits any pending matrices on the touched qubits,
+//!   so gates that precede the conditional in program order stay before it.
+//! - A later single-qubit matrix can fold backward into a two-qubit
+//!   unitary emitted *before* the boundary only if its qubit's attach
+//!   entry survived — which means no intervening instruction (measure,
+//!   reset, conditional, tracepoint) touched that qubit. A unitary on a
+//!   disjoint qubit commutes with the measurement operator, the
+//!   classically-controlled gate, and tracepoint capture (a partial trace
+//!   over its qubit), so the fold never crosses a dependency.
+//!
+//! `random_circuits_with_measurement_and_feedback_match_unfused` stress-
+//! tests exactly this boundary.
 
 use std::collections::BTreeMap;
 
@@ -337,6 +360,117 @@ mod tests {
                 }
             }
             assert_equivalent(&c);
+        }
+    }
+
+    #[test]
+    fn conditional_gate_is_not_folded_across_its_feeding_measurement() {
+        let mut c = Circuit::with_cbits(2, 1);
+        c.h(0).h(1).measure(0, 0);
+        c.conditional(0, 1, Gate::X(1));
+        c.h(1);
+        c.tracepoint(1, &[0, 1]);
+        let fused = fuse_circuit(&c);
+        let instructions = fused.instructions();
+        let measure_at = instructions
+            .iter()
+            .position(|i| matches!(i, Instruction::Measure { .. }))
+            .expect("measure survives fusion");
+        let cond_at = instructions
+            .iter()
+            .position(|i| matches!(i, Instruction::Conditional { .. }))
+            .expect("conditional survives fusion");
+        assert!(
+            measure_at < cond_at,
+            "feedback must stay after the measurement feeding it"
+        );
+        let trailing_h1 = instructions
+            .iter()
+            .rposition(|i| matches!(i, Instruction::Gate(g) if g.qubits() == [1]))
+            .expect("trailing gate on qubit 1 survives");
+        assert!(
+            trailing_h1 > cond_at,
+            "a gate after the conditional must not fold across it"
+        );
+        let input = StateVector::zero_state(2);
+        let with_fusion = Executor::default().run_expected(&c, &input);
+        let plain = Executor::builder()
+            .fusion(false)
+            .build()
+            .run_expected(&c, &input);
+        assert!(with_fusion
+            .state(TracepointId(1))
+            .approx_eq(plain.state(TracepointId(1)), 1e-12));
+    }
+
+    #[test]
+    fn random_circuits_with_measurement_and_feedback_match_unfused() {
+        // Stress the fall-through boundary arm: random programs mixing
+        // unitaries with measurement, reset, classical feedback, and
+        // tracepoints must yield identical expected records fused and
+        // unfused at every captured tracepoint.
+        let mut rng = StdRng::seed_from_u64(7);
+        for round in 0..15 {
+            let n = 4;
+            let mut c = Circuit::with_cbits(n, n);
+            let mut next_tp = 1u32;
+            for _ in 0..25 {
+                match rng.gen_range(0..12) {
+                    0 | 1 => {
+                        c.h(rng.gen_range(0..n));
+                    }
+                    2 => {
+                        c.t(rng.gen_range(0..n));
+                    }
+                    3 => {
+                        c.rx(rng.gen_range(0..n), rng.gen_range(0.0..3.0));
+                    }
+                    4 | 5 => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + rng.gen_range(1..n)) % n;
+                        c.cx(a, b);
+                    }
+                    6 => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + rng.gen_range(1..n)) % n;
+                        c.cz(a, b);
+                    }
+                    7 => {
+                        c.measure(rng.gen_range(0..n), rng.gen_range(0..n));
+                    }
+                    8 => {
+                        c.push(Instruction::Reset(rng.gen_range(0..n)));
+                    }
+                    9 => {
+                        c.conditional(
+                            rng.gen_range(0..n),
+                            rng.gen_range(0..2u32) as u8,
+                            Gate::X(rng.gen_range(0..n)),
+                        );
+                    }
+                    10 => {
+                        c.tracepoint(next_tp, &[rng.gen_range(0..n)]);
+                        next_tp += 1;
+                    }
+                    _ => {
+                        c.push(Instruction::Barrier);
+                    }
+                }
+            }
+            c.tracepoint(next_tp, &[0, 1, 2, 3]);
+            let input = StateVector::zero_state(n);
+            let fused = Executor::default().run_expected(&c, &input);
+            let plain = Executor::builder()
+                .fusion(false)
+                .build()
+                .run_expected(&c, &input);
+            assert_eq!(fused.tracepoints.len(), plain.tracepoints.len());
+            for (id, rho) in &plain.tracepoints {
+                assert!(
+                    fused.state(*id).approx_eq(rho, 1e-10),
+                    "round {round}: tracepoint {id} drifted between fused and unfused"
+                );
+            }
         }
     }
 

@@ -31,6 +31,7 @@
 //! assert!((rho01[(0, 0)].re - 0.5).abs() < 1e-12);
 //! ```
 
+mod batch;
 mod bits;
 mod density;
 mod gate;
@@ -39,6 +40,7 @@ mod pauli;
 mod serde_impls;
 mod state;
 
+pub use batch::{DensityBatch, StateBatch, StateBatchF32};
 pub use density::DensityMatrix;
 pub use gate::{matrices, Gate};
 pub use noise::NoiseModel;

@@ -89,6 +89,51 @@ impl StateVector {
         StateVector { n_qubits, amps }
     }
 
+    /// Embeds a narrow state onto the given qubits of a wider register
+    /// whose remaining qubits stay in `|0⟩`: `sub` qubit `j` becomes
+    /// register qubit `qubits[j]`.
+    ///
+    /// Amplitudes are scattered verbatim — no renormalization — so the
+    /// embedded state is bitwise identical on its support to applying the
+    /// same preparation gates (remapped onto `qubits`) to the wide
+    /// `|0…0⟩` state; off-support amplitudes are exactly zero either way.
+    /// The characterization sweep uses this to run input preparation on
+    /// the small input register instead of the full lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits.len() != sub.n_qubits()`, a qubit repeats, or a
+    /// qubit is out of range for the wide register.
+    pub fn embed(sub: &StateVector, qubits: &[usize], n_qubits: usize) -> Self {
+        assert!(n_qubits < 28, "state vector would exceed memory budget");
+        let m = sub.n_qubits();
+        assert_eq!(qubits.len(), m, "qubit list must match the sub-state width");
+        let shifts: Vec<usize> = qubits
+            .iter()
+            .map(|&q| {
+                assert!(q < n_qubits, "embed qubit {q} out of range");
+                n_qubits - 1 - q
+            })
+            .collect();
+        {
+            let mut sorted = shifts.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), m, "duplicate embed qubits");
+        }
+        let mut amps = vec![C64::ZERO; 1 << n_qubits];
+        for (x, &a) in sub.amplitudes().iter().enumerate() {
+            let mut idx = 0usize;
+            for (j, &s) in shifts.iter().enumerate() {
+                if (x >> (m - 1 - j)) & 1 == 1 {
+                    idx |= 1 << s;
+                }
+            }
+            amps[idx] = a;
+        }
+        StateVector { n_qubits, amps }
+    }
+
     /// Number of qubits.
     #[inline]
     pub fn n_qubits(&self) -> usize {
@@ -514,23 +559,78 @@ impl StateVector {
         // Iterate over environment configurations implicitly: two global
         // indices i, j contribute iff i & !keep_mask == j & !keep_mask.
         let env_mask = !keep_mask & (n - 1);
-        let mut buckets: Vec<Vec<(usize, C64)>> = Vec::new();
-        let mut env_index_of = std::collections::HashMap::new();
-        for (i, &a) in self.amps.iter().enumerate() {
-            if a == C64::ZERO {
-                continue;
+        // Bucket slots are assigned in first-seen environment order over the
+        // ascending amplitude scan, and each bucket holds its amplitudes in
+        // ascending index order — so the accumulation order below, and
+        // therefore the result bits, do not depend on the storage scheme.
+        // Small registers use a direct-address slot table with flat bucket
+        // storage (this is the hot path: one call per lane per tracepoint in
+        // the batched sweep); wide ones fall back to a hash map of per-slot
+        // vectors to avoid a dim-sized table.
+        const DIRECT_TABLE_MAX_DIM: usize = 1 << 20;
+        if n <= DIRECT_TABLE_MAX_DIM {
+            let mut slot_of = vec![usize::MAX; n];
+            // Pass 1: assign slots in first-seen order, count bucket sizes.
+            let mut counts: Vec<usize> = Vec::new();
+            for (i, &a) in self.amps.iter().enumerate() {
+                if a == C64::ZERO {
+                    continue;
+                }
+                let env = i & env_mask;
+                let slot = slot_of[env];
+                if slot == usize::MAX {
+                    slot_of[env] = counts.len();
+                    counts.push(1);
+                } else {
+                    counts[slot] += 1;
+                }
             }
-            let env = i & env_mask;
-            let slot = *env_index_of.entry(env).or_insert_with(|| {
-                buckets.push(Vec::new());
-                buckets.len() - 1
-            });
-            buckets[slot].push((extract(i), a));
-        }
-        for bucket in &buckets {
-            for &(r, ar) in bucket {
-                for &(c, ac) in bucket {
-                    rho[(r, c)] += ar * ac.conj();
+            // Pass 2: scatter into one flat array at per-slot offsets; the
+            // ascending scan keeps each bucket in ascending index order.
+            let mut starts = Vec::with_capacity(counts.len() + 1);
+            let mut total = 0usize;
+            for &c in &counts {
+                starts.push(total);
+                total += c;
+            }
+            starts.push(total);
+            let mut cursor = starts.clone();
+            let mut entries: Vec<(usize, C64)> = vec![(0, C64::ZERO); total];
+            for (i, &a) in self.amps.iter().enumerate() {
+                if a == C64::ZERO {
+                    continue;
+                }
+                let slot = slot_of[i & env_mask];
+                entries[cursor[slot]] = (extract(i), a);
+                cursor[slot] += 1;
+            }
+            for s in 0..counts.len() {
+                let bucket = &entries[starts[s]..starts[s + 1]];
+                for &(r, ar) in bucket {
+                    for &(c, ac) in bucket {
+                        rho[(r, c)] += ar * ac.conj();
+                    }
+                }
+            }
+        } else {
+            let mut buckets: Vec<Vec<(usize, C64)>> = Vec::new();
+            let mut env_index_of = std::collections::HashMap::new();
+            for (i, &a) in self.amps.iter().enumerate() {
+                if a == C64::ZERO {
+                    continue;
+                }
+                let env = i & env_mask;
+                let slot = *env_index_of.entry(env).or_insert_with(|| {
+                    buckets.push(Vec::new());
+                    buckets.len() - 1
+                });
+                buckets[slot].push((extract(i), a));
+            }
+            for bucket in &buckets {
+                for &(r, ar) in bucket {
+                    for &(c, ac) in bucket {
+                        rho[(r, c)] += ar * ac.conj();
+                    }
                 }
             }
         }
@@ -578,6 +678,41 @@ mod tests {
         assert_eq!(sv.dim(), 8);
         assert!((sv.norm() - 1.0).abs() < 1e-15);
         assert_eq!(sv.amplitudes()[0], C64::ONE);
+    }
+
+    #[test]
+    fn embed_matches_remapped_full_register_prep() {
+        // Applying prep gates on a small register and embedding must give
+        // the same state as applying the remapped gates to the wide zero
+        // state — including non-contiguous, reordered target qubits.
+        let mut rng = StdRng::seed_from_u64(31);
+        for qubits in [vec![0usize, 1], vec![3, 1], vec![4, 0, 2]] {
+            let m = qubits.len();
+            let n = 5;
+            let mut sub = StateVector::zero_state(m);
+            let mut full = StateVector::zero_state(n);
+            for (j, &q) in qubits.iter().enumerate() {
+                let theta = rng.gen_range(0.0..6.0);
+                sub.apply_h(j);
+                sub.apply_phase(j, theta);
+                full.apply_h(q);
+                full.apply_phase(q, theta);
+            }
+            if m >= 2 {
+                sub.apply_cx(0, 1);
+                full.apply_cx(qubits[0], qubits[1]);
+            }
+            let embedded = StateVector::embed(&sub, &qubits, n);
+            assert_eq!(embedded.n_qubits(), n);
+            assert_eq!(embedded.amplitudes(), full.amplitudes());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate embed qubits")]
+    fn embed_rejects_duplicate_qubits() {
+        let sub = StateVector::zero_state(2);
+        let _ = StateVector::embed(&sub, &[1, 1], 3);
     }
 
     #[test]

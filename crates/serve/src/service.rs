@@ -526,23 +526,61 @@ mod tests {
 
     #[test]
     fn env_config_parses_and_ignores_garbage() {
-        // Serialized with other env-touching tests by cargo's per-crate
-        // test binary: this is the only test in this crate touching these
-        // variables.
-        std::env::set_var("MORPH_SERVE_WORKERS", "3");
-        std::env::set_var("MORPH_SERVE_QUEUE_CAP", "17");
-        let config = ServeConfig::from_env();
-        assert_eq!(config.workers, 3);
-        assert_eq!(config.queue_capacity, 17);
-
-        std::env::set_var("MORPH_SERVE_WORKERS", "not-a-number");
-        std::env::set_var("MORPH_SERVE_QUEUE_CAP", "0");
-        let config = ServeConfig::from_env();
-        assert_eq!(config.workers, ServeConfig::default().workers);
-        assert_eq!(config.queue_capacity, ServeConfig::default().queue_capacity);
-
-        std::env::remove_var("MORPH_SERVE_WORKERS");
-        std::env::remove_var("MORPH_SERVE_QUEUE_CAP");
+        // `set_var` in a threaded test harness races with `getenv` anywhere
+        // else in the process (and is outright UB on glibc), so each env
+        // combination is probed in a re-exec'd child process whose
+        // environment is fixed at spawn time. The child re-enters this test
+        // with `MORPH_SERVE_ENV_PROBE=workers,queue` holding the expected
+        // parse and reports through its exit code.
+        if let Some(expect) = std::env::var_os("MORPH_SERVE_ENV_PROBE") {
+            let expect = expect.into_string().expect("utf-8 probe expectation");
+            let (w, q) = expect.split_once(',').expect("workers,queue");
+            let config = ServeConfig::from_env();
+            let ok = config.workers == w.parse::<usize>().unwrap()
+                && config.queue_capacity == q.parse::<usize>().unwrap();
+            std::process::exit(if ok { 3 } else { 4 });
+        }
+        let exe = std::env::current_exe().expect("test binary path");
+        let default = ServeConfig::default();
+        let probe = |vars: &[(&str, &str)], expect_w: usize, expect_q: usize| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.args([
+                "--exact",
+                "service::tests::env_config_parses_and_ignores_garbage",
+            ])
+            .env("MORPH_SERVE_ENV_PROBE", format!("{expect_w},{expect_q}"))
+            .env_remove("MORPH_SERVE_WORKERS")
+            .env_remove("MORPH_SERVE_QUEUE_CAP")
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null());
+            for (k, v) in vars {
+                cmd.env(k, v);
+            }
+            cmd.status().expect("spawn probe child").code()
+        };
+        assert_eq!(
+            probe(
+                &[
+                    ("MORPH_SERVE_WORKERS", "3"),
+                    ("MORPH_SERVE_QUEUE_CAP", "17")
+                ],
+                3,
+                17,
+            ),
+            Some(3)
+        );
+        assert_eq!(
+            probe(
+                &[
+                    ("MORPH_SERVE_WORKERS", "not-a-number"),
+                    ("MORPH_SERVE_QUEUE_CAP", "0"),
+                ],
+                default.workers,
+                default.queue_capacity,
+            ),
+            Some(3)
+        );
+        assert_eq!(probe(&[], default.workers, default.queue_capacity), Some(3));
     }
 
     #[test]

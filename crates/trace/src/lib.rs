@@ -574,15 +574,45 @@ mod tests {
         set_enabled(false);
     }
 
+    /// Exit codes the re-exec'd probe child reports its result through
+    /// (distinct from libtest's 0/101 so a harness failure can't be
+    /// mistaken for a probe verdict).
+    const PROBE_ENABLED: i32 = 3;
+    const PROBE_DISABLED: i32 = 4;
+
     #[test]
     fn enable_from_env_only_reacts_to_nonzero() {
-        let _g = serial();
-        set_enabled(false);
-        std::env::set_var("MORPH_TRACE", "0");
-        assert!(!enable_from_env());
-        std::env::set_var("MORPH_TRACE", "1");
-        assert!(enable_from_env());
-        std::env::remove_var("MORPH_TRACE");
-        set_enabled(false);
+        // `set_var` in a threaded test harness races with `getenv` anywhere
+        // else in the process (and is outright UB on glibc), so the env
+        // mutation runs in a re-exec'd child process instead: the child
+        // re-enters this very test with `MORPH_TRACE_ENV_PROBE` set, calls
+        // `enable_from_env` against an environment fixed at spawn time, and
+        // reports through its exit code.
+        if std::env::var_os("MORPH_TRACE_ENV_PROBE").is_some() {
+            let code = if enable_from_env() {
+                PROBE_ENABLED
+            } else {
+                PROBE_DISABLED
+            };
+            std::process::exit(code);
+        }
+        let exe = std::env::current_exe().expect("test binary path");
+        let probe = |value: Option<&str>| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.args(["--exact", "tests::enable_from_env_only_reacts_to_nonzero"])
+                .env("MORPH_TRACE_ENV_PROBE", "1")
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null());
+            match value {
+                Some(v) => cmd.env("MORPH_TRACE", v),
+                None => cmd.env_remove("MORPH_TRACE"),
+            };
+            cmd.status().expect("spawn probe child").code()
+        };
+        assert_eq!(probe(None), Some(PROBE_DISABLED));
+        assert_eq!(probe(Some("")), Some(PROBE_DISABLED));
+        assert_eq!(probe(Some("0")), Some(PROBE_DISABLED));
+        assert_eq!(probe(Some("1")), Some(PROBE_ENABLED));
+        assert_eq!(probe(Some("json")), Some(PROBE_ENABLED));
     }
 }

@@ -5,10 +5,15 @@
 //! must match dense matrix-vector application, and the executor's fused
 //! path must be indistinguishable from unfused execution.
 
+use morphqpv_suite::core::{characterize, CharacterizationConfig, SweepMode};
 use morphqpv_suite::linalg::{CMatrix, C64};
 use morphqpv_suite::qprog::{fuse_circuit, Circuit, Executor, TracepointId};
-use morphqpv_suite::qsim::{matrices, DensityMatrix, Gate, StateVector};
+use morphqpv_suite::qsim::{
+    matrices, DensityBatch, DensityMatrix, Gate, NoiseModel, StateBatch, StateVector,
+};
+use morphqpv_suite::tomography::ReadoutMode;
 use proptest::prelude::*;
+use rand::SeedableRng;
 
 const TOL: f64 = 1e-12;
 
@@ -270,6 +275,94 @@ proptest! {
         let fused = fuse_circuit(&c);
         prop_assert!(fused.gate_count() <= c.gate_count());
         prop_assert_eq!(fused.n_qubits(), c.n_qubits());
+    }
+
+    /// Batched statevector execution is bit-identical to per-state
+    /// application, gate by gate, at every batch size including the
+    /// degenerate batch of 1.
+    #[test]
+    fn state_batch_matches_per_state_bitwise(
+        gates in proptest::collection::vec(arb_gate(4), 1..8),
+        batch_amps in proptest::collection::vec(arb_amplitudes(4), 1..6),
+    ) {
+        let mut singles: Vec<StateVector> = batch_amps
+            .into_iter()
+            .map(StateVector::from_amplitudes)
+            .collect();
+        let mut batch = StateBatch::from_states(&singles);
+        for gate in &gates {
+            batch.apply_gate(gate);
+            for (lane, s) in singles.iter_mut().enumerate() {
+                gate.apply(s);
+                let got = batch.lane(lane);
+                for i in 0..s.amplitudes().len() {
+                    // Exact equality: the gate-major pass must reproduce the
+                    // per-state arithmetic bit for bit.
+                    prop_assert_eq!(got.amplitudes()[i], s.amplitudes()[i]);
+                }
+            }
+        }
+    }
+
+    /// Batched density execution with channel noise is bit-identical to the
+    /// per-state density path (the noisy characterization arithmetic).
+    #[test]
+    fn density_batch_noisy_matches_per_state_bitwise(
+        gates in proptest::collection::vec(arb_gate(3), 1..6),
+        rhos in proptest::collection::vec(arb_density(3), 1..4),
+    ) {
+        let noise = NoiseModel::ibm_cairo();
+        let mut batch = DensityBatch::from_densities(&rhos);
+        let mut singles = rhos;
+        for gate in &gates {
+            batch.apply_gate(gate);
+            batch.apply_noise(&noise, gate);
+            for r in singles.iter_mut() {
+                r.apply_gate(gate);
+                noise.apply_to_density(r, gate);
+            }
+        }
+        for (lane, r) in singles.iter().enumerate() {
+            let got = batch.lane(lane);
+            for i in 0..r.matrix().rows() {
+                for j in 0..r.matrix().cols() {
+                    prop_assert_eq!(got.matrix()[(i, j)], r.matrix()[(i, j)]);
+                }
+            }
+        }
+    }
+
+    /// The batched characterization sweep is bit-identical to the per-state
+    /// oracle at every worker count, with shot readout exercising the
+    /// per-input RNG streams.
+    #[test]
+    fn batched_characterization_matches_per_state_oracle(
+        seed in 0u64..1000,
+        n_samples in 1usize..7,
+        workers in 1usize..5,
+    ) {
+        let mut c = Circuit::new(3);
+        c.tracepoint(1, &[0]);
+        c.h(1).cx(0, 1).t(2).cx(1, 2);
+        c.tracepoint(2, &[0, 1, 2]);
+        let run = |sweep: SweepMode, parallelism: usize| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let config = CharacterizationConfig {
+                sweep,
+                parallelism,
+                readout: ReadoutMode::Shots(30),
+                ..CharacterizationConfig::exact(vec![0, 1], n_samples)
+            };
+            characterize(&c, &config, &mut rng)
+        };
+        let oracle = run(SweepMode::PerState, 1);
+        let batched = run(SweepMode::Batched, workers);
+        prop_assert_eq!(&oracle.ledger, &batched.ledger);
+        for (id, states) in &oracle.traces {
+            for (a, b) in states.iter().zip(&batched.traces[id]) {
+                prop_assert_eq!(a, b, "trace at {} drifted from the oracle", id);
+            }
+        }
     }
 
     /// Parallel density kernels are bit-identical at every worker count.
