@@ -1,0 +1,60 @@
+//! Pluggable simulation backends for the MorphQPV reproduction.
+//!
+//! Characterization sweeps sample Clifford input states, and many benchmark
+//! circuits are Clifford(-prefixed) or low-entanglement. This crate lets
+//! those workloads skip the dense O(2^n) register:
+//!
+//! - [`Simulator`]: the backend trait — prepare, apply gates, apply noise
+//!   channels where supported, read tracepoint reduced density matrices.
+//! - [`DenseSim`] / [`DenseDensitySim`]: the existing statevector and
+//!   density-matrix kernels behind the trait (the density backend is the
+//!   only one that supports channels).
+//! - [`StabilizerSim`]: Aaronson–Gottesman tableau with exact global-phase
+//!   readout ([`morph_clifford::StabilizerState`]) — O(n²) per gate.
+//! - [`SparseSim`]: hash-map statevector mirroring the dense kernels'
+//!   per-amplitude arithmetic bit for bit, with a nonzero budget and
+//!   automatic spill to dense.
+//! - [`analyze`] / [`plan_characterization`]: the circuit-analysis pass
+//!   (Clifford-ness, Clifford-prefix split, nonzero-growth estimate) and
+//!   the selection policy behind `BackendMode::Auto`.
+//!
+//! Selection decisions are published as `backend/*` morph-trace counters
+//! and surface in serve/CLI run reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use morph_backend::{plan_characterization, BackendChoice, PlanInputs};
+//! use morph_qprog::{BackendMode, Circuit};
+//!
+//! let mut ghz = Circuit::new(20);
+//! ghz.h(0);
+//! for q in 1..20 {
+//!     ghz.cx(q - 1, q);
+//! }
+//! ghz.tracepoint(1, &[0, 19]);
+//! let plan = plan_characterization(&PlanInputs {
+//!     circuit: &ghz,
+//!     mode: BackendMode::Auto,
+//!     noiseless: true,
+//!     n_input_qubits: 2,
+//!     preps_clifford: true,
+//! });
+//! assert_eq!(plan.choice, BackendChoice::Stabilizer);
+//! ```
+
+mod analysis;
+mod select;
+mod simulator;
+mod sparse;
+
+pub use analysis::{analyze, is_branching_gate, is_clifford_gate, suffix_circuit, CircuitAnalysis};
+pub use select::{
+    plan_characterization, BackendChoice, BackendPlan, PlanInputs, DENSE_HANDOFF_MAX_QUBITS,
+    PREFIX_MIN_GATES, PREFIX_MIN_QUBITS, SPARSE_HEADROOM_QUBITS, SPARSE_MIN_QUBITS,
+    STABILIZER_MIN_QUBITS,
+};
+pub use simulator::{
+    BackendError, BackendKind, DenseDensitySim, DenseSim, Simulator, StabilizerSim,
+};
+pub use sparse::{default_budget, SparseSim};

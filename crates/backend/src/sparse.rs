@@ -1,0 +1,627 @@
+//! Sparse statevector backend.
+//!
+//! Amplitudes live in a `BTreeMap<usize, C64>` keyed by basis index
+//! (ascending iteration matches the dense kernels' scan order). Every
+//! kernel evaluates the **same scalar expressions** as the dense
+//! specialized kernels in `morph_qsim::StateVector`, with `C64::ZERO`
+//! standing in for absent amplitudes — so every nonzero amplitude is
+//! bit-identical to the dense register's, at every point in the circuit.
+//! (Exactly-zero amplitudes may differ in the sign of zero, but a ±0 can
+//! never perturb a nonzero sum, dropped entries never reach the readout,
+//! and the dense reduced-density-matrix scan skips `== 0` amplitudes —
+//! so no observable ever sees the difference. The backend parity suite
+//! in `tests/simulator_kernels.rs` enforces this bit-for-bit.)
+//!
+//! When the nonzero count exceeds the budget the state spills to a dense
+//! [`StateVector`] (announced on the `backend/sparse_spills` counter) and
+//! the remaining gates run on the dense kernels directly.
+
+use std::collections::BTreeMap;
+
+use morph_linalg::{CMatrix, C64};
+use morph_qsim::{matrices, Gate, StateVector};
+
+use crate::simulator::{BackendError, BackendKind, Simulator};
+
+/// Upper bound for the spill register: past this width the dense
+/// fallback would not fit in memory, so the budget must hold.
+const SPILL_MAX_QUBITS: usize = 28;
+
+/// Sparse statevector simulator (see the module docs for the exactness
+/// contract).
+///
+/// # Examples
+///
+/// ```
+/// use morph_backend::{Simulator, SparseSim};
+/// use morph_qsim::Gate;
+///
+/// // A 24-qubit GHZ state is 2 nonzero amplitudes, not 2^24.
+/// let mut sim = SparseSim::new(24);
+/// sim.apply_gate(&Gate::H(0)).unwrap();
+/// for q in 1..24 {
+///     sim.apply_gate(&Gate::CX(q - 1, q)).unwrap();
+/// }
+/// assert_eq!(sim.nonzeros(), 2);
+/// assert!(sim.expectation_z(23).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseSim {
+    n: usize,
+    budget: usize,
+    amps: BTreeMap<usize, C64>,
+    dense: Option<StateVector>,
+}
+
+/// Default nonzero budget for an `n`-qubit register: a quarter of the
+/// full register (sparse stops paying off well before that), capped at
+/// 2^20 entries so wide registers don't hoard memory before spilling.
+pub fn default_budget(n_qubits: usize) -> usize {
+    1usize << n_qubits.saturating_sub(2).min(20)
+}
+
+impl SparseSim {
+    /// Starts from `|0…0⟩` with the [`default_budget`].
+    pub fn new(n_qubits: usize) -> Self {
+        Self::with_budget(n_qubits, default_budget(n_qubits))
+    }
+
+    /// Starts from `|0…0⟩` with an explicit nonzero budget.
+    pub fn with_budget(n_qubits: usize, budget: usize) -> Self {
+        let mut amps = BTreeMap::new();
+        amps.insert(0usize, C64::ONE);
+        SparseSim {
+            n: n_qubits,
+            budget: budget.max(1),
+            amps,
+            dense: None,
+        }
+    }
+
+    /// Starts from a prepared state, keeping only its nonzero amplitudes.
+    pub fn from_statevector(state: &StateVector) -> Self {
+        let mut sim = Self::with_budget(state.n_qubits(), default_budget(state.n_qubits()));
+        sim.amps.clear();
+        for (i, &a) in state.amplitudes().iter().enumerate() {
+            if a != C64::ZERO {
+                sim.amps.insert(i, a);
+            }
+        }
+        sim
+    }
+
+    /// Current nonzero-amplitude count (the spilled dense register counts
+    /// its nonzero entries).
+    pub fn nonzeros(&self) -> usize {
+        match &self.dense {
+            Some(sv) => sv.amplitudes().iter().filter(|&&a| a != C64::ZERO).count(),
+            None => self.amps.len(),
+        }
+    }
+
+    /// `true` once the state has spilled to the dense register.
+    pub fn spilled(&self) -> bool {
+        self.dense.is_some()
+    }
+
+    /// Materializes the dense statevector.
+    pub fn to_statevector(&self) -> StateVector {
+        match &self.dense {
+            Some(sv) => sv.clone(),
+            None => {
+                let mut amps = vec![C64::ZERO; 1usize << self.n];
+                for (&i, &a) in &self.amps {
+                    amps[i] = a;
+                }
+                StateVector::from_normalized_amplitudes(amps)
+            }
+        }
+    }
+
+    fn shift(&self, qubit: usize) -> usize {
+        assert!(qubit < self.n, "qubit {qubit} out of range");
+        self.n - 1 - qubit
+    }
+
+    fn get(&self, idx: usize) -> C64 {
+        self.amps.get(&idx).copied().unwrap_or(C64::ZERO)
+    }
+
+    fn set(&mut self, idx: usize, v: C64) {
+        if v == C64::ZERO {
+            self.amps.remove(&idx);
+        } else {
+            self.amps.insert(idx, v);
+        }
+    }
+
+    /// Group bases (indices with all `group_mask` bits cleared) that have
+    /// at least one nonzero member — the only groups a kernel can change.
+    fn touched_bases(&self, group_mask: usize) -> Vec<usize> {
+        let mut bases: Vec<usize> = self.amps.keys().map(|&k| k & !group_mask).collect();
+        // Clearing mask bits does not preserve key order, so equal bases
+        // may be non-adjacent: sort before deduplicating. (Group order is
+        // irrelevant to the values — groups are disjoint index sets.)
+        bases.sort_unstable();
+        bases.dedup();
+        bases
+    }
+
+    /// Mirrors `StateVector::apply_1q`: `u00·a0 + u01·a1` / `u10·a0 +
+    /// u11·a1` per index pair.
+    fn apply_1q(&mut self, u: &CMatrix, qubit: usize) {
+        let mask = 1usize << self.shift(qubit);
+        let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
+        for base in self.touched_bases(mask) {
+            let a0 = self.get(base);
+            let a1 = self.get(base | mask);
+            self.set(base, u00 * a0 + u01 * a1);
+            self.set(base | mask, u10 * a0 + u11 * a1);
+        }
+    }
+
+    /// Mirrors `StateVector::apply_h`: `(a0 ± a1).scale(h)`.
+    fn apply_h(&mut self, qubit: usize) {
+        let h = 1.0 / 2f64.sqrt();
+        let mask = 1usize << self.shift(qubit);
+        for base in self.touched_bases(mask) {
+            let a0 = self.get(base);
+            let a1 = self.get(base | mask);
+            self.set(base, (a0 + a1).scale(h));
+            self.set(base | mask, (a0 - a1).scale(h));
+        }
+    }
+
+    /// Basis permutation `idx ↦ perm(idx)` (X, CX, SWAP): values move,
+    /// no arithmetic touches them.
+    fn permute(&mut self, perm: impl Fn(usize) -> usize) {
+        let old = std::mem::take(&mut self.amps);
+        for (i, a) in old {
+            self.amps.insert(perm(i), a);
+        }
+    }
+
+    /// Diagonal update on every stored amplitude whose index satisfies
+    /// `pred`; exact-zero results are dropped afterwards.
+    fn map_where(&mut self, pred: impl Fn(usize) -> bool, f: impl Fn(C64) -> C64) {
+        for (&i, v) in self.amps.iter_mut() {
+            if pred(i) {
+                *v = f(*v);
+            }
+        }
+        self.amps.retain(|_, v| *v != C64::ZERO);
+    }
+
+    /// Mirrors `StateVector::apply_controlled_1q`: pairs within the
+    /// all-controls-set subspace.
+    fn apply_controlled_1q(&mut self, u: &CMatrix, controls: &[usize], target: usize) {
+        let tmask = 1usize << self.shift(target);
+        let cmask: usize = controls
+            .iter()
+            .map(|&c| {
+                assert_ne!(c, target, "control equals target");
+                1usize << self.shift(c)
+            })
+            .sum();
+        let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
+        let mut bases: Vec<usize> = self
+            .amps
+            .keys()
+            .filter(|&&k| k & cmask == cmask)
+            .map(|&k| k & !tmask)
+            .collect();
+        bases.sort_unstable();
+        bases.dedup();
+        for i in bases {
+            let j = i | tmask;
+            let a0 = self.get(i);
+            let a1 = self.get(j);
+            self.set(i, u00 * a0 + u01 * a1);
+            self.set(j, u10 * a0 + u11 * a1);
+        }
+    }
+
+    /// Mirrors `StateVector::apply_2q` (`q_a` the more significant target
+    /// bit): 4-element gather, ascending-column accumulation.
+    fn apply_2q(&mut self, u: &CMatrix, q_a: usize, q_b: usize) {
+        assert_ne!(q_a, q_b, "two-qubit gate targets must differ");
+        let (ma, mb) = (1usize << self.shift(q_a), 1usize << self.shift(q_b));
+        for i00 in self.touched_bases(ma | mb) {
+            let idxs = [i00, i00 | mb, i00 | ma, i00 | ma | mb];
+            let a = [
+                self.get(idxs[0]),
+                self.get(idxs[1]),
+                self.get(idxs[2]),
+                self.get(idxs[3]),
+            ];
+            for (r, &idx) in idxs.iter().enumerate() {
+                let mut acc = C64::ZERO;
+                for (c, &ac) in a.iter().enumerate() {
+                    acc += u[(r, c)] * ac;
+                }
+                self.set(idx, acc);
+            }
+        }
+    }
+
+    /// Mirrors `StateVector::apply_kq`: same `spread` table, same scratch
+    /// gather, same ascending accumulation.
+    fn apply_kq(&mut self, u: &CMatrix, targets: &[usize]) {
+        let k = targets.len();
+        assert_eq!(u.rows(), 1 << k, "operator size does not match targets");
+        match k {
+            1 => return self.apply_1q(u, targets[0]),
+            2 => return self.apply_2q(u, targets[0], targets[1]),
+            _ => {}
+        }
+        let shifts: Vec<usize> = targets.iter().map(|&q| self.shift(q)).collect();
+        {
+            let mut sorted = shifts.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicate targets");
+        }
+        let dk = 1usize << k;
+        let group_mask: usize = shifts.iter().map(|&s| 1usize << s).sum();
+        let spread: Vec<usize> = (0..dk)
+            .map(|t| {
+                let mut mask = 0usize;
+                for (bit, &s) in shifts.iter().enumerate() {
+                    if (t >> (k - 1 - bit)) & 1 == 1 {
+                        mask |= 1 << s;
+                    }
+                }
+                mask
+            })
+            .collect();
+        let mut scratch = vec![C64::ZERO; dk];
+        for base in self.touched_bases(group_mask) {
+            for (t, slot) in scratch.iter_mut().enumerate() {
+                *slot = self.get(base | spread[t]);
+            }
+            for r in 0..dk {
+                let mut acc = C64::ZERO;
+                for (c, &sc) in scratch.iter().enumerate() {
+                    acc += u[(r, c)] * sc;
+                }
+                self.set(base | spread[r], acc);
+            }
+        }
+    }
+
+    fn apply_gate_sparse(&mut self, gate: &Gate) {
+        match gate {
+            Gate::H(q) => self.apply_h(*q),
+            Gate::X(q) => {
+                let mask = 1usize << self.shift(*q);
+                self.permute(|i| i ^ mask);
+            }
+            Gate::Y(q) => self.apply_1q(&matrices::y(), *q),
+            Gate::Z(q) => {
+                let mask = 1usize << self.shift(*q);
+                self.map_where(|i| i & mask != 0, |a| -a);
+            }
+            Gate::S(q) => {
+                let mask = 1usize << self.shift(*q);
+                self.map_where(|i| i & mask != 0, |a| C64::new(-a.im, a.re));
+            }
+            Gate::Sdg(q) => {
+                let mask = 1usize << self.shift(*q);
+                self.map_where(|i| i & mask != 0, |a| C64::new(a.im, -a.re));
+            }
+            Gate::T(q) => self.apply_phase(*q, std::f64::consts::FRAC_PI_4),
+            Gate::Tdg(q) => self.apply_phase(*q, -std::f64::consts::FRAC_PI_4),
+            Gate::RX(q, a) => self.apply_1q(&matrices::rx(*a), *q),
+            Gate::RY(q, a) => self.apply_1q(&matrices::ry(*a), *q),
+            Gate::RZ(q, a) => self.apply_1q(&matrices::rz(*a), *q),
+            Gate::Phase(q, a) => self.apply_phase(*q, *a),
+            Gate::CX(c, t) => {
+                assert_ne!(c, t, "control equals target");
+                let cmask = 1usize << self.shift(*c);
+                let tmask = 1usize << self.shift(*t);
+                self.permute(|i| if i & cmask != 0 { i ^ tmask } else { i });
+            }
+            Gate::CZ(a, b) => {
+                assert_ne!(a, b, "control equals target");
+                let both = (1usize << self.shift(*a)) | (1usize << self.shift(*b));
+                self.map_where(|i| i & both == both, |a| -a);
+            }
+            Gate::CRZ(c, t, a) => self.apply_controlled_1q(&matrices::rz(*a), &[*c], *t),
+            Gate::CPhase(c, t, a) => self.apply_controlled_1q(&matrices::phase(*a), &[*c], *t),
+            Gate::Swap(a, b) => {
+                assert_ne!(a, b, "swap requires distinct qubits");
+                let ma = 1usize << self.shift(*a);
+                let mb = 1usize << self.shift(*b);
+                self.permute(|i| {
+                    let (ba, bb) = (i & ma != 0, i & mb != 0);
+                    if ba != bb {
+                        i ^ ma ^ mb
+                    } else {
+                        i
+                    }
+                });
+            }
+            Gate::CCX(c1, c2, t) => self.apply_controlled_1q(&matrices::x(), &[*c1, *c2], *t),
+            Gate::MCZ(qs) => {
+                let mask: usize = qs.iter().map(|&q| 1usize << self.shift(q)).sum();
+                self.map_where(|i| i & mask == mask, |a| -a);
+            }
+            Gate::MCRX(cs, t, a) => self.apply_controlled_1q(&matrices::rx(*a), cs, *t),
+            Gate::MCRY(cs, t, a) => self.apply_controlled_1q(&matrices::ry(*a), cs, *t),
+            Gate::Unitary(qs, u) => self.apply_kq(u, qs),
+        }
+    }
+
+    /// Mirrors `StateVector::apply_phase`: `a *= cis(θ)` where the bit is
+    /// set.
+    fn apply_phase(&mut self, qubit: usize, theta: f64) {
+        let mask = 1usize << self.shift(qubit);
+        let phase = C64::cis(theta);
+        self.map_where(|i| i & mask != 0, |a| a * phase);
+    }
+
+    fn spill(&mut self) {
+        assert!(
+            self.n < SPILL_MAX_QUBITS,
+            "sparse register of {} qubits exceeded its nonzero budget ({}) \
+             and is too wide to spill to dense",
+            self.n,
+            self.budget
+        );
+        morph_trace::counter("backend/sparse_spills", 1);
+        self.dense = Some(self.to_statevector());
+        self.amps.clear();
+    }
+}
+
+impl Simulator for SparseSim {
+    fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sparse
+    }
+
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), BackendError> {
+        match &mut self.dense {
+            Some(sv) => gate.apply(sv),
+            None => {
+                self.apply_gate_sparse(gate);
+                if self.amps.len() > self.budget {
+                    self.spill();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Mirrors `StateVector::reduced_density_matrix` exactly: first-seen
+    /// environment-slot order over the ascending nonzero scan, ascending
+    /// indices within each bucket, identical accumulation order — so the
+    /// result is bit-identical to the dense readout.
+    fn tracepoint_rdm(&self, qubits: &[usize]) -> CMatrix {
+        if let Some(sv) = &self.dense {
+            return sv.reduced_density_matrix(qubits);
+        }
+        let k = qubits.len();
+        let shifts: Vec<usize> = qubits.iter().map(|&q| self.shift(q)).collect();
+        {
+            let mut sorted = shifts.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                k,
+                "duplicate qubits in reduced_density_matrix"
+            );
+        }
+        let dk = 1usize << k;
+        let keep_mask: usize = shifts.iter().map(|&s| 1usize << s).sum();
+        let env_mask = !keep_mask & ((1usize << self.n) - 1);
+        let extract = |i: usize| -> usize {
+            let mut idx = 0usize;
+            for (bit, &s) in shifts.iter().enumerate() {
+                if (i >> s) & 1 == 1 {
+                    idx |= 1 << (k - 1 - bit);
+                }
+            }
+            idx
+        };
+        let mut rho = CMatrix::zeros(dk, dk);
+        let mut buckets: Vec<Vec<(usize, C64)>> = Vec::new();
+        let mut env_index_of = std::collections::HashMap::new();
+        for (&i, &a) in &self.amps {
+            if a == C64::ZERO {
+                continue;
+            }
+            let env = i & env_mask;
+            let slot = *env_index_of.entry(env).or_insert_with(|| {
+                buckets.push(Vec::new());
+                buckets.len() - 1
+            });
+            buckets[slot].push((extract(i), a));
+        }
+        for bucket in &buckets {
+            for &(r, ar) in bucket {
+                for &(c, ac) in bucket {
+                    rho[(r, c)] += ar * ac.conj();
+                }
+            }
+        }
+        rho
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_gate(n: usize, rng: &mut StdRng) -> Gate {
+        let q = rng.gen_range(0..n);
+        match rng.gen_range(0..14) {
+            0 => Gate::H(q),
+            1 => Gate::X(q),
+            2 => Gate::Y(q),
+            3 => Gate::Z(q),
+            4 => Gate::S(q),
+            5 => Gate::T(q),
+            6 => Gate::RX(q, rng.gen_range(-3.0..3.0)),
+            7 => Gate::RY(q, rng.gen_range(-3.0..3.0)),
+            8 => Gate::RZ(q, rng.gen_range(-3.0..3.0)),
+            9 => Gate::Phase(q, rng.gen_range(-3.0..3.0)),
+            g if n >= 2 => {
+                let mut p = rng.gen_range(0..n);
+                while p == q {
+                    p = rng.gen_range(0..n);
+                }
+                match g {
+                    10 => Gate::CX(q, p),
+                    11 => Gate::CZ(q, p),
+                    12 => Gate::Swap(q, p),
+                    _ => Gate::CPhase(q, p, rng.gen_range(-3.0..3.0)),
+                }
+            }
+            _ => Gate::Sdg(q),
+        }
+    }
+
+    /// The core contract: every nonzero amplitude bit-identical to the
+    /// dense kernels, arbitrary (non-Clifford) circuits included.
+    #[test]
+    fn nonzero_amplitudes_bitwise_match_dense() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..25 {
+            let n = rng.gen_range(1..=6);
+            let mut sim = SparseSim::with_budget(n, 1 << n);
+            let mut dense = StateVector::zero_state(n);
+            for step in 0..40 {
+                let g = random_gate(n, &mut rng);
+                sim.apply_gate(&g).unwrap();
+                g.apply(&mut dense);
+                for (&i, &a) in &sim.amps {
+                    assert!(
+                        a == dense.amplitudes()[i],
+                        "trial {trial} step {step} {g:?}: amp {i} {a:?} vs {:?}",
+                        dense.amplitudes()[i]
+                    );
+                }
+                for (i, &d) in dense.amplitudes().iter().enumerate() {
+                    if d != C64::ZERO {
+                        assert!(
+                            sim.amps.contains_key(&i),
+                            "trial {trial} step {step}: dense nonzero {i} missing"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rdm_bitwise_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..25 {
+            let n = rng.gen_range(2..=6);
+            let mut sim = SparseSim::with_budget(n, 1 << n);
+            let mut dense = StateVector::zero_state(n);
+            for _ in 0..30 {
+                let g = random_gate(n, &mut rng);
+                sim.apply_gate(&g).unwrap();
+                g.apply(&mut dense);
+            }
+            let k = rng.gen_range(1..=n.min(3));
+            let mut qubits: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                qubits.swap(i, j);
+            }
+            qubits.truncate(k);
+            let a = sim.tracepoint_rdm(&qubits);
+            let b = dense.reduced_density_matrix(&qubits);
+            for r in 0..(1 << k) {
+                for c in 0..(1 << k) {
+                    assert!(
+                        a[(r, c)] == b[(r, c)],
+                        "qubits {qubits:?} entry ({r},{c}): {:?} vs {:?}",
+                        a[(r, c)],
+                        b[(r, c)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ghz_stays_two_amplitudes() {
+        let mut sim = SparseSim::new(20);
+        sim.apply_gate(&Gate::H(0)).unwrap();
+        for q in 1..20 {
+            sim.apply_gate(&Gate::CX(q - 1, q)).unwrap();
+        }
+        assert_eq!(sim.nonzeros(), 2);
+        assert!(!sim.spilled());
+    }
+
+    #[test]
+    fn budget_overflow_spills_and_stays_correct() {
+        let mut sim = SparseSim::with_budget(4, 4);
+        let mut dense = StateVector::zero_state(4);
+        for q in 0..4 {
+            sim.apply_gate(&Gate::H(q)).unwrap();
+            Gate::H(q).apply(&mut dense);
+        }
+        assert!(sim.spilled(), "16 nonzeros over a budget of 4 must spill");
+        // Post-spill gates run dense and remain exact.
+        sim.apply_gate(&Gate::T(2)).unwrap();
+        Gate::T(2).apply(&mut dense);
+        let a = sim.tracepoint_rdm(&[2]);
+        let b = dense.reduced_density_matrix(&[2]);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(a[(r, c)], b[(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn kq_unitary_matches_dense() {
+        // Fusion emits Gate::Unitary payloads; exercise the k-qubit path.
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 5;
+        let mut sim = SparseSim::with_budget(n, 1 << n);
+        let mut dense = StateVector::zero_state(n);
+        for g in [Gate::H(0), Gate::H(2), Gate::CX(0, 3)] {
+            sim.apply_gate(&g).unwrap();
+            g.apply(&mut dense);
+        }
+        for targets in [vec![1usize, 3], vec![4, 0, 2]] {
+            // A random unitary via a product of elementary gates' full
+            // matrix on the target subspace.
+            let dim = 1usize << targets.len();
+            let mut u = CMatrix::identity(dim);
+            for _ in 0..4 {
+                let g = random_gate(targets.len(), &mut rng);
+                u = g.full_matrix(targets.len()).matmul(&u);
+            }
+            let g = Gate::Unitary(targets.clone(), u);
+            sim.apply_gate(&g).unwrap();
+            g.apply(&mut dense);
+            for (&i, &a) in &sim.amps {
+                assert!(a == dense.amplitudes()[i], "targets {targets:?} amp {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_statevector_round_trips() {
+        let mut dense = StateVector::zero_state(3);
+        Gate::H(1).apply(&mut dense);
+        Gate::CX(1, 2).apply(&mut dense);
+        let sim = SparseSim::from_statevector(&dense);
+        assert_eq!(sim.nonzeros(), 2);
+        assert_eq!(sim.to_statevector().amplitudes(), dense.amplitudes());
+    }
+}

@@ -64,6 +64,9 @@ fn config(parallelism: usize) -> CharacterizationConfig {
         noise: NoiseModel::noiseless(),
         parallelism,
         sweep: SweepMode::default(),
+        // Pin the dense path: this bench measures the dense sweep's
+        // parallel scaling, not backend selection.
+        backend: morphqpv::BackendMode::Dense,
     }
 }
 
@@ -114,6 +117,7 @@ fn batched_config(sweep: SweepMode, n: usize, samples: usize) -> Characterizatio
         noise: NoiseModel::noiseless(),
         parallelism: 1,
         sweep,
+        backend: morphqpv::BackendMode::Dense,
     }
 }
 

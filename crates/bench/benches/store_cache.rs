@@ -45,6 +45,7 @@ fn config() -> CharacterizationConfig {
         noise: NoiseModel::noiseless(),
         parallelism: 1,
         sweep: morphqpv::SweepMode::default(),
+        backend: morphqpv::BackendMode::Auto,
     }
 }
 

@@ -230,6 +230,7 @@ fn run() -> i32 {
         }
     }
     println!("cost: {}", report.ledger());
+    println!("backend: {}", report.run.backend.tag());
     if let Some(cache) = &cache {
         println!("cache: {}", cache.stats());
     }

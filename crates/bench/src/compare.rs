@@ -118,6 +118,7 @@ fn compare_programs_impl(
         noise: morph_qsim::NoiseModel::noiseless(),
         parallelism: config.parallelism,
         sweep: morphqpv::SweepMode::default(),
+        backend: morphqpv::BackendMode::Auto,
     };
     let inputs = char_config
         .ensemble
@@ -148,6 +149,8 @@ fn compare_programs_impl(
         inputs,
         traces,
         ledger,
+        // Both characterizations share a config, hence a backend plan.
+        backend: ch_cand.backend,
     };
 
     let assertion = AssumeGuarantee::new().guarantee_relation(

@@ -29,4 +29,4 @@ mod tableau;
 pub use sampling::{
     basis_prep, clifford_prep, pauli_product_prep, span_fraction, InputEnsemble, InputState,
 };
-pub use tableau::StabilizerTableau;
+pub use tableau::{NonCliffordGate, StabilizerState, StabilizerTableau};

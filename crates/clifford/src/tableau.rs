@@ -3,6 +3,15 @@
 //! Used to generate and validate the Clifford preparation circuits of the
 //! input-sampling stage. The tableau tracks the stabilizer group of the
 //! state produced by a Clifford circuit from `|0…0⟩` in O(n²) space.
+//!
+//! [`StabilizerState`] layers exact readout on top: a global-phase witness
+//! tracked through every gate, basis-amplitude queries, statevector
+//! extraction, and exact reduced density matrices — the machinery the
+//! stabilizer simulation backend uses to serve tracepoints without ever
+//! allocating a dense register.
+
+use morph_linalg::{CMatrix, C64};
+use morph_qsim::{Gate, StateVector};
 
 /// Stabilizer tableau of an `n`-qubit stabilizer state.
 ///
@@ -95,10 +104,32 @@ impl StabilizerTableau {
         }
     }
 
+    /// Applies the inverse phase gate S† on `q` natively: `X → −Y`,
+    /// `Y → X`, `Z → Z`.
+    pub fn sdg(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            let (xi, zi) = (self.x[i][q], self.z[i][q]);
+            if xi && !zi {
+                self.r[i] ^= true;
+            }
+            self.z[i][q] ^= xi;
+        }
+    }
+
     /// Applies Pauli X on `q` (phase bookkeeping only).
     pub fn x_gate(&mut self, q: usize) {
         for i in 0..2 * self.n {
             if self.z[i][q] {
+                self.r[i] ^= true;
+            }
+        }
+    }
+
+    /// Applies Pauli Y on `q`: anticommutes with both X and Z, so any row
+    /// with exactly one of the two bits set flips sign.
+    pub fn y_gate(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            if self.x[i][q] ^ self.z[i][q] {
                 self.r[i] ^= true;
             }
         }
@@ -110,6 +141,41 @@ impl StabilizerTableau {
             if self.x[i][q] {
                 self.r[i] ^= true;
             }
+        }
+    }
+
+    /// Applies controlled-Z on the (symmetric) pair natively:
+    /// `X_a → X_a Z_b`, `X_b → X_b Z_a`, Z untouched. The sign flips
+    /// exactly when both X bits are set and the Z bits differ (e.g.
+    /// `CZ (Y⊗X) CZ = −X⊗Y` while `CZ (X⊗X) CZ = +Y⊗Y`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "control equals target");
+        for i in 0..2 * self.n {
+            let (xa, za) = (self.x[i][a], self.z[i][a]);
+            let (xb, zb) = (self.x[i][b], self.z[i][b]);
+            if xa && xb && (za ^ zb) {
+                self.r[i] ^= true;
+            }
+            self.z[i][a] ^= xb;
+            self.z[i][b] ^= xa;
+        }
+    }
+
+    /// Applies SWAP natively: exchanges the two qubits' X and Z columns in
+    /// every row; no phase can change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "swap requires distinct qubits");
+        for i in 0..2 * self.n {
+            self.x[i].swap(a, b);
+            self.z[i].swap(a, b);
         }
     }
 
@@ -168,6 +234,688 @@ impl StabilizerTableau {
             }
         }
         rank == n
+    }
+}
+
+/// A Pauli operator `i^phase · ⊗_j W(x_j, z_j)` with `W(1,1) = Y`, used to
+/// multiply tableau rows while tracking the exact power of `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PauliRow {
+    x: Vec<bool>,
+    z: Vec<bool>,
+    /// Power of `i` (mod 4). Stabilizer-group elements always end up with
+    /// an even power (±1).
+    phase: u8,
+}
+
+/// Aaronson–Gottesman per-qubit phase contribution: the power of `i`
+/// produced when the single-qubit Pauli `(x1, z1)` left-multiplies
+/// `(x2, z2)` (e.g. `X·Z = −i Y` contributes −1).
+fn g_contrib(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+    match (x1, z1) {
+        (false, false) => 0,
+        (true, true) => z2 as i32 - x2 as i32,
+        (true, false) => (z2 as i32) * (2 * (x2 as i32) - 1),
+        (false, true) => (x2 as i32) * (1 - 2 * (z2 as i32)),
+    }
+}
+
+impl PauliRow {
+    fn identity(n: usize) -> Self {
+        PauliRow {
+            x: vec![false; n],
+            z: vec![false; n],
+            phase: 0,
+        }
+    }
+
+    fn from_stabilizer(tab: &StabilizerTableau, row: usize) -> Self {
+        PauliRow {
+            x: tab.x[row].clone(),
+            z: tab.z[row].clone(),
+            phase: if tab.r[row] { 2 } else { 0 },
+        }
+    }
+
+    /// `self ← self · other` with exact phase tracking.
+    fn mul_assign(&mut self, other: &PauliRow) {
+        let mut g: i32 = 0;
+        for j in 0..self.x.len() {
+            g += g_contrib(self.x[j], self.z[j], other.x[j], other.z[j]);
+            self.x[j] ^= other.x[j];
+            self.z[j] ^= other.z[j];
+        }
+        self.phase = (self.phase as i32 + other.phase as i32 + g).rem_euclid(4) as u8;
+    }
+
+    /// Applies the operator to basis state `|bits⟩`, returning the image
+    /// basis bits and the power of `i` picked up: `P|b⟩ = i^w |b ⊕ x⟩`.
+    fn apply_to_basis(&self, bits: &[bool]) -> (Vec<bool>, u8) {
+        let mut w = self.phase as i32;
+        let mut out = bits.to_vec();
+        for j in 0..self.x.len() {
+            match (self.x[j], self.z[j]) {
+                (false, true) => w += 2 * bits[j] as i32,
+                (true, true) => w += if bits[j] { 3 } else { 1 },
+                _ => {}
+            }
+            out[j] ^= self.x[j];
+        }
+        (out, w.rem_euclid(4) as u8)
+    }
+}
+
+/// Stabilizer generators reorganized for amplitude queries: X-type rows in
+/// reduced row-echelon form over their X bits (most significant qubit
+/// first), and the pure-Z rows that pin the support's base point.
+struct ReadoutBasis {
+    /// Rows with nonzero X part; `leads[i]` is the pivot qubit of row `i`.
+    xrows: Vec<PauliRow>,
+    leads: Vec<usize>,
+    /// Rows with zero X part (pure Z-type sign constraints).
+    zrows: Vec<PauliRow>,
+}
+
+impl ReadoutBasis {
+    fn new(tab: &StabilizerTableau) -> Self {
+        let n = tab.n;
+        let mut rows: Vec<PauliRow> = (n..2 * n)
+            .map(|i| PauliRow::from_stabilizer(tab, i))
+            .collect();
+        let mut xrows: Vec<PauliRow> = Vec::new();
+        let mut leads: Vec<usize> = Vec::new();
+        // Forward elimination over X bits, qubit 0 (most significant index
+        // bit) first. Row products go through `mul_assign` so phases stay
+        // exact.
+        let mut next = 0usize;
+        for col in 0..n {
+            let Some(p) = (next..rows.len()).find(|&r| rows[r].x[col]) else {
+                continue;
+            };
+            rows.swap(next, p);
+            let pivot = rows[next].clone();
+            for row in rows.iter_mut().skip(next + 1) {
+                if row.x[col] {
+                    row.mul_assign(&pivot);
+                }
+            }
+            xrows.push(pivot);
+            leads.push(col);
+            next += 1;
+        }
+        // Back-substitution to full RREF: clear each pivot column from the
+        // earlier rows so coset minimization is a single greedy pass.
+        for i in (0..xrows.len()).rev() {
+            let pivot = xrows[i].clone();
+            let col = leads[i];
+            for row in xrows.iter_mut().take(i) {
+                if row.x[col] {
+                    row.mul_assign(&pivot);
+                }
+            }
+        }
+        let zrows = rows.split_off(next);
+        ReadoutBasis {
+            xrows,
+            leads,
+            zrows,
+        }
+    }
+
+    /// A stabilizer-group element whose X part equals `diff`, or `None`
+    /// if `diff` is outside the X-part span (the target amplitude is 0).
+    fn element_with_x_part(&self, diff: &[bool]) -> Option<PauliRow> {
+        let n = diff.len();
+        let mut acc = PauliRow::identity(n);
+        let mut cur = diff.to_vec();
+        for (row, &lead) in self.xrows.iter().zip(&self.leads) {
+            if cur[lead] {
+                acc.mul_assign(row);
+                for (c, &x) in cur.iter_mut().zip(&row.x) {
+                    *c ^= x;
+                }
+            }
+        }
+        if cur.iter().any(|&b| b) {
+            return None;
+        }
+        Some(acc)
+    }
+
+    /// The support's minimum basis index (qubit 0 = most significant bit):
+    /// solve the pure-Z sign constraints for a particular point, then
+    /// greedily clear every pivot qubit with the RREF X rows.
+    fn base_point(&self, n: usize) -> Vec<bool> {
+        // Solve z·b ≡ phase/2 (mod 2) by Gaussian elimination on the
+        // pure-Z rows' Z bits. A selected pivot row is final the moment it
+        // is chosen (only unused rows keep getting reduced), so capture it
+        // then; its leading bit is its pivot column.
+        let mut rows: Vec<(Vec<bool>, bool)> = self
+            .zrows
+            .iter()
+            .map(|p| {
+                debug_assert_eq!(p.phase % 2, 0, "stabilizer element with odd i-power");
+                (p.z.clone(), (p.phase / 2) % 2 == 1)
+            })
+            .collect();
+        let mut used = vec![false; rows.len()];
+        let mut pivots: Vec<(usize, Vec<bool>, bool)> = Vec::new();
+        for col in 0..n {
+            let Some(p) = (0..rows.len()).find(|&r| !used[r] && rows[r].0[col]) else {
+                continue;
+            };
+            used[p] = true;
+            let (prow, prhs) = (rows[p].0.clone(), rows[p].1);
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != p && !used[r] && row.0[col] {
+                    for (b, &pb) in row.0.iter_mut().zip(&prow) {
+                        *b ^= pb;
+                    }
+                    row.1 ^= prhs;
+                }
+            }
+            pivots.push((col, prow, prhs));
+        }
+        // Back-substitute in descending pivot order (free bits stay 0), so
+        // every bit a row references past its pivot is already final.
+        let mut b = vec![false; n];
+        for (pivot, row, rhs) in pivots.iter().rev() {
+            let mut acc = *rhs;
+            for j in (pivot + 1)..n {
+                if row[j] && b[j] {
+                    acc ^= true;
+                }
+            }
+            b[*pivot] = acc;
+        }
+        // Minimize over the coset b ⊕ span(X parts).
+        for (row, &lead) in self.xrows.iter().zip(&self.leads) {
+            if b[lead] {
+                for (bit, &x) in b.iter_mut().zip(&row.x) {
+                    *bit ^= x;
+                }
+            }
+        }
+        b
+    }
+}
+
+/// The error returned when a gate outside the Clifford set {H, X, Y, Z, S,
+/// S†, CX, CZ, SWAP, MCZ(≤2)} is fed to a [`StabilizerState`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonCliffordGate(pub String);
+
+impl std::fmt::Display for NonCliffordGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gate is not in the tableau's Clifford set: {}", self.0)
+    }
+}
+
+impl std::error::Error for NonCliffordGate {}
+
+/// A stabilizer state with exact global phase: an Aaronson–Gottesman
+/// tableau plus one *witness* basis amplitude tracked through every gate,
+/// so the full state vector — not just the state up to phase — is
+/// recoverable.
+///
+/// Every nonzero amplitude of a stabilizer state is `e^{iπt/4} · 2^{−k/2}`
+/// for integers `t`, `k`; the witness stores that exact form for one
+/// support point. Monomial gates (everything but H) update it in O(1); H
+/// re-anchors it with one amplitude-ratio query against the tableau, O(n³)
+/// worst case — irrelevant next to the 2^n cost it replaces.
+///
+/// # Examples
+///
+/// ```
+/// use morph_clifford::StabilizerState;
+/// use morph_qsim::{Gate, StateVector};
+///
+/// let mut st = StabilizerState::new(2);
+/// st.apply_gate(&Gate::H(0)).unwrap();
+/// st.apply_gate(&Gate::CX(0, 1)).unwrap();
+/// let mut dense = StateVector::zero_state(2);
+/// Gate::H(0).apply(&mut dense);
+/// Gate::CX(0, 1).apply(&mut dense);
+/// assert!(st.to_statevector().approx_eq_up_to_phase(&dense, 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StabilizerState {
+    tab: StabilizerTableau,
+    /// Support point whose amplitude is tracked exactly (bit per qubit).
+    witness: Vec<bool>,
+    /// Witness amplitude `e^{iπ·t/4} · 2^{−k/2}`.
+    t: u8,
+    k: u32,
+}
+
+impl StabilizerState {
+    /// `|0…0⟩` with amplitude exactly 1.
+    pub fn new(n: usize) -> Self {
+        StabilizerState {
+            tab: StabilizerTableau::new(n),
+            witness: vec![false; n],
+            t: 0,
+            k: 0,
+        }
+    }
+
+    /// `|bits⟩` (qubit `j` set to `bits[j]`) with amplitude exactly 1.
+    pub fn from_basis(bits: &[bool]) -> Self {
+        let mut st = StabilizerState::new(bits.len());
+        for (q, &b) in bits.iter().enumerate() {
+            if b {
+                st.tab.x_gate(q);
+                st.witness[q] = true;
+            }
+        }
+        st
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.tab.n
+    }
+
+    /// Read access to the underlying tableau.
+    pub fn tableau(&self) -> &StabilizerTableau {
+        &self.tab
+    }
+
+    /// `true` if [`StabilizerState::apply_gate`] can simulate `gate`.
+    pub fn supports(gate: &Gate) -> bool {
+        matches!(
+            gate,
+            Gate::H(_)
+                | Gate::X(_)
+                | Gate::Y(_)
+                | Gate::Z(_)
+                | Gate::S(_)
+                | Gate::Sdg(_)
+                | Gate::CX(..)
+                | Gate::CZ(..)
+                | Gate::Swap(..)
+        ) || matches!(gate, Gate::MCZ(qs) if qs.len() <= 2 && !qs.is_empty())
+    }
+
+    /// Applies a Clifford gate, keeping the witness amplitude exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonCliffordGate`] (leaving the state untouched) for gates
+    /// the tableau cannot represent.
+    pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), NonCliffordGate> {
+        match gate {
+            Gate::H(q) => self.apply_h(*q),
+            Gate::X(q) => {
+                self.tab.x_gate(*q);
+                self.witness[*q] ^= true;
+            }
+            Gate::Y(q) => {
+                // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
+                self.t = (self.t + if self.witness[*q] { 6 } else { 2 }) % 8;
+                self.tab.y_gate(*q);
+                self.witness[*q] ^= true;
+            }
+            Gate::Z(q) => {
+                if self.witness[*q] {
+                    self.t = (self.t + 4) % 8;
+                }
+                self.tab.z_gate(*q);
+            }
+            Gate::S(q) => {
+                if self.witness[*q] {
+                    self.t = (self.t + 2) % 8;
+                }
+                self.tab.s(*q);
+            }
+            Gate::Sdg(q) => {
+                if self.witness[*q] {
+                    self.t = (self.t + 6) % 8;
+                }
+                self.tab.sdg(*q);
+            }
+            Gate::CX(c, t) => {
+                let flip = self.witness[*c];
+                self.tab.cx(*c, *t);
+                self.witness[*t] ^= flip;
+            }
+            Gate::CZ(a, b) => {
+                if self.witness[*a] && self.witness[*b] {
+                    self.t = (self.t + 4) % 8;
+                }
+                self.tab.cz(*a, *b);
+            }
+            Gate::Swap(a, b) => {
+                self.tab.swap(*a, *b);
+                self.witness.swap(*a, *b);
+            }
+            Gate::MCZ(qs) if qs.len() == 1 => return self.apply_gate(&Gate::Z(qs[0])),
+            Gate::MCZ(qs) if qs.len() == 2 => return self.apply_gate(&Gate::CZ(qs[0], qs[1])),
+            other => return Err(NonCliffordGate(format!("{other:?}"))),
+        }
+        Ok(())
+    }
+
+    /// Hadamard: the only gate that needs an amplitude-ratio query. The
+    /// two old amplitudes feeding the witness's new pair are combined in
+    /// exact `e^{iπt/4}·2^{−k/2}` arithmetic (their phase ratio is always
+    /// a 4th root of unity, so sums stay in the same form).
+    fn apply_h(&mut self, q: usize) {
+        let basis = ReadoutBasis::new(&self.tab);
+        let mut diff = vec![false; self.tab.n];
+        diff[q] = true;
+        // The support-internal ratio is i^w (±1 or ±i); as an eighth-root
+        // exponent that is 2w — always even, which `combine` relies on.
+        let partner = basis.element_with_x_part(&diff).map(|g| {
+            let (to, w) = g.apply_to_basis(&self.witness);
+            (to, (2 * w as u32) % 8)
+        });
+        let v = self.witness[q];
+        // Amplitudes at the q=0 / q=1 partners of the witness, as
+        // eighth-root exponents relative to magnitude 2^{−k/2}; None = 0.
+        let (t0, t1): (Option<u32>, Option<u32>) = {
+            let tw = self.t as u32;
+            match partner {
+                Some((_, dw)) => {
+                    let tp = (tw + dw) % 8;
+                    if v {
+                        (Some(tp), Some(tw))
+                    } else {
+                        (Some(tw), Some(tp))
+                    }
+                }
+                None => {
+                    if v {
+                        (None, Some(tw))
+                    } else {
+                        (Some(tw), None)
+                    }
+                }
+            }
+        };
+        // new0 = (a0 + a1)/√2, new1 = (a0 − a1)/√2.
+        let combine = |ta: Option<u32>, tb: Option<u32>, negate_b: bool| -> Option<(u32, u32)> {
+            let shift = if negate_b { 4 } else { 0 };
+            match (ta, tb) {
+                (None, None) => None,
+                (Some(a), None) => Some((a, self.k + 1)),
+                (None, Some(b)) => Some(((b + shift) % 8, self.k + 1)),
+                (Some(a), Some(b)) => {
+                    let d = (b + shift + 8 - a) % 8;
+                    match d {
+                        0 => Some((a, self.k - 1)),
+                        2 => Some(((a + 1) % 8, self.k)),
+                        4 => None,
+                        6 => Some(((a + 7) % 8, self.k)),
+                        _ => unreachable!("odd phase ratio inside one stabilizer state"),
+                    }
+                }
+            }
+        };
+        let new0 = combine(t0, t1, false);
+        let new1 = combine(t0, t1, true);
+        self.tab.h(q);
+        let (bit, (t, k)) = match (new0, new1) {
+            (Some(a), _) => (false, a),
+            (None, Some(b)) => (true, b),
+            (None, None) => unreachable!("H annihilated the witness support pair"),
+        };
+        self.witness[q] = bit;
+        self.t = t as u8;
+        self.k = k;
+    }
+
+    /// Exact amplitude `⟨bits|ψ⟩`.
+    ///
+    /// The magnitude `2^{−k/2}` and eighth-root phase are converted to
+    /// `f64` at the very end, so every query is exact up to one final
+    /// rounding per component.
+    pub fn basis_amplitude(&self, bits: &[bool]) -> C64 {
+        assert_eq!(bits.len(), self.tab.n, "basis width mismatch");
+        let basis = ReadoutBasis::new(&self.tab);
+        let diff: Vec<bool> = bits
+            .iter()
+            .zip(&self.witness)
+            .map(|(&a, &b)| a ^ b)
+            .collect();
+        match basis.element_with_x_part(&diff) {
+            None => C64::ZERO,
+            Some(g) => {
+                let (to, w) = g.apply_to_basis(&self.witness);
+                debug_assert_eq!(to, bits);
+                amp_c64((self.t as u32 + 2 * w as u32) % 8, self.k)
+            }
+        }
+    }
+
+    /// The exact amplitude of the support's minimum basis index — the
+    /// state's global phase anchor. Two runs that built the same state
+    /// through different gate sequences agree on this value exactly
+    /// (including the 2^{−k/2} magnitude).
+    pub fn global_phase(&self) -> C64 {
+        let basis = ReadoutBasis::new(&self.tab);
+        let anchor = basis.base_point(self.tab.n);
+        self.basis_amplitude(&anchor)
+    }
+
+    /// Materializes the dense state vector, global phase included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is 28 qubits or wider.
+    pub fn to_statevector(&self) -> StateVector {
+        let n = self.tab.n;
+        assert!(n < 28, "state vector would exceed memory budget");
+        let basis = ReadoutBasis::new(&self.tab);
+        let s = basis.xrows.len();
+        debug_assert_eq!(self.k, s as u32, "witness magnitude out of sync");
+        let mut amps = vec![C64::ZERO; 1 << n];
+        let base = basis.base_point(n);
+        // Anchor amplitude, then Gray-code over the X-row span: each step
+        // multiplies by one generator, an O(n) phase update.
+        let mut cur_bits = base.clone();
+        let diff: Vec<bool> = base
+            .iter()
+            .zip(&self.witness)
+            .map(|(&a, &b)| a ^ b)
+            .collect();
+        let g = basis
+            .element_with_x_part(&diff)
+            .expect("support base point must be reachable from the witness");
+        let (to, w) = g.apply_to_basis(&self.witness);
+        debug_assert_eq!(to, base);
+        let mut cur_t = (self.t as u32 + 2 * w as u32) % 8;
+        let index_of = |bits: &[bool]| -> usize {
+            bits.iter()
+                .enumerate()
+                .fold(0usize, |acc, (q, &b)| acc | ((b as usize) << (n - 1 - q)))
+        };
+        amps[index_of(&cur_bits)] = amp_c64(cur_t, self.k);
+        for code in 1usize..(1 << s) {
+            let flip = code.trailing_zeros() as usize;
+            let row = &basis.xrows[flip];
+            let (next, w) = row.apply_to_basis(&cur_bits);
+            cur_bits = next;
+            cur_t = (cur_t + 2 * w as u32) % 8;
+            amps[index_of(&cur_bits)] = amp_c64(cur_t, self.k);
+        }
+        StateVector::from_normalized_amplitudes(amps)
+    }
+
+    /// Exact reduced density matrix of the listed qubits (`qubits[0]` the
+    /// most significant reduced bit, matching
+    /// `StateVector::reduced_density_matrix`): `ρ_A = 2^{−|A|} Σ g|_A` over
+    /// the stabilizer-group elements supported inside `A`. Entries are
+    /// exact dyadic complex numbers — no 1/√2 rounding can enter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate or out-of-range qubits.
+    pub fn reduced_density_matrix(&self, qubits: &[usize]) -> CMatrix {
+        let n = self.tab.n;
+        let k = qubits.len();
+        for &q in qubits {
+            assert!(q < n, "tracepoint qubit {q} out of range");
+        }
+        {
+            let mut sorted = qubits.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                k,
+                "duplicate qubits in reduced_density_matrix"
+            );
+        }
+        let dk = 1usize << k;
+        let mut in_a = vec![usize::MAX; n];
+        for (j, &q) in qubits.iter().enumerate() {
+            in_a[q] = j;
+        }
+        // Kernel of the generator → outside-support map over GF(2): row i
+        // of M holds generator i's x/z bits on qubits outside A. Kernel
+        // vectors say which generator subsets multiply to an element
+        // supported inside A.
+        let outside: Vec<usize> = (0..n).filter(|&q| in_a[q] == usize::MAX).collect();
+        let width = 2 * outside.len();
+        let mut rows: Vec<(Vec<bool>, usize)> = (0..n)
+            .map(|i| {
+                let mut m = Vec::with_capacity(width);
+                for &q in &outside {
+                    m.push(self.tab.x[n + i][q]);
+                    m.push(self.tab.z[n + i][q]);
+                }
+                (m, i)
+            })
+            .collect();
+        // Eliminate: combine rows to zero their M part; rows that become
+        // all-zero yield kernel basis vectors (tracked as generator masks).
+        let mut masks: Vec<u64> = (0..n as u64).map(|i| 1u64 << i).collect();
+        let mut kernel: Vec<u64> = Vec::new();
+        let mut rank_rows: Vec<usize> = Vec::new();
+        for col in 0..width {
+            let Some(pos) = (0..rows.len())
+                .filter(|r| !rank_rows.contains(r))
+                .find(|&r| rows[r].0[col])
+            else {
+                continue;
+            };
+            let (prow, pmask) = (rows[pos].0.clone(), masks[pos]);
+            for r in 0..rows.len() {
+                if r != pos && !rank_rows.contains(&r) && rows[r].0[col] {
+                    for (b, &pb) in rows[r].0.iter_mut().zip(&prow) {
+                        *b ^= pb;
+                    }
+                    masks[r] ^= pmask;
+                }
+            }
+            rank_rows.push(pos);
+        }
+        for r in 0..rows.len() {
+            if !rank_rows.contains(&r) {
+                debug_assert!(rows[r].0.iter().all(|&b| !b));
+                kernel.push(masks[r]);
+            }
+        }
+        let d = kernel.len();
+        assert!(
+            d <= 2 * k,
+            "stabilizer subgroup dimension {d} exceeds 2·|A| = {}",
+            2 * k
+        );
+        // Precompute each kernel basis vector as a Pauli row.
+        let basis_rows: Vec<PauliRow> = kernel
+            .iter()
+            .map(|&mask| {
+                let mut acc = PauliRow::identity(n);
+                for i in 0..n {
+                    if (mask >> i) & 1 == 1 {
+                        acc.mul_assign(&PauliRow::from_stabilizer(&self.tab, n + i));
+                    }
+                }
+                acc
+            })
+            .collect();
+        let scale = 1.0 / dk as f64;
+        let mut rho = CMatrix::zeros(dk, dk);
+        // Gray-code over the subgroup; every element is ±(Pauli on A).
+        let mut acc = PauliRow::identity(n);
+        let add_element = |p: &PauliRow, rho: &mut CMatrix| {
+            debug_assert!(p.phase % 2 == 0, "subgroup element with odd i-power");
+            let mut x_a = 0usize;
+            for (j, &q) in qubits.iter().enumerate() {
+                if p.x[q] {
+                    x_a |= 1 << (k - 1 - j);
+                }
+            }
+            for row in 0..dk {
+                let col = row ^ x_a;
+                // ⟨row|W_j|col_j⟩ per qubit: X → 1, Z → (−1)^bit,
+                // Y → i at bit 1, −i at bit 0.
+                let mut w = p.phase as u32;
+                for (j, &q) in qubits.iter().enumerate() {
+                    let bit = (row >> (k - 1 - j)) & 1 == 1;
+                    match (p.x[q], p.z[q]) {
+                        (false, true) => w += 2 * bit as u32,
+                        (true, true) => w += if bit { 1 } else { 3 },
+                        _ => {}
+                    }
+                }
+                let v = match w % 4 {
+                    0 => C64::new(scale, 0.0),
+                    1 => C64::new(0.0, scale),
+                    2 => C64::new(-scale, 0.0),
+                    _ => C64::new(0.0, -scale),
+                };
+                rho[(row, col)] += v;
+            }
+        };
+        add_element(&acc, &mut rho);
+        for code in 1usize..(1 << d) {
+            let flip = code.trailing_zeros() as usize;
+            acc.mul_assign(&basis_rows[flip]);
+            add_element(&acc, &mut rho);
+        }
+        rho
+    }
+
+    /// `⟨Z_q⟩` read exactly off the one-qubit reduced density matrix.
+    pub fn expectation_z(&self, q: usize) -> f64 {
+        let rho = self.reduced_density_matrix(&[q]);
+        rho[(0, 0)].re - rho[(1, 1)].re
+    }
+}
+
+/// Converts the exact amplitude form `e^{iπt/4} · 2^{−k/2}` to `C64`.
+/// Even `t` and even `k` are fully exact; odd values round once through
+/// `FRAC_1_SQRT_2` — deterministically, which is what the backend parity
+/// guarantees rest on.
+fn amp_c64(t: u32, k: u32) -> C64 {
+    let mag = pow2_neg_half(k);
+    match t {
+        0 => C64::new(mag, 0.0),
+        2 => C64::new(0.0, mag),
+        4 => C64::new(-mag, 0.0),
+        6 => C64::new(0.0, -mag),
+        odd => {
+            let c = pow2_neg_half(k + 1);
+            match odd {
+                1 => C64::new(c, c),
+                3 => C64::new(-c, c),
+                5 => C64::new(-c, -c),
+                7 => C64::new(c, -c),
+                _ => unreachable!("eighth-root exponent out of range"),
+            }
+        }
+    }
+}
+
+/// `2^{−k/2}` with at most one rounding (exact for even `k`).
+fn pow2_neg_half(k: u32) -> f64 {
+    if k % 2 == 0 {
+        f64::from_bits(((1023 - (k as u64) / 2) << 52).max(1 << 52))
+    } else {
+        std::f64::consts::FRAC_1_SQRT_2 * pow2_neg_half(k - 1)
     }
 }
 
@@ -241,5 +989,262 @@ mod tests {
             }
         }
         assert!(tab.stabilizers_independent());
+    }
+
+    /// Dense oracle: run the same gates on a `StateVector` starting from
+    /// `|0…0⟩`.
+    fn dense_run(n: usize, gates: &[Gate]) -> StateVector {
+        let mut psi = StateVector::zero_state(n);
+        for g in gates {
+            g.apply(&mut psi);
+        }
+        psi
+    }
+
+    fn stabilizer_run(n: usize, gates: &[Gate]) -> StabilizerState {
+        let mut st = StabilizerState::new(n);
+        for g in gates {
+            st.apply_gate(g).expect("Clifford gate rejected");
+        }
+        st
+    }
+
+    fn assert_states_close(st: &StabilizerState, dense: &StateVector, ctx: &str) {
+        let sv = st.to_statevector();
+        assert_eq!(sv.n_qubits(), dense.n_qubits(), "{ctx}: width mismatch");
+        for (i, (&a, &b)) in sv
+            .amplitudes()
+            .iter()
+            .zip(dense.amplitudes().iter())
+            .enumerate()
+        {
+            assert!(
+                (a - b).abs() < 1e-12,
+                "{ctx}: amp {i} differs: tableau {a:?} vs dense {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pauli_row_single_qubit_products() {
+        let x = PauliRow {
+            x: vec![true],
+            z: vec![false],
+            phase: 0,
+        };
+        let z = PauliRow {
+            x: vec![false],
+            z: vec![true],
+            phase: 0,
+        };
+        // X·Z = −iY and Z·X = +iY.
+        let mut xz = x.clone();
+        xz.mul_assign(&z);
+        assert_eq!((xz.x[0], xz.z[0], xz.phase), (true, true, 3));
+        let mut zx = z.clone();
+        zx.mul_assign(&x);
+        assert_eq!((zx.x[0], zx.z[0], zx.phase), (true, true, 1));
+        // Z·Z = I.
+        let mut zz = z.clone();
+        zz.mul_assign(&z);
+        assert_eq!((zz.x[0], zz.z[0], zz.phase), (false, false, 0));
+    }
+
+    #[test]
+    fn native_gates_match_dense_oracle() {
+        // Each new native update (S†, Y, CZ, SWAP) checked on states where
+        // it acts nontrivially, against the dense simulator.
+        let programs: Vec<(&str, usize, Vec<Gate>)> = vec![
+            ("sdg on +", 1, vec![Gate::H(0), Gate::Sdg(0)]),
+            (
+                "sdg undoes s",
+                1,
+                vec![Gate::H(0), Gate::S(0), Gate::Sdg(0)],
+            ),
+            ("y on 0", 1, vec![Gate::Y(0)]),
+            ("y on +", 1, vec![Gate::H(0), Gate::Y(0)]),
+            ("y on 1", 1, vec![Gate::X(0), Gate::Y(0)]),
+            ("cz on ++", 2, vec![Gate::H(0), Gate::H(1), Gate::CZ(0, 1)]),
+            ("cz on 11", 2, vec![Gate::X(0), Gate::X(1), Gate::CZ(0, 1)]),
+            (
+                "swap entangled",
+                3,
+                vec![Gate::H(0), Gate::CX(0, 1), Gate::X(2), Gate::Swap(1, 2)],
+            ),
+            (
+                "mcz pair",
+                2,
+                vec![Gate::H(0), Gate::X(1), Gate::MCZ(vec![0, 1])],
+            ),
+        ];
+        for (name, n, gates) in programs {
+            let st = stabilizer_run(n, &gates);
+            let dense = dense_run(n, &gates);
+            assert_states_close(&st, &dense, name);
+        }
+    }
+
+    #[test]
+    fn monomial_circuits_read_out_bitwise_identical() {
+        // Without H every amplitude stays an exact eighth root; readout
+        // must match the dense simulator bit for bit.
+        let gates = vec![
+            Gate::X(0),
+            Gate::S(0),
+            Gate::Y(1),
+            Gate::CX(0, 2),
+            Gate::CZ(0, 1),
+            Gate::Sdg(2),
+            Gate::Z(1),
+            Gate::Swap(0, 2),
+        ];
+        let st = stabilizer_run(3, &gates);
+        let dense = dense_run(3, &gates);
+        let sv = st.to_statevector();
+        assert_eq!(
+            sv.amplitudes(),
+            dense.amplitudes(),
+            "monomial readout must be exact"
+        );
+    }
+
+    #[test]
+    fn non_clifford_gate_is_rejected_without_mutation() {
+        let mut st = stabilizer_run(2, &[Gate::H(0), Gate::CX(0, 1)]);
+        let before = st.clone();
+        let err = st.apply_gate(&Gate::T(0)).unwrap_err();
+        assert!(err.to_string().contains('T'), "{err}");
+        assert_eq!(st, before, "failed gate must not mutate the state");
+    }
+
+    #[test]
+    fn basis_amplitude_matches_statevector() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..30 {
+            let n = rng.gen_range(1..=5);
+            let gates = random_clifford_gates(n, 25, &mut rng);
+            let st = stabilizer_run(n, &gates);
+            let dense = dense_run(n, &gates);
+            for idx in 0..(1usize << n) {
+                let bits: Vec<bool> = (0..n).map(|q| (idx >> (n - 1 - q)) & 1 == 1).collect();
+                let amp = st.basis_amplitude(&bits);
+                assert!(
+                    (amp - dense.amplitudes()[idx]).abs() < 1e-12,
+                    "trial {trial} amp {idx}: {amp:?} vs {:?}",
+                    dense.amplitudes()[idx]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_clifford_circuits_match_dense_with_global_phase() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..40 {
+            let n = rng.gen_range(1..=6);
+            let gates = random_clifford_gates(n, 40, &mut rng);
+            let st = stabilizer_run(n, &gates);
+            let dense = dense_run(n, &gates);
+            assert_states_close(&st, &dense, &format!("trial {trial} (n={n})"));
+        }
+    }
+
+    #[test]
+    fn reduced_density_matrix_matches_dense() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..=6);
+            let gates = random_clifford_gates(n, 30, &mut rng);
+            let st = stabilizer_run(n, &gates);
+            let dense = dense_run(n, &gates);
+            let k = rng.gen_range(1..=n.min(3));
+            let mut qubits: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                qubits.swap(i, j);
+            }
+            qubits.truncate(k);
+            let rho_s = st.reduced_density_matrix(&qubits);
+            let rho_d = dense.reduced_density_matrix(&qubits);
+            for r in 0..(1 << k) {
+                for c in 0..(1 << k) {
+                    assert!(
+                        (rho_s[(r, c)] - rho_d[(r, c)]).abs() < 1e-12,
+                        "trial {trial} qubits {qubits:?} entry ({r},{c}): {:?} vs {:?}",
+                        rho_s[(r, c)],
+                        rho_d[(r, c)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_z_matches_dense_probabilities() {
+        let gates = vec![Gate::H(0), Gate::CX(0, 1), Gate::X(1)];
+        let st = stabilizer_run(2, &gates);
+        let dense = dense_run(2, &gates);
+        for q in 0..2 {
+            let expect = 1.0 - 2.0 * dense.prob_one(q);
+            assert!((st.expectation_z(q) - expect).abs() < 1e-12, "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn global_phase_is_gate_order_independent() {
+        // Two different gate sequences preparing the same state must agree
+        // on the anchor amplitude exactly.
+        let a = stabilizer_run(2, &[Gate::H(0), Gate::CX(0, 1)]);
+        let b = stabilizer_run(2, &[Gate::H(1), Gate::CX(1, 0)]);
+        assert_eq!(a.global_phase(), b.global_phase());
+        // S X S X = i·I, a pure global phase the witness must capture.
+        let gates = [Gate::S(0), Gate::X(0), Gate::S(0), Gate::X(0)];
+        let c = stabilizer_run(1, &gates);
+        let dense = dense_run(1, &gates);
+        assert_eq!(c.global_phase(), dense.amplitudes()[0]);
+    }
+
+    #[test]
+    fn from_basis_prepares_exact_basis_state() {
+        let st = StabilizerState::from_basis(&[true, false, true]);
+        let sv = st.to_statevector();
+        for (i, &a) in sv.amplitudes().iter().enumerate() {
+            let expect = if i == 0b101 { C64::ONE } else { C64::ZERO };
+            assert_eq!(a, expect, "index {i}");
+        }
+    }
+
+    fn random_clifford_gates(n: usize, len: usize, rng: &mut impl rand::Rng) -> Vec<Gate> {
+        (0..len)
+            .map(|_| {
+                let q = rng.gen_range(0..n);
+                match rng.gen_range(0..9) {
+                    0 => Gate::H(q),
+                    1 => Gate::X(q),
+                    2 => Gate::Y(q),
+                    3 => Gate::Z(q),
+                    4 => Gate::S(q),
+                    5 => Gate::Sdg(q),
+                    g if n >= 2 => {
+                        let mut p = rng.gen_range(0..n);
+                        while p == q {
+                            p = rng.gen_range(0..n);
+                        }
+                        match g {
+                            6 => Gate::CX(q, p),
+                            7 => Gate::CZ(q, p),
+                            _ => Gate::Swap(q, p),
+                        }
+                    }
+                    _ => Gate::S(q),
+                }
+            })
+            .collect()
     }
 }

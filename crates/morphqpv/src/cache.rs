@@ -48,11 +48,22 @@ use crate::characterize::{characterize_with_inputs, Characterization, Characteri
 /// rounding. `CharacterizationConfig::sweep` and `MORPH_CHAR_BATCH` are
 /// excluded like `parallelism`: batched and per-state sweeps are
 /// bit-identical at every batch size and worker count.
-pub const FINGERPRINT_DOMAIN: &str = "morphqpv/characterization/v3";
+///
+/// v4: S/S† execute as exact component swaps (`diag(1, ±i)` without a
+/// complex multiply), changing rounding on any circuit containing them,
+/// and the sweep may now run on stabilizer/sparse fast paths.
+/// `CharacterizationConfig::backend` and `MORPH_BACKEND` are excluded
+/// like `parallelism`: the sparse path is bit-identical to dense and the
+/// stabilizer path reads out algebraically exact states, so the backend
+/// must not fragment the cache.
+pub const FINGERPRINT_DOMAIN: &str = "morphqpv/characterization/v4";
 
 /// Version of the artifact payload layout inside the store envelope
 /// (the envelope's own schema version is `morph_store::SCHEMA_VERSION`).
-pub const ARTIFACT_VERSION: u32 = 1;
+///
+/// v2 added the `backend` field recording which simulation backend
+/// produced the artifact.
+pub const ARTIFACT_VERSION: u32 = 2;
 
 /// Computes the content address of a characterization run.
 ///
@@ -133,6 +144,7 @@ fn encode_artifact(ch: &Characterization) -> Value {
     m.insert("inputs".to_string(), ch.inputs.to_value());
     m.insert("traces".to_string(), traces_value);
     m.insert("ledger".to_string(), ch.ledger.to_value());
+    m.insert("backend".to_string(), Value::Str(ch.backend.tag()));
     Value::Object(m)
 }
 
@@ -163,10 +175,16 @@ fn decode_artifact(value: &Value) -> Result<Characterization, FromValueError> {
         }
     }
     let ledger = CostLedger::from_value(value.require("ledger")?)?;
+    let backend = value
+        .require("backend")?
+        .as_str()
+        .and_then(morph_backend::BackendChoice::from_tag)
+        .ok_or_else(|| FromValueError::new("backend must be a known backend tag"))?;
     Ok(Characterization {
         inputs,
         traces,
         ledger,
+        backend,
     })
 }
 
@@ -446,6 +464,15 @@ mod tests {
             ..config.clone()
         };
         assert_eq!(base, characterization_fingerprint(&circuit, &wide, 1));
+        // Neither does the backend mode: fast paths are value-equivalent
+        // to dense, so the backend must not fragment the cache.
+        for backend in morph_qprog::BackendMode::ALL {
+            let forced = CharacterizationConfig {
+                backend,
+                ..config.clone()
+            };
+            assert_eq!(base, characterization_fingerprint(&circuit, &forced, 1));
+        }
     }
 
     #[test]

@@ -9,9 +9,13 @@
 
 use std::collections::BTreeMap;
 
+use morph_backend::{
+    plan_characterization, suffix_circuit, BackendChoice, PlanInputs, Simulator, SparseSim,
+    StabilizerSim,
+};
 use morph_clifford::{InputEnsemble, InputState};
 use morph_linalg::CMatrix;
-use morph_qprog::{Circuit, Executor, Instruction, TracepointId};
+use morph_qprog::{BackendMode, Circuit, Executor, Instruction, TracepointId};
 use morph_qsim::{DensityMatrix, NoiseModel, StateVector};
 use morph_tomography::{read_state, CostLedger, ReadoutMode, SharedLedger};
 use rand::rngs::StdRng;
@@ -71,6 +75,15 @@ pub struct CharacterizationConfig {
     /// Sweep loop order (default: [`SweepMode::Batched`]). Bit-identical
     /// either way; `PerState` exists as the test oracle and a debugging aid.
     pub sweep: SweepMode,
+    /// Which simulation backend executes the sweep (default:
+    /// [`BackendMode::Auto`]). The `MORPH_BACKEND` environment variable
+    /// replaces `Auto` at plan time (explicitly forced modes keep their
+    /// say); the effective choice is recorded in
+    /// [`Characterization::backend`]. Like `parallelism` and `sweep`, the
+    /// mode is excluded from the cache fingerprint — fast paths are
+    /// value-equivalent to the dense kernels (bit-identical on the sparse
+    /// path; see DESIGN.md "Pluggable simulation backends").
+    pub backend: BackendMode,
 }
 
 impl CharacterizationConfig {
@@ -85,6 +98,7 @@ impl CharacterizationConfig {
             noise: NoiseModel::noiseless(),
             parallelism: 0,
             sweep: SweepMode::default(),
+            backend: BackendMode::Auto,
         }
     }
 
@@ -168,6 +182,12 @@ impl CharacterizationConfigBuilder {
         self
     }
 
+    /// Selects the simulation backend (default: [`BackendMode::Auto`]).
+    pub fn backend(mut self, backend: BackendMode) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> CharacterizationConfig {
         self.config
@@ -184,6 +204,9 @@ pub struct Characterization {
     pub traces: BTreeMap<TracepointId, Vec<CMatrix>>,
     /// Execution costs incurred.
     pub ledger: CostLedger,
+    /// The backend the sweep actually executed on (after `BackendMode`
+    /// resolution and eligibility checks).
+    pub backend: BackendChoice,
 }
 
 impl Characterization {
@@ -310,7 +333,10 @@ pub fn try_characterize_with_inputs(
     let n = circuit.n_qubits();
     let n_in = config.input_qubits.len();
     let ops_per_shot = circuit.op_cost() as u64;
-    let executor = Executor::builder().noise(config.noise).build();
+    let executor = Executor::builder()
+        .noise(config.noise)
+        .backend(config.backend)
+        .build();
     if !config.noise.is_noiseless() {
         assert!(
             n <= 12,
@@ -336,6 +362,24 @@ pub fn try_characterize_with_inputs(
     } else {
         circuit
     };
+
+    // Select the simulation backend for the whole sweep. All inputs run on
+    // one backend so the traces form a coherent family; eligibility covers
+    // the main circuit *and* every input's preparation circuit.
+    let preps_clifford = inputs.iter().all(|input| {
+        input.prep.instructions().iter().all(|inst| match inst {
+            Instruction::Gate(g) => morph_backend::is_clifford_gate(g),
+            Instruction::Barrier => true,
+            _ => false,
+        })
+    });
+    let plan = plan_characterization(&PlanInputs {
+        circuit,
+        mode: config.backend,
+        noiseless: config.noise.is_noiseless(),
+        n_input_qubits: n_in,
+        preps_clifford,
+    });
 
     let master = morph_parallel::derive_master(rng);
     let shared = SharedLedger::new();
@@ -392,12 +436,11 @@ pub fn try_characterize_with_inputs(
     // *global* input index, so batch size, sweep mode, and worker count all
     // produce bit-identical traces.
     let read_record = |i: usize,
-                       record: &morph_qprog::ExpectedRecord,
+                       tracepoints: &BTreeMap<TracepointId, CMatrix>,
                        local: &mut CostLedger|
      -> Vec<(TracepointId, CMatrix)> {
         let mut task_rng = morph_parallel::child_rng(master, i as u64);
-        record
-            .tracepoints
+        tracepoints
             .iter()
             .map(|(id, rho)| {
                 (
@@ -408,73 +451,123 @@ pub fn try_characterize_with_inputs(
             .collect()
     };
 
-    let per_input: Vec<Result<Vec<(TracepointId, CMatrix)>, Cancelled>> = match config.sweep {
-        SweepMode::PerState => {
-            morph_parallel::parallel_map(config.parallelism, &inputs, |i, _input| {
-                // One check per sampling task: a firing deadline stops the
-                // sweep within one program execution's latency. The abandoned
-                // partial result is discarded wholesale, so completed runs
-                // remain bit-identical to uncancellable ones.
+    let per_input: Vec<Result<Vec<(TracepointId, CMatrix)>, Cancelled>> =
+        if plan.choice != BackendChoice::Dense {
+            // Fast paths sweep state-major regardless of `config.sweep`: each
+            // lane is an O(n²) tableau walk or a support-sized sparse run, so
+            // gate-major batching has nothing to amortize. Readout stays keyed
+            // by the global input index, so results are bit-identical at every
+            // worker count and `SweepMode`.
+            let suffix_fused = match plan.choice {
+                // The stabilizer prefix runs the *raw* instruction stream
+                // (fusion emits `Gate::Unitary` payloads the tableau cannot
+                // represent); only the dense suffix benefits from fusion.
+                BackendChoice::CliffordPrefix { split } => {
+                    Some(executor.fuse_for_run(&suffix_circuit(circuit, split)))
+                }
+                _ => None,
+            };
+            morph_parallel::parallel_map(config.parallelism, &inputs, |i, input| {
                 cancel.check()?;
-                // Telemetry never touches the task RNG streams, so traces
-                // stay bit-identical whether or not the recorder is enabled.
                 let _input_span = morph_trace::span_under(trace_parent, "input");
                 let mut local = CostLedger::new();
-                let record = if config.noise.is_noiseless() {
-                    // The legacy state-major pipeline ran the fusion
-                    // pre-pass once per input; `run_expected` (not
-                    // `run_expected_prefused`) preserves that cost so the
-                    // oracle stays faithful to the sweep the gate-major
-                    // mode replaces. `fuse_circuit` is deterministic, so
-                    // the re-fused gates — and therefore the traces — are
-                    // bitwise identical to the shared-fusion batched arm.
-                    executor.run_expected(circuit, &prep_state(i))
-                } else {
-                    executor.run_expected_noisy(main, &prep_density(i))
+                let prep = input.prep.remap_qubits(&config.input_qubits, n);
+                let tracepoints = match plan.choice {
+                    BackendChoice::Stabilizer => {
+                        let mut sim = StabilizerSim::new(n);
+                        run_on_simulator(&mut sim, &prep, circuit.instructions())
+                    }
+                    BackendChoice::Sparse => {
+                        let mut sim = SparseSim::new(n);
+                        run_on_simulator(&mut sim, &prep, main.instructions())
+                    }
+                    BackendChoice::CliffordPrefix { split } => {
+                        let mut sim = StabilizerSim::new(n);
+                        let mut tracepoints =
+                            run_on_simulator(&mut sim, &prep, &circuit.instructions()[..split]);
+                        let record = executor.run_expected_prefused(
+                            suffix_fused.as_ref().expect("suffix fused above"),
+                            &sim.to_statevector(),
+                        );
+                        tracepoints.extend(record.tracepoints);
+                        tracepoints
+                    }
+                    BackendChoice::Dense => unreachable!("dense handled by the sweep arms"),
                 };
-                let captured = read_record(i, &record, &mut local);
+                let captured = read_record(i, &tracepoints, &mut local);
                 shared.merge(&local);
                 Ok(captured)
             })
-        }
-        SweepMode::Batched => {
-            let ranges = morph_parallel::batch_ranges(inputs.len(), char_batch_size());
-            morph_trace::counter("characterize/batches", ranges.len() as u64);
-            #[allow(clippy::type_complexity)]
-            let per_batch: Vec<Result<Vec<Vec<(TracepointId, CMatrix)>>, Cancelled>> =
-                morph_parallel::parallel_map(config.parallelism, &ranges, |_, range| {
-                    // One check per batch: same granularity guarantee as the
-                    // per-state path, one batched execution's latency.
-                    cancel.check()?;
-                    let _batch_span = morph_trace::span_under(trace_parent, "batch");
-                    let mut local = CostLedger::new();
-                    let records = if config.noise.is_noiseless() {
-                        let states: Vec<StateVector> =
-                            range.clone().map(prep_state_narrow).collect();
-                        executor.run_expected_batch_prefused(main, &states)
-                    } else {
-                        let densities: Vec<DensityMatrix> =
-                            range.clone().map(prep_density).collect();
-                        executor.run_expected_noisy_batch(main, &densities)
-                    };
-                    let captured = records
-                        .iter()
-                        .zip(range.clone())
-                        .map(|(record, i)| read_record(i, record, &mut local))
-                        .collect();
-                    shared.merge(&local);
-                    Ok(captured)
-                });
-            let mut flat = Vec::with_capacity(inputs.len());
-            for batch in per_batch {
-                match batch {
-                    Ok(captured) => flat.extend(captured.into_iter().map(Ok)),
-                    Err(c) => flat.push(Err(c)),
+        } else {
+            match config.sweep {
+                SweepMode::PerState => {
+                    morph_parallel::parallel_map(config.parallelism, &inputs, |i, _input| {
+                        // One check per sampling task: a firing deadline stops the
+                        // sweep within one program execution's latency. The abandoned
+                        // partial result is discarded wholesale, so completed runs
+                        // remain bit-identical to uncancellable ones.
+                        cancel.check()?;
+                        // Telemetry never touches the task RNG streams, so traces
+                        // stay bit-identical whether or not the recorder is enabled.
+                        let _input_span = morph_trace::span_under(trace_parent, "input");
+                        let mut local = CostLedger::new();
+                        let record = if config.noise.is_noiseless() {
+                            // The legacy state-major pipeline ran the fusion
+                            // pre-pass once per input; `run_expected` (not
+                            // `run_expected_prefused`) preserves that cost so the
+                            // oracle stays faithful to the sweep the gate-major
+                            // mode replaces. `fuse_circuit` is deterministic, so
+                            // the re-fused gates — and therefore the traces — are
+                            // bitwise identical to the shared-fusion batched arm.
+                            executor.run_expected(circuit, &prep_state(i))
+                        } else {
+                            executor.run_expected_noisy(main, &prep_density(i))
+                        };
+                        let captured = read_record(i, &record.tracepoints, &mut local);
+                        shared.merge(&local);
+                        Ok(captured)
+                    })
+                }
+                SweepMode::Batched => {
+                    let ranges = morph_parallel::batch_ranges(inputs.len(), char_batch_size());
+                    morph_trace::counter("characterize/batches", ranges.len() as u64);
+                    #[allow(clippy::type_complexity)]
+                    let per_batch: Vec<
+                        Result<Vec<Vec<(TracepointId, CMatrix)>>, Cancelled>,
+                    > = morph_parallel::parallel_map(config.parallelism, &ranges, |_, range| {
+                        // One check per batch: same granularity guarantee as the
+                        // per-state path, one batched execution's latency.
+                        cancel.check()?;
+                        let _batch_span = morph_trace::span_under(trace_parent, "batch");
+                        let mut local = CostLedger::new();
+                        let records = if config.noise.is_noiseless() {
+                            let states: Vec<StateVector> =
+                                range.clone().map(prep_state_narrow).collect();
+                            executor.run_expected_batch_prefused(main, &states)
+                        } else {
+                            let densities: Vec<DensityMatrix> =
+                                range.clone().map(prep_density).collect();
+                            executor.run_expected_noisy_batch(main, &densities)
+                        };
+                        let captured = records
+                            .iter()
+                            .zip(range.clone())
+                            .map(|(record, i)| read_record(i, &record.tracepoints, &mut local))
+                            .collect();
+                        shared.merge(&local);
+                        Ok(captured)
+                    });
+                    let mut flat = Vec::with_capacity(inputs.len());
+                    for batch in per_batch {
+                        match batch {
+                            Ok(captured) => flat.extend(captured.into_iter().map(Ok)),
+                            Err(c) => flat.push(Err(c)),
+                        }
+                    }
+                    flat
                 }
             }
-            flat
-        }
-    };
+        };
 
     let mut traces: BTreeMap<TracepointId, Vec<CMatrix>> = BTreeMap::new();
     for captured in per_input {
@@ -492,7 +585,42 @@ pub fn try_characterize_with_inputs(
         inputs,
         traces,
         ledger,
+        backend: plan.choice,
     })
+}
+
+/// Applies `prep` then walks `instructions` on a fast-path backend,
+/// capturing every tracepoint's reduced density matrix. The selection plan
+/// guarantees representability (all-Clifford for the tableau, unitary for
+/// both), so a refusal here is a planner bug.
+fn run_on_simulator<S: Simulator>(
+    sim: &mut S,
+    prep: &Circuit,
+    instructions: &[Instruction],
+) -> BTreeMap<TracepointId, CMatrix> {
+    for inst in prep.instructions() {
+        match inst {
+            Instruction::Gate(g) => sim
+                .apply_gate(g)
+                .expect("backend plan guarantees representable input preparations"),
+            Instruction::Barrier => {}
+            other => panic!("input preparation must be unitary, got {other:?}"),
+        }
+    }
+    let mut tracepoints = BTreeMap::new();
+    for inst in instructions {
+        match inst {
+            Instruction::Gate(g) => sim
+                .apply_gate(g)
+                .expect("backend plan guarantees a representable circuit"),
+            Instruction::Tracepoint { id, qubits } => {
+                tracepoints.insert(*id, sim.tracepoint_rdm(qubits));
+            }
+            Instruction::Barrier => {}
+            other => panic!("backend plan guarantees a unitary circuit, got {other:?}"),
+        }
+    }
+    tracepoints
 }
 
 #[cfg(test)]

@@ -93,9 +93,13 @@ pub use characterize::{
     CharacterizationConfigBuilder, SweepMode,
 };
 pub use confidence::{regularized_incomplete_beta, ConfidenceModel};
+// Backend selection surfaces in configs and reports; re-export the types
+// so downstream crates don't need direct morph-backend/morph-qprog deps.
 pub use counterexample::CounterExample;
 pub use error::MorphError;
 pub use landscape::{input_landscape, landscape_peak, LandscapePoint};
+pub use morph_backend::{BackendChoice, BackendKind};
+pub use morph_qprog::BackendMode;
 pub use predicate::{RelationPredicate, StatePredicate};
 pub use prune::{adaptive_inputs, adaptive_operator_inputs, constant_pinned_inputs};
 pub use ptm::PauliTransferMatrix;

@@ -81,6 +81,7 @@ impl Verifier {
                 noise: NoiseModel::noiseless(),
                 parallelism: 0,
                 sweep: crate::SweepMode::default(),
+                backend: morph_qprog::BackendMode::Auto,
             },
             validation_config: ValidationConfig::default(),
             explicit_inputs: None,
@@ -118,6 +119,14 @@ impl Verifier {
     /// Applies a hardware noise model to the sampling runs.
     pub fn noise(mut self, noise: NoiseModel) -> Self {
         self.characterization_config.noise = noise;
+        self
+    }
+
+    /// Selects the simulation backend for the sampling sweep (default:
+    /// [`morph_qprog::BackendMode::Auto`]; the `MORPH_BACKEND` environment
+    /// variable replaces `Auto` at plan time).
+    pub fn backend(mut self, backend: morph_qprog::BackendMode) -> Self {
+        self.characterization_config.backend = backend;
         self
     }
 
@@ -441,6 +450,8 @@ pub struct RunReport {
     pub solver_iterations: u64,
     /// Cache behaviour of this run — `None` for uncached entry points.
     pub cache: Option<CacheSummary>,
+    /// The simulation backend the characterization sweep executed on.
+    pub backend: morph_backend::BackendChoice,
 }
 
 impl RunReport {
@@ -456,6 +467,7 @@ impl RunReport {
             solver_evaluations: outcomes.iter().map(|o| o.optimum.evaluations).sum(),
             solver_iterations: outcomes.iter().map(|o| o.optimum.iterations as u64).sum(),
             cache,
+            backend: characterization.backend,
         }
     }
 }

@@ -17,6 +17,7 @@ use morph_linalg::CMatrix;
 use morph_qsim::{DensityBatch, DensityMatrix, Gate, NoiseModel, StateBatch, StateVector};
 use rand::Rng;
 
+use crate::backend_mode::BackendMode;
 use crate::circuit::{Circuit, Instruction, TracepointId};
 use crate::fusion::fuse_circuit;
 
@@ -73,6 +74,7 @@ pub struct Executor {
     noise: NoiseModel,
     fuse: bool,
     default_shots: usize,
+    backend: BackendMode,
 }
 
 impl Default for Executor {
@@ -103,6 +105,7 @@ pub struct ExecutorBuilder {
     noise: NoiseModel,
     fusion: bool,
     shots: usize,
+    backend: BackendMode,
 }
 
 impl ExecutorBuilder {
@@ -127,12 +130,22 @@ impl ExecutorBuilder {
         self
     }
 
+    /// Requests a simulation backend (default: [`BackendMode::Auto`]).
+    /// The executor itself always runs dense kernels; the request is read
+    /// by the `morph-backend` dispatch layer, and the `MORPH_BACKEND`
+    /// environment variable replaces `Auto` at resolution time.
+    pub fn backend(mut self, backend: BackendMode) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> Executor {
         Executor {
             noise: self.noise,
             fuse: self.fusion,
             default_shots: self.shots,
+            backend: self.backend,
         }
     }
 }
@@ -143,6 +156,7 @@ impl Default for ExecutorBuilder {
             noise: NoiseModel::noiseless(),
             fusion: true,
             shots: DEFAULT_SHOTS,
+            backend: BackendMode::Auto,
         }
     }
 }
@@ -190,6 +204,13 @@ impl Executor {
     /// The shot budget [`Executor::sample_counts_default`] spends.
     pub fn default_shots(&self) -> usize {
         self.default_shots
+    }
+
+    /// The requested simulation backend, before the `MORPH_BACKEND`
+    /// environment override (apply [`BackendMode::resolve`] for the
+    /// effective mode).
+    pub fn backend_mode(&self) -> BackendMode {
+        self.backend
     }
 
     /// Returns the circuit to execute on a noiseless path: the fused form

@@ -28,6 +28,7 @@
 //! # Ok::<(), morph_qprog::ParseProgramError>(())
 //! ```
 
+mod backend_mode;
 mod circuit;
 mod executor;
 mod fusion;
@@ -35,6 +36,7 @@ mod optimize_pass;
 mod parser;
 mod writer;
 
+pub use backend_mode::{BackendMode, ParseBackendModeError};
 pub use circuit::{Circuit, Instruction, TracepointId};
 pub use executor::{ExecutionRecord, Executor, ExecutorBuilder, ExpectedRecord, DEFAULT_SHOTS};
 pub use fusion::fuse_circuit;

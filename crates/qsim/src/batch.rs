@@ -394,8 +394,8 @@ impl StateBatch {
             Gate::X(q) => self.apply_x(*q),
             Gate::Y(q) => self.apply_1q(&matrices::y(), *q),
             Gate::Z(q) => self.apply_z(*q),
-            Gate::S(q) => self.apply_phase(*q, std::f64::consts::FRAC_PI_2),
-            Gate::Sdg(q) => self.apply_phase(*q, -std::f64::consts::FRAC_PI_2),
+            Gate::S(q) => self.apply_s(*q),
+            Gate::Sdg(q) => self.apply_sdg(*q),
             Gate::T(q) => self.apply_phase(*q, std::f64::consts::FRAC_PI_4),
             Gate::Tdg(q) => self.apply_phase(*q, -std::f64::consts::FRAC_PI_4),
             Gate::RX(q, a) => self.apply_1q(&matrices::rx(*a), *q),
@@ -635,6 +635,40 @@ impl StateBatch {
             }
             for x in &mut self.im[i..i + b] {
                 *x = -*x;
+            }
+        }
+    }
+
+    /// Batched [`StateVector::apply_s`]: the exact component swap
+    /// `(re, im) ↦ (−im, re)` per lane, bitwise identical to the per-state
+    /// kernel.
+    pub fn apply_s(&mut self, qubit: usize) {
+        let shift = self.bit_shift(qubit);
+        let mask = 1usize << shift;
+        let b = self.batch;
+        for base in 0..self.dim() / 2 {
+            let i = (bits::deposit(base, shift) | mask) * b;
+            let (re, im) = (&mut self.re[i..i + b], &mut self.im[i..i + b]);
+            for l in 0..b {
+                let (xr, xi) = (re[l], im[l]);
+                re[l] = -xi;
+                im[l] = xr;
+            }
+        }
+    }
+
+    /// Batched [`StateVector::apply_sdg`]: `(re, im) ↦ (im, −re)` per lane.
+    pub fn apply_sdg(&mut self, qubit: usize) {
+        let shift = self.bit_shift(qubit);
+        let mask = 1usize << shift;
+        let b = self.batch;
+        for base in 0..self.dim() / 2 {
+            let i = (bits::deposit(base, shift) | mask) * b;
+            let (re, im) = (&mut self.re[i..i + b], &mut self.im[i..i + b]);
+            for l in 0..b {
+                let (xr, xi) = (re[l], im[l]);
+                re[l] = xi;
+                im[l] = -xr;
             }
         }
     }

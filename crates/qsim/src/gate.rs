@@ -195,8 +195,8 @@ impl Gate {
             Gate::X(q) => psi.apply_x(*q),
             Gate::Y(q) => psi.apply_1q(&matrices::y(), *q),
             Gate::Z(q) => psi.apply_z(*q),
-            Gate::S(q) => psi.apply_phase(*q, std::f64::consts::FRAC_PI_2),
-            Gate::Sdg(q) => psi.apply_phase(*q, -std::f64::consts::FRAC_PI_2),
+            Gate::S(q) => psi.apply_s(*q),
+            Gate::Sdg(q) => psi.apply_sdg(*q),
             Gate::T(q) => psi.apply_phase(*q, std::f64::consts::FRAC_PI_4),
             Gate::Tdg(q) => psi.apply_phase(*q, -std::f64::consts::FRAC_PI_4),
             Gate::RX(q, a) => psi.apply_1q(&matrices::rx(*a), *q),
@@ -224,8 +224,8 @@ impl Gate {
             Gate::X(_) => matrices::x(),
             Gate::Y(_) => matrices::y(),
             Gate::Z(_) => matrices::z(),
-            Gate::S(_) => matrices::phase(std::f64::consts::FRAC_PI_2),
-            Gate::Sdg(_) => matrices::phase(-std::f64::consts::FRAC_PI_2),
+            Gate::S(_) => matrices::s(),
+            Gate::Sdg(_) => matrices::sdg(),
             Gate::T(_) => matrices::phase(std::f64::consts::FRAC_PI_4),
             Gate::Tdg(_) => matrices::phase(-std::f64::consts::FRAC_PI_4),
             Gate::RX(_, a) => matrices::rx(*a),
@@ -306,6 +306,20 @@ pub mod matrices {
     /// Phase gate `diag(1, e^{iθ})`.
     pub fn phase(theta: f64) -> CMatrix {
         CMatrix::from_diag(&[C64::ONE, C64::cis(theta)])
+    }
+
+    /// `S = diag(1, i)` with an exact imaginary unit rather than
+    /// `cis(π/2)` (whose real part rounds to `6.1e-17`). Keeping the entry
+    /// exact makes dense simulation of {X, Y, Z, S, S†, CX, CZ, SWAP}
+    /// circuits float-exact, which the stabilizer-backend parity tests
+    /// rely on.
+    pub fn s() -> CMatrix {
+        CMatrix::from_diag(&[C64::ONE, C64::I])
+    }
+
+    /// `S† = diag(1, −i)`, exact (see [`s`]).
+    pub fn sdg() -> CMatrix {
+        CMatrix::from_diag(&[C64::ONE, C64::new(0.0, -1.0)])
     }
 
     /// SWAP on two qubits.

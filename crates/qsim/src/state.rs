@@ -121,6 +121,17 @@ impl StateVector {
             sorted.dedup();
             assert_eq!(sorted.len(), m, "duplicate embed qubits");
         }
+        // Degenerate edges: a full-width identity mapping is a pure
+        // passthrough (no scatter), and a 0-qubit sub-state carries a single
+        // scalar that lands on |0…0⟩.
+        if m == n_qubits && qubits.iter().enumerate().all(|(j, &q)| q == j) {
+            return sub.clone();
+        }
+        if m == 0 {
+            let mut amps = vec![C64::ZERO; 1 << n_qubits];
+            amps[0] = sub.amps[0];
+            return StateVector { n_qubits, amps };
+        }
         let mut amps = vec![C64::ZERO; 1 << n_qubits];
         for (x, &a) in sub.amplitudes().iter().enumerate() {
             let mut idx = 0usize;
@@ -376,6 +387,30 @@ impl StateVector {
         for base in 0..self.amps.len() / 2 {
             let i = bits::deposit(base, shift) | mask;
             self.amps[i] = -self.amps[i];
+        }
+    }
+
+    /// `S = diag(1, i)` on `qubit`, applied as an exact component swap
+    /// `(re, im) ↦ (−im, re)` so no rounding enters — the stabilizer
+    /// backend's bitwise parity on phase-gate circuits depends on this.
+    pub fn apply_s(&mut self, qubit: usize) {
+        let shift = self.bit_shift(qubit);
+        let mask = 1usize << shift;
+        for base in 0..self.amps.len() / 2 {
+            let i = bits::deposit(base, shift) | mask;
+            let a = self.amps[i];
+            self.amps[i] = C64::new(-a.im, a.re);
+        }
+    }
+
+    /// `S† = diag(1, −i)` on `qubit`, exact (see [`StateVector::apply_s`]).
+    pub fn apply_sdg(&mut self, qubit: usize) {
+        let shift = self.bit_shift(qubit);
+        let mask = 1usize << shift;
+        for base in 0..self.amps.len() / 2 {
+            let i = bits::deposit(base, shift) | mask;
+            let a = self.amps[i];
+            self.amps[i] = C64::new(a.im, -a.re);
         }
     }
 
@@ -713,6 +748,55 @@ mod tests {
     fn embed_rejects_duplicate_qubits() {
         let sub = StateVector::zero_state(2);
         let _ = StateVector::embed(&sub, &[1, 1], 3);
+    }
+
+    #[test]
+    fn embed_full_width_identity_is_passthrough() {
+        let mut sub = StateVector::zero_state(3);
+        sub.apply_h(0);
+        sub.apply_cx(0, 2);
+        sub.apply_s(1);
+        let embedded = StateVector::embed(&sub, &[0, 1, 2], 3);
+        assert_eq!(embedded, sub);
+    }
+
+    #[test]
+    fn embed_full_width_permutation_reorders_qubits() {
+        // Same width but permuted targets must still scatter, not
+        // passthrough: sub qubit 0 lands on register qubit 1 and vice versa.
+        let mut sub = StateVector::zero_state(2);
+        sub.apply_x(0); // |10⟩
+        let embedded = StateVector::embed(&sub, &[1, 0], 2);
+        assert_eq!(embedded.amplitudes()[0b01], C64::ONE);
+        assert_eq!(embedded.amplitudes()[0b10], C64::ZERO);
+    }
+
+    #[test]
+    fn embed_zero_qubit_register_lands_on_zero_basis() {
+        // A 0-qubit sub-state is a single scalar; embedding places it on
+        // |0…0⟩ of the wide register.
+        let phase = C64::new(0.6, 0.8);
+        let sub = StateVector::from_normalized_amplitudes(vec![phase]);
+        let embedded = StateVector::embed(&sub, &[], 3);
+        assert_eq!(embedded.n_qubits(), 3);
+        assert_eq!(embedded.amplitudes()[0], phase);
+        assert!(embedded.amplitudes()[1..].iter().all(|&a| a == C64::ZERO));
+    }
+
+    #[test]
+    fn s_gate_is_exact() {
+        // S applied twice must equal Z exactly — no cis(π/2) rounding.
+        let mut sv = StateVector::zero_state(1);
+        sv.apply_x(0);
+        sv.apply_s(0);
+        assert_eq!(sv.amplitudes()[1], C64::I);
+        sv.apply_s(0);
+        assert_eq!(sv.amplitudes()[1], C64::new(-1.0, 0.0));
+        // S† on −|1⟩ multiplies by −i: (−1)(−i) = i; a second S† returns 1.
+        sv.apply_sdg(0);
+        assert_eq!(sv.amplitudes()[1], C64::I);
+        sv.apply_sdg(0);
+        assert_eq!(sv.amplitudes()[1], C64::ONE);
     }
 
     #[test]

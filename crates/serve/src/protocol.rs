@@ -254,6 +254,7 @@ impl JobResponse {
             "solver_iterations".to_string(),
             Value::UInt(report.run.solver_iterations),
         );
+        run.insert("backend".to_string(), Value::Str(report.run.backend.tag()));
 
         let mut body = base_body(id, status);
         body.insert("characterization_fp".to_string(), fingerprint.to_value());
