@@ -61,6 +61,10 @@ pub struct CircuitAnalysis {
     /// instruction that is a non-Clifford gate or non-unitary. Equal to
     /// the instruction count when the whole circuit is Clifford.
     pub clifford_prefix_split: usize,
+    /// Number of maximal all-Clifford gate runs (separated by
+    /// non-Clifford gates or non-unitary instructions) — how many
+    /// tableau-friendly segments a staged splice pipeline crosses.
+    pub clifford_segments: usize,
 }
 
 impl CircuitAnalysis {
@@ -88,6 +92,8 @@ pub fn analyze(circuit: &Circuit) -> CircuitAnalysis {
     let mut prefix_gates = 0usize;
     let mut split = circuit.instructions().len();
     let mut in_prefix = true;
+    let mut segments = 0usize;
+    let mut in_segment = false;
     for (idx, inst) in circuit.instructions().iter().enumerate() {
         match inst {
             Instruction::Gate(g) => {
@@ -95,6 +101,12 @@ pub fn analyze(circuit: &Circuit) -> CircuitAnalysis {
                 let clifford = is_clifford_gate(g);
                 if clifford {
                     clifford_gates += 1;
+                    if !in_segment {
+                        segments += 1;
+                        in_segment = true;
+                    }
+                } else {
+                    in_segment = false;
                 }
                 if is_branching_gate(g) {
                     branching_gates += 1;
@@ -111,6 +123,7 @@ pub fn analyze(circuit: &Circuit) -> CircuitAnalysis {
             Instruction::Tracepoint { .. } | Instruction::Barrier => {}
             _ => {
                 unitary = false;
+                in_segment = false;
                 if in_prefix {
                     in_prefix = false;
                     split = idx;
@@ -126,6 +139,7 @@ pub fn analyze(circuit: &Circuit) -> CircuitAnalysis {
         branching_gates,
         clifford_prefix_gates: prefix_gates,
         clifford_prefix_split: split,
+        clifford_segments: segments,
     }
 }
 
@@ -157,6 +171,7 @@ mod tests {
         assert_eq!(a.clifford_prefix_gates, 4);
         assert_eq!(a.clifford_prefix_split, c.instructions().len());
         assert_eq!(a.branching_gates, 1, "only H branches");
+        assert_eq!(a.clifford_segments, 1, "one unbroken Clifford run");
     }
 
     #[test]
@@ -170,6 +185,7 @@ mod tests {
         assert_eq!(a.clifford_prefix_gates, 2);
         // Instructions: H, CX, T1, T, H — the T gate sits at index 3.
         assert_eq!(a.clifford_prefix_split, 3);
+        assert_eq!(a.clifford_segments, 2, "the T gate splits the runs");
         let suffix = suffix_circuit(&c, a.clifford_prefix_split);
         assert_eq!(suffix.gate_count(), 2);
         assert_eq!(suffix.n_qubits(), 2);
@@ -185,6 +201,7 @@ mod tests {
         assert!(!a.unitary);
         assert_eq!(a.clifford_prefix_split, 1);
         assert_eq!(a.clifford_prefix_gates, 1);
+        assert_eq!(a.clifford_segments, 2, "measurement splits the runs");
     }
 
     #[test]

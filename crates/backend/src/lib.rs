@@ -57,4 +57,6 @@ pub use select::{
 pub use simulator::{
     BackendError, BackendKind, DenseDensitySim, DenseSim, Simulator, StabilizerSim,
 };
-pub use sparse::{default_budget, SparseSim};
+pub use sparse::{
+    default_budget, default_switch_threshold, FastPathStats, SparseSim, SPILL_MAX_QUBITS,
+};

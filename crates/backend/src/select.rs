@@ -219,9 +219,13 @@ fn auto_decide(inputs: &PlanInputs<'_>, analysis: CircuitAnalysis) -> BackendPla
             analysis,
         };
     }
+    // The prefix no longer needs to dominate the circuit: the suffix
+    // runs on the adaptive sparse register (which switches itself to
+    // dense when the support saturates), so any prefix long enough to
+    // pay for the tableau handoff is worth splicing.
     if inputs.preps_clifford
         && (PREFIX_MIN_QUBITS..DENSE_HANDOFF_MAX_QUBITS).contains(&n)
-        && analysis.clifford_prefix_gates >= PREFIX_MIN_GATES.max(analysis.gate_count / 2)
+        && analysis.clifford_prefix_gates >= PREFIX_MIN_GATES
         && analysis.clifford_prefix_gates < analysis.gate_count
     {
         return BackendPlan {
@@ -305,6 +309,36 @@ mod tests {
         }
         let a = analyze(&c);
         assert!(a.clifford_prefix_gates >= PREFIX_MIN_GATES);
+        let p = plan(&c, BackendMode::Auto, 4);
+        assert_eq!(
+            p.choice,
+            BackendChoice::CliffordPrefix {
+                split: a.clifford_prefix_split
+            }
+        );
+    }
+
+    #[test]
+    fn modest_prefix_below_half_the_circuit_still_splices() {
+        // 29 Clifford prefix gates ahead of a 90-gate non-Clifford tail:
+        // the prefix is well under half the circuit, but the adaptive
+        // suffix makes the handoff worthwhile anyway.
+        let mut c = Circuit::new(15);
+        for q in 0..15 {
+            c.h(q);
+        }
+        for q in 0..14 {
+            c.cx(q, q + 1);
+        }
+        for _ in 0..3 {
+            for q in 0..15 {
+                c.t(q);
+                c.h(q);
+            }
+        }
+        let a = analyze(&c);
+        assert!(a.clifford_prefix_gates >= PREFIX_MIN_GATES);
+        assert!(a.clifford_prefix_gates < a.gate_count / 2);
         let p = plan(&c, BackendMode::Auto, 4);
         assert_eq!(
             p.choice,

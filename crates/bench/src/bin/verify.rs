@@ -231,6 +231,16 @@ fn run() -> i32 {
     }
     println!("cost: {}", report.ledger());
     println!("backend: {}", report.run.backend.tag());
+    // Printed only when a sparse register ran. The stats round-trip
+    // through the artifact store, so warm (cached) runs print the same
+    // line the cold run did and stdout stays byte-identical.
+    let fp = &report.run.fast_path;
+    if !fp.is_empty() {
+        println!(
+            "fast-path: {} spills, {} switches, {} splices, peak {} nonzeros",
+            fp.spills, fp.switches, fp.splices, fp.peak_nonzeros
+        );
+    }
     if let Some(cache) = &cache {
         println!("cache: {}", cache.stats());
     }

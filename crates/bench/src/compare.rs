@@ -145,12 +145,15 @@ fn compare_programs_impl(
     traces.insert(TracepointId(2), ch_ref.traces[&TracepointId(1)].clone());
     let mut ledger = ch_cand.ledger;
     ledger.merge(&ch_ref.ledger);
+    let mut fast_path = ch_cand.fast_path;
+    fast_path.merge(&ch_ref.fast_path);
     let merged = Characterization {
         inputs,
         traces,
         ledger,
         // Both characterizations share a config, hence a backend plan.
         backend: ch_cand.backend,
+        fast_path,
     };
 
     let assertion = AssumeGuarantee::new().guarantee_relation(

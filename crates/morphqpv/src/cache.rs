@@ -62,8 +62,11 @@ pub const FINGERPRINT_DOMAIN: &str = "morphqpv/characterization/v4";
 /// (the envelope's own schema version is `morph_store::SCHEMA_VERSION`).
 ///
 /// v2 added the `backend` field recording which simulation backend
-/// produced the artifact.
-pub const ARTIFACT_VERSION: u32 = 2;
+/// produced the artifact. v3 added `fast_path` (sparse spill/switch/
+/// splice counts and the nonzero high-water mark), so warm runs report
+/// the same fast-path stats the cold run observed; v2 entries fail
+/// decoding and degrade to a miss.
+pub const ARTIFACT_VERSION: u32 = 3;
 
 /// Computes the content address of a characterization run.
 ///
@@ -145,6 +148,15 @@ fn encode_artifact(ch: &Characterization) -> Value {
     m.insert("traces".to_string(), traces_value);
     m.insert("ledger".to_string(), ch.ledger.to_value());
     m.insert("backend".to_string(), Value::Str(ch.backend.tag()));
+    let mut fp = BTreeMap::new();
+    fp.insert("spills".to_string(), Value::UInt(ch.fast_path.spills));
+    fp.insert("switches".to_string(), Value::UInt(ch.fast_path.switches));
+    fp.insert("splices".to_string(), Value::UInt(ch.fast_path.splices));
+    fp.insert(
+        "peak_nonzeros".to_string(),
+        Value::UInt(ch.fast_path.peak_nonzeros),
+    );
+    m.insert("fast_path".to_string(), Value::Object(fp));
     Value::Object(m)
 }
 
@@ -180,11 +192,24 @@ fn decode_artifact(value: &Value) -> Result<Characterization, FromValueError> {
         .as_str()
         .and_then(morph_backend::BackendChoice::from_tag)
         .ok_or_else(|| FromValueError::new("backend must be a known backend tag"))?;
+    let fp = value.require("fast_path")?;
+    let fp_u64 = |field: &str| -> Result<u64, FromValueError> {
+        fp.require(field)?
+            .as_u64()
+            .ok_or_else(|| FromValueError::new(format!("fast_path.{field} must be an integer")))
+    };
+    let fast_path = morph_backend::FastPathStats {
+        spills: fp_u64("spills")?,
+        switches: fp_u64("switches")?,
+        splices: fp_u64("splices")?,
+        peak_nonzeros: fp_u64("peak_nonzeros")?,
+    };
     Ok(Characterization {
         inputs,
         traces,
         ledger,
         backend,
+        fast_path,
     })
 }
 

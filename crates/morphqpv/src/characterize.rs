@@ -10,8 +10,8 @@
 use std::collections::BTreeMap;
 
 use morph_backend::{
-    plan_characterization, suffix_circuit, BackendChoice, PlanInputs, Simulator, SparseSim,
-    StabilizerSim,
+    plan_characterization, suffix_circuit, BackendChoice, FastPathStats, PlanInputs, Simulator,
+    SparseSim, StabilizerSim,
 };
 use morph_clifford::{InputEnsemble, InputState};
 use morph_linalg::CMatrix;
@@ -207,6 +207,11 @@ pub struct Characterization {
     /// The backend the sweep actually executed on (after `BackendMode`
     /// resolution and eligibility checks).
     pub backend: BackendChoice,
+    /// Sparse fast-path events over the whole sweep: spill/switch/splice
+    /// counts summed across lanes, nonzero peak maxed across lanes — a
+    /// deterministic function of the plan and the sampled inputs, so it
+    /// is identical at any worker count and batch size.
+    pub fast_path: FastPathStats,
 }
 
 impl Characterization {
@@ -451,123 +456,154 @@ pub fn try_characterize_with_inputs(
             .collect()
     };
 
-    let per_input: Vec<Result<Vec<(TracepointId, CMatrix)>, Cancelled>> =
-        if plan.choice != BackendChoice::Dense {
-            // Fast paths sweep state-major regardless of `config.sweep`: each
-            // lane is an O(n²) tableau walk or a support-sized sparse run, so
-            // gate-major batching has nothing to amortize. Readout stays keyed
-            // by the global input index, so results are bit-identical at every
-            // worker count and `SweepMode`.
-            let suffix_fused = match plan.choice {
-                // The stabilizer prefix runs the *raw* instruction stream
-                // (fusion emits `Gate::Unitary` payloads the tableau cannot
-                // represent); only the dense suffix benefits from fusion.
-                BackendChoice::CliffordPrefix { split } => {
-                    Some(executor.fuse_for_run(&suffix_circuit(circuit, split)))
-                }
-                _ => None,
-            };
+    let mut fast_path = FastPathStats::default();
+    let per_input: Vec<Result<Vec<(TracepointId, CMatrix)>, Cancelled>> = if plan.choice
+        != BackendChoice::Dense
+    {
+        // Fast paths sweep state-major regardless of `config.sweep`: each
+        // lane is an O(n²) tableau walk or a support-sized sparse run, so
+        // gate-major batching has nothing to amortize. Readout stays keyed
+        // by the global input index, so results are bit-identical at every
+        // worker count and `SweepMode`.
+        let suffix_fused = match plan.choice {
+            // The stabilizer prefix runs the *raw* instruction stream
+            // (fusion emits `Gate::Unitary` payloads the tableau cannot
+            // represent); the spliced suffix benefits from fusion.
+            BackendChoice::CliffordPrefix { split } => {
+                Some(executor.fuse_for_run(&suffix_circuit(circuit, split)))
+            }
+            _ => None,
+        };
+        let no_prep = Circuit::new(n);
+        type LaneTraces = Vec<(TracepointId, CMatrix)>;
+        let lanes: Vec<Result<(LaneTraces, FastPathStats), Cancelled>> =
             morph_parallel::parallel_map(config.parallelism, &inputs, |i, input| {
                 cancel.check()?;
                 let _input_span = morph_trace::span_under(trace_parent, "input");
                 let mut local = CostLedger::new();
                 let prep = input.prep.remap_qubits(&config.input_qubits, n);
-                let tracepoints = match plan.choice {
+                let (tracepoints, stats) = match plan.choice {
                     BackendChoice::Stabilizer => {
                         let mut sim = StabilizerSim::new(n);
-                        run_on_simulator(&mut sim, &prep, circuit.instructions())
+                        let tracepoints = run_on_simulator(&mut sim, &prep, circuit.instructions());
+                        (tracepoints, FastPathStats::default())
                     }
                     BackendChoice::Sparse => {
                         let mut sim = SparseSim::new(n);
-                        run_on_simulator(&mut sim, &prep, main.instructions())
+                        let tracepoints = run_on_simulator(&mut sim, &prep, main.instructions());
+                        (tracepoints, sim.stats())
                     }
                     BackendChoice::CliffordPrefix { split } => {
-                        let mut sim = StabilizerSim::new(n);
+                        // Staged splice: tableau over the Clifford
+                        // prefix, then hand the materialized state to
+                        // the adaptive sparse register, which runs the
+                        // fused suffix and spills/switches itself to
+                        // dense if the support saturates. Every stage
+                        // is bitwise-faithful, so the traces match the
+                        // dense sweep on monomial-Clifford inputs just
+                        // as the direct handoff did.
+                        let mut tableau = StabilizerSim::new(n);
                         let mut tracepoints =
-                            run_on_simulator(&mut sim, &prep, &circuit.instructions()[..split]);
-                        let record = executor.run_expected_prefused(
-                            suffix_fused.as_ref().expect("suffix fused above"),
-                            &sim.to_statevector(),
-                        );
-                        tracepoints.extend(record.tracepoints);
-                        tracepoints
+                            run_on_simulator(&mut tableau, &prep, &circuit.instructions()[..split]);
+                        let mut sim = SparseSim::from_statevector(&tableau.to_statevector());
+                        sim.record_splice();
+                        tracepoints.extend(run_on_simulator(
+                            &mut sim,
+                            &no_prep,
+                            suffix_fused
+                                .as_ref()
+                                .expect("suffix fused above")
+                                .instructions(),
+                        ));
+                        (tracepoints, sim.stats())
                     }
                     BackendChoice::Dense => unreachable!("dense handled by the sweep arms"),
                 };
                 let captured = read_record(i, &tracepoints, &mut local);
                 shared.merge(&local);
-                Ok(captured)
+                Ok((captured, stats))
+            });
+        // Lane order is the input order, so this fold — and therefore
+        // the merged stats — is identical at any worker count.
+        lanes
+            .into_iter()
+            .map(|lane| {
+                lane.map(|(captured, stats)| {
+                    fast_path.merge(&stats);
+                    captured
+                })
             })
-        } else {
-            match config.sweep {
-                SweepMode::PerState => {
-                    morph_parallel::parallel_map(config.parallelism, &inputs, |i, _input| {
-                        // One check per sampling task: a firing deadline stops the
-                        // sweep within one program execution's latency. The abandoned
-                        // partial result is discarded wholesale, so completed runs
-                        // remain bit-identical to uncancellable ones.
-                        cancel.check()?;
-                        // Telemetry never touches the task RNG streams, so traces
-                        // stay bit-identical whether or not the recorder is enabled.
-                        let _input_span = morph_trace::span_under(trace_parent, "input");
-                        let mut local = CostLedger::new();
-                        let record = if config.noise.is_noiseless() {
-                            // The legacy state-major pipeline ran the fusion
-                            // pre-pass once per input; `run_expected` (not
-                            // `run_expected_prefused`) preserves that cost so the
-                            // oracle stays faithful to the sweep the gate-major
-                            // mode replaces. `fuse_circuit` is deterministic, so
-                            // the re-fused gates — and therefore the traces — are
-                            // bitwise identical to the shared-fusion batched arm.
-                            executor.run_expected(circuit, &prep_state(i))
-                        } else {
-                            executor.run_expected_noisy(main, &prep_density(i))
-                        };
-                        let captured = read_record(i, &record.tracepoints, &mut local);
-                        shared.merge(&local);
-                        Ok(captured)
-                    })
-                }
-                SweepMode::Batched => {
-                    let ranges = morph_parallel::batch_ranges(inputs.len(), char_batch_size());
-                    morph_trace::counter("characterize/batches", ranges.len() as u64);
-                    #[allow(clippy::type_complexity)]
-                    let per_batch: Vec<
-                        Result<Vec<Vec<(TracepointId, CMatrix)>>, Cancelled>,
-                    > = morph_parallel::parallel_map(config.parallelism, &ranges, |_, range| {
-                        // One check per batch: same granularity guarantee as the
-                        // per-state path, one batched execution's latency.
-                        cancel.check()?;
-                        let _batch_span = morph_trace::span_under(trace_parent, "batch");
-                        let mut local = CostLedger::new();
-                        let records = if config.noise.is_noiseless() {
-                            let states: Vec<StateVector> =
-                                range.clone().map(prep_state_narrow).collect();
-                            executor.run_expected_batch_prefused(main, &states)
-                        } else {
-                            let densities: Vec<DensityMatrix> =
-                                range.clone().map(prep_density).collect();
-                            executor.run_expected_noisy_batch(main, &densities)
-                        };
-                        let captured = records
-                            .iter()
-                            .zip(range.clone())
-                            .map(|(record, i)| read_record(i, &record.tracepoints, &mut local))
-                            .collect();
-                        shared.merge(&local);
-                        Ok(captured)
-                    });
-                    let mut flat = Vec::with_capacity(inputs.len());
-                    for batch in per_batch {
-                        match batch {
-                            Ok(captured) => flat.extend(captured.into_iter().map(Ok)),
-                            Err(c) => flat.push(Err(c)),
-                        }
-                    }
-                    flat
-                }
+            .collect()
+    } else {
+        match config.sweep {
+            SweepMode::PerState => {
+                morph_parallel::parallel_map(config.parallelism, &inputs, |i, _input| {
+                    // One check per sampling task: a firing deadline stops the
+                    // sweep within one program execution's latency. The abandoned
+                    // partial result is discarded wholesale, so completed runs
+                    // remain bit-identical to uncancellable ones.
+                    cancel.check()?;
+                    // Telemetry never touches the task RNG streams, so traces
+                    // stay bit-identical whether or not the recorder is enabled.
+                    let _input_span = morph_trace::span_under(trace_parent, "input");
+                    let mut local = CostLedger::new();
+                    let record = if config.noise.is_noiseless() {
+                        // The legacy state-major pipeline ran the fusion
+                        // pre-pass once per input; `run_expected` (not
+                        // `run_expected_prefused`) preserves that cost so the
+                        // oracle stays faithful to the sweep the gate-major
+                        // mode replaces. `fuse_circuit` is deterministic, so
+                        // the re-fused gates — and therefore the traces — are
+                        // bitwise identical to the shared-fusion batched arm.
+                        executor.run_expected(circuit, &prep_state(i))
+                    } else {
+                        executor.run_expected_noisy(main, &prep_density(i))
+                    };
+                    let captured = read_record(i, &record.tracepoints, &mut local);
+                    shared.merge(&local);
+                    Ok(captured)
+                })
             }
-        };
+            SweepMode::Batched => {
+                let ranges = morph_parallel::batch_ranges(inputs.len(), char_batch_size());
+                morph_trace::counter("characterize/batches", ranges.len() as u64);
+                #[allow(clippy::type_complexity)]
+                let per_batch: Vec<
+                    Result<Vec<Vec<(TracepointId, CMatrix)>>, Cancelled>,
+                > = morph_parallel::parallel_map(config.parallelism, &ranges, |_, range| {
+                    // One check per batch: same granularity guarantee as the
+                    // per-state path, one batched execution's latency.
+                    cancel.check()?;
+                    let _batch_span = morph_trace::span_under(trace_parent, "batch");
+                    let mut local = CostLedger::new();
+                    let records = if config.noise.is_noiseless() {
+                        let states: Vec<StateVector> =
+                            range.clone().map(prep_state_narrow).collect();
+                        executor.run_expected_batch_prefused(main, &states)
+                    } else {
+                        let densities: Vec<DensityMatrix> =
+                            range.clone().map(prep_density).collect();
+                        executor.run_expected_noisy_batch(main, &densities)
+                    };
+                    let captured = records
+                        .iter()
+                        .zip(range.clone())
+                        .map(|(record, i)| read_record(i, &record.tracepoints, &mut local))
+                        .collect();
+                    shared.merge(&local);
+                    Ok(captured)
+                });
+                let mut flat = Vec::with_capacity(inputs.len());
+                for batch in per_batch {
+                    match batch {
+                        Ok(captured) => flat.extend(captured.into_iter().map(Ok)),
+                        Err(c) => flat.push(Err(c)),
+                    }
+                }
+                flat
+            }
+        }
+    };
 
     let mut traces: BTreeMap<TracepointId, Vec<CMatrix>> = BTreeMap::new();
     for captured in per_input {
@@ -580,12 +616,18 @@ pub fn try_characterize_with_inputs(
     morph_trace::counter("characterize/executions", ledger.executions);
     morph_trace::counter("characterize/shots", ledger.shots);
     morph_trace::counter("characterize/quantum_ops", ledger.quantum_ops);
+    if fast_path.peak_nonzeros > 0 {
+        // One gauge sample per sweep: the max over lanes, which is
+        // worker-count- and batch-size-invariant.
+        morph_trace::gauge("backend/sparse_nonzero_hwm", fast_path.peak_nonzeros as f64);
+    }
 
     Ok(Characterization {
         inputs,
         traces,
         ledger,
         backend: plan.choice,
+        fast_path,
     })
 }
 

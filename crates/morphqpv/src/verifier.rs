@@ -452,6 +452,9 @@ pub struct RunReport {
     pub cache: Option<CacheSummary>,
     /// The simulation backend the characterization sweep executed on.
     pub backend: morph_backend::BackendChoice,
+    /// Sparse fast-path events over the characterization sweep (all
+    /// zeros when no sparse register ran).
+    pub fast_path: morph_backend::FastPathStats,
 }
 
 impl RunReport {
@@ -468,6 +471,7 @@ impl RunReport {
             solver_iterations: outcomes.iter().map(|o| o.optimum.iterations as u64).sum(),
             cache,
             backend: characterization.backend,
+            fast_path: characterization.fast_path,
         }
     }
 }

@@ -435,7 +435,10 @@ impl Executor {
                     for (lane, rec) in records.iter_mut().enumerate() {
                         // Weight 1.0 mirrors the single-branch accumulator
                         // path bitwise (scale_re(1.0) is the identity).
-                        let rho = batch.lane(lane).reduced_density_matrix(qubits);
+                        // Lane-direct readout: the RDM scan reads the
+                        // lane's amplitudes straight off the planar batch
+                        // storage instead of gathering a StateVector.
+                        let rho = batch.lane_reduced_density_matrix(lane, qubits);
                         record_weighted(&mut rec.tracepoints, *id, rho, 1.0);
                     }
                 }

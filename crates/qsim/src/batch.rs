@@ -385,6 +385,28 @@ impl StateBatch {
         StateVector::from_normalized_amplitudes(amps)
     }
 
+    /// Reduced density matrix of `qubits` for one lane, read directly from
+    /// the planar storage — no per-lane [`StateVector`] is materialized.
+    ///
+    /// Runs the same bucket scan as
+    /// [`StateVector::reduced_density_matrix`] over the lane's strided
+    /// amplitudes, so the result is bit-identical to
+    /// `self.lane(lane).reduced_density_matrix(qubits)` without the
+    /// `O(2^n)` gather-and-copy that `lane` performs. This is the batched
+    /// sweep's tracepoint readout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range lane or duplicate/out-of-range qubits.
+    pub fn lane_reduced_density_matrix(&self, lane: usize, qubits: &[usize]) -> CMatrix {
+        assert!(lane < self.batch, "lane {lane} out of range");
+        let shifts: Vec<usize> = qubits.iter().map(|&q| self.bit_shift(q)).collect();
+        let (batch, re, im) = (self.batch, &self.re, &self.im);
+        crate::state::rdm_scan(self.dim(), &shifts, |i| {
+            C64::new(re[i * batch + lane], im[i * batch + lane])
+        })
+    }
+
     /// Applies `gate` to every lane, dispatching exactly as
     /// [`Gate::apply`] does for a single state.
     pub fn apply_gate(&mut self, gate: &Gate) {
@@ -1682,6 +1704,34 @@ mod tests {
                 }
                 for (l, psi) in lanes.iter().enumerate() {
                     assert_eq!(batch.lane(l), *psi, "{g:?} lane {l} (B={batch_size})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_direct_rdm_matches_gathered_lane_bitwise() {
+        for batch_size in [1usize, 3, 8] {
+            let mut batch =
+                StateBatch::from_states(&random_states(4, batch_size, 101 + batch_size as u64));
+            for g in every_gate(4) {
+                batch.apply_gate(&g);
+            }
+            for lane in 0..batch_size {
+                let gathered = batch.lane(lane);
+                for qubits in [&[0usize][..], &[2, 0], &[1, 3], &[3, 1, 0], &[0, 1, 2, 3]] {
+                    let direct = batch.lane_reduced_density_matrix(lane, qubits);
+                    let via_state = gathered.reduced_density_matrix(qubits);
+                    assert_eq!(direct.rows(), via_state.rows());
+                    for r in 0..direct.rows() {
+                        for c in 0..direct.cols() {
+                            assert_eq!(
+                                direct[(r, c)],
+                                via_state[(r, c)],
+                                "lane {lane} qubits {qubits:?} entry ({r},{c})"
+                            );
+                        }
+                    }
                 }
             }
         }

@@ -564,112 +564,8 @@ impl StateVector {
     ///
     /// Panics on duplicate or out-of-range qubits.
     pub fn reduced_density_matrix(&self, qubits: &[usize]) -> CMatrix {
-        let k = qubits.len();
         let shifts: Vec<usize> = qubits.iter().map(|&q| self.bit_shift(q)).collect();
-        {
-            let mut sorted = shifts.clone();
-            sorted.sort_unstable();
-            sorted.dedup();
-            assert_eq!(
-                sorted.len(),
-                k,
-                "duplicate qubits in reduced_density_matrix"
-            );
-        }
-        let dk = 1usize << k;
-        let keep_mask: usize = shifts.iter().map(|&s| 1usize << s).sum();
-        let mut rho = CMatrix::zeros(dk, dk);
-        // Group amplitudes by the traced-out configuration.
-        let n = self.amps.len();
-        let extract = |i: usize| -> usize {
-            let mut idx = 0usize;
-            for (bit, &s) in shifts.iter().enumerate() {
-                if (i >> s) & 1 == 1 {
-                    idx |= 1 << (k - 1 - bit);
-                }
-            }
-            idx
-        };
-        // For each pair of indices agreeing outside the kept set, accumulate.
-        // Iterate over environment configurations implicitly: two global
-        // indices i, j contribute iff i & !keep_mask == j & !keep_mask.
-        let env_mask = !keep_mask & (n - 1);
-        // Bucket slots are assigned in first-seen environment order over the
-        // ascending amplitude scan, and each bucket holds its amplitudes in
-        // ascending index order — so the accumulation order below, and
-        // therefore the result bits, do not depend on the storage scheme.
-        // Small registers use a direct-address slot table with flat bucket
-        // storage (this is the hot path: one call per lane per tracepoint in
-        // the batched sweep); wide ones fall back to a hash map of per-slot
-        // vectors to avoid a dim-sized table.
-        const DIRECT_TABLE_MAX_DIM: usize = 1 << 20;
-        if n <= DIRECT_TABLE_MAX_DIM {
-            let mut slot_of = vec![usize::MAX; n];
-            // Pass 1: assign slots in first-seen order, count bucket sizes.
-            let mut counts: Vec<usize> = Vec::new();
-            for (i, &a) in self.amps.iter().enumerate() {
-                if a == C64::ZERO {
-                    continue;
-                }
-                let env = i & env_mask;
-                let slot = slot_of[env];
-                if slot == usize::MAX {
-                    slot_of[env] = counts.len();
-                    counts.push(1);
-                } else {
-                    counts[slot] += 1;
-                }
-            }
-            // Pass 2: scatter into one flat array at per-slot offsets; the
-            // ascending scan keeps each bucket in ascending index order.
-            let mut starts = Vec::with_capacity(counts.len() + 1);
-            let mut total = 0usize;
-            for &c in &counts {
-                starts.push(total);
-                total += c;
-            }
-            starts.push(total);
-            let mut cursor = starts.clone();
-            let mut entries: Vec<(usize, C64)> = vec![(0, C64::ZERO); total];
-            for (i, &a) in self.amps.iter().enumerate() {
-                if a == C64::ZERO {
-                    continue;
-                }
-                let slot = slot_of[i & env_mask];
-                entries[cursor[slot]] = (extract(i), a);
-                cursor[slot] += 1;
-            }
-            for s in 0..counts.len() {
-                let bucket = &entries[starts[s]..starts[s + 1]];
-                for &(r, ar) in bucket {
-                    for &(c, ac) in bucket {
-                        rho[(r, c)] += ar * ac.conj();
-                    }
-                }
-            }
-        } else {
-            let mut buckets: Vec<Vec<(usize, C64)>> = Vec::new();
-            let mut env_index_of = std::collections::HashMap::new();
-            for (i, &a) in self.amps.iter().enumerate() {
-                if a == C64::ZERO {
-                    continue;
-                }
-                let env = i & env_mask;
-                let slot = *env_index_of.entry(env).or_insert_with(|| {
-                    buckets.push(Vec::new());
-                    buckets.len() - 1
-                });
-                buckets[slot].push((extract(i), a));
-            }
-            for bucket in &buckets {
-                for &(r, ar) in bucket {
-                    for &(c, ac) in bucket {
-                        rho[(r, c)] += ar * ac.conj();
-                    }
-                }
-            }
-        }
-        rho
+        rdm_scan(self.amps.len(), &shifts, |i| self.amps[i])
     }
 
     /// Full density matrix `|ψ⟩⟨ψ|` — only sensible for small registers.
@@ -699,6 +595,123 @@ impl StateVector {
         }
         (self.overlap(other) - 1.0).abs() <= tol
     }
+}
+
+/// Core of the reduced-density-matrix readout, shared by
+/// [`StateVector::reduced_density_matrix`] and the lane-direct
+/// [`crate::StateBatch::lane_reduced_density_matrix`] so both produce the
+/// same bits from the same amplitudes: `dim` amplitudes are read through
+/// `amp`, grouped by the traced-out configuration, and accumulated into
+/// `ρ[(r, c)] += a_r · a_c†` per group.
+///
+/// Two global indices `i`, `j` contribute to the same group iff
+/// `i & !keep_mask == j & !keep_mask`. Bucket slots are assigned in
+/// first-seen environment order over the ascending amplitude scan, and
+/// each bucket holds its amplitudes in ascending index order — so the
+/// accumulation order, and therefore the result bits, do not depend on
+/// the storage scheme. Small registers use a direct-address slot table
+/// with flat bucket storage (this is the hot path: one call per lane per
+/// tracepoint in the batched sweep); wide ones fall back to a hash map of
+/// per-slot vectors to avoid a dim-sized table.
+///
+/// # Panics
+///
+/// Panics on duplicate bit shifts.
+pub(crate) fn rdm_scan(dim: usize, shifts: &[usize], amp: impl Fn(usize) -> C64) -> CMatrix {
+    let k = shifts.len();
+    {
+        let mut sorted = shifts.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            k,
+            "duplicate qubits in reduced_density_matrix"
+        );
+    }
+    let dk = 1usize << k;
+    let keep_mask: usize = shifts.iter().map(|&s| 1usize << s).sum();
+    let mut rho = CMatrix::zeros(dk, dk);
+    let extract = |i: usize| -> usize {
+        let mut idx = 0usize;
+        for (bit, &s) in shifts.iter().enumerate() {
+            if (i >> s) & 1 == 1 {
+                idx |= 1 << (k - 1 - bit);
+            }
+        }
+        idx
+    };
+    let env_mask = !keep_mask & (dim - 1);
+    const DIRECT_TABLE_MAX_DIM: usize = 1 << 20;
+    if dim <= DIRECT_TABLE_MAX_DIM {
+        let mut slot_of = vec![usize::MAX; dim];
+        // Pass 1: assign slots in first-seen order, count bucket sizes.
+        let mut counts: Vec<usize> = Vec::new();
+        for i in 0..dim {
+            if amp(i) == C64::ZERO {
+                continue;
+            }
+            let env = i & env_mask;
+            let slot = slot_of[env];
+            if slot == usize::MAX {
+                slot_of[env] = counts.len();
+                counts.push(1);
+            } else {
+                counts[slot] += 1;
+            }
+        }
+        // Pass 2: scatter into one flat array at per-slot offsets; the
+        // ascending scan keeps each bucket in ascending index order.
+        let mut starts = Vec::with_capacity(counts.len() + 1);
+        let mut total = 0usize;
+        for &c in &counts {
+            starts.push(total);
+            total += c;
+        }
+        starts.push(total);
+        let mut cursor = starts.clone();
+        let mut entries: Vec<(usize, C64)> = vec![(0, C64::ZERO); total];
+        for i in 0..dim {
+            let a = amp(i);
+            if a == C64::ZERO {
+                continue;
+            }
+            let slot = slot_of[i & env_mask];
+            entries[cursor[slot]] = (extract(i), a);
+            cursor[slot] += 1;
+        }
+        for s in 0..counts.len() {
+            let bucket = &entries[starts[s]..starts[s + 1]];
+            for &(r, ar) in bucket {
+                for &(c, ac) in bucket {
+                    rho[(r, c)] += ar * ac.conj();
+                }
+            }
+        }
+    } else {
+        let mut buckets: Vec<Vec<(usize, C64)>> = Vec::new();
+        let mut env_index_of = std::collections::HashMap::new();
+        for i in 0..dim {
+            let a = amp(i);
+            if a == C64::ZERO {
+                continue;
+            }
+            let env = i & env_mask;
+            let slot = *env_index_of.entry(env).or_insert_with(|| {
+                buckets.push(Vec::new());
+                buckets.len() - 1
+            });
+            buckets[slot].push((extract(i), a));
+        }
+        for bucket in &buckets {
+            for &(r, ar) in bucket {
+                for &(c, ac) in bucket {
+                    rho[(r, c)] += ar * ac.conj();
+                }
+            }
+        }
+    }
+    rho
 }
 
 #[cfg(test)]

@@ -255,6 +255,22 @@ impl JobResponse {
             Value::UInt(report.run.solver_iterations),
         );
         run.insert("backend".to_string(), Value::Str(report.run.backend.tag()));
+        run.insert(
+            "sparse_spills".to_string(),
+            Value::UInt(report.run.fast_path.spills),
+        );
+        run.insert(
+            "sparse_switches".to_string(),
+            Value::UInt(report.run.fast_path.switches),
+        );
+        run.insert(
+            "splices".to_string(),
+            Value::UInt(report.run.fast_path.splices),
+        );
+        run.insert(
+            "sparse_peak_nonzeros".to_string(),
+            Value::UInt(report.run.fast_path.peak_nonzeros),
+        );
 
         let mut body = base_body(id, status);
         body.insert("characterization_fp".to_string(), fingerprint.to_value());

@@ -4,6 +4,7 @@
 //! single dependency. Downstream users should normally depend on the
 //! individual crates (`morphqpv`, `morph-qsim`, …) directly.
 
+pub use morph_backend as backend;
 pub use morph_baselines as baselines;
 pub use morph_bench as bench;
 pub use morph_clifford as clifford;

@@ -9,6 +9,7 @@
 //! contract promises it, within `TOL` elsewhere — at every worker count
 //! and [`SweepMode`].
 
+use morphqpv_suite::backend::{Simulator, SparseSim};
 use morphqpv_suite::clifford::InputEnsemble;
 use morphqpv_suite::core::{
     characterize, BackendChoice, BackendMode, Characterization, CharacterizationConfig, SweepMode,
@@ -537,6 +538,162 @@ proptest! {
             prop_assert_eq!(&again.traces, &stab.traces);
             prop_assert_eq!(&again.ledger, &stab.ledger);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The spill budget is an exact boundary: a run whose nonzero
+    /// high-water mark `P` fits the budget exactly stays sparse, while a
+    /// budget of `P - 1` spills — and either way the final amplitudes are
+    /// bit-identical to the dense kernels.
+    #[test]
+    fn sparse_spill_budget_boundary_is_exact(
+        tail in proptest::collection::vec(arb_gate(4), 1..10),
+    ) {
+        let n = 4;
+        // A leading H pins the high-water mark at ≥ 2, so `peak - 1` below
+        // is always a meaningful (clamp-free) budget.
+        let gates: Vec<Gate> = std::iter::once(Gate::H(0)).chain(tail).collect();
+        // Probe run with unlimited thresholds to learn the high-water mark.
+        let mut probe = SparseSim::with_thresholds(n, usize::MAX, usize::MAX);
+        for g in &gates {
+            probe.apply_gate(g).unwrap();
+        }
+        let peak = probe.stats().peak_nonzeros as usize;
+        prop_assert!(peak >= 2);
+
+        let mut dense = StateVector::zero_state(n);
+        let mut exact = SparseSim::with_thresholds(n, peak, usize::MAX);
+        let mut under = SparseSim::with_thresholds(n, peak - 1, usize::MAX);
+        for g in &gates {
+            g.apply(&mut dense);
+            exact.apply_gate(g).unwrap();
+            under.apply_gate(g).unwrap();
+        }
+        prop_assert!(!exact.spilled(), "budget met exactly must not spill");
+        prop_assert_eq!(exact.stats().spills, 0);
+        prop_assert!(under.spilled(), "budget exceeded by one must spill");
+        prop_assert_eq!(under.stats().spills, 1);
+        prop_assert_eq!(under.stats().switches, 0);
+        for (i, &want) in dense.amplitudes().iter().enumerate() {
+            prop_assert_eq!(exact.amplitude(i), want);
+            prop_assert_eq!(under.amplitude(i), want);
+        }
+    }
+
+    /// The proactive switch threshold is an exact boundary: a threshold the
+    /// high-water mark `P` reaches exactly triggers the sparse→dense
+    /// switch, `P + 1` leaves the whole run sparse, and gates applied after
+    /// the switch keep the amplitudes bit-identical to dense.
+    #[test]
+    fn sparse_switch_threshold_boundary_is_exact(
+        tail in proptest::collection::vec(arb_gate(4), 2..14),
+    ) {
+        let n = 4;
+        let gates: Vec<Gate> = std::iter::once(Gate::H(0)).chain(tail).collect();
+        let mut probe = SparseSim::with_thresholds(n, usize::MAX, usize::MAX);
+        for g in &gates {
+            probe.apply_gate(g).unwrap();
+        }
+        let peak = probe.stats().peak_nonzeros as usize;
+        prop_assert!(peak >= 2);
+
+        let mut dense = StateVector::zero_state(n);
+        let mut at = SparseSim::with_thresholds(n, usize::MAX, peak);
+        let mut above = SparseSim::with_thresholds(n, usize::MAX, peak + 1);
+        for g in &gates {
+            g.apply(&mut dense);
+            at.apply_gate(g).unwrap();
+            above.apply_gate(g).unwrap();
+        }
+        prop_assert!(at.spilled(), "threshold reached exactly must switch");
+        prop_assert_eq!(at.stats().switches, 1);
+        prop_assert_eq!(at.stats().spills, 0);
+        prop_assert!(!above.spilled(), "one above the peak must stay sparse");
+        prop_assert_eq!(above.stats().switches, 0);
+        for (i, &want) in dense.amplitudes().iter().enumerate() {
+            prop_assert_eq!(at.amplitude(i), want);
+            prop_assert_eq!(above.amplitude(i), want);
+        }
+    }
+}
+
+/// The ISSUE 8 acceptance sweep: a 13-qubit non-Clifford circuit whose
+/// support saturates past the default switch threshold (`dim/8 = 1024`,
+/// also the floor) makes the forced-sparse characterization switch to the
+/// dense engine mid-run. The switch point is deterministic — bit-identical
+/// traces and identical fast-path event counters at every worker count and
+/// sweep mode — and the merged result is bit-identical to the dense oracle.
+#[test]
+fn adaptive_switch_sweep_is_deterministic_and_bitwise_dense() {
+    let n = 13;
+    let mut c = Circuit::new(n);
+    c.tracepoint(1, &[0, 1]);
+    // Eleven superposing H's on qubits the input prep never touches drive
+    // the support 1 → 2048 nonzeros, crossing the 1024-entry default switch
+    // threshold at the tenth H regardless of the sampled input; interleaved
+    // T gates keep the circuit non-Clifford without changing the support.
+    for q in 2..n {
+        c.h(q);
+        c.t(q);
+    }
+    c.cx(2, 0);
+    c.t(0);
+    c.tracepoint(2, &[0, 1, 2]);
+
+    let dense = characterize_on(
+        &c,
+        InputEnsemble::Clifford,
+        3,
+        BackendMode::Dense,
+        1,
+        SweepMode::PerState,
+        5,
+    );
+    let base = characterize_on(
+        &c,
+        InputEnsemble::Clifford,
+        3,
+        BackendMode::Sparse,
+        1,
+        SweepMode::PerState,
+        5,
+    );
+    assert_eq!(base.backend, BackendChoice::Sparse);
+    assert!(
+        base.fast_path.switches > 0,
+        "support crossing the threshold must switch: {:?}",
+        base.fast_path
+    );
+    assert_eq!(
+        base.fast_path.spills, 0,
+        "the proactive switch must pre-empt the spill: {:?}",
+        base.fast_path
+    );
+    assert_eq!(&base.traces, &dense.traces);
+    assert_eq!(&base.ledger, &dense.ledger);
+    for (workers, sweep) in [
+        (2usize, SweepMode::PerState),
+        (4, SweepMode::Batched),
+        (0, SweepMode::Batched),
+    ] {
+        let again = characterize_on(
+            &c,
+            InputEnsemble::Clifford,
+            3,
+            BackendMode::Sparse,
+            workers,
+            sweep,
+            5,
+        );
+        assert_eq!(again.traces, base.traces);
+        assert_eq!(again.ledger, base.ledger);
+        assert_eq!(
+            again.fast_path, base.fast_path,
+            "switch events must not depend on scheduling"
+        );
     }
 }
 
