@@ -89,11 +89,7 @@ pub fn default_budget(n_qubits: usize) -> usize {
 
 fn switch_shift_override() -> Option<u32> {
     static SHIFT: OnceLock<Option<u32>> = OnceLock::new();
-    *SHIFT.get_or_init(|| {
-        std::env::var("MORPH_SPARSE_SWITCH_SHIFT")
-            .ok()
-            .and_then(|s| s.trim().parse().ok())
-    })
+    *SHIFT.get_or_init(|| morph_trace::env_knob("MORPH_SPARSE_SWITCH_SHIFT"))
 }
 
 /// Default proactive-switch threshold for an `n`-qubit register: an
@@ -1106,6 +1102,37 @@ mod tests {
         assert_eq!(sim.nonzeros(), 8);
         assert!(!sim.spilled(), "8 nonzeros under threshold 9 stays sparse");
         assert_eq!(sim.stats().switches, 0);
+    }
+
+    #[test]
+    fn garbage_switch_shift_warns_and_keeps_default() {
+        // `set_var` is UB in a threaded harness, so the garbage value is
+        // probed in a re-exec'd child whose environment is fixed at spawn:
+        // the child re-enters this test, observes the thresholds fall back
+        // to their defaults, and reports through its exit code while the
+        // parent checks the warn-once line on the child's stderr.
+        if std::env::var_os("MORPH_SPARSE_ENV_PROBE").is_some() {
+            let ok = default_switch_threshold(4) == 1024 && default_switch_threshold(16) == 1 << 13;
+            std::process::exit(if ok { 3 } else { 4 });
+        }
+        let exe = std::env::current_exe().expect("test binary path");
+        let out = std::process::Command::new(&exe)
+            .args([
+                "--exact",
+                "sparse::tests::garbage_switch_shift_warns_and_keeps_default",
+                "--nocapture",
+            ])
+            .env("MORPH_SPARSE_ENV_PROBE", "1")
+            .env("MORPH_SPARSE_SWITCH_SHIFT", "not-a-shift")
+            .stdout(std::process::Stdio::null())
+            .output()
+            .expect("spawn probe child");
+        assert_eq!(out.status.code(), Some(3), "defaults survive garbage");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("MORPH_SPARSE_SWITCH_SHIFT"),
+            "invalid knob warns on stderr, got: {stderr}"
+        );
     }
 
     #[test]

@@ -1,0 +1,694 @@
+//! `loadgen` — network load generator for the `morph-serve` TCP listener.
+//!
+//! Drives a live listener with heavy mixed traffic and reports latency
+//! through `morph-trace` histograms:
+//!
+//! - **hot bursts**: pipelined identical requests (one fingerprint per
+//!   round) that must coalesce into a single characterization;
+//! - **cold sweep**: distinct fingerprints, the no-sharing baseline;
+//! - **mixed deadlines**: alternating impossible (`deadline_ms: 0`) and
+//!   generous deadlines on one connection;
+//! - **quota probes**: a pipelined overrun of the per-connection
+//!   in-flight limit and a connection-count overrun, both of which must
+//!   come back as structured rejection lines;
+//! - **golden replay** (`--replay`/`--golden`): streams a fixture file
+//!   through the socket and diffs the transcript byte-for-byte.
+//!
+//! By default the generator spawns its own `morph-serve --listen` child
+//! (low quota knobs, trace export on) and, after closing the child's
+//! stdin to stop it, audits the server-side trace: the run fails unless
+//! the server observed coalesced hits and both quota rejections. Use
+//! `--addr HOST:PORT` to aim at an external listener instead (the
+//! server-side audit is then skipped).
+//!
+//! Latency percentiles land in `BENCH_9.json` (`morph-bench/1` schema).
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--serve-bin PATH] [--out BENCH_9.json]
+//!         [--replay FILE --golden FILE] [--quick] [--trace-json PATH]
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::time::Instant;
+
+use morph_serve::JobRequest;
+use serde::json::Value;
+
+const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--serve-bin PATH] [--out PATH] \
+[--replay FILE --golden FILE] [--quick] [--trace-json PATH]";
+
+const PROGRAM: &str = "\
+qreg q[3];
+T 1 q[0];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+T 2 q[0,1,2];
+// assert assume is_pure(T1) guarantee is_pure(T2)
+";
+
+/// The hot-burst program: a wider GHZ chain whose characterization takes
+/// hundreds of milliseconds. The point is the *coalescing window* — on a
+/// single-core host a worker only overlaps a duplicate job with the
+/// leader's characterization if that characterization outlasts a few
+/// scheduler timeslices; the 3-qubit program above finishes too fast.
+const HOT_PROGRAM: &str = "\
+qreg q[8];
+T 1 q[0];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+cx q[3],q[4];
+cx q[4],q[5];
+cx q[5],q[6];
+cx q[6],q[7];
+T 2 q[0,1,2,3,4,5,6,7];
+// assert assume is_pure(T1) guarantee is_pure(T2)
+";
+
+/// Characterization samples for the hot program: sized so the leader's
+/// characterization spans many scheduler timeslices, guaranteeing the
+/// pipelined duplicates join the flight live instead of hitting the
+/// cache after the fact.
+const HOT_SAMPLES: usize = 64;
+
+/// Spawned-server quota knobs: small enough that the quota phases overrun
+/// them deterministically, large enough for the hot bursts to fit.
+const INFLIGHT_LIMIT: usize = 4;
+const CONN_LIMIT: usize = 8;
+
+struct Args {
+    addr: Option<String>,
+    serve_bin: Option<PathBuf>,
+    out: PathBuf,
+    replay: Option<PathBuf>,
+    golden: Option<PathBuf>,
+    quick: bool,
+    trace_json: Option<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        serve_bin: None,
+        out: PathBuf::from("BENCH_9.json"),
+        replay: None,
+        golden: None,
+        quick: std::env::var_os("MORPH_BENCH_QUICK").is_some(),
+        trace_json: None,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i - 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < argv.len() {
+        let arg = argv[i].clone();
+        i += 1;
+        match arg.as_str() {
+            "--addr" => args.addr = Some(value(&mut i, "--addr")?),
+            "--serve-bin" => args.serve_bin = Some(PathBuf::from(value(&mut i, "--serve-bin")?)),
+            "--out" => args.out = PathBuf::from(value(&mut i, "--out")?),
+            "--replay" => args.replay = Some(PathBuf::from(value(&mut i, "--replay")?)),
+            "--golden" => args.golden = Some(PathBuf::from(value(&mut i, "--golden")?)),
+            "--quick" => args.quick = true,
+            "--trace-json" => args.trace_json = Some(PathBuf::from(value(&mut i, "--trace-json")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+// ---------------------------------------------------------------------------
+// Server management
+// ---------------------------------------------------------------------------
+
+struct SpawnedServer {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    trace_path: PathBuf,
+}
+
+impl SpawnedServer {
+    /// Spawns `morph-serve --listen` with deterministic quota knobs and
+    /// returns the server plus the address it announced on stdout.
+    fn spawn(serve_bin: Option<&PathBuf>) -> Result<(SpawnedServer, String), String> {
+        let bin = match serve_bin {
+            Some(path) => path.clone(),
+            None => {
+                // Default: the sibling binary in the same target dir.
+                let mut exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+                exe.set_file_name("morph-serve");
+                exe
+            }
+        };
+        let trace_path =
+            std::env::temp_dir().join(format!("loadgen-server-trace-{}.json", std::process::id()));
+        let mut child = Command::new(&bin)
+            .args(["--listen", "127.0.0.1:0", "--workers", "2"])
+            .arg("--trace-json")
+            .arg(&trace_path)
+            .env("MORPH_SERVE_INFLIGHT_LIMIT", INFLIGHT_LIMIT.to_string())
+            .env("MORPH_SERVE_CONN_LIMIT", CONN_LIMIT.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn {}: {e}", bin.display()))?;
+        let stdin = child.stdin.take();
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .map_err(|e| format!("read server banner: {e}"))?;
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .ok_or_else(|| format!("unexpected server banner: {line:?}"))?
+            .to_string();
+        Ok((
+            SpawnedServer {
+                child,
+                stdin,
+                trace_path,
+            },
+            addr,
+        ))
+    }
+
+    /// Stops the server (stdin EOF), waits for exit, and returns its
+    /// parsed trace export.
+    fn stop(mut self) -> Result<Value, String> {
+        drop(self.stdin.take());
+        let status = self.child.wait().map_err(|e| format!("wait server: {e}"))?;
+        if !status.success() {
+            return Err(format!("server exited with {status}"));
+        }
+        let text = std::fs::read_to_string(&self.trace_path)
+            .map_err(|e| format!("read server trace: {e}"))?;
+        let _ = std::fs::remove_file(&self.trace_path);
+        serde::json::parse(&text).map_err(|e| format!("parse server trace: {e}"))
+    }
+}
+
+/// Sums a counter across the export's root table and every span.
+fn counter_total(trace: &Value, name: &str) -> u64 {
+    fn span_sum(span: &Value, name: &str) -> u64 {
+        let own = span
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        let children = span
+            .get("children")
+            .and_then(Value::as_array)
+            .map(|kids| kids.iter().map(|k| span_sum(k, name)).sum::<u64>())
+            .unwrap_or(0);
+        own + children
+    }
+    let root = trace
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let spans = trace
+        .get("spans")
+        .and_then(Value::as_array)
+        .map(|spans| spans.iter().map(|s| span_sum(s, name)).sum::<u64>())
+        .unwrap_or(0);
+    root + spans
+}
+
+// ---------------------------------------------------------------------------
+// Client connections
+// ---------------------------------------------------------------------------
+
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Conn, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone socket: {e}"))?,
+        );
+        Ok(Conn { stream, reader })
+    }
+
+    fn send_line(&mut self, line: &str) -> Result<(), String> {
+        writeln!(self.stream, "{line}").map_err(|e| format!("send: {e}"))?;
+        self.stream.flush().map_err(|e| format!("flush: {e}"))
+    }
+
+    fn recv_line(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        Ok(line.trim_end_matches('\n').to_string())
+    }
+}
+
+fn request_with(
+    program: &str,
+    samples: usize,
+    id: &str,
+    seed: u64,
+    deadline_ms: Option<u64>,
+) -> String {
+    let mut req = JobRequest::new(id, program, vec![0]);
+    req.seed = seed;
+    req.samples = Some(samples);
+    req.deadline_ms = deadline_ms;
+    req.to_json_line()
+}
+
+fn request(id: &str, seed: u64, deadline_ms: Option<u64>) -> String {
+    request_with(PROGRAM, 4, id, seed, deadline_ms)
+}
+
+fn status_of(line: &str) -> &'static str {
+    for status in ["passed", "refuted", "failed", "error", "rejected"] {
+        if line.contains(&format!("\"status\":\"{status}\"")) {
+            return status;
+        }
+    }
+    "unknown"
+}
+
+// ---------------------------------------------------------------------------
+// Traffic phases
+// ---------------------------------------------------------------------------
+
+struct PhaseStats {
+    latencies_ns: Vec<u64>,
+}
+
+impl PhaseStats {
+    fn record(&mut self, hist: &str, started: Instant) {
+        let ns = started.elapsed().as_nanos() as u64;
+        self.latencies_ns.push(ns);
+        morph_trace::histogram(hist, ns);
+    }
+}
+
+/// Pipelined identical requests: every round uses a fresh fingerprint so
+/// the burst must coalesce live (not via the artifact cache of an earlier
+/// round). Burst size equals the in-flight quota so nothing is rejected.
+fn hot_bursts(addr: &str, rounds: usize) -> Result<PhaseStats, String> {
+    let mut stats = PhaseStats {
+        latencies_ns: Vec::new(),
+    };
+    let mut conn = Conn::open(addr)?;
+    for round in 0..rounds {
+        let seed = 1_000 + round as u64;
+        let started = Instant::now();
+        for i in 0..INFLIGHT_LIMIT {
+            conn.send_line(&request_with(
+                HOT_PROGRAM,
+                HOT_SAMPLES,
+                &format!("hot-{round}-{i}"),
+                seed,
+                None,
+            ))?;
+        }
+        let mut lines = Vec::new();
+        for _ in 0..INFLIGHT_LIMIT {
+            let line = conn.recv_line()?;
+            stats.record("loadgen/hot_ns", started);
+            lines.push(line);
+        }
+        for line in &lines {
+            if status_of(line) != "passed" {
+                return Err(format!("hot burst {round} failed: {line}"));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Distinct fingerprints, one at a time: the no-sharing baseline.
+fn cold_sweep(addr: &str, n: usize) -> Result<PhaseStats, String> {
+    let mut stats = PhaseStats {
+        latencies_ns: Vec::new(),
+    };
+    let mut conn = Conn::open(addr)?;
+    for i in 0..n {
+        let seed = 100_000 + i as u64;
+        let started = Instant::now();
+        conn.send_line(&request(&format!("cold-{i}"), seed, None))?;
+        let line = conn.recv_line()?;
+        stats.record("loadgen/cold_ns", started);
+        if status_of(&line) != "passed" {
+            return Err(format!("cold job {i} failed: {line}"));
+        }
+    }
+    Ok(stats)
+}
+
+/// Alternating impossible and generous deadlines on one connection. The
+/// impossible ones must come back as structured errors, not hang.
+fn mixed_deadlines(addr: &str, n: usize) -> Result<(PhaseStats, u64), String> {
+    let mut stats = PhaseStats {
+        latencies_ns: Vec::new(),
+    };
+    let mut conn = Conn::open(addr)?;
+    let mut expired = 0;
+    for i in 0..n {
+        let seed = 200_000 + i as u64;
+        let deadline = if i % 2 == 0 { Some(0) } else { Some(10_000) };
+        let started = Instant::now();
+        conn.send_line(&request(&format!("dl-{i}"), seed, deadline))?;
+        let line = conn.recv_line()?;
+        stats.record("loadgen/deadline_ns", started);
+        match (deadline, status_of(&line)) {
+            (Some(0), "error") if line.contains("deadline_exceeded") => expired += 1,
+            (Some(0), _) => return Err(format!("zero deadline not enforced: {line}")),
+            (_, "passed") => {}
+            (_, _) => return Err(format!("deadline job {i} failed: {line}")),
+        }
+    }
+    Ok((stats, expired))
+}
+
+/// Overruns the per-connection in-flight quota with one pipelined burst;
+/// the overflow must answer as `job_quota` rejection lines in-slot.
+fn job_quota_probe(addr: &str) -> Result<u64, String> {
+    let mut conn = Conn::open(addr)?;
+    let total = INFLIGHT_LIMIT * 3;
+    for i in 0..total {
+        // One shared seed: the accepted portion coalesces while the
+        // overflow is refused at admission.
+        conn.send_line(&request(&format!("jq-{i}"), 300_000, None))?;
+    }
+    let mut rejected = 0;
+    for _ in 0..total {
+        let line = conn.recv_line()?;
+        if line.contains("\"kind\":\"job_quota\"") {
+            rejected += 1;
+        }
+    }
+    if rejected == 0 {
+        return Err(format!(
+            "a pipelined burst of {total} never tripped the in-flight quota of {INFLIGHT_LIMIT}"
+        ));
+    }
+    Ok(rejected)
+}
+
+/// Overruns the connection quota; surplus clients must each receive one
+/// `connection_quota` line and a clean close.
+fn conn_quota_probe(addr: &str) -> Result<u64, String> {
+    let mut held = Vec::new();
+    for i in 0..CONN_LIMIT {
+        let mut conn = Conn::open(addr)?;
+        // Round-trip one job so the connection is registered server-side
+        // before the next one arrives.
+        conn.send_line(&request(&format!("cq-{i}"), 400_000 + i as u64, None))?;
+        let line = conn.recv_line()?;
+        if status_of(&line) != "passed" {
+            return Err(format!("quota-holding job failed: {line}"));
+        }
+        held.push(conn);
+    }
+    let mut refused = 0;
+    for _ in 0..2 {
+        let mut conn = Conn::open(addr)?;
+        let line = conn.recv_line()?;
+        if !line.contains("\"kind\":\"connection_quota\"") {
+            return Err(format!("expected a connection_quota line, got: {line}"));
+        }
+        let mut rest = String::new();
+        conn.reader
+            .read_to_string(&mut rest)
+            .map_err(|e| format!("read to close: {e}"))?;
+        if !rest.is_empty() {
+            return Err("refused connection was not closed after the quota line".to_string());
+        }
+        refused += 1;
+    }
+    drop(held);
+    Ok(refused)
+}
+
+/// Streams a request fixture through the socket and returns the raw
+/// transcript for the golden diff.
+///
+/// Paced one request at a time: the golden fixture predates any quota
+/// configuration, so the replay must never overrun the server's
+/// in-flight limit — a `job_quota` line in the transcript would be a
+/// spurious diff, not a protocol regression.
+fn replay(addr: &str, requests_path: &PathBuf) -> Result<String, String> {
+    let requests = std::fs::read_to_string(requests_path)
+        .map_err(|e| format!("read {}: {e}", requests_path.display()))?;
+    let mut conn = Conn::open(addr)?;
+    let mut transcript = String::new();
+    for line in requests.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        conn.send_line(line)?;
+        transcript.push_str(&conn.recv_line()?);
+        transcript.push('\n');
+    }
+    conn.stream
+        .shutdown(Shutdown::Write)
+        .map_err(|e| format!("half-close: {e}"))?;
+    let mut rest = String::new();
+    conn.reader
+        .read_to_string(&mut rest)
+        .map_err(|e| format!("drain close: {e}"))?;
+    transcript.push_str(&rest);
+    Ok(transcript)
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+struct BenchRow {
+    label: String,
+    median_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    samples: usize,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn rows_for(label: &str, stats: &PhaseStats) -> Vec<BenchRow> {
+    let mut sorted = stats.latencies_ns.clone();
+    sorted.sort_unstable();
+    let samples = sorted.len();
+    let mut rows = vec![BenchRow {
+        label: format!("serve_net/{label}"),
+        median_ns: percentile(&sorted, 0.5),
+        min_ns: sorted.first().copied().unwrap_or(0),
+        max_ns: sorted.last().copied().unwrap_or(0),
+        samples,
+    }];
+    for (suffix, q) in [("p90", 0.90), ("p99", 0.99)] {
+        let p = percentile(&sorted, q);
+        rows.push(BenchRow {
+            label: format!("serve_net/{label}/{suffix}"),
+            median_ns: p,
+            min_ns: p,
+            max_ns: p,
+            samples,
+        });
+    }
+    rows
+}
+
+/// Percentile rows for the server-side `serve/latency_ns` histogram from
+/// the child's trace export (log2-bucket upper bounds, clamped to max).
+fn server_histogram_rows(trace: &Value) -> Vec<BenchRow> {
+    let Some(hist) = trace
+        .get("histograms")
+        .and_then(|h| h.get("serve/latency_ns"))
+    else {
+        return Vec::new();
+    };
+    let count = hist.get("count").and_then(Value::as_u64).unwrap_or(0);
+    let max = hist.get("max").and_then(Value::as_u64).unwrap_or(0);
+    let Some(buckets) = hist.get("buckets").and_then(Value::as_array) else {
+        return Vec::new();
+    };
+    if count == 0 {
+        return Vec::new();
+    }
+    let quantile = |q: f64| -> u64 {
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0;
+        for bucket in buckets {
+            let pair = bucket.as_array().unwrap_or(&[]);
+            let hi = pair.first().and_then(Value::as_u64).unwrap_or(0);
+            let c = pair.get(1).and_then(Value::as_u64).unwrap_or(0);
+            seen += c;
+            if seen >= rank {
+                return hi.min(max);
+            }
+        }
+        max
+    };
+    [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)]
+        .iter()
+        .map(|(suffix, q)| {
+            let p = quantile(*q);
+            BenchRow {
+                label: format!("serve_net/server_latency/{suffix}"),
+                median_ns: p,
+                min_ns: p,
+                max_ns: p,
+                samples: count as usize,
+            }
+        })
+        .collect()
+}
+
+fn write_bench_json(path: &PathBuf, rows: &[BenchRow]) -> Result<(), String> {
+    let mut out = String::from("{\"schema\":\"morph-bench/1\",\"benchmarks\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+            row.label, row.median_ns, row.min_ns, row.max_ns, row.samples
+        ));
+    }
+    out.push_str("]}");
+    std::fs::write(path, out).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+fn run(args: &Args) -> Result<(), String> {
+    morph_trace::set_enabled(true);
+
+    let (server, addr) = match &args.addr {
+        Some(addr) => (None, addr.clone()),
+        None => {
+            let (server, addr) = SpawnedServer::spawn(args.serve_bin.as_ref())?;
+            (Some(server), addr)
+        }
+    };
+    eprintln!("loadgen: target {addr} (quick={})", args.quick);
+
+    let (hot_rounds, cold_n, deadline_n) = if args.quick { (3, 6, 4) } else { (10, 32, 16) };
+
+    let hot = hot_bursts(&addr, hot_rounds)?;
+    let cold = cold_sweep(&addr, cold_n)?;
+    let (deadline, expired) = mixed_deadlines(&addr, deadline_n)?;
+    let job_quota_rejections = job_quota_probe(&addr)?;
+    let conn_quota_rejections = conn_quota_probe(&addr)?;
+
+    let mut replay_checked = false;
+    if let Some(requests_path) = &args.replay {
+        let transcript = replay(&addr, requests_path)?;
+        if let Some(golden_path) = &args.golden {
+            let golden = std::fs::read_to_string(golden_path)
+                .map_err(|e| format!("read {}: {e}", golden_path.display()))?;
+            if transcript != golden {
+                return Err(format!(
+                    "streamed transcript differs from {} ({} vs {} bytes)",
+                    golden_path.display(),
+                    transcript.len(),
+                    golden.len()
+                ));
+            }
+            replay_checked = true;
+        }
+    }
+
+    // Stop the server and audit its counters: the network path must have
+    // actually coalesced and actually enforced both quotas.
+    let mut rows = Vec::new();
+    rows.extend(rows_for("hot", &hot));
+    rows.extend(rows_for("cold", &cold));
+    rows.extend(rows_for("deadline_mixed", &deadline));
+    if let Some(server) = server {
+        let trace = server.stop()?;
+        for (name, observed_floor) in [
+            ("serve/coalesced_hit", 1),
+            ("serve/job_quota_rejected", job_quota_rejections),
+            ("serve/conn_quota_rejected", conn_quota_rejections),
+            ("serve/characterize_leader", 1),
+        ] {
+            let total = counter_total(&trace, name);
+            if total < observed_floor {
+                return Err(format!(
+                    "server counter {name} = {total}, expected >= {observed_floor}"
+                ));
+            }
+            eprintln!("loadgen: server {name} = {total}");
+        }
+        rows.extend(server_histogram_rows(&trace));
+    }
+
+    write_bench_json(&args.out, &rows)?;
+    if let Some(path) = &args.trace_json {
+        std::fs::write(path, morph_trace::export_json())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+
+    eprintln!(
+        "loadgen: ok — {} hot, {} cold, {} deadline samples; {} expired deadlines, \
+         {job_quota_rejections} job-quota and {conn_quota_rejections} connection-quota \
+         rejections{}; wrote {}",
+        hot.latencies_ns.len(),
+        cold.latencies_ns.len(),
+        deadline.latencies_ns.len(),
+        expired,
+        if replay_checked {
+            "; golden replay matched byte-for-byte"
+        } else {
+            ""
+        },
+        args.out.display()
+    );
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            if message != USAGE {
+                eprintln!("{USAGE}");
+            }
+            return std::process::ExitCode::from(1);
+        }
+    };
+    match run(&args) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            std::process::ExitCode::from(1)
+        }
+    }
+}

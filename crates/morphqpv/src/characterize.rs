@@ -44,11 +44,14 @@ pub enum SweepMode {
 /// Batch size never changes results (each lane's readout RNG stream is keyed
 /// by its global input index), only the memory/locality trade-off.
 pub fn char_batch_size() -> usize {
-    std::env::var("MORPH_CHAR_BATCH")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&b| b >= 1)
-        .unwrap_or(32)
+    match morph_trace::env_knob::<usize>("MORPH_CHAR_BATCH") {
+        Some(0) => {
+            morph_trace::warn_invalid_knob("MORPH_CHAR_BATCH", "0", "batch size must be >= 1");
+            32
+        }
+        Some(b) => b,
+        None => 32,
+    }
 }
 
 /// Configuration of the characterization stage.
@@ -678,6 +681,43 @@ mod tests {
         c.h(1).cx(0, 1);
         c.tracepoint(2, &[0, 1]);
         c
+    }
+
+    #[test]
+    fn garbage_char_batch_warns_and_keeps_default() {
+        // `set_var` is UB in a threaded harness; each garbage value is
+        // probed in a re-exec'd child whose environment is fixed at spawn.
+        // The child re-enters this test, checks the fallback, and exits 3
+        // (ok) or 4; the parent also asserts the stderr warning.
+        if std::env::var_os("MORPH_CHAR_ENV_PROBE").is_some() {
+            std::process::exit(if char_batch_size() == 32 { 3 } else { 4 });
+        }
+        let exe = std::env::current_exe().expect("test binary path");
+        let probe = |value: &str| {
+            let out = std::process::Command::new(&exe)
+                .args([
+                    "--exact",
+                    "characterize::tests::garbage_char_batch_warns_and_keeps_default",
+                    "--nocapture",
+                ])
+                .env("MORPH_CHAR_ENV_PROBE", "1")
+                .env("MORPH_CHAR_BATCH", value)
+                .stdout(std::process::Stdio::null())
+                .output()
+                .expect("spawn probe child");
+            (
+                out.status.code(),
+                String::from_utf8_lossy(&out.stderr).to_string(),
+            )
+        };
+        for garbage in ["not-a-number", "-3", "0", "4.5"] {
+            let (code, stderr) = probe(garbage);
+            assert_eq!(code, Some(3), "default survives {garbage:?}");
+            assert!(
+                stderr.contains("MORPH_CHAR_BATCH"),
+                "{garbage:?} warns on stderr, got: {stderr}"
+            );
+        }
     }
 
     #[test]

@@ -32,11 +32,24 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 pub mod pool;
 
 pub use pool::{PoolRejection, WorkerPool};
+
+/// Locks a mutex, recovering the inner guard if a previous holder panicked.
+///
+/// Every mutex in this crate protects state whose invariants hold at each
+/// lock release (queues, counters, result slots), so a poisoned lock — a
+/// job panicked while a worker held the guard — is safe to keep using. The
+/// panic itself is surfaced elsewhere (the pool's panic backstop counter,
+/// `parallel_map`'s scope propagation); recovering here keeps one
+/// panicking job from wedging every later request behind a
+/// `PoisonError` cascade.
+pub fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Derives the master seed for a parallel region from the caller's RNG.
 ///
@@ -111,7 +124,7 @@ where
                     break;
                 }
                 let result = f(i, &items[i]);
-                *slots[i].lock().unwrap() = Some(result);
+                *lock_or_recover(&slots[i]) = Some(result);
             });
         }
     });
@@ -119,7 +132,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every index was visited by exactly one worker")
         })
         .collect()
@@ -186,7 +199,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let next = queue.lock().unwrap().next();
+                let next = lock_or_recover(&queue).next();
                 match next {
                     Some((i, chunk)) => f(i, chunk),
                     None => break,
@@ -199,6 +212,18 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lock_or_recover_survives_a_poisoned_mutex() {
+        let m = Mutex::new(7u32);
+        let _ = std::panic::catch_unwind(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison the lock");
+        });
+        assert!(m.is_poisoned());
+        *lock_or_recover(&m) += 1;
+        assert_eq!(*lock_or_recover(&m), 8, "state stays usable after poison");
+    }
 
     #[test]
     fn child_seeds_are_distinct_and_stable() {

@@ -32,10 +32,10 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
-use crate::effective_workers;
+use crate::{effective_workers, lock_or_recover};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -139,17 +139,17 @@ impl WorkerPool {
 
     /// Jobs queued but not yet picked up by a worker.
     pub fn queue_depth(&self) -> usize {
-        self.shared.state.lock().unwrap().queue.len()
+        lock_or_recover(&self.shared.state).queue.len()
     }
 
     /// Jobs currently executing on worker threads.
     pub fn in_flight(&self) -> usize {
-        self.shared.state.lock().unwrap().in_flight
+        lock_or_recover(&self.shared.state).in_flight
     }
 
     /// Jobs whose unwind was caught by the pool's panic backstop.
     pub fn panicked_jobs(&self) -> u64 {
-        self.shared.state.lock().unwrap().panicked_jobs
+        lock_or_recover(&self.shared.state).panicked_jobs
     }
 
     /// Enqueues a job without blocking.
@@ -161,7 +161,7 @@ impl WorkerPool {
     where
         F: FnOnce() + Send + 'static,
     {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock_or_recover(&self.shared.state);
         if state.shutting_down {
             return Err(PoolRejection::ShuttingDown);
         }
@@ -179,12 +179,12 @@ impl WorkerPool {
     /// Stops workers from dequeuing new jobs; running jobs finish normally.
     /// Submissions are still accepted up to the queue cap.
     pub fn pause(&self) {
-        self.shared.state.lock().unwrap().paused = true;
+        lock_or_recover(&self.shared.state).paused = true;
     }
 
     /// Resumes dequeuing after [`pause`](Self::pause).
     pub fn resume(&self) {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock_or_recover(&self.shared.state);
         state.paused = false;
         drop(state);
         self.shared.work_ready.notify_all();
@@ -194,9 +194,13 @@ impl WorkerPool {
     ///
     /// Note: a paused pool with queued jobs never drains — resume first.
     pub fn drain(&self) {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock_or_recover(&self.shared.state);
         while !state.queue.is_empty() || state.in_flight > 0 {
-            state = self.shared.idle.wait(state).unwrap();
+            state = self
+                .shared
+                .idle
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -212,7 +216,7 @@ impl WorkerPool {
     }
 
     fn begin_shutdown(&self) {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock_or_recover(&self.shared.state);
         state.shutting_down = true;
         state.paused = false;
         drop(state);
@@ -231,7 +235,7 @@ impl Drop for WorkerPool {
 
 impl fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let state = self.shared.state.lock().unwrap();
+        let state = lock_or_recover(&self.shared.state);
         f.debug_struct("WorkerPool")
             .field("workers", &self.workers)
             .field("capacity", &self.shared.capacity)
@@ -246,7 +250,7 @@ impl fmt::Debug for WorkerPool {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = lock_or_recover(&shared.state);
             loop {
                 if !state.paused {
                     if let Some(job) = state.queue.pop_front() {
@@ -257,13 +261,16 @@ fn worker_loop(shared: &PoolShared) {
                         return;
                     }
                 }
-                state = shared.work_ready.wait(state).unwrap();
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
 
         let outcome = catch_unwind(AssertUnwindSafe(job));
 
-        let mut state = shared.state.lock().unwrap();
+        let mut state = lock_or_recover(&shared.state);
         state.in_flight -= 1;
         if outcome.is_err() {
             state.panicked_jobs += 1;

@@ -42,10 +42,7 @@ const DEFAULT_PARALLEL_THRESHOLD: usize = 10;
 fn parallel_threshold() -> usize {
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
-        std::env::var("MORPH_DENSITY_PAR_THRESHOLD")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(DEFAULT_PARALLEL_THRESHOLD)
+        morph_trace::env_knob("MORPH_DENSITY_PAR_THRESHOLD").unwrap_or(DEFAULT_PARALLEL_THRESHOLD)
     })
 }
 

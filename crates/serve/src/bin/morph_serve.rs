@@ -1,72 +1,111 @@
-//! `morph-serve` — batch front-end for the verification service.
+//! `morph-serve` — batch and network front-end for the verification
+//! service.
 //!
-//! Reads newline-delimited JSON job requests from a file (or stdin when no
-//! file is given), runs them on the concurrent service, and writes one
-//! response line per request to stdout, in request order. Protocol:
-//! `docs/serve-protocol.md`.
+//! **Batch mode** (default): reads newline-delimited JSON job requests
+//! from a file (or stdin when no file is given), runs them on the
+//! concurrent service, and writes one response line per request to
+//! stdout, in request order. Protocol: `docs/serve-protocol.md`.
+//!
+//! **Listener mode** (`--listen [ADDR]`): binds a TCP socket and serves
+//! the same JSON-lines protocol to concurrent keep-alive connections.
+//! The bound address is announced on stdout as `listening on HOST:PORT`
+//! (port `0` in ADDR lets the OS pick); the process then runs until its
+//! stdin reaches EOF, at which point it drains open connections and
+//! exits 0.
 //!
 //! ```text
-//! morph-serve [REQUESTS.jsonl] [--workers N] [--queue-cap N]
-//!             [--cache-dir DIR] [--deadline-ms MS] [--trace-json PATH]
+//! morph-serve [REQUESTS.jsonl] [--listen [ADDR]] [--workers N]
+//!             [--queue-cap N] [--cache-dir DIR] [--deadline-ms MS]
+//!             [--trace-json PATH]
 //! ```
 //!
-//! Exit code: the maximum per-job code under the workspace convention —
-//! 0 all assertions passed, 2 at least one refuted, 1 any job failed
-//! (including unusable requests). Flag errors exit 1 with usage on
-//! stderr.
+//! Batch exit code: the maximum per-job code under the workspace
+//! convention — 0 all assertions passed, 2 at least one refuted, 1 any
+//! job failed (including unusable requests). Flag errors exit 1 with
+//! usage on stderr.
 //!
 //! `--workers` / `--queue-cap` default from `MORPH_SERVE_WORKERS` /
-//! `MORPH_SERVE_QUEUE_CAP` (see `docs/configuration.md`). `--trace-json`
+//! `MORPH_SERVE_QUEUE_CAP`; `--listen` without ADDR defaults from
+//! `MORPH_SERVE_ADDR` (see `docs/configuration.md`). `--trace-json`
 //! enables the `morph-trace` recorder and writes the span/counter export
 //! (including the `serve/coalesced_hit` and `serve/characterize_leader`
-//! counters) to the given path after the batch.
+//! counters, and in listener mode the `serve/latency_ns` histogram) to
+//! the given path on exit.
 
 use std::fs::File;
-use std::io::{self, BufReader};
+use std::io::{self, BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use morph_serve::{run_batch, ServeConfig};
+use morph_serve::{run_batch, serve_listener, ListenerConfig, ServeConfig, Service};
 
 struct Args {
     requests: Option<PathBuf>,
     config: ServeConfig,
     trace_json: Option<PathBuf>,
+    listen: Option<ListenerConfig>,
 }
 
-const USAGE: &str = "usage: morph-serve [REQUESTS.jsonl] [--workers N] [--queue-cap N] \
-[--cache-dir DIR] [--deadline-ms MS] [--trace-json PATH]";
+const USAGE: &str = "usage: morph-serve [REQUESTS.jsonl] [--listen [ADDR]] [--workers N] \
+[--queue-cap N] [--cache-dir DIR] [--deadline-ms MS] [--trace-json PATH]";
+
+fn take_value(argv: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    if *i < argv.len() {
+        let value = argv[*i].clone();
+        *i += 1;
+        Ok(value)
+    } else {
+        Err(format!("{flag} requires a value"))
+    }
+}
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         requests: None,
         config: ServeConfig::from_env(),
         trace_json: None,
+        listen: None,
     };
-    let mut iter = argv.iter();
-    while let Some(arg) = iter.next() {
-        let mut value_of = |flag: &str| {
-            iter.next()
-                .cloned()
-                .ok_or_else(|| format!("{flag} requires a value"))
-        };
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i].clone();
+        i += 1;
         match arg.as_str() {
+            "--listen" => {
+                let mut listen = ListenerConfig::from_env();
+                // ADDR is optional: consume the next token only if it
+                // looks like host:port rather than another flag.
+                if i < argv.len() && !argv[i].starts_with('-') && argv[i].contains(':') {
+                    listen.addr = argv[i].clone();
+                    i += 1;
+                }
+                args.listen = Some(listen);
+            }
             "--workers" => {
-                args.config.workers = parse_count(&value_of("--workers")?, "--workers")?;
+                args.config.workers =
+                    parse_count(&take_value(argv, &mut i, "--workers")?, "--workers")?;
             }
             "--queue-cap" => {
-                let cap = parse_count(&value_of("--queue-cap")?, "--queue-cap")?;
+                let cap = parse_count(&take_value(argv, &mut i, "--queue-cap")?, "--queue-cap")?;
                 if cap == 0 {
                     return Err("--queue-cap must be nonzero".to_string());
                 }
                 args.config.queue_capacity = cap;
             }
-            "--cache-dir" => args.config.cache_dir = Some(PathBuf::from(value_of("--cache-dir")?)),
-            "--deadline-ms" => {
-                args.config.default_deadline_ms =
-                    Some(parse_count(&value_of("--deadline-ms")?, "--deadline-ms")? as u64);
+            "--cache-dir" => {
+                args.config.cache_dir =
+                    Some(PathBuf::from(take_value(argv, &mut i, "--cache-dir")?));
             }
-            "--trace-json" => args.trace_json = Some(PathBuf::from(value_of("--trace-json")?)),
+            "--deadline-ms" => {
+                args.config.default_deadline_ms = Some(parse_count(
+                    &take_value(argv, &mut i, "--deadline-ms")?,
+                    "--deadline-ms",
+                )? as u64);
+            }
+            "--trace-json" => {
+                args.trace_json = Some(PathBuf::from(take_value(argv, &mut i, "--trace-json")?));
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             path => {
@@ -77,6 +116,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
         }
     }
+    if args.listen.is_some() && args.requests.is_some() {
+        return Err("--listen does not take a requests file".to_string());
+    }
     Ok(args)
 }
 
@@ -85,18 +127,50 @@ fn parse_count(text: &str, flag: &str) -> Result<usize, String> {
         .map_err(|_| format!("{flag}: `{text}` is not an unsigned integer"))
 }
 
+/// Runs listener mode: announce the bound address, serve until stdin EOF.
+fn run_listener(config: &ServeConfig, listen: &ListenerConfig) -> io::Result<i32> {
+    let service = Arc::new(Service::start(config)?);
+    let listener = serve_listener(Arc::clone(&service), listen)?;
+    {
+        let mut stdout = io::stdout().lock();
+        writeln!(stdout, "listening on {}", listener.local_addr())?;
+        stdout.flush()?;
+    }
+    // Stdin EOF is the shutdown signal: parents (tests, CI, the load
+    // generator) hold a pipe open and close it to stop the server.
+    let mut line = String::new();
+    let mut stdin = io::stdin().lock();
+    loop {
+        line.clear();
+        if stdin.read_line(&mut line)? == 0 {
+            break;
+        }
+    }
+    listener.shutdown();
+    // The listener joined every connection thread, so this Arc is unique
+    // again; drain the worker pool before exiting.
+    if let Ok(service) = Arc::try_unwrap(service) {
+        service.shutdown();
+    }
+    Ok(0)
+}
+
 fn run(args: &Args) -> io::Result<i32> {
     if args.trace_json.is_some() {
         morph_trace::set_enabled(true);
     }
-    let stdout = io::stdout();
-    let exit = match &args.requests {
-        Some(path) => run_batch(
-            BufReader::new(File::open(path)?),
-            stdout.lock(),
-            &args.config,
-        )?,
-        None => run_batch(io::stdin().lock(), stdout.lock(), &args.config)?,
+    let exit = if let Some(listen) = &args.listen {
+        run_listener(&args.config, listen)?
+    } else {
+        let stdout = io::stdout();
+        match &args.requests {
+            Some(path) => run_batch(
+                BufReader::new(File::open(path)?),
+                stdout.lock(),
+                &args.config,
+            )?,
+            None => run_batch(io::stdin().lock(), stdout.lock(), &args.config)?,
+        }
     };
     if let Some(path) = &args.trace_json {
         std::fs::write(path, morph_trace::export_json())?;

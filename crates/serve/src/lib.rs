@@ -23,12 +23,16 @@
 //! is contained to its own error response; shutdown drains accepted work
 //! first.
 
+pub mod listener;
 pub mod protocol;
 pub mod service;
+pub mod shard;
 pub mod singleflight;
 
+pub use listener::{serve_listener, Listener, ListenerConfig};
 pub use protocol::{JobRequest, JobResponse, JobStatus, PROTOCOL_VERSION};
 pub use service::{JobError, JobHandle, JobOutput, ServeConfig, Service, SubmitError};
+pub use shard::{CharacterizationShards, DEFAULT_SHARDS};
 
 use std::io::{self, BufRead, Write};
 use std::time::Duration;

@@ -1,0 +1,388 @@
+//! The TCP front end: JSON-lines over keep-alive sockets.
+//!
+//! [`serve_listener`] binds a [`TcpListener`] and serves the existing
+//! bit-reproducible protocol ([`crate::protocol`]) to any number of
+//! concurrent clients. Each connection is newline-delimited JSON both
+//! ways: one request per line in, one response per line out, **responses
+//! in request order per connection** — the same contract as batch mode, so
+//! golden fixtures diff byte-for-byte against a socket transcript. Within
+//! that ordering constraint responses *stream*: a finished response is
+//! written while later requests on the same connection are still being
+//! read (reader and writer are separate threads joined by a FIFO).
+//!
+//! # Admission control
+//!
+//! Backpressure is always a structured line, never a dropped connection:
+//!
+//! - **Connection quota** ([`ListenerConfig::conn_limit`]): a client
+//!   arriving past the limit receives one `connection_quota` rejection
+//!   line and a clean close.
+//! - **In-flight job quota** ([`ListenerConfig::inflight_limit`]): a
+//!   request arriving while the connection already has that many
+//!   unanswered jobs gets a `job_quota` rejection line in-slot.
+//! - **Queue saturation**: the service's own `queue_full` rejection is
+//!   forwarded in-slot (the listener never blocks the socket on a full
+//!   queue).
+//!
+//! # Telemetry (`morph-trace`, off by default)
+//!
+//! Counters `serve/conn_opened`, `serve/conn_closed`,
+//! `serve/conn_quota_rejected`, `serve/job_quota_rejected`,
+//! `serve/net_requests`, `serve/net_responses`; histogram
+//! `serve/latency_ns` (request read → response written, per request).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use morph_trace::{env_knob, lock_or_recover};
+
+use crate::protocol::{salvage_id, JobRequest, JobResponse};
+use crate::service::{JobHandle, Service, SubmitError};
+
+/// How often blocked socket reads and the accept loop re-check the stop
+/// flag.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Network listener configuration.
+#[derive(Debug, Clone)]
+pub struct ListenerConfig {
+    /// Bind address. Port `0` lets the OS pick (the bound address is
+    /// reported by [`Listener::local_addr`]).
+    pub addr: String,
+    /// Maximum concurrently open client connections.
+    pub conn_limit: usize,
+    /// Maximum unanswered jobs per connection.
+    pub inflight_limit: usize,
+}
+
+impl Default for ListenerConfig {
+    fn default() -> Self {
+        ListenerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            conn_limit: 64,
+            inflight_limit: 32,
+        }
+    }
+}
+
+impl ListenerConfig {
+    /// Defaults overridden by `MORPH_SERVE_ADDR`,
+    /// `MORPH_SERVE_CONN_LIMIT`, and `MORPH_SERVE_INFLIGHT_LIMIT`.
+    /// Unparseable or zero limits keep the default and warn once via
+    /// [`morph_trace::warn_invalid_knob`].
+    pub fn from_env() -> Self {
+        let mut config = ListenerConfig::default();
+        if let Ok(addr) = std::env::var("MORPH_SERVE_ADDR") {
+            if !addr.trim().is_empty() {
+                config.addr = addr.trim().to_string();
+            }
+        }
+        for (name, slot) in [
+            ("MORPH_SERVE_CONN_LIMIT", &mut config.conn_limit),
+            ("MORPH_SERVE_INFLIGHT_LIMIT", &mut config.inflight_limit),
+        ] {
+            match env_knob::<usize>(name) {
+                Some(0) => morph_trace::warn_invalid_knob(name, "0", "limit must be >= 1"),
+                Some(n) => *slot = n,
+                None => {}
+            }
+        }
+        config
+    }
+}
+
+/// A running network listener; dropping (or [`shutdown`](Self::shutdown))
+/// stops accepting, lets open connections finish their in-flight work,
+/// and joins every thread.
+pub struct Listener {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Listener {
+    /// The address actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, winds down open connections (their already-read
+    /// requests still get responses), and joins all listener threads. The
+    /// [`Service`] itself is left running — shut it down separately.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        loop {
+            // Connection threads may still be registering; drain until the
+            // vector stays empty.
+            let drained: Vec<JoinHandle<()>> =
+                lock_or_recover(&self.conn_threads).drain(..).collect();
+            if drained.is_empty() {
+                break;
+            }
+            for handle in drained {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds `config.addr` and serves `service` until shutdown.
+///
+/// # Errors
+///
+/// The I/O error if the address cannot be bound.
+pub fn serve_listener(service: Arc<Service>, config: &ListenerConfig) -> io::Result<Listener> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let conn_count = Arc::new(AtomicUsize::new(0));
+
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let conn_threads = Arc::clone(&conn_threads);
+        let config = config.clone();
+        std::thread::spawn(move || {
+            accept_loop(
+                &listener,
+                &service,
+                &config,
+                &stop,
+                &conn_threads,
+                &conn_count,
+            );
+        })
+    };
+
+    Ok(Listener {
+        local_addr,
+        stop,
+        accept: Some(accept),
+        conn_threads,
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<Service>,
+    config: &ListenerConfig,
+    stop: &Arc<AtomicBool>,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conn_count: &Arc<AtomicUsize>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if conn_count.load(Ordering::SeqCst) >= config.conn_limit {
+                    morph_trace::counter("serve/conn_quota_rejected", 1);
+                    refuse_connection(stream, config.conn_limit);
+                    continue;
+                }
+                conn_count.fetch_add(1, Ordering::SeqCst);
+                morph_trace::counter("serve/conn_opened", 1);
+                let service = Arc::clone(service);
+                let stop = Arc::clone(stop);
+                let conn_count = Arc::clone(conn_count);
+                let inflight_limit = config.inflight_limit;
+                let handle = std::thread::spawn(move || {
+                    serve_connection(stream, &service, inflight_limit, &stop);
+                    conn_count.fetch_sub(1, Ordering::SeqCst);
+                    morph_trace::counter("serve/conn_closed", 1);
+                });
+                lock_or_recover(conn_threads).push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_TICK);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // A failed accept (e.g. EMFILE) must not kill the listener.
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+}
+
+/// Writes one `connection_quota` rejection line and closes.
+fn refuse_connection(mut stream: TcpStream, limit: usize) {
+    let response = JobResponse::from_refusal(
+        "<connection>",
+        "connection_quota",
+        &format!("connection limit reached (limit {limit})"),
+    );
+    let _ = writeln!(stream, "{}", response.to_json_line());
+    let _ = stream.flush();
+}
+
+/// One queued unit of per-connection output, in request order.
+enum Slot {
+    /// Already resolved (parse error or admission rejection).
+    Ready(Box<JobResponse>),
+    /// A submitted job; the writer blocks on the handle in slot order.
+    Pending(String, JobHandle),
+}
+
+/// A request's transit record: the slot plus its arrival instant for the
+/// latency histogram.
+struct Entry {
+    slot: Slot,
+    arrived: Instant,
+}
+
+/// Serves one keep-alive connection: a reader loop on this thread feeding
+/// a writer thread through an order-preserving FIFO.
+fn serve_connection(
+    stream: TcpStream,
+    service: &Arc<Service>,
+    inflight_limit: usize,
+    stop: &AtomicBool,
+) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<Entry>();
+    // Unanswered submitted jobs on this connection; the reader admits
+    // against it, the writer retires it after each response line.
+    let in_flight = Arc::new(AtomicUsize::new(0));
+
+    let writer = {
+        let in_flight = Arc::clone(&in_flight);
+        std::thread::spawn(move || write_loop(write_half, rx, &in_flight))
+    };
+
+    read_loop(stream, service, inflight_limit, stop, &tx, &in_flight);
+
+    drop(tx); // Reader done: writer drains remaining slots, then exits.
+    let _ = writer.join();
+}
+
+/// Reads newline-delimited requests, submitting each and queuing its slot.
+///
+/// Framing is manual (byte buffer + explicit `\n` scan): `BufReader`
+/// would discard its internal buffer on the read-timeout errors this loop
+/// uses to poll the stop flag, losing bytes of a half-received line.
+fn read_loop(
+    mut stream: TcpStream,
+    service: &Arc<Service>,
+    inflight_limit: usize,
+    stop: &AtomicBool,
+    tx: &mpsc::Sender<Entry>,
+    in_flight: &Arc<AtomicUsize>,
+) {
+    if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // Client closed its write side.
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    let raw: Vec<u8> = buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&raw[..raw.len() - 1]);
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let entry = Entry {
+                        slot: admit(&line, service, inflight_limit, in_flight),
+                        arrived: Instant::now(),
+                    };
+                    if tx.send(entry).is_err() {
+                        return; // Writer died (broken socket).
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses and submits one request line under the connection's quotas.
+fn admit(
+    line: &str,
+    service: &Arc<Service>,
+    inflight_limit: usize,
+    in_flight: &Arc<AtomicUsize>,
+) -> Slot {
+    morph_trace::counter("serve/net_requests", 1);
+    let request = match JobRequest::from_json_line(line) {
+        Ok(request) => request,
+        Err(message) => {
+            let id = salvage_id(line);
+            return Slot::Ready(Box::new(JobResponse::from_invalid_line(&id, &message)));
+        }
+    };
+    let id = request.id.clone();
+    if in_flight.load(Ordering::SeqCst) >= inflight_limit {
+        morph_trace::counter("serve/job_quota_rejected", 1);
+        return Slot::Ready(Box::new(JobResponse::from_refusal(
+            &id,
+            "job_quota",
+            &format!("connection in-flight job limit reached (limit {inflight_limit})"),
+        )));
+    }
+    match service.submit(request) {
+        Ok(handle) => {
+            in_flight.fetch_add(1, Ordering::SeqCst);
+            Slot::Pending(id, handle)
+        }
+        Err(rejection @ (SubmitError::QueueFull { .. } | SubmitError::ShuttingDown)) => {
+            Slot::Ready(Box::new(JobResponse::from_rejection(&id, &rejection)))
+        }
+    }
+}
+
+/// Writes responses in FIFO (request) order, streaming each as soon as its
+/// job finishes.
+fn write_loop(mut stream: TcpStream, rx: mpsc::Receiver<Entry>, in_flight: &AtomicUsize) {
+    for entry in rx {
+        let response = match entry.slot {
+            Slot::Ready(response) => *response,
+            Slot::Pending(id, handle) => {
+                let response = match handle.wait() {
+                    Ok(out) => JobResponse::from_report(&id, out.fingerprint, &out.report),
+                    Err(e) => JobResponse::from_error(&id, &e),
+                };
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                response
+            }
+        };
+        if writeln!(stream, "{}", response.to_json_line()).is_err() {
+            return; // Peer gone; pending handles drain via their Drops.
+        }
+        let _ = stream.flush();
+        morph_trace::counter("serve/net_responses", 1);
+        morph_trace::histogram(
+            "serve/latency_ns",
+            entry.arrived.elapsed().as_nanos() as u64,
+        );
+    }
+}

@@ -303,6 +303,14 @@ impl JobResponse {
         JobResponse::error_with(id, JobStatus::Error, "invalid_request", message)
     }
 
+    /// Builds a structured refusal with an explicit kind — the network
+    /// listener's admission-control rejections (`connection_quota`,
+    /// `job_quota`) that have no [`SubmitError`] counterpart. The job (or
+    /// connection) never ran; status is `rejected`.
+    pub fn from_refusal(id: &str, kind: &str, message: &str) -> JobResponse {
+        JobResponse::error_with(id, JobStatus::Rejected, kind, message)
+    }
+
     fn error_with(id: &str, status: JobStatus, kind: &str, message: &str) -> JobResponse {
         let mut body = base_body(id, status);
         let mut err = BTreeMap::new();

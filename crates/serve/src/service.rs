@@ -36,25 +36,31 @@ use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 use morph_parallel::{PoolRejection, WorkerPool};
 use morph_qsim::NoiseModel;
-use morph_store::Fingerprint;
+use morph_store::{Fingerprint, FingerprintLock};
+use morph_trace::env_knob;
 use morphqpv::prelude::{
-    assertions_from_source, parse_program, CancelToken, Cancelled, Characterization,
-    CharacterizationCache, MorphError, VerificationReport, Verifier,
+    assertions_from_source, parse_program, CancelToken, Cancelled, Characterization, MorphError,
+    VerificationReport, Verifier,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::protocol::JobRequest;
-use crate::singleflight::{FlightOutcome, Joined, SingleFlight};
+use crate::shard::{CharacterizationShards, DEFAULT_SHARDS};
+use crate::singleflight::{FlightOutcome, Joined};
 
 /// How often a coalesced follower re-checks its own deadline while waiting
 /// on a leader.
 const FOLLOWER_TICK: Duration = Duration::from_millis(10);
+
+/// How often a leader waiting on another *process's* store lock re-checks
+/// its own deadline.
+const STORE_LOCK_TICK: Duration = Duration::from_millis(10);
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +74,8 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Deadline applied to jobs whose request carries no `deadline_ms`.
     pub default_deadline_ms: Option<u64>,
+    /// Independent cache/flight stripes (clamped to at least 1).
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -77,30 +85,42 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             cache_dir: None,
             default_deadline_ms: None,
+            shards: DEFAULT_SHARDS,
         }
     }
 }
 
 impl ServeConfig {
-    /// Defaults overridden by the `MORPH_SERVE_WORKERS` and
-    /// `MORPH_SERVE_QUEUE_CAP` environment variables (ignored when unset
-    /// or unparseable; a parsed queue capacity of `0` is ignored too).
+    /// Defaults overridden by the `MORPH_SERVE_WORKERS`,
+    /// `MORPH_SERVE_QUEUE_CAP`, and `MORPH_SERVE_SHARDS` environment
+    /// variables. Unset variables keep the default; unparseable or
+    /// out-of-range values (a zero queue capacity or stripe count) keep
+    /// the default *and* warn once via [`morph_trace::warn_invalid_knob`].
     pub fn from_env() -> Self {
         let mut config = ServeConfig::default();
-        if let Some(n) = env_usize("MORPH_SERVE_WORKERS") {
+        if let Some(n) = env_knob::<usize>("MORPH_SERVE_WORKERS") {
             config.workers = n;
         }
-        if let Some(n) = env_usize("MORPH_SERVE_QUEUE_CAP") {
-            if n > 0 {
-                config.queue_capacity = n;
-            }
+        match env_knob::<usize>("MORPH_SERVE_QUEUE_CAP") {
+            Some(0) => morph_trace::warn_invalid_knob(
+                "MORPH_SERVE_QUEUE_CAP",
+                "0",
+                "queue capacity must be >= 1",
+            ),
+            Some(n) => config.queue_capacity = n,
+            None => {}
+        }
+        match env_knob::<usize>("MORPH_SERVE_SHARDS") {
+            Some(0) => morph_trace::warn_invalid_knob(
+                "MORPH_SERVE_SHARDS",
+                "0",
+                "stripe count must be >= 1",
+            ),
+            Some(n) => config.shards = n,
+            None => {}
         }
         config
     }
-}
-
-fn env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok()?.trim().parse().ok()
 }
 
 /// Why [`Service::submit`] refused a job without running it.
@@ -262,8 +282,7 @@ impl JobHandle {
 }
 
 struct ServiceShared {
-    cache: Mutex<CharacterizationCache>,
-    flights: SingleFlight<Fingerprint, Characterization>,
+    shards: CharacterizationShards,
 }
 
 /// The verification service. See the module docs for the job lifecycle.
@@ -284,16 +303,10 @@ impl Service {
     ///
     /// Panics if `config.queue_capacity` is zero.
     pub fn start(config: &ServeConfig) -> io::Result<Service> {
-        let cache = match &config.cache_dir {
-            Some(dir) => CharacterizationCache::open(dir)?,
-            None => CharacterizationCache::in_memory(),
-        };
+        let shards = CharacterizationShards::open(config.shards, config.cache_dir.as_deref())?;
         Ok(Service {
             pool: WorkerPool::new(config.workers, config.queue_capacity),
-            shared: Arc::new(ServiceShared {
-                cache: Mutex::new(cache),
-                flights: SingleFlight::new(),
-            }),
+            shared: Arc::new(ServiceShared { shards }),
             default_deadline_ms: config.default_deadline_ms,
         })
     }
@@ -464,6 +477,12 @@ fn build_verifier(request: &JobRequest) -> Result<Verifier, JobError> {
 /// The loop re-enters after an abandoned flight (leader errored or
 /// panicked) so a transient leader failure costs followers a re-election,
 /// not a spurious error.
+///
+/// When the cache is disk-backed, a leader additionally takes the
+/// fingerprint's cross-process [`FingerprintLock`] before computing, then
+/// re-checks the cache: another *process* sharing `MORPH_CACHE_DIR` may
+/// have published the artifact while this one waited. The in-process
+/// flight table dedupes threads; the file lock dedupes processes.
 fn obtain_characterization(
     shared: &ServiceShared,
     verifier: &Verifier,
@@ -473,29 +492,50 @@ fn obtain_characterization(
 ) -> Result<Characterization, JobError> {
     loop {
         token.check()?;
-        if let Some(hit) = shared.cache.lock().unwrap().get(&fingerprint) {
+        if let Some(hit) = shared.shards.cache_get(&fingerprint) {
             morph_trace::counter("serve/cache_hit", 1);
             return Ok(hit);
         }
-        match shared.flights.join(fingerprint) {
+        match shared.shards.join(fingerprint) {
             Joined::Leader(guard) => {
                 // Double-check the cache: between this job's miss and
                 // winning the flight, a previous leader may have published
                 // its artifact and retired. Serving the hit (and completing
                 // the flight with it) keeps "characterizations computed"
                 // exactly equal to the `serve/characterize_leader` counter.
-                if let Some(hit) = shared.cache.lock().unwrap().get(&fingerprint) {
+                if let Some(hit) = shared.shards.cache_get(&fingerprint) {
                     morph_trace::counter("serve/cache_hit", 1);
                     guard.complete(hit.clone());
                     return Ok(hit);
                 }
+                let _store_lock = match shared.shards.cache_dir() {
+                    Some(dir) => {
+                        let lock =
+                            FingerprintLock::acquire(dir, &fingerprint, STORE_LOCK_TICK, || {
+                                token.is_cancelled()
+                            })
+                            .map_err(|e| JobError::Verification(MorphError::Store(e)))?;
+                        token.check()?;
+                        // Holding the lock (or having given up on a
+                        // cancelled token, caught above): another process
+                        // may have published while this one waited.
+                        if let Some(hit) = shared.shards.cache_get(&fingerprint) {
+                            morph_trace::counter("serve/cache_hit", 1);
+                            morph_trace::counter("serve/cross_process_hit", 1);
+                            guard.complete(hit.clone());
+                            return Ok(hit);
+                        }
+                        lock
+                    }
+                    None => None,
+                };
                 morph_trace::counter("serve/characterize_leader", 1);
                 // An error here drops `guard`, abandoning the flight and
                 // waking followers to re-elect.
                 let ch = verifier.try_characterize_for_seed(char_seed, token)?;
                 // Publish to the cache *before* retiring the flight so a
                 // job arriving after removal finds the artifact.
-                let _ = shared.cache.lock().unwrap().put(fingerprint, &ch);
+                shared.shards.cache_put(fingerprint, &ch);
                 guard.complete(ch.clone());
                 return Ok(ch);
             }

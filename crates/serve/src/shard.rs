@@ -1,0 +1,177 @@
+//! Sharded characterization cache + flight table.
+//!
+//! PR 5's service kept one global `Mutex<CharacterizationCache>` and one
+//! flight table: correct, but every cache probe from every worker
+//! serialized on a single lock, so coalescing itself became the
+//! bottleneck under concurrent network traffic. This module splits the
+//! state into `N` independent **stripes**. A fingerprint maps to exactly
+//! one stripe (a pure function of its bytes), so:
+//!
+//! - two jobs with the *same* fingerprint always meet in the same stripe —
+//!   coalescing semantics are unchanged;
+//! - jobs with *different* fingerprints contend only `1/N` of the time —
+//!   lock hold times no longer sum across unrelated requests.
+//!
+//! Every stripe opens the same on-disk directory (when configured). That
+//! is safe for the same reason multiple *processes* sharing the directory
+//! are safe: disk writes are atomic, and a fingerprint's memory-tier entry
+//! lives in exactly one stripe's LRU, so no artifact is resident twice.
+//!
+//! Stripe count comes from `MORPH_SERVE_SHARDS` (default
+//! [`DEFAULT_SHARDS`]); it shapes only contention, never results.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use morph_store::Fingerprint;
+use morph_trace::lock_or_recover;
+use morphqpv::prelude::{Characterization, CharacterizationCache};
+
+use crate::singleflight::{Joined, SingleFlight};
+
+/// Default stripe count. Small enough that per-stripe LRU capacity stays
+/// useful, large enough that a worker pool saturating every core rarely
+/// collides on unrelated fingerprints.
+pub const DEFAULT_SHARDS: usize = 8;
+
+struct Stripe {
+    cache: Mutex<CharacterizationCache>,
+    flights: SingleFlight<Fingerprint, Characterization>,
+}
+
+/// `N` independent (cache, flight-table) stripes keyed by fingerprint.
+pub struct CharacterizationShards {
+    stripes: Vec<Stripe>,
+    cache_dir: Option<PathBuf>,
+}
+
+impl CharacterizationShards {
+    /// Opens `stripes` stripes (clamped to at least 1), each backed by
+    /// `cache_dir` when given (memory-only otherwise).
+    ///
+    /// # Errors
+    ///
+    /// The I/O error if `cache_dir` cannot be created.
+    pub fn open(stripes: usize, cache_dir: Option<&Path>) -> io::Result<Self> {
+        let n = stripes.max(1);
+        let mut built = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cache = match cache_dir {
+                Some(dir) => CharacterizationCache::open(dir)?,
+                None => CharacterizationCache::in_memory(),
+            };
+            built.push(Stripe {
+                cache: Mutex::new(cache),
+                flights: SingleFlight::new(),
+            });
+        }
+        Ok(CharacterizationShards {
+            stripes: built,
+            cache_dir: cache_dir.map(Path::to_path_buf),
+        })
+    }
+
+    /// The number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The shared on-disk directory, when persistent.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// The stripe index `fp` maps to: a pure function of the fingerprint
+    /// bytes, so every process and thread agrees.
+    pub fn stripe_index(&self, fp: &Fingerprint) -> usize {
+        let mut prefix = [0u8; 8];
+        prefix.copy_from_slice(&fp.0[..8]);
+        (u64::from_le_bytes(prefix) % self.stripes.len() as u64) as usize
+    }
+
+    fn stripe(&self, fp: &Fingerprint) -> &Stripe {
+        &self.stripes[self.stripe_index(fp)]
+    }
+
+    /// Cache lookup in `fp`'s stripe (memory tier, then disk).
+    pub fn cache_get(&self, fp: &Fingerprint) -> Option<Characterization> {
+        lock_or_recover(&self.stripe(fp).cache).get(fp)
+    }
+
+    /// Publishes an artifact into `fp`'s stripe (and to disk when
+    /// persistent). Disk failures are swallowed — the memory tier keeps
+    /// the artifact, which is all correctness needs.
+    pub fn cache_put(&self, fp: Fingerprint, ch: &Characterization) {
+        let _ = lock_or_recover(&self.stripe(&fp).cache).put(fp, ch);
+    }
+
+    /// Claims or joins the single flight for `fp` within its stripe.
+    pub fn join(&self, fp: Fingerprint) -> Joined<Characterization> {
+        self.stripe(&fp).flights.join(fp)
+    }
+
+    /// Pending flights summed across stripes (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.stripes.iter().map(|s| s.flights.in_flight()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_store::FingerprintBuilder;
+
+    fn fp(n: u64) -> Fingerprint {
+        FingerprintBuilder::new("shard-test/v1")
+            .field_u64("n", n)
+            .finish()
+    }
+
+    #[test]
+    fn stripe_index_is_stable_and_in_range() {
+        let shards = CharacterizationShards::open(8, None).unwrap();
+        for n in 0..64 {
+            let key = fp(n);
+            let i = shards.stripe_index(&key);
+            assert!(i < 8);
+            assert_eq!(i, shards.stripe_index(&key), "pure function of bytes");
+        }
+    }
+
+    #[test]
+    fn fingerprints_spread_across_stripes() {
+        let shards = CharacterizationShards::open(8, None).unwrap();
+        let mut hit = [false; 8];
+        for n in 0..256 {
+            hit[shards.stripe_index(&fp(n))] = true;
+        }
+        assert!(
+            hit.iter().all(|&h| h),
+            "256 distinct fingerprints should touch every one of 8 stripes"
+        );
+    }
+
+    #[test]
+    fn zero_stripes_clamps_to_one() {
+        let shards = CharacterizationShards::open(0, None).unwrap();
+        assert_eq!(shards.stripe_count(), 1);
+        assert_eq!(shards.stripe_index(&fp(1)), 0);
+    }
+
+    #[test]
+    fn same_key_meets_in_one_flight_distinct_keys_fly_apart() {
+        let shards = CharacterizationShards::open(4, None).unwrap();
+        let a = shards.join(fp(1));
+        assert!(matches!(a, Joined::Leader(_)));
+        assert!(matches!(shards.join(fp(1)), Joined::Follower(_)));
+        // A key in a different stripe leads independently.
+        let other = (2..)
+            .map(fp)
+            .find(|k| shards.stripe_index(k) != shards.stripe_index(&fp(1)))
+            .unwrap();
+        let b = shards.join(other);
+        assert!(matches!(b, Joined::Leader(_)));
+        assert_eq!(shards.in_flight(), 2);
+    }
+}

@@ -19,7 +19,9 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use morph_trace::lock_or_recover;
 use std::time::Duration;
 
 /// Outcome of [`SingleFlight::join`].
@@ -69,7 +71,7 @@ impl<T: Clone> FlightSlot<T> {
     /// `give_up` is consulted on every tick; returning `true` converts the
     /// wait into [`FlightOutcome::TimedOut`] without disturbing the flight.
     pub fn wait(&self, tick: Duration, mut give_up: impl FnMut() -> bool) -> FlightOutcome<T> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_or_recover(&self.state);
         loop {
             match &*state {
                 FlightState::Done(value) => return FlightOutcome::Done(value.clone()),
@@ -78,7 +80,10 @@ impl<T: Clone> FlightSlot<T> {
                     if give_up() {
                         return FlightOutcome::TimedOut;
                     }
-                    let (next, _timeout) = self.ready.wait_timeout(state, tick).unwrap();
+                    let (next, _timeout) = self
+                        .ready
+                        .wait_timeout(state, tick)
+                        .unwrap_or_else(PoisonError::into_inner);
                     state = next;
                 }
             }
@@ -86,7 +91,7 @@ impl<T: Clone> FlightSlot<T> {
     }
 
     fn resolve(&self, state: FlightState<T>) {
-        *self.state.lock().unwrap() = state;
+        *lock_or_recover(&self.state) = state;
         self.ready.notify_all();
     }
 }
@@ -144,7 +149,7 @@ impl<K: Eq + Hash + Clone + Send + 'static, T: Clone + Send + 'static> SingleFli
 
     /// Claims or joins the flight for `key`.
     pub fn join(&self, key: K) -> Joined<T> {
-        let mut flights = self.flights.lock().unwrap();
+        let mut flights = lock_or_recover(&self.flights);
         if let Some(slot) = flights.get(&key) {
             return Joined::Follower(Arc::clone(slot));
         }
@@ -154,7 +159,7 @@ impl<K: Eq + Hash + Clone + Send + 'static, T: Clone + Send + 'static> SingleFli
         Joined::Leader(LeaderGuard {
             slot,
             remove: Box::new(move || {
-                table.lock().unwrap().remove(&key);
+                lock_or_recover(&table).remove(&key);
             }),
             completed: false,
         })
@@ -162,7 +167,7 @@ impl<K: Eq + Hash + Clone + Send + 'static, T: Clone + Send + 'static> SingleFli
 
     /// Number of flights currently pending (diagnostics).
     pub fn in_flight(&self) -> usize {
-        self.flights.lock().unwrap().len()
+        lock_or_recover(&self.flights).len()
     }
 }
 

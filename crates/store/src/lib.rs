@@ -24,10 +24,12 @@
 //! invalidation rules.
 
 mod fingerprint;
+pub mod lock;
 mod lru;
 pub mod sha256;
 mod store;
 
 pub use fingerprint::{Fingerprint, FingerprintBuilder};
+pub use lock::FingerprintLock;
 pub use lru::CostAwareLru;
 pub use store::{MorphStore, StoreStats, DEFAULT_CAPACITY, SCHEMA_VERSION};

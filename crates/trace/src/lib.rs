@@ -50,10 +50,21 @@
 //! ```
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
+
+/// Locks a mutex, recovering the inner guard if a previous holder panicked.
+///
+/// The recorder's invariants hold at every lock release point, so a
+/// poisoned lock (some instrumented thread panicked mid-record) is safe to
+/// keep using: at worst one event is missing. Telemetry must never amplify
+/// a contained panic into a process-wide cascade. Public because the serve
+/// layer applies the same policy to its own service state.
+pub fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Schema version stamped into every JSON export (see
 /// `docs/trace-schema.json`).
@@ -100,6 +111,72 @@ struct SpanNode {
     gauges: BTreeMap<String, Vec<f64>>,
 }
 
+/// Fixed-memory log2-bucketed `u64` histogram.
+///
+/// Bucket `i` counts samples whose bit length is `i` (bucket 0 holds the
+/// value 0, bucket `i >= 1` covers `[2^(i-1), 2^i - 1]`). 65 buckets cover
+/// the full `u64` range, so recording is O(1) and allocation-free after
+/// the first sample — cheap enough for per-request latencies.
+#[derive(Debug, Clone)]
+struct Hist {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+fn hist_bucket(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Upper bound of bucket `i` (the representative value a quantile reports).
+fn hist_bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Hist {
+    fn record(&mut self, value: u64) {
+        self.buckets[hist_bucket(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample,
+    /// clamped to the observed maximum (so `p100 == max` exactly).
+    fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(hist_bucket_hi(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
 #[derive(Debug, Default)]
 struct Recorder {
     spans: Vec<SpanNode>,
@@ -107,6 +184,9 @@ struct Recorder {
     root_counters: BTreeMap<String, u64>,
     /// Gauges recorded with no open span on the calling thread.
     root_gauges: BTreeMap<String, Vec<f64>>,
+    /// Process-level histograms (always root — a latency distribution is a
+    /// property of the run, not of any one span).
+    histograms: BTreeMap<String, Hist>,
 }
 
 fn recorder() -> &'static Mutex<Recorder> {
@@ -133,10 +213,11 @@ thread_local! {
 /// Clears every recorded span, counter, and gauge (the enabled flag is
 /// untouched). Call between independent runs sharing a process.
 pub fn reset() {
-    let mut rec = recorder().lock().unwrap();
+    let mut rec = lock_or_recover(recorder());
     rec.spans.clear();
     rec.root_counters.clear();
     rec.root_gauges.clear();
+    rec.histograms.clear();
 }
 
 /// RAII guard for an open span: records the duration when dropped.
@@ -166,7 +247,7 @@ impl Drop for SpanGuard {
                 stack.pop();
             }
         });
-        let mut rec = recorder().lock().unwrap();
+        let mut rec = lock_or_recover(recorder());
         if let Some(node) = rec.spans.get_mut(id) {
             node.duration_ns = Some(end.saturating_sub(node.start_ns));
         }
@@ -176,7 +257,7 @@ impl Drop for SpanGuard {
 fn open_span(name: &str, parent: Option<usize>) -> SpanGuard {
     let start_ns = now_ns();
     let id = {
-        let mut rec = recorder().lock().unwrap();
+        let mut rec = lock_or_recover(recorder());
         let id = rec.spans.len();
         rec.spans.push(SpanNode {
             name: name.to_string(),
@@ -223,7 +304,7 @@ pub fn current_span() -> Option<SpanId> {
 
 fn with_sink<F: FnOnce(&mut BTreeMap<String, u64>, &mut BTreeMap<String, Vec<f64>>)>(f: F) {
     let target = CURRENT.with(|c| c.borrow().last().copied());
-    let mut rec = recorder().lock().unwrap();
+    let mut rec = lock_or_recover(recorder());
     match target {
         Some(id) => {
             let node = &mut rec.spans[id];
@@ -261,7 +342,7 @@ pub fn counter_on(id: SpanId, name: &str, delta: u64) {
     if !enabled() {
         return;
     }
-    let mut rec = recorder().lock().unwrap();
+    let mut rec = lock_or_recover(recorder());
     if let Some(node) = rec.spans.get_mut(id.0) {
         *node.counters.entry(name.to_string()).or_insert(0) += delta;
     }
@@ -294,7 +375,7 @@ pub struct SpanSummary {
 /// Flat list of every recorded span, in creation order. Mostly for tests
 /// and summaries; [`export_json`] preserves the tree.
 pub fn span_summaries() -> Vec<SpanSummary> {
-    let rec = recorder().lock().unwrap();
+    let rec = lock_or_recover(recorder());
     rec.spans
         .iter()
         .map(|s| SpanSummary {
@@ -308,7 +389,7 @@ pub fn span_summaries() -> Vec<SpanSummary> {
 
 /// Sums counter `name` across every recorded span and the root.
 pub fn counter_total(name: &str) -> u64 {
-    let rec = recorder().lock().unwrap();
+    let rec = lock_or_recover(recorder());
     rec.spans
         .iter()
         .filter_map(|s| s.counters.get(name))
@@ -320,7 +401,7 @@ pub fn counter_total(name: &str) -> u64 {
 /// the root, in span-creation order (root samples last). The counterpart of
 /// [`counter_total`] for trajectories like queue depth.
 pub fn gauge_samples(name: &str) -> Vec<f64> {
-    let rec = recorder().lock().unwrap();
+    let rec = lock_or_recover(recorder());
     rec.spans
         .iter()
         .filter_map(|s| s.gauges.get(name))
@@ -328,6 +409,87 @@ pub fn gauge_samples(name: &str) -> Vec<f64> {
         .flatten()
         .copied()
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// Records a `u64` sample (typically nanoseconds) into the process-level
+/// log2-bucketed histogram `name`. O(1), allocation-free after the first
+/// sample per name; no-op when tracing is disabled.
+pub fn histogram(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut rec = lock_or_recover(recorder());
+    rec.histograms
+        .entry(name.to_string())
+        .or_default()
+        .record(value);
+}
+
+/// Number of samples recorded into histogram `name` (0 when absent).
+pub fn histogram_count(name: &str) -> u64 {
+    let rec = lock_or_recover(recorder());
+    rec.histograms.get(name).map_or(0, |h| h.count)
+}
+
+/// The `q`-quantile (`q` in `[0,1]`) of histogram `name`, reported as the
+/// upper bound of the log2 bucket the quantile sample fell in (clamped to
+/// the observed max, so `histogram_quantile(n, 1.0)` is the exact max).
+/// `None` when the histogram is absent or empty.
+pub fn histogram_quantile(name: &str, q: f64) -> Option<u64> {
+    let rec = lock_or_recover(recorder());
+    rec.histograms.get(name).and_then(|h| h.quantile(q))
+}
+
+// ---------------------------------------------------------------------------
+// Environment knobs
+// ---------------------------------------------------------------------------
+
+fn warned_knobs() -> &'static Mutex<BTreeSet<String>> {
+    static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    WARNED.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Reports an invalid environment-knob value: a once-per-variable warning
+/// on stderr (so a typo'd config surfaces exactly once, not per request)
+/// plus an `env/invalid_knob` root counter bump on every occurrence when
+/// tracing is enabled.
+pub fn warn_invalid_knob(name: &str, value: &str, reason: &str) {
+    let first = lock_or_recover(warned_knobs()).insert(name.to_string());
+    if first {
+        eprintln!("morph: ignoring invalid {name}={value:?} ({reason}); using default");
+    }
+    if enabled() {
+        let mut rec = lock_or_recover(recorder());
+        *rec.root_counters
+            .entry("env/invalid_knob".to_string())
+            .or_insert(0) += 1;
+    }
+}
+
+/// Parses the environment knob `name` as a `T`.
+///
+/// Returns `None` when the variable is unset or empty. An unparseable
+/// value also returns `None`, but is *not* silent: it routes through
+/// [`warn_invalid_knob`] so the caller's fallback-to-default is visible on
+/// stderr and in the trace. Every `MORPH_*` numeric knob should read
+/// through here instead of a bare `.parse().ok()`.
+pub fn env_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<T>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            warn_invalid_knob(name, &raw, "unparseable value");
+            None
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -427,7 +589,7 @@ fn write_span(rec: &Recorder, id: usize, children: &[Vec<usize>], out: &mut Stri
 /// Still-open spans export with `duration_ns: 0`. The export reflects
 /// whatever has been recorded — it works with tracing enabled or disabled.
 pub fn export_json() -> String {
-    let rec = recorder().lock().unwrap();
+    let rec = lock_or_recover(recorder());
     let n = rec.spans.len();
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut roots: Vec<usize> = Vec::new();
@@ -445,6 +607,30 @@ pub fn export_json() -> String {
     write_counters(&rec.root_counters, &mut out);
     out.push_str(",\"gauges\":");
     write_gauges(&rec.root_gauges, &mut out);
+    out.push_str(",\"histograms\":{");
+    for (i, (name, h)) in rec.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_json(name, &mut out);
+        out.push_str(&format!(
+            ":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+            h.count, h.sum, h.max
+        ));
+        let mut first = true;
+        for (b, &c) in h.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("[{},{}]", hist_bucket_hi(b), c));
+        }
+        out.push_str("]}");
+    }
+    out.push('}');
     out.push_str(",\"spans\":[");
     for (i, &root) in roots.iter().enumerate() {
         if i > 0 {
@@ -572,6 +758,65 @@ mod tests {
         assert!(json.contains("\"orphan\":7"));
         assert!(json.contains("\"orphan_g\":[1.25]"));
         set_enabled(false);
+    }
+
+    #[test]
+    fn histogram_buckets_quantiles_and_export() {
+        let _g = serial();
+        // 90 fast samples at 100ns, 10 slow at 1_000_000ns.
+        for _ in 0..90 {
+            histogram("latency_ns", 100);
+        }
+        for _ in 0..10 {
+            histogram("latency_ns", 1_000_000);
+        }
+        assert_eq!(histogram_count("latency_ns"), 100);
+        // p50 lands in the bucket holding 100 (bit length 7 → hi 127).
+        assert_eq!(histogram_quantile("latency_ns", 0.5), Some(127));
+        // p99 lands in the slow bucket; p100 is the exact max.
+        assert!(histogram_quantile("latency_ns", 0.99).unwrap() >= 1_000_000);
+        assert_eq!(histogram_quantile("latency_ns", 1.0), Some(1_000_000));
+        assert_eq!(histogram_quantile("absent", 0.5), None);
+        let json = export_json();
+        assert!(json.contains("\"histograms\":{\"latency_ns\":{\"count\":100"));
+        assert!(json.contains("\"buckets\":[[127,90],"));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn histogram_zero_and_max_values_have_buckets() {
+        let _g = serial();
+        histogram("edge", 0);
+        histogram("edge", u64::MAX);
+        assert_eq!(histogram_quantile("edge", 0.0), Some(0));
+        assert_eq!(histogram_quantile("edge", 1.0), Some(u64::MAX));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn invalid_knob_warns_and_counts() {
+        let _g = serial();
+        // Not read from the real environment (set_var is UB here); exercise
+        // the reporting path directly.
+        warn_invalid_knob("MORPH_TEST_KNOB_A", "banana", "unparseable value");
+        warn_invalid_knob("MORPH_TEST_KNOB_A", "banana", "unparseable value");
+        assert_eq!(
+            counter_total("env/invalid_knob"),
+            2,
+            "every occurrence counted"
+        );
+        let json = export_json();
+        assert!(json.contains("\"env/invalid_knob\":2"));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn env_knob_parses_or_none_without_warning_for_unset() {
+        // Reading an unset variable must not touch the warn set or counter.
+        let before = counter_total("env/invalid_knob");
+        let parsed: Option<usize> = env_knob("MORPH_TEST_KNOB_DEFINITELY_UNSET");
+        assert_eq!(parsed, None);
+        assert_eq!(counter_total("env/invalid_knob"), before);
     }
 
     /// Exit codes the re-exec'd probe child reports its result through

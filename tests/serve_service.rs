@@ -250,6 +250,144 @@ fn invalid_requests_are_rejected_in_band() {
     service.shutdown();
 }
 
+/// Regression for the poisoned-lock sweep: a job that panics *while
+/// leading a characterization flight* (inside locks, not during
+/// validation) must not wedge the service — the flight is abandoned, the
+/// poisoned mutexes recover, and both retries and unrelated jobs succeed.
+#[test]
+fn panicking_leader_mid_characterization_leaves_the_service_healthy() {
+    let _g = serial();
+    // No `T` statements at all: the request parses and validates, wins
+    // the flight for its fingerprint, then panics inside
+    // characterization (the tracepoint list must be nonempty).
+    let no_tracepoints = "\
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+// assert assume is_pure(T1) guarantee is_pure(T2)
+";
+    let service = service_with(2, 8);
+    let err = service
+        .submit(JobRequest::new("mid-boom", no_tracepoints, vec![0]))
+        .expect("accepted")
+        .wait()
+        .expect_err("characterization must panic");
+    assert!(matches!(err, JobError::Panicked { .. }), "{err:?}");
+    // The same fingerprint again: the abandoned flight must re-elect a
+    // fresh leader (not deadlock on a stale entry or poisoned lock) and
+    // fail the same way.
+    let err = service
+        .submit(JobRequest::new("mid-boom-again", no_tracepoints, vec![0]))
+        .expect("accepted")
+        .wait()
+        .expect_err("the retry elects a fresh leader and panics again");
+    assert!(matches!(err, JobError::Panicked { .. }), "{err:?}");
+    // And a healthy job on the same (recovered) service still passes.
+    let ok = service
+        .submit(ghz_request("after-mid-boom", 3))
+        .expect("accepted")
+        .wait()
+        .expect("job completes");
+    assert!(ok.report.all_passed());
+    service.shutdown();
+}
+
+/// A leader whose `CancelToken` fires before publishing abandons its
+/// flight; the waiting follower must re-elect itself leader, recompute,
+/// and produce a byte-identical response to an undisturbed solo run.
+#[test]
+fn cancelled_leader_abandons_and_the_reelected_follower_matches_bytes() {
+    use morphqpv_suite::core::prelude::{
+        assertions_from_source, parse_program, CancelToken, Characterization, Verifier,
+    };
+    use morphqpv_suite::serve::singleflight::{FlightOutcome, Joined, SingleFlight};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::{mpsc, Arc};
+    use std::time::Duration;
+
+    let _g = serial();
+
+    // Baseline: an undisturbed solo service run of the same request.
+    let service = service_with(1, 4);
+    let solo = service
+        .submit(ghz_request("solo", 7))
+        .expect("submit")
+        .wait()
+        .expect("job completes");
+    service.shutdown();
+    let solo_line = JobResponse::from_report("x", solo.fingerprint, &solo.report).to_json_line();
+
+    // Rebuild the verifier exactly as the service does for ghz_request.
+    let build = || {
+        let circuit = parse_program(GHZ_PROGRAM).expect("parse");
+        let mut verifier = Verifier::new(circuit).input_qubits(&[0]).samples(4);
+        for a in assertions_from_source(GHZ_PROGRAM).expect("assertions") {
+            verifier = verifier.assert_that(a);
+        }
+        verifier
+    };
+    let mut job_rng = StdRng::seed_from_u64(7);
+    let char_seed: u64 = job_rng.gen();
+    let fingerprint = build().characterization_fingerprint(char_seed);
+
+    let flight: Arc<SingleFlight<_, Characterization>> = Arc::new(SingleFlight::new());
+    let doomed_guard = match flight.join(fingerprint) {
+        Joined::Leader(guard) => guard,
+        Joined::Follower(_) => unreachable!("first join leads"),
+    };
+    let (registered_tx, registered_rx) = mpsc::channel();
+    let follower = std::thread::spawn({
+        let flight = Arc::clone(&flight);
+        move || {
+            let slot = match flight.join(fingerprint) {
+                Joined::Follower(slot) => slot,
+                Joined::Leader(_) => panic!("the doomed leader's flight must still be open"),
+            };
+            registered_tx.send(()).expect("main thread waits");
+            let outcome = slot.wait(Duration::from_millis(2), || false);
+            assert!(
+                matches!(outcome, FlightOutcome::Abandoned),
+                "a cancelled leader must abandon, not complete"
+            );
+            // Re-election: the follower becomes the new leader and runs
+            // the computation the original leader never published.
+            match flight.join(fingerprint) {
+                Joined::Leader(guard) => {
+                    let token = CancelToken::new();
+                    let ch = build()
+                        .try_characterize_for_seed(char_seed, &token)
+                        .expect("re-elected leader characterizes");
+                    guard.complete(ch.clone());
+                    ch
+                }
+                Joined::Follower(_) => panic!("an abandoned flight must be re-electable"),
+            }
+        }
+    });
+    registered_rx.recv().expect("follower registered");
+    // The original leader's token fires before publishing: in the
+    // service this is a `?` that drops the guard uncompleted.
+    drop(doomed_guard);
+
+    let characterization = follower.join().expect("follower thread");
+    assert_eq!(flight.in_flight(), 0, "the completed flight retired");
+
+    // Finish the pipeline with the re-elected leader's artifact and
+    // compare the full response line byte for byte.
+    let mut job_rng = StdRng::seed_from_u64(7);
+    let _char_seed: u64 = job_rng.gen();
+    let token = CancelToken::new();
+    let report = build()
+        .try_validate_with(characterization, &mut job_rng, None, &token)
+        .expect("validation succeeds");
+    let reelected_line = JobResponse::from_report("x", fingerprint, &report).to_json_line();
+    assert_eq!(
+        reelected_line, solo_line,
+        "re-election must be invisible in the response bytes"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
