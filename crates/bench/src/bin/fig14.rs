@@ -8,7 +8,7 @@ use morph_linalg::hs_accuracy;
 use morph_qalgo::{Benchmark, Qnn};
 use morph_qprog::{Circuit, Executor, TracepointId};
 use morph_qsim::{NoiseModel, StateVector};
-use morphqpv::{characterize_segmented, CharacterizationConfig, Mitigation};
+use morphqpv::{try_characterize_segmented, CharacterizationConfig, Mitigation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -23,7 +23,11 @@ fn accuracy_with_segments(circuit: &Circuit, n_segments: usize, rng: &mut StdRng
         ensemble: InputEnsemble::PauliProduct,
         ..CharacterizationConfig::exact((0..N).collect(), SAMPLES)
     };
-    let seg = characterize_segmented(circuit, &config, n_segments, rng);
+    // Oversized segment counts are a structured error now; clamp to the
+    // gate count so the k sweep works on short benchmark circuits too.
+    let n_segments = n_segments.min(circuit.gate_count());
+    let seg = try_characterize_segmented(circuit, &config, n_segments, rng)
+        .expect("benchmark circuit segments cleanly");
 
     // Ideal (noiseless) ground truth on unseen inputs.
     let probes = InputEnsemble::Clifford.generate(N, 8, rng);

@@ -4,6 +4,7 @@
 //! ```text
 //! usage: verify <program.qasm> [--inputs 0,1,...] [--samples N] [--seed S]
 //!               [--restarts N] [--cache-dir DIR] [--no-cache]
+//!               [--incremental] [--segment-gates N] [--ensemble NAME]
 //!               [--trace-json PATH]
 //! ```
 //!
@@ -20,16 +21,35 @@
 //! seed charges zero new simulator cost. `--no-cache` disables the cache
 //! even when the environment variable is set.
 //!
+//! Incremental verification: `--incremental` (or `MORPH_INCREMENTAL=1`)
+//! characterizes the program segment by segment against the cache, so
+//! re-verifying an edited program recomputes only the segments the edit
+//! touched; the report gains a `segments: H hits, M misses` line.
+//! `--segment-gates N` (or `MORPH_SEGMENT_GATES`) overrides the target
+//! segment length. With `--cache-dir`, segment artifacts persist across
+//! invocations; without it, the cache (and thus reuse) is in-memory and
+//! limited to duplicate segments within the run.
+//!
+//! `--ensemble NAME` selects the input ensemble (`clifford`, the default;
+//! `pauli_product`; `basis`). Incremental runs fit each segment over the
+//! full register width, so chained predictions are exact only when the
+//! ensemble spans the operator space — `pauli_product` with
+//! `--samples 4^width` guarantees that; the default `clifford` ensemble
+//! may report approximate verdicts under `--incremental`.
+//!
 //! Telemetry: `--trace-json PATH` (or `MORPH_TRACE=1` for a stderr summary
 //! without the file) enables the `morph-trace` recorder and writes the span
 //! tree as JSON. Tracing never changes the verification results or the
 //! stdout report — only stderr and the trace file carry the extra output.
 
-use morphqpv::{CharacterizationCache, MorphError, ValidationConfig, Verdict};
+use morphqpv::{
+    CharacterizationCache, InputEnsemble, MorphError, SegmentedCache, SegmentedConfig,
+    ValidationConfig, Verdict,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const USAGE: &str = "usage: verify <program.qasm> [--inputs 0,1,...] [--samples N] [--seed S] [--restarts N] [--cache-dir DIR] [--no-cache] [--trace-json PATH]";
+const USAGE: &str = "usage: verify <program.qasm> [--inputs 0,1,...] [--samples N] [--seed S] [--restarts N] [--cache-dir DIR] [--no-cache] [--incremental] [--segment-gates N] [--ensemble NAME] [--trace-json PATH]";
 
 fn main() {
     std::process::exit(run());
@@ -45,6 +65,14 @@ fn run() -> i32 {
     let mut no_cache = false;
     let mut restarts: Option<usize> = None;
     let mut trace_json: Option<String> = None;
+    // MORPH_INCREMENTAL=1 turns the flag on from the environment (any
+    // nonzero value counts); the flag itself always wins.
+    let mut incremental = matches!(
+        morph_trace::env_knob::<usize>("MORPH_INCREMENTAL"),
+        Some(n) if n != 0
+    );
+    let mut segment_gates: Option<usize> = None;
+    let mut ensemble: Option<InputEnsemble> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -95,6 +123,31 @@ fn run() -> i32 {
                     Some(n) => Some(n),
                     None => {
                         eprintln!("--restarts requires a non-negative integer");
+                        return 1;
+                    }
+                };
+            }
+            "--incremental" => {
+                incremental = true;
+            }
+            "--segment-gates" => {
+                segment_gates = it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
+                if segment_gates.is_none() {
+                    eprintln!("--segment-gates requires a positive integer");
+                    return 1;
+                }
+            }
+            "--ensemble" => {
+                // Same spelling as the serve protocol's `ensemble` knob.
+                ensemble = match it.next().as_deref() {
+                    Some("clifford") => Some(InputEnsemble::Clifford),
+                    Some("pauli_product") => Some(InputEnsemble::PauliProduct),
+                    Some("basis") => Some(InputEnsemble::Basis),
+                    other => {
+                        let got = other.unwrap_or("nothing");
+                        eprintln!(
+                            "--ensemble expects `clifford`, `pauli_product`, or `basis`, got {got}"
+                        );
                         return 1;
                     }
                 };
@@ -169,6 +222,9 @@ fn run() -> i32 {
     if let Some(n) = samples {
         verifier = verifier.samples(n);
     }
+    if let Some(e) = ensemble {
+        verifier = verifier.ensemble(e);
+    }
     if restarts.is_some() {
         verifier = verifier.validation(ValidationConfig {
             solver_restarts: restarts,
@@ -180,24 +236,50 @@ fn run() -> i32 {
     }
 
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut cache = match (&cache_dir, no_cache) {
-        (Some(dir), false) => match CharacterizationCache::open(dir) {
+    let persist = !no_cache && cache_dir.is_some();
+    // Incremental runs key the cache by segment; whole-run caching keys
+    // it by the full characterization. Only one of the two is open.
+    let mut cache: Option<CharacterizationCache> = None;
+    let mut seg_cache: Option<SegmentedCache> = None;
+    if incremental {
+        seg_cache = Some(match (&cache_dir, no_cache) {
+            (Some(dir), false) => match SegmentedCache::open(dir) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot open cache directory {dir}: {e}");
+                    return 1;
+                }
+            },
+            _ => SegmentedCache::in_memory(),
+        });
+    } else if persist {
+        let dir = cache_dir.as_deref().expect("persist implies a directory");
+        cache = match CharacterizationCache::open(dir) {
             Ok(c) => Some(c),
             Err(e) => {
                 eprintln!("cannot open cache directory {dir}: {e}");
                 return 1;
             }
-        },
-        _ => None,
-    };
-    let result = match &mut cache {
-        Some(cache) => verifier.try_run_with_cache(&mut rng, cache),
-        None => verifier.try_run(&mut rng),
+        };
+    }
+    let result = if let Some(seg_cache) = &mut seg_cache {
+        let seg = match segment_gates {
+            Some(g) => SegmentedConfig::new().segment_gates(g),
+            None => SegmentedConfig::from_env(),
+        };
+        verifier
+            .incremental(seg)
+            .try_run_incremental(&mut rng, seg_cache)
+    } else {
+        match &mut cache {
+            Some(cache) => verifier.try_run_with_cache(&mut rng, cache),
+            None => verifier.try_run(&mut rng),
+        }
+        .map_err(MorphError::from)
     };
     let report = match result {
         Ok(report) => report,
         Err(e) => {
-            let e = MorphError::from(e);
             eprintln!("{e}");
             write_trace(trace_json.as_deref());
             return e.exit_code();
@@ -243,6 +325,16 @@ fn run() -> i32 {
     }
     if let Some(cache) = &cache {
         println!("cache: {}", cache.stats());
+    }
+    if let Some(seg_cache) = &seg_cache {
+        if persist {
+            println!("cache: {}", seg_cache.stats());
+        }
+        let c = report.run.cache.unwrap_or_default();
+        println!(
+            "segments: {} hits, {} misses",
+            c.segment_hits, c.segment_misses
+        );
     }
     if morph_trace::enabled() {
         let run = &report.run;

@@ -66,7 +66,13 @@ pub const FINGERPRINT_DOMAIN: &str = "morphqpv/characterization/v4";
 /// splice counts and the nonzero high-water mark), so warm runs report
 /// the same fast-path stats the cold run observed; v2 entries fail
 /// decoding and degrade to a miss.
-pub const ARTIFACT_VERSION: u32 = 3;
+///
+/// v4 adds a `kind` discriminator now that whole-run artifacts share the
+/// payload envelope with per-segment artifacts
+/// (`"characterization"` here, `"segment-pure"` / `"segment-density"` in
+/// [`crate::incremental::SegmentedCache`]). v3 entries fail decoding and
+/// degrade to a miss.
+pub const ARTIFACT_VERSION: u32 = 4;
 
 /// Computes the content address of a characterization run.
 ///
@@ -126,6 +132,82 @@ pub fn characterization_fingerprint_with_inputs(
         .finish()
 }
 
+/// Shared frame of every v4 artifact payload: the version stamp plus the
+/// `kind` discriminator. Segment artifacts reuse this envelope.
+pub(crate) fn artifact_envelope(kind: &str) -> BTreeMap<String, Value> {
+    let mut m = BTreeMap::new();
+    m.insert(
+        "artifact_version".to_string(),
+        Value::UInt(u64::from(ARTIFACT_VERSION)),
+    );
+    m.insert("kind".to_string(), Value::Str(kind.to_string()));
+    m
+}
+
+/// Validates the version stamp and `kind` discriminator of a v4 payload.
+/// Any mismatch is a decode failure, which the caches treat as a miss.
+pub(crate) fn check_artifact_envelope(value: &Value, kind: &str) -> Result<(), FromValueError> {
+    let version = value
+        .require("artifact_version")?
+        .as_u64()
+        .ok_or_else(|| FromValueError::new("artifact_version must be an integer"))?;
+    if version != u64::from(ARTIFACT_VERSION) {
+        return Err(FromValueError::new(format!(
+            "artifact version {version} != supported {ARTIFACT_VERSION}"
+        )));
+    }
+    let found = value
+        .require("kind")?
+        .as_str()
+        .ok_or_else(|| FromValueError::new("artifact kind must be a string"))?;
+    if found != kind {
+        return Err(FromValueError::new(format!(
+            "artifact kind {found:?} != expected {kind:?}"
+        )));
+    }
+    Ok(())
+}
+
+/// Encodes [`morph_backend::FastPathStats`] as the store payload fragment
+/// shared by whole-run and per-segment artifacts.
+pub(crate) fn encode_fast_path(stats: &morph_backend::FastPathStats) -> Value {
+    let mut fp = BTreeMap::new();
+    fp.insert("spills".to_string(), Value::UInt(stats.spills));
+    fp.insert("switches".to_string(), Value::UInt(stats.switches));
+    fp.insert("splices".to_string(), Value::UInt(stats.splices));
+    fp.insert(
+        "peak_nonzeros".to_string(),
+        Value::UInt(stats.peak_nonzeros),
+    );
+    Value::Object(fp)
+}
+
+/// Decodes the [`encode_fast_path`] fragment.
+pub(crate) fn decode_fast_path(fp: &Value) -> Result<morph_backend::FastPathStats, FromValueError> {
+    let fp_u64 = |field: &str| -> Result<u64, FromValueError> {
+        fp.require(field)?
+            .as_u64()
+            .ok_or_else(|| FromValueError::new(format!("fast_path.{field} must be an integer")))
+    };
+    Ok(morph_backend::FastPathStats {
+        spills: fp_u64("spills")?,
+        switches: fp_u64("switches")?,
+        splices: fp_u64("splices")?,
+        peak_nonzeros: fp_u64("peak_nonzeros")?,
+    })
+}
+
+/// Decodes the backend tag shared by whole-run and per-segment artifacts.
+pub(crate) fn decode_backend(
+    value: &Value,
+) -> Result<morph_backend::BackendChoice, FromValueError> {
+    value
+        .require("backend")?
+        .as_str()
+        .and_then(morph_backend::BackendChoice::from_tag)
+        .ok_or_else(|| FromValueError::new("backend must be a known backend tag"))
+}
+
 /// Encodes a [`Characterization`] as the store payload.
 fn encode_artifact(ch: &Characterization) -> Value {
     let traces: Vec<(u64, &Vec<CMatrix>)> = ch
@@ -139,38 +221,18 @@ fn encode_artifact(ch: &Characterization) -> Value {
             .map(|(id, states)| Value::Array(vec![Value::UInt(*id), states.to_value()]))
             .collect(),
     );
-    let mut m = BTreeMap::new();
-    m.insert(
-        "artifact_version".to_string(),
-        Value::UInt(u64::from(ARTIFACT_VERSION)),
-    );
+    let mut m = artifact_envelope("characterization");
     m.insert("inputs".to_string(), ch.inputs.to_value());
     m.insert("traces".to_string(), traces_value);
     m.insert("ledger".to_string(), ch.ledger.to_value());
     m.insert("backend".to_string(), Value::Str(ch.backend.tag()));
-    let mut fp = BTreeMap::new();
-    fp.insert("spills".to_string(), Value::UInt(ch.fast_path.spills));
-    fp.insert("switches".to_string(), Value::UInt(ch.fast_path.switches));
-    fp.insert("splices".to_string(), Value::UInt(ch.fast_path.splices));
-    fp.insert(
-        "peak_nonzeros".to_string(),
-        Value::UInt(ch.fast_path.peak_nonzeros),
-    );
-    m.insert("fast_path".to_string(), Value::Object(fp));
+    m.insert("fast_path".to_string(), encode_fast_path(&ch.fast_path));
     Value::Object(m)
 }
 
 /// Decodes a store payload back into a [`Characterization`].
 fn decode_artifact(value: &Value) -> Result<Characterization, FromValueError> {
-    let version = value
-        .require("artifact_version")?
-        .as_u64()
-        .ok_or_else(|| FromValueError::new("artifact_version must be an integer"))?;
-    if version != u64::from(ARTIFACT_VERSION) {
-        return Err(FromValueError::new(format!(
-            "artifact version {version} != supported {ARTIFACT_VERSION}"
-        )));
-    }
+    check_artifact_envelope(value, "characterization")?;
     let inputs = Vec::from_value(value.require("inputs")?)?;
     let mut traces: BTreeMap<TracepointId, Vec<CMatrix>> = BTreeMap::new();
     for pair in value
@@ -187,23 +249,8 @@ fn decode_artifact(value: &Value) -> Result<Characterization, FromValueError> {
         }
     }
     let ledger = CostLedger::from_value(value.require("ledger")?)?;
-    let backend = value
-        .require("backend")?
-        .as_str()
-        .and_then(morph_backend::BackendChoice::from_tag)
-        .ok_or_else(|| FromValueError::new("backend must be a known backend tag"))?;
-    let fp = value.require("fast_path")?;
-    let fp_u64 = |field: &str| -> Result<u64, FromValueError> {
-        fp.require(field)?
-            .as_u64()
-            .ok_or_else(|| FromValueError::new(format!("fast_path.{field} must be an integer")))
-    };
-    let fast_path = morph_backend::FastPathStats {
-        spills: fp_u64("spills")?,
-        switches: fp_u64("switches")?,
-        splices: fp_u64("splices")?,
-        peak_nonzeros: fp_u64("peak_nonzeros")?,
-    };
+    let backend = decode_backend(value)?;
+    let fast_path = decode_fast_path(value.require("fast_path")?)?;
     Ok(Characterization {
         inputs,
         traces,
@@ -214,9 +261,9 @@ fn decode_artifact(value: &Value) -> Result<Characterization, FromValueError> {
 }
 
 /// Emits one counter per [`StoreStats`] field that moved across a store
-/// operation, keyed by [`FINGERPRINT_DOMAIN`]. Only called with the
-/// recorder enabled.
-fn record_store_delta(before: &StoreStats, after: &StoreStats) {
+/// operation, keyed by `domain` (a fingerprint domain such as
+/// [`FINGERPRINT_DOMAIN`]). Only called with the recorder enabled.
+pub(crate) fn record_store_delta(domain: &str, before: &StoreStats, after: &StoreStats) {
     let deltas = [
         ("hit", after.hits() - before.hits()),
         ("miss", after.misses - before.misses),
@@ -225,7 +272,7 @@ fn record_store_delta(before: &StoreStats, after: &StoreStats) {
     ];
     for (name, delta) in deltas {
         if delta > 0 {
-            morph_trace::counter(&format!("store/{FINGERPRINT_DOMAIN}/{name}"), delta);
+            morph_trace::counter(&format!("store/{domain}/{name}"), delta);
         }
     }
 }
@@ -276,7 +323,7 @@ impl CharacterizationCache {
         // format! allocations only happen with the recorder enabled.
         if morph_trace::enabled() {
             let after = *self.store.stats();
-            record_store_delta(&before, &after);
+            record_store_delta(FINGERPRINT_DOMAIN, &before, &after);
             if after.hits() > before.hits() && result.is_none() {
                 // The envelope was intact but the payload didn't decode —
                 // the characterization layer's own corruption repair.

@@ -25,6 +25,7 @@ use morph_optimize::SolveError;
 use morph_qprog::ParseProgramError;
 
 use crate::cancel::Cancelled;
+use crate::incremental::SegmentError;
 use crate::spec::ParseSpecError;
 use crate::validate::ValidationError;
 
@@ -40,6 +41,9 @@ pub enum MorphError {
     Validation(ValidationError),
     /// The artifact store could not be opened or written.
     Store(io::Error),
+    /// The segmented/incremental characterization surface rejected the
+    /// program or configuration.
+    Segment(SegmentError),
     /// A cooperative cancellation point fired (deadline or explicit).
     Cancelled(Cancelled),
 }
@@ -61,6 +65,7 @@ impl fmt::Display for MorphError {
             MorphError::Spec(e) => write!(f, "assertion parse error: {e}"),
             MorphError::Validation(e) => write!(f, "{e}"),
             MorphError::Store(e) => write!(f, "artifact store error: {e}"),
+            MorphError::Segment(e) => write!(f, "{e}"),
             MorphError::Cancelled(e) => write!(f, "cancelled: {e}"),
         }
     }
@@ -73,6 +78,7 @@ impl std::error::Error for MorphError {
             MorphError::Spec(e) => Some(e),
             MorphError::Validation(e) => Some(e),
             MorphError::Store(e) => Some(e),
+            MorphError::Segment(e) => Some(e),
             MorphError::Cancelled(e) => Some(e),
         }
     }
@@ -111,6 +117,12 @@ impl From<io::Error> for MorphError {
 impl From<Cancelled> for MorphError {
     fn from(e: Cancelled) -> Self {
         MorphError::Cancelled(e)
+    }
+}
+
+impl From<SegmentError> for MorphError {
+    fn from(e: SegmentError) -> Self {
+        MorphError::Segment(e)
     }
 }
 

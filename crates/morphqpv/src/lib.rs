@@ -70,6 +70,7 @@ mod characterize;
 mod confidence;
 mod counterexample;
 mod error;
+mod incremental;
 mod landscape;
 mod predicate;
 pub mod prelude;
@@ -97,13 +98,26 @@ pub use confidence::{regularized_incomplete_beta, ConfidenceModel};
 // so downstream crates don't need direct morph-backend/morph-qprog deps.
 pub use counterexample::CounterExample;
 pub use error::MorphError;
+pub use incremental::{
+    characterize_incremental, characterize_segment, incremental_for_seed, segment_fingerprint,
+    segment_plan, segment_seed, stage_function, try_characterize_incremental,
+    IncrementalCharacterization, SegmentArtifact, SegmentError, SegmentPlan, SegmentReport,
+    SegmentStage, SegmentedCache, SegmentedConfig, DEFAULT_SEGMENT_GATES, SEGMENT_CUT_DOMAIN,
+    SEGMENT_DOMAIN,
+};
 pub use landscape::{input_landscape, landscape_peak, LandscapePoint};
 pub use morph_backend::{BackendChoice, BackendKind};
+// The ensemble and explicit-input types appear in the `Verifier` builder
+// surface; re-export them so callers configure a run without a direct
+// morph-clifford dep.
+pub use morph_clifford::{InputEnsemble, InputState};
 pub use morph_qprog::BackendMode;
 pub use predicate::{RelationPredicate, StatePredicate};
 pub use prune::{adaptive_inputs, adaptive_operator_inputs, constant_pinned_inputs};
 pub use ptm::PauliTransferMatrix;
-pub use segmented::{characterize_segmented, SegmentedCharacterization};
+#[allow(deprecated)]
+pub use segmented::characterize_segmented;
+pub use segmented::{try_characterize_segmented, SegmentedCharacterization};
 pub use spec::{assertions_from_source, parse_assertion, ParseSpecError};
 pub use validate::{
     fit_confidence_model, try_validate_assertion, validate_assertion, SolverKind, ValidationConfig,

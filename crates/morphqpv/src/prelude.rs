@@ -37,6 +37,10 @@ pub use crate::characterize::{
 pub use crate::confidence::ConfidenceModel;
 pub use crate::counterexample::CounterExample;
 pub use crate::error::MorphError;
+pub use crate::incremental::{
+    characterize_incremental, try_characterize_incremental, IncrementalCharacterization,
+    SegmentError, SegmentReport, SegmentedCache, SegmentedConfig,
+};
 pub use crate::predicate::{RelationPredicate, StatePredicate};
 pub use crate::spec::{assertions_from_source, parse_assertion};
 pub use crate::validate::{
@@ -44,6 +48,7 @@ pub use crate::validate::{
 };
 pub use crate::verifier::{verify_source, CacheSummary, RunReport, VerificationReport, Verifier};
 
+pub use morph_clifford::{InputEnsemble, InputState};
 pub use morph_qprog::{parse_program, Circuit, Executor, ExecutorBuilder, TracepointId};
 
 /// The paper's Definition 1 assume–guarantee assertion, under the name the

@@ -4,14 +4,20 @@
 //! Splits a program into contiguous gate segments at (virtual) intermediate
 //! tracepoints, characterizes each segment independently under the
 //! configured noise, and returns the composed [`ChainedApproximation`].
-//! Combined with [`Mitigation`] between stages, this is what recovers
-//! approximation accuracy on noisy hardware (Fig 14).
+//! Combined with [`Mitigation`](crate::Mitigation) between stages, this is
+//! what recovers approximation accuracy on noisy hardware (Fig 14).
+//!
+//! This is the fixed-count, uncached form (exactly `n_segments` chunks of
+//! equal size). The revision-loop surface — content-defined segmentation,
+//! per-segment cache artifacts, and structural diffing — lives in
+//! [`crate::incremental`].
 
 use morph_qprog::{Circuit, Instruction, TracepointId};
 use rand::rngs::StdRng;
 
 use crate::approx::{ApproximationFunction, ChainedApproximation};
 use crate::characterize::{characterize, CharacterizationConfig};
+use crate::incremental::SegmentError;
 use morph_tomography::CostLedger;
 
 /// Output of a segmented characterization.
@@ -32,22 +38,30 @@ pub struct SegmentedCharacterization {
 /// relation `ρ_{T_{i+1}} = f_i(ρ_{T_i})` is measured directly rather than
 /// through the preceding noisy prefix.
 ///
+/// # Errors
+///
+/// [`SegmentError::ZeroSegments`] for `n_segments == 0`,
+/// [`SegmentError::NotUnitary`] for programs with measurement/feedback,
+/// [`SegmentError::NoGates`] for gate-free programs,
+/// [`SegmentError::TooManySegments`] when `n_segments` exceeds the gate
+/// count, and [`SegmentError::Compose`] if the stages do not chain.
+///
 /// # Panics
 ///
-/// Panics if the circuit has non-gate instructions (measurement feedback
-/// does not segment), `n_segments` is 0, or the register is too large for
-/// the configured (noisy) execution backend.
-pub fn characterize_segmented(
+/// Panics if the register is too large for the configured (noisy)
+/// execution backend, as in [`characterize`].
+pub fn try_characterize_segmented(
     circuit: &Circuit,
     config: &CharacterizationConfig,
     n_segments: usize,
     rng: &mut StdRng,
-) -> SegmentedCharacterization {
-    assert!(n_segments >= 1, "need at least one segment");
-    assert!(
-        !circuit.has_nonunitary(),
-        "segmented characterization requires a measurement-free program"
-    );
+) -> Result<SegmentedCharacterization, SegmentError> {
+    if n_segments == 0 {
+        return Err(SegmentError::ZeroSegments);
+    }
+    if circuit.has_nonunitary() {
+        return Err(SegmentError::NotUnitary);
+    }
     let n = circuit.n_qubits();
     let gates: Vec<Instruction> = circuit
         .instructions()
@@ -55,7 +69,16 @@ pub fn characterize_segmented(
         .filter(|i| matches!(i, Instruction::Gate(_)))
         .cloned()
         .collect();
-    let per = gates.len().div_ceil(n_segments).max(1);
+    if gates.is_empty() {
+        return Err(SegmentError::NoGates);
+    }
+    if n_segments > gates.len() {
+        return Err(SegmentError::TooManySegments {
+            requested: n_segments,
+            gates: gates.len(),
+        });
+    }
+    let per = gates.len().div_ceil(n_segments);
 
     let mut stages: Vec<ApproximationFunction> = Vec::new();
     let mut ledger = CostLedger::new();
@@ -73,11 +96,27 @@ pub fn characterize_segmented(
         ledger.merge(&ch.ledger);
         stages.push(ch.approximation(TracepointId(0)));
     }
-    let chain = ChainedApproximation::new(stages).expect("segments share the register");
-    SegmentedCharacterization { chain, ledger }
+    let chain = ChainedApproximation::new(stages).map_err(SegmentError::Compose)?;
+    Ok(SegmentedCharacterization { chain, ledger })
+}
+
+/// Panicking forwarder kept for source compatibility.
+///
+/// # Panics
+///
+/// On any [`SegmentError`] (the conditions the original version asserted).
+#[deprecated(note = "use `try_characterize_segmented`, which reports structured `SegmentError`s")]
+pub fn characterize_segmented(
+    circuit: &Circuit,
+    config: &CharacterizationConfig,
+    n_segments: usize,
+    rng: &mut StdRng,
+) -> SegmentedCharacterization {
+    try_characterize_segmented(circuit, config, n_segments, rng).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::approx::Mitigation;
@@ -192,5 +231,45 @@ mod tests {
         c.h(0).measure(0, 0);
         let mut rng = StdRng::seed_from_u64(0);
         let _ = characterize_segmented(&c, &full_span_config(NoiseModel::noiseless()), 2, &mut rng);
+    }
+
+    #[test]
+    fn oversized_segment_count_is_an_error_not_a_clamp() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let circuit = test_circuit();
+        let result = try_characterize_segmented(
+            &circuit,
+            &full_span_config(NoiseModel::noiseless()),
+            circuit.gate_count() + 1,
+            &mut rng,
+        );
+        match result {
+            Err(SegmentError::TooManySegments { requested, gates }) => {
+                assert_eq!(requested, 7);
+                assert_eq!(gates, 6);
+            }
+            other => panic!("expected TooManySegments, got {other:?}"),
+        }
+        // Zero segments and gate-free programs report structured errors
+        // too, instead of the old assert/clamp behavior.
+        assert!(matches!(
+            try_characterize_segmented(
+                &circuit,
+                &full_span_config(NoiseModel::noiseless()),
+                0,
+                &mut rng
+            ),
+            Err(SegmentError::ZeroSegments)
+        ));
+        let empty = Circuit::new(1);
+        assert!(matches!(
+            try_characterize_segmented(
+                &empty,
+                &full_span_config(NoiseModel::noiseless()),
+                1,
+                &mut rng
+            ),
+            Err(SegmentError::NoGates)
+        ));
     }
 }

@@ -17,6 +17,7 @@ use crate::characterize::{
     Characterization, CharacterizationConfig,
 };
 use crate::error::MorphError;
+use crate::incremental::{try_characterize_incremental, SegmentedCache, SegmentedConfig};
 use crate::validate::{
     try_validate_assertion, ValidationConfig, ValidationError, ValidationOutcome, Verdict,
 };
@@ -60,6 +61,7 @@ pub struct Verifier {
     characterization_config: CharacterizationConfig,
     validation_config: ValidationConfig,
     explicit_inputs: Option<Vec<InputState>>,
+    segmented: Option<SegmentedConfig>,
 }
 
 impl Verifier {
@@ -85,6 +87,7 @@ impl Verifier {
             },
             validation_config: ValidationConfig::default(),
             explicit_inputs: None,
+            segmented: None,
         }
     }
 
@@ -143,6 +146,15 @@ impl Verifier {
         self
     }
 
+    /// Configures segment-granular incremental characterization for
+    /// [`Self::run_incremental`]/[`Self::try_run_incremental`] (the
+    /// revision loop: re-verifying an edited program recomputes only the
+    /// segments the edit touched).
+    pub fn incremental(mut self, config: SegmentedConfig) -> Self {
+        self.segmented = Some(config);
+        self
+    }
+
     /// Adds an assertion to verify.
     pub fn assert_that(mut self, assertion: AssumeGuarantee) -> Self {
         self.assertions.push(assertion);
@@ -157,6 +169,13 @@ impl Verifier {
     /// The effective characterization configuration.
     pub fn characterization_config(&self) -> &CharacterizationConfig {
         &self.characterization_config
+    }
+
+    /// The segmentation configuration incremental runs will use
+    /// ([`SegmentedConfig::default`] unless [`Self::incremental`] was
+    /// called).
+    pub fn segmented_config(&self) -> SegmentedConfig {
+        self.segmented.unwrap_or_default()
     }
 
     /// The content address of this verifier's characterization for a given
@@ -357,6 +376,65 @@ impl Verifier {
         self.validate_all(characterization, rng, Some(cache_summary))
     }
 
+    /// [`Self::run_with_cache`]'s incremental counterpart: characterizes
+    /// per segment against `cache`, reusing every cached segment artifact
+    /// (see [`crate::try_characterize_incremental`]), then validates every
+    /// assertion. The report's [`CacheSummary`] carries the per-segment
+    /// hit/miss counts.
+    ///
+    /// # Panics
+    ///
+    /// On any [`MorphError`], and under [`Self::try_run_incremental`]'s
+    /// precondition panics.
+    pub fn run_incremental(
+        &self,
+        rng: &mut StdRng,
+        cache: &mut SegmentedCache,
+    ) -> VerificationReport {
+        self.try_run_incremental(rng, cache)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::run_incremental`], reporting failures as errors.
+    ///
+    /// # Errors
+    ///
+    /// [`MorphError::Segment`] when the program cannot be segmented (see
+    /// [`crate::SegmentError`]), [`MorphError::Validation`] on solver
+    /// failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no assertions were added or explicit inputs were supplied
+    /// ([`Self::with_inputs`] and incremental characterization are
+    /// mutually exclusive — the ensemble is part of each segment's content
+    /// address).
+    pub fn try_run_incremental(
+        &self,
+        rng: &mut StdRng,
+        cache: &mut SegmentedCache,
+    ) -> Result<VerificationReport, MorphError> {
+        assert!(!self.assertions.is_empty(), "no assertions to verify");
+        assert!(
+            self.explicit_inputs.is_none(),
+            "incremental verification samples its own ensemble inputs"
+        );
+        let _trace = morph_trace::span("verify/run");
+        let stats_before = *cache.stats();
+        let seg = self.segmented_config();
+        let inc = try_characterize_incremental(
+            &self.circuit,
+            &self.characterization_config,
+            &seg,
+            rng,
+            cache,
+        )?;
+        let mut summary = CacheSummary::delta(&stats_before, cache.stats());
+        summary.segment_hits = inc.segments.hits;
+        summary.segment_misses = inc.segments.misses;
+        Ok(self.validate_all(inc.characterization, rng, Some(summary))?)
+    }
+
     fn validate_all(
         &self,
         characterization: Characterization,
@@ -490,6 +568,12 @@ pub struct CacheSummary {
     pub writes: u64,
     /// Recompute cost (quantum ops) avoided by hits.
     pub cost_saved: u64,
+    /// Segment positions served from cache or in-run dedup (incremental
+    /// runs only; 0 for whole-run caching).
+    pub segment_hits: u64,
+    /// Unique segments characterized from scratch (incremental runs
+    /// only; 0 for whole-run caching).
+    pub segment_misses: u64,
 }
 
 impl CacheSummary {
@@ -500,6 +584,8 @@ impl CacheSummary {
             corrupt_entries: after.corrupt_entries - before.corrupt_entries,
             writes: after.writes - before.writes,
             cost_saved: after.cost_saved - before.cost_saved,
+            segment_hits: 0,
+            segment_misses: 0,
         }
     }
 }
@@ -679,6 +765,38 @@ mod tests {
         assert_eq!(warm.misses, 0);
         assert!(warm.cost_saved > 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incremental_run_reports_segment_reuse() {
+        let mut cache = SegmentedCache::in_memory();
+        let verifier = Verifier::new(ghz_with_traces())
+            .input_qubits(&[0])
+            .samples(4)
+            .ensemble(morph_clifford::InputEnsemble::PauliProduct)
+            .incremental(SegmentedConfig::new().segment_gates(1))
+            .assert_that(pure_assertion());
+
+        let cold = verifier.run_incremental(&mut StdRng::seed_from_u64(3), &mut cache);
+        assert!(cold.all_passed());
+        let cold_cache = cold.run.cache.expect("incremental run carries a summary");
+        assert_eq!(cold_cache.segment_hits, 0);
+        assert!(cold_cache.segment_misses >= 3, "{cold_cache:?}");
+
+        // Re-verify an edited program: one extra trailing gate. Every
+        // original segment must be reused.
+        let mut edited = ghz_with_traces();
+        edited.z(2);
+        let verifier = Verifier::new(edited)
+            .input_qubits(&[0])
+            .samples(4)
+            .ensemble(morph_clifford::InputEnsemble::PauliProduct)
+            .incremental(SegmentedConfig::new().segment_gates(1))
+            .assert_that(pure_assertion());
+        let warm = verifier.run_incremental(&mut StdRng::seed_from_u64(3), &mut cache);
+        let warm_cache = warm.run.cache.expect("incremental run carries a summary");
+        assert!(warm_cache.segment_hits >= 3, "{warm_cache:?}");
+        assert!(warm_cache.segment_misses <= 1, "{warm_cache:?}");
     }
 
     struct CMatrixFixtures;

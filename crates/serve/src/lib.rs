@@ -4,9 +4,15 @@
 //! bounded worker pool accepts **jobs** — circuit + assertions + config —
 //! over a newline-delimited JSON protocol (see [`protocol`]), runs each
 //! end to end, and answers with one structured response line per request.
-//! There is no network listener: the library API ([`Service`]) serves
-//! in-process callers, and the `morph-serve` binary reads a batch from a
-//! file or stdin.
+//! The library API ([`Service`]) serves in-process callers, the
+//! `morph-serve` binary reads a batch from a file or stdin, and
+//! [`serve_listener`] exposes the same protocol over TCP.
+//!
+//! Besides single jobs, the protocol's v2 `verify_revisions` kind submits
+//! an **ordered revision stream**: the service verifies each program
+//! revision incrementally ([`Service::submit_revisions`]), reusing every
+//! cached segment artifact the edit didn't touch, and reports per-segment
+//! hit/miss counts per revision.
 //!
 //! The throughput mechanism is **single-flight coalescing**
 //! ([`singleflight`]): jobs are keyed by the content address of their
@@ -30,8 +36,14 @@ pub mod shard;
 pub mod singleflight;
 
 pub use listener::{serve_listener, Listener, ListenerConfig};
-pub use protocol::{JobRequest, JobResponse, JobStatus, PROTOCOL_VERSION};
-pub use service::{JobError, JobHandle, JobOutput, ServeConfig, Service, SubmitError};
+pub use protocol::{
+    JobRequest, JobResponse, JobStatus, Request, RevisionsRequest, PROTOCOL_VERSION,
+    PROTOCOL_VERSION_REVISIONS,
+};
+pub use service::{
+    JobError, JobHandle, JobOutput, RevisionsHandle, RevisionsOutput, ServeConfig, Service,
+    SubmitError,
+};
 pub use shard::{CharacterizationShards, DEFAULT_SHARDS};
 
 use std::io::{self, BufRead, Write};
@@ -63,6 +75,20 @@ pub fn run_batch(
     enum Slot {
         Ready(Box<JobResponse>),
         Pending(String, JobHandle),
+        PendingRevisions(String, RevisionsHandle),
+    }
+
+    /// Retries a saturated queue until the service accepts or refuses.
+    fn submit_with_backoff<H>(
+        mut submit: impl FnMut() -> Result<H, SubmitError>,
+    ) -> Result<H, SubmitError> {
+        loop {
+            match submit() {
+                Ok(handle) => return Ok(handle),
+                Err(SubmitError::QueueFull { .. }) => std::thread::sleep(RESUBMIT_TICK),
+                Err(rejection) => return Err(rejection),
+            }
+        }
     }
 
     let service = Service::start(config)?;
@@ -72,26 +98,28 @@ pub fn run_batch(
         if line.trim().is_empty() {
             continue;
         }
-        match JobRequest::from_json_line(&line) {
+        match Request::from_json_line(&line) {
             Err(message) => {
                 let id = protocol::salvage_id(&line);
                 slots.push(Slot::Ready(Box::new(JobResponse::from_invalid_line(
                     &id, &message,
                 ))));
             }
-            Ok(request) => {
+            Ok(Request::Job(request)) => {
                 let id = request.id.clone();
-                let handle = loop {
-                    match service.submit(request.clone()) {
-                        Ok(handle) => break Ok(handle),
-                        Err(SubmitError::QueueFull { .. }) => std::thread::sleep(RESUBMIT_TICK),
-                        Err(rejection) => break Err(rejection),
-                    }
-                };
-                match handle {
+                match submit_with_backoff(|| service.submit(request.clone())) {
                     Ok(handle) => slots.push(Slot::Pending(id, handle)),
                     Err(rejection) => slots.push(Slot::Ready(Box::new(
                         JobResponse::from_rejection(&id, &rejection),
+                    ))),
+                }
+            }
+            Ok(Request::Revisions(request)) => {
+                let id = request.id.clone();
+                match submit_with_backoff(|| service.submit_revisions(request.clone())) {
+                    Ok(handle) => slots.push(Slot::PendingRevisions(id, handle)),
+                    Err(rejection) => slots.push(Slot::Ready(Box::new(
+                        JobResponse::from_revisions_rejection(&id, &rejection),
                     ))),
                 }
             }
@@ -105,6 +133,10 @@ pub fn run_batch(
             Slot::Pending(id, handle) => match handle.wait() {
                 Ok(out) => JobResponse::from_report(&id, out.fingerprint, &out.report),
                 Err(e) => JobResponse::from_error(&id, &e),
+            },
+            Slot::PendingRevisions(id, handle) => match handle.wait() {
+                Ok(out) => JobResponse::from_revisions(&id, &out.revisions),
+                Err(e) => JobResponse::from_revisions_error(&id, &e),
             },
         };
         exit = exit.max(response.exit_code());

@@ -40,8 +40,8 @@ use std::time::{Duration, Instant};
 
 use morph_trace::{env_knob, lock_or_recover};
 
-use crate::protocol::{salvage_id, JobRequest, JobResponse};
-use crate::service::{JobHandle, Service, SubmitError};
+use crate::protocol::{salvage_id, JobResponse, Request};
+use crate::service::{JobHandle, RevisionsHandle, Service, SubmitError};
 
 /// How often blocked socket reads and the accept loop re-check the stop
 /// flag.
@@ -238,6 +238,9 @@ enum Slot {
     Ready(Box<JobResponse>),
     /// A submitted job; the writer blocks on the handle in slot order.
     Pending(String, JobHandle),
+    /// A submitted `verify_revisions` stream; one response line like any
+    /// other slot, and one unit of the in-flight quota.
+    PendingRevisions(String, RevisionsHandle),
 }
 
 /// A request's transit record: the slot plus its arrival instant for the
@@ -333,14 +336,14 @@ fn admit(
     in_flight: &Arc<AtomicUsize>,
 ) -> Slot {
     morph_trace::counter("serve/net_requests", 1);
-    let request = match JobRequest::from_json_line(line) {
+    let request = match Request::from_json_line(line) {
         Ok(request) => request,
         Err(message) => {
             let id = salvage_id(line);
             return Slot::Ready(Box::new(JobResponse::from_invalid_line(&id, &message)));
         }
     };
-    let id = request.id.clone();
+    let id = request.id().to_string();
     if in_flight.load(Ordering::SeqCst) >= inflight_limit {
         morph_trace::counter("serve/job_quota_rejected", 1);
         return Slot::Ready(Box::new(JobResponse::from_refusal(
@@ -349,14 +352,27 @@ fn admit(
             &format!("connection in-flight job limit reached (limit {inflight_limit})"),
         )));
     }
-    match service.submit(request) {
-        Ok(handle) => {
-            in_flight.fetch_add(1, Ordering::SeqCst);
-            Slot::Pending(id, handle)
-        }
-        Err(rejection @ (SubmitError::QueueFull { .. } | SubmitError::ShuttingDown)) => {
-            Slot::Ready(Box::new(JobResponse::from_rejection(&id, &rejection)))
-        }
+    match request {
+        Request::Job(request) => match service.submit(request) {
+            Ok(handle) => {
+                in_flight.fetch_add(1, Ordering::SeqCst);
+                Slot::Pending(id, handle)
+            }
+            Err(rejection @ (SubmitError::QueueFull { .. } | SubmitError::ShuttingDown)) => {
+                Slot::Ready(Box::new(JobResponse::from_rejection(&id, &rejection)))
+            }
+        },
+        Request::Revisions(request) => match service.submit_revisions(request) {
+            Ok(handle) => {
+                in_flight.fetch_add(1, Ordering::SeqCst);
+                Slot::PendingRevisions(id, handle)
+            }
+            Err(rejection @ (SubmitError::QueueFull { .. } | SubmitError::ShuttingDown)) => {
+                Slot::Ready(Box::new(JobResponse::from_revisions_rejection(
+                    &id, &rejection,
+                )))
+            }
+        },
     }
 }
 
@@ -370,6 +386,14 @@ fn write_loop(mut stream: TcpStream, rx: mpsc::Receiver<Entry>, in_flight: &Atom
                 let response = match handle.wait() {
                     Ok(out) => JobResponse::from_report(&id, out.fingerprint, &out.report),
                     Err(e) => JobResponse::from_error(&id, &e),
+                };
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                response
+            }
+            Slot::PendingRevisions(id, handle) => {
+                let response = match handle.wait() {
+                    Ok(out) => JobResponse::from_revisions(&id, &out.revisions),
+                    Err(e) => JobResponse::from_revisions_error(&id, &e),
                 };
                 in_flight.fetch_sub(1, Ordering::SeqCst);
                 response

@@ -44,13 +44,13 @@ use morph_qsim::NoiseModel;
 use morph_store::{Fingerprint, FingerprintLock};
 use morph_trace::env_knob;
 use morphqpv::prelude::{
-    assertions_from_source, parse_program, CancelToken, Cancelled, Characterization, MorphError,
-    VerificationReport, Verifier,
+    assertions_from_source, parse_program, CancelToken, Cancelled, Characterization, InputEnsemble,
+    MorphError, SegmentedCache, SegmentedConfig, VerificationReport, Verifier,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::protocol::JobRequest;
+use crate::protocol::{JobRequest, RevisionsRequest};
 use crate::shard::{CharacterizationShards, DEFAULT_SHARDS};
 use crate::singleflight::{FlightOutcome, Joined};
 
@@ -281,6 +281,45 @@ impl JobHandle {
     }
 }
 
+/// The outcome of one `verify_revisions` stream: one result per
+/// revision, in stream order. A failed revision is an in-band error in
+/// its slot; later revisions still run (their segment cache simply
+/// misses whatever the failed revision would have contributed).
+#[derive(Debug)]
+pub struct RevisionsOutput {
+    /// Per-revision reports (or failures), in request order.
+    pub revisions: Vec<Result<VerificationReport, JobError>>,
+}
+
+/// Handle to one submitted `verify_revisions` stream.
+pub struct RevisionsHandle {
+    request_id: String,
+    token: CancelToken,
+    rx: mpsc::Receiver<Result<RevisionsOutput, JobError>>,
+}
+
+impl RevisionsHandle {
+    /// The request id this handle tracks.
+    pub fn request_id(&self) -> &str {
+        &self.request_id
+    }
+
+    /// Requests cooperative cancellation; the stream stops before its
+    /// next revision and [`wait`](Self::wait) reports the outcome.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Blocks until the whole stream finishes.
+    pub fn wait(self) -> Result<RevisionsOutput, JobError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(JobError::Panicked {
+                message: "worker disappeared before delivering a result".to_string(),
+            })
+        })
+    }
+}
+
 struct ServiceShared {
     shards: CharacterizationShards,
 }
@@ -351,6 +390,55 @@ impl Service {
         })
     }
 
+    /// Submits a `verify_revisions` stream without blocking.
+    ///
+    /// The whole stream runs **sequentially inside one pooled job**
+    /// against a job-local in-memory [`SegmentedCache`]: revision `k+1`
+    /// reuses every segment artifact revision `k` (or any earlier
+    /// revision) already characterized, and because nothing about the
+    /// stream is split across workers, the response is byte-identical at
+    /// any worker count. The shared whole-run artifact cache and flight
+    /// table are not consulted — a revision stream's reuse story is
+    /// per-segment, not per-run.
+    ///
+    /// The deadline covers the whole stream; cancellation is checked
+    /// between revisions.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the queue is full or the service is shutting
+    /// down; the stream was not accepted and will not run.
+    pub fn submit_revisions(
+        &self,
+        request: RevisionsRequest,
+    ) -> Result<RevisionsHandle, SubmitError> {
+        let deadline_ms = request.deadline_ms.or(self.default_deadline_ms);
+        let token = match deadline_ms {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        };
+        let (tx, rx) = mpsc::channel();
+        let job_token = token.clone();
+        let parent_span = morph_trace::current_span();
+        let request_id = request.id.clone();
+        self.pool.try_submit(move || {
+            let _span = morph_trace::span_under(parent_span, "serve/job");
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_revisions(&request, &job_token)))
+                .unwrap_or_else(|payload| {
+                    Err(JobError::Panicked {
+                        message: panic_message(&payload),
+                    })
+                });
+            let _ = tx.send(outcome);
+        })?;
+        morph_trace::gauge("serve/queue_depth", self.pool.queue_depth() as f64);
+        Ok(RevisionsHandle {
+            request_id,
+            token,
+            rx,
+        })
+    }
+
     /// Jobs queued but not yet picked up by a worker.
     pub fn queue_depth(&self) -> usize {
         self.pool.queue_depth()
@@ -397,7 +485,13 @@ fn run_job(
     token: &CancelToken,
 ) -> Result<JobOutput, JobError> {
     token.check()?;
-    let verifier = build_verifier(request)?;
+    let verifier = build_verifier(&VerifierSpec {
+        program: &request.program,
+        input_qubits: &request.input_qubits,
+        samples: request.samples,
+        restarts: request.restarts,
+        noise: request.noise.as_deref(),
+    })?;
 
     // The characterize_cached RNG discipline, spelled out so the flight
     // table can sit between the fingerprint and the computation: draw one
@@ -416,21 +510,31 @@ fn run_job(
     })
 }
 
-/// Parses and validates the request into a configured [`Verifier`].
-fn build_verifier(request: &JobRequest) -> Result<Verifier, JobError> {
-    let circuit = parse_program(&request.program).map_err(MorphError::from)?;
-    let assertions = assertions_from_source(&request.program).map_err(MorphError::from)?;
+/// The request fields [`build_verifier`] consumes — one program plus the
+/// knobs shared by single jobs and revision streams.
+struct VerifierSpec<'a> {
+    program: &'a str,
+    input_qubits: &'a [usize],
+    samples: Option<usize>,
+    restarts: Option<usize>,
+    noise: Option<&'a str>,
+}
+
+/// Parses and validates one program into a configured [`Verifier`].
+fn build_verifier(spec: &VerifierSpec<'_>) -> Result<Verifier, JobError> {
+    let circuit = parse_program(spec.program).map_err(MorphError::from)?;
+    let assertions = assertions_from_source(spec.program).map_err(MorphError::from)?;
     if assertions.is_empty() {
         return Err(JobError::Invalid {
             message: "program contains no `// assert` specifications".to_string(),
         });
     }
-    if request.input_qubits.is_empty() {
+    if spec.input_qubits.is_empty() {
         return Err(JobError::Invalid {
             message: "input_qubits must not be empty".to_string(),
         });
     }
-    for &q in &request.input_qubits {
+    for &q in spec.input_qubits {
         if q >= circuit.n_qubits() {
             return Err(JobError::Invalid {
                 message: format!(
@@ -440,8 +544,8 @@ fn build_verifier(request: &JobRequest) -> Result<Verifier, JobError> {
             });
         }
     }
-    let mut verifier = Verifier::new(circuit).input_qubits(&request.input_qubits);
-    if let Some(n) = request.samples {
+    let mut verifier = Verifier::new(circuit).input_qubits(spec.input_qubits);
+    if let Some(n) = spec.samples {
         if n == 0 {
             return Err(JobError::Invalid {
                 message: "samples must be nonzero".to_string(),
@@ -449,7 +553,7 @@ fn build_verifier(request: &JobRequest) -> Result<Verifier, JobError> {
         }
         verifier = verifier.samples(n);
     }
-    match request.noise.as_deref() {
+    match spec.noise {
         None | Some("noiseless") => {}
         Some("ibm_cairo") => verifier = verifier.noise(NoiseModel::ibm_cairo()),
         Some(other) => {
@@ -460,7 +564,7 @@ fn build_verifier(request: &JobRequest) -> Result<Verifier, JobError> {
             });
         }
     }
-    if let Some(restarts) = request.restarts {
+    if let Some(restarts) = spec.restarts {
         verifier = verifier.validation(morphqpv::prelude::ValidationConfig {
             solver_restarts: Some(restarts),
             ..Default::default()
@@ -470,6 +574,69 @@ fn build_verifier(request: &JobRequest) -> Result<Verifier, JobError> {
         verifier = verifier.assert_that(assertion);
     }
     Ok(verifier)
+}
+
+/// Runs one `verify_revisions` stream end to end on a worker thread:
+/// every revision in order, sequentially, against one job-local segment
+/// cache.
+fn run_revisions(
+    request: &RevisionsRequest,
+    token: &CancelToken,
+) -> Result<RevisionsOutput, JobError> {
+    token.check()?;
+    let seg = match request.segment_gates {
+        Some(g) => SegmentedConfig::new().segment_gates(g),
+        None => SegmentedConfig::from_env(),
+    };
+    let mut cache = SegmentedCache::in_memory();
+    let mut revisions = Vec::with_capacity(request.revisions.len());
+    for program in &request.revisions {
+        token.check()?;
+        morph_trace::counter("serve/revision", 1);
+        revisions.push(run_revision(request, program, seg, &mut cache));
+    }
+    Ok(RevisionsOutput { revisions })
+}
+
+/// Verifies one revision incrementally against the stream's shared
+/// segment cache.
+///
+/// Each revision restarts its RNG from the request seed, so its report
+/// depends only on (program, shared knobs, seed) — never on where it
+/// sits in the stream. The segment cache cannot break that: cached
+/// segment artifacts round-trip bit-exactly, so a hit and a recompute
+/// are indistinguishable in the report (the counts show up in the
+/// response's `segments` object instead).
+fn run_revision(
+    request: &RevisionsRequest,
+    program: &str,
+    seg: SegmentedConfig,
+    cache: &mut SegmentedCache,
+) -> Result<VerificationReport, JobError> {
+    let mut verifier = build_verifier(&VerifierSpec {
+        program,
+        input_qubits: &request.input_qubits,
+        samples: request.samples,
+        restarts: request.restarts,
+        noise: request.noise.as_deref(),
+    })?;
+    match request.ensemble.as_deref() {
+        None | Some("clifford") => {}
+        Some("pauli_product") => verifier = verifier.ensemble(InputEnsemble::PauliProduct),
+        Some("basis") => verifier = verifier.ensemble(InputEnsemble::Basis),
+        Some(other) => {
+            return Err(JobError::Invalid {
+                message: format!(
+                    "unknown ensemble `{other}` (expected `clifford`, `pauli_product`, or `basis`)"
+                ),
+            });
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(request.seed);
+    verifier
+        .incremental(seg)
+        .try_run_incremental(&mut rng, cache)
+        .map_err(JobError::from)
 }
 
 /// The coalescing core: cache, then flight table, then compute as leader.

@@ -1,0 +1,199 @@
+//! Property tests for segment-granular incremental characterization: a
+//! random single-gate edit (insert / delete / mutate) recomputes at most
+//! the segments the edit touched, and the synthesized characterization is
+//! bit-identical to a from-scratch run at any worker count.
+//!
+//! The config uses `PauliProduct` with `4^width` samples so every segment
+//! fit spans the full operator space and composition is exact — the same
+//! precondition the incremental API documents for exact verdicts.
+
+use morphqpv_suite::clifford::InputEnsemble;
+use morphqpv_suite::core::{
+    try_characterize_incremental, Characterization, CharacterizationConfig, SegmentedCache,
+    SegmentedConfig,
+};
+use morphqpv_suite::qprog::{Circuit, Instruction};
+use morphqpv_suite::qsim::Gate;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Arbitrary 2-qubit gate drawn from the library.
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        (0..2usize).prop_map(Gate::H),
+        (0..2usize).prop_map(Gate::X),
+        (0..2usize).prop_map(Gate::S),
+        ((0..2usize), -3.0..3.0f64).prop_map(|(q, a)| Gate::RY(q, a)),
+        ((0..2usize), -3.0..3.0f64).prop_map(|(q, a)| Gate::RZ(q, a)),
+        Just(Gate::CX(0, 1)),
+        Just(Gate::CX(1, 0)),
+    ]
+}
+
+fn arb_gates() -> impl Strategy<Value = Vec<Gate>> {
+    proptest::collection::vec(arb_gate(), 3..10)
+}
+
+/// Builds the program under revision: gates split by a mid-circuit
+/// tracepoint, with a final tracepoint on the full register.
+fn traced(gates: &[Gate]) -> Circuit {
+    let mut c = Circuit::new(2);
+    let mid = gates.len() / 2;
+    for g in &gates[..mid] {
+        c.gate(g.clone());
+    }
+    c.tracepoint(1, &[0, 1]);
+    for g in &gates[mid..] {
+        c.gate(g.clone());
+    }
+    c.tracepoint(2, &[0, 1]);
+    c
+}
+
+/// Applies one single-gate edit. `pos` is reduced modulo the number of
+/// legal positions so every drawn value maps to a valid edit; deletes pick
+/// among gate instructions only (tracepoints stay), and the generator's
+/// minimum of three gates keeps a delete from emptying the program.
+fn apply_edit(base: &Circuit, kind: usize, pos: usize, g: Gate) -> Circuit {
+    let mut edited = base.clone();
+    let gate_positions: Vec<usize> = edited
+        .instructions()
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i, Instruction::Gate(_)))
+        .map(|(p, _)| p)
+        .collect();
+    match kind {
+        0 => {
+            let at = pos % (edited.instructions().len() + 1);
+            edited.insert(at, Instruction::Gate(g));
+        }
+        1 => {
+            let at = gate_positions[pos % gate_positions.len()];
+            edited.remove(at);
+        }
+        _ => {
+            let at = gate_positions[pos % gate_positions.len()];
+            edited.remove(at);
+            edited.insert(at, Instruction::Gate(g));
+        }
+    }
+    edited
+}
+
+fn exact_config() -> CharacterizationConfig {
+    // PauliProduct with 16 samples spans the 2-qubit operator space.
+    CharacterizationConfig {
+        ensemble: InputEnsemble::PauliProduct,
+        ..CharacterizationConfig::exact(vec![0, 1], 16)
+    }
+}
+
+/// Canonical byte serialization of everything validation consumes:
+/// sampled input densities and every captured tracepoint trace. Two
+/// characterizations with equal bytes are bit-identical.
+fn canonical(ch: &Characterization) -> Vec<u8> {
+    let mut out = Vec::new();
+    for input in &ch.inputs {
+        input.rho.canonical_bytes(&mut out);
+    }
+    for (id, traces) in &ch.traces {
+        out.extend_from_slice(format!("{id}").as_bytes());
+        for t in traces {
+            t.canonical_bytes(&mut out);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A single-gate edit to a cached program recomputes at most the two
+    /// segments the edit can touch; everything else is served from cache.
+    #[test]
+    fn single_gate_edits_reuse_untouched_segments(
+        gates in arb_gates(),
+        kind in 0..3usize,
+        pos in 0..64usize,
+        g in arb_gate(),
+    ) {
+        let seg = SegmentedConfig::new().segment_gates(2);
+        let config = exact_config();
+        let base = traced(&gates);
+        let mut cache = SegmentedCache::in_memory();
+
+        let mut rng = StdRng::seed_from_u64(11);
+        try_characterize_incremental(&base, &config, &seg, &mut rng, &mut cache)
+            .expect("base characterization");
+
+        let edited = apply_edit(&base, kind, pos, g);
+        let mut rng = StdRng::seed_from_u64(11);
+        let warm = try_characterize_incremental(&edited, &config, &seg, &mut rng, &mut cache)
+            .expect("edited characterization");
+
+        prop_assert!(
+            warm.segments.misses <= 2,
+            "edit kind {} recomputed {} of {} segments",
+            kind,
+            warm.segments.misses,
+            warm.segments.total
+        );
+        prop_assert!(warm.segments.hits >= warm.segments.total.saturating_sub(2));
+        prop_assert!(
+            warm.segments.reused_prefix + warm.segments.reused_suffix
+                >= warm.segments.total.saturating_sub(2)
+        );
+    }
+
+    /// The warm (cache-hitting) characterization of an edited program is
+    /// bit-identical to a from-scratch run, and to a run at a different
+    /// worker count — segment seeds derive from content, not position or
+    /// scheduling.
+    #[test]
+    fn incremental_is_bit_identical_to_from_scratch_at_any_worker_count(
+        gates in arb_gates(),
+        kind in 0..3usize,
+        pos in 0..64usize,
+        g in arb_gate(),
+    ) {
+        let seg = SegmentedConfig::new().segment_gates(2);
+        let config = exact_config();
+        let base = traced(&gates);
+        let edited = apply_edit(&base, kind, pos, g);
+
+        // Warm: base then edit against the same cache.
+        let mut cache = SegmentedCache::in_memory();
+        let mut rng = StdRng::seed_from_u64(11);
+        try_characterize_incremental(&base, &config, &seg, &mut rng, &mut cache)
+            .expect("base characterization");
+        let mut rng = StdRng::seed_from_u64(11);
+        let warm = try_characterize_incremental(&edited, &config, &seg, &mut rng, &mut cache)
+            .expect("warm characterization");
+
+        // Cold: the edited program alone, in a fresh cache.
+        let mut fresh = SegmentedCache::in_memory();
+        let mut rng = StdRng::seed_from_u64(11);
+        let cold = try_characterize_incremental(&edited, &config, &seg, &mut rng, &mut fresh)
+            .expect("cold characterization");
+        prop_assert_eq!(
+            canonical(&warm.characterization),
+            canonical(&cold.characterization)
+        );
+
+        // Cold again at an explicit worker count.
+        let wide_config = CharacterizationConfig {
+            parallelism: 3,
+            ..config
+        };
+        let mut fresh = SegmentedCache::in_memory();
+        let mut rng = StdRng::seed_from_u64(11);
+        let wide = try_characterize_incremental(&edited, &wide_config, &seg, &mut rng, &mut fresh)
+            .expect("wide characterization");
+        prop_assert_eq!(
+            canonical(&warm.characterization),
+            canonical(&wide.characterization)
+        );
+    }
+}

@@ -13,13 +13,15 @@
 //! MORPH_UPDATE_GOLDEN=1 cargo test --test serve_protocol
 //! ```
 
-use morphqpv_suite::serve::{run_batch, JobRequest, ServeConfig};
+use morphqpv_suite::serve::{run_batch, JobRequest, Request, ServeConfig};
 
 const REQUESTS: &str = "tests/fixtures/serve/requests.jsonl";
 const GOLDEN: &str = "tests/fixtures/serve/responses.jsonl";
+const REVISION_REQUESTS: &str = "tests/fixtures/serve/revisions-requests.jsonl";
+const REVISION_GOLDEN: &str = "tests/fixtures/serve/revisions-responses.jsonl";
 
-fn run_fixture_batch(workers: usize) -> (String, i32) {
-    let requests = std::fs::read_to_string(REQUESTS).expect("read requests fixture");
+fn run_batch_file(path: &str, workers: usize) -> (String, i32) {
+    let requests = std::fs::read_to_string(path).expect("read requests fixture");
     let mut out = Vec::new();
     let exit = run_batch(
         requests.as_bytes(),
@@ -32,6 +34,10 @@ fn run_fixture_batch(workers: usize) -> (String, i32) {
     )
     .expect("batch I/O");
     (String::from_utf8(out).expect("responses are UTF-8"), exit)
+}
+
+fn run_fixture_batch(workers: usize) -> (String, i32) {
+    run_batch_file(REQUESTS, workers)
 }
 
 #[test]
@@ -102,6 +108,136 @@ fn coalesced_twins_answer_identically_apart_from_their_ids() {
 }
 
 #[test]
+fn revisions_batch_matches_the_golden_fixture() {
+    let (output, exit) = run_batch_file(REVISION_REQUESTS, 4);
+    if std::env::var_os("MORPH_UPDATE_GOLDEN").is_some() {
+        std::fs::write(REVISION_GOLDEN, &output).expect("write golden");
+        return;
+    }
+    // The batch holds passing streams plus envelope/parse errors: 1.
+    assert_eq!(exit, 1);
+    let golden = std::fs::read_to_string(REVISION_GOLDEN)
+        .expect("read golden fixture (set MORPH_UPDATE_GOLDEN=1 to create it)");
+    assert_eq!(
+        output, golden,
+        "revision response lines drifted from the golden fixture; \
+         rerun with MORPH_UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn revisions_batch_is_worker_count_independent() {
+    let (wide, wide_exit) = run_batch_file(REVISION_REQUESTS, 8);
+    let (narrow, narrow_exit) = run_batch_file(REVISION_REQUESTS, 1);
+    assert_eq!(wide, narrow);
+    assert_eq!(wide_exit, narrow_exit);
+}
+
+/// The tentpole claim, proven at the protocol level: in the `ghz-revise`
+/// stream (3 single-gate segments per revision, `segment_gates:1`), the
+/// cold first revision misses everything, the one-gate edit recomputes
+/// only its own segment, and the revert back to revision 1 recomputes
+/// nothing.
+#[test]
+fn revision_stream_reuses_unedited_segments() {
+    let golden = std::fs::read_to_string(REVISION_GOLDEN).expect("read revisions golden");
+    let line = golden
+        .lines()
+        .find(|l| l.contains("\"id\":\"ghz-revise\""))
+        .expect("ghz-revise response line");
+    let value = serde::json::parse(line).expect("golden line parses");
+    assert_eq!(
+        value.get("protocol").and_then(serde::json::Value::as_u64),
+        Some(2)
+    );
+    let revisions = match value.get("revisions") {
+        Some(serde::json::Value::Array(items)) => items.clone(),
+        other => panic!("expected a revisions array, found {other:?}"),
+    };
+    assert_eq!(revisions.len(), 3);
+    let segments = |i: usize, key: &str| {
+        revisions[i]
+            .get("segments")
+            .and_then(|s| s.get(key))
+            .and_then(serde::json::Value::as_u64)
+            .unwrap_or_else(|| panic!("revision {i} segments.{key}"))
+    };
+    // Cold: every segment characterized from scratch.
+    assert_eq!(segments(0, "hits"), 0);
+    assert_eq!(segments(0, "misses"), 3);
+    // One inserted gate: the three original segments are reused, only
+    // the new one is characterized.
+    assert_eq!(segments(1, "hits"), 3);
+    assert_eq!(segments(1, "misses"), 1);
+    // Revert to revision 1: everything reused.
+    assert_eq!(segments(2, "hits"), 3);
+    assert_eq!(segments(2, "misses"), 0);
+    for rev in &revisions {
+        assert_eq!(
+            rev.get("status").and_then(serde::json::Value::as_str),
+            Some("passed")
+        );
+    }
+}
+
+/// Legacy (v1) lines in a mixed batch keep answering with `protocol:1`
+/// bodies, and a mid-stream failure is an in-band per-revision error.
+#[test]
+fn mixed_batch_keeps_legacy_lines_on_protocol_one() {
+    let golden = std::fs::read_to_string(REVISION_GOLDEN).expect("read revisions golden");
+    let find = |id: &str| {
+        golden
+            .lines()
+            .find(|l| l.contains(&format!("\"id\":\"{id}\"")))
+            .unwrap_or_else(|| panic!("no golden line for {id}"))
+    };
+    for id in ["legacy-ghz", "v1-explicit"] {
+        let value = serde::json::parse(find(id)).expect("line parses");
+        assert_eq!(
+            value.get("protocol").and_then(serde::json::Value::as_u64),
+            Some(1),
+            "{id} must stay a v1 response"
+        );
+    }
+    // Identical programs under both spellings answer identically.
+    assert_eq!(
+        find("legacy-ghz").replace("\"id\":\"legacy-ghz\"", "\"id\":\"_\""),
+        find("v1-explicit").replace("\"id\":\"v1-explicit\"", "\"id\":\"_\"")
+    );
+    // The bad-tail stream: first revision verified, second an error.
+    let value = serde::json::parse(find("revise-bad-tail")).expect("line parses");
+    assert_eq!(
+        value.get("status").and_then(serde::json::Value::as_str),
+        Some("error")
+    );
+    let revisions = match value.get("revisions") {
+        Some(serde::json::Value::Array(items)) => items.clone(),
+        other => panic!("expected a revisions array, found {other:?}"),
+    };
+    assert_eq!(
+        revisions[0]
+            .get("status")
+            .and_then(serde::json::Value::as_str),
+        Some("passed")
+    );
+    assert_eq!(
+        revisions[1]
+            .get("status")
+            .and_then(serde::json::Value::as_str),
+        Some("error")
+    );
+    // Envelope errors answer as plain v1 error lines.
+    for id in ["revise-needs-v2", "weird-kind", "from-the-future"] {
+        let value = serde::json::parse(find(id)).expect("line parses");
+        assert_eq!(
+            value.get("status").and_then(serde::json::Value::as_str),
+            Some("error"),
+            "{id}"
+        );
+    }
+}
+
+#[test]
 fn fixture_requests_round_trip_through_the_codec() {
     let requests = std::fs::read_to_string(REQUESTS).expect("read requests fixture");
     let mut parsed = 0;
@@ -118,5 +254,25 @@ fn fixture_requests_round_trip_through_the_codec() {
     assert!(
         parsed >= 5,
         "fixture should hold at least five valid requests"
+    );
+}
+
+#[test]
+fn revision_fixture_requests_round_trip_through_the_codec() {
+    let requests = std::fs::read_to_string(REVISION_REQUESTS).expect("read revisions requests");
+    let mut streams = 0;
+    for line in requests.lines().filter(|l| !l.trim().is_empty()) {
+        if let Ok(Request::Revisions(request)) = Request::from_json_line(line) {
+            let reprinted = request.to_json_line();
+            match Request::from_json_line(&reprinted).expect("reprint parses") {
+                Request::Revisions(again) => assert_eq!(again, request),
+                other => panic!("reprint changed kind: {other:?}"),
+            }
+            streams += 1;
+        }
+    }
+    assert!(
+        streams >= 2,
+        "fixture should hold at least two valid revision streams"
     );
 }
